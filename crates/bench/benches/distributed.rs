@@ -1,0 +1,87 @@
+//! End-to-end distributed-vs-centralized benchmarks: one representative
+//! point per paper figure, runnable under `cargo bench`.
+//!
+//! These complement the `harness` binary (which sweeps sizes and
+//! fragment counts); here Criterion provides statistical rigor on single
+//! configurations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use partix_bench::{queries, setup};
+use partix_frag::FragMode;
+use partix_gen::{ArticleProfile, ItemProfile};
+
+/// Fig. 7(a) point: ItemsSHor ≈2 MB, 4 fragments, text-search QH5.
+fn bench_fig7a_point(c: &mut Criterion) {
+    let px = setup::horizontal_sized(2_000_000, ItemProfile::Small, 4);
+    let (_, dist_q) = &queries::horizontal(setup::DIST)[4]; // QH5
+    let central_q = dist_q.replace(
+        &format!("collection(\"{}\")", setup::DIST),
+        &format!("collection(\"{}\")", setup::CENTRAL),
+    );
+    let mut group = c.benchmark_group("fig7a_2mb_4frags_QH5");
+    group.sample_size(20);
+    group.bench_function("centralized", |b| {
+        b.iter(|| px.execute_centralized(0, &central_q).unwrap())
+    });
+    group.bench_function("distributed", |b| b.iter(|| px.execute(dist_q).unwrap()));
+    group.finish();
+}
+
+/// Fig. 7(c) points: single-fragment QV1 vs multi-fragment QV7.
+fn bench_fig7c_points(c: &mut Criterion) {
+    let docs = partix_gen::gen_articles(20, ArticleProfile::LARGE, 0xA11CE);
+    let px = setup::vertical(&docs);
+    let all = queries::vertical(setup::DIST);
+    let central = |q: &str| {
+        q.replace(
+            &format!("collection(\"{}\")", setup::DIST),
+            &format!("collection(\"{}\")", setup::CENTRAL),
+        )
+    };
+    let mut group = c.benchmark_group("fig7c_20_articles");
+    group.sample_size(20);
+    let (_, qv1) = &all[0];
+    group.bench_function("QV1_centralized", |b| {
+        b.iter(|| px.execute_centralized(0, &central(qv1)).unwrap())
+    });
+    group.bench_function("QV1_single_fragment", |b| b.iter(|| px.execute(qv1).unwrap()));
+    let (_, qv7) = &all[6];
+    group.bench_function("QV7_centralized", |b| {
+        b.iter(|| px.execute_centralized(0, &central(qv7)).unwrap())
+    });
+    group.bench_function("QV7_reconstructing", |b| b.iter(|| px.execute(qv7).unwrap()));
+    group.finish();
+}
+
+/// Fig. 7(d) point: StoreHyb ≈1 MB, FragMode1 vs FragMode2 on the
+/// section-localized QY1.
+fn bench_fig7d_point(c: &mut Criterion) {
+    let store = partix_gen::store::gen_store_to_size(1_000_000, ItemProfile::Small, 0xA11CE);
+    let (_, qy1) = &queries::hybrid(setup::DIST)[0];
+    let mut group = c.benchmark_group("fig7d_1mb_QY1");
+    group.sample_size(20);
+    for (mode, label) in [
+        (FragMode::ManySmallDocs, "FragMode1"),
+        (FragMode::SingleDoc, "FragMode2"),
+    ] {
+        let px = setup::hybrid(&store, mode);
+        group.bench_function(label, |b| b.iter(|| px.execute(qy1).unwrap()));
+    }
+    let px = setup::hybrid(&store, FragMode::SingleDoc);
+    let central_q = qy1.replace(
+        &format!("collection(\"{}\")", setup::DIST),
+        &format!("collection(\"{}\")", setup::CENTRAL),
+    );
+    group.bench_function("centralized", |b| {
+        b.iter(|| px.execute_centralized(0, &central_q).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig7a_point,
+    bench_fig7c_points,
+    bench_fig7d_point
+);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! # partix-bench
+//!
+//! The experiment harness reproducing the paper's evaluation (Section 5).
+//!
+//! Every figure of the paper maps to a harness subcommand:
+//!
+//! | Paper | Database | Harness |
+//! |-------|----------|---------|
+//! | Fig. 7(a) | ItemsSHor (≈2 KB docs), horizontal, 2/4/8 fragments | `harness fig7a` |
+//! | Fig. 7(b) | ItemsLHor (≈80 KB docs), horizontal | `harness fig7b` |
+//! | Fig. 7(c) | XBenchVer, vertical prolog/body/epilog | `harness fig7c` |
+//! | Fig. 7(d/e) | StoreHyb, hybrid FragMode1/2, ±transmission | `harness fig7d` |
+//! | "72×" claim | ItemsSHor text search & aggregation | `harness headline` |
+//! | index ablation | ItemsSHor, text index on/off | `harness ablation-index` |
+//! | parse-cost ablation | StoreHyb, hot vs cold pages | `harness ablation-fragmode` |
+//!
+//! Query texts are *reconstructions*: the exact queries live in the
+//! unavailable technical report \[3]; [`queries`] rebuilds them from the
+//! paper's descriptions (predicate selections, text searches, existential
+//! tests, aggregations — see each constant's doc).
+//!
+//! Database sizes default to 2% of the paper's 5/20/100/250/500 MB so a
+//! full sweep finishes in minutes; pass `--scale 1.0` for paper-scale
+//! runs. Shapes (who wins, crossovers), not absolute times, are the
+//! reproduction target.
+
+pub mod output;
+pub mod queries;
+pub mod runner;
+pub mod setup;
+
+/// The paper's database sizes in megabytes.
+pub const PAPER_SIZES_MB: &[usize] = &[5, 20, 100, 250];
+
+/// Extra size used only by ItemsLHor and StoreHyb in the paper.
+pub const PAPER_SIZE_LARGE_MB: usize = 500;

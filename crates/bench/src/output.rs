@@ -1,0 +1,201 @@
+//! Table rendering and machine-readable experiment records.
+
+use crate::runner::Measurement;
+use serde::Serialize;
+use std::io::Write;
+
+/// One row of an experiment, as written to the JSON-lines log.
+#[derive(Debug, Clone, Serialize)]
+pub struct Record {
+    /// Experiment id, e.g. `fig7a`.
+    pub experiment: String,
+    /// Database label, e.g. `ItemsSHor`.
+    pub database: String,
+    /// Database size in bytes.
+    pub size_bytes: usize,
+    /// Fragment count (0 = not applicable).
+    pub fragments: usize,
+    /// Series label, e.g. `FragMode2-NT`.
+    pub series: String,
+    pub query: String,
+    pub centralized_s: f64,
+    pub distributed_s: f64,
+    pub speedup: f64,
+    pub sites: usize,
+    pub pruned: usize,
+    pub reconstructed: bool,
+    pub result_bytes: usize,
+}
+
+impl Record {
+    pub fn from_measurement(
+        experiment: &str,
+        database: &str,
+        size_bytes: usize,
+        fragments: usize,
+        series: &str,
+        m: &Measurement,
+    ) -> Record {
+        Record {
+            experiment: experiment.to_owned(),
+            database: database.to_owned(),
+            size_bytes,
+            fragments,
+            series: series.to_owned(),
+            query: m.query.clone(),
+            centralized_s: m.centralized_s,
+            distributed_s: m.distributed_s,
+            speedup: m.speedup,
+            sites: m.sites,
+            pruned: m.pruned,
+            reconstructed: m.reconstructed,
+            result_bytes: m.result_bytes,
+        }
+    }
+}
+
+/// Collects records, prints aligned tables, and optionally writes a
+/// JSON-lines log.
+pub struct Sink {
+    pub records: Vec<Record>,
+    log: Option<std::fs::File>,
+}
+
+impl Sink {
+    /// A sink that optionally appends JSON lines to `log_path`.
+    pub fn new(log_path: Option<&str>) -> Sink {
+        let log = log_path.map(|p| {
+            std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(p)
+                .unwrap_or_else(|e| panic!("cannot open {p}: {e}"))
+        });
+        Sink { records: Vec::new(), log }
+    }
+
+    pub fn push(&mut self, record: Record) {
+        if let Some(log) = &mut self.log {
+            let line = serde_json::to_string(&record).expect("record serializes");
+            let _ = writeln!(log, "{line}");
+        }
+        self.records.push(record);
+    }
+
+    /// Print one experiment's rows as a speedup table: queries down,
+    /// series (e.g. fragment counts) across.
+    pub fn print_speedup_table(&self, experiment: &str, size_bytes: usize) {
+        let rows: Vec<&Record> = self
+            .records
+            .iter()
+            .filter(|r| r.experiment == experiment && r.size_bytes == size_bytes)
+            .collect();
+        if rows.is_empty() {
+            return;
+        }
+        let mut series: Vec<String> = Vec::new();
+        let mut queries: Vec<String> = Vec::new();
+        for r in &rows {
+            if !series.contains(&r.series) {
+                series.push(r.series.clone());
+            }
+            if !queries.contains(&r.query) {
+                queries.push(r.query.clone());
+            }
+        }
+        println!(
+            "\n== {experiment} @ {} — speedup vs centralized (×; >1 means fragmented wins) ==",
+            human_bytes(size_bytes)
+        );
+        print!("{:<6}", "query");
+        print!("{:>12}", "central(s)");
+        for s in &series {
+            print!("{:>14}", s);
+        }
+        println!();
+        for q in &queries {
+            print!("{q:<6}");
+            let central = rows
+                .iter()
+                .find(|r| r.query == *q)
+                .map(|r| r.centralized_s)
+                .unwrap_or(0.0);
+            print!("{central:>12.5}");
+            for s in &series {
+                match rows.iter().find(|r| r.query == *q && r.series == *s) {
+                    Some(r) => {
+                        let marker = if r.reconstructed { "*" } else { "" };
+                        print!("{:>13.2}{}", r.speedup, if marker.is_empty() { " " } else { marker });
+                    }
+                    None => print!("{:>14}", "-"),
+                }
+            }
+            println!();
+        }
+        println!("   (* = answered via coordinator-side reconstruction)");
+    }
+}
+
+/// `5242880` → `5.0MB`.
+pub fn human_bytes(bytes: usize) -> String {
+    if bytes >= 1_048_576 {
+        format!("{:.1}MB", bytes as f64 / 1_048_576.0)
+    } else if bytes >= 1024 {
+        format!("{:.0}KB", bytes as f64 / 1024.0)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(q: &str, series: &str, speedup: f64) -> Record {
+        Record {
+            experiment: "figX".into(),
+            database: "db".into(),
+            size_bytes: 1024,
+            fragments: 2,
+            series: series.into(),
+            query: q.into(),
+            centralized_s: 1.0,
+            distributed_s: 1.0 / speedup,
+            speedup,
+            sites: 2,
+            pruned: 0,
+            reconstructed: false,
+            result_bytes: 10,
+        }
+    }
+
+    #[test]
+    fn sink_collects_and_prints() {
+        let mut sink = Sink::new(None);
+        sink.push(record("Q1", "2 frags", 1.5));
+        sink.push(record("Q1", "4 frags", 2.5));
+        sink.push(record("Q2", "2 frags", 0.8));
+        assert_eq!(sink.records.len(), 3);
+        sink.print_speedup_table("figX", 1024); // must not panic
+    }
+
+    #[test]
+    fn json_log_written() {
+        let path = std::env::temp_dir().join(format!("partix-log-{}.jsonl", std::process::id()));
+        let path_str = path.to_str().unwrap().to_owned();
+        {
+            let mut sink = Sink::new(Some(&path_str));
+            sink.push(record("Q1", "s", 2.0));
+        }
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("\"query\":\"Q1\""));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn human_bytes_formats() {
+        assert_eq!(human_bytes(512), "512B");
+        assert_eq!(human_bytes(5 * 1024), "5KB");
+        assert_eq!(human_bytes(5 * 1_048_576), "5.0MB");
+    }
+}

@@ -1,0 +1,336 @@
+//! # partix-cli
+//!
+//! Command implementations behind the `partix` binary: a small
+//! single-node workflow for loading XML files into a persistent
+//! database, querying it, and experimenting with fragmentation designs.
+//!
+//! ```text
+//! partix load  <db-dir> <collection> <file.xml>...   load documents
+//! partix query <db-dir> '<xquery>'                   run a query
+//! partix collections <db-dir>                        list collections
+//! partix fragment <db-dir> <collection> <path> <n>   auto-design + apply
+//! ```
+//!
+//! Every command is a plain function returning its report as a string, so
+//! the binary stays a thin argument-parsing shell and the behaviour is
+//! unit-testable.
+
+use partix_frag::Fragmenter;
+use partix_path::PathExpr;
+use partix_schema::{CollectionDef, RepoKind};
+use partix_storage::Database;
+use partix_xml::Document;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// CLI-level failure: message already formatted for the user.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Open an existing database directory, or start a fresh one.
+pub fn open_or_new(dir: &Path) -> Result<Database, CliError> {
+    if dir.join("MANIFEST").exists() {
+        Database::load_from(dir).map_err(|e| err(format!("cannot open {}: {e}", dir.display())))
+    } else {
+        Ok(Database::new())
+    }
+}
+
+/// `partix load`: parse XML files and store them into `collection`.
+/// Document names default to the file stem.
+pub fn load(dir: &Path, collection: &str, files: &[String]) -> Result<String, CliError> {
+    if files.is_empty() {
+        return Err(err("load: no input files given"));
+    }
+    let db = open_or_new(dir)?;
+    let mut count = 0usize;
+    let mut bytes = 0usize;
+    for file in files {
+        let text = std::fs::read_to_string(file)
+            .map_err(|e| err(format!("cannot read {file}: {e}")))?;
+        let mut doc = partix_xml::parse(&text)
+            .map_err(|e| err(format!("{file}: {e}")))?;
+        doc.name = Some(
+            Path::new(file)
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| format!("doc{count}")),
+        );
+        bytes += doc.approx_size();
+        db.store(collection, doc);
+        count += 1;
+    }
+    db.save_to(dir)
+        .map_err(|e| err(format!("cannot save {}: {e}", dir.display())))?;
+    Ok(format!(
+        "loaded {count} document(s) ({bytes} B) into collection {collection:?} at {}",
+        dir.display()
+    ))
+}
+
+/// `partix query`: run an XQuery against the database and render the
+/// result plus execution statistics.
+pub fn query(dir: &Path, text: &str) -> Result<String, CliError> {
+    let db = open_or_new(dir)?;
+    let out = db.execute(text).map_err(|e| err(e.to_string()))?;
+    let mut rendered = out.serialize();
+    if rendered.is_empty() {
+        rendered.push_str("(empty sequence)");
+    }
+    let _ = write!(
+        rendered,
+        "\n-- {} item(s) in {:.6}s, {} of {} document(s) scanned{}",
+        out.items.len(),
+        out.stats.elapsed,
+        out.stats.docs_scanned,
+        out.stats.collection_size,
+        if out.stats.index_used { ", index-assisted" } else { "" },
+    );
+    Ok(rendered)
+}
+
+/// `partix collections`: list stored collections with document counts and
+/// sizes.
+pub fn collections(dir: &Path) -> Result<String, CliError> {
+    let db = open_or_new(dir)?;
+    let names = db.collection_names();
+    if names.is_empty() {
+        return Ok("(no collections)".to_owned());
+    }
+    let mut out = String::new();
+    for name in names {
+        let docs = db.collection_len(&name).unwrap_or(0);
+        let bytes = db.collection_bytes(&name).unwrap_or(0);
+        let _ = writeln!(out, "{name}: {docs} document(s), {bytes} B");
+    }
+    Ok(out.trim_end().to_owned())
+}
+
+/// `partix fragment`: derive a balanced horizontal design for
+/// `collection` over the values of `by_path`, apply it, store each
+/// fragment as `<collection>.<fragment>`, verify the correctness rules,
+/// and persist.
+pub fn fragment(
+    dir: &Path,
+    collection: &str,
+    by_path: &str,
+    n: usize,
+) -> Result<String, CliError> {
+    let db = open_or_new(dir)?;
+    let docs_arc = partix_query::CollectionProvider::collection(&db, collection)
+        .map_err(|e| err(e.to_string()))?;
+    let docs: Vec<Document> = docs_arc.iter().map(|d| (**d).clone()).collect();
+    let path = PathExpr::parse(by_path).map_err(|e| err(e.to_string()))?;
+    // an on-the-fly schema is not available for ad-hoc data: build the
+    // collection descriptor without one (single-valuedness is then the
+    // caller's responsibility, checked at the data level below)
+    let root_label = docs
+        .first()
+        .map(|d| d.root_label().to_owned())
+        .ok_or_else(|| err(format!("collection {collection:?} is empty")))?;
+    let coll_def = CollectionDef::new(
+        collection,
+        std::sync::Arc::new(partix_schema::Schema::new(
+            collection,
+            infer_schema(&docs, &root_label),
+        )),
+        PathExpr::parse(&format!("/{root_label}")).map_err(|e| err(e.to_string()))?,
+        RepoKind::MultipleDocuments,
+    );
+    let design = partix_frag::horizontal_by_values(coll_def, &path, &docs, n)
+        .map_err(|e| err(e.to_string()))?;
+    let fragments = Fragmenter::new(design.clone()).fragment_all(&docs);
+    let report = partix_frag::check_correctness(&design, &docs, &fragments);
+    let mut out = String::new();
+    for frag in &design.fragments {
+        let _ = writeln!(out, "{frag}");
+    }
+    for (name, frag_docs) in &fragments {
+        let stored = format!("{collection}.{name}");
+        db.drop_collection(&stored);
+        db.store_all(&stored, frag_docs.iter().cloned());
+        let _ = writeln!(out, "stored {} document(s) as {stored:?}", frag_docs.len());
+    }
+    if report.is_correct() {
+        let _ = writeln!(out, "correctness: complete, disjoint, reconstructible ✓");
+    } else {
+        for v in &report.violations {
+            let _ = writeln!(out, "correctness violation: {v}");
+        }
+    }
+    db.save_to(dir)
+        .map_err(|e| err(format!("cannot save {}: {e}", dir.display())))?;
+    Ok(out.trim_end().to_owned())
+}
+
+/// Infer a permissive one-level schema from sample documents: enough for
+/// the auto-designer's single-valuedness check on direct children.
+fn infer_schema(docs: &[Document], root_label: &str) -> partix_schema::ElementDecl {
+    use partix_schema::{ElementDecl, Occurs};
+    use std::collections::HashMap;
+    // child label → (max occurrences in any doc, min occurrences)
+    let mut stats: HashMap<String, (u32, u32)> = HashMap::new();
+    for doc in docs {
+        let mut counts: HashMap<&str, u32> = HashMap::new();
+        for child in doc.root().child_elements() {
+            *counts.entry(child.label()).or_insert(0) += 1;
+        }
+        for (label, &count) in &counts {
+            let entry = stats.entry((*label).to_owned()).or_insert((0, u32::MAX));
+            entry.0 = entry.0.max(count);
+            entry.1 = entry.1.min(count);
+        }
+        // labels absent from this document have min 0
+        for (label, entry) in stats.iter_mut() {
+            if !counts.contains_key(label.as_str()) {
+                entry.1 = 0;
+            }
+        }
+    }
+    let children = stats
+        .into_iter()
+        .map(|(label, (max, min))| {
+            let occurs = Occurs {
+                min: min.min(1),
+                max: if max <= 1 { Some(1) } else { None },
+            };
+            // grandchildren are not modelled: a permissive leaf that also
+            // admits text keeps validation out of the way
+            (ElementDecl::leaf(&label), occurs)
+        })
+        .collect();
+    ElementDecl { name: root_label.to_owned(), text: false, attributes: Vec::new(), children }
+}
+
+/// Usage text.
+pub const USAGE: &str = "partix — fragmented XML repositories (PartiX)
+
+USAGE
+  partix load <db-dir> <collection> <file.xml>...   load XML documents
+  partix query <db-dir> '<xquery>'                  run an XQuery
+  partix collections <db-dir>                       list collections
+  partix fragment <db-dir> <collection> <path> <n>  derive & apply a
+                                                    balanced horizontal
+                                                    design by <path> values
+
+EXAMPLE
+  partix load ./db items item1.xml item2.xml
+  partix query ./db 'count(collection(\"items\")/Item)'
+  partix fragment ./db items /Item/Section 2";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("partix-cli-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn write_items(dir: &Path, n: usize) -> Vec<String> {
+        (0..n)
+            .map(|i| {
+                let path = dir.join(format!("item{i}.xml"));
+                let section = ["CD", "DVD", "BOOK"][i % 3];
+                std::fs::write(
+                    &path,
+                    format!("<Item><Code>{i}</Code><Section>{section}</Section></Item>"),
+                )
+                .unwrap();
+                path.to_string_lossy().into_owned()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn load_query_roundtrip() {
+        let dir = tmp("loadquery");
+        let db_dir = dir.join("db");
+        let files = write_items(&dir, 6);
+        let msg = load(&db_dir, "items", &files).unwrap();
+        assert!(msg.contains("loaded 6 document(s)"));
+        let out = query(
+            &db_dir,
+            r#"count(for $i in collection("items")/Item where $i/Section = "CD" return $i)"#,
+        )
+        .unwrap();
+        assert!(out.starts_with('2'), "{out}");
+        assert!(out.contains("1 item(s)"));
+        let listing = collections(&db_dir).unwrap();
+        assert!(listing.contains("items: 6 document(s)"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_is_incremental_across_invocations() {
+        let dir = tmp("increment");
+        let db_dir = dir.join("db");
+        let files = write_items(&dir, 2);
+        load(&db_dir, "items", &files[..1]).unwrap();
+        load(&db_dir, "items", &files[1..]).unwrap();
+        let out = query(&db_dir, r#"count(collection("items")/Item)"#).unwrap();
+        assert!(out.starts_with('2'), "{out}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fragment_command_partitions_and_verifies() {
+        let dir = tmp("fragment");
+        let db_dir = dir.join("db");
+        let files = write_items(&dir, 9);
+        load(&db_dir, "items", &files).unwrap();
+        let out = fragment(&db_dir, "items", "/Item/Section", 2).unwrap();
+        assert!(out.contains("correctness: complete, disjoint, reconstructible"), "{out}");
+        // fragments were persisted as collections
+        let listing = collections(&db_dir).unwrap();
+        assert!(listing.contains("items.f0:"), "{listing}");
+        assert!(listing.contains("items.f1:"), "{listing}");
+        // fragment contents are queryable
+        let c0 = query(&db_dir, r#"count(collection("items.f0")/Item)"#).unwrap();
+        let c1 = query(&db_dir, r#"count(collection("items.f1")/Item)"#).unwrap();
+        let n0: usize = c0.lines().next().unwrap().parse().unwrap();
+        let n1: usize = c1.lines().next().unwrap().parse().unwrap();
+        assert_eq!(n0 + n1, 9);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn errors_are_user_readable() {
+        let dir = tmp("errors");
+        let db_dir = dir.join("db");
+        assert!(load(&db_dir, "items", &[]).is_err());
+        let bad = dir.join("bad.xml");
+        std::fs::write(&bad, "<a><b></a>").unwrap();
+        let e = load(&db_dir, "items", &[bad.to_string_lossy().into_owned()]).unwrap_err();
+        assert!(e.0.contains("bad.xml"));
+        let e = query(&db_dir, "for $").unwrap_err();
+        assert!(e.0.contains("parse error"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fragment_too_few_values_reported() {
+        let dir = tmp("fewvalues");
+        let db_dir = dir.join("db");
+        let path = dir.join("only.xml");
+        std::fs::write(&path, "<Item><Code>1</Code><Section>CD</Section></Item>").unwrap();
+        load(&db_dir, "items", &[path.to_string_lossy().into_owned()]).unwrap();
+        let e = fragment(&db_dir, "items", "/Item/Section", 3).unwrap_err();
+        assert!(e.0.contains("distinct"), "{e}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,41 @@
+//! The `partix` binary — see [`partix_cli::USAGE`].
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("load") if args.len() >= 4 => {
+            partix_cli::load(Path::new(&args[1]), &args[2], &args[3..])
+        }
+        Some("query") if args.len() == 3 => partix_cli::query(Path::new(&args[1]), &args[2]),
+        Some("collections") if args.len() == 2 => {
+            partix_cli::collections(Path::new(&args[1]))
+        }
+        Some("fragment") if args.len() == 5 => {
+            let n: usize = match args[4].parse() {
+                Ok(n) => n,
+                Err(_) => {
+                    eprintln!("fragment: <n> must be a number");
+                    return ExitCode::FAILURE;
+                }
+            };
+            partix_cli::fragment(Path::new(&args[1]), &args[2], &args[3], n)
+        }
+        _ => {
+            println!("{}", partix_cli::USAGE);
+            return ExitCode::SUCCESS;
+        }
+    };
+    match result {
+        Ok(report) => {
+            println!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

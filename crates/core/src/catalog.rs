@@ -1,0 +1,210 @@
+//! The catalog services: schemas, collections, distributions.
+
+use partix_frag::FragmentationSchema;
+use partix_schema::Schema;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Where one fragment lives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    /// Fragment name (as in the [`FragmentationSchema`]).
+    pub fragment: String,
+    /// Cluster node index.
+    pub node: usize,
+}
+
+/// A registered distribution: the fragmentation design of one collection
+/// plus the allocation of its fragments to nodes.
+#[derive(Debug, Clone)]
+pub struct Distribution {
+    pub design: FragmentationSchema,
+    pub placements: Vec<Placement>,
+}
+
+impl Distribution {
+    /// Primary node hosting `fragment`, if placed (first placement).
+    pub fn node_of(&self, fragment: &str) -> Option<usize> {
+        self.placements
+            .iter()
+            .find(|p| p.fragment == fragment)
+            .map(|p| p.node)
+    }
+
+    /// Every node hosting a replica of `fragment`, in placement order.
+    pub fn nodes_of(&self, fragment: &str) -> Vec<usize> {
+        self.placements
+            .iter()
+            .filter(|p| p.fragment == fragment)
+            .map(|p| p.node)
+            .collect()
+    }
+
+    /// Every fragment must be placed on at least one node; replicas (the
+    /// same fragment on several nodes) are allowed but must not repeat a
+    /// node.
+    pub fn validate(&self) -> Result<(), String> {
+        for frag in &self.design.fragments {
+            let nodes = self.nodes_of(&frag.name);
+            if nodes.is_empty() {
+                return Err(format!(
+                    "fragment {} has no placement, expected at least 1",
+                    frag.name
+                ));
+            }
+            let distinct: std::collections::HashSet<usize> = nodes.iter().copied().collect();
+            if distinct.len() != nodes.len() {
+                return Err(format!(
+                    "fragment {} is placed twice on the same node",
+                    frag.name
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The XML Schema Catalog Service and XML Distribution Catalog Service
+/// (paper Sec. 4), merged into one registry.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    schemas: HashMap<String, Arc<Schema>>,
+    distributions: HashMap<String, Distribution>,
+}
+
+impl Catalog {
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Register a data-type schema.
+    pub fn register_schema(&mut self, schema: Arc<Schema>) {
+        self.schemas.insert(schema.name.clone(), schema);
+    }
+
+    pub fn schema(&self, name: &str) -> Option<&Arc<Schema>> {
+        self.schemas.get(name)
+    }
+
+    /// Register a collection's fragmentation design + allocation. The
+    /// design is validated (fragment rules and placement completeness).
+    pub fn register_distribution(
+        &mut self,
+        distribution: Distribution,
+    ) -> Result<(), String> {
+        distribution.design.validate().map_err(|e| e.to_string())?;
+        distribution.validate()?;
+        let name = distribution.design.collection.name.clone();
+        self.distributions.insert(name, distribution);
+        Ok(())
+    }
+
+    /// Distribution of a collection, if fragmented.
+    pub fn distribution(&self, collection: &str) -> Option<&Distribution> {
+        self.distributions.get(collection)
+    }
+
+    /// Names of all distributed collections.
+    pub fn distributed_collections(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.distributions.keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partix_frag::FragmentDef;
+    use partix_path::{PathExpr, Predicate};
+    use partix_schema::builtin::virtual_store;
+    use partix_schema::{CollectionDef, RepoKind};
+
+    fn design() -> FragmentationSchema {
+        let citems = CollectionDef::new(
+            "items",
+            Arc::new(virtual_store()),
+            PathExpr::parse("/Store/Items/Item").unwrap(),
+            RepoKind::MultipleDocuments,
+        );
+        FragmentationSchema::new(
+            citems,
+            vec![
+                FragmentDef::horizontal(
+                    "f_cd",
+                    Predicate::parse(r#"/Item/Section = "CD""#).unwrap(),
+                ),
+                FragmentDef::horizontal(
+                    "f_rest",
+                    Predicate::parse(r#"not(/Item/Section = "CD")"#).unwrap(),
+                ),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut cat = Catalog::new();
+        cat.register_schema(Arc::new(virtual_store()));
+        assert!(cat.schema("virtual_store").is_some());
+        cat.register_distribution(Distribution {
+            design: design(),
+            placements: vec![
+                Placement { fragment: "f_cd".into(), node: 0 },
+                Placement { fragment: "f_rest".into(), node: 1 },
+            ],
+        })
+        .unwrap();
+        let dist = cat.distribution("items").unwrap();
+        assert_eq!(dist.node_of("f_cd"), Some(0));
+        assert_eq!(dist.node_of("f_rest"), Some(1));
+        assert_eq!(dist.node_of("zzz"), None);
+        assert_eq!(cat.distributed_collections(), ["items"]);
+    }
+
+    #[test]
+    fn missing_placement_rejected() {
+        let mut cat = Catalog::new();
+        let err = cat
+            .register_distribution(Distribution {
+                design: design(),
+                placements: vec![Placement { fragment: "f_cd".into(), node: 0 }],
+            })
+            .unwrap_err();
+        assert!(err.contains("f_rest"));
+    }
+
+    #[test]
+    fn replicas_allowed_on_distinct_nodes() {
+        let mut cat = Catalog::new();
+        cat.register_distribution(Distribution {
+            design: design(),
+            placements: vec![
+                Placement { fragment: "f_cd".into(), node: 0 },
+                Placement { fragment: "f_cd".into(), node: 1 },
+                Placement { fragment: "f_rest".into(), node: 1 },
+            ],
+        })
+        .unwrap();
+        let dist = cat.distribution("items").unwrap();
+        assert_eq!(dist.nodes_of("f_cd"), [0, 1]);
+        assert_eq!(dist.node_of("f_cd"), Some(0));
+    }
+
+    #[test]
+    fn duplicate_replica_on_same_node_rejected() {
+        let mut cat = Catalog::new();
+        let err = cat
+            .register_distribution(Distribution {
+                design: design(),
+                placements: vec![
+                    Placement { fragment: "f_cd".into(), node: 0 },
+                    Placement { fragment: "f_cd".into(), node: 0 },
+                    Placement { fragment: "f_rest".into(), node: 1 },
+                ],
+            })
+            .unwrap_err();
+        assert!(err.contains("f_cd"));
+    }
+}

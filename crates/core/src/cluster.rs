@@ -1,0 +1,183 @@
+//! Cluster nodes and the network model.
+
+use crate::driver::PartixDriver;
+use partix_storage::Database;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// One cluster node: a sequential XML DBMS plus availability state.
+///
+/// By default the node's data path goes to its embedded
+/// [`Database`]; installing a [`PartixDriver`] with [`Node::set_driver`]
+/// reroutes queries, stores and fetches through it instead — the paper's
+/// pluggable-DBMS architecture.
+pub struct Node {
+    pub id: usize,
+    pub name: String,
+    pub db: Database,
+    driver: parking_lot::RwLock<Option<Arc<dyn PartixDriver>>>,
+    available: AtomicBool,
+}
+
+impl Node {
+    pub fn new(id: usize) -> Node {
+        Node {
+            id,
+            name: format!("node{id}"),
+            db: Database::new(),
+            driver: parking_lot::RwLock::new(None),
+            available: AtomicBool::new(true),
+        }
+    }
+
+    /// Install a custom DBMS driver on this node (replacing the embedded
+    /// [`Database`] for queries, stores and fetches).
+    pub fn set_driver(&self, driver: Arc<dyn PartixDriver>) {
+        *self.driver.write() = Some(driver);
+    }
+
+    /// Remove a custom driver, returning to the embedded database.
+    pub fn clear_driver(&self) {
+        *self.driver.write() = None;
+    }
+
+    /// Execute a query through the active driver.
+    pub fn execute_query(
+        &self,
+        query: &partix_query::Query,
+    ) -> Result<Option<partix_storage::QueryOutput>, String> {
+        match &*self.driver.read() {
+            Some(driver) => driver.execute(query),
+            None => PartixDriver::execute(&self.db, query),
+        }
+    }
+
+    /// Store documents through the active driver.
+    pub fn store_docs(&self, collection: &str, docs: Vec<partix_xml::Document>) {
+        match &*self.driver.read() {
+            Some(driver) => driver.store(collection, docs),
+            None => PartixDriver::store(&self.db, collection, docs),
+        }
+    }
+
+    /// Fetch a whole collection through the active driver.
+    pub fn fetch_docs(&self, collection: &str) -> Vec<Arc<partix_xml::Document>> {
+        match &*self.driver.read() {
+            Some(driver) => driver.fetch_collection(collection),
+            None => PartixDriver::fetch_collection(&self.db, collection),
+        }
+    }
+
+    pub fn is_available(&self) -> bool {
+        self.available.load(Ordering::Acquire)
+    }
+
+    /// Mark the node down/up — used for failure-injection tests.
+    pub fn set_available(&self, up: bool) {
+        self.available.store(up, Ordering::Release);
+    }
+}
+
+/// The set of nodes PartiX coordinates.
+pub struct Cluster {
+    nodes: Vec<Arc<Node>>,
+}
+
+impl Cluster {
+    /// A cluster of `n` fresh nodes.
+    pub fn new(n: usize) -> Cluster {
+        assert!(n > 0, "a cluster needs at least one node");
+        Cluster { nodes: (0..n).map(|i| Arc::new(Node::new(i))).collect() }
+    }
+
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    pub fn node(&self, id: usize) -> Option<&Arc<Node>> {
+        self.nodes.get(id)
+    }
+
+    pub fn nodes(&self) -> &[Arc<Node>] {
+        &self.nodes
+    }
+}
+
+/// The simulated interconnect (paper Sec. 5: transmission time is the
+/// result size divided by the Gigabit Ethernet speed; sub-query text is
+/// charged one latency each way).
+#[derive(Debug, Clone, Copy)]
+pub struct NetworkModel {
+    /// Usable bandwidth in bytes per second.
+    pub bandwidth_bytes_per_sec: f64,
+    /// One-way message latency in seconds.
+    pub latency_secs: f64,
+}
+
+impl Default for NetworkModel {
+    /// Gigabit Ethernet: 1 Gbit/s ≈ 125 MB/s, 0.1 ms latency.
+    fn default() -> NetworkModel {
+        NetworkModel { bandwidth_bytes_per_sec: 125_000_000.0, latency_secs: 0.000_1 }
+    }
+}
+
+impl NetworkModel {
+    /// Time to move `bytes` across one link, including latency.
+    pub fn transmission_time(&self, bytes: usize) -> f64 {
+        self.latency_secs + bytes as f64 / self.bandwidth_bytes_per_sec
+    }
+
+    /// An infinitely fast network — used to report results "without the
+    /// transmission times" as the paper's FragModeX-NT series do.
+    pub fn instantaneous() -> NetworkModel {
+        NetworkModel { bandwidth_bytes_per_sec: f64::INFINITY, latency_secs: 0.0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_creation() {
+        let c = Cluster::new(4);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.node(2).unwrap().name, "node2");
+        assert!(c.node(4).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_cluster_panics() {
+        let _ = Cluster::new(0);
+    }
+
+    #[test]
+    fn availability_toggles() {
+        let c = Cluster::new(1);
+        let n = c.node(0).unwrap();
+        assert!(n.is_available());
+        n.set_available(false);
+        assert!(!n.is_available());
+    }
+
+    #[test]
+    fn gigabit_transmission_times() {
+        let net = NetworkModel::default();
+        // 125 MB at 125 MB/s ≈ 1 s (+latency)
+        let t = net.transmission_time(125_000_000);
+        assert!((t - 1.000_1).abs() < 1e-9);
+        // small messages are latency-dominated
+        assert!(net.transmission_time(100) < 0.001);
+    }
+
+    #[test]
+    fn instantaneous_network_is_free() {
+        let net = NetworkModel::instantaneous();
+        assert_eq!(net.transmission_time(1_000_000_000), 0.0);
+    }
+}

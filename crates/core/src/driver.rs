@@ -1,0 +1,179 @@
+//! The PartiX Driver — the uniform interface between the middleware and
+//! the XML DBMS running on each node (paper Sec. 4: *"Our architecture
+//! considers that there is a PartiX Driver, which allows accessing remote
+//! DBMSs to store and retrieve XML documents. … The PartiX driver allows
+//! different XML DBMSs to participate in the system. The only requirement
+//! is that they are able to process XQuery."*)
+//!
+//! [`partix_storage::Database`] is the built-in implementation; any other
+//! XQuery-capable engine can participate by implementing [`PartixDriver`]
+//! and installing it on a node with [`Node::set_driver`](crate::Node::set_driver).
+//! [`InstrumentedDriver`] wraps another driver with fault and latency
+//! injection — used by the failure tests and useful for resilience
+//! experiments.
+
+use partix_query::Query;
+use partix_storage::{Database, QueryOutput};
+use partix_xml::Document;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// What each node-side DBMS must provide.
+pub trait PartixDriver: Send + Sync {
+    /// Execute an XQuery. `Ok(None)` means the queried collection does
+    /// not exist on this node (an empty fragment — answered upstream with
+    /// an empty result); `Err` is a genuine execution failure.
+    fn execute(&self, query: &Query) -> Result<Option<QueryOutput>, String>;
+
+    /// Store documents into a named collection (created on demand).
+    fn store(&self, collection: &str, docs: Vec<Document>);
+
+    /// Fetch a whole collection (empty when absent) — used by the
+    /// reconstruction fallback.
+    fn fetch_collection(&self, collection: &str) -> Vec<Arc<Document>>;
+
+    /// Names of the collections this node holds.
+    fn collections(&self) -> Vec<String>;
+}
+
+impl PartixDriver for Database {
+    fn execute(&self, query: &Query) -> Result<Option<QueryOutput>, String> {
+        match self.execute_parsed(query) {
+            Ok(out) => Ok(Some(out)),
+            Err(partix_storage::exec::ExecError::Eval(
+                partix_query::EvalError::UnknownCollection(_),
+            )) => Ok(None),
+            Err(other) => Err(other.to_string()),
+        }
+    }
+
+    fn store(&self, collection: &str, docs: Vec<Document>) {
+        self.store_all(collection, docs);
+    }
+
+    fn fetch_collection(&self, collection: &str) -> Vec<Arc<Document>> {
+        partix_query::CollectionProvider::collection(self, collection).unwrap_or_default()
+    }
+
+    fn collections(&self) -> Vec<String> {
+        self.collection_names()
+    }
+}
+
+/// A wrapper driver injecting failures and artificial service delay —
+/// a stand-in for a flaky or slow remote DBMS.
+pub struct InstrumentedDriver {
+    inner: Arc<dyn PartixDriver>,
+    failing: AtomicBool,
+    /// Extra seconds charged onto every query's reported elapsed time.
+    delay_secs: f64,
+    calls: AtomicUsize,
+}
+
+impl InstrumentedDriver {
+    pub fn new(inner: Arc<dyn PartixDriver>) -> InstrumentedDriver {
+        InstrumentedDriver {
+            inner,
+            failing: AtomicBool::new(false),
+            delay_secs: 0.0,
+            calls: AtomicUsize::new(0),
+        }
+    }
+
+    /// Charge `delay_secs` of service time onto every query.
+    pub fn with_delay(mut self, delay_secs: f64) -> InstrumentedDriver {
+        self.delay_secs = delay_secs;
+        self
+    }
+
+    /// Make every subsequent query fail (simulating a DBMS crash that
+    /// leaves the node reachable).
+    pub fn set_failing(&self, failing: bool) {
+        self.failing.store(failing, Ordering::Release);
+    }
+
+    /// Queries served so far.
+    pub fn calls(&self) -> usize {
+        self.calls.load(Ordering::Acquire)
+    }
+}
+
+impl PartixDriver for InstrumentedDriver {
+    fn execute(&self, query: &Query) -> Result<Option<QueryOutput>, String> {
+        self.calls.fetch_add(1, Ordering::AcqRel);
+        if self.failing.load(Ordering::Acquire) {
+            return Err("injected DBMS failure".into());
+        }
+        let mut out = self.inner.execute(query)?;
+        if let Some(out) = &mut out {
+            out.stats.elapsed += self.delay_secs;
+        }
+        Ok(out)
+    }
+
+    fn store(&self, collection: &str, docs: Vec<Document>) {
+        self.inner.store(collection, docs);
+    }
+
+    fn fetch_collection(&self, collection: &str) -> Vec<Arc<Document>> {
+        self.inner.fetch_collection(collection)
+    }
+
+    fn collections(&self) -> Vec<String> {
+        self.inner.collections()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partix_query::parse_query;
+    use partix_xml::parse;
+
+    fn db_with_items() -> Arc<Database> {
+        let db = Database::new();
+        for i in 0..4 {
+            let mut d = parse(&format!("<Item><Code>{i}</Code></Item>")).unwrap();
+            d.name = Some(format!("i{i}"));
+            db.store("items", d);
+        }
+        Arc::new(db)
+    }
+
+    #[test]
+    fn database_driver_roundtrip() {
+        let db = db_with_items();
+        let driver: &dyn PartixDriver = &*db;
+        let q = parse_query(r#"count(collection("items")/Item)"#).unwrap();
+        let out = driver.execute(&q).unwrap().unwrap();
+        assert_eq!(out.items[0], partix_query::Item::Num(4.0));
+        assert_eq!(driver.collections(), ["items"]);
+        assert_eq!(driver.fetch_collection("items").len(), 4);
+        assert!(driver.fetch_collection("nope").is_empty());
+        // unknown collection is an empty fragment, not a failure
+        let q = parse_query(r#"count(collection("absent")/x)"#).unwrap();
+        assert!(driver.execute(&q).unwrap().is_none());
+    }
+
+    #[test]
+    fn instrumented_driver_injects_failures_and_delay() {
+        let db = db_with_items();
+        let driver = InstrumentedDriver::new(db).with_delay(0.25);
+        let q = parse_query(r#"count(collection("items")/Item)"#).unwrap();
+        let out = driver.execute(&q).unwrap().unwrap();
+        assert!(out.stats.elapsed >= 0.25);
+        driver.set_failing(true);
+        assert!(driver.execute(&q).is_err());
+        driver.set_failing(false);
+        assert!(driver.execute(&q).is_ok());
+        assert_eq!(driver.calls(), 3);
+    }
+
+    #[test]
+    fn driver_store_creates_collections() {
+        let db = Arc::new(Database::new());
+        let driver = InstrumentedDriver::new(Arc::clone(&db) as Arc<dyn PartixDriver>);
+        driver.store("c", vec![parse("<a/>").unwrap()]);
+        assert_eq!(driver.collections(), ["c"]);
+    }
+}

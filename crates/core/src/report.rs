@@ -1,0 +1,132 @@
+//! Query execution reports: the numbers the paper's figures plot.
+
+use std::fmt;
+
+/// Execution record of one sub-query at one site.
+#[derive(Debug, Clone)]
+pub struct SiteReport {
+    pub node: usize,
+    pub fragment: String,
+    /// DBMS-side execution time (seconds).
+    pub elapsed: f64,
+    /// Result size shipped back to the coordinator (bytes).
+    pub result_bytes: usize,
+    /// Documents fed to the node's evaluator.
+    pub docs_scanned: usize,
+    /// Whether the node used an index to pre-filter.
+    pub index_used: bool,
+}
+
+/// Full timing breakdown of one distributed query, following the paper's
+/// measurement methodology (Sec. 5): sub-queries run in parallel at their
+/// sites; the parallel elapsed time is the slowest site; transmission
+/// time covers sending sub-queries and shipping partial results; result
+/// composition happens at the coordinator.
+#[derive(Debug, Clone, Default)]
+pub struct QueryReport {
+    pub sites: Vec<SiteReport>,
+    /// max over sites of the DBMS execution time.
+    pub parallel_elapsed: f64,
+    /// Σ over sites — what a serial execution of the sub-queries would
+    /// cost (used to sanity-check superlinear speedups).
+    pub serial_elapsed: f64,
+    /// Modelled network time (sub-query dispatch + result shipping).
+    pub transmission: f64,
+    /// Coordinator-side composition (union / aggregation / join).
+    pub composition: f64,
+    /// Number of fragments the localization step pruned away.
+    pub fragments_pruned: usize,
+    /// True when the query was answered by reconstructing fragments at
+    /// the coordinator (multi-fragment vertical fallback).
+    pub reconstructed: bool,
+}
+
+impl QueryReport {
+    /// The paper's reported response time: parallel execution + network +
+    /// composition.
+    pub fn total(&self) -> f64 {
+        self.parallel_elapsed + self.transmission + self.composition
+    }
+
+    /// Total bytes shipped from sites to the coordinator.
+    pub fn total_result_bytes(&self) -> usize {
+        self.sites.iter().map(|s| s.result_bytes).sum()
+    }
+}
+
+impl fmt::Display for QueryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "total {:.6}s = parallel {:.6}s + net {:.6}s + compose {:.6}s ({} site(s), {} pruned{})",
+            self.total(),
+            self.parallel_elapsed,
+            self.transmission,
+            self.composition,
+            self.sites.len(),
+            self.fragments_pruned,
+            if self.reconstructed { ", reconstructed" } else { "" },
+        )?;
+        for site in &self.sites {
+            writeln!(
+                f,
+                "  node{} [{}]: {:.6}s, {} docs, {} B{}",
+                site.node,
+                site.fragment,
+                site.elapsed,
+                site.docs_scanned,
+                site.result_bytes,
+                if site.index_used { ", index" } else { "" },
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site(node: usize, elapsed: f64, bytes: usize) -> SiteReport {
+        SiteReport {
+            node,
+            fragment: format!("f{node}"),
+            elapsed,
+            result_bytes: bytes,
+            docs_scanned: 10,
+            index_used: false,
+        }
+    }
+
+    #[test]
+    fn totals_add_up() {
+        let report = QueryReport {
+            sites: vec![site(0, 0.5, 100), site(1, 0.2, 50)],
+            parallel_elapsed: 0.5,
+            serial_elapsed: 0.7,
+            transmission: 0.1,
+            composition: 0.05,
+            fragments_pruned: 1,
+            reconstructed: false,
+        };
+        assert!((report.total() - 0.65).abs() < 1e-12);
+        assert_eq!(report.total_result_bytes(), 150);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let report = QueryReport {
+            sites: vec![site(0, 0.5, 100)],
+            parallel_elapsed: 0.5,
+            serial_elapsed: 0.5,
+            transmission: 0.0,
+            composition: 0.0,
+            fragments_pruned: 2,
+            reconstructed: true,
+        };
+        let text = report.to_string();
+        assert!(text.contains("node0"));
+        assert!(text.contains("reconstructed"));
+        assert!(text.contains("2 pruned"));
+    }
+}

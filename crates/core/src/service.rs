@@ -1,0 +1,915 @@
+//! The Distributed Query Service.
+//!
+//! Receives an XQuery, consults the catalogs, decomposes it into
+//! per-fragment sub-queries, runs them in parallel (one thread per
+//! involved node), and composes the final answer (paper Sec. 4 and
+//! Figure 5).
+//!
+//! Decomposition strategy by fragment family:
+//!
+//! * **horizontal** — the sub-query is the original query with the
+//!   collection renamed to the fragment; results compose by `∪`
+//!   (concatenation) or by distributive-aggregate combination.
+//! * **hybrid, FragMode2** — fragment documents keep the source shape, so
+//!   renaming suffices there too.
+//! * **vertical / hybrid FragMode1** — paths are re-rooted onto the
+//!   fragment's documents ([`partix_query::rewrite`]). When a query needs
+//!   data from several vertical fragments at once (the rewrite fails),
+//!   the service falls back to *reconstruct-then-evaluate*: it fetches
+//!   the fragments, rebuilds the source documents with the Dewey join,
+//!   and runs the original query at the coordinator — the expensive path
+//!   the paper identifies for multi-fragment queries.
+
+use crate::catalog::{Catalog, Distribution};
+use crate::cluster::{Cluster, NetworkModel, Node};
+use crate::compose::{self, Composition};
+use crate::localize;
+use crate::report::{QueryReport, SiteReport};
+use parking_lot::RwLock;
+use parking_lot::RwLockReadGuard;
+use partix_frag::{FragMode, FragOp};
+use partix_query::rewrite::{rewrite_collection_name, rewrite_for_vertical};
+use partix_query::{parse_query, pushdown, Query, Sequence};
+use partix_storage::{Database, QueryOutput};
+use partix_xml::Document;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Errors surfaced by the middleware.
+#[derive(Debug)]
+pub enum PartixError {
+    Parse(partix_query::QueryParseError),
+    /// The query references a collection with no registered distribution
+    /// and no centralized copy on node 0.
+    NoDistribution(String),
+    /// A node required by the query is down.
+    NodeUnavailable { node: usize, fragment: String },
+    /// A sub-query failed on its node.
+    SubQuery { node: usize, fragment: String, error: String },
+    /// Fragment reconstruction failed (correctness violation at runtime).
+    Reconstruction(String),
+    Internal(String),
+}
+
+impl fmt::Display for PartixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartixError::Parse(e) => write!(f, "{e}"),
+            PartixError::NoDistribution(c) => {
+                write!(f, "collection {c:?} has no registered distribution")
+            }
+            PartixError::NodeUnavailable { node, fragment } => {
+                write!(f, "node {node} (fragment {fragment}) is unavailable")
+            }
+            PartixError::SubQuery { node, fragment, error } => {
+                write!(f, "sub-query on node {node} (fragment {fragment}) failed: {error}")
+            }
+            PartixError::Reconstruction(msg) => write!(f, "reconstruction failed: {msg}"),
+            PartixError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PartixError {}
+
+/// Result of a distributed query: the composed items plus the timing
+/// breakdown.
+#[derive(Debug, Clone)]
+pub struct DistributedResult {
+    pub items: Sequence,
+    pub report: QueryReport,
+}
+
+/// How sub-queries reach their nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DispatchMode {
+    /// Execute sub-queries sequentially and *model* parallelism: the
+    /// parallel elapsed time is the slowest site. This is exactly the
+    /// paper's measurement methodology (Sec. 5) and gives clean numbers
+    /// on shared hardware. The composed *results* are identical to
+    /// threaded dispatch.
+    #[default]
+    Simulated,
+    /// One thread per sub-query — real wall-clock parallelism when the
+    /// host has cores to spare.
+    Threads,
+}
+
+/// The PartiX middleware instance.
+pub struct PartiX {
+    catalog: RwLock<Catalog>,
+    cluster: Cluster,
+    network: NetworkModel,
+    dispatch: DispatchMode,
+    localization: std::sync::atomic::AtomicBool,
+}
+
+impl PartiX {
+    /// A middleware over `nodes` fresh DBMS nodes.
+    pub fn new(nodes: usize, network: NetworkModel) -> PartiX {
+        PartiX {
+            catalog: RwLock::new(Catalog::new()),
+            cluster: Cluster::new(nodes),
+            network,
+            dispatch: DispatchMode::default(),
+            localization: std::sync::atomic::AtomicBool::new(true),
+        }
+    }
+
+    /// Enable/disable data localization (fragment pruning). With it off,
+    /// every fragment receives a sub-query — the ablation quantifying the
+    /// paper's localization claim ("sub-queries are issued only to the
+    /// corresponding fragments").
+    pub fn set_localization_enabled(&self, enabled: bool) {
+        self.localization
+            .store(enabled, std::sync::atomic::Ordering::Release);
+    }
+
+    /// Whether data localization is enabled.
+    pub fn localization_enabled(&self) -> bool {
+        self.localization.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// Select threaded or simulated dispatch (see [`DispatchMode`]).
+    pub fn set_dispatch(&mut self, dispatch: DispatchMode) {
+        self.dispatch = dispatch;
+    }
+
+    pub fn dispatch_mode(&self) -> DispatchMode {
+        self.dispatch
+    }
+
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    pub fn network(&self) -> NetworkModel {
+        self.network
+    }
+
+    /// Change the network model (e.g. [`NetworkModel::instantaneous`] to
+    /// report times "without transmission" as the paper's -NT series).
+    pub fn set_network(&mut self, network: NetworkModel) {
+        self.network = network;
+    }
+
+    pub fn catalog(&self) -> RwLockReadGuard<'_, Catalog> {
+        self.catalog.read()
+    }
+
+    pub fn register_schema(&self, schema: Arc<partix_schema::Schema>) {
+        self.catalog.write().register_schema(schema);
+    }
+
+    pub fn register_distribution(&self, dist: Distribution) -> Result<(), PartixError> {
+        self.catalog
+            .write()
+            .register_distribution(dist)
+            .map_err(PartixError::Internal)
+    }
+
+    /// Execute an XQuery over the distributed repository.
+    pub fn execute(&self, text: &str) -> Result<DistributedResult, PartixError> {
+        let query = parse_query(text).map_err(PartixError::Parse)?;
+        self.execute_query(&query)
+    }
+
+    /// Execute the centralized baseline: the query as-is against one
+    /// node's database (which must hold the unfragmented collection).
+    pub fn execute_centralized(
+        &self,
+        node: usize,
+        text: &str,
+    ) -> Result<QueryOutput, PartixError> {
+        let node = self
+            .cluster
+            .node(node)
+            .ok_or_else(|| PartixError::Internal(format!("node {node} missing")))?;
+        node.db.execute(text).map_err(|e| PartixError::SubQuery {
+            node: node.id,
+            fragment: "<centralized>".into(),
+            error: e.to_string(),
+        })
+    }
+
+    /// Execute a parsed query.
+    pub fn execute_query(&self, query: &Query) -> Result<DistributedResult, PartixError> {
+        let catalog = self.catalog.read();
+        // the first collection with a registered distribution drives
+        // decomposition
+        let target = query
+            .collections()
+            .into_iter()
+            .find(|c| catalog.distribution(c).is_some());
+        let Some(collection) = target else {
+            drop(catalog);
+            return self.passthrough(query);
+        };
+        let dist = catalog.distribution(&collection).expect("checked above").clone();
+        drop(catalog);
+
+        let analysis = pushdown::analyze(query);
+        let relevant = if self.localization_enabled() {
+            localize::relevant_fragments(&dist.design, analysis.as_ref())
+        } else {
+            (0..dist.design.fragments.len()).collect()
+        };
+        let pruned = dist.design.fragments.len() - relevant.len();
+
+        // build one sub-query per relevant fragment
+        let mut tasks: Vec<SubQuery> = Vec::with_capacity(relevant.len());
+        let mut needs_reconstruction = false;
+        for &idx in &relevant {
+            let frag = &dist.design.fragments[idx];
+            let node = self.pick_replica(&dist, &frag.name)?;
+            match build_subquery(query, &collection, frag, analysis.as_ref()) {
+                Some(sub) => tasks.push(SubQuery { node, fragment: frag.name.clone(), query: sub }),
+                None => {
+                    needs_reconstruction = true;
+                    break;
+                }
+            }
+        }
+        if needs_reconstruction {
+            return self.reconstruct_and_evaluate(query, &collection, &dist, pruned);
+        }
+
+        let composition = compose::classify(query);
+        // avg decomposes into (sum, count) per site
+        let avg_parts = if composition == Composition::Avg {
+            Some(())
+        } else {
+            None
+        };
+
+        let outputs = self.dispatch(&tasks, avg_parts.is_some())?;
+
+        // compose
+        let compose_start = Instant::now();
+        let partials: Vec<Sequence> = outputs.iter().map(|o| o.items.clone()).collect();
+        let items = compose::combine(composition, partials);
+        let composition_time = compose_start.elapsed().as_secs_f64();
+
+        let mut report = QueryReport {
+            fragments_pruned: pruned,
+            composition: composition_time,
+            ..Default::default()
+        };
+        let mut total_bytes = 0usize;
+        for (task, out) in tasks.iter().zip(&outputs) {
+            report.sites.push(SiteReport {
+                node: task.node,
+                fragment: task.fragment.clone(),
+                elapsed: out.elapsed,
+                result_bytes: out.result_bytes,
+                docs_scanned: out.docs_scanned,
+                index_used: out.index_used,
+            });
+            report.parallel_elapsed = report.parallel_elapsed.max(out.elapsed);
+            report.serial_elapsed += out.elapsed;
+            total_bytes += out.result_bytes;
+        }
+        // one overlapped request/response round trip; partial results
+        // serialize on the coordinator's link
+        if !tasks.is_empty() {
+            report.transmission = 2.0 * self.network.latency_secs
+                + total_bytes as f64 / self.network.bandwidth_bytes_per_sec;
+        }
+        Ok(DistributedResult { items, report })
+    }
+
+    /// Choose the first *available* replica node of a fragment; errors if
+    /// every replica is down (the failover path — a fragment replicated
+    /// on several nodes survives node failures transparently).
+    fn pick_replica(
+        &self,
+        dist: &Distribution,
+        fragment: &str,
+    ) -> Result<usize, PartixError> {
+        let nodes = dist.nodes_of(fragment);
+        if nodes.is_empty() {
+            return Err(PartixError::Internal(format!("{fragment} unplaced")));
+        }
+        for &node_id in &nodes {
+            if self
+                .cluster
+                .node(node_id)
+                .is_some_and(|n| n.is_available())
+            {
+                return Ok(node_id);
+            }
+        }
+        Err(PartixError::NodeUnavailable {
+            node: nodes[0],
+            fragment: fragment.to_owned(),
+        })
+    }
+
+    /// Run a query that references no distributed collection directly on
+    /// node 0 (centralized passthrough).
+    fn passthrough(&self, query: &Query) -> Result<DistributedResult, PartixError> {
+        let node = self.cluster.node(0).expect("cluster non-empty");
+        let out = run_on_node(node, query, false).map_err(|e| match e {
+            DispatchError::Down => PartixError::NodeUnavailable {
+                node: 0,
+                fragment: "<passthrough>".into(),
+            },
+            DispatchError::Failed(msg) => PartixError::SubQuery {
+                node: 0,
+                fragment: "<passthrough>".into(),
+                error: msg,
+            },
+        })?;
+        let report = QueryReport {
+            sites: vec![SiteReport {
+                node: 0,
+                fragment: "<passthrough>".into(),
+                elapsed: out.elapsed,
+                result_bytes: out.result_bytes,
+                docs_scanned: out.docs_scanned,
+                index_used: out.index_used,
+            }],
+            parallel_elapsed: out.elapsed,
+            serial_elapsed: out.elapsed,
+            transmission: self.network.transmission_time(out.result_bytes),
+            ..Default::default()
+        };
+        Ok(DistributedResult { items: out.items, report })
+    }
+
+    /// Fan the sub-queries out to their nodes in parallel and gather the
+    /// outputs in task order.
+    fn dispatch(
+        &self,
+        tasks: &[SubQuery],
+        avg_mode: bool,
+    ) -> Result<Vec<SiteOutput>, PartixError> {
+        let results: Vec<Result<SiteOutput, DispatchError>> = match self.dispatch {
+            DispatchMode::Simulated => tasks
+                .iter()
+                .map(|task| {
+                    let node = self.cluster.node(task.node).expect("placement validated");
+                    run_on_node(node, &task.query, avg_mode)
+                })
+                .collect(),
+            DispatchMode::Threads => crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = tasks
+                    .iter()
+                    .map(|task| {
+                        let node = Arc::clone(
+                            self.cluster.node(task.node).expect("placement validated"),
+                        );
+                        let query = task.query.clone();
+                        scope.spawn(move |_| run_on_node(&node, &query, avg_mode))
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("no panic")).collect()
+            })
+            .expect("scope does not panic"),
+        };
+        let mut outputs = Vec::with_capacity(results.len());
+        for (task, result) in tasks.iter().zip(results) {
+            match result {
+                Ok(out) => outputs.push(out),
+                Err(DispatchError::Down) => {
+                    return Err(PartixError::NodeUnavailable {
+                        node: task.node,
+                        fragment: task.fragment.clone(),
+                    })
+                }
+                Err(DispatchError::Failed(msg)) => {
+                    return Err(PartixError::SubQuery {
+                        node: task.node,
+                        fragment: task.fragment.clone(),
+                        error: msg,
+                    })
+                }
+            }
+        }
+        Ok(outputs)
+    }
+
+    /// Multi-fragment fallback: fetch every fragment, rebuild the source
+    /// documents at the coordinator, evaluate the original query locally.
+    fn reconstruct_and_evaluate(
+        &self,
+        query: &Query,
+        collection: &str,
+        dist: &Distribution,
+        pruned: usize,
+    ) -> Result<DistributedResult, PartixError> {
+        let mut report = QueryReport {
+            fragments_pruned: pruned,
+            reconstructed: true,
+            ..Default::default()
+        };
+        // fetch all fragments (reconstruction needs complete coverage)
+        let mut fetched: Vec<(String, Vec<Document>)> = Vec::new();
+        let mut total_bytes = 0usize;
+        for frag in &dist.design.fragments {
+            let node_id = self.pick_replica(dist, &frag.name)?;
+            let node = self.cluster.node(node_id).expect("placement validated");
+            let start = Instant::now();
+            let docs: Vec<Document> = node
+                .fetch_docs(&frag.name)
+                .iter()
+                .map(|d| (**d).clone())
+                .collect();
+            let elapsed = start.elapsed().as_secs_f64();
+            let bytes: usize = docs.iter().map(Document::approx_size).sum();
+            report.sites.push(SiteReport {
+                node: node_id,
+                fragment: frag.name.clone(),
+                elapsed,
+                result_bytes: bytes,
+                docs_scanned: docs.len(),
+                index_used: false,
+            });
+            report.parallel_elapsed = report.parallel_elapsed.max(elapsed);
+            report.serial_elapsed += elapsed;
+            total_bytes += bytes;
+            fetched.push((frag.name.clone(), docs));
+        }
+        report.transmission = 2.0 * self.network.latency_secs
+            + total_bytes as f64 / self.network.bandwidth_bytes_per_sec;
+        // rebuild and evaluate locally
+        let compose_start = Instant::now();
+        let rebuilt = partix_frag::correctness::reconstruct_any(&dist.design, &fetched)
+            .map_err(PartixError::Reconstruction)?;
+        let scratch = Database::new();
+        scratch.store_all(collection, rebuilt);
+        let out = scratch.execute_parsed(query).map_err(|e| PartixError::SubQuery {
+            node: usize::MAX,
+            fragment: "<coordinator>".into(),
+            error: e.to_string(),
+        })?;
+        report.composition = compose_start.elapsed().as_secs_f64();
+        Ok(DistributedResult { items: out.items, report })
+    }
+}
+
+/// One sub-query bound for one node.
+struct SubQuery {
+    node: usize,
+    fragment: String,
+    query: Query,
+}
+
+/// Flattened per-site output.
+struct SiteOutput {
+    items: Sequence,
+    elapsed: f64,
+    result_bytes: usize,
+    docs_scanned: usize,
+    index_used: bool,
+}
+
+impl SiteOutput {
+    fn empty() -> SiteOutput {
+        SiteOutput {
+            items: Vec::new(),
+            elapsed: 0.0,
+            result_bytes: 0,
+            docs_scanned: 0,
+            index_used: false,
+        }
+    }
+}
+
+enum DispatchError {
+    Down,
+    Failed(String),
+}
+
+fn run_on_node(node: &Node, query: &Query, avg_mode: bool) -> Result<SiteOutput, DispatchError> {
+    if !node.is_available() {
+        return Err(DispatchError::Down);
+    }
+    if avg_mode {
+        // ship (sum, count) and return the pair [sum, count]
+        let (sum_q, count_q) = compose::avg_decomposition(query)
+            .ok_or_else(|| DispatchError::Failed("avg decomposition failed".into()))?;
+        let (Some(sum_out), Some(count_out)) = (exec(node, &sum_q)?, exec(node, &count_q)?)
+        else {
+            return Ok(SiteOutput::empty());
+        };
+        let mut items = sum_out.items;
+        items.extend(count_out.items);
+        Ok(SiteOutput {
+            items,
+            elapsed: sum_out.stats.elapsed + count_out.stats.elapsed,
+            result_bytes: 16,
+            docs_scanned: sum_out.stats.docs_scanned,
+            index_used: sum_out.stats.index_used,
+        })
+    } else {
+        let Some(out) = exec(node, query)? else {
+            return Ok(SiteOutput::empty());
+        };
+        Ok(SiteOutput {
+            items: out.items,
+            elapsed: out.stats.elapsed,
+            result_bytes: out.stats.result_bytes,
+            docs_scanned: out.stats.docs_scanned,
+            index_used: out.stats.index_used,
+        })
+    }
+}
+
+/// Execute on a node through its active driver. `Ok(None)` means the
+/// fragment's collection does not exist there — a legitimately *empty*
+/// fragment (the publisher stores nothing when a fragment selects
+/// nothing), answered with an empty result.
+fn exec(node: &Node, query: &Query) -> Result<Option<QueryOutput>, DispatchError> {
+    node.execute_query(query).map_err(DispatchError::Failed)
+}
+
+/// Build the sub-query shipped to `frag`; `None` = this fragment cannot
+/// answer the query alone (triggers the reconstruction fallback).
+fn build_subquery(
+    query: &Query,
+    collection: &str,
+    frag: &partix_frag::FragmentDef,
+    analysis: Option<&pushdown::QueryAnalysis>,
+) -> Option<Query> {
+    match &frag.op {
+        FragOp::Horizontal { .. } => {
+            Some(rewrite_collection_name(query, collection, &frag.name))
+        }
+        FragOp::Hybrid { unit_path, mode, .. } => match mode {
+            // FragMode2 keeps the source document shape
+            FragMode::SingleDoc => {
+                Some(rewrite_collection_name(query, collection, &frag.name))
+            }
+            FragMode::ManySmallDocs => {
+                if !serves_all_footprint(unit_path, &[], analysis) {
+                    return None;
+                }
+                rewrite_for_vertical(query, collection, unit_path, &frag.name).ok()
+            }
+        },
+        FragOp::Vertical { projection } => {
+            if !serves_all_footprint(&projection.path, &projection.prune, analysis) {
+                return None;
+            }
+            rewrite_for_vertical(query, collection, &projection.path, &frag.name).ok()
+        }
+    }
+}
+
+/// Can a node-level fragment (projection `path` minus `prune`) serve
+/// *every* path the query touches? A syntactically successful rewrite is
+/// not enough: a path extending into a pruned subtree would evaluate to
+/// a silently empty — i.e. wrong — partial result. Each footprint path
+/// must either reach into the fragment's retained subtree or be an
+/// ancestor binding on the spine above it.
+fn serves_all_footprint(
+    path: &partix_path::PathExpr,
+    prune: &[partix_path::PathExpr],
+    analysis: Option<&pushdown::QueryAnalysis>,
+) -> bool {
+    use partix_path::analysis::path_may_reach_into;
+    let Some(analysis) = analysis else {
+        return false; // nothing known: force the safe reconstruction path
+    };
+    analysis.footprint.iter().all(|q| {
+        path_may_reach_into(path, q) && !crate::localize::strictly_inside_any(q, prune)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Placement;
+    use partix_frag::{FragmentDef, FragmentationSchema};
+    use partix_path::{PathExpr, Predicate};
+    use partix_query::Item;
+    use partix_schema::builtin::virtual_store;
+    use partix_schema::{CollectionDef, RepoKind};
+    use partix_xml::parse;
+
+    fn items(n: usize) -> Vec<Document> {
+        (0..n)
+            .map(|i| {
+                let section = ["CD", "DVD", "BOOK"][i % 3];
+                let quality = if i % 2 == 0 { "good" } else { "poor" };
+                let mut d = parse(&format!(
+                    "<Item><Code>{i}</Code><Name>item {i}</Name><Section>{section}</Section>\
+                     <Price>{}</Price>\
+                     <Characteristics><Description>a {quality} product</Description></Characteristics></Item>",
+                    5 + i
+                ))
+                .unwrap();
+                d.name = Some(format!("i{i:04}"));
+                d
+            })
+            .collect()
+    }
+
+    fn horizontal_px(nodes: usize) -> PartiX {
+        let px = PartiX::new(nodes, NetworkModel::default());
+        let citems = CollectionDef::new(
+            "items",
+            Arc::new(virtual_store()),
+            PathExpr::parse("/Store/Items/Item").unwrap(),
+            RepoKind::MultipleDocuments,
+        );
+        let design = FragmentationSchema::new(
+            citems,
+            vec![
+                FragmentDef::horizontal(
+                    "f_cd",
+                    Predicate::parse(r#"/Item/Section = "CD""#).unwrap(),
+                ),
+                FragmentDef::horizontal(
+                    "f_dvd",
+                    Predicate::parse(r#"/Item/Section = "DVD""#).unwrap(),
+                ),
+                FragmentDef::horizontal(
+                    "f_rest",
+                    Predicate::parse(r#"/Item/Section != "CD" and /Item/Section != "DVD""#)
+                        .unwrap(),
+                ),
+            ],
+        )
+        .unwrap();
+        px.register_distribution(Distribution {
+            design,
+            placements: vec![
+                Placement { fragment: "f_cd".into(), node: 0 },
+                Placement { fragment: "f_dvd".into(), node: 1 % nodes },
+                Placement { fragment: "f_rest".into(), node: 2 % nodes },
+            ],
+        })
+        .unwrap();
+        px.publish("items", &items(30)).unwrap();
+        px.publish_centralized(0, "items_central", &items(30)).unwrap();
+        px
+    }
+
+    #[test]
+    fn distributed_equals_centralized_selection() {
+        let px = horizontal_px(3);
+        let q = |coll: &str| {
+            format!(
+                r#"for $i in collection("{coll}")/Item
+                   where contains($i//Description, "good")
+                   return $i/Code"#
+            )
+        };
+        let distributed = px.execute(&q("items")).unwrap();
+        let centralized = px.execute_centralized(0, &q("items_central")).unwrap();
+        let mut a: Vec<String> =
+            distributed.items.iter().map(Item::serialize).collect();
+        let mut b: Vec<String> =
+            centralized.items.iter().map(Item::serialize).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        assert_eq!(distributed.report.sites.len(), 3);
+    }
+
+    #[test]
+    fn localization_prunes_to_single_fragment() {
+        let px = horizontal_px(3);
+        let result = px
+            .execute(
+                r#"for $i in collection("items")/Item
+                   where $i/Section = "CD" return $i/Code"#,
+            )
+            .unwrap();
+        assert_eq!(result.report.sites.len(), 1);
+        assert_eq!(result.report.fragments_pruned, 2);
+        assert_eq!(result.report.sites[0].fragment, "f_cd");
+        assert_eq!(result.items.len(), 10);
+    }
+
+    #[test]
+    fn count_combines_partials() {
+        let px = horizontal_px(3);
+        let result = px
+            .execute(r#"count(for $i in collection("items")/Item return $i)"#)
+            .unwrap();
+        assert_eq!(result.items, vec![Item::Num(30.0)]);
+        assert_eq!(result.report.sites.len(), 3);
+    }
+
+    #[test]
+    fn sum_min_max_combine() {
+        let px = horizontal_px(3);
+        // prices are 5..34 → sum = 585, min 5, max 34
+        let sum = px
+            .execute(r#"sum(for $i in collection("items")/Item return number($i/Price))"#)
+            .unwrap();
+        assert_eq!(sum.items, vec![Item::Num(585.0)]);
+        let min = px
+            .execute(r#"min(for $i in collection("items")/Item return number($i/Price))"#)
+            .unwrap();
+        assert_eq!(min.items, vec![Item::Num(5.0)]);
+        let max = px
+            .execute(r#"max(for $i in collection("items")/Item return number($i/Price))"#)
+            .unwrap();
+        assert_eq!(max.items, vec![Item::Num(34.0)]);
+    }
+
+    #[test]
+    fn avg_weighted_combination() {
+        let px = horizontal_px(3);
+        let avg = px
+            .execute(r#"avg(for $i in collection("items")/Item return number($i/Price))"#)
+            .unwrap();
+        assert_eq!(avg.items, vec![Item::Num(585.0 / 30.0)]);
+    }
+
+    #[test]
+    fn node_failure_reported() {
+        let px = horizontal_px(3);
+        px.cluster().node(1).unwrap().set_available(false);
+        let err = px
+            .execute(r#"count(for $i in collection("items")/Item return $i)"#)
+            .unwrap_err();
+        assert!(matches!(err, PartixError::NodeUnavailable { node: 1, .. }));
+        // queries localized away from node 1 still work
+        let ok = px
+            .execute(
+                r#"count(for $i in collection("items")/Item
+                         where $i/Section = "CD" return $i)"#,
+            )
+            .unwrap();
+        assert_eq!(ok.items, vec![Item::Num(10.0)]);
+    }
+
+    #[test]
+    fn passthrough_for_undistributed_collections() {
+        let px = horizontal_px(2);
+        let result = px
+            .execute(r#"count(for $i in collection("items_central")/Item return $i)"#)
+            .unwrap();
+        assert_eq!(result.items, vec![Item::Num(30.0)]);
+        assert_eq!(result.report.sites[0].fragment, "<passthrough>");
+    }
+
+    #[test]
+    fn replicated_fragment_fails_over() {
+        // f_cd replicated on nodes 0 and 2
+        let px = PartiX::new(3, NetworkModel::default());
+        let citems = CollectionDef::new(
+            "items",
+            Arc::new(virtual_store()),
+            PathExpr::parse("/Store/Items/Item").unwrap(),
+            RepoKind::MultipleDocuments,
+        );
+        let design = FragmentationSchema::new(
+            citems,
+            vec![
+                FragmentDef::horizontal(
+                    "f_cd",
+                    Predicate::parse(r#"/Item/Section = "CD""#).unwrap(),
+                ),
+                FragmentDef::horizontal(
+                    "f_rest",
+                    Predicate::parse(r#"not(/Item/Section = "CD")"#).unwrap(),
+                ),
+            ],
+        )
+        .unwrap();
+        px.register_distribution(Distribution {
+            design,
+            placements: vec![
+                Placement { fragment: "f_cd".into(), node: 0 },
+                Placement { fragment: "f_cd".into(), node: 2 },
+                Placement { fragment: "f_rest".into(), node: 1 },
+            ],
+        })
+        .unwrap();
+        px.publish("items", &items(30)).unwrap();
+        // replica copies landed on both nodes
+        assert_eq!(px.cluster().node(0).unwrap().db.collection_len("f_cd").unwrap(), 10);
+        assert_eq!(px.cluster().node(2).unwrap().db.collection_len("f_cd").unwrap(), 10);
+        let q = r#"count(for $i in collection("items")/Item where $i/Section = "CD" return $i)"#;
+        // primary up: node 0 answers
+        let result = px.execute(q).unwrap();
+        assert_eq!(result.items, vec![Item::Num(10.0)]);
+        assert_eq!(result.report.sites[0].node, 0);
+        // primary down: the query fails over to node 2
+        px.cluster().node(0).unwrap().set_available(false);
+        let result = px.execute(q).unwrap();
+        assert_eq!(result.items, vec![Item::Num(10.0)]);
+        assert_eq!(result.report.sites[0].node, 2);
+        // both replicas down: the error is reported
+        px.cluster().node(2).unwrap().set_available(false);
+        assert!(matches!(
+            px.execute(q),
+            Err(PartixError::NodeUnavailable { .. })
+        ));
+    }
+
+    #[test]
+    fn parse_error_surfaces() {
+        let px = horizontal_px(2);
+        assert!(matches!(px.execute("for $"), Err(PartixError::Parse(_))));
+    }
+
+    fn vertical_px() -> PartiX {
+        let px = PartiX::new(3, NetworkModel::default());
+        let articles = CollectionDef::new(
+            "articles",
+            Arc::new(partix_schema::builtin::xbench_article()),
+            PathExpr::parse("/article").unwrap(),
+            RepoKind::MultipleDocuments,
+        );
+        let p = |s: &str| PathExpr::parse(s).unwrap();
+        let design = FragmentationSchema::new(
+            articles,
+            vec![
+                FragmentDef::vertical(
+                    "f_spine",
+                    p("/article"),
+                    vec![p("/article/prolog"), p("/article/body"), p("/article/epilog")],
+                ),
+                FragmentDef::vertical("f_prolog", p("/article/prolog"), vec![]),
+                FragmentDef::vertical("f_body", p("/article/body"), vec![]),
+                FragmentDef::vertical("f_epilog", p("/article/epilog"), vec![]),
+            ],
+        )
+        .unwrap();
+        px.register_distribution(Distribution {
+            design,
+            placements: vec![
+                Placement { fragment: "f_spine".into(), node: 0 },
+                Placement { fragment: "f_prolog".into(), node: 0 },
+                Placement { fragment: "f_body".into(), node: 1 },
+                Placement { fragment: "f_epilog".into(), node: 2 },
+            ],
+        })
+        .unwrap();
+        let docs: Vec<Document> = (0..6)
+            .map(|i| {
+                let mut d = parse(&format!(
+                    r#"<article id="a{i}"><prolog><title>Title {i}</title>
+                       <authors><author><name>Author {i}</name></author></authors>
+                       <genre>g{}</genre><pub_date>2005-0{}-01</pub_date></prolog>
+                       <body><abstract>xml data {i}</abstract>
+                       <section><heading>h</heading><p>body text {i}</p></section></body>
+                       <epilog><references><reference><ref_title>r</ref_title><year>1999</year></reference></references>
+                       <country>BR</country><word_count>{}</word_count></epilog></article>"#,
+                    i % 3,
+                    (i % 9) + 1,
+                    100 + i
+                ))
+                .unwrap();
+                d.name = Some(format!("a{i}"));
+                d
+            })
+            .collect();
+        px.publish("articles", &docs).unwrap();
+        px.publish_centralized(0, "articles_central", &docs).unwrap();
+        px
+    }
+
+    #[test]
+    fn vertical_single_fragment_query() {
+        let px = vertical_px();
+        let result = px
+            .execute(r#"for $t in collection("articles")/article/prolog/title return $t"#)
+            .unwrap();
+        assert_eq!(result.items.len(), 6);
+        // only the prolog fragment is consulted
+        assert_eq!(result.report.sites.len(), 1);
+        assert_eq!(result.report.sites[0].fragment, "f_prolog");
+        assert!(!result.report.reconstructed);
+    }
+
+    #[test]
+    fn vertical_multi_fragment_reconstructs() {
+        let px = vertical_px();
+        let q = r#"for $a in collection("articles")/article
+                   where contains($a/body/abstract, "xml")
+                   return $a/prolog/title"#;
+        let result = px.execute(q).unwrap();
+        assert!(result.report.reconstructed);
+        assert_eq!(result.items.len(), 6);
+        // same answer as centralized
+        let centralized = px
+            .execute_centralized(
+                0,
+                &q.replace("collection(\"articles\")", "collection(\"articles_central\")"),
+            )
+            .unwrap();
+        let a: Vec<String> = result.items.iter().map(Item::serialize).collect();
+        let b: Vec<String> = centralized.items.iter().map(Item::serialize).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn vertical_aggregate_on_one_fragment() {
+        let px = vertical_px();
+        let result = px
+            .execute(r#"count(collection("articles")/article/epilog/references/reference)"#)
+            .unwrap();
+        assert_eq!(result.items, vec![Item::Num(6.0)]);
+        assert_eq!(result.report.sites.len(), 1);
+        assert_eq!(result.report.sites[0].fragment, "f_epilog");
+    }
+}

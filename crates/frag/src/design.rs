@@ -1,0 +1,310 @@
+//! Automatic fragmentation design — the paper's future work
+//! (*"we intend to use the proposed fragmentation model to define a
+//! methodology for fragmenting XML databases … and to implement tools to
+//! automate this fragmentation process"*), in a basic, data-driven form.
+//!
+//! [`horizontal_by_values`] derives a horizontal design from the observed
+//! values of a single-valued path: values are greedily packed into `n`
+//! groups balanced by document count (LPT scheduling), each group
+//! becoming one fragment with an equality-disjunction predicate plus one
+//! residual fragment for unseen values — so the design stays *complete*
+//! for future documents.
+//!
+//! [`allocate_balanced`] assigns fragments to nodes balancing total
+//! bytes (again LPT), producing the `Placement`-style pairs the
+//! distribution catalog needs.
+
+use crate::def::{FragmentDef, FragmentationSchema};
+use partix_path::{PathExpr, Predicate, Value};
+use partix_schema::CollectionDef;
+use partix_xml::Document;
+use std::collections::BTreeMap;
+
+/// Error deriving a design.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AutoDesignError {
+    /// The partitioning path must be single-valued per document.
+    NotSingleValued { path: String },
+    /// No documents / no values observed.
+    NoData,
+    /// Fewer distinct values than requested fragments.
+    TooFewValues { distinct: usize, requested: usize },
+}
+
+impl std::fmt::Display for AutoDesignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AutoDesignError::NotSingleValued { path } => {
+                write!(f, "path {path} may select several nodes per document")
+            }
+            AutoDesignError::NoData => write!(f, "no documents to derive a design from"),
+            AutoDesignError::TooFewValues { distinct, requested } => write!(
+                f,
+                "only {distinct} distinct values observed, cannot build {requested} fragments"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AutoDesignError {}
+
+/// Derive a horizontal design partitioning `collection` by the values of
+/// `path`, balanced over `n` fragments by document count.
+///
+/// The resulting schema has `n` value-group fragments named `f0..f{n-1}`
+/// plus a residual fragment `f_other` carrying every document whose value
+/// was not observed in `sample` (completeness for future data).
+pub fn horizontal_by_values(
+    collection: CollectionDef,
+    path: &PathExpr,
+    sample: &[Document],
+    n: usize,
+) -> Result<FragmentationSchema, AutoDesignError> {
+    let doc_schema = collection.document_schema();
+    if let Some(ds) = &doc_schema {
+        if !ds.is_single_valued(path) {
+            return Err(AutoDesignError::NotSingleValued { path: path.to_string() });
+        }
+    }
+    if sample.is_empty() || n == 0 {
+        return Err(AutoDesignError::NoData);
+    }
+    // histogram of observed values
+    let mut histogram: BTreeMap<String, usize> = BTreeMap::new();
+    for doc in sample {
+        for id in partix_path::eval_path(doc, path) {
+            let value = partix_path::eval::string_value(doc, id);
+            *histogram.entry(value).or_insert(0) += 1;
+        }
+    }
+    if histogram.is_empty() {
+        return Err(AutoDesignError::NoData);
+    }
+    if histogram.len() < n {
+        return Err(AutoDesignError::TooFewValues {
+            distinct: histogram.len(),
+            requested: n,
+        });
+    }
+    // longest-processing-time packing: biggest value-groups first, each
+    // into the currently lightest fragment
+    let mut by_weight: Vec<(String, usize)> = histogram.into_iter().collect();
+    by_weight.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    let mut groups: Vec<(Vec<String>, usize)> = vec![(Vec::new(), 0); n];
+    for (value, weight) in by_weight {
+        let lightest = groups
+            .iter_mut()
+            .min_by_key(|(_, w)| *w)
+            .expect("n >= 1 groups");
+        lightest.0.push(value);
+        lightest.1 += weight;
+    }
+    let mut fragments: Vec<FragmentDef> = groups
+        .iter()
+        .enumerate()
+        .map(|(i, (values, _))| {
+            FragmentDef::horizontal(&format!("f{i}"), values_predicate(path, values))
+        })
+        .collect();
+    // residual fragment: none of the observed values
+    let all_values: Vec<String> = groups.iter().flat_map(|(vs, _)| vs.clone()).collect();
+    let not_any = Predicate::And(
+        all_values
+            .iter()
+            .map(|v| {
+                Predicate::Not(Box::new(Predicate::Cmp {
+                    path: path.clone(),
+                    op: partix_path::CmpOp::Eq,
+                    value: Value::Str(v.clone()),
+                }))
+            })
+            .collect(),
+    );
+    fragments.push(FragmentDef::horizontal("f_other", not_any));
+    FragmentationSchema::new(collection, fragments)
+        .map_err(|_| AutoDesignError::NoData)
+}
+
+fn values_predicate(path: &PathExpr, values: &[String]) -> Predicate {
+    let atoms: Vec<Predicate> = values
+        .iter()
+        .map(|v| Predicate::Cmp {
+            path: path.clone(),
+            op: partix_path::CmpOp::Eq,
+            value: Value::Str(v.clone()),
+        })
+        .collect();
+    if atoms.len() == 1 {
+        atoms.into_iter().next().expect("one atom")
+    } else {
+        Predicate::Or(atoms)
+    }
+}
+
+/// Assign fragments to `nodes` nodes, balancing total fragment bytes
+/// (LPT). Returns `(fragment name, node)` pairs covering every fragment.
+pub fn allocate_balanced(
+    fragment_sizes: &[(String, usize)],
+    nodes: usize,
+) -> Vec<(String, usize)> {
+    assert!(nodes > 0, "need at least one node");
+    let mut by_size: Vec<&(String, usize)> = fragment_sizes.iter().collect();
+    by_size.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    let mut loads = vec![0usize; nodes];
+    let mut out = Vec::with_capacity(fragment_sizes.len());
+    for (name, size) in by_size {
+        let node = (0..nodes).min_by_key(|&i| loads[i]).expect("nodes > 0");
+        loads[node] += size;
+        out.push((name.clone(), node));
+    }
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apply::Fragmenter;
+    use crate::correctness::check_correctness;
+    use partix_schema::builtin::virtual_store;
+    use partix_schema::RepoKind;
+    use partix_xml::parse;
+    use std::sync::Arc;
+
+    fn citems() -> CollectionDef {
+        CollectionDef::new(
+            "items",
+            Arc::new(virtual_store()),
+            PathExpr::parse("/Store/Items/Item").unwrap(),
+            RepoKind::MultipleDocuments,
+        )
+    }
+
+    fn items(sections: &[&str]) -> Vec<Document> {
+        sections
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let mut d = parse(&format!(
+                    "<Item><Code>{i}</Code><Section>{s}</Section></Item>"
+                ))
+                .unwrap();
+                d.name = Some(format!("i{i}"));
+                d
+            })
+            .collect()
+    }
+
+    #[test]
+    fn derived_design_is_correct_and_balanced() {
+        // skewed: 6×CD, 3×DVD, 2×BOOK, 1×TOY over 2 fragments
+        let docs = items(&[
+            "CD", "CD", "CD", "CD", "CD", "CD", "DVD", "DVD", "DVD", "BOOK", "BOOK", "TOY",
+        ]);
+        let design = horizontal_by_values(
+            citems(),
+            &PathExpr::parse("/Item/Section").unwrap(),
+            &docs,
+            2,
+        )
+        .unwrap();
+        assert_eq!(design.fragments.len(), 3); // 2 groups + residual
+        let frags = Fragmenter::new(design.clone()).fragment_all(&docs);
+        let report = check_correctness(&design, &docs, &frags);
+        assert!(report.is_correct(), "{:?}", report.violations);
+        // balance: CD alone (6) vs DVD+BOOK+TOY (6)
+        let sizes: Vec<usize> = frags.iter().map(|(_, d)| d.len()).collect();
+        assert_eq!(sizes[0], 6);
+        assert_eq!(sizes[1], 6);
+        assert_eq!(sizes[2], 0); // residual empty on the sample
+    }
+
+    #[test]
+    fn residual_catches_unseen_values() {
+        let docs = items(&["CD", "CD", "DVD", "DVD"]);
+        let design = horizontal_by_values(
+            citems(),
+            &PathExpr::parse("/Item/Section").unwrap(),
+            &docs,
+            2,
+        )
+        .unwrap();
+        // a future document with a brand-new section lands in f_other
+        let fragmenter = Fragmenter::new(design);
+        let newcomer = items(&["VINYL"]);
+        let frags = fragmenter.fragment_all(&newcomer);
+        let other = frags.iter().find(|(n, _)| n == "f_other").unwrap();
+        assert_eq!(other.1.len(), 1);
+        assert!(frags
+            .iter()
+            .filter(|(n, _)| n != "f_other")
+            .all(|(_, d)| d.is_empty()));
+    }
+
+    #[test]
+    fn multivalued_path_rejected() {
+        let docs = items(&["CD"]);
+        let err = horizontal_by_values(
+            citems(),
+            &PathExpr::parse("/Item/PictureList/Picture").unwrap(),
+            &docs,
+            1,
+        )
+        .unwrap_err();
+        assert!(matches!(err, AutoDesignError::NotSingleValued { .. }));
+    }
+
+    #[test]
+    fn too_few_values_rejected() {
+        let docs = items(&["CD", "CD"]);
+        let err = horizontal_by_values(
+            citems(),
+            &PathExpr::parse("/Item/Section").unwrap(),
+            &docs,
+            3,
+        )
+        .unwrap_err();
+        assert_eq!(err, AutoDesignError::TooFewValues { distinct: 1, requested: 3 });
+    }
+
+    #[test]
+    fn empty_sample_rejected() {
+        let err = horizontal_by_values(
+            citems(),
+            &PathExpr::parse("/Item/Section").unwrap(),
+            &[],
+            2,
+        )
+        .unwrap_err();
+        assert_eq!(err, AutoDesignError::NoData);
+    }
+
+    #[test]
+    fn allocation_balances_bytes() {
+        let sizes = vec![
+            ("f0".to_owned(), 100),
+            ("f1".to_owned(), 60),
+            ("f2".to_owned(), 50),
+            ("f3".to_owned(), 10),
+        ];
+        let placement = allocate_balanced(&sizes, 2);
+        // LPT: 100 | 60+50+10 → loads 100 vs 120
+        let load = |node: usize| -> usize {
+            placement
+                .iter()
+                .filter(|(_, n)| *n == node)
+                .map(|(f, _)| sizes.iter().find(|(name, _)| name == f).unwrap().1)
+                .sum()
+        };
+        assert_eq!(load(0) + load(1), 220);
+        assert!(load(0).abs_diff(load(1)) <= 20, "{} vs {}", load(0), load(1));
+        assert_eq!(placement.len(), 4);
+    }
+
+    #[test]
+    fn allocation_single_node() {
+        let sizes = vec![("f0".to_owned(), 5), ("f1".to_owned(), 7)];
+        let placement = allocate_balanced(&sizes, 1);
+        assert!(placement.iter().all(|(_, n)| *n == 0));
+    }
+}

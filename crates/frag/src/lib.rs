@@ -1,0 +1,40 @@
+//! # partix-frag
+//!
+//! The XML fragmentation model of Sections 3.2–3.3 of the PartiX paper.
+//!
+//! A fragment is `F := ⟨C, γ⟩` over a homogeneous collection `C`:
+//!
+//! * **horizontal** — `γ = σ_µ`, a selection by a conjunction of simple
+//!   predicates. Whole documents are grouped; only MD collections can be
+//!   horizontally fragmented (SD repositories have one document).
+//! * **vertical** — `γ = π_{P,Γ}`, a projection of the subtrees rooted at
+//!   the nodes selected by `P`, pruning the subtrees selected by the
+//!   expressions of `Γ`.
+//! * **hybrid** — `γ = π_{P,Γ} • σ_µ`, selection over the units exposed
+//!   by a projection; the technique that lets SD repositories be
+//!   fragmented "horizontally".
+//!
+//! [`FragmentationSchema`] bundles a collection's fragment definitions and
+//! validates the design rules (prune containment, single-valuedness of
+//! vertical paths, horizontal-only-on-MD). [`Fragmenter`] executes a
+//! schema over documents. [`correctness`] verifies the three correctness
+//! rules — completeness, disjointness, reconstruction — on actual data,
+//! and [`reconstruct_any`](correctness::reconstruct_any) reassembles the
+//! source collection from fragment contents.
+//!
+//! Hybrid fragments support the paper's two storage layouts:
+//! [`FragMode::ManySmallDocs`] (FragMode1 — each selected unit becomes an
+//! independent document, precise Dewey provenance, but per-document
+//! processing cost) and [`FragMode::SingleDoc`] (FragMode2 — one spine
+//! document per source document holding all selected units; the layout
+//! the paper found beats the centralized approach).
+
+pub mod apply;
+pub mod correctness;
+pub mod def;
+pub mod design;
+
+pub use apply::Fragmenter;
+pub use correctness::{check_correctness, CorrectnessReport, Violation};
+pub use design::{allocate_balanced, horizontal_by_values, AutoDesignError};
+pub use def::{DesignError, FragMode, FragOp, FragmentDef, FragmentationSchema};

@@ -1,0 +1,159 @@
+//! XBench-style `article` generation (the *XBenchVer* database).
+
+use crate::text;
+use partix_xml::{DocBuilder, Document};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Controls article sizing. XBench's DC/MD documents are large; the
+/// profile scales paragraph counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArticleProfile {
+    /// Body sections per article.
+    pub sections: usize,
+    /// Paragraphs per section.
+    pub paragraphs: usize,
+    /// Words per paragraph.
+    pub words_per_paragraph: usize,
+}
+
+impl ArticleProfile {
+    /// ≈4 KB articles — quick tests.
+    pub const SMALL: ArticleProfile =
+        ArticleProfile { sections: 3, paragraphs: 4, words_per_paragraph: 20 };
+
+    /// ≈100 KB articles — benchmark scale (stands in for the paper's
+    /// 5–15 MB documents at laptop-friendly size; size ratios between
+    /// databases are preserved by document count).
+    pub const LARGE: ArticleProfile =
+        ArticleProfile { sections: 10, paragraphs: 25, words_per_paragraph: 60 };
+}
+
+/// Genres cycled through articles — the vertical experiments' equality
+/// predicates select on these.
+pub const GENRES: &[&str] = &["science", "fiction", "history", "poetry", "essay"];
+
+pub const COUNTRIES: &[&str] = &["BR", "US", "DE", "JP", "IN", "CA"];
+
+/// Generate `count` articles, deterministic in `seed`. Titles embed the
+/// word `XML` every third article so text searches have stable
+/// selectivity; abstracts contain `good` with probability 0.3.
+pub fn gen_articles(count: usize, profile: ArticleProfile, seed: u64) -> Vec<Document> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count).map(|i| gen_article(i, profile, &mut rng)).collect()
+}
+
+fn gen_article(serial: usize, profile: ArticleProfile, rng: &mut StdRng) -> Document {
+    let title = if serial.is_multiple_of(3) {
+        format!("On XML fragmentation vol. {serial}")
+    } else {
+        format!("{} studies vol. {serial}", text::ADJECTIVES[serial % text::ADJECTIVES.len()])
+    };
+    let mut b = DocBuilder::new("article")
+        .named(&format!("article{serial:05}"))
+        .attr("id", &format!("a{serial}"))
+        .open("prolog")
+        .leaf("title", &title)
+        .open("authors");
+    for a in 0..rng.gen_range(1..4usize) {
+        b = b
+            .open("author")
+            .leaf("name", text::NAMES[(serial + a) % text::NAMES.len()])
+            .close();
+    }
+    b = b
+        .close()
+        .leaf("genre", GENRES[serial % GENRES.len()])
+        .leaf("pub_date", &text::date(rng))
+        .open("keywords");
+    for k in 0..3 {
+        b = b.leaf("keyword", text::NOUNS[(serial + k) % text::NOUNS.len()]);
+    }
+    b = b
+        .close()
+        .close() // prolog
+        .open("body")
+        .leaf("abstract", &text::description(rng, 30, 0.3));
+    let mut word_count = 30usize;
+    for s in 0..profile.sections {
+        b = b.open("section").leaf("heading", &format!("Section {s}"));
+        for _ in 0..profile.paragraphs {
+            b = b.leaf(
+                "p",
+                &text::description(rng, profile.words_per_paragraph, 0.05),
+            );
+            word_count += profile.words_per_paragraph;
+        }
+        b = b.close();
+    }
+    b = b.close().open("epilog").open("references");
+    for r in 0..rng.gen_range(2..8usize) {
+        b = b
+            .open("reference")
+            .leaf("ref_title", &format!("reference {r}"))
+            .leaf("year", &format!("{}", 1985 + (serial + r) % 20))
+            .close();
+    }
+    b.close()
+        .leaf("country", COUNTRIES[serial % COUNTRIES.len()])
+        .leaf("word_count", &word_count.to_string())
+        .close()
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partix_schema::builtin::xbench_article;
+    use partix_schema::validate;
+
+    #[test]
+    fn articles_validate() {
+        for doc in gen_articles(6, ArticleProfile::SMALL, 11) {
+            validate(&xbench_article(), &doc).unwrap_or_else(|e| panic!("{}", e[0]));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            gen_articles(3, ArticleProfile::SMALL, 5),
+            gen_articles(3, ArticleProfile::SMALL, 5)
+        );
+    }
+
+    #[test]
+    fn profiles_scale_size() {
+        let small = gen_articles(2, ArticleProfile::SMALL, 1);
+        let large = gen_articles(2, ArticleProfile::LARGE, 1);
+        let size = |docs: &[Document]| {
+            docs.iter().map(Document::approx_size).sum::<usize>() / docs.len()
+        };
+        assert!(size(&small) > 1_000);
+        assert!(size(&large) > 20 * size(&small), "{} vs {}", size(&large), size(&small));
+    }
+
+    #[test]
+    fn title_xml_selectivity() {
+        let docs = gen_articles(30, ArticleProfile::SMALL, 2);
+        let hits = docs
+            .iter()
+            .filter(|d| {
+                d.root()
+                    .child_element("prolog")
+                    .and_then(|p| p.child_element("title"))
+                    .is_some_and(|t| t.text().contains("XML"))
+            })
+            .count();
+        assert_eq!(hits, 10); // every third article
+    }
+
+    #[test]
+    fn three_parts_present() {
+        for doc in gen_articles(3, ArticleProfile::SMALL, 8) {
+            for part in ["prolog", "body", "epilog"] {
+                assert!(doc.root().child_element(part).is_some(), "{part}");
+            }
+        }
+    }
+}

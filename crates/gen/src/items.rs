@@ -1,0 +1,228 @@
+//! `Item` document generation (the MD collection `C_items`).
+
+use crate::text;
+use partix_xml::{DocBuilder, Document};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The eight section names used by the horizontal experiments (the paper
+/// fragments `C_items` by `Section` into 2, 4 or 8 fragments).
+pub const SECTIONS: &[&str] = &[
+    "CD", "DVD", "BOOK", "ELECTRONICS", "TOY", "GAME", "SPORT", "GARDEN",
+];
+
+/// Non-uniform weights (paper Sec. 5: *"a non-uniform document
+/// distribution"*). Sum = 100.
+pub const SECTION_WEIGHTS: &[u32] = &[30, 20, 15, 10, 8, 7, 6, 4];
+
+/// Document-size profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemProfile {
+    /// *ItemsSHor*: ≈2 KB documents, zero `PricesHistory` and
+    /// `PictureList` occurrences.
+    Small,
+    /// *ItemsLHor*: ≈80 KB documents with pictures, price history, and
+    /// many characteristics.
+    Large,
+}
+
+/// Generate `count` item documents, named `item00000…`, deterministic in
+/// `seed`. Each description contains `good` with a per-element probability
+/// tuned so that roughly a third of *documents* match a `contains(…,
+/// "good")` text search in both profiles.
+pub fn gen_items(count: usize, profile: ItemProfile, seed: u64) -> Vec<Document> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count).map(|i| gen_item(i, profile, &mut rng)).collect()
+}
+
+/// Generate items until the collection reaches `target_bytes` of XML.
+pub fn gen_items_to_size(
+    target_bytes: usize,
+    profile: ItemProfile,
+    seed: u64,
+) -> Vec<Document> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut docs = Vec::new();
+    let mut total = 0usize;
+    while total < target_bytes {
+        let doc = gen_item(docs.len(), profile, &mut rng);
+        total += doc.approx_size();
+        docs.push(doc);
+    }
+    docs
+}
+
+fn gen_item(serial: usize, profile: ItemProfile, rng: &mut StdRng) -> Document {
+    let section = pick_section(rng);
+    let mut b = DocBuilder::new("Item")
+        .named(&format!("item{serial:05}"))
+        .leaf("Code", &format!("{serial}"))
+        .leaf("Name", &text::product_name(rng, serial))
+        .leaf("Description", &text::description(rng, 12, 0.04))
+        .leaf("Section", section);
+    if rng.gen_bool(0.5) {
+        b = b.leaf("Release", &text::date(rng));
+    }
+    match profile {
+        ItemProfile::Small => {
+            // pad with characteristics to reach ≈2 KB; no pictures, no
+            // price history (paper: "elements PriceHistory and ImagesList
+            // with zero occurrences")
+            for _ in 0..8 {
+                b = b
+                    .open("Characteristics")
+                    .leaf("Description", &text::description(rng, 18, 0.04))
+                    .close();
+            }
+        }
+        ItemProfile::Large => {
+            for _ in 0..40 {
+                b = b
+                    .open("Characteristics")
+                    .leaf("Description", &text::description(rng, 60, 0.01))
+                    .close();
+            }
+            b = b.open("PictureList");
+            for p in 0..60 {
+                b = b
+                    .open("Picture")
+                    .leaf("Name", &format!("picture {p}"))
+                    .leaf("Description", &text::description(rng, 20, 0.0))
+                    .leaf("ModificationDate", &text::date(rng))
+                    .leaf("OriginalPath", &format!("/img/full/{serial}/{p}.jpg"))
+                    .leaf("ThumbPath", &format!("/img/thumb/{serial}/{p}.jpg"))
+                    .close();
+            }
+            b = b.close().open("PricesHistory");
+            for _ in 0..40 {
+                b = b
+                    .open("PriceHistory")
+                    .leaf("Price", &text::price(rng))
+                    .leaf("ModificationDate", &text::date(rng))
+                    .close();
+            }
+            b = b.close();
+        }
+    }
+    b.build()
+}
+
+/// Draw a section from the weighted distribution.
+pub fn pick_section(rng: &mut StdRng) -> &'static str {
+    let total: u32 = SECTION_WEIGHTS.iter().sum();
+    let mut roll = rng.gen_range(0..total);
+    for (section, &weight) in SECTIONS.iter().zip(SECTION_WEIGHTS) {
+        if roll < weight {
+            return section;
+        }
+        roll -= weight;
+    }
+    SECTIONS[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partix_path::PathExpr;
+    use partix_schema::builtin::virtual_store;
+    use partix_schema::validate;
+
+    #[test]
+    fn deterministic_generation() {
+        let a = gen_items(5, ItemProfile::Small, 99);
+        let b = gen_items(5, ItemProfile::Small, 99);
+        assert_eq!(a, b);
+        let c = gen_items(5, ItemProfile::Small, 100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn small_items_near_two_kb() {
+        let docs = gen_items(20, ItemProfile::Small, 1);
+        let avg: usize = docs.iter().map(|d| d.approx_size()).sum::<usize>() / docs.len();
+        assert!((1000..4000).contains(&avg), "avg {avg} bytes");
+        // no pictures / price history, per the paper
+        for d in &docs {
+            assert!(d.root().child_element("PictureList").is_none());
+            assert!(d.root().child_element("PricesHistory").is_none());
+        }
+    }
+
+    #[test]
+    fn large_items_near_eighty_kb() {
+        let docs = gen_items(3, ItemProfile::Large, 1);
+        let avg: usize = docs.iter().map(|d| d.approx_size()).sum::<usize>() / docs.len();
+        assert!((40_000..160_000).contains(&avg), "avg {avg} bytes");
+    }
+
+    #[test]
+    fn items_validate_against_schema() {
+        let schema = virtual_store()
+            .subschema(&PathExpr::parse("/Store/Items/Item").unwrap())
+            .unwrap();
+        for profile in [ItemProfile::Small, ItemProfile::Large] {
+            for doc in gen_items(5, profile, 7) {
+                validate(&schema, &doc).unwrap_or_else(|e| {
+                    panic!("{profile:?}: {}", e[0]);
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn section_distribution_is_skewed() {
+        let docs = gen_items(2000, ItemProfile::Small, 3);
+        let count = |s: &str| {
+            docs.iter()
+                .filter(|d| d.root().child_element("Section").unwrap().text() == s)
+                .count()
+        };
+        let cd = count("CD");
+        let garden = count("GARDEN");
+        // 30% vs 4% nominal — allow wide tolerance
+        assert!(cd > 450 && cd < 750, "CD: {cd}");
+        assert!(garden > 20 && garden < 180, "GARDEN: {garden}");
+        // every document has exactly one section from the list
+        assert_eq!(
+            SECTIONS.iter().map(|s| count(s)).sum::<usize>(),
+            docs.len()
+        );
+    }
+
+    #[test]
+    fn document_level_good_selectivity_near_a_third() {
+        for profile in [ItemProfile::Small, ItemProfile::Large] {
+            let n = if profile == ItemProfile::Small { 600 } else { 60 };
+            let docs = gen_items(n, profile, 8);
+            let hits = docs
+                .iter()
+                .filter(|d| {
+                    d.root()
+                        .descendants_or_self()
+                        .filter(|x| x.label() == "Description")
+                        .any(|x| x.text().contains("good"))
+                })
+                .count();
+            let frac = hits as f64 / n as f64;
+            assert!(
+                (0.15..0.60).contains(&frac),
+                "{profile:?}: {frac:.2} of documents contain 'good'"
+            );
+        }
+    }
+
+    #[test]
+    fn gen_to_size_reaches_target() {
+        let docs = gen_items_to_size(100_000, ItemProfile::Small, 5);
+        let total: usize = docs.iter().map(|d| d.approx_size()).sum();
+        assert!(total >= 100_000);
+        assert!(total < 110_000); // no wild overshoot
+    }
+
+    #[test]
+    fn names_are_unique_and_ordered() {
+        let docs = gen_items(10, ItemProfile::Small, 1);
+        assert_eq!(docs[0].name.as_deref(), Some("item00000"));
+        assert_eq!(docs[9].name.as_deref(), Some("item00009"));
+    }
+}

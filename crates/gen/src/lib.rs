@@ -1,0 +1,33 @@
+//! # partix-gen
+//!
+//! Template-based synthetic XML generation — the role ToXgene \[5] plays
+//! in the paper's experiments. All generation is deterministic given a
+//! seed, so experiments are reproducible run-to-run.
+//!
+//! Generators for the paper's four databases:
+//!
+//! * [`items`] — `Item` documents of the virtual_store schema:
+//!   * *ItemsSHor* profile: ≈2 KB documents with **zero** `PricesHistory`
+//!     and `PictureList` occurrences (paper Sec. 5);
+//!   * *ItemsLHor* profile: ≈80 KB documents with picture lists, price
+//!     histories and long descriptions.
+//! * [`store`] — a single large `Store` document (the SD repository
+//!   behind *StoreHyb*), sized by its item count.
+//! * [`articles`] — XBench-style `article` documents (prolog / body /
+//!   epilog) for the *XBenchVer* vertical experiments.
+//!
+//! Value distributions mirror what the paper's queries need: item
+//! sections are drawn from a non-uniform distribution over eight section
+//! names (so horizontal fragments are skewed, as in the paper), and
+//! description text contains the word `good` with a controlled
+//! probability so `contains(…, "good")` text searches have stable
+//! selectivity.
+
+pub mod articles;
+pub mod items;
+pub mod store;
+pub mod text;
+
+pub use articles::{gen_articles, ArticleProfile};
+pub use items::{gen_items, ItemProfile, SECTIONS, SECTION_WEIGHTS};
+pub use store::gen_store;

@@ -1,0 +1,94 @@
+//! SD `Store` document generation (the *StoreHyb* database).
+
+use crate::items::{ItemProfile, SECTIONS};
+use crate::text;
+use partix_xml::{DocBuilder, Document, NodeId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Generate one `Store` document with `n_items` items (profile controls
+/// their size), all sections, and a handful of employees. The paper's
+/// StoreHyb documents range from 5 MB to 500 MB — size here scales
+/// linearly with `n_items`.
+pub fn gen_store(n_items: usize, profile: ItemProfile, seed: u64) -> Document {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = DocBuilder::new("Store").named("store").open("Sections");
+    for (i, section) in SECTIONS.iter().enumerate() {
+        b = b
+            .open("Section")
+            .leaf("Code", &format!("{i}"))
+            .leaf("Name", section)
+            .close();
+    }
+    b = b.close().open("Items");
+    let items = crate::items::gen_items(n_items, profile, seed ^ 0x5eed);
+    for item in &items {
+        b = b.subtree(item);
+    }
+    b = b.close().open("Employees");
+    for e in 0..8 {
+        b = b
+            .open("Employee")
+            .leaf("Code", &format!("e{e}"))
+            .leaf("Name", text::NAMES[e % text::NAMES.len()])
+            .close();
+    }
+    let mut doc = b.close().build();
+    // Item documents carry their own names; inside the store they are
+    // plain subtrees — nothing further to fix up.
+    let _ = &mut rng;
+    debug_assert_eq!(doc.root().child_elements().count(), 3);
+    doc.name = Some("store".to_owned());
+    doc
+}
+
+/// Generate a store of roughly `target_bytes` serialized size.
+pub fn gen_store_to_size(target_bytes: usize, profile: ItemProfile, seed: u64) -> Document {
+    // estimate per-item size from a small sample
+    let sample = crate::items::gen_items(8, profile, seed ^ 0x5eed);
+    let per_item: usize =
+        (sample.iter().map(Document::approx_size).sum::<usize>() / sample.len()).max(1);
+    let n_items = (target_bytes / per_item).max(1);
+    gen_store(n_items, profile, seed)
+}
+
+/// Ensure a store document's root has the canonical three children.
+pub fn is_store_shaped(doc: &Document) -> bool {
+    let labels: Vec<&str> = doc
+        .get(NodeId::ROOT)
+        .map(|r| r.child_elements().map(|c| c.label()).collect())
+        .unwrap_or_default();
+    labels == ["Sections", "Items", "Employees"]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partix_path::{eval_path, PathExpr};
+    use partix_schema::builtin::virtual_store;
+    use partix_schema::validate;
+
+    #[test]
+    fn store_is_valid_and_shaped() {
+        let doc = gen_store(10, ItemProfile::Small, 4);
+        assert!(is_store_shaped(&doc));
+        validate(&virtual_store(), &doc).unwrap_or_else(|e| panic!("{}", e[0]));
+        let items = eval_path(&doc, &PathExpr::parse("/Store/Items/Item").unwrap());
+        assert_eq!(items.len(), 10);
+    }
+
+    #[test]
+    fn store_deterministic() {
+        assert_eq!(
+            gen_store(5, ItemProfile::Small, 9),
+            gen_store(5, ItemProfile::Small, 9)
+        );
+    }
+
+    #[test]
+    fn store_to_size_close_to_target() {
+        let doc = gen_store_to_size(200_000, ItemProfile::Small, 2);
+        let size = doc.approx_size();
+        assert!((120_000..320_000).contains(&size), "{size}");
+    }
+}

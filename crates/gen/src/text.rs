@@ -1,0 +1,108 @@
+//! Word pools and text synthesis.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Adjectives used in descriptions. `good` drives the paper's text-search
+/// queries; its frequency is controlled separately.
+pub const ADJECTIVES: &[&str] = &[
+    "fine", "solid", "classic", "rare", "popular", "modern", "vintage", "sturdy",
+    "compact", "bright", "quiet", "fast", "heavy", "light", "smooth",
+];
+
+pub const NOUNS: &[&str] = &[
+    "record", "album", "film", "novel", "gadget", "toy", "controller", "speaker",
+    "lens", "keyboard", "blender", "racket", "lamp", "chair", "poster",
+];
+
+pub const NAMES: &[&str] = &[
+    "Aurora", "Baldur", "Caetano", "Dandara", "Elis", "Flora", "Gilberto",
+    "Helena", "Iris", "Jorge", "Kleber", "Luiza", "Milton", "Nara", "Otto",
+];
+
+/// A short human-ish sentence of `words` words. With probability
+/// `good_probability` the word `good` is spliced in — the needle the
+/// paper's `contains` queries search for.
+pub fn description(rng: &mut StdRng, words: usize, good_probability: f64) -> String {
+    let mut out = String::with_capacity(words * 8);
+    let good_at = if rng.gen_bool(good_probability.clamp(0.0, 1.0)) {
+        Some(rng.gen_range(0..words.max(1)))
+    } else {
+        None
+    };
+    for i in 0..words {
+        if i > 0 {
+            out.push(' ');
+        }
+        if good_at == Some(i) {
+            out.push_str("good");
+        } else if i % 2 == 0 {
+            out.push_str(ADJECTIVES[rng.gen_range(0..ADJECTIVES.len())]);
+        } else {
+            out.push_str(NOUNS[rng.gen_range(0..NOUNS.len())]);
+        }
+    }
+    out
+}
+
+/// A product-style name like `classic record 0042`.
+pub fn product_name(rng: &mut StdRng, serial: usize) -> String {
+    format!(
+        "{} {} {serial:04}",
+        ADJECTIVES[rng.gen_range(0..ADJECTIVES.len())],
+        NOUNS[rng.gen_range(0..NOUNS.len())]
+    )
+}
+
+/// An ISO-ish date in 2000–2006 (the paper's era).
+pub fn date(rng: &mut StdRng) -> String {
+    format!(
+        "200{}-{:02}-{:02}",
+        rng.gen_range(0..7),
+        rng.gen_range(1..13),
+        rng.gen_range(1..29)
+    )
+}
+
+/// A price with two decimals in `[1, 500)`.
+pub fn price(rng: &mut StdRng) -> String {
+    format!("{:.2}", rng.gen_range(1.0..500.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn description_is_deterministic() {
+        let a = description(&mut StdRng::seed_from_u64(7), 10, 0.5);
+        let b = description(&mut StdRng::seed_from_u64(7), 10, 0.5);
+        assert_eq!(a, b);
+        assert_eq!(a.split(' ').count(), 10);
+    }
+
+    #[test]
+    fn good_probability_controls_frequency() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let hits = (0..1000)
+            .filter(|_| description(&mut rng, 8, 0.3).contains("good"))
+            .count();
+        assert!((200..400).contains(&hits), "got {hits}");
+        let mut rng = StdRng::seed_from_u64(42);
+        let none = (0..100)
+            .filter(|_| description(&mut rng, 8, 0.0).contains("good"))
+            .count();
+        assert_eq!(none, 0);
+    }
+
+    #[test]
+    fn dates_and_prices_shaped() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = date(&mut rng);
+        assert_eq!(d.len(), 10);
+        assert!(d.starts_with("200"));
+        let p = price(&mut rng);
+        assert!(p.parse::<f64>().unwrap() >= 1.0);
+    }
+}

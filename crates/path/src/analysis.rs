@@ -1,0 +1,469 @@
+//! Static analysis of paths and predicates for data localization.
+//!
+//! PartiX prunes sub-queries that cannot produce results (paper Sec. 4:
+//! *"when a query arrives, PartiX analyzes the fragmentation schema to
+//! properly split it into sub-queries, and then sends each sub-query to
+//! its respective fragment"*). Two decisions drive the pruning:
+//!
+//! 1. **Path overlap** — can a query path select anything inside the
+//!    subtree a vertical fragment projects? Paths are compiled to small
+//!    NFAs over the label alphabet and intersected; `//` and `*` are
+//!    handled exactly (positional filters are ignored, which only errs
+//!    toward *keeping* a fragment — sound for localization).
+//! 2. **Predicate co-satisfiability** — can one document satisfy both the
+//!    query predicate and a horizontal fragment's defining predicate?
+//!    A conservative contradiction check over conjunctions of simple
+//!    comparisons; anything not provably contradictory is kept.
+
+use crate::ast::{Axis, NodeTest, PathExpr};
+use crate::pred::{CmpOp, Predicate, Value};
+use std::collections::HashSet;
+
+/// Transition label of a path NFA.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Label {
+    Elem(String),
+    AnyElem,
+    Attr(String),
+    /// Any attribute — used only by subtree closures.
+    AnyAttr,
+}
+
+fn compatible(a: &Label, b: &Label) -> bool {
+    use Label::*;
+    match (a, b) {
+        (Elem(x), Elem(y)) => x == y,
+        (Elem(_), AnyElem) | (AnyElem, Elem(_)) | (AnyElem, AnyElem) => true,
+        (Attr(x), Attr(y)) => x == y,
+        (Attr(_), AnyAttr) | (AnyAttr, Attr(_)) | (AnyAttr, AnyAttr) => true,
+        _ => false,
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Nfa {
+    /// `transitions[s]` = list of `(label, target)`.
+    transitions: Vec<Vec<(Label, usize)>>,
+    accept: usize,
+}
+
+impl Nfa {
+    /// Compile a path: state `k` = "matched the first `k` steps".
+    fn from_path(path: &PathExpr) -> Nfa {
+        let n = path.steps.len();
+        let mut transitions: Vec<Vec<(Label, usize)>> = vec![Vec::new(); n + 1];
+        for (i, step) in path.steps.iter().enumerate() {
+            if step.axis == Axis::Descendant {
+                // any run of intermediate elements before the step
+                transitions[i].push((Label::AnyElem, i));
+            }
+            let label = match &step.test {
+                NodeTest::Name(name) => Label::Elem(name.clone()),
+                NodeTest::AnyElement => Label::AnyElem,
+                NodeTest::Attribute(name) => Label::Attr(name.clone()),
+            };
+            transitions[i].push((label, i + 1));
+        }
+        Nfa { transitions, accept: n }
+    }
+
+    /// Extend so the automaton also accepts any node *inside* the subtree
+    /// rooted at an accepted node (descendant elements and attributes).
+    fn with_subtree_closure(mut self) -> Nfa {
+        let accept = self.accept;
+        self.transitions[accept].push((Label::AnyElem, accept));
+        self.transitions[accept].push((Label::AnyAttr, accept));
+        self
+    }
+}
+
+/// Can the two automata accept a common label sequence?
+fn nfas_intersect(a: &Nfa, b: &Nfa) -> bool {
+    let mut seen = HashSet::new();
+    let mut stack = vec![(0usize, 0usize)];
+    while let Some((sa, sb)) = stack.pop() {
+        if !seen.insert((sa, sb)) {
+            continue;
+        }
+        if sa == a.accept && sb == b.accept {
+            return true;
+        }
+        for (la, ta) in &a.transitions[sa] {
+            for (lb, tb) in &b.transitions[sb] {
+                if compatible(la, lb) && !seen.contains(&(*ta, *tb)) {
+                    stack.push((*ta, *tb));
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Can paths `a` and `b` select a common node in some document?
+///
+/// Both paths are interpreted from the same context (document root).
+/// Positional filters are ignored — a sound over-approximation.
+pub fn paths_may_intersect(a: &PathExpr, b: &PathExpr) -> bool {
+    nfas_intersect(&Nfa::from_path(a), &Nfa::from_path(b))
+}
+
+/// Can a node selected by `query` lie inside the subtree rooted at a node
+/// selected by `subtree_root`? (Ancestor-or-self on the root side.)
+pub fn path_may_reach_into(subtree_root: &PathExpr, query: &PathExpr) -> bool {
+    nfas_intersect(
+        &Nfa::from_path(subtree_root).with_subtree_closure(),
+        &Nfa::from_path(query),
+    )
+}
+
+/// Is a vertical fragment projecting `projected` relevant to a query whose
+/// footprint includes `query_path`? Relevant iff the query can select a
+/// node inside the projected subtree, or a node on the path above it
+/// (whose reconstructed result would include fragment content).
+pub fn fragment_relevant_to_path(projected: &PathExpr, query_path: &PathExpr) -> bool {
+    path_may_reach_into(projected, query_path) || path_may_reach_into(query_path, projected)
+}
+
+/// An atomic comparison constraint extracted from a predicate.
+#[derive(Debug, Clone)]
+struct Atom<'a> {
+    path: &'a PathExpr,
+    op: CmpOp,
+    value: &'a Value,
+}
+
+/// Extract comparison atoms from a conjunction. Returns `None` if the
+/// predicate contains structure we cannot decompose conjunctively (e.g.
+/// `or`), in which case no contradiction can be claimed.
+fn conjunctive_atoms(pred: &Predicate) -> Option<Vec<Atom<'_>>> {
+    let mut atoms = Vec::new();
+    collect_atoms(pred, false, &mut atoms)?;
+    Some(atoms)
+}
+
+fn collect_atoms<'a>(
+    pred: &'a Predicate,
+    negated: bool,
+    out: &mut Vec<Atom<'a>>,
+) -> Option<()> {
+    match pred {
+        Predicate::Cmp { path, op, value } => {
+            let op = if negated { op.negate() } else { *op };
+            out.push(Atom { path, op, value });
+            Some(())
+        }
+        Predicate::And(ps) if !negated => {
+            for p in ps {
+                collect_atoms(p, false, out)?;
+            }
+            Some(())
+        }
+        Predicate::Or(ps) if negated => {
+            // ¬(a ∨ b) = ¬a ∧ ¬b
+            for p in ps {
+                collect_atoms(p, true, out)?;
+            }
+            Some(())
+        }
+        Predicate::Not(p) => collect_atoms(p, !negated, out),
+        // Existential tests, boolean functions and disjunctions carry no
+        // conjunctive comparison information we exploit; they are simply
+        // skipped (sound: skipping only loses pruning opportunities), but
+        // a *negated* unknown would be unsound to skip under And — it is
+        // fine too, since we only ever report contradictions we can prove
+        // from the atoms we did collect, and extra conjuncts can only make
+        // satisfaction harder, never easier.
+        _ => Some(()),
+    }
+}
+
+/// Could one document satisfy both predicates?
+///
+/// `single_valued` tells the analysis which paths are known (from the
+/// schema) to select at most one node per document; only for those is
+/// `P = "a" ∧ P = "b"` a contradiction. Paths not known single-valued are
+/// treated existentially and never produce contradictions on `=`/`≠`.
+pub fn predicates_may_cosatisfy(
+    a: &Predicate,
+    b: &Predicate,
+    single_valued: &dyn Fn(&PathExpr) -> bool,
+) -> bool {
+    // expand top-level disjunctions: a ∧ (b1 ∨ b2) is satisfiable iff
+    // some disjunct is
+    if let Predicate::Or(ps) = b {
+        return ps.iter().any(|p| predicates_may_cosatisfy(a, p, single_valued));
+    }
+    if let Predicate::Or(ps) = a {
+        return ps.iter().any(|p| predicates_may_cosatisfy(p, b, single_valued));
+    }
+    let (Some(mut atoms_a), Some(atoms_b)) = (conjunctive_atoms(a), conjunctive_atoms(b))
+    else {
+        return true;
+    };
+    atoms_a.extend(atoms_b);
+    for i in 0..atoms_a.len() {
+        for j in (i + 1)..atoms_a.len() {
+            let (x, y) = (&atoms_a[i], &atoms_a[j]);
+            if x.path == y.path && single_valued(x.path) && atoms_contradict(x, y) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Do two constraints on the *same single-valued* path contradict?
+fn atoms_contradict(a: &Atom<'_>, b: &Atom<'_>) -> bool {
+    match (a.value, b.value) {
+        (Value::Str(x), Value::Str(y)) => {
+            string_atoms_contradict(a.op, x, b.op, y)
+        }
+        (Value::Num(x), Value::Num(y)) => num_atoms_contradict(a.op, *x, b.op, *y),
+        // mixed string/number comparisons: try both as numbers
+        (Value::Str(x), Value::Num(y)) => match x.trim().parse::<f64>() {
+            Ok(x) => num_atoms_contradict(a.op, x, b.op, *y),
+            Err(_) => false,
+        },
+        (Value::Num(x), Value::Str(y)) => match y.trim().parse::<f64>() {
+            Ok(y) => num_atoms_contradict(a.op, *x, b.op, y),
+            Err(_) => false,
+        },
+    }
+}
+
+fn string_atoms_contradict(op_a: CmpOp, x: &str, op_b: CmpOp, y: &str) -> bool {
+    use CmpOp::*;
+    match (op_a, op_b) {
+        (Eq, Eq) => x != y,
+        (Eq, Ne) | (Ne, Eq) => x == y,
+        // lexicographic orders on strings
+        (Eq, Lt) => x >= y,
+        (Lt, Eq) => y >= x,
+        (Eq, Le) => x > y,
+        (Le, Eq) => y > x,
+        (Eq, Gt) => x <= y,
+        (Gt, Eq) => y <= x,
+        (Eq, Ge) => x < y,
+        (Ge, Eq) => y < x,
+        // `v θa x ∧ v θb y` with opposed strict orders is unsatisfiable
+        // whenever the bounds cross or meet
+        (Lt, Gt) | (Lt, Ge) | (Le, Gt) => x <= y,
+        (Gt, Lt) | (Ge, Lt) | (Gt, Le) => y <= x,
+        _ => false,
+    }
+}
+
+fn num_atoms_contradict(op_a: CmpOp, x: f64, op_b: CmpOp, y: f64) -> bool {
+    use CmpOp::*;
+    // interval emptiness: v op_a x ∧ v op_b y unsatisfiable?
+    let (lo_a, hi_a, open_lo_a, open_hi_a) = bounds(op_a, x);
+    let (lo_b, hi_b, open_lo_b, open_hi_b) = bounds(op_b, y);
+    if let (Some(_), Some(_)) = (exact(op_a, x), exact(op_b, y)) {
+        return x != y;
+    }
+    // Ne only contradicts Eq, handled via exact(); ranges vs Ne never
+    // contradict. Check range emptiness:
+    if op_a == Ne || op_b == Ne {
+        if op_a == Eq && op_b == Ne {
+            return x == y;
+        }
+        if op_a == Ne && op_b == Eq {
+            return x == y;
+        }
+        return false;
+    }
+    let lo = match (lo_a, lo_b) {
+        (Some(a), Some(b)) => Some((a.max(b), if a >= b { open_lo_a } else { open_lo_b })),
+        (Some(a), None) => Some((a, open_lo_a)),
+        (None, Some(b)) => Some((b, open_lo_b)),
+        (None, None) => None,
+    };
+    let hi = match (hi_a, hi_b) {
+        (Some(a), Some(b)) => Some((a.min(b), if a <= b { open_hi_a } else { open_hi_b })),
+        (Some(a), None) => Some((a, open_hi_a)),
+        (None, Some(b)) => Some((b, open_hi_b)),
+        (None, None) => None,
+    };
+    match (lo, hi) {
+        (Some((lo, open_lo)), Some((hi, open_hi))) => {
+            lo > hi || (lo == hi && (open_lo || open_hi))
+        }
+        _ => false,
+    }
+}
+
+fn exact(op: CmpOp, v: f64) -> Option<f64> {
+    if op == CmpOp::Eq {
+        Some(v)
+    } else {
+        None
+    }
+}
+
+/// `(lower, upper, lower_open, upper_open)` of `value op x`.
+fn bounds(op: CmpOp, x: f64) -> (Option<f64>, Option<f64>, bool, bool) {
+    use CmpOp::*;
+    match op {
+        Eq => (Some(x), Some(x), false, false),
+        Ne => (None, None, false, false),
+        Lt => (None, Some(x), false, true),
+        Le => (None, Some(x), false, false),
+        Gt => (Some(x), None, true, false),
+        Ge => (Some(x), None, false, false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> PathExpr {
+        PathExpr::parse(s).unwrap()
+    }
+
+    fn pr(s: &str) -> Predicate {
+        Predicate::parse(s).unwrap()
+    }
+
+    const SINGLE: fn(&PathExpr) -> bool = |_| true;
+    const MULTI: fn(&PathExpr) -> bool = |_| false;
+
+    #[test]
+    fn exact_paths_intersect_iff_equal() {
+        assert!(paths_may_intersect(&p("/a/b"), &p("/a/b")));
+        assert!(!paths_may_intersect(&p("/a/b"), &p("/a/c")));
+        assert!(!paths_may_intersect(&p("/a/b"), &p("/a/b/c")));
+    }
+
+    #[test]
+    fn descendant_paths_intersect() {
+        assert!(paths_may_intersect(&p("//b"), &p("/a/b")));
+        assert!(paths_may_intersect(&p("//b"), &p("/a/x/y/b")));
+        assert!(!paths_may_intersect(&p("//b"), &p("/a/c")));
+        assert!(paths_may_intersect(&p("/a//d"), &p("/a/b/c/d")));
+        assert!(!paths_may_intersect(&p("/z//d"), &p("/a/b/c/d")));
+    }
+
+    #[test]
+    fn wildcard_paths_intersect() {
+        assert!(paths_may_intersect(&p("/a/*"), &p("/a/b")));
+        assert!(!paths_may_intersect(&p("/a/*"), &p("/x/b")));
+        assert!(paths_may_intersect(&p("/a/*/c"), &p("/a/b/c")));
+    }
+
+    #[test]
+    fn attributes_never_match_elements() {
+        assert!(!paths_may_intersect(&p("/a/@id"), &p("/a/id")));
+        assert!(paths_may_intersect(&p("/a/@id"), &p("/a/@id")));
+        assert!(!paths_may_intersect(&p("/a/@id"), &p("/a/@other")));
+        assert!(!paths_may_intersect(&p("/a/*"), &p("/a/@id")));
+    }
+
+    #[test]
+    fn reach_into_subtree() {
+        // fragment projects /Store/Items; query touches items' sections
+        assert!(path_may_reach_into(&p("/Store/Items"), &p("/Store/Items/Item/Section")));
+        assert!(path_may_reach_into(&p("/Store/Items"), &p("/Store/Items")));
+        assert!(!path_may_reach_into(&p("/Store/Items"), &p("/Store/Sections/Section")));
+        // // queries reach into everything label-compatible
+        assert!(path_may_reach_into(&p("/Store/Items"), &p("//Section")));
+        // attribute inside projected subtree
+        assert!(path_may_reach_into(&p("/Store/Items"), &p("/Store/Items/Item/@id")));
+    }
+
+    #[test]
+    fn fragment_relevance_is_symmetric_on_ancestors() {
+        // query /Store returns whole store ⇒ needs the Items fragment too
+        assert!(fragment_relevant_to_path(&p("/Store/Items"), &p("/Store")));
+        assert!(fragment_relevant_to_path(&p("/Store/Items"), &p("/Store/Items/Item")));
+        assert!(!fragment_relevant_to_path(&p("/Store/Items"), &p("/Store/Employees")));
+    }
+
+    #[test]
+    fn equality_contradictions_single_valued() {
+        let cd = pr(r#"/Item/Section = "CD""#);
+        let dvd = pr(r#"/Item/Section = "DVD""#);
+        assert!(!predicates_may_cosatisfy(&cd, &dvd, &SINGLE));
+        assert!(predicates_may_cosatisfy(&cd, &cd, &SINGLE));
+        // multi-valued: both can hold
+        assert!(predicates_may_cosatisfy(&cd, &dvd, &MULTI));
+    }
+
+    #[test]
+    fn eq_vs_ne() {
+        let eq = pr(r#"/Item/Section = "CD""#);
+        let ne = pr(r#"/Item/Section != "CD""#);
+        let ne_other = pr(r#"/Item/Section != "DVD""#);
+        assert!(!predicates_may_cosatisfy(&eq, &ne, &SINGLE));
+        assert!(predicates_may_cosatisfy(&eq, &ne_other, &SINGLE));
+    }
+
+    #[test]
+    fn not_wrapper_negates() {
+        let eq = pr(r#"/Item/Section = "CD""#);
+        let not_eq = pr(r#"not(/Item/Section = "CD")"#);
+        assert!(!predicates_may_cosatisfy(&eq, &not_eq, &SINGLE));
+    }
+
+    #[test]
+    fn numeric_range_contradictions() {
+        assert!(!predicates_may_cosatisfy(
+            &pr("/p = 10"),
+            &pr("/p > 20"),
+            &SINGLE
+        ));
+        assert!(predicates_may_cosatisfy(
+            &pr("/p > 5"),
+            &pr("/p < 20"),
+            &SINGLE
+        ));
+        assert!(!predicates_may_cosatisfy(
+            &pr("/p < 5"),
+            &pr("/p > 20"),
+            &SINGLE
+        ));
+        assert!(!predicates_may_cosatisfy(
+            &pr("/p < 5"),
+            &pr("/p >= 5"),
+            &SINGLE
+        ));
+        assert!(predicates_may_cosatisfy(
+            &pr("/p <= 5"),
+            &pr("/p >= 5"),
+            &SINGLE
+        ));
+    }
+
+    #[test]
+    fn conjunctions_accumulate() {
+        let frag = pr(r#"/Item/Section != "CD" and /Item/Section != "DVD""#);
+        let q_cd = pr(r#"/Item/Section = "CD""#);
+        let q_book = pr(r#"/Item/Section = "BOOK""#);
+        assert!(!predicates_may_cosatisfy(&frag, &q_cd, &SINGLE));
+        assert!(predicates_may_cosatisfy(&frag, &q_book, &SINGLE));
+    }
+
+    #[test]
+    fn disjunction_disables_pruning() {
+        let frag = pr(r#"/Item/Section = "CD""#);
+        let q = pr(r#"/Item/Section = "DVD" or /Item/Price < 5"#);
+        assert!(predicates_may_cosatisfy(&frag, &q, &SINGLE));
+    }
+
+    #[test]
+    fn different_paths_never_contradict() {
+        assert!(predicates_may_cosatisfy(
+            &pr(r#"/a = "x""#),
+            &pr(r#"/b = "y""#),
+            &SINGLE
+        ));
+    }
+
+    #[test]
+    fn unknown_predicates_are_kept() {
+        let frag = pr(r#"contains(//Description, "good")"#);
+        let q = pr(r#"not(contains(//Description, "good"))"#);
+        // we do not reason about contains → conservatively co-satisfiable
+        assert!(predicates_may_cosatisfy(&frag, &q, &SINGLE));
+    }
+}

@@ -1,0 +1,221 @@
+//! Abstract syntax of path expressions.
+
+use std::fmt;
+
+/// How a step relates to the previous one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Axis {
+    /// `/step` — direct children.
+    Child,
+    /// `//step` — any descendant.
+    Descendant,
+}
+
+/// What a step selects.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum NodeTest {
+    /// `name` — elements with this label.
+    Name(String),
+    /// `*` — any element.
+    AnyElement,
+    /// `@name` — the attribute with this name. Only legal as final step.
+    Attribute(String),
+}
+
+/// One location step.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Step {
+    pub axis: Axis,
+    pub test: NodeTest,
+    /// `e[i]` — keep only the i-th (1-based) match among siblings.
+    pub position: Option<u32>,
+}
+
+impl Step {
+    pub fn child(name: &str) -> Step {
+        Step { axis: Axis::Child, test: NodeTest::Name(name.to_owned()), position: None }
+    }
+
+    pub fn descendant(name: &str) -> Step {
+        Step { axis: Axis::Descendant, test: NodeTest::Name(name.to_owned()), position: None }
+    }
+
+    /// True if this step selects attributes.
+    pub fn is_attribute(&self) -> bool {
+        matches!(self.test, NodeTest::Attribute(_))
+    }
+}
+
+/// A path expression `P`.
+///
+/// `absolute` paths (`/Store/Items`) start at the document root and their
+/// first step must match the root element itself — i.e. `/Store` selects
+/// the root iff it is labelled `Store`, mirroring the paper's usage where
+/// `/Item/Section` addresses documents of collection `C_items` whose roots
+/// are `Item` elements. Relative paths start at a context node's children.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PathExpr {
+    pub absolute: bool,
+    pub steps: Vec<Step>,
+}
+
+impl PathExpr {
+    /// Parse from text; see [`crate::parse`].
+    pub fn parse(input: &str) -> Result<PathExpr, crate::parse::PathParseError> {
+        crate::parse::parse_path(input)
+    }
+
+    /// The path with its last step removed (`None` if there are ≤1 steps).
+    pub fn parent_path(&self) -> Option<PathExpr> {
+        if self.steps.len() <= 1 {
+            return None;
+        }
+        Some(PathExpr {
+            absolute: self.absolute,
+            steps: self.steps[..self.steps.len() - 1].to_vec(),
+        })
+    }
+
+    /// The final step, if any.
+    pub fn last_step(&self) -> Option<&Step> {
+        self.steps.last()
+    }
+
+    /// True if any step uses the descendant axis or a wildcard — such
+    /// paths need conservative treatment during localization.
+    pub fn has_wildcards(&self) -> bool {
+        self.steps.iter().any(|s| {
+            s.axis == Axis::Descendant || matches!(s.test, NodeTest::AnyElement)
+        })
+    }
+
+    /// True if the final step addresses an attribute.
+    pub fn targets_attribute(&self) -> bool {
+        self.last_step().is_some_and(Step::is_attribute)
+    }
+
+    /// Concatenate: `self` followed by `suffix` (suffix must be relative).
+    pub fn join(&self, suffix: &PathExpr) -> PathExpr {
+        debug_assert!(!suffix.absolute, "cannot join an absolute path as suffix");
+        let mut steps = self.steps.clone();
+        steps.extend(suffix.steps.iter().cloned());
+        PathExpr { absolute: self.absolute, steps }
+    }
+
+    /// Strip `prefix` from the front of `self`, producing the relative
+    /// remainder. Only exact step-by-step prefixes are stripped (no
+    /// wildcard reasoning): used to re-root queries onto vertical
+    /// fragments, whose defining paths are wildcard-free by construction.
+    pub fn strip_prefix(&self, prefix: &PathExpr) -> Option<PathExpr> {
+        if self.absolute != prefix.absolute || prefix.steps.len() > self.steps.len() {
+            return None;
+        }
+        for (a, b) in self.steps.iter().zip(prefix.steps.iter()) {
+            if a.axis != b.axis || a.test != b.test {
+                return None;
+            }
+            // positions must be compatible: prefix pins i ⇒ query must
+            // either pin the same i or be unpinned (then the strip is
+            // still sound because the fragment only holds occurrence i).
+            if let (Some(x), Some(y)) = (a.position, b.position) {
+                if x != y {
+                    return None;
+                }
+            }
+        }
+        Some(PathExpr {
+            absolute: false,
+            steps: self.steps[prefix.steps.len()..].to_vec(),
+        })
+    }
+}
+
+impl fmt::Display for PathExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, step) in self.steps.iter().enumerate() {
+            match step.axis {
+                Axis::Child => {
+                    if self.absolute || i > 0 {
+                        f.write_str("/")?;
+                    }
+                }
+                Axis::Descendant => f.write_str("//")?,
+            }
+            match &step.test {
+                NodeTest::Name(n) => f.write_str(n)?,
+                NodeTest::AnyElement => f.write_str("*")?,
+                NodeTest::Attribute(n) => write!(f, "@{n}")?,
+            }
+            if let Some(p) = step.position {
+                write!(f, "[{p}]")?;
+            }
+        }
+        if self.steps.is_empty() {
+            f.write_str(if self.absolute { "/" } else { "." })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_roundtrip() {
+        for s in [
+            "/Store/Items/Item",
+            "//Description",
+            "/Item//Picture[1]/@path",
+            "/Store/*/Item",
+            "Items/Item",
+        ] {
+            let p = PathExpr::parse(s).unwrap();
+            assert_eq!(p.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parent_and_last() {
+        let p = PathExpr::parse("/a/b/c").unwrap();
+        assert_eq!(p.parent_path().unwrap().to_string(), "/a/b");
+        assert!(matches!(
+            &p.last_step().unwrap().test,
+            NodeTest::Name(n) if n == "c"
+        ));
+        let single = PathExpr::parse("/a").unwrap();
+        assert!(single.parent_path().is_none());
+    }
+
+    #[test]
+    fn join_concatenates() {
+        let base = PathExpr::parse("/Store/Items").unwrap();
+        let rel = PathExpr::parse("Item/Section").unwrap();
+        assert_eq!(base.join(&rel).to_string(), "/Store/Items/Item/Section");
+    }
+
+    #[test]
+    fn strip_prefix_exact() {
+        let q = PathExpr::parse("/Store/Items/Item/Section").unwrap();
+        let frag = PathExpr::parse("/Store/Items").unwrap();
+        assert_eq!(q.strip_prefix(&frag).unwrap().to_string(), "Item/Section");
+        let other = PathExpr::parse("/Store/Sections").unwrap();
+        assert!(q.strip_prefix(&other).is_none());
+    }
+
+    #[test]
+    fn strip_prefix_respects_positions() {
+        let q = PathExpr::parse("/a/b[2]/c").unwrap();
+        let ok = PathExpr::parse("/a/b[2]").unwrap();
+        let bad = PathExpr::parse("/a/b[1]").unwrap();
+        assert!(q.strip_prefix(&ok).is_some());
+        assert!(q.strip_prefix(&bad).is_none());
+    }
+
+    #[test]
+    fn wildcard_detection() {
+        assert!(PathExpr::parse("//a").unwrap().has_wildcards());
+        assert!(PathExpr::parse("/a/*").unwrap().has_wildcards());
+        assert!(!PathExpr::parse("/a/b").unwrap().has_wildcards());
+    }
+}

@@ -1,0 +1,265 @@
+//! Evaluation of path expressions over data trees.
+//!
+//! `eval_path` returns the selected nodes in document order without
+//! duplicates (descendant steps can reach the same node along different
+//! routes; results are deduplicated).
+
+use crate::ast::{Axis, NodeTest, PathExpr, Step};
+use partix_xml::{Document, NodeId, NodeKind, NodeRef};
+
+/// Evaluate `path` against a whole document.
+///
+/// Absolute paths match from the root: `/Store` selects the root iff its
+/// label is `Store`. Relative paths are evaluated with the root as the
+/// context node (first step matches the root's children).
+pub fn eval_path(doc: &Document, path: &PathExpr) -> Vec<NodeId> {
+    if path.absolute {
+        let Some(first) = path.steps.first() else {
+            return vec![NodeId::ROOT];
+        };
+        // First step of an absolute path is matched against the root
+        // element itself (document node → root element).
+        let mut roots = Vec::new();
+        match first.axis {
+            Axis::Child => {
+                if test_matches(doc.root(), &first.test)
+                    && first.position.unwrap_or(1) == 1
+                {
+                    roots.push(NodeId::ROOT);
+                }
+            }
+            Axis::Descendant => {
+                collect_descendant_matches(doc.root(), first, &mut roots);
+            }
+        }
+        eval_steps(doc, &roots, &path.steps[1..])
+    } else {
+        eval_path_from(doc, &[NodeId::ROOT], path)
+    }
+}
+
+/// Evaluate a (relative) path from the given context nodes.
+pub fn eval_path_from(doc: &Document, context: &[NodeId], path: &PathExpr) -> Vec<NodeId> {
+    eval_steps(doc, context, &path.steps)
+}
+
+fn eval_steps(doc: &Document, context: &[NodeId], steps: &[Step]) -> Vec<NodeId> {
+    let mut current: Vec<NodeId> = context.to_vec();
+    for step in steps {
+        let mut next = Vec::new();
+        for &ctx in &current {
+            let node = doc.get(ctx).expect("context node belongs to doc");
+            match step.axis {
+                Axis::Child => {
+                    let mut ordinal = 0u32;
+                    for child in node.children() {
+                        if test_matches(child, &step.test) {
+                            ordinal += 1;
+                            match step.position {
+                                Some(p) if p != ordinal => continue,
+                                _ => next.push(child.id()),
+                            }
+                        }
+                    }
+                }
+                Axis::Descendant => {
+                    for desc in node.descendants_or_self().skip(1) {
+                        if test_matches(desc, &step.test) {
+                            // positional descendant steps count per-parent
+                            if let Some(p) = step.position {
+                                let ord = sibling_ordinal(doc, desc, &step.test);
+                                if ord != p {
+                                    continue;
+                                }
+                            }
+                            next.push(desc.id());
+                        }
+                    }
+                }
+            }
+        }
+        next.sort_unstable();
+        next.dedup();
+        current = next;
+        if current.is_empty() {
+            break;
+        }
+    }
+    current
+}
+
+fn collect_descendant_matches(root: NodeRef<'_>, step: &Step, out: &mut Vec<NodeId>) {
+    for desc in root.descendants_or_self() {
+        if test_matches(desc, &step.test) {
+            if let Some(p) = step.position {
+                if sibling_ordinal(desc.document(), desc, &step.test) != p {
+                    continue;
+                }
+            }
+            out.push(desc.id());
+        }
+    }
+}
+
+/// 1-based position of `node` among siblings matching the same test.
+fn sibling_ordinal(doc: &Document, node: NodeRef<'_>, test: &NodeTest) -> u32 {
+    let Some(parent) = node.parent() else { return 1 };
+    let mut ord = 0u32;
+    for sib in parent.children() {
+        if test_matches(sib, test) {
+            ord += 1;
+            if sib.id() == node.id() {
+                return ord;
+            }
+        }
+    }
+    let _ = doc;
+    ord.max(1)
+}
+
+fn test_matches(node: NodeRef<'_>, test: &NodeTest) -> bool {
+    match test {
+        NodeTest::Name(name) => node.kind() == NodeKind::Element && node.label() == name,
+        NodeTest::AnyElement => node.kind() == NodeKind::Element,
+        NodeTest::Attribute(name) => {
+            node.kind() == NodeKind::Attribute && node.label() == name
+        }
+    }
+}
+
+/// The *string value* of a node selected by a path: text content for
+/// elements, the value for attributes and text nodes.
+pub fn string_value(doc: &Document, id: NodeId) -> String {
+    let node = doc.get(id).expect("node belongs to doc");
+    match node.kind() {
+        NodeKind::Element => node.text(),
+        NodeKind::Attribute | NodeKind::Text => node.value().unwrap_or("").to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partix_xml::parse;
+
+    fn item_doc() -> Document {
+        parse(
+            r#"<Item id="7">
+                 <Name>Animals</Name>
+                 <Section>CD</Section>
+                 <PictureList>
+                   <Picture><OriginalPath>/p/1.jpg</OriginalPath></Picture>
+                   <Picture><OriginalPath>/p/2.jpg</OriginalPath></Picture>
+                 </PictureList>
+                 <Characteristics><Description>very good album</Description></Characteristics>
+               </Item>"#,
+        )
+        .unwrap()
+    }
+
+    fn texts(doc: &Document, path: &str) -> Vec<String> {
+        let p = PathExpr::parse(path).unwrap();
+        eval_path(doc, &p)
+            .into_iter()
+            .map(|id| string_value(doc, id))
+            .collect()
+    }
+
+    #[test]
+    fn absolute_child_steps() {
+        let doc = item_doc();
+        assert_eq!(texts(&doc, "/Item/Section"), ["CD"]);
+        assert_eq!(texts(&doc, "/Item/Name"), ["Animals"]);
+        assert!(texts(&doc, "/Other/Name").is_empty());
+    }
+
+    #[test]
+    fn root_label_must_match() {
+        let doc = item_doc();
+        assert_eq!(texts(&doc, "/Item").len(), 1);
+        assert!(texts(&doc, "/Store").is_empty());
+    }
+
+    #[test]
+    fn attribute_step() {
+        let doc = item_doc();
+        assert_eq!(texts(&doc, "/Item/@id"), ["7"]);
+        assert!(texts(&doc, "/Item/@missing").is_empty());
+    }
+
+    #[test]
+    fn descendant_axis() {
+        let doc = item_doc();
+        assert_eq!(texts(&doc, "//Description"), ["very good album"]);
+        assert_eq!(texts(&doc, "//OriginalPath").len(), 2);
+        assert_eq!(texts(&doc, "/Item//OriginalPath").len(), 2);
+    }
+
+    #[test]
+    fn leading_descendant_can_match_root() {
+        let doc = item_doc();
+        assert_eq!(texts(&doc, "//Item").len(), 1);
+    }
+
+    #[test]
+    fn wildcard_step() {
+        let doc = item_doc();
+        // all element children of Item
+        assert_eq!(texts(&doc, "/Item/*").len(), 4);
+    }
+
+    #[test]
+    fn positional_step() {
+        let doc = item_doc();
+        assert_eq!(
+            texts(&doc, "/Item/PictureList/Picture[1]/OriginalPath"),
+            ["/p/1.jpg"]
+        );
+        assert_eq!(
+            texts(&doc, "/Item/PictureList/Picture[2]/OriginalPath"),
+            ["/p/2.jpg"]
+        );
+        assert!(texts(&doc, "/Item/PictureList/Picture[3]").is_empty());
+    }
+
+    #[test]
+    fn positional_descendant_step() {
+        let doc = item_doc();
+        assert_eq!(texts(&doc, "//Picture[2]/OriginalPath"), ["/p/2.jpg"]);
+    }
+
+    #[test]
+    fn results_in_document_order_no_duplicates() {
+        let doc = parse("<a><b><c/><b><c/></b></b><b><c/></b></a>").unwrap();
+        let p = PathExpr::parse("//b//c").unwrap();
+        let hits = eval_path(&doc, &p);
+        assert_eq!(hits.len(), 3);
+        let mut sorted = hits.clone();
+        sorted.sort_unstable();
+        assert_eq!(hits, sorted);
+    }
+
+    #[test]
+    fn relative_path_from_context() {
+        let doc = item_doc();
+        let pictures = eval_path(&doc, &PathExpr::parse("/Item/PictureList/Picture").unwrap());
+        let rel = PathExpr::parse("OriginalPath").unwrap();
+        let hits = eval_path_from(&doc, &pictures, &rel);
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn empty_absolute_path_selects_root() {
+        let doc = item_doc();
+        let p = PathExpr { absolute: true, steps: vec![] };
+        assert_eq!(eval_path(&doc, &p), vec![NodeId::ROOT]);
+    }
+
+    #[test]
+    fn string_value_of_element_concatenates() {
+        let doc = item_doc();
+        let p = PathExpr::parse("/Item/PictureList").unwrap();
+        let hits = eval_path(&doc, &p);
+        assert_eq!(string_value(&doc, hits[0]), "/p/1.jpg/p/2.jpg");
+    }
+}

@@ -1,0 +1,626 @@
+//! The query evaluator.
+
+use crate::ast::{Clause, Expr, PathSource, PathStart, Query, SortDir};
+use crate::func::call_function;
+use crate::value::{effective_boolean, general_compare, Item, Sequence};
+use partix_path::eval_path_from;
+use partix_path::PathExpr;
+use partix_xml::{Document, NodeId, NodeKind};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Supplies stored collections/documents to the evaluator — implemented
+/// by the storage engine (`partix-storage`) and, for tests, by
+/// [`MemProvider`].
+pub trait CollectionProvider {
+    /// All documents of a collection. Unknown names yield an error.
+    fn collection(&self, name: &str) -> Result<Vec<Arc<Document>>, EvalError>;
+
+    /// A single stored document by name.
+    fn document(&self, name: &str) -> Result<Arc<Document>, EvalError>;
+
+    /// Optional index-assisted pre-filter: documents of `name` that *may*
+    /// satisfy `predicate`. The default scans everything; storage engines
+    /// override this with index lookups. Implementations may
+    /// over-approximate but must never drop a qualifying document.
+    fn collection_filtered(
+        &self,
+        name: &str,
+        predicate: &partix_path::Predicate,
+    ) -> Result<Vec<Arc<Document>>, EvalError> {
+        let _ = predicate;
+        self.collection(name)
+    }
+}
+
+/// Evaluation failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    UnknownCollection(String),
+    UnknownDocument(String),
+    UnboundVariable(String),
+    UnknownFunction(String),
+    BadArity { function: String, expected: usize, found: usize },
+    TypeError(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnknownCollection(n) => write!(f, "unknown collection {n:?}"),
+            EvalError::UnknownDocument(n) => write!(f, "unknown document {n:?}"),
+            EvalError::UnboundVariable(v) => write!(f, "unbound variable ${v}"),
+            EvalError::UnknownFunction(n) => write!(f, "unknown function {n}()"),
+            EvalError::BadArity { function, expected, found } => {
+                write!(f, "{function}() expects {expected} argument(s), got {found}")
+            }
+            EvalError::TypeError(msg) => write!(f, "type error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// In-memory collection provider for tests and examples.
+#[derive(Debug, Default)]
+pub struct MemProvider {
+    collections: HashMap<String, Vec<Arc<Document>>>,
+}
+
+impl MemProvider {
+    pub fn new() -> MemProvider {
+        MemProvider::default()
+    }
+
+    pub fn add_collection(
+        &mut self,
+        name: &str,
+        docs: impl IntoIterator<Item = Document>,
+    ) -> &mut Self {
+        self.collections
+            .entry(name.to_owned())
+            .or_default()
+            .extend(docs.into_iter().map(Arc::new));
+        self
+    }
+}
+
+impl CollectionProvider for MemProvider {
+    fn collection(&self, name: &str) -> Result<Vec<Arc<Document>>, EvalError> {
+        self.collections
+            .get(name)
+            .cloned()
+            .ok_or_else(|| EvalError::UnknownCollection(name.to_owned()))
+    }
+
+    fn document(&self, name: &str) -> Result<Arc<Document>, EvalError> {
+        for docs in self.collections.values() {
+            if let Some(d) = docs.iter().find(|d| d.name.as_deref() == Some(name)) {
+                return Ok(Arc::clone(d));
+            }
+        }
+        Err(EvalError::UnknownDocument(name.to_owned()))
+    }
+}
+
+/// The evaluator: borrows a provider, evaluates queries against it.
+pub struct Evaluator<'a> {
+    provider: &'a dyn CollectionProvider,
+}
+
+impl<'a> Evaluator<'a> {
+    pub fn new(provider: &'a dyn CollectionProvider) -> Evaluator<'a> {
+        Evaluator { provider }
+    }
+
+    /// Evaluate a whole query.
+    pub fn eval(&self, query: &Query) -> Result<Sequence, EvalError> {
+        let env = Env::default();
+        self.eval_expr(&query.expr, &env)
+    }
+
+    fn eval_expr(&self, expr: &Expr, env: &Env) -> Result<Sequence, EvalError> {
+        match expr {
+            Expr::Str(s) => Ok(vec![Item::Str(s.clone())]),
+            Expr::Num(n) => Ok(vec![Item::Num(*n)]),
+            Expr::Text(t) => Ok(vec![Item::Str(t.clone())]),
+            Expr::Path(ps) => self.eval_path_source(ps, env),
+            Expr::Seq(es) => {
+                let mut out = Vec::new();
+                for e in es {
+                    out.extend(self.eval_expr(e, env)?);
+                }
+                Ok(out)
+            }
+            Expr::Cmp { lhs, op, rhs } => {
+                let l = self.eval_expr(lhs, env)?;
+                let r = self.eval_expr(rhs, env)?;
+                Ok(vec![Item::Bool(general_compare(&l, *op, &r))])
+            }
+            Expr::Arith { lhs, op, rhs } => {
+                // XQuery arithmetic: empty operand -> empty result;
+                // otherwise atomize the first item of each side
+                let l = self.eval_expr(lhs, env)?;
+                let r = self.eval_expr(rhs, env)?;
+                let (Some(a), Some(b)) = (l.first(), r.first()) else {
+                    return Ok(vec![]);
+                };
+                let (Some(a), Some(b)) = (a.number_value(), b.number_value()) else {
+                    return Err(EvalError::TypeError(format!(
+                        "arithmetic {op} needs numeric operands"
+                    )));
+                };
+                use crate::ast::ArithOp;
+                let v = match op {
+                    ArithOp::Add => a + b,
+                    ArithOp::Sub => a - b,
+                    ArithOp::Mul => a * b,
+                    ArithOp::Div => a / b,
+                    ArithOp::Mod => a % b,
+                };
+                Ok(vec![Item::Num(v)])
+            }
+            Expr::Neg(e) => {
+                let v = self.eval_expr(e, env)?;
+                match v.first() {
+                    None => Ok(vec![]),
+                    Some(item) => match item.number_value() {
+                        Some(n) => Ok(vec![Item::Num(-n)]),
+                        None => Err(EvalError::TypeError(
+                            "unary minus needs a numeric operand".into(),
+                        )),
+                    },
+                }
+            }
+            Expr::If { cond, then, els } => {
+                if effective_boolean(&self.eval_expr(cond, env)?) {
+                    self.eval_expr(then, env)
+                } else {
+                    self.eval_expr(els, env)
+                }
+            }
+            Expr::And(es) => {
+                for e in es {
+                    if !effective_boolean(&self.eval_expr(e, env)?) {
+                        return Ok(vec![Item::Bool(false)]);
+                    }
+                }
+                Ok(vec![Item::Bool(true)])
+            }
+            Expr::Or(es) => {
+                for e in es {
+                    if effective_boolean(&self.eval_expr(e, env)?) {
+                        return Ok(vec![Item::Bool(true)]);
+                    }
+                }
+                Ok(vec![Item::Bool(false)])
+            }
+            Expr::Call { name, args } => {
+                let mut arg_values = Vec::with_capacity(args.len());
+                for a in args {
+                    arg_values.push(self.eval_expr(a, env)?);
+                }
+                call_function(name, arg_values)
+            }
+            Expr::Element { name, attrs, children } => {
+                let mut doc = Document::new(name);
+                for (k, v) in attrs {
+                    doc.add_attribute(NodeId::ROOT, k, v);
+                }
+                for child in children {
+                    let seq = self.eval_expr(child, env)?;
+                    for item in seq {
+                        append_item(&mut doc, NodeId::ROOT, &item);
+                    }
+                }
+                Ok(vec![Item::Node(Arc::new(doc), NodeId::ROOT)])
+            }
+            Expr::Flwor { clauses, where_clause, order_by, ret } => {
+                let mut tuples = vec![env.clone()];
+                for clause in clauses {
+                    match clause {
+                        Clause::For(binding) => {
+                            let mut next = Vec::new();
+                            for tuple in &tuples {
+                                let seq = self.eval_expr(&binding.expr, tuple)?;
+                                for item in seq {
+                                    let mut t = tuple.clone();
+                                    t.bind(&binding.var, vec![item]);
+                                    next.push(t);
+                                }
+                            }
+                            tuples = next;
+                        }
+                        Clause::Let(binding) => {
+                            for tuple in &mut tuples {
+                                let seq = self.eval_expr(&binding.expr, tuple)?;
+                                tuple.bind(&binding.var, seq);
+                            }
+                        }
+                    }
+                }
+                if let Some(w) = where_clause {
+                    let mut kept = Vec::with_capacity(tuples.len());
+                    for tuple in tuples {
+                        if effective_boolean(&self.eval_expr(w, &tuple)?) {
+                            kept.push(tuple);
+                        }
+                    }
+                    tuples = kept;
+                }
+                if let Some((key, dir)) = order_by {
+                    let mut keyed: Vec<(SortKey, Env)> = Vec::with_capacity(tuples.len());
+                    for tuple in tuples {
+                        let seq = self.eval_expr(key, &tuple)?;
+                        keyed.push((SortKey::from_sequence(&seq), tuple));
+                    }
+                    keyed.sort_by(|a, b| a.0.cmp(&b.0));
+                    if *dir == SortDir::Descending {
+                        keyed.reverse();
+                    }
+                    tuples = keyed.into_iter().map(|(_, t)| t).collect();
+                }
+                let mut out = Vec::new();
+                for tuple in &tuples {
+                    out.extend(self.eval_expr(ret, tuple)?);
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    fn eval_path_source(&self, ps: &PathSource, env: &Env) -> Result<Sequence, EvalError> {
+        match &ps.start {
+            PathStart::Collection(name) => {
+                let docs = self.provider.collection(name)?;
+                let mut out = Vec::new();
+                for doc in docs {
+                    for id in eval_absolute(&doc, &ps.path) {
+                        out.push(Item::Node(Arc::clone(&doc), id));
+                    }
+                }
+                Ok(out)
+            }
+            PathStart::Doc(name) => {
+                let doc = self.provider.document(name)?;
+                Ok(eval_absolute(&doc, &ps.path)
+                    .into_iter()
+                    .map(|id| Item::Node(Arc::clone(&doc), id))
+                    .collect())
+            }
+            PathStart::Var(var) => {
+                let bound = env.lookup(var)?;
+                if ps.path.steps.is_empty() {
+                    return Ok(bound.clone());
+                }
+                let mut out = Vec::new();
+                for item in bound {
+                    if let Item::Node(doc, id) = item {
+                        for hit in eval_path_from(doc, &[*id], &ps.path) {
+                            out.push(Item::Node(Arc::clone(doc), hit));
+                        }
+                    }
+                }
+                Ok(out)
+            }
+        }
+    }
+}
+
+/// Evaluate a stored relative path against a document as if absolute
+/// (first step tests the root element) — the `collection("c")/Item`
+/// convention.
+fn eval_absolute(doc: &Document, path: &PathExpr) -> Vec<NodeId> {
+    let mut p = path.clone();
+    p.absolute = true;
+    partix_path::eval_path(doc, &p)
+}
+
+/// Variable bindings.
+#[derive(Debug, Clone, Default)]
+struct Env {
+    vars: HashMap<String, Sequence>,
+}
+
+impl Env {
+    fn bind(&mut self, var: &str, seq: Sequence) {
+        self.vars.insert(var.to_owned(), seq);
+    }
+
+    fn lookup(&self, var: &str) -> Result<&Sequence, EvalError> {
+        self.vars
+            .get(var)
+            .ok_or_else(|| EvalError::UnboundVariable(var.to_owned()))
+    }
+}
+
+/// Orderable key for `order by`: numeric when possible, else string.
+#[derive(Debug, PartialEq)]
+enum SortKey {
+    Empty,
+    Num(f64),
+    Str(String),
+}
+
+impl SortKey {
+    fn from_sequence(seq: &Sequence) -> SortKey {
+        match seq.first() {
+            None => SortKey::Empty,
+            Some(item) => match item.number_value() {
+                Some(n) => SortKey::Num(n),
+                None => SortKey::Str(item.string_value()),
+            },
+        }
+    }
+
+    fn cmp(&self, other: &SortKey) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        match (self, other) {
+            (SortKey::Empty, SortKey::Empty) => Ordering::Equal,
+            (SortKey::Empty, _) => Ordering::Less,
+            (_, SortKey::Empty) => Ordering::Greater,
+            (SortKey::Num(a), SortKey::Num(b)) => a.partial_cmp(b).unwrap_or(Ordering::Equal),
+            (SortKey::Str(a), SortKey::Str(b)) => a.cmp(b),
+            (SortKey::Num(_), SortKey::Str(_)) => Ordering::Less,
+            (SortKey::Str(_), SortKey::Num(_)) => Ordering::Greater,
+        }
+    }
+}
+
+/// Append an item into a document being constructed.
+fn append_item(doc: &mut Document, parent: NodeId, item: &Item) {
+    match item {
+        Item::Node(src, id) => {
+            let node = src.get(*id).expect("node belongs to doc");
+            match node.kind() {
+                NodeKind::Element => {
+                    doc.graft(parent, src, *id);
+                }
+                NodeKind::Attribute => {
+                    doc.add_attribute(parent, node.label(), node.value().unwrap_or(""));
+                }
+                NodeKind::Text => {
+                    doc.add_text(parent, node.value().unwrap_or(""));
+                }
+            }
+        }
+        other => {
+            doc.add_text(parent, &other.string_value());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use partix_xml::parse;
+
+    fn provider() -> MemProvider {
+        let mut p = MemProvider::new();
+        let docs = [
+            ("i1", r#"<Item><Code>1</Code><Name>Kind of Blue</Name><Section>CD</Section><Price>10</Price><Characteristics><Description>a good jazz record</Description></Characteristics></Item>"#),
+            ("i2", r#"<Item><Code>2</Code><Name>Brazil</Name><Section>DVD</Section><Price>25</Price><Characteristics><Description>dystopia</Description></Characteristics></Item>"#),
+            ("i3", r#"<Item><Code>3</Code><Name>Hunky Dory</Name><Section>CD</Section><Price>8</Price><Characteristics><Description>good rock</Description></Characteristics><PictureList><Picture><OriginalPath>p.jpg</OriginalPath></Picture></PictureList></Item>"#),
+        ];
+        p.add_collection(
+            "items",
+            docs.iter().map(|(name, xml)| {
+                let mut d = parse(xml).unwrap();
+                d.name = Some((*name).to_owned());
+                d
+            }),
+        );
+        p
+    }
+
+    fn run(src: &str) -> Sequence {
+        let p = provider();
+        let q = parse_query(src).unwrap();
+        Evaluator::new(&p).eval(&q).unwrap()
+    }
+
+    fn run_strings(src: &str) -> Vec<String> {
+        run(src).iter().map(Item::serialize).collect()
+    }
+
+    #[test]
+    fn selection_by_predicate() {
+        let names = run_strings(
+            r#"for $i in collection("items")/Item
+               where $i/Section = "CD"
+               return $i/Name"#,
+        );
+        assert_eq!(names, ["<Name>Kind of Blue</Name>", "<Name>Hunky Dory</Name>"]);
+    }
+
+    #[test]
+    fn text_search_contains() {
+        let names = run_strings(
+            r#"for $i in collection("items")/Item
+               where contains($i//Description, "good")
+               return $i/Code"#,
+        );
+        assert_eq!(names, ["<Code>1</Code>", "<Code>3</Code>"]);
+    }
+
+    #[test]
+    fn aggregation_count() {
+        let out = run(r#"count(for $i in collection("items")/Item where $i/Section = "CD" return $i)"#);
+        assert_eq!(out, vec![Item::Num(2.0)]);
+    }
+
+    #[test]
+    fn aggregation_sum_avg_min_max() {
+        let out = run(r#"sum(for $i in collection("items")/Item return number($i/Price))"#);
+        assert_eq!(out, vec![Item::Num(43.0)]);
+        let out = run(r#"avg(for $i in collection("items")/Item return number($i/Price))"#);
+        assert!(matches!(out[0], Item::Num(n) if (n - 43.0 / 3.0).abs() < 1e-9));
+        let out = run(r#"min(for $i in collection("items")/Item return number($i/Price))"#);
+        assert_eq!(out, vec![Item::Num(8.0)]);
+        let out = run(r#"max(for $i in collection("items")/Item return number($i/Price))"#);
+        assert_eq!(out, vec![Item::Num(25.0)]);
+    }
+
+    #[test]
+    fn numeric_where() {
+        let names = run_strings(
+            r#"for $i in collection("items")/Item where $i/Price < 20 return $i/Code"#,
+        );
+        assert_eq!(names, ["<Code>1</Code>", "<Code>3</Code>"]);
+    }
+
+    #[test]
+    fn existential_where() {
+        let names = run_strings(
+            r#"for $i in collection("items")/Item where exists($i/PictureList) return $i/Code"#,
+        );
+        assert_eq!(names, ["<Code>3</Code>"]);
+        let names = run_strings(
+            r#"for $i in collection("items")/Item where empty($i/PictureList) return $i/Code"#,
+        );
+        assert_eq!(names, ["<Code>1</Code>", "<Code>2</Code>"]);
+    }
+
+    #[test]
+    fn order_by_price() {
+        let codes = run_strings(
+            r#"for $i in collection("items")/Item
+               order by number($i/Price)
+               return $i/Code"#,
+        );
+        assert_eq!(codes, ["<Code>3</Code>", "<Code>1</Code>", "<Code>2</Code>"]);
+        let codes = run_strings(
+            r#"for $i in collection("items")/Item
+               order by number($i/Price) descending
+               return $i/Code"#,
+        );
+        assert_eq!(codes, ["<Code>2</Code>", "<Code>1</Code>", "<Code>3</Code>"]);
+    }
+
+    #[test]
+    fn let_binding() {
+        let out = run_strings(
+            r#"for $i in collection("items")/Item
+               let $d := $i//Description
+               where contains($d, "jazz")
+               return $d"#,
+        );
+        assert_eq!(out, ["<Description>a good jazz record</Description>"]);
+    }
+
+    #[test]
+    fn element_construction() {
+        let out = run_strings(
+            r#"for $i in collection("items")/Item
+               where $i/Code = "1"
+               return <hit section="CD">{$i/Name}</hit>"#,
+        );
+        assert_eq!(out, [r#"<hit section="CD"><Name>Kind of Blue</Name></hit>"#]);
+    }
+
+    #[test]
+    fn nested_flwor() {
+        let out = run(
+            r#"count(for $i in collection("items")/Item
+                     where count(for $j in collection("items")/Item
+                                 where $j/Section = $i/Section return $j) > 1
+                     return $i)"#,
+        );
+        assert_eq!(out, vec![Item::Num(2.0)]); // two CDs
+    }
+
+    #[test]
+    fn doc_access() {
+        let p = provider();
+        let q = parse_query(r#"doc("i2")/Item/Name"#).unwrap();
+        let out = Evaluator::new(&p).eval(&q).unwrap();
+        assert_eq!(out[0].serialize(), "<Name>Brazil</Name>");
+    }
+
+    #[test]
+    fn unknown_collection_error() {
+        let p = provider();
+        let q = parse_query(r#"for $i in collection("nope")/x return $i"#).unwrap();
+        assert!(matches!(
+            Evaluator::new(&p).eval(&q),
+            Err(EvalError::UnknownCollection(_))
+        ));
+    }
+
+    #[test]
+    fn unbound_variable_error() {
+        let p = provider();
+        let q = parse_query(r#"for $i in collection("items")/Item return $zzz"#).unwrap();
+        assert!(matches!(
+            Evaluator::new(&p).eval(&q),
+            Err(EvalError::UnboundVariable(_))
+        ));
+    }
+
+    #[test]
+    fn attribute_results() {
+        let mut p = MemProvider::new();
+        p.add_collection("c", [parse(r#"<a id="7"><b/></a>"#).unwrap()]);
+        let q = parse_query(r#"for $x in collection("c")/a return $x/@id"#).unwrap();
+        let out = Evaluator::new(&p).eval(&q).unwrap();
+        assert_eq!(out[0].serialize(), "id=\"7\"");
+        assert_eq!(out[0].string_value(), "7");
+    }
+
+    #[test]
+    fn descendant_path_from_collection() {
+        let out = run(r#"count(collection("items")//Description)"#);
+        assert_eq!(out, vec![Item::Num(3.0)]);
+    }
+
+    #[test]
+    fn arithmetic_evaluation() {
+        let out = run(r#"1 + 2 * 3 - 4"#);
+        assert_eq!(out, vec![Item::Num(3.0)]);
+        let out = run(r#"10 div 4"#);
+        assert_eq!(out, vec![Item::Num(2.5)]);
+        let out = run(r#"10 mod 3"#);
+        assert_eq!(out, vec![Item::Num(1.0)]);
+        let out = run(r#"-(2 + 3)"#);
+        assert_eq!(out, vec![Item::Num(-5.0)]);
+    }
+
+    #[test]
+    fn arithmetic_over_node_values() {
+        // prices: 10, 25, 8 — doubled and filtered (20 is not > 20)
+        let codes = run_strings(
+            r#"for $i in collection("items")/Item
+               where $i/Price * 2 > 20 return $i/Code"#,
+        );
+        assert_eq!(codes, ["<Code>2</Code>"]);
+        let out = run(r#"sum(for $i in collection("items")/Item return $i/Price + 1)"#);
+        assert_eq!(out, vec![Item::Num(46.0)]);
+    }
+
+    #[test]
+    fn arithmetic_empty_operand_is_empty() {
+        let out = run(r#"for $i in collection("items")/Item where $i/Code = "1" return $i/Nothing + 1"#);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn conditional_evaluation() {
+        let out = run_strings(
+            r#"for $i in collection("items")/Item
+               order by number($i/Code)
+               return if ($i/Price > 20) then concat($i/Code, ":pricey")
+                      else concat($i/Code, ":cheap")"#,
+        );
+        assert_eq!(out, ["1:cheap", "2:pricey", "3:cheap"]);
+    }
+
+    #[test]
+    fn multiple_fors_cross_product() {
+        let out = run(
+            r#"count(for $i in collection("items")/Item, $j in collection("items")/Item return $i)"#,
+        );
+        assert_eq!(out, vec![Item::Num(9.0)]);
+    }
+}

@@ -1,0 +1,339 @@
+//! Built-in functions of the XQuery subset.
+
+use crate::eval::EvalError;
+use crate::value::{effective_boolean, format_number, Item, Sequence};
+
+/// Dispatch a function call on already-evaluated arguments.
+pub fn call_function(name: &str, mut args: Vec<Sequence>) -> Result<Sequence, EvalError> {
+    match name {
+        "count" => {
+            let arg = one_arg(name, &mut args)?;
+            Ok(vec![Item::Num(arg.len() as f64)])
+        }
+        "sum" => {
+            let arg = one_arg(name, &mut args)?;
+            let mut total = 0.0;
+            for item in &arg {
+                total += item.number_value().ok_or_else(|| {
+                    EvalError::TypeError(format!(
+                        "sum(): item {:?} is not numeric",
+                        item.string_value()
+                    ))
+                })?;
+            }
+            Ok(vec![Item::Num(total)])
+        }
+        "avg" => {
+            let arg = one_arg(name, &mut args)?;
+            if arg.is_empty() {
+                return Ok(vec![]);
+            }
+            let mut total = 0.0;
+            for item in &arg {
+                total += item.number_value().ok_or_else(|| {
+                    EvalError::TypeError(format!(
+                        "avg(): item {:?} is not numeric",
+                        item.string_value()
+                    ))
+                })?;
+            }
+            Ok(vec![Item::Num(total / arg.len() as f64)])
+        }
+        "min" | "max" => {
+            let arg = one_arg(name, &mut args)?;
+            if arg.is_empty() {
+                return Ok(vec![]);
+            }
+            // numeric if every item is numeric; else string comparison
+            let nums: Option<Vec<f64>> = arg.iter().map(Item::number_value).collect();
+            match nums {
+                Some(nums) => {
+                    let v = if name == "min" {
+                        nums.into_iter().fold(f64::INFINITY, f64::min)
+                    } else {
+                        nums.into_iter().fold(f64::NEG_INFINITY, f64::max)
+                    };
+                    Ok(vec![Item::Num(v)])
+                }
+                None => {
+                    let mut strs: Vec<String> =
+                        arg.iter().map(Item::string_value).collect();
+                    strs.sort();
+                    let v = if name == "min" {
+                        strs.remove(0)
+                    } else {
+                        strs.pop().expect("non-empty")
+                    };
+                    Ok(vec![Item::Str(v)])
+                }
+            }
+        }
+        "empty" => {
+            let arg = one_arg(name, &mut args)?;
+            Ok(vec![Item::Bool(arg.is_empty())])
+        }
+        "exists" => {
+            let arg = one_arg(name, &mut args)?;
+            Ok(vec![Item::Bool(!arg.is_empty())])
+        }
+        "not" => {
+            let arg = one_arg(name, &mut args)?;
+            Ok(vec![Item::Bool(!effective_boolean(&arg))])
+        }
+        "contains" => {
+            let (haystack, needle) = two_args(name, &mut args)?;
+            let needle = first_string(&needle);
+            Ok(vec![Item::Bool(
+                haystack.iter().any(|item| item.string_value().contains(&needle)),
+            )])
+        }
+        "starts-with" => {
+            let (haystack, needle) = two_args(name, &mut args)?;
+            let needle = first_string(&needle);
+            Ok(vec![Item::Bool(
+                haystack.iter().any(|item| item.string_value().starts_with(&needle)),
+            )])
+        }
+        "string" => {
+            let arg = one_arg(name, &mut args)?;
+            Ok(match arg.first() {
+                Some(item) => vec![Item::Str(item.string_value())],
+                None => vec![Item::Str(String::new())],
+            })
+        }
+        "number" => {
+            let arg = one_arg(name, &mut args)?;
+            Ok(match arg.first().and_then(Item::number_value) {
+                Some(n) => vec![Item::Num(n)],
+                None => vec![],
+            })
+        }
+        "string-length" => {
+            let arg = one_arg(name, &mut args)?;
+            let len = arg.first().map_or(0, |i| i.string_value().chars().count());
+            Ok(vec![Item::Num(len as f64)])
+        }
+        "concat" => {
+            let mut out = String::new();
+            for arg in &args {
+                if let Some(item) = arg.first() {
+                    out.push_str(&item.string_value());
+                }
+            }
+            Ok(vec![Item::Str(out)])
+        }
+        "data" => {
+            let arg = one_arg(name, &mut args)?;
+            Ok(arg.iter().map(|i| Item::Str(i.string_value())).collect())
+        }
+        "distinct-values" => {
+            let arg = one_arg(name, &mut args)?;
+            let mut seen = std::collections::HashSet::new();
+            let mut out = Vec::new();
+            for item in &arg {
+                let v = item.string_value();
+                if seen.insert(v.clone()) {
+                    out.push(Item::Str(v));
+                }
+            }
+            Ok(out)
+        }
+        "round" => {
+            let arg = one_arg(name, &mut args)?;
+            Ok(match arg.first().and_then(Item::number_value) {
+                Some(n) => vec![Item::Num(n.round())],
+                None => vec![],
+            })
+        }
+        "string-join" => {
+            let (items, sep) = two_args(name, &mut args)?;
+            let sep = first_string(&sep);
+            let joined = items
+                .iter()
+                .map(Item::string_value)
+                .collect::<Vec<_>>()
+                .join(&sep);
+            Ok(vec![Item::Str(joined)])
+        }
+        _ => Err(EvalError::UnknownFunction(name.to_owned())),
+    }
+}
+
+fn one_arg(name: &str, args: &mut Vec<Sequence>) -> Result<Sequence, EvalError> {
+    if args.len() != 1 {
+        return Err(EvalError::BadArity {
+            function: name.to_owned(),
+            expected: 1,
+            found: args.len(),
+        });
+    }
+    Ok(args.pop().expect("checked length"))
+}
+
+fn two_args(name: &str, args: &mut Vec<Sequence>) -> Result<(Sequence, Sequence), EvalError> {
+    if args.len() != 2 {
+        return Err(EvalError::BadArity {
+            function: name.to_owned(),
+            expected: 2,
+            found: args.len(),
+        });
+    }
+    let second = args.pop().expect("checked length");
+    let first = args.pop().expect("checked length");
+    Ok((first, second))
+}
+
+fn first_string(seq: &Sequence) -> String {
+    seq.first().map(Item::string_value).unwrap_or_default()
+}
+
+/// Render a sequence the way the PartiX driver ships results: one line
+/// per item.
+pub fn serialize_sequence(seq: &Sequence) -> String {
+    let mut out = String::new();
+    for (i, item) in seq.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        match item {
+            Item::Num(n) => out.push_str(&format_number(*n)),
+            other => out.push_str(&other.serialize()),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn num(n: f64) -> Sequence {
+        vec![Item::Num(n)]
+    }
+
+    #[test]
+    fn count_sum_avg() {
+        let seq = vec![Item::Num(1.0), Item::Num(2.0), Item::Num(3.0)];
+        assert_eq!(call_function("count", vec![seq.clone()]).unwrap(), num(3.0));
+        assert_eq!(call_function("sum", vec![seq.clone()]).unwrap(), num(6.0));
+        assert_eq!(call_function("avg", vec![seq]).unwrap(), num(2.0));
+        assert_eq!(call_function("count", vec![vec![]]).unwrap(), num(0.0));
+        assert_eq!(call_function("sum", vec![vec![]]).unwrap(), num(0.0));
+        assert_eq!(call_function("avg", vec![vec![]]).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn sum_type_error() {
+        let seq = vec![Item::Str("abc".into())];
+        assert!(matches!(
+            call_function("sum", vec![seq]),
+            Err(EvalError::TypeError(_))
+        ));
+    }
+
+    #[test]
+    fn min_max_numeric_and_string() {
+        let nums = vec![Item::Num(5.0), Item::Num(2.0), Item::Num(9.0)];
+        assert_eq!(call_function("min", vec![nums.clone()]).unwrap(), num(2.0));
+        assert_eq!(call_function("max", vec![nums]).unwrap(), num(9.0));
+        let strs = vec![Item::Str("pear".into()), Item::Str("apple".into())];
+        assert_eq!(
+            call_function("min", vec![strs.clone()]).unwrap(),
+            vec![Item::Str("apple".into())]
+        );
+        assert_eq!(
+            call_function("max", vec![strs]).unwrap(),
+            vec![Item::Str("pear".into())]
+        );
+    }
+
+    #[test]
+    fn boolean_functions() {
+        assert_eq!(
+            call_function("empty", vec![vec![]]).unwrap(),
+            vec![Item::Bool(true)]
+        );
+        assert_eq!(
+            call_function("exists", vec![num(1.0)]).unwrap(),
+            vec![Item::Bool(true)]
+        );
+        assert_eq!(
+            call_function("not", vec![vec![Item::Bool(true)]]).unwrap(),
+            vec![Item::Bool(false)]
+        );
+    }
+
+    #[test]
+    fn string_functions() {
+        assert_eq!(
+            call_function(
+                "contains",
+                vec![vec![Item::Str("a good record".into())], vec![Item::Str("good".into())]]
+            )
+            .unwrap(),
+            vec![Item::Bool(true)]
+        );
+        assert_eq!(
+            call_function(
+                "concat",
+                vec![vec![Item::Str("a".into())], vec![Item::Str("b".into())]]
+            )
+            .unwrap(),
+            vec![Item::Str("ab".into())]
+        );
+        assert_eq!(
+            call_function("string-length", vec![vec![Item::Str("maçã".into())]]).unwrap(),
+            num(4.0)
+        );
+        assert_eq!(
+            call_function(
+                "string-join",
+                vec![
+                    vec![Item::Str("a".into()), Item::Str("b".into())],
+                    vec![Item::Str(",".into())]
+                ]
+            )
+            .unwrap(),
+            vec![Item::Str("a,b".into())]
+        );
+    }
+
+    #[test]
+    fn distinct_values() {
+        let seq = vec![
+            Item::Str("CD".into()),
+            Item::Str("DVD".into()),
+            Item::Str("CD".into()),
+        ];
+        assert_eq!(
+            call_function("distinct-values", vec![seq]).unwrap(),
+            vec![Item::Str("CD".into()), Item::Str("DVD".into())]
+        );
+    }
+
+    #[test]
+    fn arity_errors() {
+        assert!(matches!(
+            call_function("count", vec![]),
+            Err(EvalError::BadArity { .. })
+        ));
+        assert!(matches!(
+            call_function("contains", vec![vec![]]),
+            Err(EvalError::BadArity { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_function() {
+        assert!(matches!(
+            call_function("frobnicate", vec![]),
+            Err(EvalError::UnknownFunction(_))
+        ));
+    }
+
+    #[test]
+    fn sequence_serialization() {
+        let seq = vec![Item::Num(3.0), Item::Str("x".into())];
+        assert_eq!(serialize_sequence(&seq), "3\nx");
+    }
+}

@@ -1,0 +1,354 @@
+//! Tokenizer for the XQuery subset.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Bare name: keywords, function names, step names.
+    Name(String),
+    /// `$name`
+    Var(String),
+    Str(String),
+    Num(f64),
+    Slash,
+    DoubleSlash,
+    At,
+    Star,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Comma,
+    Plus,
+    Minus,
+    Assign, // :=
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// `<` immediately followed by a name start — beginning of a direct
+    /// element constructor. Distinguished during lexing by lookahead.
+    TagOpen(String),
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Name(n) => write!(f, "{n}"),
+            Token::Var(v) => write!(f, "${v}"),
+            Token::Str(s) => write!(f, "\"{s}\""),
+            Token::Num(n) => write!(f, "{n}"),
+            Token::Slash => f.write_str("/"),
+            Token::DoubleSlash => f.write_str("//"),
+            Token::At => f.write_str("@"),
+            Token::Star => f.write_str("*"),
+            Token::LParen => f.write_str("("),
+            Token::RParen => f.write_str(")"),
+            Token::LBracket => f.write_str("["),
+            Token::RBracket => f.write_str("]"),
+            Token::LBrace => f.write_str("{"),
+            Token::RBrace => f.write_str("}"),
+            Token::Comma => f.write_str(","),
+            Token::Plus => f.write_str("+"),
+            Token::Minus => f.write_str("-"),
+            Token::Assign => f.write_str(":="),
+            Token::Eq => f.write_str("="),
+            Token::Ne => f.write_str("!="),
+            Token::Lt => f.write_str("<"),
+            Token::Le => f.write_str("<="),
+            Token::Gt => f.write_str(">"),
+            Token::Ge => f.write_str(">="),
+            Token::TagOpen(n) => write!(f, "<{n}"),
+            Token::Eof => f.write_str("<eof>"),
+        }
+    }
+}
+
+/// A token plus its byte offset (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    pub token: Token,
+    pub offset: usize,
+}
+
+/// A lexical error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    pub offset: usize,
+    pub message: String,
+}
+
+/// Tokenize a query. Comments `(: … :)` are skipped (nesting supported).
+pub fn tokenize(input: &str) -> Result<Vec<Spanned>, LexError> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let start = pos;
+        let b = bytes[pos];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                pos += 1;
+            }
+            b'(' if bytes.get(pos + 1) == Some(&b':') => {
+                // comment, possibly nested
+                let mut depth = 1;
+                pos += 2;
+                while pos < bytes.len() && depth > 0 {
+                    if bytes[pos] == b'(' && bytes.get(pos + 1) == Some(&b':') {
+                        depth += 1;
+                        pos += 2;
+                    } else if bytes[pos] == b':' && bytes.get(pos + 1) == Some(&b')') {
+                        depth -= 1;
+                        pos += 2;
+                    } else {
+                        pos += 1;
+                    }
+                }
+                if depth > 0 {
+                    return Err(LexError { offset: start, message: "unterminated comment".into() });
+                }
+            }
+            b'$' => {
+                pos += 1;
+                let name = lex_name(input, &mut pos)
+                    .ok_or_else(|| LexError { offset: pos, message: "expected variable name".into() })?;
+                out.push(Spanned { token: Token::Var(name), offset: start });
+            }
+            b'"' | b'\'' => {
+                let quote = b;
+                pos += 1;
+                let str_start = pos;
+                while pos < bytes.len() && bytes[pos] != quote {
+                    pos += 1;
+                }
+                if pos >= bytes.len() {
+                    return Err(LexError { offset: start, message: "unterminated string".into() });
+                }
+                out.push(Spanned {
+                    token: Token::Str(input[str_start..pos].to_owned()),
+                    offset: start,
+                });
+                pos += 1;
+            }
+            b'0'..=b'9' => {
+                while pos < bytes.len()
+                    && (bytes[pos].is_ascii_digit() || bytes[pos] == b'.')
+                {
+                    pos += 1;
+                }
+                let n: f64 = input[start..pos]
+                    .parse()
+                    .map_err(|_| LexError { offset: start, message: "invalid number".into() })?;
+                out.push(Spanned { token: Token::Num(n), offset: start });
+            }
+            b'/' => {
+                if bytes.get(pos + 1) == Some(&b'/') {
+                    out.push(Spanned { token: Token::DoubleSlash, offset: start });
+                    pos += 2;
+                } else {
+                    out.push(Spanned { token: Token::Slash, offset: start });
+                    pos += 1;
+                }
+            }
+            b'@' => {
+                out.push(Spanned { token: Token::At, offset: start });
+                pos += 1;
+            }
+            b'*' => {
+                out.push(Spanned { token: Token::Star, offset: start });
+                pos += 1;
+            }
+            b'(' => {
+                out.push(Spanned { token: Token::LParen, offset: start });
+                pos += 1;
+            }
+            b')' => {
+                out.push(Spanned { token: Token::RParen, offset: start });
+                pos += 1;
+            }
+            b'[' => {
+                out.push(Spanned { token: Token::LBracket, offset: start });
+                pos += 1;
+            }
+            b']' => {
+                out.push(Spanned { token: Token::RBracket, offset: start });
+                pos += 1;
+            }
+            b'{' => {
+                out.push(Spanned { token: Token::LBrace, offset: start });
+                pos += 1;
+            }
+            b'}' => {
+                out.push(Spanned { token: Token::RBrace, offset: start });
+                pos += 1;
+            }
+            b',' => {
+                out.push(Spanned { token: Token::Comma, offset: start });
+                pos += 1;
+            }
+            b'+' => {
+                out.push(Spanned { token: Token::Plus, offset: start });
+                pos += 1;
+            }
+            b'-' => {
+                out.push(Spanned { token: Token::Minus, offset: start });
+                pos += 1;
+            }
+            b':' if bytes.get(pos + 1) == Some(&b'=') => {
+                out.push(Spanned { token: Token::Assign, offset: start });
+                pos += 2;
+            }
+            b'=' => {
+                out.push(Spanned { token: Token::Eq, offset: start });
+                pos += 1;
+            }
+            b'!' if bytes.get(pos + 1) == Some(&b'=') => {
+                out.push(Spanned { token: Token::Ne, offset: start });
+                pos += 2;
+            }
+            b'<' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    out.push(Spanned { token: Token::Le, offset: start });
+                    pos += 2;
+                } else if bytes
+                    .get(pos + 1)
+                    .is_some_and(|&c| c.is_ascii_alphabetic() || c == b'_')
+                {
+                    // direct element constructor
+                    pos += 1;
+                    let name = lex_name(input, &mut pos)
+                        .ok_or_else(|| LexError { offset: pos, message: "bad tag name".into() })?;
+                    out.push(Spanned { token: Token::TagOpen(name), offset: start });
+                } else {
+                    out.push(Spanned { token: Token::Lt, offset: start });
+                    pos += 1;
+                }
+            }
+            b'>' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    out.push(Spanned { token: Token::Ge, offset: start });
+                    pos += 2;
+                } else {
+                    out.push(Spanned { token: Token::Gt, offset: start });
+                    pos += 1;
+                }
+            }
+            _ => {
+                if let Some(name) = lex_name(input, &mut pos) {
+                    out.push(Spanned { token: Token::Name(name), offset: start });
+                } else {
+                    return Err(LexError {
+                        offset: start,
+                        message: format!("unexpected character {:?}", input[start..].chars().next().unwrap_or('?')),
+                    });
+                }
+            }
+        }
+    }
+    out.push(Spanned { token: Token::Eof, offset: input.len() });
+    Ok(out)
+}
+
+fn lex_name(input: &str, pos: &mut usize) -> Option<String> {
+    let start = *pos;
+    let mut chars = input[*pos..].char_indices().peekable();
+    match chars.peek() {
+        Some((_, c)) if c.is_alphabetic() || *c == '_' => {}
+        _ => return None,
+    }
+    for (i, c) in chars {
+        if c.is_alphanumeric() || c == '_' || c == '-' || c == '.' {
+            *pos = start + i + c.len_utf8();
+        } else {
+            break;
+        }
+    }
+    if *pos == start {
+        // single-char name
+        let c = input[start..].chars().next()?;
+        *pos = start + c.len_utf8();
+    }
+    Some(input[start..*pos].to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        tokenize(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn basic_flwor_tokens() {
+        let t = toks(r#"for $i in collection("items")/Item where $i/Section = "CD" return $i"#);
+        assert_eq!(t[0], Token::Name("for".into()));
+        assert_eq!(t[1], Token::Var("i".into()));
+        assert!(t.contains(&Token::Str("items".into())));
+        assert!(t.contains(&Token::Eq));
+        assert_eq!(*t.last().unwrap(), Token::Eof);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            toks("= != < <= > >= :="),
+            [
+                Token::Eq,
+                Token::Ne,
+                Token::Lt,
+                Token::Le,
+                Token::Gt,
+                Token::Ge,
+                Token::Assign,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn tag_open_vs_less_than() {
+        let t = toks("<hit> $a < 3");
+        assert_eq!(t[0], Token::TagOpen("hit".into()));
+        assert_eq!(t[1], Token::Gt);
+        assert_eq!(t[3], Token::Lt);
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let t = toks("for (: a comment (: nested :) still :) $i");
+        assert_eq!(t, [Token::Name("for".into()), Token::Var("i".into()), Token::Eof]);
+    }
+
+    #[test]
+    fn numbers_and_paths() {
+        let t = toks("/a//b[1] 3.25");
+        assert_eq!(
+            t,
+            [
+                Token::Slash,
+                Token::Name("a".into()),
+                Token::DoubleSlash,
+                Token::Name("b".into()),
+                Token::LBracket,
+                Token::Num(1.0),
+                Token::RBracket,
+                Token::Num(3.25),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(tokenize(r#" "abc "#).is_err());
+        assert!(tokenize("(: never closed").is_err());
+    }
+}

@@ -1,0 +1,595 @@
+//! Recursive-descent parser for the XQuery subset.
+//!
+//! Direct element constructors are supported with computed content only:
+//! children are `{ expr }` blocks or nested constructors (write literal
+//! text as `{"text"}`). This keeps the token stream uniform; every query
+//! shape in the paper is expressible.
+
+use crate::ast::{ArithOp, Binding, Clause, Expr, PathSource, PathStart, Query, SortDir};
+use crate::lexer::{tokenize, Spanned, Token};
+use partix_path::{Axis, CmpOp, NodeTest, PathExpr, Step};
+use std::fmt;
+
+/// Parse error with byte offset into the query text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryParseError {
+    pub offset: usize,
+    pub message: String,
+}
+
+impl fmt::Display for QueryParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "query parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for QueryParseError {}
+
+/// Parse a query.
+pub fn parse_query(input: &str) -> Result<Query, QueryParseError> {
+    let tokens = tokenize(input)
+        .map_err(|e| QueryParseError { offset: e.offset, message: e.message })?;
+    let mut p = Parser { tokens, pos: 0 };
+    let expr = p.expr()?;
+    p.expect(&Token::Eof)?;
+    Ok(Query { expr })
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos].token
+    }
+
+    fn peek2(&self) -> &Token {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].token
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens[self.pos].offset
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].token.clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, message: impl Into<String>) -> QueryParseError {
+        QueryParseError { offset: self.offset(), message: message.into() }
+    }
+
+    fn expect(&mut self, token: &Token) -> Result<(), QueryParseError> {
+        if self.peek() == token {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {token}, found {}", self.peek())))
+        }
+    }
+
+    fn at_name(&self, kw: &str) -> bool {
+        matches!(self.peek(), Token::Name(n) if n == kw)
+    }
+
+    fn eat_name(&mut self, kw: &str) -> bool {
+        if self.at_name(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, QueryParseError> {
+        if self.at_name("for") || self.at_name("let") {
+            self.flwor()
+        } else {
+            self.or_expr()
+        }
+    }
+
+    fn flwor(&mut self) -> Result<Expr, QueryParseError> {
+        let mut clauses = Vec::new();
+        loop {
+            if self.eat_name("for") {
+                loop {
+                    let var = self.var_name()?;
+                    if !self.eat_name("in") {
+                        return Err(self.error("expected 'in'"));
+                    }
+                    let expr = self.or_expr()?;
+                    clauses.push(Clause::For(Binding { var, expr }));
+                    if self.peek() != &Token::Comma {
+                        break;
+                    }
+                    self.bump();
+                }
+            } else if self.eat_name("let") {
+                loop {
+                    let var = self.var_name()?;
+                    self.expect(&Token::Assign)?;
+                    let expr = self.or_expr()?;
+                    clauses.push(Clause::Let(Binding { var, expr }));
+                    if self.peek() != &Token::Comma {
+                        break;
+                    }
+                    self.bump();
+                }
+            } else {
+                break;
+            }
+        }
+        let where_clause = if self.eat_name("where") {
+            Some(Box::new(self.or_expr()?))
+        } else {
+            None
+        };
+        let order_by = if self.eat_name("order") {
+            if !self.eat_name("by") {
+                return Err(self.error("expected 'by' after 'order'"));
+            }
+            let key = self.or_expr()?;
+            let dir = if self.eat_name("descending") {
+                SortDir::Descending
+            } else {
+                self.eat_name("ascending");
+                SortDir::Ascending
+            };
+            Some((Box::new(key), dir))
+        } else {
+            None
+        };
+        if !self.eat_name("return") {
+            return Err(self.error("expected 'return'"));
+        }
+        let ret = Box::new(self.expr()?);
+        Ok(Expr::Flwor { clauses, where_clause, order_by, ret })
+    }
+
+    fn var_name(&mut self) -> Result<String, QueryParseError> {
+        match self.bump() {
+            Token::Var(v) => Ok(v),
+            other => Err(QueryParseError {
+                offset: self.tokens[self.pos.saturating_sub(1)].offset,
+                message: format!("expected a variable, found {other}"),
+            }),
+        }
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, QueryParseError> {
+        let mut terms = vec![self.and_expr()?];
+        while self.at_name("or") {
+            self.bump();
+            terms.push(self.and_expr()?);
+        }
+        Ok(if terms.len() == 1 { terms.pop().expect("one") } else { Expr::Or(terms) })
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, QueryParseError> {
+        let mut terms = vec![self.cmp_expr()?];
+        while self.at_name("and") {
+            self.bump();
+            terms.push(self.cmp_expr()?);
+        }
+        Ok(if terms.len() == 1 { terms.pop().expect("one") } else { Expr::And(terms) })
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, QueryParseError> {
+        let lhs = self.additive()?;
+        let op = match self.peek() {
+            Token::Eq => CmpOp::Eq,
+            Token::Ne => CmpOp::Ne,
+            Token::Lt => CmpOp::Lt,
+            Token::Le => CmpOp::Le,
+            Token::Gt => CmpOp::Gt,
+            Token::Ge => CmpOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.additive()?;
+        Ok(Expr::Cmp { lhs: Box::new(lhs), op, rhs: Box::new(rhs) })
+    }
+
+    // additive ::= multiplicative (('+' | '-') multiplicative)*
+    fn additive(&mut self) -> Result<Expr, QueryParseError> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Token::Plus => ArithOp::Add,
+                Token::Minus => ArithOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.multiplicative()?;
+            lhs = Expr::Arith { lhs: Box::new(lhs), op, rhs: Box::new(rhs) };
+        }
+    }
+
+    // multiplicative ::= unary (('*' | 'div' | 'mod') unary)*
+    fn multiplicative(&mut self) -> Result<Expr, QueryParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = if self.peek() == &Token::Star {
+                ArithOp::Mul
+            } else if self.at_name("div") {
+                ArithOp::Div
+            } else if self.at_name("mod") {
+                ArithOp::Mod
+            } else {
+                return Ok(lhs);
+            };
+            self.bump();
+            let rhs = self.unary()?;
+            lhs = Expr::Arith { lhs: Box::new(lhs), op, rhs: Box::new(rhs) };
+        }
+    }
+
+    // unary ::= '-' unary | primary
+    fn unary(&mut self) -> Result<Expr, QueryParseError> {
+        if self.peek() == &Token::Minus {
+            self.bump();
+            return Ok(Expr::Neg(Box::new(self.unary()?)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, QueryParseError> {
+        match self.peek().clone() {
+            Token::Str(s) => {
+                self.bump();
+                Ok(Expr::Str(s))
+            }
+            Token::Num(n) => {
+                self.bump();
+                Ok(Expr::Num(n))
+            }
+            Token::Var(_) => self.path_from_var(),
+            Token::LParen => {
+                self.bump();
+                if self.peek() == &Token::RParen {
+                    self.bump();
+                    return Ok(Expr::Seq(Vec::new()));
+                }
+                let mut items = vec![self.expr()?];
+                while self.peek() == &Token::Comma {
+                    self.bump();
+                    items.push(self.expr()?);
+                }
+                self.expect(&Token::RParen)?;
+                Ok(if items.len() == 1 {
+                    items.pop().expect("one")
+                } else {
+                    Expr::Seq(items)
+                })
+            }
+            Token::TagOpen(name) => {
+                self.bump();
+                self.element_ctor(name)
+            }
+            Token::Name(name) if name == "if" && self.peek2() == &Token::LParen => {
+                self.bump();
+                self.bump(); // (
+                let cond = self.expr()?;
+                self.expect(&Token::RParen)?;
+                if !self.eat_name("then") {
+                    return Err(self.error("expected 'then'"));
+                }
+                let then = self.expr()?;
+                if !self.eat_name("else") {
+                    return Err(self.error("expected 'else'"));
+                }
+                let els = self.expr()?;
+                Ok(Expr::If {
+                    cond: Box::new(cond),
+                    then: Box::new(then),
+                    els: Box::new(els),
+                })
+            }
+            Token::Name(name) => {
+                if self.peek2() == &Token::LParen {
+                    self.bump();
+                    self.bump(); // (
+                    if name == "collection" || name == "doc" {
+                        let arg = match self.bump() {
+                            Token::Str(s) => s,
+                            other => {
+                                return Err(self.error(format!(
+                                    "{name}() takes a string literal, found {other}"
+                                )))
+                            }
+                        };
+                        self.expect(&Token::RParen)?;
+                        let start = if name == "collection" {
+                            PathStart::Collection(arg)
+                        } else {
+                            PathStart::Doc(arg)
+                        };
+                        let path = self.steps()?;
+                        return Ok(Expr::Path(PathSource { start, path }));
+                    }
+                    // generic function call
+                    let mut args = Vec::new();
+                    if self.peek() != &Token::RParen {
+                        args.push(self.expr()?);
+                        while self.peek() == &Token::Comma {
+                            self.bump();
+                            args.push(self.expr()?);
+                        }
+                    }
+                    self.expect(&Token::RParen)?;
+                    Ok(Expr::Call { name, args })
+                } else {
+                    Err(self.error(format!(
+                        "unexpected name '{name}' — paths must start at collection(), doc() or a variable"
+                    )))
+                }
+            }
+            other => Err(self.error(format!("unexpected {other}"))),
+        }
+    }
+
+    fn path_from_var(&mut self) -> Result<Expr, QueryParseError> {
+        let var = self.var_name()?;
+        let path = self.steps()?;
+        Ok(Expr::Path(PathSource { start: PathStart::Var(var), path }))
+    }
+
+    /// Parse `(/step | //step)*` into a relative [`PathExpr`].
+    fn steps(&mut self) -> Result<PathExpr, QueryParseError> {
+        let mut steps = Vec::new();
+        loop {
+            let axis = match self.peek() {
+                Token::Slash => Axis::Child,
+                Token::DoubleSlash => Axis::Descendant,
+                _ => break,
+            };
+            self.bump();
+            let test = match self.bump() {
+                Token::Name(n) => NodeTest::Name(n),
+                Token::Star => NodeTest::AnyElement,
+                Token::At => match self.bump() {
+                    Token::Name(n) => NodeTest::Attribute(n),
+                    other => return Err(self.error(format!("expected attribute name, found {other}"))),
+                },
+                other => return Err(self.error(format!("expected a step, found {other}"))),
+            };
+            let mut position = None;
+            if self.peek() == &Token::LBracket {
+                self.bump();
+                match self.bump() {
+                    Token::Num(n) if n.fract() == 0.0 && n >= 1.0 => {
+                        position = Some(n as u32);
+                    }
+                    other => {
+                        return Err(self.error(format!(
+                            "only positional predicates [i] are supported in paths, found {other}"
+                        )))
+                    }
+                }
+                self.expect(&Token::RBracket)?;
+            }
+            steps.push(Step { axis, test, position });
+        }
+        Ok(PathExpr { absolute: false, steps })
+    }
+
+    /// Parse the remainder of `<name …`.
+    fn element_ctor(&mut self, name: String) -> Result<Expr, QueryParseError> {
+        let mut attrs = Vec::new();
+        loop {
+            match self.peek().clone() {
+                Token::Name(attr_name) => {
+                    self.bump();
+                    self.expect(&Token::Eq)?;
+                    match self.bump() {
+                        Token::Str(v) => attrs.push((attr_name, v)),
+                        other => {
+                            return Err(self.error(format!(
+                                "attribute values must be string literals, found {other}"
+                            )))
+                        }
+                    }
+                }
+                Token::Slash => {
+                    self.bump();
+                    self.expect(&Token::Gt)?;
+                    return Ok(Expr::Element { name, attrs, children: Vec::new() });
+                }
+                Token::Gt => {
+                    self.bump();
+                    break;
+                }
+                other => return Err(self.error(format!("unexpected {other} in start tag"))),
+            }
+        }
+        let mut children = Vec::new();
+        loop {
+            match self.peek().clone() {
+                Token::LBrace => {
+                    self.bump();
+                    children.push(self.expr()?);
+                    self.expect(&Token::RBrace)?;
+                }
+                Token::TagOpen(child_name) => {
+                    self.bump();
+                    children.push(self.element_ctor(child_name)?);
+                }
+                Token::Lt => {
+                    self.bump();
+                    self.expect(&Token::Slash)?;
+                    match self.bump() {
+                        Token::Name(n) if n == name => {}
+                        other => {
+                            return Err(self.error(format!(
+                                "mismatched closing tag: expected </{name}>, found {other}"
+                            )))
+                        }
+                    }
+                    self.expect(&Token::Gt)?;
+                    return Ok(Expr::Element { name, attrs, children });
+                }
+                other => {
+                    return Err(self.error(format!(
+                        "unexpected {other} in element content (write literal text as {{\"text\"}})"
+                    )))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_flwor() {
+        let q = parse_query(
+            r#"for $i in collection("items")/Item
+               where $i/Section = "CD"
+               return $i/Name"#,
+        )
+        .unwrap();
+        let Expr::Flwor { clauses, where_clause, ret, .. } = q.expr else {
+            panic!("expected FLWOR");
+        };
+        assert_eq!(clauses.len(), 1);
+        assert!(where_clause.is_some());
+        assert!(matches!(*ret, Expr::Path(_)));
+    }
+
+    #[test]
+    fn let_and_multiple_fors() {
+        let q = parse_query(
+            r#"for $i in collection("a")/x, $j in collection("b")/y
+               let $n := $i/name
+               where $n = $j/name
+               return ($n, $j)"#,
+        )
+        .unwrap();
+        let Expr::Flwor { clauses, .. } = q.expr else { panic!() };
+        assert_eq!(clauses.len(), 3);
+        assert!(matches!(clauses[2], Clause::Let(_)));
+    }
+
+    #[test]
+    fn aggregation_call() {
+        let q = parse_query(
+            r#"count(for $i in collection("items")/Item where contains($i//Description, "good") return $i)"#,
+        )
+        .unwrap();
+        let Expr::Call { name, args } = q.expr else { panic!() };
+        assert_eq!(name, "count");
+        assert_eq!(args.len(), 1);
+    }
+
+    #[test]
+    fn order_by_descending() {
+        let q = parse_query(
+            r#"for $i in collection("c")/a order by $i/k descending return $i"#,
+        )
+        .unwrap();
+        let Expr::Flwor { order_by, .. } = q.expr else { panic!() };
+        assert_eq!(order_by.unwrap().1, SortDir::Descending);
+    }
+
+    #[test]
+    fn element_constructor() {
+        let q = parse_query(
+            r#"for $i in collection("c")/a return <hit id="1"><name>{$i/n}</name></hit>"#,
+        )
+        .unwrap();
+        let Expr::Flwor { ret, .. } = q.expr else { panic!() };
+        let Expr::Element { name, attrs, children } = *ret else { panic!() };
+        assert_eq!(name, "hit");
+        assert_eq!(attrs, [("id".to_owned(), "1".to_owned())]);
+        assert_eq!(children.len(), 1);
+    }
+
+    #[test]
+    fn self_closing_constructor() {
+        let q = parse_query(r#"<empty/>"#).unwrap();
+        assert!(matches!(q.expr, Expr::Element { ref children, .. } if children.is_empty()));
+    }
+
+    #[test]
+    fn positional_path_step() {
+        let q = parse_query(r#"for $i in collection("c")/a return $i/b[2]/c"#).unwrap();
+        let Expr::Flwor { ret, .. } = q.expr else { panic!() };
+        let Expr::Path(ps) = *ret else { panic!() };
+        assert_eq!(ps.path.steps[0].position, Some(2));
+    }
+
+    #[test]
+    fn attribute_step_and_wildcards() {
+        parse_query(r#"for $i in collection("c")//x return $i/@id"#).unwrap();
+        parse_query(r#"for $i in collection("c")/a/* return $i"#).unwrap();
+    }
+
+    #[test]
+    fn errors_are_informative() {
+        let err = parse_query("for $i in").unwrap_err();
+        assert!(err.message.contains("unexpected"));
+        let err = parse_query(r#"bare/path"#).unwrap_err();
+        assert!(err.message.contains("collection"));
+        let err = parse_query(r#"for $i in collection("c")/a return <a><b>{$i}</c></a>"#)
+            .unwrap_err();
+        assert!(err.message.contains("mismatched"), "{}", err.message);
+    }
+
+    #[test]
+    fn comparison_chain_is_single() {
+        let q = parse_query(r#"count(collection("c")/a) > 3"#).unwrap();
+        assert!(matches!(q.expr, Expr::Cmp { op: CmpOp::Gt, .. }));
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let q = parse_query(r#"1 + 2 * 3"#).unwrap();
+        let Expr::Arith { op: ArithOp::Add, rhs, .. } = q.expr else { panic!() };
+        assert!(matches!(*rhs, Expr::Arith { op: ArithOp::Mul, .. }));
+        // div/mod as keywords
+        parse_query(r#"10 div 2"#).unwrap();
+        parse_query(r#"10 mod 3"#).unwrap();
+        // unary minus
+        let q = parse_query(r#"-5 + 1"#).unwrap();
+        assert!(matches!(q.expr, Expr::Arith { op: ArithOp::Add, .. }));
+    }
+
+    #[test]
+    fn arithmetic_with_paths_and_comparisons() {
+        let q = parse_query(
+            r#"for $i in collection("c")/a where $i/p * 2 > 10 return $i"#,
+        )
+        .unwrap();
+        let Expr::Flwor { where_clause, .. } = q.expr else { panic!() };
+        let Expr::Cmp { lhs, .. } = *where_clause.unwrap() else { panic!() };
+        assert!(matches!(*lhs, Expr::Arith { op: ArithOp::Mul, .. }));
+    }
+
+    #[test]
+    fn if_then_else() {
+        let q = parse_query(
+            r#"for $i in collection("c")/a
+               return if ($i/p > 10) then "big" else "small""#,
+        )
+        .unwrap();
+        let Expr::Flwor { ret, .. } = q.expr else { panic!() };
+        assert!(matches!(*ret, Expr::If { .. }));
+        // an element genuinely named "if" in a path still works
+        parse_query(r#"for $i in collection("c")/if return $i"#).unwrap();
+    }
+
+    #[test]
+    fn empty_sequence() {
+        let q = parse_query("()").unwrap();
+        assert_eq!(q.expr, Expr::Seq(vec![]));
+    }
+}

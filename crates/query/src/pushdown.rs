@@ -1,0 +1,539 @@
+//! Predicate pushdown and footprint extraction.
+//!
+//! Given a FLWOR query, [`analyze`] recovers:
+//!
+//! * the **driving clause** — the first `for` bound to a
+//!   `collection(…)` path, which determines the collection the query
+//!   scans;
+//! * a **document predicate** — a [`Predicate`] over single documents
+//!   that is *necessary* for a document to contribute any result tuple.
+//!   The storage layer turns it into index probes; the middleware matches
+//!   it against horizontal fragmentation predicates for localization;
+//! * the **footprint** — every absolute path the query touches,
+//!   used to decide which vertical fragments are relevant.
+//!
+//! The translation is deliberately conservative: whenever a `where`
+//! conjunct cannot be soundly expressed as a per-document condition it is
+//! dropped (weakening the filter, never losing documents).
+
+use crate::ast::{Clause, Expr, PathStart, Query};
+use partix_path::pred::{BoolFn, ValueFn};
+use partix_path::{PathExpr, Predicate, Value};
+use std::collections::HashMap;
+
+/// Result of query analysis.
+#[derive(Debug, Clone)]
+pub struct QueryAnalysis {
+    /// Collection scanned by the driving `for` clause.
+    pub collection: String,
+    /// Variable bound by the driving clause.
+    pub var: String,
+    /// Absolute path of the driving binding (e.g. `/Item`).
+    pub binding_path: PathExpr,
+    /// Per-document necessary condition extracted from `where`; `None`
+    /// when nothing sound could be extracted.
+    pub doc_predicate: Option<Predicate>,
+    /// Exact per-*tuple* predicate: the `where` clause translated with
+    /// paths rooted at the driving binding's node (e.g. `/Item/Section`
+    /// when the binding is `/Store/Items/Item`). This is the space hybrid
+    /// fragment predicates live in, enabling unit-level localization.
+    pub tuple_predicate: Option<Predicate>,
+    /// Absolute paths the query touches (deduplicated).
+    pub footprint: Vec<PathExpr>,
+}
+
+/// Analyze a query. Returns `None` for queries without a
+/// `for $v in collection(…)…` driving clause (e.g. bare `doc(…)` reads).
+pub fn analyze(query: &Query) -> Option<QueryAnalysis> {
+    // unwrap an aggregation wrapper: count(FLWOR), sum(FLWOR), …
+    let Some(flwor @ Expr::Flwor { .. }) = find_flwor(&query.expr) else {
+        return analyze_pathonly(query);
+    };
+    let Expr::Flwor { clauses, where_clause, .. } = flwor else {
+        unreachable!("matched above");
+    };
+    // driving clause + variable → absolute-path environment
+    let mut var_paths: HashMap<&str, (String, PathExpr)> = HashMap::new();
+    let mut driving: Option<(String, String, PathExpr)> = None;
+    for clause in clauses {
+        let (Clause::For(b) | Clause::Let(b)) = clause;
+        if let Expr::Path(ps) = &b.expr {
+            let resolved = match &ps.start {
+                PathStart::Collection(c) => {
+                    let mut p = ps.path.clone();
+                    p.absolute = true;
+                    Some((c.clone(), p))
+                }
+                PathStart::Var(v) => var_paths.get(v.as_str()).map(|(c, base)| {
+                    (c.clone(), base.join(&ps.path))
+                }),
+                PathStart::Doc(_) => None,
+            };
+            if let Some((coll, abs)) = resolved {
+                var_paths.insert(&b.var, (coll.clone(), abs.clone()));
+                if driving.is_none() && matches!(clause, Clause::For(_)) {
+                    driving = Some((coll, b.var.clone(), abs));
+                }
+            }
+        }
+    }
+    let (collection, var, binding_path) = driving?;
+    // the translation is exact (per-tuple == per-document) when the
+    // driving binding selects the document root: a single step
+    let exact = binding_path.steps.len() == 1 && !binding_path.has_wildcards();
+    let doc_predicate = where_clause.as_ref().and_then(|w| {
+        translate(w, &var, &binding_path, &var_paths, exact)
+    });
+    // tuple-space translation: the driving binding's node becomes the
+    // (pseudo) document root, so translation is exact per tuple
+    let tuple_predicate = where_clause.as_ref().and_then(|w| {
+        // correlated collection scans inside `where` cannot be expressed
+        // in tuple space — skip translation (conservative: no pruning)
+        let mut has_collection_paths = false;
+        visit_expr_collection_paths(w, &mut has_collection_paths);
+        if has_collection_paths {
+            return None;
+        }
+        let pseudo = PathExpr {
+            absolute: true,
+            steps: binding_path.steps.last().cloned().into_iter().collect(),
+        };
+        // rebuild the variable environment in tuple space: only chains
+        // hanging off the driving variable resolve
+        let mut tuple_vars: HashMap<&str, (String, PathExpr)> = HashMap::new();
+        tuple_vars.insert(var.as_str(), (collection.clone(), pseudo.clone()));
+        for clause in clauses {
+            let (Clause::For(b) | Clause::Let(b)) = clause;
+            if let Expr::Path(ps) = &b.expr {
+                if let PathStart::Var(v) = &ps.start {
+                    if let Some((coll, base)) = tuple_vars.get(v.as_str()) {
+                        let joined = (coll.clone(), base.join(&ps.path));
+                        tuple_vars.insert(&b.var, joined);
+                    }
+                }
+            }
+        }
+        translate(w, &var, &pseudo, &tuple_vars, true)
+    });
+    // footprint: every *value* path — paths whose selected nodes feed
+    // comparisons, functions, or the result. `for`/`let` clauses that
+    // merely bind a variable to a path are skipped: a binding alone does
+    // not read data, so it must not make fragments relevant (a bare use
+    // of the variable re-introduces the path from the use site).
+    let mut footprint: Vec<PathExpr> = Vec::new();
+    collect_value_paths(&query.expr, &collection, &var_paths, &mut footprint);
+    if footprint.is_empty() {
+        // queries that only iterate bindings (e.g. count the binding):
+        // the binding itself is the data being read
+        footprint.push(binding_path.clone());
+    }
+    Some(QueryAnalysis {
+        collection,
+        var,
+        binding_path,
+        doc_predicate,
+        tuple_predicate,
+        footprint,
+    })
+}
+
+/// Collect value paths (see [`analyze`]) into `out`.
+fn collect_value_paths(
+    expr: &Expr,
+    collection: &str,
+    var_paths: &HashMap<&str, (String, PathExpr)>,
+    out: &mut Vec<PathExpr>,
+) {
+    let mut push = |ps: &crate::ast::PathSource| {
+        let abs = match &ps.start {
+            PathStart::Collection(c) if c == collection => {
+                let mut p = ps.path.clone();
+                p.absolute = true;
+                Some(p)
+            }
+            PathStart::Var(v) => var_paths
+                .get(v.as_str())
+                .filter(|(c, _)| c == collection)
+                .map(|(_, base)| base.join(&ps.path)),
+            _ => None,
+        };
+        if let Some(abs) = abs {
+            if !out.contains(&abs) {
+                out.push(abs);
+            }
+        }
+    };
+    match expr {
+        Expr::Path(ps) => push(ps),
+        Expr::Flwor { clauses, where_clause, order_by, ret } => {
+            for clause in clauses {
+                let (Clause::For(b) | Clause::Let(b)) = clause;
+                // a plain path binding is not a read; anything else is
+                if !matches!(b.expr, Expr::Path(_)) {
+                    collect_value_paths(&b.expr, collection, var_paths, out);
+                }
+            }
+            if let Some(w) = where_clause {
+                collect_value_paths(w, collection, var_paths, out);
+            }
+            if let Some((k, _)) = order_by {
+                collect_value_paths(k, collection, var_paths, out);
+            }
+            collect_value_paths(ret, collection, var_paths, out);
+        }
+        Expr::Cmp { lhs, rhs, .. } => {
+            collect_value_paths(lhs, collection, var_paths, out);
+            collect_value_paths(rhs, collection, var_paths, out);
+        }
+        Expr::And(es) | Expr::Or(es) | Expr::Seq(es) => {
+            for e in es {
+                collect_value_paths(e, collection, var_paths, out);
+            }
+        }
+        Expr::Call { args, .. } => {
+            for a in args {
+                collect_value_paths(a, collection, var_paths, out);
+            }
+        }
+        Expr::Element { children, .. } => {
+            for c in children {
+                collect_value_paths(c, collection, var_paths, out);
+            }
+        }
+        Expr::Arith { lhs, rhs, .. } => {
+            collect_value_paths(lhs, collection, var_paths, out);
+            collect_value_paths(rhs, collection, var_paths, out);
+        }
+        Expr::Neg(e) => collect_value_paths(e, collection, var_paths, out),
+        Expr::If { cond, then, els } => {
+            collect_value_paths(cond, collection, var_paths, out);
+            collect_value_paths(then, collection, var_paths, out);
+            collect_value_paths(els, collection, var_paths, out);
+        }
+        Expr::Str(_) | Expr::Num(_) | Expr::Text(_) => {}
+    }
+}
+
+/// Does `expr` contain a `collection(…)`-rooted path?
+fn visit_expr_collection_paths(expr: &Expr, found: &mut bool) {
+    let probe = Query { expr: expr.clone() };
+    probe.visit_paths(&mut |ps| {
+        if matches!(ps.start, PathStart::Collection(_) | PathStart::Doc(_)) {
+            *found = true;
+        }
+    });
+}
+
+/// Fallback analysis for queries without a FLWOR core — e.g.
+/// `count(collection("items")//Description)`. The first collection path
+/// becomes the driving binding (its first step) and every collection path
+/// joins the footprint; no document predicate is extractable.
+fn analyze_pathonly(query: &Query) -> Option<QueryAnalysis> {
+    let mut collection: Option<String> = None;
+    let mut binding: Option<PathExpr> = None;
+    let mut footprint: Vec<PathExpr> = Vec::new();
+    query.visit_paths(&mut |ps| {
+        if let PathStart::Collection(c) = &ps.start {
+            let mut abs = ps.path.clone();
+            abs.absolute = true;
+            if collection.is_none() {
+                collection = Some(c.clone());
+                binding = Some(PathExpr {
+                    absolute: true,
+                    steps: abs.steps.first().cloned().into_iter().collect(),
+                });
+            }
+            if collection.as_deref() == Some(c.as_str()) && !footprint.contains(&abs) {
+                footprint.push(abs);
+            }
+        }
+    });
+    Some(QueryAnalysis {
+        collection: collection?,
+        var: String::new(),
+        binding_path: binding?,
+        doc_predicate: None,
+        tuple_predicate: None,
+        footprint,
+    })
+}
+
+/// Peel aggregation wrappers to find the FLWOR core.
+fn find_flwor(expr: &Expr) -> Option<&Expr> {
+    match expr {
+        Expr::Flwor { .. } => Some(expr),
+        Expr::Call { args, .. } if args.len() == 1 => find_flwor(&args[0]),
+        Expr::Cmp { lhs, .. } => find_flwor(lhs),
+        _ => None,
+    }
+}
+
+/// Translate a where-expression into a per-document [`Predicate`].
+///
+/// In `exact` mode every construct is translated faithfully. Otherwise
+/// only *existentially sound* constructs survive: a predicate that holds
+/// of some tuple must hold of the whole document.
+fn translate(
+    expr: &Expr,
+    var: &str,
+    binding: &PathExpr,
+    var_paths: &HashMap<&str, (String, PathExpr)>,
+    exact: bool,
+) -> Option<Predicate> {
+    match expr {
+        Expr::And(es) => {
+            // drop untranslatable conjuncts: weaker but still necessary
+            let parts: Vec<Predicate> = es
+                .iter()
+                .filter_map(|e| translate(e, var, binding, var_paths, exact))
+                .collect();
+            match parts.len() {
+                0 => None,
+                1 => parts.into_iter().next(),
+                _ => Some(Predicate::And(parts)),
+            }
+        }
+        Expr::Or(es) => {
+            // every disjunct must translate, else the condition is lost
+            let parts: Vec<Predicate> = es
+                .iter()
+                .map(|e| translate(e, var, binding, var_paths, exact))
+                .collect::<Option<_>>()?;
+            Some(Predicate::Or(parts))
+        }
+        Expr::Cmp { lhs, op, rhs } => {
+            let (path_expr, literal, op) = match (&**lhs, &**rhs) {
+                (Expr::Path(ps), lit) => (ps, lit, *op),
+                (lit, Expr::Path(ps)) => (ps, lit, op.flip()),
+                _ if exact => return translate_fncmp(expr, var, binding, var_paths),
+                _ => return None,
+            };
+            let abs = resolve(path_expr, var, binding, var_paths)?;
+            let value = match literal {
+                Expr::Str(s) => Value::Str(s.clone()),
+                Expr::Num(n) => Value::Num(*n),
+                _ => return None,
+            };
+            Some(Predicate::Cmp { path: abs, op, value })
+        }
+        Expr::Call { name, args } => match (name.as_str(), args.as_slice()) {
+            ("contains", [Expr::Path(ps), Expr::Str(s)]) => {
+                let abs = resolve(ps, var, binding, var_paths)?;
+                Some(Predicate::Bool(BoolFn::Contains(abs, s.clone())))
+            }
+            ("starts-with", [Expr::Path(ps), Expr::Str(s)]) => {
+                let abs = resolve(ps, var, binding, var_paths)?;
+                Some(Predicate::Bool(BoolFn::StartsWith(abs, s.clone())))
+            }
+            ("exists", [Expr::Path(ps)]) => {
+                let abs = resolve(ps, var, binding, var_paths)?;
+                Some(Predicate::Exists(abs))
+            }
+            ("empty", [Expr::Path(ps)]) if exact => {
+                let abs = resolve(ps, var, binding, var_paths)?;
+                Some(Predicate::Bool(BoolFn::Empty(abs)))
+            }
+            ("not", [inner]) if exact => {
+                let p = translate(inner, var, binding, var_paths, exact)?;
+                Some(Predicate::Not(Box::new(p)))
+            }
+            ("count", _) => None, // handled only inside Cmp below
+            _ => None,
+        },
+        // count($v/p) θ n — exact mode only
+        _ if exact => translate_fncmp(expr, var, binding, var_paths),
+        Expr::Path(ps) => {
+            // bare path in boolean context: existential test
+            let abs = resolve(ps, var, binding, var_paths)?;
+            Some(Predicate::Exists(abs))
+        }
+        _ => None,
+    }
+}
+
+fn translate_fncmp(
+    expr: &Expr,
+    var: &str,
+    binding: &PathExpr,
+    var_paths: &HashMap<&str, (String, PathExpr)>,
+) -> Option<Predicate> {
+    let Expr::Cmp { lhs, op, rhs } = expr else {
+        if let Expr::Path(ps) = expr {
+            let abs = resolve(ps, var, binding, var_paths)?;
+            return Some(Predicate::Exists(abs));
+        }
+        return None;
+    };
+    let (call, lit, op) = match (&**lhs, &**rhs) {
+        (Expr::Call { name, args }, lit) => ((name, args), lit, *op),
+        (lit, Expr::Call { name, args }) => ((name, args), lit, op.flip()),
+        _ => return None,
+    };
+    let func = match call.0.as_str() {
+        "count" => ValueFn::Count,
+        "string-length" => ValueFn::StringLength,
+        "number" => ValueFn::Number,
+        _ => return None,
+    };
+    let [Expr::Path(ps)] = call.1.as_slice() else {
+        return None;
+    };
+    let abs = resolve(ps, var, binding, var_paths)?;
+    let value = match lit {
+        Expr::Str(s) => Value::Str(s.clone()),
+        Expr::Num(n) => Value::Num(*n),
+        _ => return None,
+    };
+    Some(Predicate::FnCmp { func, path: abs, op, value })
+}
+
+/// Resolve a path source to an absolute per-document path.
+fn resolve(
+    ps: &crate::ast::PathSource,
+    var: &str,
+    binding: &PathExpr,
+    var_paths: &HashMap<&str, (String, PathExpr)>,
+) -> Option<PathExpr> {
+    match &ps.start {
+        PathStart::Var(v) if v == var => Some(binding.join(&ps.path)),
+        PathStart::Var(v) => var_paths.get(v.as_str()).map(|(_, base)| base.join(&ps.path)),
+        PathStart::Collection(_) => {
+            let mut p = ps.path.clone();
+            p.absolute = true;
+            Some(p)
+        }
+        PathStart::Doc(_) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use partix_xml::parse as parse_xml;
+
+    fn analysis(src: &str) -> QueryAnalysis {
+        analyze(&parse_query(src).unwrap()).expect("analyzable")
+    }
+
+    #[test]
+    fn simple_selection() {
+        let a = analysis(
+            r#"for $i in collection("items")/Item where $i/Section = "CD" return $i/Name"#,
+        );
+        assert_eq!(a.collection, "items");
+        assert_eq!(a.var, "i");
+        assert_eq!(a.binding_path.to_string(), "/Item");
+        assert_eq!(a.doc_predicate.unwrap().to_string(), "/Item/Section = \"CD\"");
+        // value paths only: the bare binding /Item is not read
+        let fp: Vec<String> = a.footprint.iter().map(|p| p.to_string()).collect();
+        assert_eq!(fp, ["/Item/Section", "/Item/Name"]);
+    }
+
+    #[test]
+    fn pushed_predicate_matches_eval() {
+        // the pushdown predicate must agree with actual query semantics
+        let a = analysis(
+            r#"for $i in collection("items")/Item
+               where $i/Section = "CD" and contains($i//Description, "good")
+               return $i"#,
+        );
+        let pred = a.doc_predicate.unwrap();
+        let matching = parse_xml(
+            "<Item><Section>CD</Section><Characteristics><Description>good</Description></Characteristics></Item>",
+        )
+        .unwrap();
+        let non1 = parse_xml("<Item><Section>DVD</Section><Characteristics><Description>good</Description></Characteristics></Item>").unwrap();
+        let non2 = parse_xml("<Item><Section>CD</Section><Characteristics><Description>bad</Description></Characteristics></Item>").unwrap();
+        assert!(pred.eval(&matching));
+        assert!(!pred.eval(&non1));
+        assert!(!pred.eval(&non2));
+    }
+
+    #[test]
+    fn aggregation_wrapper_unwrapped() {
+        let a = analysis(
+            r#"count(for $i in collection("items")/Item where $i/Section = "CD" return $i)"#,
+        );
+        assert!(a.doc_predicate.is_some());
+    }
+
+    #[test]
+    fn count_predicate_in_exact_mode() {
+        let a = analysis(
+            r#"for $i in collection("items")/Item
+               where count($i/PictureList/Picture) >= 2
+               return $i"#,
+        );
+        assert_eq!(
+            a.doc_predicate.unwrap().to_string(),
+            "count(/Item/PictureList/Picture) >= 2"
+        );
+    }
+
+    #[test]
+    fn deep_binding_is_inexact_drops_not() {
+        // binding /Store/Items/Item is 3 steps → inexact; not() is dropped
+        let a = analysis(
+            r#"for $i in collection("store")/Store/Items/Item
+               where not(contains($i/Name, "x")) and $i/Section = "CD"
+               return $i"#,
+        );
+        // only the sound conjunct survives
+        assert_eq!(
+            a.doc_predicate.unwrap().to_string(),
+            "/Store/Items/Item/Section = \"CD\""
+        );
+    }
+
+    #[test]
+    fn or_requires_all_disjuncts() {
+        let a = analysis(
+            r#"for $i in collection("items")/Item
+               where $i/Section = "CD" or $i/Section = "DVD"
+               return $i"#,
+        );
+        assert_eq!(
+            a.doc_predicate.unwrap().to_string(),
+            "(/Item/Section = \"CD\") or (/Item/Section = \"DVD\")"
+        );
+    }
+
+    #[test]
+    fn let_chains_resolve() {
+        let a = analysis(
+            r#"for $i in collection("items")/Item
+               let $c := $i/Characteristics
+               where contains($c/Description, "good")
+               return $i"#,
+        );
+        assert_eq!(
+            a.doc_predicate.unwrap().to_string(),
+            "contains(/Item/Characteristics/Description, \"good\")"
+        );
+    }
+
+    #[test]
+    fn reversed_comparison_flips() {
+        let a = analysis(
+            r#"for $i in collection("items")/Item where 20 > $i/Price return $i"#,
+        );
+        assert_eq!(a.doc_predicate.unwrap().to_string(), "/Item/Price < 20");
+    }
+
+    #[test]
+    fn non_flwor_returns_none() {
+        let q = parse_query(r#"doc("d")/a/b"#).unwrap();
+        assert!(analyze(&q).is_none());
+    }
+
+    #[test]
+    fn footprint_includes_descendant_paths() {
+        let a = analysis(
+            r#"for $i in collection("items")/Item
+               where contains($i//Description, "good") return $i/Name"#,
+        );
+        let fp: Vec<String> = a.footprint.iter().map(|p| p.to_string()).collect();
+        assert!(fp.contains(&"/Item//Description".to_owned()));
+    }
+}

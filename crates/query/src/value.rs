@@ -1,0 +1,230 @@
+//! The evaluation data model: items and sequences.
+
+use partix_path::CmpOp;
+use partix_xml::{Document, NodeId, NodeKind, Serializer};
+use std::fmt;
+use std::sync::Arc;
+
+/// One item of a sequence.
+#[derive(Debug, Clone)]
+pub enum Item {
+    /// A node within a shared document.
+    Node(Arc<Document>, NodeId),
+    Str(String),
+    Num(f64),
+    Bool(bool),
+}
+
+impl Item {
+    /// The item's string value (XPath `string()` semantics).
+    pub fn string_value(&self) -> String {
+        match self {
+            Item::Node(doc, id) => {
+                let node = doc.get(*id).expect("node belongs to doc");
+                match node.kind() {
+                    NodeKind::Element => node.text(),
+                    _ => node.value().unwrap_or("").to_owned(),
+                }
+            }
+            Item::Str(s) => s.clone(),
+            Item::Num(n) => format_number(*n),
+            Item::Bool(b) => b.to_string(),
+        }
+    }
+
+    /// The item's numeric value, if its string value parses.
+    pub fn number_value(&self) -> Option<f64> {
+        match self {
+            Item::Num(n) => Some(*n),
+            Item::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            _ => self.string_value().trim().parse().ok(),
+        }
+    }
+
+    /// Serialize for output: XML for nodes, text otherwise.
+    pub fn serialize(&self) -> String {
+        match self {
+            Item::Node(doc, id) => {
+                let node = doc.get(*id).expect("node belongs to doc");
+                match node.kind() {
+                    NodeKind::Element => {
+                        let sub = doc.subtree(*id).expect("element subtree");
+                        Serializer::compact().serialize(&sub)
+                    }
+                    NodeKind::Attribute => {
+                        format!("{}=\"{}\"", node.label(), node.value().unwrap_or(""))
+                    }
+                    NodeKind::Text => node.value().unwrap_or("").to_owned(),
+                }
+            }
+            other => other.string_value(),
+        }
+    }
+
+    /// Approximate wire size in bytes when shipped between nodes — feeds
+    /// the transmission-time model.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            Item::Node(doc, id) => {
+                let node = doc.get(*id).expect("node belongs to doc");
+                match node.kind() {
+                    NodeKind::Element => node
+                        .descendants_or_self()
+                        .map(|n| match n.kind() {
+                            NodeKind::Element => 2 * n.label().len() + 5,
+                            NodeKind::Attribute => {
+                                n.label().len() + n.value().unwrap_or("").len() + 4
+                            }
+                            NodeKind::Text => n.value().unwrap_or("").len(),
+                        })
+                        .sum(),
+                    _ => node.label().len() + node.value().unwrap_or("").len() + 4,
+                }
+            }
+            Item::Str(s) => s.len(),
+            Item::Num(_) => 8,
+            Item::Bool(_) => 5,
+        }
+    }
+}
+
+impl fmt::Display for Item {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.serialize())
+    }
+}
+
+/// Structural equality for test assertions: nodes compare by subtree
+/// content, not identity.
+impl PartialEq for Item {
+    fn eq(&self, other: &Item) -> bool {
+        match (self, other) {
+            (Item::Num(a), Item::Num(b)) => a == b,
+            (Item::Bool(a), Item::Bool(b)) => a == b,
+            (Item::Str(a), Item::Str(b)) => a == b,
+            (a @ Item::Node(..), b @ Item::Node(..)) => a.serialize() == b.serialize(),
+            _ => false,
+        }
+    }
+}
+
+/// A sequence of items — every expression evaluates to one.
+pub type Sequence = Vec<Item>;
+
+/// XPath *effective boolean value*: empty = false, single boolean = its
+/// value, single number = non-zero, otherwise (any node / non-empty
+/// string) = true.
+pub fn effective_boolean(seq: &Sequence) -> bool {
+    match seq.as_slice() {
+        [] => false,
+        [Item::Bool(b)] => *b,
+        [Item::Num(n)] => *n != 0.0 && !n.is_nan(),
+        [Item::Str(s)] => !s.is_empty(),
+        _ => true,
+    }
+}
+
+/// General comparison with existential semantics: true iff *some* pair of
+/// items from the two sequences satisfies `op`. Numeric comparison is used
+/// when either side is a number; string comparison otherwise.
+pub fn general_compare(lhs: &Sequence, op: CmpOp, rhs: &Sequence) -> bool {
+    for a in lhs {
+        for b in rhs {
+            if value_compare(a, op, b) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn value_compare(a: &Item, op: CmpOp, b: &Item) -> bool {
+    let numeric = matches!(a, Item::Num(_)) || matches!(b, Item::Num(_));
+    if numeric {
+        match (a.number_value(), b.number_value()) {
+            (Some(x), Some(y)) => op.holds(&x, &y),
+            _ => false,
+        }
+    } else {
+        op.holds(&a.string_value().as_str(), &b.string_value().as_str())
+    }
+}
+
+/// Render a float like XQuery: integers without a decimal point.
+pub fn format_number(n: f64) -> String {
+    if n.fract() == 0.0 && n.abs() < 1e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partix_xml::parse;
+
+    fn node_item(xml: &str) -> Item {
+        Item::Node(Arc::new(parse(xml).unwrap()), NodeId::ROOT)
+    }
+
+    #[test]
+    fn string_values() {
+        assert_eq!(node_item("<a><b>x</b><c>y</c></a>").string_value(), "xy");
+        assert_eq!(Item::Num(3.0).string_value(), "3");
+        assert_eq!(Item::Num(3.5).string_value(), "3.5");
+        assert_eq!(Item::Bool(true).string_value(), "true");
+    }
+
+    #[test]
+    fn serialize_node_is_xml() {
+        assert_eq!(node_item("<a><b>x</b></a>").serialize(), "<a><b>x</b></a>");
+    }
+
+    #[test]
+    fn effective_boolean_rules() {
+        assert!(!effective_boolean(&vec![]));
+        assert!(!effective_boolean(&vec![Item::Bool(false)]));
+        assert!(effective_boolean(&vec![Item::Bool(true)]));
+        assert!(!effective_boolean(&vec![Item::Num(0.0)]));
+        assert!(effective_boolean(&vec![Item::Num(2.0)]));
+        assert!(!effective_boolean(&vec![Item::Str(String::new())]));
+        assert!(effective_boolean(&vec![Item::Str("x".into())]));
+        assert!(effective_boolean(&vec![node_item("<a/>")]));
+        assert!(effective_boolean(&vec![Item::Num(0.0), Item::Num(0.0)]));
+    }
+
+    #[test]
+    fn general_compare_existential() {
+        let lhs = vec![Item::Str("CD".into()), Item::Str("DVD".into())];
+        let rhs = vec![Item::Str("CD".into())];
+        assert!(general_compare(&lhs, CmpOp::Eq, &rhs));
+        assert!(general_compare(&lhs, CmpOp::Ne, &rhs)); // DVD != CD
+        assert!(!general_compare(&rhs, CmpOp::Ne, &rhs));
+        assert!(!general_compare(&vec![], CmpOp::Eq, &rhs));
+    }
+
+    #[test]
+    fn numeric_coercion_in_compare() {
+        let node = node_item("<p>12.5</p>");
+        assert!(general_compare(&vec![node.clone()], CmpOp::Lt, &vec![Item::Num(20.0)]));
+        assert!(!general_compare(
+            &vec![node_item("<p>abc</p>")],
+            CmpOp::Lt,
+            &vec![Item::Num(20.0)]
+        ));
+        // string vs string is lexicographic
+        assert!(general_compare(
+            &vec![Item::Str("abc".into())],
+            CmpOp::Lt,
+            &vec![Item::Str("abd".into())]
+        ));
+    }
+
+    #[test]
+    fn wire_size_tracks_content() {
+        let small = node_item("<a>x</a>").wire_size();
+        let large = node_item("<a>xxxxxxxxxxxxxxxxxxxxxxxx</a>").wire_size();
+        assert!(large > small);
+    }
+}

@@ -1,0 +1,217 @@
+//! The paper's schemas.
+//!
+//! * [`virtual_store`] — Figure 1(a) of the paper: a virtual store with
+//!   sections, employees, and items; items carry optional picture lists
+//!   and price histories.
+//! * [`xbench_article`] — the XBench-style article schema used for the
+//!   vertical-fragmentation experiments (database *XBenchVer*), whose
+//!   three top-level parts `prolog` / `body` / `epilog` are exactly the
+//!   fragments `F1..F3papers` of Section 5.
+
+use crate::decl::{ElementDecl, Occurs, Schema};
+
+/// The `S_virtual_store` schema of Figure 1(a).
+///
+/// Cardinalities follow the figure: `Section`, `Item`, `Employee`,
+/// `Picture` and `PriceHistory` are `1..n` inside their parents;
+/// `Characteristics` is `0..n`; `PictureList` and `PricesHistory` are
+/// `0..1`; everything unannotated is `1..1`.
+pub fn virtual_store() -> Schema {
+    let picture = ElementDecl::complex(
+        "Picture",
+        vec![
+            (ElementDecl::leaf("Name"), Occurs::ONE),
+            (ElementDecl::leaf("Description"), Occurs::ONE),
+            (ElementDecl::leaf("ModificationDate"), Occurs::ONE),
+            (ElementDecl::leaf("OriginalPath"), Occurs::ONE),
+            (ElementDecl::leaf("ThumbPath"), Occurs::ONE),
+        ],
+    );
+    let price_history = ElementDecl::complex(
+        "PriceHistory",
+        vec![
+            (ElementDecl::leaf("Price"), Occurs::ONE),
+            (ElementDecl::leaf("ModificationDate"), Occurs::ONE),
+        ],
+    );
+    let characteristics = ElementDecl::complex(
+        "Characteristics",
+        vec![(ElementDecl::leaf("Description"), Occurs::ONE)],
+    );
+    let item = ElementDecl::complex(
+        "Item",
+        vec![
+            (ElementDecl::leaf("Code"), Occurs::ONE),
+            (ElementDecl::leaf("Name"), Occurs::ONE),
+            (ElementDecl::leaf("Description"), Occurs::ONE),
+            (ElementDecl::leaf("Section"), Occurs::ONE),
+            (ElementDecl::leaf("Release"), Occurs::OPTIONAL),
+            (characteristics, Occurs::ANY),
+            (
+                ElementDecl::complex("PictureList", vec![(picture, Occurs::MANY)]),
+                Occurs::OPTIONAL,
+            ),
+            (
+                ElementDecl::complex("PricesHistory", vec![(price_history, Occurs::MANY)]),
+                Occurs::OPTIONAL,
+            ),
+        ],
+    );
+    let section = ElementDecl::complex(
+        "Section",
+        vec![
+            (ElementDecl::leaf("Code"), Occurs::ONE),
+            (ElementDecl::leaf("Name"), Occurs::ONE),
+        ],
+    );
+    let employee = ElementDecl::complex(
+        "Employee",
+        vec![
+            (ElementDecl::leaf("Code"), Occurs::ONE),
+            (ElementDecl::leaf("Name"), Occurs::ONE),
+        ],
+    );
+    let store = ElementDecl::complex(
+        "Store",
+        vec![
+            (
+                ElementDecl::complex("Sections", vec![(section, Occurs::MANY)]),
+                Occurs::ONE,
+            ),
+            (
+                ElementDecl::complex("Items", vec![(ElementDecl::clone(&item), Occurs::MANY)]),
+                Occurs::ONE,
+            ),
+            (
+                ElementDecl::complex("Employees", vec![(employee, Occurs::MANY)]),
+                Occurs::ONE,
+            ),
+        ],
+    );
+    Schema::new("virtual_store", store)
+}
+
+/// XBench-style article schema (database *XBenchVer*).
+///
+/// The paper fragments this collection vertically into `/article/prolog`,
+/// `/article/body` and `/article/epilog`. The inner structure below
+/// follows XBench's DC/MD article documents: bibliographic prolog, the
+/// text body (abstract plus sections of paragraphs), and an epilog of
+/// references and classification data.
+pub fn xbench_article() -> Schema {
+    let author = ElementDecl::complex(
+        "author",
+        vec![
+            (ElementDecl::leaf("name"), Occurs::ONE),
+            (ElementDecl::leaf("affiliation"), Occurs::OPTIONAL),
+        ],
+    );
+    let prolog = ElementDecl::complex(
+        "prolog",
+        vec![
+            (ElementDecl::leaf("title"), Occurs::ONE),
+            (
+                ElementDecl::complex("authors", vec![(author, Occurs::MANY)]),
+                Occurs::ONE,
+            ),
+            (ElementDecl::leaf("genre"), Occurs::ONE),
+            (ElementDecl::leaf("pub_date"), Occurs::ONE),
+            (
+                ElementDecl::complex(
+                    "keywords",
+                    vec![(ElementDecl::leaf("keyword"), Occurs::ANY)],
+                ),
+                Occurs::OPTIONAL,
+            ),
+        ],
+    );
+    let section = ElementDecl::complex(
+        "section",
+        vec![
+            (ElementDecl::leaf("heading"), Occurs::ONE),
+            (ElementDecl::leaf("p"), Occurs::MANY),
+        ],
+    );
+    let body = ElementDecl::complex(
+        "body",
+        vec![
+            (ElementDecl::leaf("abstract"), Occurs::ONE),
+            (section, Occurs::MANY),
+        ],
+    );
+    let reference = ElementDecl::complex(
+        "reference",
+        vec![
+            (ElementDecl::leaf("ref_title"), Occurs::ONE),
+            (ElementDecl::leaf("year"), Occurs::ONE),
+        ],
+    );
+    let epilog = ElementDecl::complex(
+        "epilog",
+        vec![
+            (
+                ElementDecl::complex("references", vec![(reference, Occurs::ANY)]),
+                Occurs::ONE,
+            ),
+            (ElementDecl::leaf("country"), Occurs::ONE),
+            (ElementDecl::leaf("word_count"), Occurs::ONE),
+        ],
+    );
+    let article = ElementDecl::complex(
+        "article",
+        vec![
+            (prolog, Occurs::ONE),
+            (body, Occurs::ONE),
+            (epilog, Occurs::ONE),
+        ],
+    )
+    .with_attr("id", true);
+    Schema::new("xbench_article", article)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partix_path::PathExpr;
+
+    fn p(s: &str) -> PathExpr {
+        PathExpr::parse(s).unwrap()
+    }
+
+    #[test]
+    fn virtual_store_structure() {
+        let s = virtual_store();
+        assert_eq!(s.root.name, "Store");
+        assert_eq!(s.root.children.len(), 3);
+        let item = s.resolve(&p("/Store/Items/Item")).unwrap();
+        assert_eq!(item.children.len(), 8);
+        let (pl, occ) = item.child("PictureList").unwrap();
+        assert_eq!(occ, Occurs::OPTIONAL);
+        let (_, pic_occ) = pl.child("Picture").unwrap();
+        assert_eq!(pic_occ, Occurs::MANY);
+    }
+
+    #[test]
+    fn item_subschema_for_md_collection() {
+        let s = virtual_store();
+        let item_schema = s.subschema(&p("/Store/Items/Item")).unwrap();
+        assert_eq!(item_schema.root.name, "Item");
+        // inside a single Item document, Section is 1..1 → single-valued
+        assert!(item_schema.is_single_valued(&p("/Item/Section")));
+        assert!(!item_schema.is_single_valued(&p("/Item/PictureList/Picture")));
+        assert!(item_schema.is_single_valued(&p("/Item/PictureList/Picture[1]")));
+    }
+
+    #[test]
+    fn xbench_structure() {
+        let s = xbench_article();
+        assert_eq!(s.root.name, "article");
+        for part in ["prolog", "body", "epilog"] {
+            let path = PathExpr::parse(&format!("/article/{part}")).unwrap();
+            assert!(s.resolve(&path).is_some(), "{part} must resolve");
+            assert!(s.is_single_valued(&path), "{part} is 1..1");
+        }
+        assert!(s.is_single_valued(&p("/article/prolog/title")));
+        assert!(!s.is_single_valued(&p("/article/prolog/authors/author")));
+    }
+}

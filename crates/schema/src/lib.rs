@@ -1,0 +1,30 @@
+//! # partix-schema
+//!
+//! Schema trees and typed collections, following Section 3.1 of the
+//! PartiX paper:
+//!
+//! * Element names correspond to names of data types described in a DTD
+//!   or XML Schema; a schema is modelled here as a tree of
+//!   [`ElementDecl`]s with minimum/maximum cardinalities (the paper's
+//!   Figure 1(a) notation `0..1`, `1..n`).
+//! * A **homogeneous collection** is `C := ⟨S, τ_root⟩`: all its documents
+//!   satisfy type `τ_root` of schema `S`. Collections are either **SD**
+//!   (a single large document) or **MD** (many documents) repositories.
+//!
+//! The crate ships the two schemas used throughout the paper's
+//! experiments: [`builtin::virtual_store`] (Figure 1(a)) and
+//! [`builtin::xbench_article`] (the XBench-style article collection used
+//! for vertical fragmentation).
+//!
+//! [`Schema::is_single_valued`] answers the question data localization
+//! needs: does a path select at most one node per document? Only then is
+//! `P = "a" ∧ P = "b"` a contradiction the middleware may prune on.
+
+pub mod builtin;
+pub mod collection;
+pub mod decl;
+pub mod validate;
+
+pub use collection::{CollectionDef, RepoKind};
+pub use decl::{AttrDecl, ElementDecl, Occurs, Schema};
+pub use validate::{validate, ValidationError};

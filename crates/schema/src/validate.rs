@@ -1,0 +1,274 @@
+//! Validation of documents against schema declarations.
+//!
+//! `⟨t, ℓ⟩` must be derivable from the grammar defined by `S` with
+//! `ℓ(root∆) → τ` (paper Sec. 3.1). Child order is not constrained (the
+//! paper's schemas never rely on sibling order), but names, cardinalities,
+//! required attributes, and text-content placement are enforced.
+
+use crate::decl::{ElementDecl, Schema};
+use partix_xml::{Document, NodeKind, NodeRef};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A validation failure, with the Dewey-style path of the offending node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationError {
+    /// Human-readable location, e.g. `Store/Items/Item`.
+    pub location: String,
+    pub kind: ValidationErrorKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationErrorKind {
+    RootLabelMismatch { expected: String, found: String },
+    UndeclaredElement { name: String },
+    UndeclaredAttribute { name: String },
+    MissingAttribute { name: String },
+    CardinalityViolation { name: String, bounds: String, found: u32 },
+    UnexpectedText,
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "at {}: ", self.location)?;
+        match &self.kind {
+            ValidationErrorKind::RootLabelMismatch { expected, found } => {
+                write!(f, "root is <{found}>, schema expects <{expected}>")
+            }
+            ValidationErrorKind::UndeclaredElement { name } => {
+                write!(f, "element <{name}> is not declared")
+            }
+            ValidationErrorKind::UndeclaredAttribute { name } => {
+                write!(f, "attribute {name:?} is not declared")
+            }
+            ValidationErrorKind::MissingAttribute { name } => {
+                write!(f, "required attribute {name:?} is missing")
+            }
+            ValidationErrorKind::CardinalityViolation { name, bounds, found } => {
+                write!(f, "<{name}> occurs {found} times, bounds are {bounds}")
+            }
+            ValidationErrorKind::UnexpectedText => {
+                write!(f, "text content not allowed here")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Validate `doc` against `schema`, collecting every violation.
+pub fn validate(schema: &Schema, doc: &Document) -> Result<(), Vec<ValidationError>> {
+    let mut errors = Vec::new();
+    let root = doc.root();
+    if root.label() != schema.root.name {
+        errors.push(ValidationError {
+            location: root.label().to_owned(),
+            kind: ValidationErrorKind::RootLabelMismatch {
+                expected: schema.root.name.clone(),
+                found: root.label().to_owned(),
+            },
+        });
+    } else {
+        validate_element(&schema.root, root, &schema.root.name, &mut errors);
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+fn validate_element(
+    decl: &ElementDecl,
+    node: NodeRef<'_>,
+    location: &str,
+    errors: &mut Vec<ValidationError>,
+) {
+    // attributes
+    for attr in node.attributes() {
+        if !decl.attributes.iter().any(|a| a.name == attr.label()) {
+            errors.push(ValidationError {
+                location: location.to_owned(),
+                kind: ValidationErrorKind::UndeclaredAttribute { name: attr.label().to_owned() },
+            });
+        }
+    }
+    for required in decl.attributes.iter().filter(|a| a.required) {
+        if node.attribute(&required.name).is_none() {
+            errors.push(ValidationError {
+                location: location.to_owned(),
+                kind: ValidationErrorKind::MissingAttribute { name: required.name.clone() },
+            });
+        }
+    }
+    // children
+    let mut counts: HashMap<&str, u32> = HashMap::new();
+    for child in node.children() {
+        match child.kind() {
+            NodeKind::Attribute => {}
+            NodeKind::Text => {
+                if !decl.text {
+                    errors.push(ValidationError {
+                        location: location.to_owned(),
+                        kind: ValidationErrorKind::UnexpectedText,
+                    });
+                }
+            }
+            NodeKind::Element => {
+                let name = child.label();
+                match decl.child(name) {
+                    Some((child_decl, _)) => {
+                        *counts.entry(child_decl.name.as_str()).or_insert(0) += 1;
+                        let loc = format!("{location}/{name}");
+                        validate_element(child_decl, child, &loc, errors);
+                    }
+                    None => errors.push(ValidationError {
+                        location: location.to_owned(),
+                        kind: ValidationErrorKind::UndeclaredElement { name: name.to_owned() },
+                    }),
+                }
+            }
+        }
+    }
+    for (child_decl, occurs) in &decl.children {
+        let found = counts.get(child_decl.name.as_str()).copied().unwrap_or(0);
+        if !occurs.admits(found) {
+            errors.push(ValidationError {
+                location: location.to_owned(),
+                kind: ValidationErrorKind::CardinalityViolation {
+                    name: child_decl.name.clone(),
+                    bounds: occurs.to_string(),
+                    found,
+                },
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtin::virtual_store;
+    use partix_path::PathExpr;
+    use partix_xml::parse;
+
+    fn item_schema() -> Schema {
+        virtual_store()
+            .subschema(&PathExpr::parse("/Store/Items/Item").unwrap())
+            .unwrap()
+    }
+
+    #[test]
+    fn valid_minimal_item() {
+        let doc = parse(
+            "<Item><Code>1</Code><Name>n</Name><Description>d</Description>\
+             <Section>CD</Section></Item>",
+        )
+        .unwrap();
+        validate(&item_schema(), &doc).unwrap();
+    }
+
+    #[test]
+    fn valid_full_item() {
+        let doc = parse(
+            "<Item><Code>1</Code><Name>n</Name><Description>d</Description>\
+             <Section>CD</Section><Release>2006</Release>\
+             <Characteristics><Description>x</Description></Characteristics>\
+             <PictureList><Picture><Name>p</Name><Description>d</Description>\
+             <ModificationDate>t</ModificationDate><OriginalPath>o</OriginalPath>\
+             <ThumbPath>t</ThumbPath></Picture></PictureList>\
+             <PricesHistory><PriceHistory><Price>9.9</Price>\
+             <ModificationDate>t</ModificationDate></PriceHistory></PricesHistory></Item>",
+        )
+        .unwrap();
+        validate(&item_schema(), &doc).unwrap();
+    }
+
+    #[test]
+    fn missing_required_child() {
+        let doc = parse("<Item><Code>1</Code></Item>").unwrap();
+        let errors = validate(&item_schema(), &doc).unwrap_err();
+        // Name, Description, Section missing
+        assert_eq!(
+            errors
+                .iter()
+                .filter(|e| matches!(e.kind, ValidationErrorKind::CardinalityViolation { .. }))
+                .count(),
+            3
+        );
+    }
+
+    #[test]
+    fn undeclared_element_reported() {
+        let doc = parse(
+            "<Item><Code>1</Code><Name>n</Name><Description>d</Description>\
+             <Section>CD</Section><Bogus/></Item>",
+        )
+        .unwrap();
+        let errors = validate(&item_schema(), &doc).unwrap_err();
+        assert!(errors
+            .iter()
+            .any(|e| matches!(&e.kind, ValidationErrorKind::UndeclaredElement { name } if name == "Bogus")));
+    }
+
+    #[test]
+    fn wrong_root_label() {
+        let doc = parse("<NotAnItem/>").unwrap();
+        let errors = validate(&item_schema(), &doc).unwrap_err();
+        assert!(matches!(
+            errors[0].kind,
+            ValidationErrorKind::RootLabelMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn text_in_complex_element_rejected() {
+        let doc = parse(
+            "<Item>stray text<Code>1</Code><Name>n</Name><Description>d</Description>\
+             <Section>CD</Section></Item>",
+        )
+        .unwrap();
+        let errors = validate(&item_schema(), &doc).unwrap_err();
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e.kind, ValidationErrorKind::UnexpectedText)));
+    }
+
+    #[test]
+    fn cardinality_upper_bound() {
+        let doc = parse(
+            "<Item><Code>1</Code><Code>2</Code><Name>n</Name>\
+             <Description>d</Description><Section>CD</Section></Item>",
+        )
+        .unwrap();
+        let errors = validate(&item_schema(), &doc).unwrap_err();
+        assert!(errors.iter().any(|e| matches!(
+            &e.kind,
+            ValidationErrorKind::CardinalityViolation { name, found: 2, .. } if name == "Code"
+        )));
+    }
+
+    #[test]
+    fn error_location_is_path_like() {
+        let doc = parse(
+            "<Item><Code>1</Code><Name>n</Name><Description>d</Description>\
+             <Section>CD</Section><PictureList><Picture><Name>p</Name></Picture>\
+             </PictureList></Item>",
+        )
+        .unwrap();
+        let errors = validate(&item_schema(), &doc).unwrap_err();
+        assert!(errors.iter().any(|e| e.location == "Item/PictureList/Picture"));
+    }
+
+    #[test]
+    fn attribute_validation() {
+        use crate::decl::{ElementDecl, Schema};
+        let schema = Schema::new("t", ElementDecl::leaf("a").with_attr("id", true));
+        let ok = parse("<a id=\"1\">x</a>").unwrap();
+        validate(&schema, &ok).unwrap();
+        let missing = parse("<a>x</a>").unwrap();
+        assert!(validate(&schema, &missing).is_err());
+        let extra = parse("<a id=\"1\" other=\"2\">x</a>").unwrap();
+        assert!(validate(&schema, &extra).is_err());
+    }
+}

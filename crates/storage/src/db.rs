@@ -1,0 +1,425 @@
+//! The database: named collections of documents plus their indexes.
+
+use crate::index::{PathIndex, TextIndex, ValueIndex};
+use parking_lot::RwLock;
+use partix_query::{CollectionProvider, EvalError};
+use partix_xml::{binary, Document};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// How a collection keeps its documents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StorageMode {
+    /// Pre-parsed in memory (eXist's paged DOM — the fast path).
+    #[default]
+    Hot,
+    /// Compact binary pages decoded on every access. Models the
+    /// per-document parse cost the paper observed when a fragment is
+    /// stored as many small documents (FragMode1).
+    Cold,
+}
+
+/// Storage-level failures.
+#[derive(Debug)]
+pub enum StorageError {
+    UnknownCollection(String),
+    DuplicateCollection(String),
+    Io(std::io::Error),
+    Corrupt(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::UnknownCollection(n) => write!(f, "unknown collection {n:?}"),
+            StorageError::DuplicateCollection(n) => {
+                write!(f, "collection {n:?} already exists")
+            }
+            StorageError::Io(e) => write!(f, "I/O error: {e}"),
+            StorageError::Corrupt(msg) => write!(f, "corrupt storage: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> StorageError {
+        StorageError::Io(e)
+    }
+}
+
+/// One stored collection.
+pub struct Collection {
+    pub name: String,
+    pub mode: StorageMode,
+    /// Hot documents (shared with query results).
+    docs: Vec<Arc<Document>>,
+    /// Cold pages (decoded per access when `mode == Cold`).
+    pages: Vec<bytes::Bytes>,
+    value_index: ValueIndex,
+    text_index: TextIndex,
+    path_index: PathIndex,
+}
+
+impl Collection {
+    fn new(name: &str, mode: StorageMode) -> Collection {
+        Collection {
+            name: name.to_owned(),
+            mode,
+            docs: Vec::new(),
+            pages: Vec::new(),
+            value_index: ValueIndex::default(),
+            text_index: TextIndex::default(),
+            path_index: PathIndex::default(),
+        }
+    }
+
+    /// Number of stored documents.
+    pub fn len(&self) -> usize {
+        match self.mode {
+            StorageMode::Hot => self.docs.len(),
+            StorageMode::Cold => self.pages.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total size of the stored pages/documents in bytes (approximate for
+    /// hot collections).
+    pub fn byte_size(&self) -> usize {
+        match self.mode {
+            StorageMode::Hot => self.docs.iter().map(|d| d.approx_size()).sum(),
+            StorageMode::Cold => self.pages.iter().map(bytes::Bytes::len).sum(),
+        }
+    }
+
+    fn insert(&mut self, doc: Document) {
+        let slot = self.len() as u32;
+        self.value_index.insert(slot, &doc);
+        self.text_index.insert(slot, &doc);
+        self.path_index.insert(slot, &doc);
+        match self.mode {
+            StorageMode::Hot => self.docs.push(Arc::new(doc)),
+            StorageMode::Cold => self.pages.push(binary::encode(&doc)),
+        }
+    }
+
+    /// Materialize one document (decoding if cold).
+    fn fetch(&self, slot: u32) -> Arc<Document> {
+        match self.mode {
+            StorageMode::Hot => Arc::clone(&self.docs[slot as usize]),
+            StorageMode::Cold => Arc::new(
+                binary::decode(&self.pages[slot as usize])
+                    .expect("pages written by insert() always decode"),
+            ),
+        }
+    }
+
+    fn all(&self) -> Vec<Arc<Document>> {
+        (0..self.len() as u32).map(|s| self.fetch(s)).collect()
+    }
+
+    /// Candidate slots for an equality probe; `None` = no index support.
+    pub(crate) fn probe_value(&self, label: &str, value: &str) -> Option<Vec<u32>> {
+        Some(match self.value_index.lookup(label, value) {
+            Some(set) => {
+                let mut v: Vec<u32> = set.iter().copied().collect();
+                v.sort_unstable();
+                v
+            }
+            None => Vec::new(),
+        })
+    }
+
+    /// Candidate slots for an existential probe on a label; never `None`
+    /// (an unseen label yields the empty set).
+    pub(crate) fn probe_label(&self, label: &str) -> Vec<u32> {
+        match self.path_index.lookup(label) {
+            Some(set) => {
+                let mut v: Vec<u32> = set.iter().copied().collect();
+                v.sort_unstable();
+                v
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Candidate slots for a `contains` probe; `None` = full scan needed.
+    pub(crate) fn probe_contains(&self, needle: &str) -> Option<Vec<u32>> {
+        self.text_index.lookup_contains(needle).map(|set| {
+            let mut v: Vec<u32> = set.into_iter().collect();
+            v.sort_unstable();
+            v
+        })
+    }
+
+    pub(crate) fn fetch_slots(&self, slots: &[u32]) -> Vec<Arc<Document>> {
+        slots.iter().map(|&s| self.fetch(s)).collect()
+    }
+
+    /// Raw binary pages (for persistence and for shipping to other nodes).
+    pub fn pages(&self) -> Vec<bytes::Bytes> {
+        match self.mode {
+            StorageMode::Hot => self.docs.iter().map(|d| binary::encode(d)).collect(),
+            StorageMode::Cold => self.pages.clone(),
+        }
+    }
+}
+
+/// A sequential XML database instance: what each PartiX node runs.
+///
+/// Thread-safe: the PartiX middleware queries many databases in parallel.
+pub struct Database {
+    collections: RwLock<HashMap<String, Arc<RwLock<Collection>>>>,
+    use_indexes: std::sync::atomic::AtomicBool,
+    use_value_index: std::sync::atomic::AtomicBool,
+}
+
+impl Default for Database {
+    fn default() -> Database {
+        Database::new()
+    }
+}
+
+impl Database {
+    pub fn new() -> Database {
+        Database {
+            collections: RwLock::new(HashMap::new()),
+            use_indexes: std::sync::atomic::AtomicBool::new(true),
+            use_value_index: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    /// Enable/disable index-assisted scans (ablation studies; indexes are
+    /// still maintained, just not consulted).
+    pub fn set_index_enabled(&self, enabled: bool) {
+        self.use_indexes.store(enabled, std::sync::atomic::Ordering::Release);
+    }
+
+    /// Whether index-assisted scans are enabled.
+    pub fn index_enabled(&self) -> bool {
+        self.use_indexes.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// Enable equality probes against the value index. Off by default,
+    /// mirroring the paper's eXist configuration: the automatically
+    /// created indexes cover text search and path navigation, while
+    /// value/range indexes needed manual setup (*"No other indexes were
+    /// created"*).
+    pub fn set_value_index_enabled(&self, enabled: bool) {
+        self.use_value_index
+            .store(enabled, std::sync::atomic::Ordering::Release);
+    }
+
+    /// Whether equality probes may use the value index.
+    pub fn value_index_enabled(&self) -> bool {
+        self.use_value_index.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// Create a collection. Errors if the name is taken.
+    pub fn create_collection(
+        &self,
+        name: &str,
+        mode: StorageMode,
+    ) -> Result<(), StorageError> {
+        let mut map = self.collections.write();
+        if map.contains_key(name) {
+            return Err(StorageError::DuplicateCollection(name.to_owned()));
+        }
+        map.insert(name.to_owned(), Arc::new(RwLock::new(Collection::new(name, mode))));
+        Ok(())
+    }
+
+    /// Store a document into a collection (created on demand, hot mode).
+    pub fn store(&self, collection: &str, doc: Document) {
+        let coll = self.get_or_create(collection);
+        coll.write().insert(doc);
+    }
+
+    /// Store many documents at once.
+    pub fn store_all(&self, collection: &str, docs: impl IntoIterator<Item = Document>) {
+        let coll = self.get_or_create(collection);
+        let mut guard = coll.write();
+        for doc in docs {
+            guard.insert(doc);
+        }
+    }
+
+    fn get_or_create(&self, name: &str) -> Arc<RwLock<Collection>> {
+        if let Some(c) = self.collections.read().get(name) {
+            return Arc::clone(c);
+        }
+        let mut map = self.collections.write();
+        Arc::clone(
+            map.entry(name.to_owned())
+                .or_insert_with(|| Arc::new(RwLock::new(Collection::new(name, StorageMode::Hot)))),
+        )
+    }
+
+    pub(crate) fn get(&self, name: &str) -> Option<Arc<RwLock<Collection>>> {
+        self.collections.read().get(name).cloned()
+    }
+
+    /// Names of all collections, sorted.
+    pub fn collection_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.collections.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Documents in a collection.
+    pub fn collection_len(&self, name: &str) -> Result<usize, StorageError> {
+        self.get(name)
+            .map(|c| c.read().len())
+            .ok_or_else(|| StorageError::UnknownCollection(name.to_owned()))
+    }
+
+    /// Total bytes stored in a collection.
+    pub fn collection_bytes(&self, name: &str) -> Result<usize, StorageError> {
+        self.get(name)
+            .map(|c| c.read().byte_size())
+            .ok_or_else(|| StorageError::UnknownCollection(name.to_owned()))
+    }
+
+    /// Drop a collection; succeeds silently if absent.
+    pub fn drop_collection(&self, name: &str) {
+        self.collections.write().remove(name);
+    }
+}
+
+impl CollectionProvider for Database {
+    fn collection(&self, name: &str) -> Result<Vec<Arc<Document>>, EvalError> {
+        self.get(name)
+            .map(|c| c.read().all())
+            .ok_or_else(|| EvalError::UnknownCollection(name.to_owned()))
+    }
+
+    fn document(&self, name: &str) -> Result<Arc<Document>, EvalError> {
+        for coll in self.collections.read().values() {
+            let guard = coll.read();
+            for slot in 0..guard.len() as u32 {
+                let doc = guard.fetch(slot);
+                if doc.name.as_deref() == Some(name) {
+                    return Ok(doc);
+                }
+            }
+        }
+        Err(EvalError::UnknownDocument(name.to_owned()))
+    }
+
+    fn collection_filtered(
+        &self,
+        name: &str,
+        predicate: &partix_path::Predicate,
+    ) -> Result<Vec<Arc<Document>>, EvalError> {
+        let coll = self
+            .get(name)
+            .ok_or_else(|| EvalError::UnknownCollection(name.to_owned()))?;
+        let guard = coll.read();
+        match crate::exec::index_candidates(&guard, predicate, self.value_index_enabled()) {
+            Some(slots) => Ok(guard.fetch_slots(&slots)),
+            None => Ok(guard.all()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partix_path::Predicate;
+    use partix_xml::parse;
+
+    fn make_db(mode: StorageMode) -> Database {
+        let db = Database::new();
+        db.create_collection("items", mode).unwrap();
+        for (name, xml) in [
+            ("i1", "<Item><Section>CD</Section><D>good one</D></Item>"),
+            ("i2", "<Item><Section>DVD</Section><D>fine</D></Item>"),
+            ("i3", "<Item><Section>CD</Section><D>goodness</D></Item>"),
+        ] {
+            let mut d = parse(xml).unwrap();
+            d.name = Some(name.to_owned());
+            db.store("items", d);
+        }
+        db
+    }
+
+    #[test]
+    fn store_and_fetch_hot() {
+        let db = make_db(StorageMode::Hot);
+        assert_eq!(db.collection_len("items").unwrap(), 3);
+        let docs = db.collection("items").unwrap();
+        assert_eq!(docs.len(), 3);
+        assert_eq!(docs[0].name.as_deref(), Some("i1"));
+    }
+
+    #[test]
+    fn store_and_fetch_cold_roundtrips() {
+        let db = make_db(StorageMode::Cold);
+        let docs = db.collection("items").unwrap();
+        assert_eq!(docs.len(), 3);
+        assert_eq!(docs[2].root().child_element("D").unwrap().text(), "goodness");
+    }
+
+    #[test]
+    fn document_lookup_by_name() {
+        let db = make_db(StorageMode::Hot);
+        let d = db.document("i2").unwrap();
+        assert_eq!(d.root().child_element("Section").unwrap().text(), "DVD");
+        assert!(db.document("zzz").is_err());
+    }
+
+    #[test]
+    fn filtered_uses_value_index() {
+        let db = make_db(StorageMode::Hot);
+        db.set_value_index_enabled(true);
+        let pred = Predicate::parse(r#"/Item/Section = "CD""#).unwrap();
+        let docs = db.collection_filtered("items", &pred).unwrap();
+        assert_eq!(docs.len(), 2);
+    }
+
+    #[test]
+    fn filtered_contains_is_sound_superset() {
+        let db = make_db(StorageMode::Hot);
+        let pred = Predicate::parse(r#"contains(/Item/D, "good")"#).unwrap();
+        let docs = db.collection_filtered("items", &pred).unwrap();
+        // must include i1 (good) and i3 (goodness)
+        let names: Vec<_> = docs.iter().map(|d| d.name.clone().unwrap()).collect();
+        assert!(names.contains(&"i1".to_owned()));
+        assert!(names.contains(&"i3".to_owned()));
+    }
+
+    #[test]
+    fn duplicate_collection_rejected() {
+        let db = Database::new();
+        db.create_collection("c", StorageMode::Hot).unwrap();
+        assert!(matches!(
+            db.create_collection("c", StorageMode::Hot),
+            Err(StorageError::DuplicateCollection(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_collection_errors() {
+        let db = Database::new();
+        assert!(db.collection("nope").is_err());
+        assert!(db.collection_len("nope").is_err());
+    }
+
+    #[test]
+    fn drop_collection_removes() {
+        let db = make_db(StorageMode::Hot);
+        db.drop_collection("items");
+        assert!(db.collection("items").is_err());
+    }
+
+    #[test]
+    fn byte_size_positive() {
+        let db = make_db(StorageMode::Hot);
+        assert!(db.collection_bytes("items").unwrap() > 0);
+    }
+}

@@ -1,0 +1,391 @@
+//! Query execution with index-assisted pre-filtering and statistics.
+
+use crate::db::{Collection, Database};
+use partix_path::pred::BoolFn;
+use partix_path::Predicate;
+use partix_query::pushdown;
+use partix_query::{parse_query, EvalError, Evaluator, Item, Sequence};
+use std::time::Instant;
+
+/// Statistics of one query execution on one database node.
+#[derive(Debug, Clone, Default)]
+pub struct QueryStats {
+    /// Documents in the scanned collection.
+    pub collection_size: usize,
+    /// Documents actually fed to the evaluator after index filtering.
+    pub docs_scanned: usize,
+    /// Whether an index produced the candidate set.
+    pub index_used: bool,
+    /// Wall-clock execution time in seconds.
+    pub elapsed: f64,
+    /// Total wire size of the result items in bytes.
+    pub result_bytes: usize,
+}
+
+/// Result of [`Database::execute`].
+#[derive(Debug, Clone)]
+pub struct QueryOutput {
+    pub items: Sequence,
+    pub stats: QueryStats,
+}
+
+impl QueryOutput {
+    /// Render the result the way the PartiX driver ships it.
+    pub fn serialize(&self) -> String {
+        partix_query::func::serialize_sequence(&self.items)
+    }
+}
+
+/// Derive index candidate slots for a per-document predicate.
+///
+/// Returns `None` when the predicate gives the indexes nothing to work
+/// with (full scan). The returned set is always a superset of the
+/// documents satisfying the predicate.
+pub(crate) fn index_candidates(
+    coll: &Collection,
+    pred: &Predicate,
+    value_index: bool,
+) -> Option<Vec<u32>> {
+    match pred {
+        Predicate::Cmp { path, op, value } => {
+            if !value_index || *op != partix_path::CmpOp::Eq {
+                return None;
+            }
+            let partix_path::Value::Str(s) = value else { return None };
+            let label = last_label(path)?;
+            coll.probe_value(&label, s)
+        }
+        Predicate::Exists(path) => {
+            // a document can only satisfy exists(P) if P's final label
+            // occurs in it — the structural path index answers that
+            let label = last_label(path)?;
+            Some(coll.probe_label(&label))
+        }
+        Predicate::Bool(BoolFn::Contains(_, needle)) => coll.probe_contains(needle),
+        Predicate::Bool(BoolFn::StartsWith(_, needle)) => coll.probe_contains(needle),
+        Predicate::And(ps) => {
+            // intersect whatever probes succeed
+            let mut acc: Option<Vec<u32>> = None;
+            for p in ps {
+                if let Some(c) = index_candidates(coll, p, value_index) {
+                    acc = Some(match acc {
+                        None => c,
+                        Some(prev) => intersect_sorted(&prev, &c),
+                    });
+                }
+            }
+            acc
+        }
+        Predicate::Or(ps) => {
+            // every branch must probe, else the union is unbounded
+            let mut acc: Vec<u32> = Vec::new();
+            for p in ps {
+                let c = index_candidates(coll, p, value_index)?;
+                acc = union_sorted(&acc, &c);
+            }
+            Some(acc)
+        }
+        _ => None,
+    }
+}
+
+fn last_label(path: &partix_path::PathExpr) -> Option<String> {
+    use partix_path::NodeTest;
+    match &path.last_step()?.test {
+        NodeTest::Name(n) | NodeTest::Attribute(n) => Some(n.clone()),
+        NodeTest::AnyElement => None,
+    }
+}
+
+fn intersect_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+fn union_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out: Vec<u32> = a.iter().chain(b.iter()).copied().collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+impl Database {
+    /// Parse and execute an XQuery, using indexes to pre-filter the
+    /// driving collection when the query's pushed-down predicate allows.
+    pub fn execute(&self, query_text: &str) -> Result<QueryOutput, ExecError> {
+        let query = parse_query(query_text).map_err(ExecError::Parse)?;
+        self.execute_parsed(&query)
+    }
+
+    /// Execute an already-parsed query.
+    pub fn execute_parsed(
+        &self,
+        query: &partix_query::Query,
+    ) -> Result<QueryOutput, ExecError> {
+        let start = Instant::now();
+        let mut stats = QueryStats::default();
+        // index-assisted scan via a filtered provider view
+        let analysis = pushdown::analyze(query);
+        let filtered: Option<FilteredView<'_>> = analysis.as_ref().and_then(|a| {
+            if !self.index_enabled() {
+                return None;
+            }
+            let pred = a.doc_predicate.as_ref()?;
+            let coll = self.get(&a.collection)?;
+            let guard = coll.read();
+            stats.collection_size = guard.len();
+            let slots = index_candidates(&guard, pred, self.value_index_enabled())?;
+            stats.index_used = true;
+            stats.docs_scanned = slots.len();
+            let docs = guard.fetch_slots(&slots);
+            Some(FilteredView { inner: self, collection: a.collection.clone(), docs })
+        });
+        let items = match &filtered {
+            Some(view) => Evaluator::new(view).eval(query),
+            None => {
+                if let Some(a) = &analysis {
+                    if let Some(coll) = self.get(&a.collection) {
+                        let len = coll.read().len();
+                        stats.collection_size = len;
+                        stats.docs_scanned = len;
+                    }
+                }
+                Evaluator::new(self).eval(query)
+            }
+        }
+        .map_err(ExecError::Eval)?;
+        stats.elapsed = start.elapsed().as_secs_f64();
+        stats.result_bytes = items.iter().map(Item::wire_size).sum();
+        Ok(QueryOutput { items, stats })
+    }
+}
+
+/// Provider view that substitutes an index-filtered document list for one
+/// collection and delegates everything else.
+struct FilteredView<'a> {
+    inner: &'a Database,
+    collection: String,
+    docs: Vec<std::sync::Arc<partix_xml::Document>>,
+}
+
+impl partix_query::CollectionProvider for FilteredView<'_> {
+    fn collection(
+        &self,
+        name: &str,
+    ) -> Result<Vec<std::sync::Arc<partix_xml::Document>>, EvalError> {
+        if name == self.collection {
+            Ok(self.docs.clone())
+        } else {
+            partix_query::CollectionProvider::collection(self.inner, name)
+        }
+    }
+
+    fn document(&self, name: &str) -> Result<std::sync::Arc<partix_xml::Document>, EvalError> {
+        partix_query::CollectionProvider::document(self.inner, name)
+    }
+}
+
+/// Execution failure: parse error or evaluation error.
+#[derive(Debug)]
+pub enum ExecError {
+    Parse(partix_query::QueryParseError),
+    Eval(EvalError),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Parse(e) => write!(f, "{e}"),
+            ExecError::Eval(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::StorageMode;
+    use partix_xml::parse;
+
+    fn db() -> Database {
+        let db = Database::new();
+        db.create_collection("items", StorageMode::Hot).unwrap();
+        for (name, section, desc, price) in [
+            ("i1", "CD", "a good jazz record", 10),
+            ("i2", "DVD", "a dystopia", 25),
+            ("i3", "CD", "goodness gracious", 8),
+            ("i4", "BOOK", "a very good read", 12),
+        ] {
+            let xml = format!(
+                "<Item><Code>{name}</Code><Section>{section}</Section>\
+                 <Price>{price}</Price><Characteristics><Description>{desc}</Description>\
+                 </Characteristics></Item>"
+            );
+            let mut d = parse(&xml).unwrap();
+            d.name = Some(name.to_owned());
+            db.store("items", d);
+        }
+        db
+    }
+
+    #[test]
+    fn equality_query_uses_index() {
+        let db = db();
+        db.set_value_index_enabled(true);
+        let out = db
+            .execute(r#"for $i in collection("items")/Item where $i/Section = "CD" return $i/Code"#)
+            .unwrap();
+        assert_eq!(out.items.len(), 2);
+        assert!(out.stats.index_used);
+        assert_eq!(out.stats.docs_scanned, 2);
+        assert_eq!(out.stats.collection_size, 4);
+    }
+
+    #[test]
+    fn contains_query_uses_text_index() {
+        let db = db();
+        let out = db
+            .execute(
+                r#"count(for $i in collection("items")/Item
+                         where contains($i//Description, "good") return $i)"#,
+            )
+            .unwrap();
+        assert_eq!(out.items[0], Item::Num(3.0));
+        assert!(out.stats.index_used);
+        assert!(out.stats.docs_scanned <= 3);
+    }
+
+    #[test]
+    fn conjunction_intersects_indexes() {
+        let db = db();
+        db.set_value_index_enabled(true);
+        let out = db
+            .execute(
+                r#"for $i in collection("items")/Item
+                   where $i/Section = "CD" and contains($i//Description, "good")
+                   return $i/Code"#,
+            )
+            .unwrap();
+        assert_eq!(out.items.len(), 2);
+        assert!(out.stats.index_used);
+        assert!(out.stats.docs_scanned <= 2);
+    }
+
+    #[test]
+    fn existential_query_uses_path_index() {
+        let db = db();
+        // give one document a Release element
+        let mut extra = parse(
+            "<Item><Code>i9</Code><Section>CD</Section><Release>2005</Release>\
+             <Price>3</Price><Characteristics><Description>x</Description>\
+             </Characteristics></Item>",
+        )
+        .unwrap();
+        extra.name = Some("i9".to_owned());
+        db.store("items", extra);
+        let out = db
+            .execute(
+                r#"for $i in collection("items")/Item
+                   where exists($i/Release) return $i/Code"#,
+            )
+            .unwrap();
+        assert_eq!(out.items.len(), 1);
+        assert!(out.stats.index_used);
+        assert_eq!(out.stats.docs_scanned, 1);
+    }
+
+    #[test]
+    fn range_query_falls_back_to_scan() {
+        let db = db();
+        db.set_value_index_enabled(true);
+        let out = db
+            .execute(r#"for $i in collection("items")/Item where $i/Price < 12 return $i/Code"#)
+            .unwrap();
+        assert_eq!(out.items.len(), 2);
+        assert!(!out.stats.index_used);
+        assert_eq!(out.stats.docs_scanned, 4);
+    }
+
+    #[test]
+    fn index_and_scan_agree() {
+        let db = db();
+        db.set_value_index_enabled(true);
+        // same query, one with index (=), one forced to scan (>= on strings)
+        let via_index = db
+            .execute(r#"count(for $i in collection("items")/Item where $i/Section = "CD" return $i)"#)
+            .unwrap();
+        let via_scan = db
+            .execute(
+                r#"count(for $i in collection("items")/Item
+                         where $i/Section >= "CD" and $i/Section <= "CD" return $i)"#,
+            )
+            .unwrap();
+        assert_eq!(via_index.items, via_scan.items);
+    }
+
+    #[test]
+    fn or_of_indexed_predicates() {
+        let db = db();
+        db.set_value_index_enabled(true);
+        let out = db
+            .execute(
+                r#"count(for $i in collection("items")/Item
+                         where $i/Section = "CD" or $i/Section = "DVD" return $i)"#,
+            )
+            .unwrap();
+        assert_eq!(out.items[0], Item::Num(3.0));
+        assert!(out.stats.index_used);
+        assert_eq!(out.stats.docs_scanned, 3);
+    }
+
+    #[test]
+    fn stats_record_result_bytes_and_time() {
+        let db = db();
+        let out = db
+            .execute(r#"for $i in collection("items")/Item return $i"#)
+            .unwrap();
+        assert!(out.stats.result_bytes > 100);
+        assert!(out.stats.elapsed >= 0.0);
+    }
+
+    #[test]
+    fn parse_error_reported() {
+        let db = db();
+        assert!(matches!(db.execute("for $"), Err(ExecError::Parse(_))));
+    }
+
+    #[test]
+    fn missing_collection_eval_error() {
+        let db = db();
+        assert!(matches!(
+            db.execute(r#"for $i in collection("zzz")/a return $i"#),
+            Err(ExecError::Eval(EvalError::UnknownCollection(_)))
+        ));
+    }
+
+    #[test]
+    fn cold_collection_executes_identically() {
+        let hot = db();
+        let cold = Database::new();
+        cold.create_collection("items", StorageMode::Cold).unwrap();
+        for doc in partix_query::CollectionProvider::collection(&hot, "items").unwrap() {
+            cold.store("items", (*doc).clone());
+        }
+        let q = r#"count(for $i in collection("items")/Item where $i/Section = "CD" return $i)"#;
+        assert_eq!(hot.execute(q).unwrap().items, cold.execute(q).unwrap().items);
+    }
+}

@@ -1,0 +1,234 @@
+//! Automatic indexes over a collection.
+//!
+//! Three indexes are maintained per collection, mirroring what eXist
+//! builds by default (full-text + structural) plus the optional value
+//! index:
+//!
+//! * [`PathIndex`] — maps node labels to the documents containing them,
+//!   serving existential probes (`exists(P)`).
+//! * [`ValueIndex`] — maps `(leaf element or attribute label, exact
+//!   value)` to the set of documents containing such a node. Serves
+//!   equality predicates (`/Item/Section = "CD"`); consulted only when
+//!   the node's value index is switched on.
+//! * [`TextIndex`] — an inverted word index over all text content,
+//!   serving `contains()` text searches. Lookup is *sound*: a
+//!   `contains(needle)` probe returns every document whose vocabulary has
+//!   a word containing the needle's longest token as a substring, so no
+//!   qualifying document is ever missed (the evaluator re-checks exact
+//!   semantics afterwards).
+//!
+//! Both lookups are over-approximations keyed by the *final label* of the
+//! probing path — fragment-local documents re-rooted by projection still
+//! hit the same entries.
+
+use partix_xml::{Document, NodeKind};
+use std::collections::{HashMap, HashSet};
+
+/// Set of document slots (indices into the collection's doc vector).
+pub type DocSet = HashSet<u32>;
+
+/// Equality index on leaf values.
+#[derive(Debug, Default, Clone)]
+pub struct ValueIndex {
+    /// `(label, value) → docs`.
+    entries: HashMap<(String, String), DocSet>,
+}
+
+impl ValueIndex {
+    /// Index every leaf element and attribute of `doc`.
+    pub fn insert(&mut self, slot: u32, doc: &Document) {
+        for node in doc.root().descendants_or_self() {
+            match node.kind() {
+                NodeKind::Attribute => {
+                    self.entries
+                        .entry((node.label().to_owned(), node.value().unwrap_or("").to_owned()))
+                        .or_default()
+                        .insert(slot);
+                }
+                NodeKind::Text => {
+                    if let Some(parent) = node.parent() {
+                        self.entries
+                            .entry((
+                                parent.label().to_owned(),
+                                node.value().unwrap_or("").to_owned(),
+                            ))
+                            .or_default()
+                            .insert(slot);
+                    }
+                }
+                NodeKind::Element => {}
+            }
+        }
+    }
+
+    /// Documents that may contain a node labelled `label` with exactly
+    /// `value` as its text.
+    pub fn lookup(&self, label: &str, value: &str) -> Option<&DocSet> {
+        self.entries.get(&(label.to_owned(), value.to_owned()))
+    }
+
+    pub fn entry_count(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// Structural label index: which documents contain at least one element
+/// or attribute with a given label — eXist's automatic path index, in the
+/// granularity our localization needs. Serves existential probes
+/// (`exists(P)`): a document can only satisfy `P` if it contains `P`'s
+/// final label somewhere.
+#[derive(Debug, Default, Clone)]
+pub struct PathIndex {
+    labels: HashMap<String, DocSet>,
+}
+
+impl PathIndex {
+    pub fn insert(&mut self, slot: u32, doc: &Document) {
+        for node in doc.root().descendants_or_self() {
+            if node.kind() != NodeKind::Text {
+                self.labels
+                    .entry(node.label().to_owned())
+                    .or_default()
+                    .insert(slot);
+            }
+        }
+    }
+
+    /// Documents containing at least one node labelled `label`.
+    pub fn lookup(&self, label: &str) -> Option<&DocSet> {
+        self.labels.get(label)
+    }
+
+    pub fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+}
+
+/// Inverted full-text index.
+#[derive(Debug, Default, Clone)]
+pub struct TextIndex {
+    /// lower-cased word → docs.
+    words: HashMap<String, DocSet>,
+}
+
+impl TextIndex {
+    pub fn insert(&mut self, slot: u32, doc: &Document) {
+        for node in doc.root().descendants_or_self() {
+            if let Some(value) = node.value() {
+                for word in tokenize(value) {
+                    self.words.entry(word).or_default().insert(slot);
+                }
+            }
+        }
+    }
+
+    /// Documents that may contain `needle` as a substring of their text.
+    ///
+    /// Returns `None` when the needle has no usable token (the caller
+    /// must scan everything). The result is a superset of the documents
+    /// whose text contains `needle`.
+    pub fn lookup_contains(&self, needle: &str) -> Option<DocSet> {
+        let token = longest_token(needle)?;
+        let mut out = DocSet::new();
+        for (word, docs) in &self.words {
+            if word.contains(&token) {
+                out.extend(docs.iter().copied());
+            }
+        }
+        Some(out)
+    }
+
+    pub fn vocabulary_size(&self) -> usize {
+        self.words.len()
+    }
+}
+
+fn tokenize(text: &str) -> impl Iterator<Item = String> + '_ {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|w| !w.is_empty())
+        .map(str::to_lowercase)
+}
+
+/// The longest alphanumeric token of a needle — the most selective probe.
+fn longest_token(needle: &str) -> Option<String> {
+    tokenize(needle).max_by_key(String::len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partix_xml::parse;
+
+    fn doc(xml: &str) -> Document {
+        parse(xml).unwrap()
+    }
+
+    #[test]
+    fn value_index_leaf_elements() {
+        let mut idx = ValueIndex::default();
+        idx.insert(0, &doc("<Item><Section>CD</Section></Item>"));
+        idx.insert(1, &doc("<Item><Section>DVD</Section></Item>"));
+        idx.insert(2, &doc("<Item><Section>CD</Section></Item>"));
+        let hits = idx.lookup("Section", "CD").unwrap();
+        assert_eq!(hits.len(), 2);
+        assert!(hits.contains(&0) && hits.contains(&2));
+        assert!(idx.lookup("Section", "BOOK").is_none());
+        assert!(idx.lookup("Name", "CD").is_none());
+    }
+
+    #[test]
+    fn value_index_attributes() {
+        let mut idx = ValueIndex::default();
+        idx.insert(0, &doc(r#"<a id="7"/>"#));
+        assert!(idx.lookup("id", "7").unwrap().contains(&0));
+    }
+
+    #[test]
+    fn path_index_label_lookup() {
+        let mut idx = PathIndex::default();
+        idx.insert(0, &doc("<Item><Release>2005</Release></Item>"));
+        idx.insert(1, &doc("<Item><Name>x</Name></Item>"));
+        idx.insert(2, &doc(r#"<Item id="3"><Release>2006</Release></Item>"#));
+        let hits = idx.lookup("Release").unwrap();
+        assert_eq!(hits.len(), 2);
+        assert!(hits.contains(&0) && hits.contains(&2));
+        // attributes are indexed too
+        assert!(idx.lookup("id").unwrap().contains(&2));
+        assert!(idx.lookup("Nothing").is_none());
+    }
+
+    #[test]
+    fn text_index_word_lookup() {
+        let mut idx = TextIndex::default();
+        idx.insert(0, &doc("<d>a very good record</d>"));
+        idx.insert(1, &doc("<d>absolute goodness</d>"));
+        idx.insert(2, &doc("<d>nothing here</d>"));
+        // substring semantics: "good" must reach both "good" and "goodness"
+        let hits = idx.lookup_contains("good").unwrap();
+        assert!(hits.contains(&0) && hits.contains(&1));
+        assert!(!hits.contains(&2));
+    }
+
+    #[test]
+    fn text_index_multiword_needle() {
+        let mut idx = TextIndex::default();
+        idx.insert(0, &doc("<d>a very good record</d>"));
+        // longest token of "good record" is "record"
+        let hits = idx.lookup_contains("good record").unwrap();
+        assert!(hits.contains(&0));
+    }
+
+    #[test]
+    fn text_index_case_insensitive_probe() {
+        let mut idx = TextIndex::default();
+        idx.insert(0, &doc("<d>Good Stuff</d>"));
+        assert!(idx.lookup_contains("good").unwrap().contains(&0));
+    }
+
+    #[test]
+    fn empty_needle_forces_scan() {
+        let idx = TextIndex::default();
+        assert!(idx.lookup_contains("  --- ").is_none());
+        assert!(idx.lookup_contains("").is_none());
+    }
+}

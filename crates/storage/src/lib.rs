@@ -1,0 +1,31 @@
+//! # partix-storage
+//!
+//! A sequential, XQuery-enabled native XML database — the role eXist \[13]
+//! plays in the paper's architecture. One instance of [`Database`] runs
+//! inside every PartiX node; the middleware only talks to it through the
+//! driver interface (execute an XQuery, store documents, list
+//! collections).
+//!
+//! Features mirroring what the paper relies on:
+//!
+//! * **Named collections** of parsed XML documents, stored either hot
+//!   (pre-parsed in memory) or cold (as compact binary pages decoded on
+//!   access — used to study per-document parse cost, the effect behind
+//!   the paper's FragMode1 vs FragMode2 discussion).
+//! * **Automatic indexes** (the paper: *"Some indexes were automatically
+//!   created by the eXist DBMS to speed up text search operations and
+//!   path expressions evaluation"*): a leaf-value index and a full-text
+//!   word index are maintained on insertion and consulted through
+//!   [`partix_query::CollectionProvider::collection_filtered`].
+//! * **Query execution** with per-query statistics (documents scanned,
+//!   index hits, elapsed time) — the measurements every experiment plots.
+//! * **Persistence**: collections can be saved to / loaded from a
+//!   directory of binary pages.
+
+pub mod db;
+pub mod exec;
+pub mod index;
+pub mod persist;
+
+pub use db::{Collection, Database, StorageError, StorageMode};
+pub use exec::{QueryOutput, QueryStats};

@@ -1,0 +1,158 @@
+//! Persistence: saving and loading databases as directories of binary
+//! pages.
+//!
+//! Layout: `<dir>/<collection>/<seq>.pxb`, one page per document, plus a
+//! `MANIFEST` listing collections and their storage modes.
+
+use crate::db::{Database, StorageError, StorageMode};
+use partix_xml::binary;
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+impl Database {
+    /// Write every collection under `dir` (created if missing). Existing
+    /// contents of `dir` belonging to a previous save are replaced.
+    pub fn save_to(&self, dir: &Path) -> Result<(), StorageError> {
+        fs::create_dir_all(dir)?;
+        let mut manifest = String::new();
+        for name in self.collection_names() {
+            let coll = self.get(&name).expect("listed collection exists");
+            let guard = coll.read();
+            let coll_dir = dir.join(&name);
+            if coll_dir.exists() {
+                fs::remove_dir_all(&coll_dir)?;
+            }
+            fs::create_dir_all(&coll_dir)?;
+            for (i, page) in guard.pages().iter().enumerate() {
+                let mut f = fs::File::create(coll_dir.join(format!("{i:08}.pxb")))?;
+                f.write_all(page)?;
+            }
+            let mode = match guard.mode {
+                StorageMode::Hot => "hot",
+                StorageMode::Cold => "cold",
+            };
+            manifest.push_str(&format!("{name}\t{mode}\n"));
+        }
+        fs::write(dir.join("MANIFEST"), manifest)?;
+        Ok(())
+    }
+
+    /// Load a database previously written by [`Database::save_to`].
+    pub fn load_from(dir: &Path) -> Result<Database, StorageError> {
+        let manifest = fs::read_to_string(dir.join("MANIFEST"))
+            .map_err(|_| StorageError::Corrupt("missing MANIFEST".into()))?;
+        let db = Database::new();
+        for line in manifest.lines() {
+            let Some((name, mode)) = line.split_once('\t') else {
+                return Err(StorageError::Corrupt(format!("bad manifest line {line:?}")));
+            };
+            let mode = match mode {
+                "hot" => StorageMode::Hot,
+                "cold" => StorageMode::Cold,
+                other => {
+                    return Err(StorageError::Corrupt(format!("bad storage mode {other:?}")))
+                }
+            };
+            db.create_collection(name, mode)?;
+            let coll_dir = dir.join(name);
+            let mut entries: Vec<_> = fs::read_dir(&coll_dir)?
+                .collect::<Result<Vec<_>, _>>()?
+                .into_iter()
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|e| e == "pxb"))
+                .collect();
+            entries.sort();
+            for path in entries {
+                let bytes = fs::read(&path)?;
+                let doc = binary::decode(&bytes).map_err(|e| {
+                    StorageError::Corrupt(format!("{}: {e}", path.display()))
+                })?;
+                db.store(name, doc);
+            }
+        }
+        Ok(db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partix_query::CollectionProvider;
+    use partix_xml::parse;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "partix-persist-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_db() -> Database {
+        let db = Database::new();
+        db.create_collection("hotc", StorageMode::Hot).unwrap();
+        db.create_collection("coldc", StorageMode::Cold).unwrap();
+        for (i, coll) in [(1, "hotc"), (2, "hotc"), (3, "coldc")] {
+            let mut d = parse(&format!("<Item><Code>{i}</Code></Item>")).unwrap();
+            d.name = Some(format!("d{i}"));
+            db.store(coll, d);
+        }
+        db
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = tmp_dir("roundtrip");
+        let db = sample_db();
+        db.save_to(&dir).unwrap();
+        let loaded = Database::load_from(&dir).unwrap();
+        assert_eq!(loaded.collection_names(), ["coldc", "hotc"]);
+        assert_eq!(loaded.collection_len("hotc").unwrap(), 2);
+        assert_eq!(loaded.collection_len("coldc").unwrap(), 1);
+        let docs = loaded.collection("hotc").unwrap();
+        assert_eq!(docs[0].name.as_deref(), Some("d1"));
+        // queries still work (indexes rebuilt on load)
+        let out = loaded
+            .execute(r#"count(for $i in collection("hotc")/Item where $i/Code = "1" return $i)"#)
+            .unwrap();
+        assert_eq!(out.items[0], partix_query::Item::Num(1.0));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn save_is_replayable() {
+        let dir = tmp_dir("replay");
+        let db = sample_db();
+        db.save_to(&dir).unwrap();
+        db.save_to(&dir).unwrap(); // second save replaces, not duplicates
+        let loaded = Database::load_from(&dir).unwrap();
+        assert_eq!(loaded.collection_len("hotc").unwrap(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_missing_manifest_fails() {
+        let dir = tmp_dir("nomanifest");
+        fs::create_dir_all(&dir).unwrap();
+        assert!(matches!(
+            Database::load_from(&dir),
+            Err(StorageError::Corrupt(_))
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_corrupt_page_fails() {
+        let dir = tmp_dir("corrupt");
+        let db = sample_db();
+        db.save_to(&dir).unwrap();
+        fs::write(dir.join("hotc").join("00000000.pxb"), b"garbage").unwrap();
+        assert!(matches!(
+            Database::load_from(&dir),
+            Err(StorageError::Corrupt(_))
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,311 @@
+//! Compact binary document format.
+//!
+//! The storage engine keeps documents in this pre-parsed form so that
+//! loading a stored document avoids re-tokenizing XML text — the analogue
+//! of eXist's paged DOM storage. The format is:
+//!
+//! ```text
+//! magic "PXB1"
+//! name:   opt_str
+//! origin: u8 (0 = none, 1 = present) [ source_doc: str, dewey: u16 len + u32* ]
+//! symbols: varint count, then (varint len, utf-8 bytes)*
+//! nodes:   varint count, then per node:
+//!          kind: u8, label: varint sym, value: opt_str,
+//!          parent/first_child/last_child/next_sibling/prev_sibling:
+//!            varint (0 = none, else id+1)
+//! ```
+//!
+//! Integers use LEB128 varints; most node links fit in one or two bytes.
+
+use crate::dewey::Dewey;
+use crate::error::XmlError;
+use crate::tree::{Document, Node, NodeId, NodeKind, Origin, Sym};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: &[u8; 4] = b"PXB1";
+
+/// Encode a document into its binary page form.
+pub fn encode(doc: &Document) -> Bytes {
+    let mut buf = BytesMut::with_capacity(doc.approx_size());
+    buf.put_slice(MAGIC);
+    put_opt_str(&mut buf, doc.name.as_deref());
+    match &doc.origin {
+        None => buf.put_u8(0),
+        Some(origin) => {
+            buf.put_u8(1);
+            put_str(&mut buf, &origin.source_doc);
+            put_varint(&mut buf, origin.dewey.components().len() as u64);
+            for &c in origin.dewey.components() {
+                put_varint(&mut buf, c as u64);
+            }
+        }
+    }
+    put_varint(&mut buf, doc.symbols.len() as u64);
+    for sym in &doc.symbols {
+        put_str(&mut buf, sym);
+    }
+    put_varint(&mut buf, doc.nodes.len() as u64);
+    for node in &doc.nodes {
+        buf.put_u8(match node.kind {
+            NodeKind::Element => 0,
+            NodeKind::Attribute => 1,
+            NodeKind::Text => 2,
+        });
+        put_varint(&mut buf, node.label.0 as u64);
+        put_opt_str(&mut buf, node.value.as_deref());
+        for link in [
+            node.parent,
+            node.first_child,
+            node.last_child,
+            node.next_sibling,
+            node.prev_sibling,
+        ] {
+            put_varint(&mut buf, link.map_or(0, |id| id.0 as u64 + 1));
+        }
+    }
+    buf.freeze()
+}
+
+/// Decode a document from its binary page form.
+pub fn decode(mut buf: &[u8]) -> Result<Document, XmlError> {
+    if buf.len() < 4 || &buf[..4] != MAGIC {
+        return Err(XmlError::CorruptBinary("bad magic".into()));
+    }
+    buf.advance(4);
+    let name = get_opt_str(&mut buf)?;
+    let origin = match get_u8(&mut buf)? {
+        0 => None,
+        1 => {
+            let source_doc = get_str(&mut buf)?;
+            let n = get_varint(&mut buf)? as usize;
+            if n > buf.len() {
+                return Err(XmlError::CorruptBinary("dewey too long".into()));
+            }
+            let mut components = Vec::with_capacity(n);
+            for _ in 0..n {
+                components.push(get_varint(&mut buf)? as u32);
+            }
+            Some(Origin { source_doc, dewey: Dewey::from_vec(components) })
+        }
+        k => return Err(XmlError::CorruptBinary(format!("bad origin tag {k}"))),
+    };
+    let sym_count = get_varint(&mut buf)? as usize;
+    if sym_count > buf.len() {
+        return Err(XmlError::CorruptBinary("symbol table too long".into()));
+    }
+    let mut symbols = Vec::with_capacity(sym_count);
+    let mut symbol_map = std::collections::HashMap::with_capacity(sym_count);
+    for i in 0..sym_count {
+        let s: Box<str> = get_str(&mut buf)?.into();
+        symbol_map.insert(s.clone(), Sym(i as u32));
+        symbols.push(s);
+    }
+    let node_count = get_varint(&mut buf)? as usize;
+    if node_count == 0 {
+        return Err(XmlError::CorruptBinary("document has no nodes".into()));
+    }
+    if node_count > buf.len() {
+        return Err(XmlError::CorruptBinary("node table too long".into()));
+    }
+    let mut nodes = Vec::with_capacity(node_count);
+    for _ in 0..node_count {
+        let kind = match get_u8(&mut buf)? {
+            0 => NodeKind::Element,
+            1 => NodeKind::Attribute,
+            2 => NodeKind::Text,
+            k => return Err(XmlError::CorruptBinary(format!("bad node kind {k}"))),
+        };
+        let label_idx = get_varint(&mut buf)? as usize;
+        if label_idx >= symbols.len() {
+            return Err(XmlError::CorruptBinary("label out of range".into()));
+        }
+        let value = get_opt_str(&mut buf)?.map(Into::into);
+        let mut links = [None; 5];
+        for link in &mut links {
+            let raw = get_varint(&mut buf)?;
+            *link = if raw == 0 {
+                None
+            } else {
+                let id = raw - 1;
+                if id >= node_count as u64 {
+                    return Err(XmlError::CorruptBinary("node link out of range".into()));
+                }
+                Some(NodeId(id as u32))
+            };
+        }
+        nodes.push(Node {
+            kind,
+            label: Sym(label_idx as u32),
+            value,
+            parent: links[0],
+            first_child: links[1],
+            last_child: links[2],
+            next_sibling: links[3],
+            prev_sibling: links[4],
+        });
+    }
+    if nodes[0].kind != NodeKind::Element || nodes[0].parent.is_some() {
+        return Err(XmlError::CorruptBinary("root must be a parentless element".into()));
+    }
+    Ok(Document { nodes, symbols, symbol_map, name, origin })
+}
+
+fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+fn get_varint(buf: &mut &[u8]) -> Result<u64, XmlError> {
+    let mut out = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = get_u8(buf)?;
+        out |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(out);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return Err(XmlError::CorruptBinary("varint overflow".into()));
+        }
+    }
+}
+
+fn get_u8(buf: &mut &[u8]) -> Result<u8, XmlError> {
+    if buf.is_empty() {
+        return Err(XmlError::CorruptBinary("unexpected end of buffer".into()));
+    }
+    let b = buf[0];
+    buf.advance(1);
+    Ok(b)
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    put_varint(buf, s.len() as u64);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut &[u8]) -> Result<String, XmlError> {
+    let len = get_varint(buf)? as usize;
+    if buf.len() < len {
+        return Err(XmlError::CorruptBinary("string extends past buffer".into()));
+    }
+    let s = std::str::from_utf8(&buf[..len])
+        .map_err(|_| XmlError::CorruptBinary("invalid utf-8 string".into()))?
+        .to_owned();
+    buf.advance(len);
+    Ok(s)
+}
+
+fn put_opt_str(buf: &mut BytesMut, s: Option<&str>) {
+    match s {
+        None => buf.put_u8(0),
+        Some(s) => {
+            buf.put_u8(1);
+            put_str(buf, s);
+        }
+    }
+}
+
+fn get_opt_str(buf: &mut &[u8]) -> Result<Option<String>, XmlError> {
+    match get_u8(buf)? {
+        0 => Ok(None),
+        1 => Ok(Some(get_str(buf)?)),
+        k => Err(XmlError::CorruptBinary(format!("bad option tag {k}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DocBuilder;
+    use crate::parser::parse;
+
+    fn sample() -> Document {
+        let mut doc = DocBuilder::new("Store")
+            .open("Items")
+            .open("Item")
+            .attr("id", "1")
+            .leaf("Name", "Dark Side")
+            .leaf("Section", "CD")
+            .close()
+            .open("Item")
+            .attr("id", "2")
+            .leaf("Name", "Matrix")
+            .leaf("Section", "DVD")
+            .close()
+            .close()
+            .named("store0")
+            .build();
+        doc.origin = Some(Origin {
+            source_doc: "master".into(),
+            dewey: Dewey::parse("1.2").unwrap(),
+        });
+        doc
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let doc = sample();
+        let bytes = encode(&doc);
+        let decoded = decode(&bytes).unwrap();
+        assert_eq!(doc, decoded);
+        assert_eq!(decoded.name.as_deref(), Some("store0"));
+        assert_eq!(decoded.origin, doc.origin);
+    }
+
+    #[test]
+    fn roundtrip_from_parsed_xml() {
+        let doc = parse("<a x=\"1\"><b>text &amp; more</b><c/></a>").unwrap();
+        let decoded = decode(&encode(&doc)).unwrap();
+        assert_eq!(doc, decoded);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert!(matches!(decode(b"NOPE"), Err(XmlError::CorruptBinary(_))));
+        assert!(matches!(decode(b""), Err(XmlError::CorruptBinary(_))));
+    }
+
+    #[test]
+    fn truncated_buffer_rejected() {
+        let bytes = encode(&sample());
+        for cut in [5, 10, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                decode(&bytes[..cut]).is_err(),
+                "decode of {cut}-byte prefix should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_link_rejected() {
+        let bytes = encode(&sample());
+        // Flip every byte one at a time; decoding must never panic and the
+        // result must either be an error or a structurally valid document.
+        for i in 4..bytes.len() {
+            let mut broken = bytes.to_vec();
+            broken[i] ^= 0xff;
+            let _ = decode(&broken);
+        }
+    }
+
+    #[test]
+    fn varint_boundaries() {
+        let mut buf = BytesMut::new();
+        for v in [0u64, 1, 127, 128, 16383, 16384, u32::MAX as u64, u64::MAX] {
+            buf.clear();
+            put_varint(&mut buf, v);
+            let mut slice: &[u8] = &buf;
+            assert_eq!(get_varint(&mut slice).unwrap(), v);
+            assert!(slice.is_empty());
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! A convenience builder for constructing documents programmatically.
+//!
+//! Used heavily by the data generator and by tests. The builder keeps a
+//! cursor stack so deeply nested documents read like the XML they produce:
+//!
+//! ```
+//! use partix_xml::DocBuilder;
+//!
+//! let doc = DocBuilder::new("Store")
+//!     .open("Items")
+//!     .open("Item")
+//!     .attr("id", "1")
+//!     .leaf("Name", "The Wall")
+//!     .leaf("Section", "CD")
+//!     .close() // Item
+//!     .close() // Items
+//!     .build();
+//! assert_eq!(doc.root().text(), "The WallCD");
+//! ```
+
+use crate::tree::{Document, NodeId};
+
+/// Fluent document builder; see the module docs for an example.
+#[derive(Debug)]
+pub struct DocBuilder {
+    doc: Document,
+    stack: Vec<NodeId>,
+}
+
+impl DocBuilder {
+    /// Start a document whose root element is `root_label`.
+    pub fn new(root_label: &str) -> DocBuilder {
+        DocBuilder { doc: Document::new(root_label), stack: vec![NodeId::ROOT] }
+    }
+
+    fn cursor(&self) -> NodeId {
+        *self.stack.last().expect("stack never empties below the root")
+    }
+
+    /// Open a child element and descend into it.
+    pub fn open(mut self, label: &str) -> DocBuilder {
+        let id = self.doc.add_element(self.cursor(), label);
+        self.stack.push(id);
+        self
+    }
+
+    /// Close the current element, returning to its parent.
+    ///
+    /// # Panics
+    /// Panics if called more times than [`open`](Self::open) — the root
+    /// cannot be closed.
+    pub fn close(mut self) -> DocBuilder {
+        assert!(self.stack.len() > 1, "cannot close the document root");
+        self.stack.pop();
+        self
+    }
+
+    /// Add an attribute to the current element.
+    pub fn attr(mut self, name: &str, value: &str) -> DocBuilder {
+        self.doc.add_attribute(self.cursor(), name, value);
+        self
+    }
+
+    /// Add a text child to the current element.
+    pub fn text(mut self, content: &str) -> DocBuilder {
+        self.doc.add_text(self.cursor(), content);
+        self
+    }
+
+    /// Add `<label>content</label>` as a child of the current element.
+    pub fn leaf(mut self, label: &str, content: &str) -> DocBuilder {
+        let id = self.doc.add_element(self.cursor(), label);
+        self.doc.add_text(id, content);
+        self
+    }
+
+    /// Add an empty `<label/>` child.
+    pub fn empty(mut self, label: &str) -> DocBuilder {
+        self.doc.add_element(self.cursor(), label);
+        self
+    }
+
+    /// Graft a deep copy of `other`'s root as a child of the current
+    /// element.
+    pub fn subtree(mut self, other: &Document) -> DocBuilder {
+        self.doc.graft(self.cursor(), other, NodeId::ROOT);
+        self
+    }
+
+    /// Name the document (its identity within a collection).
+    pub fn named(mut self, name: &str) -> DocBuilder {
+        self.doc.name = Some(name.to_owned());
+        self
+    }
+
+    /// Finish, returning the document regardless of open elements.
+    pub fn build(self) -> Document {
+        self.doc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serializer::to_string;
+
+    #[test]
+    fn builds_expected_shape() {
+        let doc = DocBuilder::new("Store")
+            .open("Items")
+            .open("Item")
+            .attr("id", "7")
+            .leaf("Section", "DVD")
+            .close()
+            .close()
+            .build();
+        assert_eq!(
+            to_string(&doc),
+            r#"<Store><Items><Item id="7"><Section>DVD</Section></Item></Items></Store>"#
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot close the document root")]
+    fn over_closing_panics() {
+        let _ = DocBuilder::new("a").close();
+    }
+
+    #[test]
+    fn named_sets_document_name() {
+        let doc = DocBuilder::new("a").named("doc1").build();
+        assert_eq!(doc.name.as_deref(), Some("doc1"));
+    }
+
+    #[test]
+    fn subtree_grafts_copy() {
+        let inner = DocBuilder::new("Inner").leaf("x", "1").build();
+        let doc = DocBuilder::new("Outer").subtree(&inner).build();
+        assert_eq!(to_string(&doc), "<Outer><Inner><x>1</x></Inner></Outer>");
+    }
+}

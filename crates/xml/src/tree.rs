@@ -1,0 +1,817 @@
+//! Arena-based ordered labelled tree — the data tree `∆ := ⟨t, ℓ, Ψ⟩`.
+//!
+//! Nodes live in a flat `Vec` and are addressed by [`NodeId`] (a `u32`
+//! index), giving compact memory layout and cheap traversal. Labels are
+//! interned per-document so repeated element names (the common case in the
+//! paper's repositories: thousands of `Item` elements) cost four bytes per
+//! node.
+
+use crate::dewey::Dewey;
+use crate::error::XmlError;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a node within its [`Document`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The root node of every document.
+    pub const ROOT: NodeId = NodeId(0);
+
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Interned label identifier (element or attribute name).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct Sym(pub(crate) u32);
+
+/// What a node is: an element, an attribute, or character data.
+///
+/// Attributes are modelled as children whose label is in the attribute name
+/// set `A` and whose single child is a value in `D` (paper Sec. 3.1); for
+/// ergonomics we flatten that representation into an `Attribute` node
+/// carrying its value directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    Element,
+    Attribute,
+    Text,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Node {
+    pub(crate) kind: NodeKind,
+    /// Element/attribute name; for text nodes this is the empty symbol.
+    pub(crate) label: Sym,
+    /// Attribute or text value; `None` for elements.
+    pub(crate) value: Option<Box<str>>,
+    pub(crate) parent: Option<NodeId>,
+    pub(crate) first_child: Option<NodeId>,
+    pub(crate) last_child: Option<NodeId>,
+    pub(crate) next_sibling: Option<NodeId>,
+    pub(crate) prev_sibling: Option<NodeId>,
+}
+
+/// An XML document: a data tree with interned labels.
+///
+/// The root node (id [`NodeId::ROOT`]) is always an element. Documents may
+/// carry a `name` (their identity inside a collection) and an `origin`
+/// recording where a fragment's content came from in the source repository;
+/// both are preserved by the binary format.
+#[derive(Debug, Clone)]
+pub struct Document {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) symbols: Vec<Box<str>>,
+    pub(crate) symbol_map: HashMap<Box<str>, Sym>,
+    /// Identity of this document within its collection (e.g. `"item0042"`).
+    pub name: Option<String>,
+    /// Provenance of a fragment document: source document name plus the
+    /// Dewey id of the projected subtree root. Used by the reconstruction
+    /// join (paper Sec. 3.3).
+    pub origin: Option<Origin>,
+}
+
+/// Provenance of a fragment document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Origin {
+    pub source_doc: String,
+    pub dewey: Dewey,
+}
+
+impl Document {
+    /// Create a document whose root element is named `root_label`.
+    pub fn new(root_label: &str) -> Document {
+        let mut doc = Document {
+            nodes: Vec::new(),
+            symbols: Vec::new(),
+            symbol_map: HashMap::new(),
+            name: None,
+            origin: None,
+        };
+        let sym = doc.intern(root_label);
+        doc.nodes.push(Node {
+            kind: NodeKind::Element,
+            label: sym,
+            value: None,
+            parent: None,
+            first_child: None,
+            last_child: None,
+            next_sibling: None,
+            prev_sibling: None,
+        });
+        doc
+    }
+
+    /// Number of nodes in the document (including the root).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// A document always has at least its root node.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The root element.
+    pub fn root(&self) -> NodeRef<'_> {
+        NodeRef { doc: self, id: NodeId::ROOT }
+    }
+
+    /// Name of the root element — `ℓ(root∆)`.
+    pub fn root_label(&self) -> &str {
+        self.label_of(NodeId::ROOT)
+    }
+
+    pub(crate) fn intern(&mut self, s: &str) -> Sym {
+        if let Some(&sym) = self.symbol_map.get(s) {
+            return sym;
+        }
+        let sym = Sym(self.symbols.len() as u32);
+        let boxed: Box<str> = s.into();
+        self.symbols.push(boxed.clone());
+        self.symbol_map.insert(boxed, sym);
+        sym
+    }
+
+    pub(crate) fn sym_str(&self, sym: Sym) -> &str {
+        &self.symbols[sym.0 as usize]
+    }
+
+    fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Borrow a node by id.
+    pub fn get(&self, id: NodeId) -> Option<NodeRef<'_>> {
+        if id.index() < self.nodes.len() {
+            Some(NodeRef { doc: self, id })
+        } else {
+            None
+        }
+    }
+
+    /// Label (element or attribute name) of `id`; empty for text nodes.
+    pub fn label_of(&self, id: NodeId) -> &str {
+        self.sym_str(self.node(id).label)
+    }
+
+    /// Kind of `id`.
+    pub fn kind_of(&self, id: NodeId) -> NodeKind {
+        self.node(id).kind
+    }
+
+    /// Direct value of `id` (text content of a text node, value of an
+    /// attribute). `None` for elements.
+    pub fn value_of(&self, id: NodeId) -> Option<&str> {
+        self.node(id).value.as_deref()
+    }
+
+    pub fn parent_of(&self, id: NodeId) -> Option<NodeId> {
+        self.node(id).parent
+    }
+
+    /// Append a child element under `parent`, returning the new node's id.
+    pub fn add_element(&mut self, parent: NodeId, label: &str) -> NodeId {
+        let sym = self.intern(label);
+        self.push_node(parent, Node {
+            kind: NodeKind::Element,
+            label: sym,
+            value: None,
+            parent: Some(parent),
+            first_child: None,
+            last_child: None,
+            next_sibling: None,
+            prev_sibling: None,
+        })
+    }
+
+    /// Append an attribute `name="value"` to element `parent`.
+    ///
+    /// Attributes precede element children in sibling order, matching the
+    /// convention that `@a` steps address them positionally before content.
+    pub fn add_attribute(&mut self, parent: NodeId, name: &str, value: &str) -> NodeId {
+        let sym = self.intern(name);
+        self.push_node(parent, Node {
+            kind: NodeKind::Attribute,
+            label: sym,
+            value: Some(value.into()),
+            parent: Some(parent),
+            first_child: None,
+            last_child: None,
+            next_sibling: None,
+            prev_sibling: None,
+        })
+    }
+
+    /// Append a text child under `parent`.
+    pub fn add_text(&mut self, parent: NodeId, text: &str) -> NodeId {
+        let sym = self.intern("");
+        self.push_node(parent, Node {
+            kind: NodeKind::Text,
+            label: sym,
+            value: Some(text.into()),
+            parent: Some(parent),
+            first_child: None,
+            last_child: None,
+            next_sibling: None,
+            prev_sibling: None,
+        })
+    }
+
+    fn push_node(&mut self, parent: NodeId, node: Node) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        let prev_last = self.nodes[parent.index()].last_child;
+        match prev_last {
+            Some(last) => {
+                self.nodes[last.index()].next_sibling = Some(id);
+                self.nodes[id.index()].prev_sibling = Some(last);
+            }
+            None => self.nodes[parent.index()].first_child = Some(id),
+        }
+        self.nodes[parent.index()].last_child = Some(id);
+        id
+    }
+
+    /// Deep-copy the subtree rooted at `src_id` in `src` as the last child
+    /// of `dst_parent` in `self`. Returns the id of the copied root.
+    pub fn graft(&mut self, dst_parent: NodeId, src: &Document, src_id: NodeId) -> NodeId {
+        let src_node = src.node(src_id);
+        let new_id = match src_node.kind {
+            NodeKind::Element => {
+                let label = src.sym_str(src_node.label).to_owned();
+                self.add_element(dst_parent, &label)
+            }
+            NodeKind::Attribute => {
+                let label = src.sym_str(src_node.label).to_owned();
+                let value = src_node.value.as_deref().unwrap_or("").to_owned();
+                self.add_attribute(dst_parent, &label, &value)
+            }
+            NodeKind::Text => {
+                let value = src_node.value.as_deref().unwrap_or("").to_owned();
+                self.add_text(dst_parent, &value)
+            }
+        };
+        let mut child = src_node.first_child;
+        while let Some(c) = child {
+            self.graft(new_id, src, c);
+            child = src.node(c).next_sibling;
+        }
+        new_id
+    }
+
+    /// Deep-copy the subtree rooted at `src_id` in `src` so that it
+    /// becomes the `ordinal`-th (1-based) child of `dst_parent`. Ordinals
+    /// beyond the current child count append at the end.
+    ///
+    /// Note: after positional insertion, node ids are no longer in
+    /// document order (navigation by links stays correct). Use
+    /// [`Document::normalized`] to restore id order when required.
+    pub fn insert_graft_at(
+        &mut self,
+        dst_parent: NodeId,
+        ordinal: u32,
+        src: &Document,
+        src_id: NodeId,
+    ) -> NodeId {
+        let new_id = self.graft(dst_parent, src, src_id); // appended last
+        debug_assert!(ordinal >= 1);
+        // locate the node currently at `ordinal` (excluding the new node)
+        let mut before = self.nodes[dst_parent.index()].first_child;
+        let mut count = 1u32;
+        while let Some(b) = before {
+            if b == new_id {
+                // new node reached: it is already at/after the target slot
+                return new_id;
+            }
+            if count == ordinal {
+                break;
+            }
+            count += 1;
+            before = self.nodes[b.index()].next_sibling;
+        }
+        let Some(before) = before else {
+            return new_id; // ordinal beyond child count: stay appended
+        };
+        // unlink new_id from the tail
+        let prev = self.nodes[new_id.index()].prev_sibling;
+        if let Some(p) = prev {
+            self.nodes[p.index()].next_sibling = None;
+        }
+        self.nodes[dst_parent.index()].last_child = prev;
+        // splice before `before`
+        let before_prev = self.nodes[before.index()].prev_sibling;
+        self.nodes[new_id.index()].prev_sibling = before_prev;
+        self.nodes[new_id.index()].next_sibling = Some(before);
+        self.nodes[before.index()].prev_sibling = Some(new_id);
+        match before_prev {
+            Some(bp) => self.nodes[bp.index()].next_sibling = Some(new_id),
+            None => self.nodes[dst_parent.index()].first_child = Some(new_id),
+        }
+        new_id
+    }
+
+    /// A copy of this document whose node ids are in document order
+    /// (useful after positional insertions).
+    pub fn normalized(&self) -> Document {
+        let mut out = self.subtree(NodeId::ROOT).expect("root is an element");
+        out.name = self.name.clone();
+        out.origin = self.origin.clone();
+        out
+    }
+
+    /// Extract the subtree rooted at `id` as a fresh document.
+    ///
+    /// Fails with [`XmlError::WrongNodeKind`] if `id` is not an element
+    /// (attribute/text subtrees are not well-formed documents).
+    pub fn subtree(&self, id: NodeId) -> Result<Document, XmlError> {
+        if id.index() >= self.nodes.len() {
+            return Err(XmlError::InvalidNodeId);
+        }
+        if self.kind_of(id) != NodeKind::Element {
+            return Err(XmlError::WrongNodeKind { expected: "element" });
+        }
+        let mut out = Document::new(self.label_of(id));
+        let mut child = self.node(id).first_child;
+        while let Some(c) = child {
+            out.graft(NodeId::ROOT, self, c);
+            child = self.node(c).next_sibling;
+        }
+        Ok(out)
+    }
+
+    /// Compute the Dewey identifier of `id`: the sequence of 1-based child
+    /// ordinals on the path from the root. The root's Dewey id is empty.
+    pub fn dewey_of(&self, id: NodeId) -> Dewey {
+        let mut rev = Vec::new();
+        let mut cur = id;
+        while let Some(parent) = self.node(cur).parent {
+            let mut ord = 1u32;
+            let mut sib = self.node(parent).first_child;
+            while let Some(s) = sib {
+                if s == cur {
+                    break;
+                }
+                ord += 1;
+                sib = self.node(s).next_sibling;
+            }
+            rev.push(ord);
+            cur = parent;
+        }
+        rev.reverse();
+        Dewey::from_vec(rev)
+    }
+
+    /// Resolve a Dewey identifier back to a node id, if it addresses an
+    /// existing node.
+    pub fn node_at_dewey(&self, dewey: &Dewey) -> Option<NodeId> {
+        let mut cur = NodeId::ROOT;
+        for &ord in dewey.components() {
+            let mut child = self.node(cur).first_child?;
+            for _ in 1..ord {
+                child = self.node(child).next_sibling?;
+            }
+            cur = child;
+        }
+        Some(cur)
+    }
+
+    /// Total number of element nodes.
+    pub fn element_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.kind == NodeKind::Element).count()
+    }
+
+    /// Approximate serialized size in bytes (used by the transmission-time
+    /// model without actually serializing).
+    pub fn approx_size(&self) -> usize {
+        let mut size = 0usize;
+        for node in &self.nodes {
+            size += match node.kind {
+                // <label></label>
+                NodeKind::Element => 2 * self.sym_str(node.label).len() + 5,
+                // label="value"
+                NodeKind::Attribute => {
+                    self.sym_str(node.label).len()
+                        + node.value.as_deref().map_or(0, str::len)
+                        + 4
+                }
+                NodeKind::Text => node.value.as_deref().map_or(0, str::len),
+            };
+        }
+        size
+    }
+
+    /// All node ids in document order (pre-order).
+    pub fn ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        DescendantIds { doc: self, next: Some(NodeId::ROOT), stop: NodeId::ROOT }
+    }
+}
+
+/// A borrowed view of one node, carrying its document for navigation.
+#[derive(Clone, Copy)]
+pub struct NodeRef<'a> {
+    pub(crate) doc: &'a Document,
+    pub(crate) id: NodeId,
+}
+
+impl fmt::Debug for NodeRef<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind() {
+            NodeKind::Element => write!(f, "<{}>", self.label()),
+            NodeKind::Attribute => {
+                write!(f, "@{}={:?}", self.label(), self.value().unwrap_or(""))
+            }
+            NodeKind::Text => write!(f, "text({:?})", self.value().unwrap_or("")),
+        }
+    }
+}
+
+impl<'a> NodeRef<'a> {
+    pub fn id(self) -> NodeId {
+        self.id
+    }
+
+    pub fn document(self) -> &'a Document {
+        self.doc
+    }
+
+    pub fn kind(self) -> NodeKind {
+        self.doc.kind_of(self.id)
+    }
+
+    pub fn label(self) -> &'a str {
+        self.doc.label_of(self.id)
+    }
+
+    /// Direct value (attribute value or text content). `None` for elements.
+    pub fn value(self) -> Option<&'a str> {
+        self.doc.value_of(self.id)
+    }
+
+    pub fn parent(self) -> Option<NodeRef<'a>> {
+        self.doc.parent_of(self.id).map(|id| NodeRef { doc: self.doc, id })
+    }
+
+    pub fn first_child(self) -> Option<NodeRef<'a>> {
+        self.doc.node(self.id).first_child.map(|id| NodeRef { doc: self.doc, id })
+    }
+
+    pub fn next_sibling(self) -> Option<NodeRef<'a>> {
+        self.doc.node(self.id).next_sibling.map(|id| NodeRef { doc: self.doc, id })
+    }
+
+    /// All children (attributes, elements and text), in order.
+    pub fn children(self) -> Children<'a> {
+        Children { doc: self.doc, next: self.doc.node(self.id).first_child }
+    }
+
+    /// Element children only.
+    pub fn child_elements(self) -> impl Iterator<Item = NodeRef<'a>> {
+        self.children().filter(|c| c.kind() == NodeKind::Element)
+    }
+
+    /// Attribute children only.
+    pub fn attributes(self) -> impl Iterator<Item = NodeRef<'a>> {
+        self.children().filter(|c| c.kind() == NodeKind::Attribute)
+    }
+
+    /// The value of attribute `name`, if present.
+    pub fn attribute(self, name: &str) -> Option<&'a str> {
+        self.attributes().find(|a| a.label() == name).and_then(|a| a.value())
+    }
+
+    /// First element child with the given label.
+    pub fn child_element(self, label: &str) -> Option<NodeRef<'a>> {
+        self.child_elements().find(|c| c.label() == label)
+    }
+
+    /// Pre-order traversal of this node and everything below it.
+    pub fn descendants_or_self(self) -> Descendants<'a> {
+        Descendants { doc: self.doc, next: Some(self.id), stop: self.id }
+    }
+
+    /// Concatenated text content of the subtree (the string value).
+    pub fn text(self) -> String {
+        let mut out = String::new();
+        for n in self.descendants_or_self() {
+            if n.kind() == NodeKind::Text {
+                out.push_str(n.value().unwrap_or(""));
+            }
+        }
+        out
+    }
+
+    /// Text content parsed as a number, if the subtree's string value is a
+    /// valid decimal.
+    pub fn number(self) -> Option<f64> {
+        self.text().trim().parse().ok()
+    }
+
+    /// Dewey identifier of this node.
+    pub fn dewey(self) -> Dewey {
+        self.doc.dewey_of(self.id)
+    }
+
+    /// True if this node has no element children and no text content.
+    pub fn is_leaf_element(self) -> bool {
+        self.kind() == NodeKind::Element && self.first_child().is_none()
+    }
+}
+
+/// Iterator over a node's direct children.
+pub struct Children<'a> {
+    doc: &'a Document,
+    next: Option<NodeId>,
+}
+
+impl<'a> Iterator for Children<'a> {
+    type Item = NodeRef<'a>;
+
+    fn next(&mut self) -> Option<NodeRef<'a>> {
+        let id = self.next?;
+        self.next = self.doc.node(id).next_sibling;
+        Some(NodeRef { doc: self.doc, id })
+    }
+}
+
+/// Pre-order iterator over a subtree.
+pub struct Descendants<'a> {
+    doc: &'a Document,
+    next: Option<NodeId>,
+    stop: NodeId,
+}
+
+impl<'a> Iterator for Descendants<'a> {
+    type Item = NodeRef<'a>;
+
+    fn next(&mut self) -> Option<NodeRef<'a>> {
+        let id = self.next?;
+        self.next = next_preorder(self.doc, id, self.stop);
+        Some(NodeRef { doc: self.doc, id })
+    }
+}
+
+struct DescendantIds<'a> {
+    doc: &'a Document,
+    next: Option<NodeId>,
+    stop: NodeId,
+}
+
+impl Iterator for DescendantIds<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.next?;
+        self.next = next_preorder(self.doc, id, self.stop);
+        Some(id)
+    }
+}
+
+fn next_preorder(doc: &Document, id: NodeId, stop: NodeId) -> Option<NodeId> {
+    let node = doc.node(id);
+    if let Some(child) = node.first_child {
+        return Some(child);
+    }
+    let mut cur = id;
+    loop {
+        if cur == stop {
+            return None;
+        }
+        let n = doc.node(cur);
+        if let Some(sib) = n.next_sibling {
+            return Some(sib);
+        }
+        cur = n.parent?;
+    }
+}
+
+impl PartialEq for Document {
+    /// Structural equality: same tree shape, labels, kinds and values.
+    /// Document `name`/`origin` metadata is ignored.
+    fn eq(&self, other: &Document) -> bool {
+        fn eq_subtree(a: NodeRef<'_>, b: NodeRef<'_>) -> bool {
+            if a.kind() != b.kind() || a.label() != b.label() || a.value() != b.value() {
+                return false;
+            }
+            let mut ac = a.children();
+            let mut bc = b.children();
+            loop {
+                match (ac.next(), bc.next()) {
+                    (None, None) => return true,
+                    (Some(x), Some(y)) => {
+                        if !eq_subtree(x, y) {
+                            return false;
+                        }
+                    }
+                    _ => return false,
+                }
+            }
+        }
+        eq_subtree(self.root(), other.root())
+    }
+}
+
+impl Eq for Document {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Document {
+        let mut doc = Document::new("Store");
+        let sections = doc.add_element(NodeId::ROOT, "Sections");
+        let s1 = doc.add_element(sections, "Section");
+        doc.add_attribute(s1, "id", "1");
+        let name = doc.add_element(s1, "Name");
+        doc.add_text(name, "CD");
+        let s2 = doc.add_element(sections, "Section");
+        let name2 = doc.add_element(s2, "Name");
+        doc.add_text(name2, "DVD");
+        doc
+    }
+
+    #[test]
+    fn navigation_basics() {
+        let doc = sample();
+        assert_eq!(doc.root_label(), "Store");
+        let sections = doc.root().child_element("Sections").unwrap();
+        let kids: Vec<_> = sections.child_elements().collect();
+        assert_eq!(kids.len(), 2);
+        assert_eq!(kids[0].label(), "Section");
+        assert_eq!(kids[0].attribute("id"), Some("1"));
+        assert_eq!(kids[1].attribute("id"), None);
+        assert_eq!(kids[0].child_element("Name").unwrap().text(), "CD");
+    }
+
+    #[test]
+    fn descendants_preorder() {
+        let doc = sample();
+        let labels: Vec<String> = doc
+            .root()
+            .descendants_or_self()
+            .filter(|n| n.kind() == NodeKind::Element)
+            .map(|n| n.label().to_owned())
+            .collect();
+        assert_eq!(
+            labels,
+            ["Store", "Sections", "Section", "Name", "Section", "Name"]
+        );
+    }
+
+    #[test]
+    fn descendants_of_inner_node_stop_at_subtree() {
+        let doc = sample();
+        let sections = doc.root().child_element("Sections").unwrap();
+        let first = sections.child_elements().next().unwrap();
+        let count = first.descendants_or_self().count();
+        // Section, @id, Name, text
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn text_concatenation() {
+        let doc = sample();
+        assert_eq!(doc.root().text(), "CDDVD");
+    }
+
+    #[test]
+    fn dewey_roundtrip_every_node() {
+        let doc = sample();
+        for id in doc.ids() {
+            let dewey = doc.dewey_of(id);
+            assert_eq!(doc.node_at_dewey(&dewey), Some(id), "dewey {dewey}");
+        }
+    }
+
+    #[test]
+    fn dewey_of_root_is_empty() {
+        let doc = sample();
+        assert!(doc.dewey_of(NodeId::ROOT).components().is_empty());
+    }
+
+    #[test]
+    fn subtree_extraction() {
+        let doc = sample();
+        let sections = doc.root().child_element("Sections").unwrap();
+        let sub = doc.subtree(sections.id()).unwrap();
+        assert_eq!(sub.root_label(), "Sections");
+        assert_eq!(sub.root().child_elements().count(), 2);
+        assert_eq!(sub.root().text(), "CDDVD");
+    }
+
+    #[test]
+    fn subtree_of_text_is_error() {
+        let mut doc = Document::new("a");
+        let t = doc.add_text(NodeId::ROOT, "hi");
+        assert!(matches!(
+            doc.subtree(t),
+            Err(XmlError::WrongNodeKind { .. })
+        ));
+    }
+
+    #[test]
+    fn graft_copies_deeply() {
+        let src = sample();
+        let mut dst = Document::new("Wrapper");
+        let sections = src.root().child_element("Sections").unwrap();
+        dst.graft(NodeId::ROOT, &src, sections.id());
+        let grafted = dst.root().child_element("Sections").unwrap();
+        assert_eq!(grafted.child_elements().count(), 2);
+        assert_eq!(grafted.text(), "CDDVD");
+    }
+
+    #[test]
+    fn structural_equality_ignores_metadata() {
+        let mut a = sample();
+        let b = sample();
+        assert_eq!(a, b);
+        a.name = Some("renamed".into());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn structural_inequality_on_value_change() {
+        let a = sample();
+        let mut b = Document::new("Store");
+        let sections = b.add_element(NodeId::ROOT, "Sections");
+        let s1 = b.add_element(sections, "Section");
+        b.add_attribute(s1, "id", "2"); // differs
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn insert_graft_at_positions() {
+        let src = Document::new("X");
+        let mut doc = Document::new("P");
+        doc.add_element(NodeId::ROOT, "a");
+        doc.add_element(NodeId::ROOT, "c");
+        // insert as 2nd child → a, X, c
+        doc.insert_graft_at(NodeId::ROOT, 2, &src, NodeId::ROOT);
+        let labels: Vec<&str> = doc.root().child_elements().map(|n| n.label()).collect();
+        assert_eq!(labels, ["a", "X", "c"]);
+        // insert as 1st child
+        let src2 = Document::new("Y");
+        doc.insert_graft_at(NodeId::ROOT, 1, &src2, NodeId::ROOT);
+        let labels: Vec<&str> = doc.root().child_elements().map(|n| n.label()).collect();
+        assert_eq!(labels, ["Y", "a", "X", "c"]);
+        // ordinal beyond count appends
+        let src3 = Document::new("Z");
+        doc.insert_graft_at(NodeId::ROOT, 99, &src3, NodeId::ROOT);
+        let labels: Vec<&str> = doc.root().child_elements().map(|n| n.label()).collect();
+        assert_eq!(labels, ["Y", "a", "X", "c", "Z"]);
+    }
+
+    #[test]
+    fn normalized_restores_id_order() {
+        let src = Document::new("X");
+        let mut doc = Document::new("P");
+        doc.add_element(NodeId::ROOT, "a");
+        doc.add_element(NodeId::ROOT, "c");
+        doc.insert_graft_at(NodeId::ROOT, 1, &src, NodeId::ROOT);
+        let norm = doc.normalized();
+        assert_eq!(doc, norm);
+        // ids ascend in document order after normalization
+        let ids: Vec<NodeId> = norm.ids().collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted);
+    }
+
+    #[test]
+    fn dewey_correct_after_insertion() {
+        let src = Document::new("X");
+        let mut doc = Document::new("P");
+        doc.add_element(NodeId::ROOT, "a");
+        doc.add_element(NodeId::ROOT, "c");
+        let x = doc.insert_graft_at(NodeId::ROOT, 2, &src, NodeId::ROOT);
+        assert_eq!(doc.dewey_of(x).to_string(), "2");
+    }
+
+    #[test]
+    fn number_parses_numeric_text() {
+        let mut doc = Document::new("Price");
+        doc.add_text(NodeId::ROOT, " 19.90 ");
+        assert_eq!(doc.root().number(), Some(19.90));
+    }
+
+    #[test]
+    fn interning_reuses_symbols() {
+        let mut doc = Document::new("a");
+        let before = doc.symbols.len();
+        doc.add_element(NodeId::ROOT, "a");
+        doc.add_element(NodeId::ROOT, "a");
+        assert_eq!(doc.symbols.len(), before);
+    }
+
+    #[test]
+    fn approx_size_counts_content() {
+        let doc = sample();
+        let exact = crate::serializer::to_string(&doc).len();
+        let approx = doc.approx_size();
+        // within 2x either way — it is a model, not a measurement
+        assert!(approx >= exact / 2 && approx <= exact * 2, "{approx} vs {exact}");
+    }
+}

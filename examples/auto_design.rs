@@ -1,0 +1,96 @@
+//! Automatic fragmentation design + balanced allocation + replication —
+//! the paper's *future work* ("a methodology for fragmenting XML
+//! databases … tools to automate this fragmentation process"),
+//! implemented as `partix::frag::design`.
+//!
+//! A skewed item collection is analyzed, partitioned into
+//! document-count-balanced horizontal fragments, allocated to nodes by
+//! size, replicated, and queried through node failures.
+//!
+//! ```sh
+//! cargo run --release --example auto_design
+//! ```
+
+use partix::engine::{Distribution, NetworkModel, PartiX, Placement};
+use partix::frag::{allocate_balanced, check_correctness, horizontal_by_values, Fragmenter};
+use partix::gen::{gen_items, ItemProfile};
+use partix::path::PathExpr;
+use partix::schema::{builtin, CollectionDef, RepoKind};
+use partix::xml::Document;
+use std::sync::Arc;
+
+fn main() {
+    // a skewed sample: sections follow the generator's 30/20/15/… split
+    let docs = gen_items(800, ItemProfile::Small, 2026);
+    let citems = CollectionDef::new(
+        "items",
+        Arc::new(builtin::virtual_store()),
+        PathExpr::parse("/Store/Items/Item").expect("valid path"),
+        RepoKind::MultipleDocuments,
+    );
+
+    // 1. derive a balanced design from the observed /Item/Section values
+    let design = horizontal_by_values(
+        citems,
+        &PathExpr::parse("/Item/Section").expect("valid path"),
+        &docs,
+        3,
+    )
+    .expect("derivable design");
+    println!("derived design:");
+    for frag in &design.fragments {
+        println!("  {frag}");
+    }
+
+    // 2. the design passes the paper's correctness rules on the data
+    let fragments = Fragmenter::new(design.clone()).fragment_all(&docs);
+    let report = check_correctness(&design, &docs, &fragments);
+    assert!(report.is_correct(), "{:?}", report.violations);
+    let sizes: Vec<(String, usize)> = fragments
+        .iter()
+        .map(|(name, d)| (name.clone(), d.iter().map(Document::approx_size).sum()))
+        .collect();
+    for (name, bytes) in &sizes {
+        println!("  {name}: {bytes} B");
+    }
+
+    // 3. allocate fragments to two nodes balancing bytes, replicating the
+    //    largest fragment on both nodes for availability
+    let allocation = allocate_balanced(&sizes, 2);
+    let largest = sizes
+        .iter()
+        .max_by_key(|(_, b)| *b)
+        .map(|(n, _)| n.clone())
+        .expect("non-empty");
+    let mut placements: Vec<Placement> = allocation
+        .iter()
+        .map(|(fragment, node)| Placement { fragment: fragment.clone(), node: *node })
+        .collect();
+    let primary = allocation
+        .iter()
+        .find(|(f, _)| *f == largest)
+        .map(|(_, n)| *n)
+        .expect("placed");
+    placements.push(Placement { fragment: largest.clone(), node: 1 - primary });
+    println!("allocation (fragment → node): {allocation:?}");
+    println!("replicating {largest} on both nodes");
+
+    // 4. publish and query through a node failure
+    let px = PartiX::new(2, NetworkModel::default());
+    px.register_distribution(Distribution { design, placements })
+        .expect("valid placement");
+    px.publish("items", &docs).expect("publish");
+
+    let q = r#"count(for $i in collection("items")/Item where $i/Section = "CD" return $i)"#;
+    let before = px.execute(q).expect("query runs");
+    println!("CD count with all nodes up: {}", before.items[0]);
+
+    px.cluster().node(primary).expect("node").set_available(false);
+    let after = px.execute(q).expect("replica answers");
+    println!(
+        "CD count with node{primary} down: {} (failed over to node{})",
+        after.items[0],
+        after.report.sites[0].node,
+    );
+    assert_eq!(before.items, after.items);
+}

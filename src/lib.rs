@@ -1,0 +1,32 @@
+//! # PartiX
+//!
+//! A Rust implementation of **PartiX** (Andrade et al., *Efficiently
+//! Processing XML Queries over Fragmented Repositories with PartiX*,
+//! EDBT 2006 workshops): a middleware for fragmenting XML repositories —
+//! horizontally, vertically, or hybrid — across a cluster of nodes each
+//! running a sequential XQuery engine, with transparent query
+//! decomposition, parallel execution, and result reconstruction.
+//!
+//! This facade crate re-exports the public API of every subsystem. See the
+//! individual crates for details:
+//!
+//! * [`xml`] — XML data model, parser, serializer, Dewey node identifiers.
+//! * [`schema`] — schema trees, typed collections (`C := ⟨S, τ_root⟩`),
+//!   SD/MD repositories, validation.
+//! * [`path`] — path expressions and simple predicates (paper Sec. 3.1).
+//! * [`algebra`] — TLC-style tree algebra: σ, π, ∪, ⋈.
+//! * [`query`] — the XQuery subset engine.
+//! * [`storage`] — the sequential XML DBMS (collections, indexes).
+//! * [`frag`] — the fragmentation model and correctness rules (Sec. 3.2–3.3).
+//! * [`engine`] — the PartiX middleware itself (Sec. 4).
+//! * [`gen`] — ToXgene-style synthetic data generation.
+
+pub use partix_algebra as algebra;
+pub use partix_engine as engine;
+pub use partix_frag as frag;
+pub use partix_gen as gen;
+pub use partix_path as path;
+pub use partix_query as query;
+pub use partix_schema as schema;
+pub use partix_storage as storage;
+pub use partix_xml as xml;

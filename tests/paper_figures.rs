@@ -1,0 +1,227 @@
+//! The paper's own fragment definitions (Figures 2, 3 and 4), executed
+//! verbatim against generated data, with the Section 3.3 correctness
+//! rules verified for each.
+
+use partix::frag::{
+    check_correctness, FragMode, FragmentDef, Fragmenter, FragmentationSchema,
+};
+use partix::gen::{gen_items, gen_store, ItemProfile};
+use partix::path::{eval_path, PathExpr, Predicate};
+use partix::schema::{builtin, CollectionDef, RepoKind};
+use partix::xml::Document;
+use std::sync::Arc;
+
+fn p(s: &str) -> PathExpr {
+    PathExpr::parse(s).unwrap()
+}
+
+fn pr(s: &str) -> Predicate {
+    Predicate::parse(s).unwrap()
+}
+
+fn citems() -> CollectionDef {
+    CollectionDef::new(
+        "Citems",
+        Arc::new(builtin::virtual_store()),
+        p("/Store/Items/Item"),
+        RepoKind::MultipleDocuments,
+    )
+}
+
+fn cstore() -> CollectionDef {
+    CollectionDef::new(
+        "Cstore",
+        Arc::new(builtin::virtual_store()),
+        p("/Store"),
+        RepoKind::SingleDocument,
+    )
+}
+
+/// Figure 2(a): `F1CD := ⟨Citems, σ /Item/Section="CD"⟩`,
+/// `F2CD := ⟨Citems, σ /Item/Section≠"CD"⟩`.
+///
+/// Note the complement uses `not(...)` (universal semantics), not the
+/// `≠` operator: with the existential reading of `≠` over multi-valued
+/// paths the two fragments could overlap. Section is single-valued in
+/// the schema, so both readings coincide on valid data — and the checker
+/// proves it.
+#[test]
+fn figure_2a_horizontal_by_section() {
+    let docs = gen_items(300, ItemProfile::Small, 21);
+    let design = FragmentationSchema::new(
+        citems(),
+        vec![
+            FragmentDef::horizontal("F1CD", pr(r#"/Item/Section = "CD""#)),
+            FragmentDef::horizontal("F2CD", pr(r#"not(/Item/Section = "CD")"#)),
+        ],
+    )
+    .unwrap();
+    let fragments = Fragmenter::new(design.clone()).fragment_all(&docs);
+    let report = check_correctness(&design, &docs, &fragments);
+    assert!(report.is_correct(), "{:?}", report.violations);
+    // the skewed generator gives CD ≈ 30%
+    let cd = fragments[0].1.len();
+    assert!(cd > 50 && cd < 150, "CD docs: {cd}");
+    assert_eq!(cd + fragments[1].1.len(), docs.len());
+}
+
+/// Figure 2(b): text-search split — `F1good` selects documents whose
+/// `//Description` contains "good", `F2good` the complement.
+#[test]
+fn figure_2b_horizontal_by_text() {
+    let docs = gen_items(300, ItemProfile::Small, 22);
+    let design = FragmentationSchema::new(
+        citems(),
+        vec![
+            FragmentDef::horizontal("F1good", pr(r#"contains(//Description, "good")"#)),
+            FragmentDef::horizontal(
+                "F2good",
+                pr(r#"not(contains(//Description, "good"))"#),
+            ),
+        ],
+    )
+    .unwrap();
+    let fragments = Fragmenter::new(design.clone()).fragment_all(&docs);
+    let report = check_correctness(&design, &docs, &fragments);
+    assert!(report.is_correct(), "{:?}", report.violations);
+    // generator tunes document-level selectivity to roughly a third
+    let good = fragments[0].1.len();
+    assert!(good > 45 && good < 180, "good docs: {good}");
+}
+
+/// Figure 2(c): existential split — `F1with_pictures` keeps documents
+/// having a `/Item/PictureList`, `F2with_pictures` those without.
+/// The paper notes this "cannot be classified as a vertical nor hybrid
+/// fragment" — it is horizontal even though it tests structure.
+#[test]
+fn figure_2c_horizontal_existential() {
+    // Large items always carry pictures; small never do — mix them
+    let mut docs = gen_items(20, ItemProfile::Small, 23);
+    let large = gen_items(10, ItemProfile::Large, 24);
+    for (i, mut d) in large.into_iter().enumerate() {
+        d.name = Some(format!("large{i:03}"));
+        docs.push(d);
+    }
+    let design = FragmentationSchema::new(
+        citems(),
+        vec![
+            FragmentDef::horizontal("F1with_pictures", pr("/Item/PictureList")),
+            FragmentDef::horizontal("F2with_pictures", pr("empty(/Item/PictureList)")),
+        ],
+    )
+    .unwrap();
+    let fragments = Fragmenter::new(design.clone()).fragment_all(&docs);
+    let report = check_correctness(&design, &docs, &fragments);
+    assert!(report.is_correct(), "{:?}", report.violations);
+    assert_eq!(fragments[0].1.len(), 10);
+    assert_eq!(fragments[1].1.len(), 20);
+}
+
+/// Figure 3(a): `F1items := ⟨Citems, π /Item, {/Item/PictureList}⟩` and
+/// `F2items := ⟨Citems, π /Item/PictureList, {}⟩` — the paper's
+/// disjointness-by-prune pair, reconstructed exactly.
+#[test]
+fn figure_3a_vertical_items() {
+    let docs = gen_items(15, ItemProfile::Large, 25);
+    let design = FragmentationSchema::new(
+        citems(),
+        vec![
+            FragmentDef::vertical("F1items", p("/Item"), vec![p("/Item/PictureList")]),
+            FragmentDef::vertical("F2items", p("/Item/PictureList"), vec![]),
+        ],
+    )
+    .unwrap();
+    let fragments = Fragmenter::new(design.clone()).fragment_all(&docs);
+    let report = check_correctness(&design, &docs, &fragments);
+    assert!(report.is_correct(), "{:?}", report.violations);
+    // no picture content in F1, only picture content in F2
+    for doc in &fragments[0].1 {
+        assert!(doc.root().child_element("PictureList").is_none());
+    }
+    for doc in &fragments[1].1 {
+        assert_eq!(doc.root_label(), "PictureList");
+    }
+    let rebuilt =
+        partix::frag::correctness::reconstruct_any(&design, &fragments).unwrap();
+    for (a, b) in docs.iter().zip(&rebuilt) {
+        assert_eq!(a, b);
+    }
+}
+
+/// Figure 3(b): `F1sections := ⟨Cstore, π /Store/Sections, {}⟩` and
+/// `F2section := ⟨Cstore, π /Store, {/Store/Sections}⟩` over the SD
+/// store.
+#[test]
+fn figure_3b_vertical_store() {
+    let store = gen_store(40, ItemProfile::Small, 26);
+    let docs = vec![store];
+    let design = FragmentationSchema::new(
+        cstore(),
+        vec![
+            FragmentDef::vertical("F1sections", p("/Store/Sections"), vec![]),
+            FragmentDef::vertical("F2section", p("/Store"), vec![p("/Store/Sections")]),
+        ],
+    )
+    .unwrap();
+    let fragments = Fragmenter::new(design.clone()).fragment_all(&docs);
+    let report = check_correctness(&design, &docs, &fragments);
+    assert!(report.is_correct(), "{:?}", report.violations);
+    assert_eq!(fragments[0].1[0].root_label(), "Sections");
+    assert!(fragments[1].1[0].root().child_element("Sections").is_none());
+    assert!(fragments[1].1[0].root().child_element("Items").is_some());
+    let rebuilt =
+        partix::frag::correctness::reconstruct_any(&design, &fragments).unwrap();
+    assert_eq!(rebuilt[0], docs[0]);
+}
+
+/// Figure 4: the full StoreHyb design — hybrid item fragments for CD,
+/// DVD, and the rest, plus `F4items := ⟨Cstore, π /Store,
+/// {/Store/Items}⟩` — in both storage modes.
+#[test]
+fn figure_4_hybrid_store() {
+    let store = gen_store(120, ItemProfile::Small, 27);
+    let docs = vec![store];
+    for mode in [FragMode::SingleDoc, FragMode::ManySmallDocs] {
+        let design = FragmentationSchema::new(
+            cstore(),
+            vec![
+                FragmentDef::hybrid(
+                    "F1items",
+                    p("/Store/Items/Item"),
+                    pr(r#"/Item/Section = "CD""#),
+                    mode,
+                ),
+                FragmentDef::hybrid(
+                    "F2items",
+                    p("/Store/Items/Item"),
+                    pr(r#"/Item/Section = "DVD""#),
+                    mode,
+                ),
+                FragmentDef::hybrid(
+                    "F3items",
+                    p("/Store/Items/Item"),
+                    pr(r#"/Item/Section != "CD" and /Item/Section != "DVD""#),
+                    mode,
+                ),
+                FragmentDef::vertical("F4items", p("/Store"), vec![p("/Store/Items")]),
+            ],
+        )
+        .unwrap();
+        let fragments = Fragmenter::new(design.clone()).fragment_all(&docs);
+        let report = check_correctness(&design, &docs, &fragments);
+        assert!(report.is_correct(), "{mode:?}: {:?}", report.violations);
+        // all 120 items are accounted for across the three item fragments
+        let unit = p("/Store/Items/Item");
+        let items_per_fragment: usize = fragments[..3]
+            .iter()
+            .map(|(_, frag_docs)| match mode {
+                FragMode::SingleDoc => frag_docs
+                    .iter()
+                    .map(|d: &Document| eval_path(d, &unit).len())
+                    .sum::<usize>(),
+                FragMode::ManySmallDocs => frag_docs.len(),
+            })
+            .sum();
+        assert_eq!(items_per_fragment, 120, "{mode:?}");
+    }
+}

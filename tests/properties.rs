@@ -1,0 +1,321 @@
+//! Property-based tests over the core invariants:
+//!
+//! * parse ∘ serialize = id and binary encode ∘ decode = id for random
+//!   documents;
+//! * fragmentation correctness (completeness / disjointness /
+//!   reconstruction) for random documents and random fragment designs;
+//! * distributed query answers equal centralized answers for random
+//!   workloads.
+
+use partix::engine::{Distribution, NetworkModel, PartiX, Placement};
+use partix::frag::{check_correctness, FragmentDef, Fragmenter, FragmentationSchema};
+use partix::path::{PathExpr, Predicate};
+use partix::query::Item;
+use partix::schema::{builtin, CollectionDef, RepoKind};
+use partix::xml::{binary, parse, to_string, to_string_pretty, DocBuilder, Document};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------- XML --
+
+/// Strategy: a random labelled tree, depth ≤ 3, fanout ≤ 4.
+fn arb_document() -> impl Strategy<Value = Document> {
+    fn label() -> impl Strategy<Value = String> {
+        prop::sample::select(vec!["a", "b", "c", "Item", "Seção"])
+            .prop_map(str::to_owned)
+    }
+    fn text() -> impl Strategy<Value = String> {
+        // includes XML-hostile characters
+        prop::collection::vec(
+            prop::sample::select(vec![
+                "x", "hello", "<", ">", "&", "\"", "'", "maçã", " ", "0", "good",
+            ]),
+            1..5,
+        )
+        // the default parser options trim surrounding whitespace from
+        // text nodes (no mixed content in the data model), so the
+        // round-trip contract is over trimmed text
+        .prop_map(|parts| parts.concat().trim().to_owned())
+        .prop_filter("parser drops whitespace-only text", |s| !s.is_empty())
+    }
+    #[derive(Debug, Clone)]
+    enum Node {
+        Leaf(String, String),
+        Attr(String, String),
+        Elem(String, Vec<Node>),
+    }
+    fn arb_node() -> impl Strategy<Value = Node> {
+        let leaf = (label(), text()).prop_map(|(l, t)| Node::Leaf(l, t)).boxed();
+        let attr = (label(), text()).prop_map(|(l, t)| Node::Attr(l, t)).boxed();
+        prop_oneof![leaf, attr].prop_recursive(3, 24, 4, move |inner| {
+            (label(), prop::collection::vec(inner, 0..4))
+                .prop_map(|(l, kids)| Node::Elem(l, kids))
+        })
+    }
+    /// Attributes must precede content and be unique per element — the
+    /// invariants parsed XML always satisfies.
+    fn build_children(mut b: DocBuilder, kids: &[Node]) -> DocBuilder {
+        let mut seen_attrs = std::collections::HashSet::new();
+        for kid in kids {
+            if let Node::Attr(l, t) = kid {
+                if seen_attrs.insert(l.clone()) {
+                    b = b.attr(l, t);
+                }
+            }
+        }
+        for kid in kids {
+            match kid {
+                Node::Attr(..) => {}
+                Node::Leaf(l, t) => b = b.leaf(l, t),
+                Node::Elem(l, inner) => {
+                    b = build_children(b.open(l), inner).close();
+                }
+            }
+        }
+        b
+    }
+    (label(), prop::collection::vec(arb_node(), 0..5)).prop_map(|(root, kids)| {
+        build_children(DocBuilder::new(&root), &kids).build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn serialize_parse_roundtrip(doc in arb_document()) {
+        let compact = to_string(&doc);
+        let back = parse(&compact).expect("own output parses");
+        prop_assert_eq!(&back, &doc);
+        let pretty = to_string_pretty(&doc);
+        let back2 = parse(&pretty).expect("pretty output parses");
+        prop_assert_eq!(&back2, &doc);
+    }
+
+    #[test]
+    fn binary_roundtrip(doc in arb_document()) {
+        let bytes = binary::encode(&doc);
+        let back = binary::decode(&bytes).expect("own pages decode");
+        prop_assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn dewey_resolves_every_node(doc in arb_document()) {
+        for id in doc.ids() {
+            let dewey = doc.dewey_of(id);
+            prop_assert_eq!(doc.node_at_dewey(&dewey), Some(id));
+        }
+    }
+}
+
+// ------------------------------------------------------- fragmentation --
+
+/// A small random item document shaped like the paper's `Item` type.
+fn arb_item(i: usize, section: &str, good: bool, pictures: usize) -> Document {
+    let mut b = DocBuilder::new("Item")
+        .named(&format!("i{i:03}"))
+        .leaf("Code", &i.to_string())
+        .leaf("Name", &format!("item {i}"))
+        .leaf(
+            "Description",
+            if good { "a good thing" } else { "a plain thing" },
+        )
+        .leaf("Section", section);
+    if pictures > 0 {
+        b = b.open("PictureList");
+        for p in 0..pictures {
+            b = b
+                .open("Picture")
+                .leaf("Name", &format!("p{p}"))
+                .leaf("Description", "pic")
+                .leaf("ModificationDate", "2005-01-01")
+                .leaf("OriginalPath", &format!("/o/{p}"))
+                .leaf("ThumbPath", &format!("/t/{p}"))
+                .close();
+        }
+        b = b.close();
+    }
+    b.build()
+}
+
+fn arb_items() -> impl Strategy<Value = Vec<Document>> {
+    prop::collection::vec(
+        (
+            prop::sample::select(vec!["CD", "DVD", "BOOK", "TOY"]),
+            any::<bool>(),
+            0usize..3,
+        ),
+        1..20,
+    )
+    .prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (section, good, pictures))| arb_item(i, section, good, pictures))
+            .collect()
+    })
+}
+
+fn citems() -> CollectionDef {
+    CollectionDef::new(
+        "items",
+        Arc::new(builtin::virtual_store()),
+        PathExpr::parse("/Store/Items/Item").unwrap(),
+        RepoKind::MultipleDocuments,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any partition of the section space yields a correct horizontal
+    /// fragmentation, and reconstruction restores the collection.
+    #[test]
+    fn horizontal_correctness_holds(docs in arb_items(), split in 1usize..4) {
+        let sections = ["CD", "DVD", "BOOK", "TOY"];
+        let (left, right) = sections.split_at(split);
+        let make = |name: &str, group: &[&str]| {
+            let atoms: Vec<Predicate> = group
+                .iter()
+                .map(|s| Predicate::parse(&format!(r#"/Item/Section = "{s}""#)).unwrap())
+                .collect();
+            FragmentDef::horizontal(
+                name,
+                if atoms.len() == 1 { atoms[0].clone() } else { Predicate::Or(atoms) },
+            )
+        };
+        let design = FragmentationSchema::new(
+            citems(),
+            vec![make("f_left", left), make("f_right", right)],
+        ).unwrap();
+        let fragments = Fragmenter::new(design.clone()).fragment_all(&docs);
+        let report = check_correctness(&design, &docs, &fragments);
+        prop_assert!(report.is_correct(), "{:?}", report.violations);
+    }
+
+    /// Vertical prune/project pairs are correct and reconstruct exactly,
+    /// for documents with and without the optional subtree.
+    #[test]
+    fn vertical_correctness_holds(docs in arb_items()) {
+        let design = FragmentationSchema::new(
+            citems(),
+            vec![
+                FragmentDef::vertical(
+                    "f_main",
+                    PathExpr::parse("/Item").unwrap(),
+                    vec![PathExpr::parse("/Item/PictureList").unwrap()],
+                ),
+                FragmentDef::vertical(
+                    "f_pics",
+                    PathExpr::parse("/Item/PictureList").unwrap(),
+                    vec![],
+                ),
+            ],
+        ).unwrap();
+        let fragments = Fragmenter::new(design.clone()).fragment_all(&docs);
+        let report = check_correctness(&design, &docs, &fragments);
+        prop_assert!(report.is_correct(), "{:?}", report.violations);
+        let rebuilt =
+            partix::frag::correctness::reconstruct_any(&design, &fragments).unwrap();
+        prop_assert_eq!(rebuilt.len(), docs.len());
+        for (a, b) in docs.iter().zip(&rebuilt) {
+            prop_assert_eq!(a, b);
+        }
+    }
+}
+
+// ------------------------------------------------- distributed queries --
+
+#[derive(Debug, Clone)]
+enum QueryShape {
+    SectionEq(&'static str),
+    ContainsGood,
+    CountBySection(&'static str),
+    SumCodes,
+    HasPictures,
+    Everything,
+}
+
+fn arb_query() -> impl Strategy<Value = QueryShape> {
+    prop_oneof![
+        prop::sample::select(vec!["CD", "DVD", "BOOK", "TOY"]).prop_map(QueryShape::SectionEq),
+        Just(QueryShape::ContainsGood),
+        prop::sample::select(vec!["CD", "TOY"]).prop_map(QueryShape::CountBySection),
+        Just(QueryShape::SumCodes),
+        Just(QueryShape::HasPictures),
+        Just(QueryShape::Everything),
+    ]
+}
+
+impl QueryShape {
+    fn text(&self, coll: &str) -> String {
+        match self {
+            QueryShape::SectionEq(s) => format!(
+                r#"for $i in collection("{coll}")/Item where $i/Section = "{s}" return $i/Code"#
+            ),
+            QueryShape::ContainsGood => format!(
+                r#"for $i in collection("{coll}")/Item
+                   where contains($i/Description, "good") return $i/Name"#
+            ),
+            QueryShape::CountBySection(s) => format!(
+                r#"count(for $i in collection("{coll}")/Item
+                         where $i/Section = "{s}" return $i)"#
+            ),
+            QueryShape::SumCodes => format!(
+                r#"sum(for $i in collection("{coll}")/Item return number($i/Code))"#
+            ),
+            QueryShape::HasPictures => format!(
+                r#"for $i in collection("{coll}")/Item
+                   where exists($i/PictureList) return $i/Code"#
+            ),
+            QueryShape::Everything => {
+                format!(r#"for $i in collection("{coll}")/Item return $i"#)
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// For random data and random queries, the distributed answer always
+    /// equals the centralized answer (as multisets).
+    #[test]
+    fn distributed_equals_centralized(docs in arb_items(), shape in arb_query()) {
+        let px = PartiX::new(2, NetworkModel::default());
+        let design = FragmentationSchema::new(
+            citems(),
+            vec![
+                FragmentDef::horizontal(
+                    "f_media",
+                    Predicate::parse(
+                        r#"/Item/Section = "CD" or /Item/Section = "DVD""#
+                    ).unwrap(),
+                ),
+                FragmentDef::horizontal(
+                    "f_other",
+                    Predicate::parse(
+                        r#"/Item/Section != "CD" and /Item/Section != "DVD""#
+                    ).unwrap(),
+                ),
+            ],
+        ).unwrap();
+        px.register_distribution(Distribution {
+            design,
+            placements: vec![
+                Placement { fragment: "f_media".into(), node: 0 },
+                Placement { fragment: "f_other".into(), node: 1 },
+            ],
+        }).unwrap();
+        px.publish("items", &docs).unwrap();
+        px.publish_centralized(0, "central", &docs).unwrap();
+
+        let dist = px.execute(&shape.text("items")).unwrap();
+        let cent = px.execute_centralized(0, &shape.text("central")).unwrap();
+        let mut a: Vec<String> = dist.items.iter().map(Item::serialize).collect();
+        let mut b: Vec<String> = cent.items.iter().map(Item::serialize).collect();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b, "{:?}", shape);
+    }
+}
