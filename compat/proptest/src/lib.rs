@@ -1,0 +1,519 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the slice of the proptest 1.x API this workspace uses:
+//! the [`strategy::Strategy`] trait with `prop_map` / `prop_filter` /
+//! `prop_recursive` / `boxed`, tuple and range strategies,
+//! `prop::sample::select`, `prop::collection::vec`, `any::<bool>()`,
+//! `Just`, and the `proptest!` / `prop_assert!` / `prop_assert_eq!` /
+//! `prop_oneof!` macros.
+//!
+//! Differences from upstream: cases are generated from a seed derived
+//! deterministically from the test name (reproducible across runs), and
+//! failing inputs are **not shrunk** — the first failing case panics
+//! as-is.
+
+pub mod test_runner {
+    /// Deterministic SplitMix64 stream driving value generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn from_seed(seed: u64) -> TestRng {
+            TestRng { state: seed }
+        }
+
+        /// Seed derived from a test's name (FNV-1a), so each test gets a
+        /// stable, independent stream.
+        pub fn for_test(name: &str) -> TestRng {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            TestRng::from_seed(h)
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: usize) -> usize {
+            ((self.next_u64() as u128 * bound as u128) >> 64) as usize
+        }
+
+        pub fn bool(&mut self) -> bool {
+            self.next_u64() & 1 == 1
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+        /// Generation attempts allowed per accepted case before the
+        /// runner gives up (guards against over-aggressive filters).
+        pub max_global_rejects: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases, ..ProptestConfig::default() }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 256, max_global_rejects: 65_536 }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+    use std::rc::Rc;
+
+    /// A recipe for generating values. `generate` returns `None` when a
+    /// filter rejected the sample; the runner retries with fresh
+    /// entropy.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_filter<F>(self, _whence: impl Into<String>, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter { inner: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+
+        /// Build a recursive strategy: `recurse` wraps the strategy for
+        /// one level deeper. `depth` bounds nesting; upstream's
+        /// `desired_size` / `expected_branch_size` hints are accepted
+        /// but unused.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let base = self.boxed();
+            let mut current = base.clone();
+            for _ in 0..depth {
+                // at each level: 50% stop at a leaf, 50% go deeper
+                current = Union::new(vec![base.clone(), recurse(current).boxed()]);
+            }
+            current
+        }
+    }
+
+    /// Type-erased, cheaply-cloneable strategy.
+    pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> BoxedStrategy<T> {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> Option<T> {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> Option<T> {
+            Some(self.0.clone())
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> Option<U> {
+            self.inner.generate(rng).map(&self.f)
+        }
+    }
+
+    pub struct Filter<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            // a few local retries before punting the reject upward
+            for _ in 0..16 {
+                match self.inner.generate(rng) {
+                    Some(v) if (self.f)(&v) => return Some(v),
+                    Some(_) => continue,
+                    None => return None,
+                }
+            }
+            None
+        }
+    }
+
+    /// Uniform choice among alternatives (backs `prop_oneof!`).
+    pub struct Union<T> {
+        alternatives: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        // mirrors the real proptest API, where `Union::new` is consumed
+        // pre-boxed by `prop_oneof!`
+        #[allow(clippy::new_ret_no_self)]
+        pub fn new(alternatives: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T>
+        where
+            T: 'static,
+        {
+            assert!(!alternatives.is_empty(), "prop_oneof! needs at least one alternative");
+            Union { alternatives }.boxed()
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> Option<T> {
+            let pick = rng.below(self.alternatives.len());
+            self.alternatives[pick].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                    assert!(self.start < self.end, "strategy range is empty");
+                    let span = (self.end - self.start) as usize;
+                    Some(self.start + rng.below(span) as $t)
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(usize, u64, u32, u8);
+
+    macro_rules! tuple_strategy {
+        ($($s:ident . $idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                    Some(($(self.$idx.generate(rng)?,)+))
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A.0, B.1);
+    tuple_strategy!(A.0, B.1, C.2);
+    tuple_strategy!(A.0, B.1, C.2, D.3);
+}
+
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Uniform choice from a fixed set of options.
+    pub fn select<T: Clone + 'static>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select() needs at least one option");
+        Select { options }
+    }
+
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> Option<T> {
+            let pick = rng.below(self.options.len());
+            Some(self.options[pick].clone())
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Vector of `element` samples with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "collection::vec size range is empty");
+        VecStrategy { element, size }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+            let span = self.size.end - self.size.start;
+            let len = self.size.start + rng.below(span);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical strategy (minimal set used here).
+    pub trait Arbitrary: Sized {
+        fn generate_arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn generate_arbitrary(rng: &mut TestRng) -> bool {
+            rng.bool()
+        }
+    }
+
+    impl Arbitrary for u8 {
+        fn generate_arbitrary(rng: &mut TestRng) -> u8 {
+            rng.next_u64() as u8
+        }
+    }
+
+    impl Arbitrary for u32 {
+        fn generate_arbitrary(rng: &mut TestRng) -> u32 {
+            rng.next_u64() as u32
+        }
+    }
+
+    impl Arbitrary for u64 {
+        fn generate_arbitrary(rng: &mut TestRng) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Arbitrary for usize {
+        fn generate_arbitrary(rng: &mut TestRng) -> usize {
+            rng.next_u64() as usize
+        }
+    }
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> Option<T> {
+            Some(T::generate_arbitrary(rng))
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+
+    /// Upstream's prelude exposes the crate root as `prop` so paths like
+    /// `prop::collection::vec` work.
+    pub use crate as prop;
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from
+/// strategies. Config form: `proptest! { #![proptest_config(cfg)] ... }`.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                let mut accepted: u32 = 0;
+                let mut attempts: u32 = 0;
+                while accepted < config.cases {
+                    attempts += 1;
+                    assert!(
+                        attempts <= config.cases.saturating_mul(64).max(config.max_global_rejects),
+                        "proptest: too many rejected samples in {} ({} attempts for {} cases)",
+                        stringify!($name), attempts, config.cases,
+                    );
+                    $(
+                        let $arg = match $crate::strategy::Strategy::generate(&$strategy, &mut rng) {
+                            ::std::option::Option::Some(v) => v,
+                            ::std::option::Option::None => continue,
+                        };
+                    )+
+                    $body
+                    accepted += 1;
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $($(#[$meta])* fn $name($($arg in $strategy),+) $body)*
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Assert inside a proptest body; panics with the failing condition
+/// (no shrinking in this stand-in).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            panic!("prop_assert failed: {}", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            panic!("prop_assert failed: {}: {}", stringify!($cond), format!($($fmt)+));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            panic!("prop_assert_eq failed: `{:?}` != `{:?}`", l, r);
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            panic!(
+                "prop_assert_eq failed: `{:?}` != `{:?}`: {}",
+                l, r, format!($($fmt)+)
+            );
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_maps(x in 1usize..10, label in prop::sample::select(vec!["a", "b"])) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!(label == "a" || label == "b");
+        }
+
+        #[test]
+        fn vec_respects_size(v in prop::collection::vec(0usize..5, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()), "{:?}", v);
+        }
+
+        #[test]
+        fn filters_apply(x in (0usize..100).prop_filter("even", |x| x % 2 == 0)) {
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn oneof_and_just(v in prop_oneof![Just(1usize), Just(2), 5usize..7]) {
+            prop_assert!(v == 1 || v == 2 || v == 5 || v == 6, "{}", v);
+        }
+    }
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Tree {
+        Leaf(bool),
+        Node(Vec<Tree>),
+    }
+
+    fn depth(t: &Tree) -> usize {
+        match t {
+            Tree::Leaf(_) => 0,
+            Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn recursive_bounds_depth(
+            t in any::<bool>().prop_map(Tree::Leaf).prop_recursive(3, 24, 4, |inner| {
+                prop::collection::vec(inner, 0..4).prop_map(Tree::Node)
+            })
+        ) {
+            prop_assert!(depth(&t) <= 3, "{:?}", t);
+        }
+    }
+}

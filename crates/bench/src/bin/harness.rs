@@ -20,6 +20,12 @@ struct Args {
     reps: usize,
     /// Optional JSON-lines log path.
     log: Option<String>,
+    /// Concurrent-client counts for the throughput benchmark.
+    clients: Vec<usize>,
+    /// Queries per client for the throughput benchmark.
+    queries: usize,
+    /// Output path for the throughput benchmark's JSON document.
+    out: String,
 }
 
 fn parse_args() -> Args {
@@ -30,6 +36,9 @@ fn parse_args() -> Args {
         frags: vec![2, 4, 8],
         reps: 2,
         log: None,
+        clients: vec![1, 4, 16],
+        queries: 40,
+        out: "BENCH_throughput.json".into(),
     };
     let rest: Vec<String> = std::env::args().skip(2).collect();
     let mut i = 0;
@@ -52,6 +61,14 @@ fn parse_args() -> Args {
             }
             "--reps" => args.reps = value.parse().expect("--reps takes a number"),
             "--log" => args.log = Some(value.clone()),
+            "--clients" => {
+                args.clients = value
+                    .split(',')
+                    .map(|s| s.parse().expect("--clients takes numbers"))
+                    .collect()
+            }
+            "--queries" => args.queries = value.parse().expect("--queries takes a number"),
+            "--out" => args.out = value.clone(),
             other => panic!("unknown flag {other}; see `harness help`"),
         }
         i += 2;
@@ -71,6 +88,7 @@ fn main() {
         "ablation-index" => ablation_index(&args),
         "ablation-fragmode" => ablation_fragmode(&args),
         "ablation-localization" => ablation_localization(&args),
+        "throughput" => throughput_bench(&args),
         "all" => {
             fig7_horizontal(&args, &mut sink, "fig7a", "ItemsSHor", ItemProfile::Small);
             fig7_horizontal(&args, &mut sink, "fig7b", "ItemsLHor", ItemProfile::Large);
@@ -100,14 +118,18 @@ COMMANDS
   ablation-index     text/value index on vs off (centralized)
   ablation-fragmode  per-document page-decode cost: hot vs cold, FragMode1 vs 2
   ablation-localization  fragment pruning on vs off (8 fragments)
-  all                everything above
+  throughput         multi-client QPS/latency: threads vs worker pool ± result cache
+  all                everything above (except throughput)
 
 FLAGS
   --scale F          fraction of the paper's database sizes (default 0.02)
   --sizes A,B,..     database sizes in paper-MB (default 5,20,100,250)
-  --frags A,B,..     fragment counts for fig7a/b (default 2,4,8)
+  --frags A,B,..     fragment counts for fig7a/b; throughput uses the first (default 2,4,8)
   --reps N           timed repetitions after warm-up (default 2)
-  --log FILE         append JSON-lines records to FILE"
+  --log FILE         append JSON-lines records to FILE
+  --clients A,B,..   concurrent clients for throughput (default 1,4,16)
+  --queries N        queries per client for throughput (default 40)
+  --out FILE         throughput JSON output (default BENCH_throughput.json)"
     );
 }
 
@@ -307,6 +329,22 @@ fn ablation_localization(args: &Args) {
             without.distributed_s / with.distributed_s.max(1e-12),
         );
     }
+}
+
+/// Multi-client closed-loop throughput: transient threads vs the
+/// persistent worker pool, with and without the result cache.
+fn throughput_bench(args: &Args) {
+    let size_mb = args.sizes.iter().copied().min().unwrap_or(5);
+    let config = partix_bench::throughput::ThroughputConfig {
+        db_bytes: ((size_mb * MB) as f64 * args.scale) as usize,
+        fragments: args.frags.first().copied().unwrap_or(4),
+        clients: args.clients.clone(),
+        queries_per_client: args.queries,
+    };
+    let results = partix_bench::throughput::run(&config);
+    std::fs::write(&args.out, partix_bench::throughput::to_json(&config, &results))
+        .expect("write throughput JSON");
+    println!("wrote {}", args.out);
 }
 
 /// Ablation: the per-document page-decode (parse) cost behind the

@@ -28,6 +28,7 @@ pub mod output;
 pub mod queries;
 pub mod runner;
 pub mod setup;
+pub mod throughput;
 
 /// The paper's database sizes in megabytes.
 pub const PAPER_SIZES_MB: &[usize] = &[5, 20, 100, 250];

@@ -1,11 +1,10 @@
 //! Table rendering and machine-readable experiment records.
 
 use crate::runner::Measurement;
-use serde::Serialize;
 use std::io::Write;
 
 /// One row of an experiment, as written to the JSON-lines log.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Record {
     /// Experiment id, e.g. `fig7a`.
     pub experiment: String,
@@ -52,6 +51,94 @@ impl Record {
             result_bytes: m.result_bytes,
         }
     }
+
+    /// Serialize as one JSON object (field order matches declaration).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push('{');
+        json::str_field(&mut out, "experiment", &self.experiment);
+        json::str_field(&mut out, "database", &self.database);
+        json::num_field(&mut out, "size_bytes", self.size_bytes as f64);
+        json::num_field(&mut out, "fragments", self.fragments as f64);
+        json::str_field(&mut out, "series", &self.series);
+        json::str_field(&mut out, "query", &self.query);
+        json::num_field(&mut out, "centralized_s", self.centralized_s);
+        json::num_field(&mut out, "distributed_s", self.distributed_s);
+        json::num_field(&mut out, "speedup", self.speedup);
+        json::num_field(&mut out, "sites", self.sites as f64);
+        json::num_field(&mut out, "pruned", self.pruned as f64);
+        json::bool_field(&mut out, "reconstructed", self.reconstructed);
+        json::num_field(&mut out, "result_bytes", self.result_bytes as f64);
+        out.push('}');
+        out
+    }
+}
+
+/// Tiny hand-rolled JSON writer (the workspace builds offline, without
+/// serde). Appends `"key":value,` pairs; the closing brace logic strips
+/// the trailing comma via `push('}')` replacing it.
+pub mod json {
+    /// Escape per JSON string rules (quotes, backslash, control chars).
+    pub fn escape(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+        out
+    }
+
+    fn key(out: &mut String, name: &str) {
+        if !out.ends_with('{') && !out.ends_with('[') {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(name);
+        out.push_str("\":");
+    }
+
+    pub fn str_field(out: &mut String, name: &str, value: &str) {
+        key(out, name);
+        out.push('"');
+        out.push_str(&escape(value));
+        out.push('"');
+    }
+
+    /// Numbers print like serde_json: integers without a decimal point,
+    /// floats via `Display` (shortest roundtrip form), non-finite as null.
+    pub fn num_field(out: &mut String, name: &str, value: f64) {
+        key(out, name);
+        out.push_str(&format_num(value));
+    }
+
+    pub fn bool_field(out: &mut String, name: &str, value: bool) {
+        key(out, name);
+        out.push_str(if value { "true" } else { "false" });
+    }
+
+    pub fn raw_field(out: &mut String, name: &str, value: &str) {
+        key(out, name);
+        out.push_str(value);
+    }
+
+    pub fn format_num(value: f64) -> String {
+        if !value.is_finite() {
+            "null".to_owned()
+        } else if value == value.trunc() && value.abs() < 9e15 {
+            format!("{}", value as i64)
+        } else {
+            format!("{value}")
+        }
+    }
 }
 
 /// Collects records, prints aligned tables, and optionally writes a
@@ -76,7 +163,7 @@ impl Sink {
 
     pub fn push(&mut self, record: Record) {
         if let Some(log) = &mut self.log {
-            let line = serde_json::to_string(&record).expect("record serializes");
+            let line = record.to_json();
             let _ = writeln!(log, "{line}");
         }
         self.records.push(record);

@@ -1,0 +1,279 @@
+//! Closed-loop multi-client throughput benchmark.
+//!
+//! Not a paper figure: the paper measures single-query response time
+//! (`DispatchMode::Simulated`). This benchmark instead measures the
+//! *coordinator runtime* under concurrent clients — N closed-loop
+//! clients each issue their next query as soon as the previous one
+//! returns, cycling a fixed repeated-query workload. Three
+//! configurations are compared:
+//!
+//! * `threads`      — [`DispatchMode::Threads`]: one transient OS thread
+//!   per sub-query per call (the pre-pool baseline);
+//! * `pool-nocache` — [`DispatchMode::Pool`]: persistent per-node worker
+//!   pools, result cache off;
+//! * `pool`         — worker pools plus the sub-query result cache.
+//!
+//! Reported per run: QPS (completed queries / wall-clock) and p50/p99
+//! client-observed latency, plus the coordinator cache counters.
+
+use crate::output::json;
+use crate::{queries, setup};
+use partix_engine::{DispatchMode, PartiX};
+use partix_gen::ItemProfile;
+use std::time::Instant;
+
+/// Benchmark parameters.
+#[derive(Debug, Clone)]
+pub struct ThroughputConfig {
+    /// Total database size in bytes.
+    pub db_bytes: usize,
+    /// Horizontal fragments (== nodes).
+    pub fragments: usize,
+    /// Concurrent-client counts to sweep.
+    pub clients: Vec<usize>,
+    /// Queries each client issues (after a shared warm-up pass).
+    pub queries_per_client: usize,
+}
+
+impl Default for ThroughputConfig {
+    fn default() -> ThroughputConfig {
+        ThroughputConfig {
+            db_bytes: 200_000,
+            fragments: 4,
+            clients: vec![1, 4, 16],
+            queries_per_client: 40,
+        }
+    }
+}
+
+/// The compared coordinator configurations, in report order.
+pub const MODES: [&str; 3] = ["threads", "pool-nocache", "pool"];
+
+/// One (mode, client-count) measurement.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    pub mode: &'static str,
+    pub clients: usize,
+    pub total_queries: usize,
+    pub wall_s: f64,
+    pub qps: f64,
+    pub p50_ms: f64,
+    pub p99_ms: f64,
+    pub plan_hits: u64,
+    pub plan_misses: u64,
+    pub result_hits: u64,
+    pub result_misses: u64,
+}
+
+impl RunResult {
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push('{');
+        json::str_field(&mut out, "mode", self.mode);
+        json::num_field(&mut out, "clients", self.clients as f64);
+        json::num_field(&mut out, "total_queries", self.total_queries as f64);
+        json::num_field(&mut out, "wall_s", self.wall_s);
+        json::num_field(&mut out, "qps", self.qps);
+        json::num_field(&mut out, "p50_ms", self.p50_ms);
+        json::num_field(&mut out, "p99_ms", self.p99_ms);
+        json::num_field(&mut out, "plan_cache_hits", self.plan_hits as f64);
+        json::num_field(&mut out, "plan_cache_misses", self.plan_misses as f64);
+        json::num_field(&mut out, "result_cache_hits", self.result_hits as f64);
+        json::num_field(&mut out, "result_cache_misses", self.result_misses as f64);
+        out.push('}');
+        out
+    }
+}
+
+/// Build a fresh middleware in one of the [`MODES`].
+fn build_px(docs: &[partix_xml::Document], fragments: usize, mode: &str) -> PartiX {
+    let mut px = setup::horizontal(docs, fragments);
+    match mode {
+        "threads" => px.set_dispatch(DispatchMode::Threads),
+        "pool-nocache" => px.set_dispatch(DispatchMode::Pool),
+        "pool" => {
+            px.set_dispatch(DispatchMode::Pool);
+            px.set_result_cache_enabled(true);
+        }
+        other => panic!("unknown throughput mode {other}"),
+    }
+    px
+}
+
+/// Drive `clients` closed-loop clients through `queries_per_client`
+/// queries each (round-robin over `workload`, staggered start offsets).
+/// Returns wall-clock seconds and every client-observed latency.
+pub fn run_clients(
+    px: &PartiX,
+    clients: usize,
+    queries_per_client: usize,
+    workload: &[(&'static str, String)],
+) -> (f64, Vec<f64>) {
+    let start = Instant::now();
+    let mut latencies = Vec::with_capacity(clients * queries_per_client);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|client| {
+                scope.spawn(move || {
+                    let mut observed = Vec::with_capacity(queries_per_client);
+                    for k in 0..queries_per_client {
+                        let (_, query) = &workload[(client + k) % workload.len()];
+                        let issued = Instant::now();
+                        px.execute(query).expect("throughput query");
+                        observed.push(issued.elapsed().as_secs_f64());
+                    }
+                    observed
+                })
+            })
+            .collect();
+        for handle in handles {
+            latencies.extend(handle.join().expect("client thread"));
+        }
+    });
+    (start.elapsed().as_secs_f64(), latencies)
+}
+
+/// Nearest-rank percentile of an unsorted latency sample, in seconds.
+pub fn percentile(latencies: &mut [f64], p: f64) -> f64 {
+    if latencies.is_empty() {
+        return 0.0;
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let rank = ((p / 100.0) * latencies.len() as f64).ceil() as usize;
+    latencies[rank.clamp(1, latencies.len()) - 1]
+}
+
+/// Run the full sweep: every mode × every client count, fresh middleware
+/// per run (cache counters then cover exactly one run).
+pub fn run(config: &ThroughputConfig) -> Vec<RunResult> {
+    let docs = setup::item_db(config.db_bytes, ItemProfile::Small);
+    let workload = queries::horizontal(setup::DIST);
+    println!(
+        "\n### throughput: ItemsSHor {} B, {} fragments, {} queries/client, repeated {}-query workload",
+        config.db_bytes,
+        config.fragments,
+        config.queries_per_client,
+        workload.len(),
+    );
+    println!(
+        "{:<14} {:>8} {:>9} {:>10} {:>10} {:>10} {:>12}",
+        "mode", "clients", "QPS", "p50(ms)", "p99(ms)", "wall(s)", "cache h/m"
+    );
+    let mut results = Vec::new();
+    for &mode in &MODES {
+        for &clients in &config.clients {
+            let px = build_px(&docs, config.fragments, mode);
+            // one warm-up pass over the workload (discarded), matching
+            // the single-query experiments' protocol
+            for (_, query) in &workload {
+                px.execute(query).expect("warm-up query");
+            }
+            let stats_before = px.cache_stats();
+            let (wall_s, mut latencies) =
+                run_clients(&px, clients, config.queries_per_client, &workload);
+            let stats = px.cache_stats();
+            let total_queries = latencies.len();
+            let p50_ms = percentile(&mut latencies, 50.0) * 1e3;
+            let p99_ms = percentile(&mut latencies, 99.0) * 1e3;
+            let result = RunResult {
+                mode,
+                clients,
+                total_queries,
+                wall_s,
+                qps: total_queries as f64 / wall_s.max(1e-9),
+                p50_ms,
+                p99_ms,
+                plan_hits: stats.plan_hits - stats_before.plan_hits,
+                plan_misses: stats.plan_misses - stats_before.plan_misses,
+                result_hits: stats.result_hits - stats_before.result_hits,
+                result_misses: stats.result_misses - stats_before.result_misses,
+            };
+            println!(
+                "{:<14} {:>8} {:>9.1} {:>10.3} {:>10.3} {:>10.3} {:>7}/{}",
+                result.mode,
+                result.clients,
+                result.qps,
+                result.p50_ms,
+                result.p99_ms,
+                result.wall_s,
+                result.result_hits,
+                result.result_misses,
+            );
+            results.push(result);
+        }
+    }
+    for &clients in &config.clients {
+        let qps_of = |mode: &str| {
+            results
+                .iter()
+                .find(|r| r.mode == mode && r.clients == clients)
+                .map(|r| r.qps)
+                .unwrap_or(0.0)
+        };
+        let baseline = qps_of("threads");
+        if baseline > 0.0 {
+            println!(
+                "  {clients:>2} client(s): pool {:.2}x, pool+cache {:.2}x vs per-query threads",
+                qps_of("pool-nocache") / baseline,
+                qps_of("pool") / baseline,
+            );
+        }
+    }
+    results
+}
+
+/// Serialize a sweep as one JSON document.
+pub fn to_json(config: &ThroughputConfig, results: &[RunResult]) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push('{');
+    json::str_field(&mut out, "experiment", "throughput");
+    json::num_field(&mut out, "db_bytes", config.db_bytes as f64);
+    json::num_field(&mut out, "fragments", config.fragments as f64);
+    json::num_field(&mut out, "queries_per_client", config.queries_per_client as f64);
+    let runs: Vec<String> = results.iter().map(RunResult::to_json).collect();
+    json::raw_field(&mut out, "runs", &format!("[{}]", runs.join(",")));
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let mut lats = vec![0.4, 0.1, 0.2, 0.3];
+        assert_eq!(percentile(&mut lats, 50.0), 0.2);
+        assert_eq!(percentile(&mut lats, 99.0), 0.4);
+        assert_eq!(percentile(&mut lats, 100.0), 0.4);
+        assert_eq!(percentile(&mut [], 50.0), 0.0);
+    }
+
+    #[test]
+    fn sweep_runs_all_modes_and_counts_cache_hits() {
+        let config = ThroughputConfig {
+            db_bytes: 30_000,
+            fragments: 2,
+            clients: vec![2],
+            queries_per_client: 10,
+        };
+        let results = run(&config);
+        assert_eq!(results.len(), MODES.len());
+        for r in &results {
+            assert_eq!(r.total_queries, 2 * 10);
+            assert!(r.qps > 0.0, "{}: no throughput", r.mode);
+            assert!(r.p99_ms >= r.p50_ms, "{}: p99 < p50", r.mode);
+        }
+        // the cached configuration must actually hit: the workload
+        // repeats and the warm-up pass populated the cache
+        let pool = results.iter().find(|r| r.mode == "pool").expect("pool run");
+        assert!(pool.result_hits > 0, "cached run recorded no hits");
+        let nocache = results.iter().find(|r| r.mode == "pool-nocache").expect("run");
+        assert_eq!(nocache.result_hits, 0);
+        // and the counters land in the JSON
+        let doc = to_json(&config, &results);
+        assert!(doc.contains("\"result_cache_hits\":"));
+        assert!(doc.contains("\"mode\":\"pool\""));
+        assert!(doc.starts_with('{') && doc.ends_with('}'));
+    }
+}

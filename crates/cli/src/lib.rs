@@ -118,6 +118,19 @@ pub fn collections(dir: &Path) -> Result<String, CliError> {
     Ok(out.trim_end().to_owned())
 }
 
+/// `partix drop`: remove a collection and persist the database.
+pub fn drop(dir: &Path, collection: &str) -> Result<String, CliError> {
+    let db = open_or_new(dir)?;
+    if !db.collection_names().iter().any(|n| n == collection) {
+        return Err(err(format!("drop: no collection {collection:?}")));
+    }
+    let docs = db.collection_len(collection).unwrap_or(0);
+    db.drop_collection(collection);
+    db.save_to(dir)
+        .map_err(|e| err(format!("cannot save {}: {e}", dir.display())))?;
+    Ok(format!("dropped collection {collection:?} ({docs} document(s))"))
+}
+
 /// `partix fragment`: derive a balanced horizontal design for
 /// `collection` over the values of `by_path`, apply it, store each
 /// fragment as `<collection>.<fragment>`, verify the correctness rules,
@@ -221,6 +234,7 @@ USAGE
   partix load <db-dir> <collection> <file.xml>...   load XML documents
   partix query <db-dir> '<xquery>'                  run an XQuery
   partix collections <db-dir>                       list collections
+  partix drop <db-dir> <collection>                 remove a collection
   partix fragment <db-dir> <collection> <path> <n>  derive & apply a
                                                     balanced horizontal
                                                     design by <path> values
@@ -305,6 +319,24 @@ mod tests {
         let n0: usize = c0.lines().next().unwrap().parse().unwrap();
         let n1: usize = c1.lines().next().unwrap().parse().unwrap();
         assert_eq!(n0 + n1, 9);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn drop_removes_collection_and_persists() {
+        let dir = tmp("drop");
+        let db_dir = dir.join("db");
+        let files = write_items(&dir, 3);
+        load(&db_dir, "items", &files).unwrap();
+        load(&db_dir, "other", &files[..1]).unwrap();
+        let msg = drop(&db_dir, "items").unwrap();
+        assert!(msg.contains("3 document(s)"), "{msg}");
+        // the drop survives a reopen, and other collections are untouched
+        let listing = collections(&db_dir).unwrap();
+        assert!(!listing.contains("items:"), "{listing}");
+        assert!(listing.contains("other: 1 document(s)"), "{listing}");
+        let e = drop(&db_dir, "items").unwrap_err();
+        assert!(e.0.contains("no collection"), "{e}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

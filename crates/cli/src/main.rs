@@ -13,6 +13,7 @@ fn main() -> ExitCode {
         Some("collections") if args.len() == 2 => {
             partix_cli::collections(Path::new(&args[1]))
         }
+        Some("drop") if args.len() == 3 => partix_cli::drop(Path::new(&args[1]), &args[2]),
         Some("fragment") if args.len() == 5 => {
             let n: usize = match args[4].parse() {
                 Ok(n) => n,

@@ -69,7 +69,9 @@ impl Distribution {
 #[derive(Debug, Default)]
 pub struct Catalog {
     schemas: HashMap<String, Arc<Schema>>,
-    distributions: HashMap<String, Distribution>,
+    // Arc'd so per-query lookups can take a reference-count bump instead
+    // of deep-cloning the whole design + placement list.
+    distributions: HashMap<String, Arc<Distribution>>,
 }
 
 impl Catalog {
@@ -95,12 +97,12 @@ impl Catalog {
         distribution.design.validate().map_err(|e| e.to_string())?;
         distribution.validate()?;
         let name = distribution.design.collection.name.clone();
-        self.distributions.insert(name, distribution);
+        self.distributions.insert(name, Arc::new(distribution));
         Ok(())
     }
 
     /// Distribution of a collection, if fragmented.
-    pub fn distribution(&self, collection: &str) -> Option<&Distribution> {
+    pub fn distribution(&self, collection: &str) -> Option<&Arc<Distribution>> {
         self.distributions.get(collection)
     }
 

@@ -2,6 +2,7 @@
 
 use crate::driver::PartixDriver;
 use partix_storage::Database;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -17,6 +18,11 @@ pub struct Node {
     pub db: Database,
     driver: parking_lot::RwLock<Option<Arc<dyn PartixDriver>>>,
     available: AtomicBool,
+    /// Per-collection write epochs: bumped on every `store_docs` /
+    /// `drop_collection`, whichever driver is active. The coordinator's
+    /// result cache embeds the epoch in its keys, so a bump silently
+    /// invalidates every cached sub-query over that collection.
+    epochs: parking_lot::RwLock<HashMap<String, u64>>,
 }
 
 impl Node {
@@ -27,6 +33,7 @@ impl Node {
             db: Database::new(),
             driver: parking_lot::RwLock::new(None),
             available: AtomicBool::new(true),
+            epochs: parking_lot::RwLock::new(HashMap::new()),
         }
     }
 
@@ -52,12 +59,42 @@ impl Node {
         }
     }
 
-    /// Store documents through the active driver.
+    /// Store documents through the active driver. Bumps the collection's
+    /// write epoch, invalidating coordinator-cached sub-query results.
     pub fn store_docs(&self, collection: &str, docs: Vec<partix_xml::Document>) {
         match &*self.driver.read() {
             Some(driver) => driver.store(collection, docs),
             None => PartixDriver::store(&self.db, collection, docs),
         }
+        self.bump_epoch(collection);
+    }
+
+    /// Drop a collection through the active driver. Bumps the write
+    /// epoch like any other mutation.
+    pub fn drop_collection(&self, collection: &str) {
+        match &*self.driver.read() {
+            Some(driver) => driver.drop_collection(collection),
+            None => PartixDriver::drop_collection(&self.db, collection),
+        }
+        self.bump_epoch(collection);
+    }
+
+    /// Current write epoch of `collection` on this node (0 = never
+    /// written since the node came up). When the embedded database is
+    /// active, its own storage-level epoch is added in, so writes made
+    /// directly through [`Node::db`] are visible too; a write through
+    /// [`Node::store_docs`] may count twice, which is harmless — only
+    /// monotonicity matters for invalidation.
+    pub fn collection_epoch(&self, collection: &str) -> u64 {
+        let local = self.epochs.read().get(collection).copied().unwrap_or(0);
+        match &*self.driver.read() {
+            Some(_) => local,
+            None => local + self.db.collection_epoch(collection),
+        }
+    }
+
+    fn bump_epoch(&self, collection: &str) {
+        *self.epochs.write().entry(collection.to_owned()).or_insert(0) += 1;
     }
 
     /// Fetch a whole collection through the active driver.
@@ -95,7 +132,7 @@ impl Cluster {
     }
 
     pub fn is_empty(&self) -> bool {
-        false
+        self.nodes.is_empty()
     }
 
     pub fn node(&self, id: usize) -> Option<&Arc<Node>> {
@@ -154,6 +191,34 @@ mod tests {
     #[should_panic(expected = "at least one node")]
     fn empty_cluster_panics() {
         let _ = Cluster::new(0);
+    }
+
+    #[test]
+    fn cluster_with_nodes_is_never_empty() {
+        assert!(!Cluster::new(1).is_empty());
+        assert_eq!(Cluster::new(2).len(), 2);
+    }
+
+    #[test]
+    fn epochs_bump_on_writes_and_drops() {
+        let c = Cluster::new(1);
+        let n = c.node(0).unwrap();
+        assert_eq!(n.collection_epoch("f"), 0);
+        n.store_docs("f", vec![partix_xml::parse("<a/>").unwrap()]);
+        let e1 = n.collection_epoch("f");
+        assert!(e1 >= 1);
+        assert_eq!(n.collection_epoch("other"), 0);
+        n.drop_collection("f");
+        let e2 = n.collection_epoch("f");
+        assert!(e2 > e1);
+        assert!(n.fetch_docs("f").is_empty());
+        // epochs survive the drop: a re-created collection keeps counting
+        n.store_docs("f", vec![partix_xml::parse("<b/>").unwrap()]);
+        let e3 = n.collection_epoch("f");
+        assert!(e3 > e2);
+        // writes bypassing the node (direct db access) are seen too
+        n.db.store("f", partix_xml::parse("<c/>").unwrap());
+        assert!(n.collection_epoch("f") > e3);
     }
 
     #[test]

@@ -34,6 +34,10 @@ pub trait PartixDriver: Send + Sync {
 
     /// Names of the collections this node holds.
     fn collections(&self) -> Vec<String>;
+
+    /// Remove a collection entirely (no-op when absent). Default does
+    /// nothing so drivers predating this method stay source-compatible.
+    fn drop_collection(&self, _collection: &str) {}
 }
 
 impl PartixDriver for Database {
@@ -57,6 +61,10 @@ impl PartixDriver for Database {
 
     fn collections(&self) -> Vec<String> {
         self.collection_names()
+    }
+
+    fn drop_collection(&self, collection: &str) {
+        Database::drop_collection(self, collection);
     }
 }
 
@@ -121,6 +129,10 @@ impl PartixDriver for InstrumentedDriver {
 
     fn collections(&self) -> Vec<String> {
         self.inner.collections()
+    }
+
+    fn drop_collection(&self, collection: &str) {
+        self.inner.drop_collection(collection);
     }
 }
 

@@ -32,12 +32,18 @@
 //!   per-fragment sub-queries, runs them in parallel (one thread per
 //!   node), composes the result (union / aggregate combination /
 //!   reconstruction join) and reports the cluster-timing breakdown.
+//! * [`runtime`] — persistent per-node worker pools backing
+//!   [`DispatchMode::Pool`]: concurrent `execute` calls share a bounded
+//!   set of threads instead of spawning per sub-query.
+//! * [`cache`] — coordinator-side plan and sub-query result caches, the
+//!   latter invalidated by per-collection write epochs.
 //!
 //! The *parallel elapsed time* in a [`report::QueryReport`] follows the
 //! paper's methodology: the slowest site determines the parallel time,
 //! and transmission time is modelled from result sizes and the configured
 //! bandwidth (there is no inter-node communication).
 
+pub mod cache;
 pub mod catalog;
 pub mod cluster;
 pub mod compose;
@@ -45,10 +51,13 @@ pub mod driver;
 pub mod localize;
 pub mod publisher;
 pub mod report;
+pub mod runtime;
 pub mod service;
 
+pub use cache::CacheStats;
 pub use catalog::{Catalog, Distribution, Placement};
 pub use cluster::{Cluster, NetworkModel, Node};
 pub use driver::{InstrumentedDriver, PartixDriver};
 pub use report::{QueryReport, SiteReport};
+pub use runtime::PoolConfig;
 pub use service::{DispatchMode, DistributedResult, PartiX, PartixError};

@@ -15,6 +15,9 @@ pub struct SiteReport {
     pub docs_scanned: usize,
     /// Whether the node used an index to pre-filter.
     pub index_used: bool,
+    /// True when this site's answer was served from the coordinator's
+    /// result cache — the node was never contacted and `elapsed` is 0.
+    pub from_cache: bool,
 }
 
 /// Full timing breakdown of one distributed query, following the paper's
@@ -39,6 +42,15 @@ pub struct QueryReport {
     /// True when the query was answered by reconstructing fragments at
     /// the coordinator (multi-fragment vertical fallback).
     pub reconstructed: bool,
+    /// True when the plan came from the coordinator's parsed-query cache
+    /// (only set by [`PartiX::execute`](crate::PartiX::execute); queries
+    /// entering as pre-parsed ASTs never consult the plan cache).
+    pub plan_cache_hit: bool,
+    /// Sub-queries answered from the coordinator's result cache.
+    pub result_cache_hits: usize,
+    /// Sub-queries that had to run on their nodes (cache disabled counts
+    /// here too: every dispatched sub-query is a miss).
+    pub result_cache_misses: usize,
 }
 
 impl QueryReport {
@@ -67,16 +79,26 @@ impl fmt::Display for QueryReport {
             self.fragments_pruned,
             if self.reconstructed { ", reconstructed" } else { "" },
         )?;
+        if self.result_cache_hits > 0 || self.plan_cache_hit {
+            writeln!(
+                f,
+                "  cache: plan {}, results {}/{} hit",
+                if self.plan_cache_hit { "hit" } else { "miss" },
+                self.result_cache_hits,
+                self.result_cache_hits + self.result_cache_misses,
+            )?;
+        }
         for site in &self.sites {
             writeln!(
                 f,
-                "  node{} [{}]: {:.6}s, {} docs, {} B{}",
+                "  node{} [{}]: {:.6}s, {} docs, {} B{}{}",
                 site.node,
                 site.fragment,
                 site.elapsed,
                 site.docs_scanned,
                 site.result_bytes,
                 if site.index_used { ", index" } else { "" },
+                if site.from_cache { ", cached" } else { "" },
             )?;
         }
         Ok(())
@@ -95,6 +117,7 @@ mod tests {
             result_bytes: bytes,
             docs_scanned: 10,
             index_used: false,
+            from_cache: false,
         }
     }
 
@@ -107,7 +130,7 @@ mod tests {
             transmission: 0.1,
             composition: 0.05,
             fragments_pruned: 1,
-            reconstructed: false,
+            ..Default::default()
         };
         assert!((report.total() - 0.65).abs() < 1e-12);
         assert_eq!(report.total_result_bytes(), 150);
@@ -119,14 +142,31 @@ mod tests {
             sites: vec![site(0, 0.5, 100)],
             parallel_elapsed: 0.5,
             serial_elapsed: 0.5,
-            transmission: 0.0,
-            composition: 0.0,
             fragments_pruned: 2,
             reconstructed: true,
+            ..Default::default()
         };
         let text = report.to_string();
         assert!(text.contains("node0"));
         assert!(text.contains("reconstructed"));
         assert!(text.contains("2 pruned"));
+    }
+
+    #[test]
+    fn display_shows_cache_line_when_hit() {
+        let mut cached_site = site(0, 0.0, 100);
+        cached_site.from_cache = true;
+        let report = QueryReport {
+            sites: vec![cached_site],
+            plan_cache_hit: true,
+            result_cache_hits: 1,
+            ..Default::default()
+        };
+        let text = report.to_string();
+        assert!(text.contains("cache: plan hit, results 1/1 hit"));
+        assert!(text.contains(", cached"));
+        // and stays silent without cache activity
+        let quiet = QueryReport::default().to_string();
+        assert!(!quiet.contains("cache:"));
     }
 }

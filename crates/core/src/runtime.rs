@@ -1,0 +1,175 @@
+//! Persistent per-node worker pools for [`DispatchMode::Pool`](crate::DispatchMode).
+//!
+//! `DispatchMode::Threads` spawns one OS thread per sub-query per call —
+//! fine for a single query, ruinous under concurrent clients. The pool
+//! instead keeps a fixed set of worker threads *per node* (mirroring one
+//! connection pool per remote site in a real deployment), each draining
+//! a bounded task queue. Concurrent `PartiX::execute` calls share the
+//! same workers; the bounded queues provide backpressure instead of
+//! unbounded thread growth.
+//!
+//! Jobs are plain boxed closures; callers thread their own reply channel
+//! through the closure, so the pool needs no knowledge of result types.
+
+use crate::cluster::Cluster;
+use crossbeam::channel::{bounded, Sender};
+use std::thread::JoinHandle;
+
+/// A unit of work routed to one node's workers.
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Sizing knobs for the per-node worker pools.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolConfig {
+    /// Worker threads per node (≥ 1).
+    pub workers_per_node: usize,
+    /// Bounded depth of each node's task queue; submissions beyond this
+    /// block, providing backpressure (≥ 1).
+    pub queue_capacity: usize,
+}
+
+impl Default for PoolConfig {
+    fn default() -> PoolConfig {
+        PoolConfig { workers_per_node: 4, queue_capacity: 128 }
+    }
+}
+
+struct NodeQueue {
+    sender: Sender<Job>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Fixed per-node worker threads draining bounded task queues.
+pub struct WorkerPool {
+    queues: Vec<NodeQueue>,
+}
+
+impl WorkerPool {
+    /// Spawn `config.workers_per_node` threads for each node of
+    /// `cluster`. Queue index i serves cluster node index i.
+    pub fn new(cluster: &Cluster, config: PoolConfig) -> WorkerPool {
+        let workers_per_node = config.workers_per_node.max(1);
+        let capacity = config.queue_capacity.max(1);
+        let queues = cluster
+            .nodes()
+            .iter()
+            .map(|node| {
+                let (sender, receiver) = bounded::<Job>(capacity);
+                let workers = (0..workers_per_node)
+                    .map(|w| {
+                        let receiver = receiver.clone();
+                        std::thread::Builder::new()
+                            .name(format!("partix-pool-n{}w{}", node.id, w))
+                            .spawn(move || {
+                                // Iteration ends when every sender is gone.
+                                for job in receiver.iter() {
+                                    job();
+                                }
+                            })
+                            .expect("spawn pool worker")
+                    })
+                    .collect();
+                NodeQueue { sender, workers }
+            })
+            .collect();
+        WorkerPool { queues }
+    }
+
+    /// Number of node queues (== cluster size at construction).
+    pub fn nodes(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Enqueue `job` on `node`'s queue, blocking while the queue is
+    /// full. Returns `false` if `node` is out of range (cluster grew
+    /// after the pool was built) — caller should fall back to inline
+    /// execution.
+    pub fn submit(&self, node: usize, job: Job) -> bool {
+        match self.queues.get(node) {
+            Some(queue) => queue.sender.send(job).is_ok(),
+            None => false,
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Dropping senders disconnects the channels; workers drain
+        // whatever is queued and exit their receive loops.
+        let queues = std::mem::take(&mut self.queues);
+        let mut all_workers = Vec::new();
+        for queue in queues {
+            drop(queue.sender);
+            all_workers.extend(queue.workers);
+        }
+        for worker in all_workers {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Cluster;
+    use crossbeam::channel::unbounded;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn jobs_run_on_their_node_queue() {
+        let cluster = Cluster::new(3);
+        let pool = WorkerPool::new(&cluster, PoolConfig::default());
+        assert_eq!(pool.nodes(), 3);
+        let (tx, rx) = unbounded();
+        for node in 0..3 {
+            for k in 0..4 {
+                let tx = tx.clone();
+                assert!(pool.submit(
+                    node,
+                    Box::new(move || {
+                        tx.send(node * 10 + k).unwrap();
+                    })
+                ));
+            }
+        }
+        drop(tx);
+        let mut seen: Vec<usize> = rx.iter().collect();
+        seen.sort_unstable();
+        let mut expected: Vec<usize> =
+            (0..3).flat_map(|n| (0..4).map(move |k| n * 10 + k)).collect();
+        expected.sort_unstable();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn out_of_range_node_is_rejected() {
+        let cluster = Cluster::new(1);
+        let pool = WorkerPool::new(&cluster, PoolConfig::default());
+        assert!(!pool.submit(5, Box::new(|| {})));
+    }
+
+    #[test]
+    fn drop_drains_queued_jobs() {
+        let cluster = Cluster::new(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = WorkerPool::new(
+                &cluster,
+                PoolConfig { workers_per_node: 1, queue_capacity: 64 },
+            );
+            for _ in 0..32 {
+                for node in 0..2 {
+                    let counter = Arc::clone(&counter);
+                    pool.submit(
+                        node,
+                        Box::new(move || {
+                            counter.fetch_add(1, Ordering::Relaxed);
+                        }),
+                    );
+                }
+            }
+        } // drop: workers must finish everything already queued
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+}

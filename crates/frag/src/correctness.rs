@@ -263,6 +263,40 @@ pub fn reconstruct_any(
     }
 }
 
+/// [`reconstruct_any`] over shared documents. Horizontal designs never
+/// deep-copy: the source collection is the union of the fragments, so
+/// the `Arc`s are re-sorted by document name and returned as-is (the
+/// same ordering [`partix_algebra::union`] produces). Vertical/hybrid
+/// designs must materialize once — the Dewey join builds new documents —
+/// but the fetched inputs are only cloned at that single point.
+pub fn reconstruct_any_shared(
+    design: &FragmentationSchema,
+    fragments: &[(String, Vec<std::sync::Arc<Document>>)],
+) -> Result<Vec<std::sync::Arc<Document>>, String> {
+    match design.frag_type() {
+        crate::def::FragType::Horizontal => {
+            let mut all: Vec<std::sync::Arc<Document>> = fragments
+                .iter()
+                .flat_map(|(_, docs)| docs.iter().cloned())
+                .collect();
+            all.sort_by(|a, b| a.name.cmp(&b.name));
+            Ok(all)
+        }
+        _ => {
+            let materialized: Vec<(String, Vec<Document>)> = fragments
+                .iter()
+                .map(|(name, docs)| {
+                    (name.clone(), docs.iter().map(|d| (**d).clone()).collect())
+                })
+                .collect();
+            Ok(reconstruct_any(design, &materialized)?
+                .into_iter()
+                .map(std::sync::Arc::new)
+                .collect())
+        }
+    }
+}
+
 fn reconstruct_hybrid(
     design: &FragmentationSchema,
     fragments: &[(String, Vec<Document>)],

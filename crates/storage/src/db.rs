@@ -108,6 +108,20 @@ impl Collection {
         }
     }
 
+    /// Insert an already-shared document without deep-copying it: hot
+    /// collections adopt the `Arc` directly (one refcount bump), cold
+    /// collections encode through the shared reference.
+    fn insert_shared(&mut self, doc: Arc<Document>) {
+        let slot = self.len() as u32;
+        self.value_index.insert(slot, &doc);
+        self.text_index.insert(slot, &doc);
+        self.path_index.insert(slot, &doc);
+        match self.mode {
+            StorageMode::Hot => self.docs.push(doc),
+            StorageMode::Cold => self.pages.push(binary::encode(&doc)),
+        }
+    }
+
     /// Materialize one document (decoding if cold).
     fn fetch(&self, slot: u32) -> Arc<Document> {
         match self.mode {
@@ -177,6 +191,11 @@ pub struct Database {
     collections: RwLock<HashMap<String, Arc<RwLock<Collection>>>>,
     use_indexes: std::sync::atomic::AtomicBool,
     use_value_index: std::sync::atomic::AtomicBool,
+    /// Per-collection write epochs (bumped on every mutation, including
+    /// drops — entries outlive their collection so the counter stays
+    /// monotonic across drop/recreate cycles). Result caches layered
+    /// above the storage key their entries by this counter.
+    epochs: RwLock<HashMap<String, u64>>,
 }
 
 impl Default for Database {
@@ -191,6 +210,7 @@ impl Database {
             collections: RwLock::new(HashMap::new()),
             use_indexes: std::sync::atomic::AtomicBool::new(true),
             use_value_index: std::sync::atomic::AtomicBool::new(false),
+            epochs: RwLock::new(HashMap::new()),
         }
     }
 
@@ -231,6 +251,10 @@ impl Database {
             return Err(StorageError::DuplicateCollection(name.to_owned()));
         }
         map.insert(name.to_owned(), Arc::new(RwLock::new(Collection::new(name, mode))));
+        drop(map);
+        // creating an (empty) collection is observable — it turns an
+        // "unknown collection" error into an empty result
+        self.bump_epoch(name);
         Ok(())
     }
 
@@ -238,6 +262,7 @@ impl Database {
     pub fn store(&self, collection: &str, doc: Document) {
         let coll = self.get_or_create(collection);
         coll.write().insert(doc);
+        self.bump_epoch(collection);
     }
 
     /// Store many documents at once.
@@ -247,6 +272,34 @@ impl Database {
         for doc in docs {
             guard.insert(doc);
         }
+        drop(guard);
+        self.bump_epoch(collection);
+    }
+
+    /// Store shared documents without deep-copying them (hot collections
+    /// adopt the `Arc`s directly) — the zero-copy path used when the
+    /// coordinator re-materializes fetched fragments.
+    pub fn store_all_shared(
+        &self,
+        collection: &str,
+        docs: impl IntoIterator<Item = Arc<Document>>,
+    ) {
+        let coll = self.get_or_create(collection);
+        let mut guard = coll.write();
+        for doc in docs {
+            guard.insert_shared(doc);
+        }
+        drop(guard);
+        self.bump_epoch(collection);
+    }
+
+    /// Current write epoch of `collection` (0 = never written).
+    pub fn collection_epoch(&self, collection: &str) -> u64 {
+        self.epochs.read().get(collection).copied().unwrap_or(0)
+    }
+
+    fn bump_epoch(&self, collection: &str) {
+        *self.epochs.write().entry(collection.to_owned()).or_insert(0) += 1;
     }
 
     fn get_or_create(&self, name: &str) -> Arc<RwLock<Collection>> {
@@ -285,9 +338,11 @@ impl Database {
             .ok_or_else(|| StorageError::UnknownCollection(name.to_owned()))
     }
 
-    /// Drop a collection; succeeds silently if absent.
+    /// Drop a collection; succeeds silently if absent. The write epoch
+    /// is bumped either way (the drop is observable).
     pub fn drop_collection(&self, name: &str) {
         self.collections.write().remove(name);
+        self.bump_epoch(name);
     }
 }
 
@@ -421,5 +476,40 @@ mod tests {
     fn byte_size_positive() {
         let db = make_db(StorageMode::Hot);
         assert!(db.collection_bytes("items").unwrap() > 0);
+    }
+
+    #[test]
+    fn store_all_shared_adopts_arcs() {
+        let db = Database::new();
+        let doc = Arc::new(parse("<Item><Section>CD</Section></Item>").unwrap());
+        db.store_all_shared("c", vec![Arc::clone(&doc)]);
+        let fetched = db.collection("c").unwrap();
+        assert_eq!(fetched.len(), 1);
+        // hot storage shares the exact allocation, no deep copy
+        assert!(Arc::ptr_eq(&fetched[0], &doc));
+        // shared inserts are indexed like owned ones
+        let pred = Predicate::parse(r#"/Item/Section = "CD""#).unwrap();
+        db.set_value_index_enabled(true);
+        assert_eq!(db.collection_filtered("c", &pred).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn epochs_track_mutations_monotonically() {
+        let db = Database::new();
+        assert_eq!(db.collection_epoch("c"), 0);
+        db.store("c", parse("<a/>").unwrap());
+        let after_store = db.collection_epoch("c");
+        assert!(after_store >= 1);
+        db.store_all("c", vec![parse("<b/>").unwrap()]);
+        let after_store_all = db.collection_epoch("c");
+        assert!(after_store_all > after_store);
+        db.drop_collection("c");
+        let after_drop = db.collection_epoch("c");
+        assert!(after_drop > after_store_all);
+        // recreate after drop: the counter keeps increasing
+        db.store_all_shared("c", vec![Arc::new(parse("<d/>").unwrap())]);
+        assert!(db.collection_epoch("c") > after_drop);
+        // other collections are untouched
+        assert_eq!(db.collection_epoch("other"), 0);
     }
 }

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Full verification gate: release build, test suite, lint-clean.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# --offline: the workspace is fully self-contained (path deps only)
+cargo build --release --workspace --offline
+cargo test -q --workspace --offline
+cargo clippy --workspace --offline -- -D warnings
+
+echo "verify: OK"

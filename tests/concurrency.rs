@@ -1,0 +1,146 @@
+//! Concurrent execution: many client threads sharing one `PartiX` in
+//! `DispatchMode::Pool` must observe exactly the answers the sequential
+//! `Simulated` reference produces, and the sub-query result cache must
+//! be invalidated by writes.
+
+use partix::engine::{DispatchMode, Distribution, NetworkModel, PartiX, Placement};
+use partix::frag::{FragmentDef, FragmentationSchema};
+use partix::gen::{gen_items, ItemProfile};
+use partix::path::{PathExpr, Predicate};
+use partix::query::Item;
+use partix::schema::{builtin, CollectionDef, RepoKind};
+
+fn multiset(items: &[Item]) -> Vec<String> {
+    let mut v: Vec<String> = items.iter().map(Item::serialize).collect();
+    v.sort();
+    v
+}
+
+/// A 4-node horizontally fragmented `items` collection loaded with
+/// `docs`, in the given dispatch mode.
+fn setup(docs: &[partix::xml::Document], mode: DispatchMode) -> PartiX {
+    let mut px = PartiX::new(4, NetworkModel::default());
+    px.set_dispatch(mode);
+    let citems = CollectionDef::new(
+        "items",
+        std::sync::Arc::new(builtin::virtual_store()),
+        PathExpr::parse("/Store/Items/Item").unwrap(),
+        RepoKind::MultipleDocuments,
+    );
+    let groups: [&[&str]; 4] = [
+        &["CD", "DVD"],
+        &["BOOK", "ELECTRONICS"],
+        &["TOY", "GAME"],
+        &["SPORT", "GARDEN"],
+    ];
+    let fragments = groups
+        .iter()
+        .enumerate()
+        .map(|(i, g)| {
+            let atoms: Vec<Predicate> = g
+                .iter()
+                .map(|s| Predicate::parse(&format!(r#"/Item/Section = "{s}""#)).unwrap())
+                .collect();
+            FragmentDef::horizontal(&format!("f{i}"), Predicate::Or(atoms))
+        })
+        .collect();
+    let design = FragmentationSchema::new(citems, fragments).unwrap();
+    px.register_distribution(Distribution {
+        design,
+        placements: (0..4)
+            .map(|i| Placement { fragment: format!("f{i}"), node: i })
+            .collect(),
+    })
+    .unwrap();
+    px.publish("items", docs).unwrap();
+    px
+}
+
+const QUERIES: [&str; 6] = [
+    r#"for $i in collection("items")/Item where $i/Section = "TOY" return $i/Code"#,
+    r#"count(for $i in collection("items")/Item return $i)"#,
+    r#"sum(for $i in collection("items")/Item return number($i/Code))"#,
+    r#"avg(for $i in collection("items")/Item return number($i/Code))"#,
+    r#"for $i in collection("items")/Item where contains($i//Description, "good") return $i/Name"#,
+    r#"max(for $i in collection("items")/Item return number($i/Code))"#,
+];
+
+/// N threads hammering one Pool-mode middleware with a mixed workload
+/// get, on every single call, the answer the Simulated reference gives.
+#[test]
+fn pool_mode_concurrent_results_match_simulated() {
+    let docs = gen_items(120, ItemProfile::Small, 7);
+    let reference = setup(&docs, DispatchMode::Simulated);
+    let expected: Vec<Vec<String>> = QUERIES
+        .iter()
+        .map(|q| multiset(&reference.execute(q).unwrap().items))
+        .collect();
+
+    let px = setup(&docs, DispatchMode::Pool);
+    const THREADS: usize = 8;
+    const ROUNDS: usize = 5;
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let px = &px;
+            let expected = &expected;
+            scope.spawn(move || {
+                for round in 0..ROUNDS {
+                    // stagger so different threads hit different queries
+                    // at the same time
+                    let q = (t + round) % QUERIES.len();
+                    let got = px.execute(QUERIES[q]).unwrap();
+                    assert_eq!(
+                        multiset(&got.items),
+                        expected[q],
+                        "thread {t} round {round}: {}",
+                        QUERIES[q]
+                    );
+                }
+            });
+        }
+    });
+}
+
+/// The same holds with the result cache enabled: hits must return the
+/// same answers misses computed.
+#[test]
+fn pool_mode_cached_results_match_simulated() {
+    let docs = gen_items(80, ItemProfile::Small, 11);
+    let reference = setup(&docs, DispatchMode::Simulated);
+    let px = setup(&docs, DispatchMode::Pool);
+    px.set_result_cache_enabled(true);
+    for pass in 0..3 {
+        for q in QUERIES {
+            let got = px.execute(q).unwrap();
+            let want = reference.execute(q).unwrap();
+            assert_eq!(multiset(&got.items), multiset(&want.items), "pass {pass}: {q}");
+        }
+    }
+    let stats = px.cache_stats();
+    assert!(stats.result_hits > 0, "repeated queries never hit: {stats:?}");
+}
+
+/// Publishing new documents after a cached read must invalidate the
+/// cache: the next read sees the new data, not the cached answer.
+#[test]
+fn result_cache_invalidated_by_store() {
+    let docs = gen_items(60, ItemProfile::Small, 3);
+    let px = setup(&docs, DispatchMode::Pool);
+    px.set_result_cache_enabled(true);
+
+    let count_q = r#"count(for $i in collection("items")/Item return $i)"#;
+    let first = px.execute(count_q).unwrap();
+    assert_eq!(first.items[0].serialize(), "60");
+    // second read is served from the cache
+    let second = px.execute(count_q).unwrap();
+    assert_eq!(second.items[0].serialize(), "60");
+    assert!(second.report.result_cache_hits > 0, "{:?}", second.report);
+
+    // a write through the publisher (node store_docs) bumps the epochs
+    let more = gen_items(15, ItemProfile::Small, 4);
+    px.publish("items", &more).unwrap();
+
+    let third = px.execute(count_q).unwrap();
+    assert_eq!(third.items[0].serialize(), "75", "stale cached answer survived a write");
+    assert_eq!(third.report.result_cache_hits, 0, "{:?}", third.report);
+}
