@@ -26,6 +26,14 @@ struct Args {
     queries: usize,
     /// Output path for the throughput benchmark's JSON document.
     out: String,
+    /// Fault-schedule seed for the chaos benchmark (hex or decimal).
+    seed: u64,
+    /// Per-node fault probability for the chaos benchmark.
+    rate: f64,
+    /// Replicas per fragment for the chaos benchmark.
+    replicas: usize,
+    /// Per-attempt dispatch deadline for the chaos benchmark (ms).
+    timeout_ms: u64,
 }
 
 fn parse_args() -> Args {
@@ -39,6 +47,10 @@ fn parse_args() -> Args {
         clients: vec![1, 4, 16],
         queries: 40,
         out: "BENCH_throughput.json".into(),
+        seed: 0xC4A0_5EED,
+        rate: 0.6,
+        replicas: 2,
+        timeout_ms: 75,
     };
     let rest: Vec<String> = std::env::args().skip(2).collect();
     let mut i = 0;
@@ -69,11 +81,29 @@ fn parse_args() -> Args {
             }
             "--queries" => args.queries = value.parse().expect("--queries takes a number"),
             "--out" => args.out = value.clone(),
+            "--seed" => args.seed = parse_seed(&value),
+            "--rate" => args.rate = value.parse().expect("--rate takes a probability"),
+            "--replicas" => {
+                args.replicas = value.parse().expect("--replicas takes a number")
+            }
+            "--timeout-ms" => {
+                args.timeout_ms = value.parse().expect("--timeout-ms takes milliseconds")
+            }
             other => panic!("unknown flag {other}; see `harness help`"),
         }
         i += 2;
     }
     args
+}
+
+/// Seeds are u64 and commonly quoted in hex (`--seed 0xC4A05EED`), which
+/// a plain `parse` rejects.
+fn parse_seed(value: &str) -> u64 {
+    let parsed = match value.strip_prefix("0x").or_else(|| value.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => value.parse(),
+    };
+    parsed.expect("--seed takes a decimal or 0x-prefixed hex number")
 }
 
 fn main() {
@@ -89,6 +119,7 @@ fn main() {
         "ablation-fragmode" => ablation_fragmode(&args),
         "ablation-localization" => ablation_localization(&args),
         "throughput" => throughput_bench(&args),
+        "chaos" => chaos_bench(&args),
         "all" => {
             fig7_horizontal(&args, &mut sink, "fig7a", "ItemsSHor", ItemProfile::Small);
             fig7_horizontal(&args, &mut sink, "fig7b", "ItemsLHor", ItemProfile::Large);
@@ -119,7 +150,9 @@ COMMANDS
   ablation-fragmode  per-document page-decode cost: hot vs cold, FragMode1 vs 2
   ablation-localization  fragment pruning on vs off (8 fragments)
   throughput         multi-client QPS/latency: threads vs worker pool ± result cache
-  all                everything above (except throughput)
+  chaos              QPS/latency under a seeded fault schedule: fault-free vs
+                     faulted vs faulted+allow_partial (same --seed = same schedule)
+  all                everything above (except throughput and chaos)
 
 FLAGS
   --scale F          fraction of the paper's database sizes (default 0.02)
@@ -127,9 +160,15 @@ FLAGS
   --frags A,B,..     fragment counts for fig7a/b; throughput uses the first (default 2,4,8)
   --reps N           timed repetitions after warm-up (default 2)
   --log FILE         append JSON-lines records to FILE
-  --clients A,B,..   concurrent clients for throughput (default 1,4,16)
-  --queries N        queries per client for throughput (default 40)
-  --out FILE         throughput JSON output (default BENCH_throughput.json)"
+  --clients A,B,..   concurrent clients for throughput (default 1,4,16);
+                     chaos uses the largest entry
+  --queries N        queries per client for throughput/chaos (default 40)
+  --out FILE         throughput/chaos JSON output (default BENCH_throughput.json,
+                     BENCH_chaos.json for chaos)
+  --seed S           chaos fault-schedule seed, decimal or 0x-hex (default 0xC4A05EED)
+  --rate P           chaos per-node fault probability (default 0.6)
+  --replicas N       chaos replicas per fragment (default 2)
+  --timeout-ms N     chaos per-attempt dispatch deadline (default 75)"
     );
 }
 
@@ -345,6 +384,31 @@ fn throughput_bench(args: &Args) {
     std::fs::write(&args.out, partix_bench::throughput::to_json(&config, &results))
         .expect("write throughput JSON");
     println!("wrote {}", args.out);
+}
+
+/// Closed-loop throughput under a seeded fault schedule: fault-free vs
+/// faulted (strict) vs faulted with `allow_partial`.
+fn chaos_bench(args: &Args) {
+    let size_mb = args.sizes.iter().copied().min().unwrap_or(5);
+    let config = partix_bench::chaos::ChaosConfig {
+        db_bytes: ((size_mb * MB) as f64 * args.scale) as usize,
+        nodes: args.frags.first().copied().unwrap_or(4),
+        replicas: args.replicas,
+        clients: args.clients.iter().copied().max().unwrap_or(8),
+        queries_per_client: args.queries,
+        seed: args.seed,
+        rate: args.rate,
+        timeout_ms: args.timeout_ms,
+    };
+    let (plan, results) = partix_bench::chaos::run(&config);
+    let out = if args.out == "BENCH_throughput.json" {
+        "BENCH_chaos.json"
+    } else {
+        args.out.as_str()
+    };
+    std::fs::write(out, partix_bench::chaos::to_json(&config, &plan, &results))
+        .expect("write chaos JSON");
+    println!("wrote {out}");
 }
 
 /// Ablation: the per-document page-decode (parse) cost behind the

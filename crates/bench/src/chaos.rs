@@ -1,0 +1,366 @@
+//! Chaos benchmark: closed-loop throughput under injected faults.
+//!
+//! Not a paper figure — the paper assumes healthy nodes. This benchmark
+//! measures what the dispatch layer's retry/deadline/failover machinery
+//! ([`partix_engine::RetryPolicy`]) buys when nodes misbehave: a seeded
+//! [`FaultPlan`] wraps a subset of node drivers in
+//! [`partix_engine::FaultInjector`]s (crashes, DBMS errors, injected
+//! latency, flip-flopping availability) and N closed-loop clients hammer
+//! the same repeated workload as the throughput benchmark. Three runs
+//! are compared on one database:
+//!
+//! * `fault-free`      — no injectors: the reference QPS/latency;
+//! * `faulted`         — injectors installed, strict mode (a query whose
+//!   fragment loses every replica fails with a typed error);
+//! * `faulted-partial` — same injectors, `ExecOptions::allow_partial`:
+//!   degraded answers from the responding fragments.
+//!
+//! The fault schedule is **fully deterministic from the seed**: the same
+//! `--seed` produces byte-identical [`FaultPlan::describe`] strings (and
+//! therefore the same per-node fault parameters) on every run.
+
+use crate::output::json;
+use crate::throughput::percentile;
+use crate::{queries, setup};
+use partix_engine::{
+    DispatchMode, ExecOptions, FaultInjector, FaultPlan, PartiX, RetryPolicy,
+};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Benchmark parameters.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Total database size in bytes.
+    pub db_bytes: usize,
+    /// Cluster nodes (== horizontal fragments).
+    pub nodes: usize,
+    /// Replicas per fragment (≥ 2 keeps single-node faults survivable).
+    pub replicas: usize,
+    /// Concurrent closed-loop clients.
+    pub clients: usize,
+    /// Queries each client issues.
+    pub queries_per_client: usize,
+    /// Fault-schedule seed ([`FaultPlan::from_seed`]).
+    pub seed: u64,
+    /// Fraction of nodes given a fault schedule (0.0–1.0).
+    pub rate: f64,
+    /// Per-attempt dispatch deadline in milliseconds.
+    pub timeout_ms: u64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> ChaosConfig {
+        ChaosConfig {
+            db_bytes: 100_000,
+            nodes: 4,
+            replicas: 2,
+            clients: 8,
+            queries_per_client: 25,
+            seed: 0xC4A0_5EED,
+            // a majority of nodes misbehave: with 2 replicas per
+            // fragment the cluster still answers most queries
+            rate: 0.6,
+            // between the injected latency bounds (20–119 ms), so some
+            // latency faults pass the deadline and some expire it
+            timeout_ms: 75,
+        }
+    }
+}
+
+/// One chaos run's aggregate outcome.
+#[derive(Debug, Clone)]
+pub struct ChaosResult {
+    pub label: &'static str,
+    pub ok: usize,
+    pub failed: usize,
+    /// Successful answers flagged partial (degraded mode only).
+    pub partial: usize,
+    pub wall_s: f64,
+    /// Successful queries per wall-clock second.
+    pub qps: f64,
+    pub p50_ms: f64,
+    pub p99_ms: f64,
+    pub retries: usize,
+    pub failovers: usize,
+    pub timeouts: usize,
+    /// Injector-side tallies, summed over faulty nodes.
+    pub injected_errors: usize,
+    pub injected_outages: usize,
+    pub delayed_calls: usize,
+}
+
+impl ChaosResult {
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push('{');
+        json::str_field(&mut out, "label", self.label);
+        json::num_field(&mut out, "ok", self.ok as f64);
+        json::num_field(&mut out, "failed", self.failed as f64);
+        json::num_field(&mut out, "partial", self.partial as f64);
+        json::num_field(&mut out, "wall_s", self.wall_s);
+        json::num_field(&mut out, "qps", self.qps);
+        json::num_field(&mut out, "p50_ms", self.p50_ms);
+        json::num_field(&mut out, "p99_ms", self.p99_ms);
+        json::num_field(&mut out, "retries", self.retries as f64);
+        json::num_field(&mut out, "failovers", self.failovers as f64);
+        json::num_field(&mut out, "timeouts", self.timeouts as f64);
+        json::num_field(&mut out, "injected_errors", self.injected_errors as f64);
+        json::num_field(&mut out, "injected_outages", self.injected_outages as f64);
+        json::num_field(&mut out, "delayed_calls", self.delayed_calls as f64);
+        out.push('}');
+        out
+    }
+}
+
+/// Per-client tallies, merged across the client threads.
+#[derive(Debug, Default)]
+struct Tally {
+    latencies: Vec<f64>,
+    ok: usize,
+    failed: usize,
+    partial: usize,
+    retries: usize,
+    failovers: usize,
+    timeouts: usize,
+}
+
+impl Tally {
+    fn merge(&mut self, other: Tally) {
+        self.latencies.extend(other.latencies);
+        self.ok += other.ok;
+        self.failed += other.failed;
+        self.partial += other.partial;
+        self.retries += other.retries;
+        self.failovers += other.failovers;
+        self.timeouts += other.timeouts;
+    }
+}
+
+/// Drive the closed-loop clients, tolerating failures (unlike the
+/// throughput benchmark's driver, which treats any error as fatal).
+fn run_clients_faulty(
+    px: &PartiX,
+    clients: usize,
+    queries_per_client: usize,
+    workload: &[(&'static str, String)],
+    options: ExecOptions,
+) -> (f64, Tally) {
+    let start = Instant::now();
+    let mut total = Tally::default();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|client| {
+                scope.spawn(move || {
+                    let mut tally = Tally::default();
+                    for k in 0..queries_per_client {
+                        let (_, query) = &workload[(client + k) % workload.len()];
+                        let issued = Instant::now();
+                        match px.execute_with(query, options) {
+                            Ok(result) => {
+                                tally.latencies.push(issued.elapsed().as_secs_f64());
+                                tally.ok += 1;
+                                tally.partial += usize::from(result.report.partial);
+                                tally.retries += result.report.retries;
+                                tally.failovers += result.report.failovers;
+                                tally.timeouts += result.report.timeouts;
+                            }
+                            Err(_) => tally.failed += 1,
+                        }
+                    }
+                    tally
+                })
+            })
+            .collect();
+        for handle in handles {
+            total.merge(handle.join().expect("client thread"));
+        }
+    });
+    (start.elapsed().as_secs_f64(), total)
+}
+
+/// Build the replicated middleware for one run: pooled dispatch plus a
+/// deadline-armed retry policy.
+fn build_px(docs: &[partix_xml::Document], config: &ChaosConfig) -> PartiX {
+    let mut px = setup::horizontal_replicated(docs, config.nodes, config.replicas);
+    px.set_dispatch(DispatchMode::Pool);
+    px.set_retry_policy(RetryPolicy {
+        timeout: Some(Duration::from_millis(config.timeout_ms)),
+        ..RetryPolicy::default()
+    });
+    px
+}
+
+fn one_run(
+    docs: &[partix_xml::Document],
+    config: &ChaosConfig,
+    label: &'static str,
+    plan: Option<&FaultPlan>,
+    options: ExecOptions,
+) -> ChaosResult {
+    let px = build_px(docs, config);
+    let injectors: Vec<Option<Arc<FaultInjector>>> = match plan {
+        Some(plan) => plan.install(&px),
+        None => Vec::new(),
+    };
+    let workload = queries::horizontal(setup::DIST);
+    let (wall_s, mut tally) = run_clients_faulty(
+        &px,
+        config.clients,
+        config.queries_per_client,
+        &workload,
+        options,
+    );
+    let mut injected_errors = 0;
+    let mut injected_outages = 0;
+    let mut delayed_calls = 0;
+    for injector in injectors.iter().flatten() {
+        let stats = injector.stats();
+        injected_errors += stats.injected_errors;
+        injected_outages += stats.injected_outages;
+        delayed_calls += stats.delayed_calls;
+    }
+    let p50_ms = percentile(&mut tally.latencies, 50.0) * 1e3;
+    let p99_ms = percentile(&mut tally.latencies, 99.0) * 1e3;
+    ChaosResult {
+        label,
+        ok: tally.ok,
+        failed: tally.failed,
+        partial: tally.partial,
+        wall_s,
+        qps: tally.ok as f64 / wall_s.max(1e-9),
+        p50_ms,
+        p99_ms,
+        retries: tally.retries,
+        failovers: tally.failovers,
+        timeouts: tally.timeouts,
+        injected_errors,
+        injected_outages,
+        delayed_calls,
+    }
+}
+
+/// Run the three-way comparison. The same [`FaultPlan`] (hence the same
+/// schedule) serves both faulted runs.
+pub fn run(config: &ChaosConfig) -> (FaultPlan, Vec<ChaosResult>) {
+    let docs = setup::item_db(config.db_bytes, partix_gen::ItemProfile::Small);
+    let plan = FaultPlan::from_seed(config.seed, config.nodes, config.rate);
+    println!(
+        "\n### chaos: ItemsSHor {} B, {} nodes × {} replicas, {} clients × {} queries, deadline {} ms",
+        config.db_bytes,
+        config.nodes,
+        config.replicas,
+        config.clients,
+        config.queries_per_client,
+        config.timeout_ms,
+    );
+    println!("fault schedule: {}", plan.describe());
+    println!(
+        "{:<16} {:>6} {:>6} {:>8} {:>9} {:>10} {:>10} {:>8} {:>9} {:>8}",
+        "run", "ok", "fail", "partial", "QPS", "p50(ms)", "p99(ms)", "retries", "failover", "timeout"
+    );
+    let mut results = Vec::new();
+    for (label, faulted, options) in [
+        ("fault-free", false, ExecOptions::default()),
+        ("faulted", true, ExecOptions::default()),
+        ("faulted-partial", true, ExecOptions { allow_partial: true }),
+    ] {
+        let result = one_run(
+            &docs,
+            config,
+            label,
+            faulted.then_some(&plan),
+            options,
+        );
+        println!(
+            "{:<16} {:>6} {:>6} {:>8} {:>9.1} {:>10.3} {:>10.3} {:>8} {:>9} {:>8}",
+            result.label,
+            result.ok,
+            result.failed,
+            result.partial,
+            result.qps,
+            result.p50_ms,
+            result.p99_ms,
+            result.retries,
+            result.failovers,
+            result.timeouts,
+        );
+        results.push(result);
+    }
+    (plan, results)
+}
+
+/// Serialize one chaos sweep as a JSON document (`BENCH_chaos.json`).
+pub fn to_json(config: &ChaosConfig, plan: &FaultPlan, results: &[ChaosResult]) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push('{');
+    json::str_field(&mut out, "experiment", "chaos");
+    // hex string: u64 seeds do not fit losslessly in a JSON double
+    json::str_field(&mut out, "seed", &format!("{:#x}", config.seed));
+    json::num_field(&mut out, "rate", config.rate);
+    json::num_field(&mut out, "db_bytes", config.db_bytes as f64);
+    json::num_field(&mut out, "nodes", config.nodes as f64);
+    json::num_field(&mut out, "replicas", config.replicas as f64);
+    json::num_field(&mut out, "clients", config.clients as f64);
+    json::num_field(&mut out, "queries_per_client", config.queries_per_client as f64);
+    json::num_field(&mut out, "timeout_ms", config.timeout_ms as f64);
+    json::str_field(&mut out, "schedule", &plan.describe());
+    let runs: Vec<String> = results.iter().map(ChaosResult::to_json).collect();
+    json::raw_field(&mut out, "runs", &format!("[{}]", runs.join(",")));
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> ChaosConfig {
+        ChaosConfig {
+            db_bytes: 20_000,
+            nodes: 3,
+            replicas: 2,
+            clients: 2,
+            queries_per_client: 4,
+            seed: 7,
+            rate: 1.0,
+            timeout_ms: 60,
+        }
+    }
+
+    #[test]
+    fn schedule_is_deterministic_per_seed() {
+        let config = tiny_config();
+        let a = FaultPlan::from_seed(config.seed, config.nodes, config.rate);
+        let b = FaultPlan::from_seed(config.seed, config.nodes, config.rate);
+        assert_eq!(a.describe(), b.describe());
+        let other = FaultPlan::from_seed(config.seed + 1, config.nodes, config.rate);
+        assert_ne!(a.describe(), other.describe());
+    }
+
+    #[test]
+    fn three_way_run_completes_and_serializes() {
+        let config = tiny_config();
+        let (plan, results) = run(&config);
+        assert_eq!(results.len(), 3);
+        let budget = config.clients * config.queries_per_client;
+        for r in &results {
+            assert_eq!(r.ok + r.failed, budget, "{}", r.label);
+        }
+        let clean = &results[0];
+        assert_eq!(clean.failed, 0);
+        assert_eq!(clean.retries, 0);
+        assert_eq!(clean.injected_errors + clean.injected_outages, 0);
+        // rate 1.0 faults every node: the faulted runs must observe them
+        let faulted = &results[1];
+        assert!(
+            faulted.injected_errors + faulted.injected_outages + faulted.delayed_calls > 0,
+            "no fault fired"
+        );
+        let doc = to_json(&config, &plan, &results);
+        assert!(doc.contains("\"experiment\":\"chaos\""));
+        assert!(doc.contains("\"schedule\":\""));
+        assert!(doc.contains("\"label\":\"faulted-partial\""));
+        assert!(doc.starts_with('{') && doc.ends_with('}'));
+    }
+}

@@ -23,7 +23,13 @@
 //! full sweep finishes in minutes; pass `--scale 1.0` for paper-scale
 //! runs. Shapes (who wins, crossovers), not absolute times, are the
 //! reproduction target.
+//!
+//! Beyond the paper's figures, [`throughput`] measures multi-client QPS
+//! and [`chaos`] re-runs that workload under a seeded fault schedule
+//! (`harness chaos --seed S`), exercising the dispatch layer's
+//! retry/deadline/failover machinery.
 
+pub mod chaos;
 pub mod output;
 pub mod queries;
 pub mod runner;

@@ -60,14 +60,33 @@ pub fn sections_predicate(root: &str, sections: &[&str]) -> Predicate {
 /// what makes document size matter (ItemsSHor vs ItemsLHor) as it did in
 /// the paper.
 pub fn horizontal(docs: &[Document], n_fragments: usize) -> PartiX {
+    horizontal_replicated(docs, n_fragments, 1)
+}
+
+/// [`horizontal`] with `replicas` copies of every fragment: fragment `i`
+/// is placed on nodes `i, i+1, … i+replicas-1 (mod n)`, so each node
+/// holds `replicas` fragments and any single node failure leaves every
+/// fragment answerable — the replication level the chaos experiments
+/// lean on.
+pub fn horizontal_replicated(
+    docs: &[Document],
+    n_fragments: usize,
+    replicas: usize,
+) -> PartiX {
+    assert!(
+        (1..=n_fragments).contains(&replicas),
+        "replication must be between 1 and the node count"
+    );
     let px = PartiX::new(n_fragments, NetworkModel::default());
     for i in 0..n_fragments {
-        px.cluster()
-            .node(i)
-            .expect("node exists")
-            .db
-            .create_collection(&format!("f{i}"), StorageMode::Cold)
-            .expect("fresh node");
+        for r in 0..replicas {
+            px.cluster()
+                .node((i + r) % n_fragments)
+                .expect("node exists")
+                .db
+                .create_collection(&format!("f{i}"), StorageMode::Cold)
+                .expect("fresh node");
+        }
     }
     px.cluster()
         .node(0)
@@ -94,7 +113,12 @@ pub fn horizontal(docs: &[Document], n_fragments: usize) -> PartiX {
         .collect();
     let design = FragmentationSchema::new(citems, fragments).expect("valid design");
     let placements = (0..n_fragments)
-        .map(|i| Placement { fragment: format!("f{i}"), node: i })
+        .flat_map(|i| {
+            (0..replicas).map(move |r| Placement {
+                fragment: format!("f{i}"),
+                node: (i + r) % n_fragments,
+            })
+        })
         .collect();
     px.register_distribution(Distribution { design, placements })
         .expect("placement valid");
@@ -269,6 +293,34 @@ mod tests {
                     .unwrap_or(0);
             }
             assert_eq!(total, 60, "{n} fragments");
+        }
+    }
+
+    #[test]
+    fn replicated_setup_survives_any_single_node_failure() {
+        let docs = quick_items(40);
+        let px = horizontal_replicated(&docs, 4, 2);
+        // every fragment exists on exactly two nodes
+        for i in 0..4 {
+            let copies = (0..4)
+                .filter(|&n| {
+                    px.cluster()
+                        .node(n)
+                        .unwrap()
+                        .db
+                        .collection_len(&format!("f{i}"))
+                        .is_ok()
+                })
+                .count();
+            assert_eq!(copies, 2, "fragment f{i}");
+        }
+        let q = format!(r#"count(collection("{DIST}")/Item)"#);
+        let full = px.execute(&q).unwrap();
+        for down in 0..4 {
+            px.cluster().node(down).unwrap().set_available(false);
+            let result = px.execute(&q).unwrap();
+            assert_eq!(result.items, full.items, "node {down} down");
+            px.cluster().node(down).unwrap().set_available(true);
         }
     }
 

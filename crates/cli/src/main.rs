@@ -24,6 +24,26 @@ fn main() -> ExitCode {
             };
             partix_cli::fragment(Path::new(&args[1]), &args[2], &args[3], n)
         }
+        Some("chaos") if args.len() <= 2 => {
+            let seed = match args.get(1) {
+                None => 0xC4A0_5EED,
+                Some(raw) => {
+                    let parsed = match raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X"))
+                    {
+                        Some(hex) => u64::from_str_radix(hex, 16),
+                        None => raw.parse(),
+                    };
+                    match parsed {
+                        Ok(seed) => seed,
+                        Err(_) => {
+                            eprintln!("chaos: <seed> must be a decimal or 0x-hex number");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+            };
+            partix_cli::chaos(seed)
+        }
         _ => {
             println!("{}", partix_cli::USAGE);
             return ExitCode::SUCCESS;

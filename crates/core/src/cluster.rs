@@ -1,10 +1,11 @@
 //! Cluster nodes and the network model.
 
-use crate::driver::PartixDriver;
+use crate::driver::{DriverError, PartixDriver};
 use partix_storage::Database;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// One cluster node: a sequential XML DBMS plus availability state.
 ///
@@ -15,9 +16,13 @@ use std::sync::Arc;
 pub struct Node {
     pub id: usize,
     pub name: String,
-    pub db: Database,
+    pub db: Arc<Database>,
     driver: parking_lot::RwLock<Option<Arc<dyn PartixDriver>>>,
     available: AtomicBool,
+    /// When set and in the future, the node recently failed a dispatch
+    /// (timeout or crash): replica selection avoids it until the cooldown
+    /// expires so repeated queries stop paying the failure's latency.
+    suspect_until: parking_lot::Mutex<Option<Instant>>,
     /// Per-collection write epochs: bumped on every `store_docs` /
     /// `drop_collection`, whichever driver is active. The coordinator's
     /// result cache embeds the epoch in its keys, so a bump silently
@@ -30,9 +35,10 @@ impl Node {
         Node {
             id,
             name: format!("node{id}"),
-            db: Database::new(),
+            db: Arc::new(Database::new()),
             driver: parking_lot::RwLock::new(None),
             available: AtomicBool::new(true),
+            suspect_until: parking_lot::Mutex::new(None),
             epochs: parking_lot::RwLock::new(HashMap::new()),
         }
     }
@@ -48,14 +54,25 @@ impl Node {
         *self.driver.write() = None;
     }
 
+    /// The driver currently serving this node's data path: the installed
+    /// one, or the embedded database. Used to *wrap* the active driver
+    /// (e.g. [`crate::faults::FaultInjector::install`] decorates whatever
+    /// is already there).
+    pub fn active_driver(&self) -> Arc<dyn PartixDriver> {
+        match &*self.driver.read() {
+            Some(driver) => Arc::clone(driver),
+            None => Arc::clone(&self.db) as Arc<dyn PartixDriver>,
+        }
+    }
+
     /// Execute a query through the active driver.
     pub fn execute_query(
         &self,
         query: &partix_query::Query,
-    ) -> Result<Option<partix_storage::QueryOutput>, String> {
+    ) -> Result<Option<partix_storage::QueryOutput>, DriverError> {
         match &*self.driver.read() {
             Some(driver) => driver.execute(query),
-            None => PartixDriver::execute(&self.db, query),
+            None => PartixDriver::execute(&*self.db, query),
         }
     }
 
@@ -64,7 +81,7 @@ impl Node {
     pub fn store_docs(&self, collection: &str, docs: Vec<partix_xml::Document>) {
         match &*self.driver.read() {
             Some(driver) => driver.store(collection, docs),
-            None => PartixDriver::store(&self.db, collection, docs),
+            None => PartixDriver::store(&*self.db, collection, docs),
         }
         self.bump_epoch(collection);
     }
@@ -74,7 +91,7 @@ impl Node {
     pub fn drop_collection(&self, collection: &str) {
         match &*self.driver.read() {
             Some(driver) => driver.drop_collection(collection),
-            None => PartixDriver::drop_collection(&self.db, collection),
+            None => PartixDriver::drop_collection(&*self.db, collection),
         }
         self.bump_epoch(collection);
     }
@@ -101,7 +118,7 @@ impl Node {
     pub fn fetch_docs(&self, collection: &str) -> Vec<Arc<partix_xml::Document>> {
         match &*self.driver.read() {
             Some(driver) => driver.fetch_collection(collection),
-            None => PartixDriver::fetch_collection(&self.db, collection),
+            None => PartixDriver::fetch_collection(&*self.db, collection),
         }
     }
 
@@ -112,6 +129,27 @@ impl Node {
     /// Mark the node down/up — used for failure-injection tests.
     pub fn set_available(&self, up: bool) {
         self.available.store(up, Ordering::Release);
+    }
+
+    /// Flag the node as suspect for `cooldown`: replica selection skips
+    /// it (when an alternative exists) until the cooldown expires, so a
+    /// crashed or hanging node stops charging its timeout to every query.
+    pub fn mark_suspect(&self, cooldown: Duration) {
+        *self.suspect_until.lock() = Some(Instant::now() + cooldown);
+    }
+
+    /// Whether the node is inside a suspect cooldown window.
+    pub fn is_suspect(&self) -> bool {
+        match *self.suspect_until.lock() {
+            Some(until) => Instant::now() < until,
+            None => false,
+        }
+    }
+
+    /// Clear the suspect flag — called after the node answers a dispatch
+    /// successfully (it earned its way back into rotation).
+    pub fn clear_suspect(&self) {
+        *self.suspect_until.lock() = None;
     }
 }
 
@@ -228,6 +266,21 @@ mod tests {
         assert!(n.is_available());
         n.set_available(false);
         assert!(!n.is_available());
+    }
+
+    #[test]
+    fn suspect_flag_expires_and_clears() {
+        let c = Cluster::new(1);
+        let n = c.node(0).unwrap();
+        assert!(!n.is_suspect());
+        n.mark_suspect(Duration::from_secs(60));
+        assert!(n.is_suspect());
+        n.clear_suspect();
+        assert!(!n.is_suspect());
+        // an already-expired cooldown is not suspect
+        n.mark_suspect(Duration::from_secs(0));
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(!n.is_suspect());
     }
 
     #[test]

@@ -15,15 +15,40 @@
 use partix_query::Query;
 use partix_storage::{Database, QueryOutput};
 use partix_xml::Document;
+use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// How a driver call failed. The distinction drives the coordinator's
+/// recovery: [`DriverError::Unavailable`] means the DBMS never processed
+/// the request (node crashed, link dropped) — safe and worthwhile to
+/// retry on another replica — while [`DriverError::Failed`] means the
+/// DBMS rejected or aborted the query itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DriverError {
+    /// The DBMS is unreachable or crashed mid-request.
+    Unavailable(String),
+    /// The DBMS processed the request and failed it.
+    Failed(String),
+}
+
+impl fmt::Display for DriverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DriverError::Unavailable(msg) => write!(f, "unavailable: {msg}"),
+            DriverError::Failed(msg) => write!(f, "failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DriverError {}
 
 /// What each node-side DBMS must provide.
 pub trait PartixDriver: Send + Sync {
     /// Execute an XQuery. `Ok(None)` means the queried collection does
     /// not exist on this node (an empty fragment — answered upstream with
     /// an empty result); `Err` is a genuine execution failure.
-    fn execute(&self, query: &Query) -> Result<Option<QueryOutput>, String>;
+    fn execute(&self, query: &Query) -> Result<Option<QueryOutput>, DriverError>;
 
     /// Store documents into a named collection (created on demand).
     fn store(&self, collection: &str, docs: Vec<Document>);
@@ -41,13 +66,13 @@ pub trait PartixDriver: Send + Sync {
 }
 
 impl PartixDriver for Database {
-    fn execute(&self, query: &Query) -> Result<Option<QueryOutput>, String> {
+    fn execute(&self, query: &Query) -> Result<Option<QueryOutput>, DriverError> {
         match self.execute_parsed(query) {
             Ok(out) => Ok(Some(out)),
             Err(partix_storage::exec::ExecError::Eval(
                 partix_query::EvalError::UnknownCollection(_),
             )) => Ok(None),
-            Err(other) => Err(other.to_string()),
+            Err(other) => Err(DriverError::Failed(other.to_string())),
         }
     }
 
@@ -107,10 +132,10 @@ impl InstrumentedDriver {
 }
 
 impl PartixDriver for InstrumentedDriver {
-    fn execute(&self, query: &Query) -> Result<Option<QueryOutput>, String> {
+    fn execute(&self, query: &Query) -> Result<Option<QueryOutput>, DriverError> {
         self.calls.fetch_add(1, Ordering::AcqRel);
         if self.failing.load(Ordering::Acquire) {
-            return Err("injected DBMS failure".into());
+            return Err(DriverError::Failed("injected DBMS failure".into()));
         }
         let mut out = self.inner.execute(query)?;
         if let Some(out) = &mut out {

@@ -37,6 +37,11 @@
 //!   set of threads instead of spawning per sub-query.
 //! * [`cache`] — coordinator-side plan and sub-query result caches, the
 //!   latter invalidated by per-collection write epochs.
+//! * [`faults`] — deterministic fault injection: seeded per-node fault
+//!   schedules ([`faults::FaultPlan`]) wrapping any node's driver in a
+//!   [`faults::FaultInjector`] (crashes, DBMS errors, latency,
+//!   flip-flopping availability), exercising the dispatch layer's
+//!   retry/deadline/failover machinery ([`service::RetryPolicy`]).
 //!
 //! The *parallel elapsed time* in a [`report::QueryReport`] follows the
 //! paper's methodology: the slowest site determines the parallel time,
@@ -48,6 +53,7 @@ pub mod catalog;
 pub mod cluster;
 pub mod compose;
 pub mod driver;
+pub mod faults;
 pub mod localize;
 pub mod publisher;
 pub mod report;
@@ -57,7 +63,10 @@ pub mod service;
 pub use cache::CacheStats;
 pub use catalog::{Catalog, Distribution, Placement};
 pub use cluster::{Cluster, NetworkModel, Node};
-pub use driver::{InstrumentedDriver, PartixDriver};
-pub use report::{QueryReport, SiteReport};
+pub use driver::{DriverError, InstrumentedDriver, PartixDriver};
+pub use faults::{Fault, FaultInjector, FaultPlan, InjectionStats};
+pub use report::{QueryReport, SiteReport, SkippedFragment};
 pub use runtime::PoolConfig;
-pub use service::{DispatchMode, DistributedResult, PartiX, PartixError};
+pub use service::{
+    DispatchMode, DistributedResult, ExecOptions, PartiX, PartixError, RetryPolicy,
+};

@@ -18,6 +18,14 @@ pub struct SiteReport {
     /// True when this site's answer was served from the coordinator's
     /// result cache — the node was never contacted and `elapsed` is 0.
     pub from_cache: bool,
+    /// Dispatch attempts beyond the first that this sub-query needed
+    /// (failed/timed-out attempts, on any replica).
+    pub retries: usize,
+    /// Retries that moved the sub-query to a *different* replica node
+    /// (mid-flight failover). `node` is the replica that answered.
+    pub failovers: usize,
+    /// Attempts abandoned because they exceeded the per-attempt deadline.
+    pub timeouts: usize,
 }
 
 /// Full timing breakdown of one distributed query, following the paper's
@@ -51,6 +59,27 @@ pub struct QueryReport {
     /// Sub-queries that had to run on their nodes (cache disabled counts
     /// here too: every dispatched sub-query is a miss).
     pub result_cache_misses: usize,
+    /// Σ over sites of dispatch retries (see [`SiteReport::retries`]).
+    pub retries: usize,
+    /// Σ over sites of replica failovers.
+    pub failovers: usize,
+    /// Σ over sites of per-attempt deadline expiries.
+    pub timeouts: usize,
+    /// True when the answer is missing at least one fragment — only
+    /// possible with `ExecOptions::allow_partial`; the missing fragments
+    /// are listed in `skipped`.
+    pub partial: bool,
+    /// Fragments that contributed nothing because every dispatch attempt
+    /// on every replica failed (degraded mode).
+    pub skipped: Vec<SkippedFragment>,
+}
+
+/// One fragment dropped from a degraded (`allow_partial`) answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkippedFragment {
+    pub fragment: String,
+    /// The last error observed while trying this fragment's replicas.
+    pub error: String,
 }
 
 impl QueryReport {
@@ -79,6 +108,20 @@ impl fmt::Display for QueryReport {
             self.fragments_pruned,
             if self.reconstructed { ", reconstructed" } else { "" },
         )?;
+        if self.retries > 0 || self.timeouts > 0 || self.partial {
+            writeln!(
+                f,
+                "  faults: {} retr{}, {} failover(s), {} timeout(s){}",
+                self.retries,
+                if self.retries == 1 { "y" } else { "ies" },
+                self.failovers,
+                self.timeouts,
+                if self.partial { " — PARTIAL result" } else { "" },
+            )?;
+            for skipped in &self.skipped {
+                writeln!(f, "  skipped [{}]: {}", skipped.fragment, skipped.error)?;
+            }
+        }
         if self.result_cache_hits > 0 || self.plan_cache_hit {
             writeln!(
                 f,
@@ -118,6 +161,9 @@ mod tests {
             docs_scanned: 10,
             index_used: false,
             from_cache: false,
+            retries: 0,
+            failovers: 0,
+            timeouts: 0,
         }
     }
 
@@ -150,6 +196,28 @@ mod tests {
         assert!(text.contains("node0"));
         assert!(text.contains("reconstructed"));
         assert!(text.contains("2 pruned"));
+    }
+
+    #[test]
+    fn display_shows_fault_line_and_skips() {
+        let report = QueryReport {
+            sites: vec![site(0, 0.1, 10)],
+            retries: 2,
+            failovers: 1,
+            timeouts: 1,
+            partial: true,
+            skipped: vec![SkippedFragment {
+                fragment: "f_dvd".into(),
+                error: "every replica down".into(),
+            }],
+            ..Default::default()
+        };
+        let text = report.to_string();
+        assert!(text.contains("2 retries, 1 failover(s), 1 timeout(s)"), "{text}");
+        assert!(text.contains("PARTIAL"), "{text}");
+        assert!(text.contains("skipped [f_dvd]: every replica down"), "{text}");
+        // and stays silent on a clean run
+        assert!(!QueryReport::default().to_string().contains("faults:"));
     }
 
     #[test]

@@ -63,7 +63,13 @@ impl WorkerPool {
                             .spawn(move || {
                                 // Iteration ends when every sender is gone.
                                 for job in receiver.iter() {
-                                    job();
+                                    // A panicking job must not take the
+                                    // worker down with it — the node
+                                    // would silently shed capacity until
+                                    // its queue wedged.
+                                    let _ = std::panic::catch_unwind(
+                                        std::panic::AssertUnwindSafe(job),
+                                    );
                                 }
                             })
                             .expect("spawn pool worker")
@@ -140,6 +146,30 @@ mod tests {
             (0..3).flat_map(|n| (0..4).map(move |k| n * 10 + k)).collect();
         expected.sort_unstable();
         assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_the_worker() {
+        let cluster = Cluster::new(1);
+        let pool = WorkerPool::new(
+            &cluster,
+            PoolConfig { workers_per_node: 1, queue_capacity: 8 },
+        );
+        // silence the expected panic's default backtrace print
+        let prior = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        assert!(pool.submit(0, Box::new(|| panic!("injected job panic"))));
+        // the sole worker survived and keeps serving jobs
+        let (tx, rx) = unbounded();
+        for k in 0..4 {
+            let tx = tx.clone();
+            assert!(pool.submit(0, Box::new(move || tx.send(k).unwrap())));
+        }
+        drop(tx);
+        let mut seen: Vec<usize> = rx.iter().collect();
+        std::panic::set_hook(prior);
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3]);
     }
 
     #[test]

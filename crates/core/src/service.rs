@@ -24,19 +24,20 @@ use crate::cache::{CacheStats, CachedSite, PlanCache, ResultCache, ResultKey};
 use crate::catalog::{Catalog, Distribution};
 use crate::cluster::{Cluster, NetworkModel, Node};
 use crate::compose::{self, Composition};
+use crate::driver::DriverError;
 use crate::localize;
-use crate::report::{QueryReport, SiteReport};
+use crate::report::{QueryReport, SiteReport, SkippedFragment};
 use crate::runtime::{PoolConfig, WorkerPool};
-use parking_lot::RwLock;
-use parking_lot::RwLockReadGuard;
+use parking_lot::{Mutex, RwLock, RwLockReadGuard};
 use partix_frag::{FragMode, FragOp};
 use partix_query::rewrite::{rewrite_collection_name, rewrite_for_vertical};
 use partix_query::{parse_query, pushdown, Query, Sequence};
 use partix_storage::{Database, QueryOutput};
 use partix_xml::Document;
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::{Arc, OnceLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Errors surfaced by the middleware.
 #[derive(Debug)]
@@ -104,6 +105,66 @@ pub enum DispatchMode {
     Pool,
 }
 
+/// Retry/deadline policy applied to every dispatched sub-query.
+///
+/// Each sub-query gets up to `max_attempts` tries. A try that fails with
+/// [`DriverError::Unavailable`], fails at the DBMS, or exceeds `timeout`
+/// is retried — on the *next* replica of the fragment when one exists
+/// (mid-flight failover), after an exponential backoff capped at
+/// `backoff_max`. Nodes that crashed or timed out are marked *suspect*
+/// for `suspect_cooldown` so replica selection routes around them until
+/// they recover.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per sub-query (1 = no retries).
+    pub max_attempts: usize,
+    /// Per-attempt deadline. `None` waits forever — the default, so the
+    /// paper-figure measurements never discard slow-but-correct answers.
+    /// With [`DispatchMode::Simulated`] the attempt runs inline and the
+    /// deadline is enforced after the fact (the result is discarded);
+    /// threaded and pooled dispatch abandon the attempt mid-flight.
+    pub timeout: Option<Duration>,
+    /// Backoff before the first retry; doubles per retry.
+    pub backoff_base: Duration,
+    /// Upper bound on the backoff.
+    pub backoff_max: Duration,
+    /// How long a crashed/timed-out node stays out of replica rotation.
+    pub suspect_cooldown: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            timeout: None,
+            backoff_base: Duration::from_millis(5),
+            backoff_max: Duration::from_millis(100),
+            suspect_cooldown: Duration::from_millis(250),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry number `retry` (0-based), doubling each time.
+    fn backoff(&self, retry: usize) -> Duration {
+        let factor = 1u32 << retry.min(16) as u32;
+        self.backoff_base.saturating_mul(factor).min(self.backoff_max)
+    }
+}
+
+/// Per-call execution options (see [`PartiX::execute_with`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Degraded mode: when a fragment's every replica is down (or every
+    /// dispatch attempt fails), answer from the fragments that *did*
+    /// respond instead of failing the query. The report flags the answer
+    /// with [`QueryReport::partial`] and lists the missing fragments in
+    /// [`QueryReport::skipped`]. Reconstruction-fallback queries stay
+    /// all-or-nothing: a rebuilt document set missing a fragment would be
+    /// silently wrong, not partial.
+    pub allow_partial: bool,
+}
+
 /// The PartiX middleware instance.
 pub struct PartiX {
     catalog: RwLock<Catalog>,
@@ -118,6 +179,9 @@ pub struct PartiX {
     result_cache: ResultCache,
     plan_cache_enabled: std::sync::atomic::AtomicBool,
     result_cache_enabled: std::sync::atomic::AtomicBool,
+    retry: RwLock<RetryPolicy>,
+    /// Per-fragment round-robin counters driving replica rotation.
+    rotation: Mutex<HashMap<String, usize>>,
 }
 
 impl PartiX {
@@ -139,7 +203,19 @@ impl PartiX {
             // result caching changes what a "query execution" measures,
             // so it is strictly opt-in
             result_cache_enabled: std::sync::atomic::AtomicBool::new(false),
+            retry: RwLock::new(RetryPolicy::default()),
+            rotation: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Install a dispatch [`RetryPolicy`] (applies to queries started
+    /// after the call).
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        *self.retry.write() = policy;
+    }
+
+    pub fn retry_policy(&self) -> RetryPolicy {
+        *self.retry.read()
     }
 
     /// Enable/disable data localization (fragment pruning). With it off,
@@ -257,17 +333,26 @@ impl PartiX {
     /// Execute an XQuery over the distributed repository. Repeated query
     /// texts reuse their parsed plan (see [`PartiX::set_plan_cache_enabled`]).
     pub fn execute(&self, text: &str) -> Result<DistributedResult, PartixError> {
+        self.execute_with(text, ExecOptions::default())
+    }
+
+    /// [`PartiX::execute`] with explicit [`ExecOptions`].
+    pub fn execute_with(
+        &self,
+        text: &str,
+        options: ExecOptions,
+    ) -> Result<DistributedResult, PartixError> {
         if self.plan_cache_enabled() {
             let (query, hit) = self
                 .plan_cache
                 .get_or_parse(text)
                 .map_err(PartixError::Parse)?;
-            let mut result = self.execute_query(&query)?;
+            let mut result = self.execute_query_with(&query, options)?;
             result.report.plan_cache_hit = hit;
             Ok(result)
         } else {
             let query = parse_query(text).map_err(PartixError::Parse)?;
-            self.execute_query(&query)
+            self.execute_query_with(&query, options)
         }
     }
 
@@ -291,6 +376,15 @@ impl PartiX {
 
     /// Execute a parsed query.
     pub fn execute_query(&self, query: &Query) -> Result<DistributedResult, PartixError> {
+        self.execute_query_with(query, ExecOptions::default())
+    }
+
+    /// [`PartiX::execute_query`] with explicit [`ExecOptions`].
+    pub fn execute_query_with(
+        &self,
+        query: &Query,
+        options: ExecOptions,
+    ) -> Result<DistributedResult, PartixError> {
         let catalog = self.catalog.read();
         // the first collection with a registered distribution drives
         // decomposition
@@ -316,14 +410,28 @@ impl PartiX {
 
         // build one sub-query per relevant fragment
         let mut tasks: Vec<SubQuery> = Vec::with_capacity(relevant.len());
+        let mut skipped: Vec<SkippedFragment> = Vec::new();
         let mut needs_reconstruction = false;
         for &idx in &relevant {
             let frag = &dist.design.fragments[idx];
-            let node = self.pick_replica(&dist, &frag.name)?;
+            let node = match self.pick_replica(&dist, &frag.name) {
+                Ok(node) => node,
+                Err(err) if options.allow_partial => {
+                    // every replica is down already at planning time:
+                    // degraded mode drops the fragment instead of failing
+                    skipped.push(SkippedFragment {
+                        fragment: frag.name.clone(),
+                        error: err.to_string(),
+                    });
+                    continue;
+                }
+                Err(err) => return Err(err),
+            };
             match build_subquery(query, &collection, frag, analysis.as_ref()) {
                 Some(sub) => tasks.push(SubQuery {
                     node,
                     fragment: frag.name.clone(),
+                    replicas: dist.nodes_of(&frag.name),
                     query: Arc::new(sub),
                 }),
                 None => {
@@ -333,6 +441,8 @@ impl PartiX {
             }
         }
         if needs_reconstruction {
+            // all-or-nothing: a reconstruction missing a fragment would
+            // produce wrong documents, not a partial answer
             return self.reconstruct_and_evaluate(query, &collection, &dist, pruned);
         }
 
@@ -343,86 +453,151 @@ impl PartiX {
         // serve sub-queries from the result cache where possible; only
         // the remainder is dispatched to nodes
         let use_cache = self.result_cache_enabled();
-        let mut outputs: Vec<Option<SiteOutput>> = (0..tasks.len()).map(|_| None).collect();
-        let mut cached_flags = vec![false; tasks.len()];
-        let mut pending: Vec<(usize, Option<ResultKey>)> = Vec::new();
+        let mut slots: Vec<Option<SiteSlot>> = (0..tasks.len()).map(|_| None).collect();
+        // pending tasks carry the pre-dispatch write epoch of *every*
+        // replica: a failover may land on any of them, and the insert key
+        // must use an epoch read before execution (a concurrent write
+        // then leaves the entry under a stale key instead of poisoning
+        // the current one)
+        let mut pending: Vec<(usize, Vec<(usize, u64)>)> = Vec::new();
         let mut cache_hits = 0usize;
         for (i, task) in tasks.iter().enumerate() {
+            let mut epochs = Vec::new();
             if use_cache {
-                let node = self.cluster.node(task.node).expect("placement validated");
-                let epoch = node.collection_epoch(&task.fragment);
+                epochs = task
+                    .replicas
+                    .iter()
+                    .map(|&id| {
+                        let epoch = self
+                            .cluster
+                            .node(id)
+                            .map(|n| n.collection_epoch(&task.fragment))
+                            .unwrap_or(0);
+                        (id, epoch)
+                    })
+                    .collect();
+                let epoch = epochs
+                    .iter()
+                    .find(|&&(id, _)| id == task.node)
+                    .map(|&(_, e)| e)
+                    .unwrap_or(0);
                 let key =
                     ResultKey::new(task.node, &task.fragment, epoch, avg_mode, &task.query);
                 if let Some(hit) = self.result_cache.get(&key) {
                     cache_hits += 1;
-                    cached_flags[i] = true;
-                    outputs[i] = Some(SiteOutput {
-                        items: hit.items,
-                        elapsed: 0.0,
-                        result_bytes: hit.result_bytes,
-                        docs_scanned: hit.docs_scanned,
-                        index_used: hit.index_used,
+                    slots[i] = Some(SiteSlot {
+                        run: SiteRun {
+                            output: SiteOutput {
+                                items: hit.items,
+                                elapsed: 0.0,
+                                result_bytes: hit.result_bytes,
+                                docs_scanned: hit.docs_scanned,
+                                index_used: hit.index_used,
+                            },
+                            node: task.node,
+                            retries: 0,
+                            failovers: 0,
+                            timeouts: 0,
+                        },
+                        cached: true,
                     });
                     continue;
                 }
-                pending.push((i, Some(key)));
-            } else {
-                pending.push((i, None));
             }
+            pending.push((i, epochs));
         }
-
-        let dispatched_any = !pending.is_empty();
-        if dispatched_any {
-            let todo: Vec<SubQuery> =
-                pending.iter().map(|&(i, _)| tasks[i].clone()).collect();
-            let fresh = self.dispatch(&todo, avg_mode)?;
-            for ((i, key), out) in pending.into_iter().zip(fresh) {
-                if let Some(key) = key {
-                    self.result_cache.insert(
-                        key,
-                        CachedSite {
-                            items: out.items.clone(),
-                            result_bytes: out.result_bytes,
-                            docs_scanned: out.docs_scanned,
-                            index_used: out.index_used,
-                        },
-                    );
-                }
-                outputs[i] = Some(out);
-            }
-        }
-        let outputs: Vec<SiteOutput> =
-            outputs.into_iter().map(|o| o.expect("every slot filled")).collect();
 
         let mut report = QueryReport {
             fragments_pruned: pruned,
             result_cache_hits: cache_hits,
             result_cache_misses: tasks.len() - cache_hits,
+            skipped,
             ..Default::default()
         };
-        let mut total_bytes = 0usize;
-        for ((task, out), &cached) in tasks.iter().zip(&outputs).zip(&cached_flags) {
-            report.sites.push(SiteReport {
-                node: task.node,
-                fragment: task.fragment.clone(),
-                elapsed: out.elapsed,
-                result_bytes: out.result_bytes,
-                docs_scanned: out.docs_scanned,
-                index_used: out.index_used,
-                from_cache: cached,
-            });
-            report.parallel_elapsed = report.parallel_elapsed.max(out.elapsed);
-            report.serial_elapsed += out.elapsed;
-            if !cached {
-                // cached answers never cross the wire again
-                total_bytes += out.result_bytes;
+
+        let dispatched_any = !pending.is_empty();
+        if dispatched_any {
+            let todo: Vec<SubQuery> =
+                pending.iter().map(|&(i, _)| tasks[i].clone()).collect();
+            let runs = self.dispatch(&todo, avg_mode);
+            for ((i, epochs), run) in pending.into_iter().zip(runs) {
+                match run {
+                    Ok(run) => {
+                        if use_cache {
+                            // key the entry under the replica that
+                            // actually answered (it may not be the
+                            // planner's pick after a failover)
+                            let epoch = epochs
+                                .iter()
+                                .find(|&&(id, _)| id == run.node)
+                                .map(|&(_, e)| e)
+                                .unwrap_or(0);
+                            let key = ResultKey::new(
+                                run.node,
+                                &tasks[i].fragment,
+                                epoch,
+                                avg_mode,
+                                &tasks[i].query,
+                            );
+                            self.result_cache.insert(
+                                key,
+                                CachedSite {
+                                    items: run.output.items.clone(),
+                                    result_bytes: run.output.result_bytes,
+                                    docs_scanned: run.output.docs_scanned,
+                                    index_used: run.output.index_used,
+                                },
+                            );
+                        }
+                        slots[i] = Some(SiteSlot { run, cached: false });
+                    }
+                    Err(failure) if options.allow_partial => {
+                        report.retries += failure.retries;
+                        report.failovers += failure.failovers;
+                        report.timeouts += failure.timeouts;
+                        report.skipped.push(SkippedFragment {
+                            fragment: tasks[i].fragment.clone(),
+                            error: failure.error.to_string(),
+                        });
+                    }
+                    Err(failure) => return Err(failure.error),
+                }
             }
         }
+        report.partial = !report.skipped.is_empty();
 
-        // compose, moving the partial sequences out of the site outputs
-        // instead of deep-cloning every item
+        let mut total_bytes = 0usize;
+        let mut partials: Vec<Sequence> = Vec::with_capacity(tasks.len());
+        for (task, slot) in tasks.iter().zip(slots) {
+            let Some(SiteSlot { run, cached }) = slot else {
+                continue; // fragment dropped in degraded mode
+            };
+            report.sites.push(SiteReport {
+                node: run.node,
+                fragment: task.fragment.clone(),
+                elapsed: run.output.elapsed,
+                result_bytes: run.output.result_bytes,
+                docs_scanned: run.output.docs_scanned,
+                index_used: run.output.index_used,
+                from_cache: cached,
+                retries: run.retries,
+                failovers: run.failovers,
+                timeouts: run.timeouts,
+            });
+            report.retries += run.retries;
+            report.failovers += run.failovers;
+            report.timeouts += run.timeouts;
+            report.parallel_elapsed = report.parallel_elapsed.max(run.output.elapsed);
+            report.serial_elapsed += run.output.elapsed;
+            if !cached {
+                // cached answers never cross the wire again
+                total_bytes += run.output.result_bytes;
+            }
+            // move the partial sequence out instead of deep-cloning it
+            partials.push(run.output.items);
+        }
+
         let compose_start = Instant::now();
-        let partials: Vec<Sequence> = outputs.into_iter().map(|o| o.items).collect();
         let items = compose::combine(composition, partials);
         report.composition = compose_start.elapsed().as_secs_f64();
 
@@ -436,9 +611,12 @@ impl PartiX {
         Ok(DistributedResult { items, report })
     }
 
-    /// Choose the first *available* replica node of a fragment; errors if
-    /// every replica is down (the failover path — a fragment replicated
-    /// on several nodes survives node failures transparently).
+    /// Choose an *available* replica node of a fragment, rotating
+    /// round-robin across the replicas so repeated queries spread their
+    /// load instead of hammering the first placement. Replicas inside a
+    /// suspect cooldown ([`Node::mark_suspect`]) are used only when no
+    /// clean replica is up; errors if every replica is down (a fragment
+    /// replicated on several nodes survives node failures transparently).
     fn pick_replica(
         &self,
         dist: &Distribution,
@@ -448,13 +626,29 @@ impl PartiX {
         if nodes.is_empty() {
             return Err(PartixError::Internal(format!("{fragment} unplaced")));
         }
-        for &node_id in &nodes {
+        let start = {
+            let mut rotation = self.rotation.lock();
+            let counter = rotation.entry(fragment.to_owned()).or_insert(0);
+            let start = *counter;
+            *counter = counter.wrapping_add(1);
+            start
+        };
+        let at = |k: usize| nodes[(start + k) % nodes.len()];
+        for k in 0..nodes.len() {
+            let id = at(k);
             if self
                 .cluster
-                .node(node_id)
-                .is_some_and(|n| n.is_available())
+                .node(id)
+                .is_some_and(|n| n.is_available() && !n.is_suspect())
             {
-                return Ok(node_id);
+                return Ok(id);
+            }
+        }
+        // every live replica is suspect: pick one anyway (last resort)
+        for k in 0..nodes.len() {
+            let id = at(k);
+            if self.cluster.node(id).is_some_and(|n| n.is_available()) {
+                return Ok(id);
             }
         }
         Err(PartixError::NodeUnavailable {
@@ -468,7 +662,7 @@ impl PartiX {
     fn passthrough(&self, query: &Query) -> Result<DistributedResult, PartixError> {
         let node = self.cluster.node(0).expect("cluster non-empty");
         let out = run_on_node(node, query, false).map_err(|e| match e {
-            DispatchError::Down => PartixError::NodeUnavailable {
+            DispatchError::Down | DispatchError::Timeout => PartixError::NodeUnavailable {
                 node: 0,
                 fragment: "<passthrough>".into(),
             },
@@ -487,6 +681,9 @@ impl PartiX {
                 docs_scanned: out.docs_scanned,
                 index_used: out.index_used,
                 from_cache: false,
+                retries: 0,
+                failovers: 0,
+                timeouts: 0,
             }],
             parallel_elapsed: out.elapsed,
             serial_elapsed: out.elapsed,
@@ -497,88 +694,158 @@ impl PartiX {
     }
 
     /// Fan the sub-queries out to their nodes in parallel and gather the
-    /// outputs in task order.
+    /// outcomes in task order. Each task runs its own retry/failover loop
+    /// ([`PartiX::run_subquery`]); with threaded or pooled dispatch the
+    /// loops themselves run concurrently on per-task coordinator threads
+    /// (bounded by the fragment count).
     fn dispatch(
         &self,
         tasks: &[SubQuery],
         avg_mode: bool,
-    ) -> Result<Vec<SiteOutput>, PartixError> {
-        let results: Vec<Result<SiteOutput, DispatchError>> = match self.dispatch {
-            DispatchMode::Simulated => tasks
-                .iter()
-                .map(|task| {
-                    let node = self.cluster.node(task.node).expect("placement validated");
-                    run_on_node(node, &task.query, avg_mode)
-                })
-                .collect(),
-            DispatchMode::Threads => crossbeam::thread::scope(|scope| {
+    ) -> Vec<Result<SiteRun, RunFailure>> {
+        match self.dispatch {
+            DispatchMode::Simulated => {
+                tasks.iter().map(|task| self.run_subquery(task, avg_mode)).collect()
+            }
+            DispatchMode::Threads | DispatchMode::Pool => std::thread::scope(|scope| {
                 let handles: Vec<_> = tasks
                     .iter()
-                    .map(|task| {
-                        let node = Arc::clone(
-                            self.cluster.node(task.node).expect("placement validated"),
-                        );
-                        let query = Arc::clone(&task.query);
-                        scope.spawn(move |_| run_on_node(&node, &query, avg_mode))
-                    })
+                    .map(|task| scope.spawn(move || self.run_subquery(task, avg_mode)))
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("no panic")).collect()
-            })
-            .expect("scope does not panic"),
-            DispatchMode::Pool => {
-                let pool = self.pool();
-                let (tx, rx) = crossbeam::channel::unbounded();
-                for (idx, task) in tasks.iter().enumerate() {
-                    let node =
-                        Arc::clone(self.cluster.node(task.node).expect("placement validated"));
-                    let query = Arc::clone(&task.query);
-                    let reply = tx.clone();
-                    let submitted = pool.submit(
-                        task.node,
-                        Box::new(move || {
-                            let _ = reply.send((idx, run_on_node(&node, &query, avg_mode)));
-                        }),
-                    );
-                    if !submitted {
-                        // node index outside the pool (cluster changed
-                        // after pool construction): run inline
-                        let node =
-                            self.cluster.node(task.node).expect("placement validated");
-                        let _ = tx.send((idx, run_on_node(node, &task.query, avg_mode)));
-                    }
-                }
-                drop(tx);
-                let mut slots: Vec<Option<Result<SiteOutput, DispatchError>>> =
-                    (0..tasks.len()).map(|_| None).collect();
-                for (idx, result) in rx.iter() {
-                    slots[idx] = Some(result);
-                }
-                slots
+                handles
                     .into_iter()
-                    .map(|slot| slot.expect("every sub-query reports exactly once"))
+                    .map(|h| h.join().expect("coordinator task does not panic"))
                     .collect()
-            }
-        };
-        let mut outputs = Vec::with_capacity(results.len());
-        for (task, result) in tasks.iter().zip(results) {
-            match result {
-                Ok(out) => outputs.push(out),
-                Err(DispatchError::Down) => {
-                    return Err(PartixError::NodeUnavailable {
-                        node: task.node,
-                        fragment: task.fragment.clone(),
+            }),
+        }
+    }
+
+    /// Run one sub-query to completion under the [`RetryPolicy`]: up to
+    /// `max_attempts` tries, each against the best replica *currently*
+    /// live and not suspect, walking the replica ring on every failure
+    /// (mid-flight failover). Crashes and deadline expiries mark the
+    /// node suspect; a successful answer clears the flag.
+    fn run_subquery(&self, task: &SubQuery, avg_mode: bool) -> Result<SiteRun, RunFailure> {
+        let policy = self.retry_policy();
+        // walk the replica ring starting at the planner's pick
+        let ring = &task.replicas;
+        let start = ring.iter().position(|&id| id == task.node).unwrap_or(0);
+        let mut retries = 0usize;
+        let mut failovers = 0usize;
+        let mut timeouts = 0usize;
+        let mut last_node: Option<usize> = None;
+        let mut last_error: Option<DispatchError> = None;
+        for attempt in 0..policy.max_attempts.max(1) {
+            // each attempt starts one step further around the replica
+            // ring, moving past whichever replica just failed
+            let at = |k: usize| ring[(start + attempt + k) % ring.len()];
+            let pick = (0..ring.len())
+                .map(at)
+                .find(|&id| {
+                    self.cluster
+                        .node(id)
+                        .is_some_and(|n| n.is_available() && !n.is_suspect())
+                })
+                .or_else(|| {
+                    (0..ring.len()).map(at).find(|&id| {
+                        self.cluster.node(id).is_some_and(|n| n.is_available())
                     })
+                });
+            let Some(node_id) = pick else {
+                break; // every replica is down right now
+            };
+            if attempt > 0 {
+                retries += 1;
+                if last_node != Some(node_id) {
+                    failovers += 1;
+                }
+                std::thread::sleep(policy.backoff(attempt - 1));
+            }
+            last_node = Some(node_id);
+            let node = Arc::clone(self.cluster.node(node_id).expect("picked from cluster"));
+            match self.attempt(&node, &task.query, avg_mode, policy.timeout) {
+                Ok(output) => {
+                    node.clear_suspect();
+                    return Ok(SiteRun { output, node: node_id, retries, failovers, timeouts });
+                }
+                Err(DispatchError::Timeout) => {
+                    timeouts += 1;
+                    node.mark_suspect(policy.suspect_cooldown);
+                    last_error = Some(DispatchError::Timeout);
+                }
+                Err(DispatchError::Down) => {
+                    node.mark_suspect(policy.suspect_cooldown);
+                    last_error = Some(DispatchError::Down);
                 }
                 Err(DispatchError::Failed(msg)) => {
-                    return Err(PartixError::SubQuery {
-                        node: task.node,
-                        fragment: task.fragment.clone(),
-                        error: msg,
-                    })
+                    // the DBMS processed and rejected the attempt: the
+                    // node is healthy, but another replica may still
+                    // answer (e.g. a fault injected on this one only)
+                    last_error = Some(DispatchError::Failed(msg));
                 }
             }
         }
-        Ok(outputs)
+        let node = last_node.unwrap_or(task.node);
+        let error = match last_error {
+            Some(DispatchError::Failed(msg)) => PartixError::SubQuery {
+                node,
+                fragment: task.fragment.clone(),
+                error: msg,
+            },
+            _ => PartixError::NodeUnavailable { node, fragment: task.fragment.clone() },
+        };
+        Err(RunFailure { error, retries, failovers, timeouts })
+    }
+
+    /// One dispatch attempt against one node, honouring the per-attempt
+    /// deadline. Threaded/pooled attempts run on another thread and are
+    /// abandoned on expiry (a late answer is discarded — the channel's
+    /// receiver is gone); simulated attempts run inline, so the deadline
+    /// is checked after the fact.
+    fn attempt(
+        &self,
+        node: &Arc<Node>,
+        query: &Arc<Query>,
+        avg_mode: bool,
+        timeout: Option<Duration>,
+    ) -> Result<SiteOutput, DispatchError> {
+        let inline = |node: &Node| {
+            let begun = Instant::now();
+            let result = run_on_node(node, query, avg_mode);
+            match timeout {
+                Some(limit) if begun.elapsed() > limit => Err(DispatchError::Timeout),
+                _ => result,
+            }
+        };
+        match self.dispatch {
+            DispatchMode::Simulated => inline(node),
+            DispatchMode::Threads => {
+                let (tx, rx) = crossbeam::channel::bounded(1);
+                let node = Arc::clone(node);
+                let query = Arc::clone(query);
+                std::thread::spawn(move || {
+                    let _ = tx.send(run_on_node(&node, &query, avg_mode));
+                });
+                recv_attempt(&rx, timeout)
+            }
+            DispatchMode::Pool => {
+                let (tx, rx) = crossbeam::channel::bounded(1);
+                let job_node = Arc::clone(node);
+                let query = Arc::clone(query);
+                let submitted = self.pool().submit(
+                    node.id,
+                    Box::new(move || {
+                        let _ = tx.send(run_on_node(&job_node, &query, avg_mode));
+                    }),
+                );
+                if !submitted {
+                    // node index outside the pool (cluster changed after
+                    // pool construction): run inline
+                    return inline(node);
+                }
+                recv_attempt(&rx, timeout)
+            }
+        }
     }
 
     /// Multi-fragment fallback: fetch every fragment, rebuild the source
@@ -615,6 +882,9 @@ impl PartiX {
                 docs_scanned: docs.len(),
                 index_used: false,
                 from_cache: false,
+                retries: 0,
+                failovers: 0,
+                timeouts: 0,
             });
             report.parallel_elapsed = report.parallel_elapsed.max(elapsed);
             report.serial_elapsed += elapsed;
@@ -644,9 +914,38 @@ impl PartiX {
 /// shared) — pool dispatch moves clones into `'static` jobs.
 #[derive(Clone)]
 struct SubQuery {
+    /// The planner's replica pick — the retry loop starts here.
     node: usize,
     fragment: String,
+    /// Every replica holding the fragment, in placement order: the
+    /// failover ring.
+    replicas: Vec<usize>,
     query: Arc<Query>,
+}
+
+/// Outcome of a sub-query that eventually succeeded.
+struct SiteRun {
+    output: SiteOutput,
+    /// The replica that answered (after failovers, not necessarily the
+    /// planner's pick).
+    node: usize,
+    retries: usize,
+    failovers: usize,
+    timeouts: usize,
+}
+
+/// A filled result slot: a dispatched (or cache-served) sub-query.
+struct SiteSlot {
+    run: SiteRun,
+    cached: bool,
+}
+
+/// Outcome of a sub-query whose every attempt failed.
+struct RunFailure {
+    error: PartixError,
+    retries: usize,
+    failovers: usize,
+    timeouts: usize,
 }
 
 /// Flattened per-site output.
@@ -671,8 +970,29 @@ impl SiteOutput {
 }
 
 enum DispatchError {
+    /// The node (or its DBMS) is unreachable — retryable elsewhere.
     Down,
+    /// The attempt outlived the per-attempt deadline.
+    Timeout,
+    /// The DBMS processed the request and failed it.
     Failed(String),
+}
+
+/// Wait for a threaded/pooled attempt's answer, bounded by the deadline.
+/// A disconnected channel means the attempt's thread died without
+/// answering — treated like an unreachable node.
+fn recv_attempt(
+    rx: &crossbeam::channel::Receiver<Result<SiteOutput, DispatchError>>,
+    timeout: Option<Duration>,
+) -> Result<SiteOutput, DispatchError> {
+    match timeout {
+        Some(limit) => match rx.recv_timeout(limit) {
+            Ok(result) => result,
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => Err(DispatchError::Timeout),
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => Err(DispatchError::Down),
+        },
+        None => rx.recv().unwrap_or(Err(DispatchError::Down)),
+    }
 }
 
 fn run_on_node(node: &Node, query: &Query, avg_mode: bool) -> Result<SiteOutput, DispatchError> {
@@ -718,7 +1038,10 @@ fn run_on_node(node: &Node, query: &Query, avg_mode: bool) -> Result<SiteOutput,
 /// fragment (the publisher stores nothing when a fragment selects
 /// nothing), answered with an empty result.
 fn exec(node: &Node, query: &Query) -> Result<Option<QueryOutput>, DispatchError> {
-    node.execute_query(query).map_err(DispatchError::Failed)
+    node.execute_query(query).map_err(|e| match e {
+        DriverError::Unavailable(_) => DispatchError::Down,
+        DriverError::Failed(msg) => DispatchError::Failed(msg),
+    })
 }
 
 /// Build the sub-query shipped to `frag`; `None` = this fragment cannot
@@ -946,9 +1269,8 @@ mod tests {
         assert_eq!(result.report.sites[0].fragment, "<passthrough>");
     }
 
-    #[test]
-    fn replicated_fragment_fails_over() {
-        // f_cd replicated on nodes 0 and 2
+    /// f_cd replicated on nodes 0 and 2; f_rest on node 1.
+    fn replicated_px() -> PartiX {
         let px = PartiX::new(3, NetworkModel::default());
         let citems = CollectionDef::new(
             "items",
@@ -980,6 +1302,12 @@ mod tests {
         })
         .unwrap();
         px.publish("items", &items(30)).unwrap();
+        px
+    }
+
+    #[test]
+    fn replicated_fragment_fails_over() {
+        let px = replicated_px();
         // replica copies landed on both nodes
         assert_eq!(px.cluster().node(0).unwrap().db.collection_len("f_cd").unwrap(), 10);
         assert_eq!(px.cluster().node(2).unwrap().db.collection_len("f_cd").unwrap(), 10);
@@ -999,6 +1327,97 @@ mod tests {
             px.execute(q),
             Err(PartixError::NodeUnavailable { .. })
         ));
+    }
+
+    #[test]
+    fn round_robin_rotates_across_replicas() {
+        let px = replicated_px();
+        let q = r#"count(for $i in collection("items")/Item where $i/Section = "CD" return $i)"#;
+        let served: Vec<usize> = (0..4)
+            .map(|_| {
+                let result = px.execute(q).unwrap();
+                assert_eq!(result.items, vec![Item::Num(10.0)]);
+                result.report.sites[0].node
+            })
+            .collect();
+        // consecutive queries alternate between the two replicas instead
+        // of hammering the first placement
+        assert_eq!(served, vec![0, 2, 0, 2]);
+    }
+
+    #[test]
+    fn retry_recovers_from_transient_driver_failures() {
+        use crate::faults::{Fault, FaultInjector};
+        let px = horizontal_px(3);
+        // node 1's DBMS alternates: one call up, one call down
+        let node = px.cluster().node(1).unwrap();
+        FaultInjector::install(node, vec![Fault::FlipFlop { up: 1, down: 1 }]);
+        let q = r#"count(for $i in collection("items")/Item return $i)"#;
+        // call 0 on node 1 is served cleanly
+        let first = px.execute(q).unwrap();
+        assert_eq!(first.items, vec![Item::Num(30.0)]);
+        assert_eq!(first.report.retries, 0);
+        // call 1 fails, the retry (call 2) lands in the up-phase
+        let second = px.execute(q).unwrap();
+        assert_eq!(second.items, vec![Item::Num(30.0)]);
+        assert_eq!(second.report.retries, 1);
+        assert_eq!(second.report.failovers, 0); // sole replica: same node
+        let faulty_site =
+            second.report.sites.iter().find(|s| s.fragment == "f_dvd").unwrap();
+        assert_eq!(faulty_site.retries, 1);
+    }
+
+    #[test]
+    fn deadline_expiry_fails_over_to_replica() {
+        use crate::faults::{Fault, FaultInjector};
+        let mut px = replicated_px();
+        px.set_dispatch(DispatchMode::Threads);
+        px.set_retry_policy(RetryPolicy {
+            timeout: Some(Duration::from_millis(40)),
+            ..RetryPolicy::default()
+        });
+        // node 0's replica of f_cd answers far too slowly; node 2 is fast
+        let slow = px.cluster().node(0).unwrap();
+        FaultInjector::install(slow, vec![Fault::Latency { millis: 400 }]);
+        let q = r#"count(for $i in collection("items")/Item where $i/Section = "CD" return $i)"#;
+        let result = px.execute(q).unwrap();
+        assert_eq!(result.items, vec![Item::Num(10.0)]);
+        assert_eq!(result.report.sites[0].node, 2, "{}", result.report);
+        assert_eq!(result.report.timeouts, 1);
+        assert_eq!(result.report.failovers, 1);
+        // the slow node is left suspect, so the next query (whose
+        // round-robin turn would be node 0's) routes around it
+        assert!(px.cluster().node(0).unwrap().is_suspect());
+        let again = px.execute(q).unwrap();
+        assert_eq!(again.report.sites[0].node, 2);
+        assert_eq!(again.report.timeouts, 0);
+    }
+
+    #[test]
+    fn allow_partial_degrades_instead_of_failing() {
+        let px = horizontal_px(3);
+        px.cluster().node(1).unwrap().set_available(false);
+        let q = r#"count(for $i in collection("items")/Item return $i)"#;
+        // strict mode still fails
+        assert!(px.execute(q).is_err());
+        // degraded mode answers from the two live fragments
+        let result = px
+            .execute_with(q, ExecOptions { allow_partial: true })
+            .unwrap();
+        assert_eq!(result.items, vec![Item::Num(20.0)]);
+        assert!(result.report.partial);
+        assert_eq!(result.report.sites.len(), 2);
+        assert_eq!(result.report.skipped.len(), 1);
+        assert_eq!(result.report.skipped[0].fragment, "f_dvd");
+        // with every node down the answer is empty but typed
+        px.cluster().node(0).unwrap().set_available(false);
+        px.cluster().node(2).unwrap().set_available(false);
+        let empty = px
+            .execute_with(q, ExecOptions { allow_partial: true })
+            .unwrap();
+        assert!(empty.report.partial);
+        assert_eq!(empty.report.skipped.len(), 3);
+        assert!(empty.report.sites.is_empty());
     }
 
     #[test]

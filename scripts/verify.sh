@@ -3,9 +3,26 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Property-test effort is dialable for CI; default keeps the full gate
+# under a couple of minutes while still exercising every property.
+export PARTIX_PROPTEST_CASES="${PARTIX_PROPTEST_CASES:-32}"
+
 # --offline: the workspace is fully self-contained (path deps only)
 cargo build --release --workspace --offline
 cargo test -q --workspace --offline
+
+# fault-tolerance gate, run explicitly so a filtered/partial test
+# invocation can never silently skip it: the differential oracle suite
+# (centralized vs every fragmentation design, with and without injected
+# faults) and the chaos suites (seeded fault schedules, property tests,
+# flapping-node concurrency).
+cargo test -q --test differential --offline
+cargo test -q --test properties --offline
+cargo test -q --test concurrency --offline chaos
+cargo test -q -p partix-bench --offline chaos
+cargo test -q -p partix-engine --offline faults
+
+# any clippy warning fails the gate
 cargo clippy --workspace --offline -- -D warnings
 
 echo "verify: OK"

@@ -120,6 +120,141 @@ fn pool_mode_cached_results_match_simulated() {
     assert!(stats.result_hits > 0, "repeated queries never hit: {stats:?}");
 }
 
+/// Count live worker-pool threads by name (`partix-pool-*`; /proc comm
+/// is truncated to 15 bytes, which still covers the prefix).
+fn pool_threads() -> usize {
+    let mut n = 0;
+    if let Ok(tasks) = std::fs::read_dir("/proc/self/task") {
+        for task in tasks.flatten() {
+            if let Ok(comm) = std::fs::read_to_string(task.path().join("comm")) {
+                if comm.starts_with("partix-pool") {
+                    n += 1;
+                }
+            }
+        }
+    }
+    n
+}
+
+/// Chaos variant: 16 clients hammer a replicated Pool-mode middleware
+/// while a background thread flips one node's availability at a time.
+/// The run must not deadlock, answered queries must match the healthy
+/// reference, cache counters must stay consistent, and dropping the
+/// middleware must not leak pool workers.
+#[test]
+fn chaos_flapping_node_under_concurrent_clients() {
+    use partix_bench::setup;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+    let docs = gen_items(100, ItemProfile::Small, 13);
+    let workload = partix_bench::queries::horizontal(setup::DIST);
+    // healthy Simulated reference = the oracle for every query
+    let reference = setup::horizontal_replicated(&docs, 4, 2);
+    let expected: Vec<Vec<String>> = workload
+        .iter()
+        .map(|(_, q)| multiset(&reference.execute(q).unwrap().items))
+        .collect();
+
+    let baseline_threads = pool_threads();
+    let failed = AtomicUsize::new(0);
+    let answered = AtomicUsize::new(0);
+    {
+        let mut px = setup::horizontal_replicated(&docs, 4, 2);
+        px.set_dispatch(DispatchMode::Pool);
+        px.set_result_cache_enabled(true);
+        // a flap can land on every backoff window in a row; give the
+        // retry loop enough attempts that this is vanishingly rare
+        px.set_retry_policy(partix::engine::RetryPolicy {
+            max_attempts: 6,
+            ..partix::engine::RetryPolicy::default()
+        });
+
+        const CLIENTS: usize = 16;
+        const ROUNDS: usize = 6;
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            // availability flipper: at most one node down at any moment,
+            // so with 2 replicas every fragment stays answerable
+            let flipper = scope.spawn(|| {
+                let mut k = 0usize;
+                while !stop.load(Ordering::Acquire) {
+                    let node = px.cluster().node(k % 4).unwrap();
+                    node.set_available(false);
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    node.set_available(true);
+                    // a fully-up window between flips
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    k += 1;
+                }
+            });
+            let clients: Vec<_> = (0..CLIENTS)
+                .map(|t| {
+                    let px = &px;
+                    let workload = &workload;
+                    let expected = &expected;
+                    let failed = &failed;
+                    let answered = &answered;
+                    scope.spawn(move || {
+                        for round in 0..ROUNDS {
+                            let q = (t + round) % workload.len();
+                            match px.execute(&workload[q].1) {
+                                Ok(got) => {
+                                    answered.fetch_add(1, Ordering::Relaxed);
+                                    assert_eq!(
+                                        multiset(&got.items),
+                                        expected[q],
+                                        "client {t} round {round}: {}",
+                                        workload[q].0
+                                    );
+                                }
+                                // a flap can exhaust the retry budget;
+                                // that must surface as an error, never
+                                // wrong data
+                                Err(_) => {
+                                    failed.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for client in clients {
+                client.join().expect("client thread");
+            }
+            stop.store(true, Ordering::Release);
+            flipper.join().expect("flipper thread");
+        });
+
+        let total = CLIENTS * ROUNDS;
+        let failed = failed.load(Ordering::Relaxed);
+        assert!(
+            failed * 20 <= total,
+            "{failed}/{total} queries failed despite replication"
+        );
+        assert!(answered.load(Ordering::Relaxed) > 0);
+        // counters are monotonic sums over every lookup: each answered
+        // query performed at most one lookup per fragment
+        let stats = px.cache_stats();
+        let lookups = stats.result_hits + stats.result_misses;
+        assert!(lookups > 0, "{stats:?}");
+        assert!(
+            lookups <= (total as u64) * 4,
+            "more cache lookups than dispatched sub-queries: {stats:?}"
+        );
+        assert!(stats.result_hits > 0, "repeated workload never hit: {stats:?}");
+    } // px dropped: its pool must shut down
+    for _ in 0..100 {
+        if pool_threads() <= baseline_threads {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert!(
+        pool_threads() <= baseline_threads,
+        "pool workers leaked after drop"
+    );
+}
+
 /// Publishing new documents after a cached read must invalidate the
 /// cache: the next read sees the new data, not the cached answer.
 #[test]

@@ -5,9 +5,18 @@
 //! * fragmentation correctness (completeness / disjointness /
 //!   reconstruction) for random documents and random fragment designs;
 //! * distributed query answers equal centralized answers for random
-//!   workloads.
+//!   workloads;
+//! * fault tolerance: random fault schedules against replicated
+//!   repositories never fail (replication ≥ 2, one faulty node) and
+//!   `allow_partial` reports exactly the fragments that lost every
+//!   replica.
+//!
+//! `PARTIX_PROPTEST_CASES` overrides every block's case count so CI can
+//! dial the effort.
 
-use partix::engine::{Distribution, NetworkModel, PartiX, Placement};
+use partix::engine::{
+    Distribution, ExecOptions, Fault, FaultPlan, NetworkModel, PartiX, Placement,
+};
 use partix::frag::{check_correctness, FragmentDef, Fragmenter, FragmentationSchema};
 use partix::path::{PathExpr, Predicate};
 use partix::query::Item;
@@ -15,6 +24,15 @@ use partix::schema::{builtin, CollectionDef, RepoKind};
 use partix::xml::{binary, parse, to_string, to_string_pretty, DocBuilder, Document};
 use proptest::prelude::*;
 use std::sync::Arc;
+
+/// Per-block case budget, overridable with `PARTIX_PROPTEST_CASES`.
+fn cases(default_cases: u32) -> ProptestConfig {
+    std::env::var("PARTIX_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .map(ProptestConfig::with_cases)
+        .unwrap_or_else(|| ProptestConfig::with_cases(default_cases))
+}
 
 // ---------------------------------------------------------------- XML --
 
@@ -80,7 +98,7 @@ fn arb_document() -> impl Strategy<Value = Document> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    #![proptest_config(cases(64))]
 
     #[test]
     fn serialize_parse_roundtrip(doc in arb_document()) {
@@ -166,7 +184,7 @@ fn citems() -> CollectionDef {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+    #![proptest_config(cases(48))]
 
     /// Any partition of the section space yields a correct horizontal
     /// fragmentation, and reconstruction restores the collection.
@@ -276,7 +294,7 @@ impl QueryShape {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+    #![proptest_config(cases(32))]
 
     /// For random data and random queries, the distributed answer always
     /// equals the centralized answer (as multisets).
@@ -317,5 +335,132 @@ proptest! {
         a.sort();
         b.sort();
         prop_assert_eq!(a, b, "{:?}", shape);
+    }
+}
+
+// --------------------------------------------------- fault schedules --
+
+/// 3-node middleware with both fragments replicated twice:
+/// `f_media` on nodes {0, 2}, `f_other` on nodes {1, 2}. Any single
+/// node failure leaves every fragment answerable.
+fn replicated_px(docs: &[partix::xml::Document]) -> PartiX {
+    let px = PartiX::new(3, NetworkModel::default());
+    let design = FragmentationSchema::new(
+        citems(),
+        vec![
+            FragmentDef::horizontal(
+                "f_media",
+                Predicate::parse(r#"/Item/Section = "CD" or /Item/Section = "DVD""#).unwrap(),
+            ),
+            FragmentDef::horizontal(
+                "f_other",
+                Predicate::parse(r#"/Item/Section != "CD" and /Item/Section != "DVD""#)
+                    .unwrap(),
+            ),
+        ],
+    )
+    .unwrap();
+    px.register_distribution(Distribution {
+        design,
+        placements: vec![
+            Placement { fragment: "f_media".into(), node: 0 },
+            Placement { fragment: "f_media".into(), node: 2 },
+            Placement { fragment: "f_other".into(), node: 1 },
+            Placement { fragment: "f_other".into(), node: 2 },
+        ],
+    })
+    .unwrap();
+    px.publish("items", docs).unwrap();
+    px
+}
+
+fn multiset(items: &[Item]) -> Vec<String> {
+    let mut v: Vec<String> = items.iter().map(Item::serialize).collect();
+    v.sort();
+    v
+}
+
+proptest! {
+    #![proptest_config(cases(24))]
+
+    /// With replication ≥ 2 and any seeded fault schedule on a single
+    /// node, the retry/failover dispatcher always answers, and the
+    /// answer equals the fault-free result. Latency faults are stripped
+    /// (they only slow calls down and would dominate the test's wall
+    /// clock); error, crash and flip-flop faults stay.
+    #[test]
+    fn single_node_faults_never_fail_replicated_queries(
+        docs in arb_items(),
+        shape in arb_query(),
+        seed in any::<u64>(),
+        faulty in 0usize..3,
+    ) {
+        let clean = replicated_px(&docs);
+        let expected = multiset(&clean.execute(&shape.text("items")).unwrap().items);
+
+        let px = replicated_px(&docs);
+        let mut plan = FaultPlan::from_seed(seed, 3, 1.0);
+        for (node, faults) in plan.node_faults.iter_mut().enumerate() {
+            faults.retain(|f| !matches!(f, Fault::Latency { .. }));
+            if node != faulty {
+                faults.clear();
+            }
+        }
+        plan.install(&px);
+        // repeated execution: later calls walk deeper into call-counter
+        // keyed schedules (error-after-N, flip-flops)
+        for round in 0..3 {
+            let got = px
+                .execute_with(&shape.text("items"), ExecOptions::default())
+                .unwrap_or_else(|e| {
+                    panic!("round {round}, seed {seed:#x}, node {faulty} faulty: {e}")
+                });
+            prop_assert_eq!(multiset(&got.items), expected.clone(), "round {}", round);
+        }
+    }
+
+    /// `allow_partial` reports exactly the fragments whose every replica
+    /// is down — no more, no fewer — and answers from the rest.
+    #[test]
+    fn allow_partial_skips_exactly_dead_fragments(
+        docs in arb_items(),
+        mask in prop::collection::vec(any::<bool>(), 3..4),
+    ) {
+        let px = replicated_px(&docs);
+        for (node, &up) in mask.iter().enumerate() {
+            px.cluster().node(node).unwrap().set_available(up);
+        }
+        let replicas: [(&str, [usize; 2]); 2] =
+            [("f_media", [0, 2]), ("f_other", [1, 2])];
+        let mut expected: Vec<&str> = replicas
+            .iter()
+            .filter(|(_, nodes)| nodes.iter().all(|&n| !mask[n]))
+            .map(|(frag, _)| *frag)
+            .collect();
+        expected.sort();
+
+        let query = r#"for $i in collection("items")/Item return $i/Code"#;
+        let result = px
+            .execute_with(query, ExecOptions { allow_partial: true })
+            .unwrap();
+        let mut skipped: Vec<&str> = result
+            .report
+            .skipped
+            .iter()
+            .map(|s| s.fragment.as_str())
+            .collect();
+        skipped.sort();
+        prop_assert_eq!(skipped, expected.clone(), "mask {:?}", mask);
+        prop_assert_eq!(result.report.partial, !expected.is_empty());
+
+        // the fragments that did answer contribute exactly their data:
+        // with nothing skipped the answer is the full collection
+        if expected.is_empty() {
+            let clean = replicated_px(&docs);
+            prop_assert_eq!(
+                multiset(&result.items),
+                multiset(&clean.execute(query).unwrap().items)
+            );
+        }
     }
 }
