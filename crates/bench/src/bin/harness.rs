@@ -381,8 +381,12 @@ fn throughput_bench(args: &Args) {
         queries_per_client: args.queries,
     };
     let results = partix_bench::throughput::run(&config);
-    std::fs::write(&args.out, partix_bench::throughput::to_json(&config, &results))
-        .expect("write throughput JSON");
+    let overhead = partix_bench::throughput::measure_trace_overhead(&config);
+    std::fs::write(
+        &args.out,
+        partix_bench::throughput::to_json(&config, &results, overhead),
+    )
+    .expect("write throughput JSON");
     println!("wrote {}", args.out);
 }
 

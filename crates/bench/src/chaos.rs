@@ -20,7 +20,7 @@
 //! therefore the same per-node fault parameters) on every run.
 
 use crate::output::json;
-use crate::throughput::percentile;
+use crate::throughput::{percentile, StagePercentiles, StageSamples};
 use crate::{queries, setup};
 use partix_engine::{
     DispatchMode, ExecOptions, FaultInjector, FaultPlan, PartiX, RetryPolicy,
@@ -88,6 +88,8 @@ pub struct ChaosResult {
     pub injected_errors: usize,
     pub injected_outages: usize,
     pub delayed_calls: usize,
+    /// Per-stage p50/p99 attribution over the run's successful queries.
+    pub stages: StagePercentiles,
 }
 
 impl ChaosResult {
@@ -108,6 +110,7 @@ impl ChaosResult {
         json::num_field(&mut out, "injected_errors", self.injected_errors as f64);
         json::num_field(&mut out, "injected_outages", self.injected_outages as f64);
         json::num_field(&mut out, "delayed_calls", self.delayed_calls as f64);
+        self.stages.json_fields(&mut out);
         out.push('}');
         out
     }
@@ -117,6 +120,7 @@ impl ChaosResult {
 #[derive(Debug, Default)]
 struct Tally {
     latencies: Vec<f64>,
+    stages: StageSamples,
     ok: usize,
     failed: usize,
     partial: usize,
@@ -128,6 +132,7 @@ struct Tally {
 impl Tally {
     fn merge(&mut self, other: Tally) {
         self.latencies.extend(other.latencies);
+        self.stages.merge(other.stages);
         self.ok += other.ok;
         self.failed += other.failed;
         self.partial += other.partial;
@@ -159,6 +164,7 @@ fn run_clients_faulty(
                         match px.execute_with(query, options) {
                             Ok(result) => {
                                 tally.latencies.push(issued.elapsed().as_secs_f64());
+                                tally.stages.record(&result.report.stages);
                                 tally.ok += 1;
                                 tally.partial += usize::from(result.report.partial);
                                 tally.retries += result.report.retries;
@@ -237,6 +243,7 @@ fn one_run(
         injected_errors,
         injected_outages,
         delayed_calls,
+        stages: tally.stages.percentiles_ms(),
     }
 }
 
@@ -357,10 +364,13 @@ mod tests {
             faulted.injected_errors + faulted.injected_outages + faulted.delayed_calls > 0,
             "no fault fired"
         );
+        // stage attribution rides along: dispatch dominates clean runs
+        assert!(clean.stages.dispatch_p50_ms > 0.0, "no dispatch stage time");
         let doc = to_json(&config, &plan, &results);
         assert!(doc.contains("\"experiment\":\"chaos\""));
         assert!(doc.contains("\"schedule\":\""));
         assert!(doc.contains("\"label\":\"faulted-partial\""));
+        assert!(doc.contains("\"dispatch_p99_ms\":"));
         assert!(doc.starts_with('{') && doc.ends_with('}'));
     }
 }

@@ -9,6 +9,7 @@
 //! partix query <db-dir> '<xquery>'                   run a query
 //! partix collections <db-dir>                        list collections
 //! partix fragment <db-dir> <collection> <path> <n>   auto-design + apply
+//! partix stats <db-dir> '<xquery>' [--trace FILE]    traced run + metrics
 //! partix chaos [seed]                                fault-tolerance demo
 //! ```
 //!
@@ -189,6 +190,50 @@ pub fn fragment(
     Ok(out.trim_end().to_owned())
 }
 
+/// `partix stats`: run a query through the PartiX coordinator (single
+/// node, passthrough dispatch) with tracing on, then render the result,
+/// the per-stage breakdown, and a snapshot of the process-wide metrics
+/// registry. With `trace_out`, additionally export the query's spans as
+/// a chrome://tracing / Perfetto JSON file.
+pub fn stats(dir: &Path, text: &str, trace_out: Option<&Path>) -> Result<String, CliError> {
+    use partix_engine::{NetworkModel, PartiX};
+
+    let db = open_or_new(dir)?;
+    let px = PartiX::new(1, NetworkModel::instantaneous());
+    px.set_tracing_enabled(true);
+    // the database serves node 0 directly: with no registered
+    // distribution, every query takes the coordinator's passthrough
+    // path, which is still parsed, dispatched, and traced
+    px.cluster()
+        .node(0)
+        .ok_or_else(|| err("stats: coordinator has no node 0"))?
+        .set_driver(std::sync::Arc::new(db));
+    let result = px.execute(text).map_err(|e| err(e.to_string()))?;
+
+    let mut out = partix_query::func::serialize_sequence(&result.items);
+    if out.is_empty() {
+        out.push_str("(empty sequence)");
+    }
+    let _ = write!(out, "\n\n-- query report --\n{}", result.report);
+    let _ = write!(
+        out,
+        "\n-- metrics registry --\n{}",
+        partix_engine::metrics::global().snapshot()
+    );
+    if let Some(path) = trace_out {
+        let json = partix_engine::trace::chrome_trace(&result.report.spans);
+        std::fs::write(path, json)
+            .map_err(|e| err(format!("cannot write {}: {e}", path.display())))?;
+        let _ = write!(
+            out,
+            "\nwrote {} span(s) to {} (load in chrome://tracing or Perfetto)",
+            result.report.spans.len(),
+            path.display()
+        );
+    }
+    Ok(out.trim_end().to_owned())
+}
+
 /// `partix chaos`: a self-contained fault-tolerance demo. Builds a
 /// 3-node replicated horizontal repository from generated items, wraps
 /// the nodes in a seeded [`partix_engine::FaultPlan`], runs a few
@@ -342,6 +387,12 @@ USAGE
   partix fragment <db-dir> <collection> <path> <n>  derive & apply a
                                                     balanced horizontal
                                                     design by <path> values
+  partix stats <db-dir> '<xquery>' [--trace FILE]   run the query through the
+                                                    coordinator with tracing
+                                                    on: stage breakdown +
+                                                    metrics snapshot; --trace
+                                                    exports chrome://tracing
+                                                    JSON
   partix chaos [seed]                               fault-tolerance demo:
                                                     seeded fault injection vs
                                                     retry/failover dispatch
@@ -350,6 +401,7 @@ EXAMPLE
   partix load ./db items item1.xml item2.xml
   partix query ./db 'count(collection(\"items\")/Item)'
   partix fragment ./db items /Item/Section 2
+  partix stats ./db 'count(collection(\"items\")/Item)' --trace trace.json
   partix chaos 0xBEEF";
 
 #[cfg(test)]
@@ -459,6 +511,35 @@ mod tests {
         assert!(e.0.contains("bad.xml"));
         let e = query(&db_dir, "for $").unwrap_err();
         assert!(e.0.contains("parse error"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stats_reports_stages_metrics_and_trace_file() {
+        let dir = tmp("stats");
+        let db_dir = dir.join("db");
+        let files = write_items(&dir, 6);
+        load(&db_dir, "items", &files).unwrap();
+        let trace_path = dir.join("trace.json");
+        let out = stats(
+            &db_dir,
+            r#"count(collection("items")/Item)"#,
+            Some(&trace_path),
+        )
+        .unwrap();
+        assert!(out.starts_with('6'), "{out}");
+        // the stage table and a non-empty registry snapshot are rendered
+        assert!(out.contains("stage        time(ms)"), "{out}");
+        assert!(out.contains("partix.queries"), "{out}");
+        assert!(!out.contains("(no metrics recorded)"), "{out}");
+        // the exported trace is chrome://tracing complete-event JSON
+        let trace = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(trace.starts_with('['), "{trace}");
+        assert!(trace.contains("\"ph\":\"X\""), "{trace}");
+        assert!(trace.contains("\"name\":\"parse\""), "{trace}");
+        // without --trace nothing is written and the command still works
+        let quiet = stats(&db_dir, r#"count(collection("items")/Item)"#, None).unwrap();
+        assert!(quiet.contains("metrics registry"), "{quiet}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

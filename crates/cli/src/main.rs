@@ -24,6 +24,17 @@ fn main() -> ExitCode {
             };
             partix_cli::fragment(Path::new(&args[1]), &args[2], &args[3], n)
         }
+        Some("stats") if args.len() == 3 || args.len() == 5 => {
+            let trace_out = match args.get(3).map(String::as_str) {
+                None => None,
+                Some("--trace") => Some(Path::new(&args[4])),
+                Some(other) => {
+                    eprintln!("stats: unknown flag {other} (expected --trace FILE)");
+                    return ExitCode::FAILURE;
+                }
+            };
+            partix_cli::stats(Path::new(&args[1]), &args[2], trace_out)
+        }
         Some("chaos") if args.len() <= 2 => {
             let seed = match args.get(1) {
                 None => 0xC4A0_5EED,

@@ -99,10 +99,12 @@ impl PlanCache {
     pub fn get_or_parse(&self, text: &str) -> Result<(Arc<Query>, bool), QueryParseError> {
         if let Some(plan) = self.plans.lock().get(&text.to_owned()) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            crate::metrics::global().counter("cache.plan.hits").inc();
             return Ok((Arc::clone(plan), true));
         }
         let plan = Arc::new(parse_query(text)?);
         self.misses.fetch_add(1, Ordering::Relaxed);
+        crate::metrics::global().counter("cache.plan.misses").inc();
         self.plans.lock().insert(text.to_owned(), Arc::clone(&plan));
         Ok((plan, false))
     }
@@ -194,10 +196,12 @@ impl ResultCache {
         match self.entries.lock().get(key) {
             Some(entry) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                crate::metrics::global().counter("cache.result.hits").inc();
                 Some(entry.clone())
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                crate::metrics::global().counter("cache.result.misses").inc();
                 None
             }
         }

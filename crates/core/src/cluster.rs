@@ -19,10 +19,13 @@ pub struct Node {
     pub db: Arc<Database>,
     driver: parking_lot::RwLock<Option<Arc<dyn PartixDriver>>>,
     available: AtomicBool,
-    /// When set and in the future, the node recently failed a dispatch
-    /// (timeout or crash): replica selection avoids it until the cooldown
-    /// expires so repeated queries stop paying the failure's latency.
-    suspect_until: parking_lot::Mutex<Option<Instant>>,
+    /// When set, the node recently failed a dispatch (timeout or crash):
+    /// replica selection avoids it until `marked_at.elapsed() ≥ cooldown`
+    /// so repeated queries stop paying the failure's latency. Stored as
+    /// (mark time, cooldown) rather than a deadline `Instant` because
+    /// `Instant + Duration` panics on overflow for huge cooldowns, while
+    /// `elapsed() < cooldown` is saturating and total.
+    suspect: parking_lot::Mutex<Option<(Instant, Duration)>>,
     /// Per-collection write epochs: bumped on every `store_docs` /
     /// `drop_collection`, whichever driver is active. The coordinator's
     /// result cache embeds the epoch in its keys, so a bump silently
@@ -38,7 +41,7 @@ impl Node {
             db: Arc::new(Database::new()),
             driver: parking_lot::RwLock::new(None),
             available: AtomicBool::new(true),
-            suspect_until: parking_lot::Mutex::new(None),
+            suspect: parking_lot::Mutex::new(None),
             epochs: parking_lot::RwLock::new(HashMap::new()),
         }
     }
@@ -135,13 +138,13 @@ impl Node {
     /// it (when an alternative exists) until the cooldown expires, so a
     /// crashed or hanging node stops charging its timeout to every query.
     pub fn mark_suspect(&self, cooldown: Duration) {
-        *self.suspect_until.lock() = Some(Instant::now() + cooldown);
+        *self.suspect.lock() = Some((Instant::now(), cooldown));
     }
 
     /// Whether the node is inside a suspect cooldown window.
     pub fn is_suspect(&self) -> bool {
-        match *self.suspect_until.lock() {
-            Some(until) => Instant::now() < until,
+        match *self.suspect.lock() {
+            Some((marked_at, cooldown)) => marked_at.elapsed() < cooldown,
             None => false,
         }
     }
@@ -149,7 +152,7 @@ impl Node {
     /// Clear the suspect flag — called after the node answers a dispatch
     /// successfully (it earned its way back into rotation).
     pub fn clear_suspect(&self) {
-        *self.suspect_until.lock() = None;
+        *self.suspect.lock() = None;
     }
 }
 
@@ -280,6 +283,20 @@ mod tests {
         // an already-expired cooldown is not suspect
         n.mark_suspect(Duration::from_secs(0));
         std::thread::sleep(Duration::from_millis(2));
+        assert!(!n.is_suspect());
+    }
+
+    #[test]
+    fn extreme_cooldowns_never_panic() {
+        let c = Cluster::new(1);
+        let n = c.node(0).unwrap();
+        // Duration::MAX would overflow `Instant::now() + cooldown`
+        n.mark_suspect(Duration::MAX);
+        assert!(n.is_suspect());
+        n.clear_suspect();
+        assert!(!n.is_suspect());
+        // zero-width window is instantly expired, not underflowed
+        n.mark_suspect(Duration::ZERO);
         assert!(!n.is_suspect());
     }
 

@@ -42,6 +42,13 @@
 //!   [`faults::FaultInjector`] (crashes, DBMS errors, latency,
 //!   flip-flopping availability), exercising the dispatch layer's
 //!   retry/deadline/failover machinery ([`service::RetryPolicy`]).
+//! * [`trace`] — per-query spans on a monotonic clock, collapsed into a
+//!   [`trace::StageBreakdown`] (parse / localize / dispatch / compose,
+//!   plus per-sub-query queue-wait, execute and backoff) carried by each
+//!   [`report::QueryReport`], exportable in Chrome trace-event format.
+//! * [`metrics`] — the process-wide [`metrics::MetricsRegistry`]: named
+//!   counters, gauges and lock-free log-bucket latency histograms
+//!   (cache hits, pool queue depth, retries, timeouts, bytes moved).
 //!
 //! The *parallel elapsed time* in a [`report::QueryReport`] follows the
 //! paper's methodology: the slowest site determines the parallel time,
@@ -55,17 +62,21 @@ pub mod compose;
 pub mod driver;
 pub mod faults;
 pub mod localize;
+pub mod metrics;
 pub mod publisher;
 pub mod report;
 pub mod runtime;
 pub mod service;
+pub mod trace;
 
 pub use cache::CacheStats;
 pub use catalog::{Catalog, Distribution, Placement};
 pub use cluster::{Cluster, NetworkModel, Node};
 pub use driver::{DriverError, InstrumentedDriver, PartixDriver};
 pub use faults::{Fault, FaultInjector, FaultPlan, InjectionStats};
+pub use metrics::{MetricsRegistry, Snapshot};
 pub use report::{QueryReport, SiteReport, SkippedFragment};
+pub use trace::{SpanRecord, StageBreakdown, SubQueryStage, Trace};
 pub use runtime::PoolConfig;
 pub use service::{
     DispatchMode, DistributedResult, ExecOptions, PartiX, PartixError, RetryPolicy,

@@ -1,5 +1,6 @@
 //! Query execution reports: the numbers the paper's figures plot.
 
+use crate::trace::{SpanRecord, StageBreakdown};
 use std::fmt;
 
 /// Execution record of one sub-query at one site.
@@ -72,6 +73,15 @@ pub struct QueryReport {
     /// Fragments that contributed nothing because every dispatch attempt
     /// on every replica failed (degraded mode).
     pub skipped: Vec<SkippedFragment>,
+    /// Coordinator-stage attribution (parse / localize / dispatch /
+    /// compose and per-sub-query dispatch detail). Always measured — the
+    /// cost is a few monotonic-clock reads per query.
+    pub stages: StageBreakdown,
+    /// Raw spans behind `stages`, exportable via
+    /// [`trace::chrome_trace`](crate::trace::chrome_trace). Collected
+    /// only while the service's tracing flag is on
+    /// ([`PartiX::set_tracing_enabled`](crate::PartiX::set_tracing_enabled)).
+    pub spans: Vec<SpanRecord>,
 }
 
 /// One fragment dropped from a degraded (`allow_partial`) answer.
@@ -143,6 +153,29 @@ impl fmt::Display for QueryReport {
                 if site.index_used { ", index" } else { "" },
                 if site.from_cache { ", cached" } else { "" },
             )?;
+        }
+        if self.stages.is_measured() {
+            writeln!(f, "  stage        time(ms)")?;
+            for (name, secs) in [
+                ("parse", self.stages.parse_s),
+                ("localize", self.stages.localize_s),
+                ("dispatch", self.stages.dispatch_s),
+                ("compose", self.stages.compose_s),
+            ] {
+                writeln!(f, "  {name:<12} {:>8.3}", secs * 1e3)?;
+            }
+            for sub in &self.stages.subqueries {
+                writeln!(
+                    f,
+                    "    [{}]@n{}: {} attempt(s), wait {:.3}ms, exec {:.3}ms, backoff {:.3}ms",
+                    sub.fragment,
+                    sub.node,
+                    sub.attempts,
+                    sub.queue_wait_s * 1e3,
+                    sub.execute_s * 1e3,
+                    sub.backoff_s * 1e3,
+                )?;
+            }
         }
         Ok(())
     }
@@ -218,6 +251,36 @@ mod tests {
         assert!(text.contains("skipped [f_dvd]: every replica down"), "{text}");
         // and stays silent on a clean run
         assert!(!QueryReport::default().to_string().contains("faults:"));
+    }
+
+    #[test]
+    fn display_shows_stage_table_when_measured() {
+        use crate::trace::SubQueryStage;
+        let report = QueryReport {
+            sites: vec![site(0, 0.1, 10)],
+            stages: StageBreakdown {
+                parse_s: 0.0001,
+                localize_s: 0.0002,
+                dispatch_s: 0.1,
+                compose_s: 0.001,
+                subqueries: vec![SubQueryStage {
+                    fragment: "f0".into(),
+                    node: 0,
+                    attempts: 2,
+                    execute_s: 0.09,
+                    backoff_s: 0.005,
+                    retries: 1,
+                    ..Default::default()
+                }],
+            },
+            ..Default::default()
+        };
+        let text = report.to_string();
+        assert!(text.contains("stage        time(ms)"), "{text}");
+        assert!(text.contains("dispatch"), "{text}");
+        assert!(text.contains("[f0]@n0: 2 attempt(s)"), "{text}");
+        // silent when tracing was off
+        assert!(!QueryReport::default().to_string().contains("stage"));
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! through the closure, so the pool needs no knowledge of result types.
 
 use crate::cluster::Cluster;
+use crate::metrics;
 use crossbeam::channel::{bounded, Sender};
 use std::thread::JoinHandle;
 
@@ -91,9 +92,22 @@ impl WorkerPool {
     /// after the pool was built) — caller should fall back to inline
     /// execution.
     pub fn submit(&self, node: usize, job: Job) -> bool {
-        match self.queues.get(node) {
-            Some(queue) => queue.sender.send(job).is_ok(),
-            None => false,
+        let Some(queue) = self.queues.get(node) else { return false };
+        let reg = metrics::global();
+        let depth = reg.gauge("pool.queue.depth");
+        let completed = reg.counter("pool.jobs.completed");
+        depth.inc();
+        let job: Job = Box::new(move || {
+            depth.dec();
+            job();
+            completed.inc();
+        });
+        if queue.sender.send(job).is_ok() {
+            reg.counter("pool.jobs.submitted").inc();
+            true
+        } else {
+            reg.gauge("pool.queue.depth").dec();
+            false
         }
     }
 }
@@ -177,6 +191,24 @@ mod tests {
         let cluster = Cluster::new(1);
         let pool = WorkerPool::new(&cluster, PoolConfig::default());
         assert!(!pool.submit(5, Box::new(|| {})));
+    }
+
+    #[test]
+    fn submissions_feed_pool_metrics() {
+        let cluster = Cluster::new(1);
+        let pool = WorkerPool::new(&cluster, PoolConfig::default());
+        let reg = metrics::global();
+        let before = reg.counter("pool.jobs.submitted").get();
+        let (tx, rx) = unbounded();
+        for _ in 0..3 {
+            let tx = tx.clone();
+            assert!(pool.submit(0, Box::new(move || tx.send(()).unwrap())));
+        }
+        drop(tx);
+        assert_eq!(rx.iter().count(), 3);
+        // the registry is process-global, so assert deltas, not totals
+        assert!(reg.counter("pool.jobs.submitted").get() >= before + 3);
+        assert!(reg.counter("pool.jobs.completed").get() >= 3);
     }
 
     #[test]

@@ -26,8 +26,10 @@ use crate::cluster::{Cluster, NetworkModel, Node};
 use crate::compose::{self, Composition};
 use crate::driver::DriverError;
 use crate::localize;
+use crate::metrics;
 use crate::report::{QueryReport, SiteReport, SkippedFragment};
 use crate::runtime::{PoolConfig, WorkerPool};
+use crate::trace::{StageBreakdown, SubQueryStage, Trace};
 use parking_lot::{Mutex, RwLock, RwLockReadGuard};
 use partix_frag::{FragMode, FragOp};
 use partix_query::rewrite::{rewrite_collection_name, rewrite_for_vertical};
@@ -182,6 +184,10 @@ pub struct PartiX {
     retry: RwLock<RetryPolicy>,
     /// Per-fragment round-robin counters driving replica rotation.
     rotation: Mutex<HashMap<String, usize>>,
+    /// Gates per-query span collection ([`QueryReport::spans`]). Stage
+    /// wall times in [`QueryReport::stages`] are always measured — they
+    /// cost a handful of `Instant::now()` reads; spans allocate.
+    tracing: std::sync::atomic::AtomicBool,
 }
 
 impl PartiX {
@@ -205,6 +211,26 @@ impl PartiX {
             result_cache_enabled: std::sync::atomic::AtomicBool::new(false),
             retry: RwLock::new(RetryPolicy::default()),
             rotation: Mutex::new(HashMap::new()),
+            tracing: std::sync::atomic::AtomicBool::new(true),
+        }
+    }
+
+    /// Enable/disable per-query span collection (on by default; see
+    /// [`QueryReport::spans`]). Stage totals keep being measured either
+    /// way — only the span list is gated.
+    pub fn set_tracing_enabled(&self, enabled: bool) {
+        self.tracing.store(enabled, std::sync::atomic::Ordering::Release);
+    }
+
+    pub fn tracing_enabled(&self) -> bool {
+        self.tracing.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    fn new_trace(&self) -> Trace {
+        if self.tracing_enabled() {
+            Trace::new()
+        } else {
+            Trace::disabled()
         }
     }
 
@@ -342,18 +368,26 @@ impl PartiX {
         text: &str,
         options: ExecOptions,
     ) -> Result<DistributedResult, PartixError> {
-        if self.plan_cache_enabled() {
-            let (query, hit) = self
-                .plan_cache
-                .get_or_parse(text)
-                .map_err(PartixError::Parse)?;
-            let mut result = self.execute_query_with(&query, options)?;
-            result.report.plan_cache_hit = hit;
-            Ok(result)
-        } else {
-            let query = parse_query(text).map_err(PartixError::Parse)?;
-            self.execute_query_with(&query, options)
-        }
+        let trace = self.new_trace();
+        let parse_start = Instant::now();
+        count_failure((|| {
+            if self.plan_cache_enabled() {
+                let (query, hit) = self
+                    .plan_cache
+                    .get_or_parse(text)
+                    .map_err(PartixError::Parse)?;
+                let parse_s = parse_start.elapsed().as_secs_f64();
+                trace.record("parse", 0, parse_start);
+                let mut result = self.execute_traced(&query, options, &trace, parse_s)?;
+                result.report.plan_cache_hit = hit;
+                Ok(result)
+            } else {
+                let query = parse_query(text).map_err(PartixError::Parse)?;
+                let parse_s = parse_start.elapsed().as_secs_f64();
+                trace.record("parse", 0, parse_start);
+                self.execute_traced(&query, options, &trace, parse_s)
+            }
+        })())
     }
 
     /// Execute the centralized baseline: the query as-is against one
@@ -385,6 +419,23 @@ impl PartiX {
         query: &Query,
         options: ExecOptions,
     ) -> Result<DistributedResult, PartixError> {
+        let trace = self.new_trace();
+        // pre-parsed entry: there was no parse stage to time
+        count_failure(self.execute_traced(query, options, &trace, 0.0))
+    }
+
+    /// The decomposition/dispatch/composition pipeline, with stage
+    /// attribution recorded into `trace` and the report's
+    /// [`StageBreakdown`].
+    fn execute_traced(
+        &self,
+        query: &Query,
+        options: ExecOptions,
+        trace: &Trace,
+        parse_s: f64,
+    ) -> Result<DistributedResult, PartixError> {
+        let query_start = Instant::now();
+        let localize_start = Instant::now();
         let catalog = self.catalog.read();
         // the first collection with a registered distribution drives
         // decomposition
@@ -394,7 +445,7 @@ impl PartiX {
             .find(|c| catalog.distribution(c).is_some());
         let Some(collection) = target else {
             drop(catalog);
-            return self.passthrough(query);
+            return self.passthrough(query, trace, parse_s);
         };
         // refcount bump, not a deep copy of the design + placements
         let dist = Arc::clone(catalog.distribution(&collection).expect("checked above"));
@@ -440,10 +491,20 @@ impl PartiX {
                 }
             }
         }
+        let localize_s = localize_start.elapsed().as_secs_f64();
+        trace.record("localize", 0, localize_start);
         if needs_reconstruction {
             // all-or-nothing: a reconstruction missing a fragment would
             // produce wrong documents, not a partial answer
-            return self.reconstruct_and_evaluate(query, &collection, &dist, pruned);
+            return self.reconstruct_and_evaluate(
+                query,
+                &collection,
+                &dist,
+                pruned,
+                trace,
+                parse_s,
+                localize_s,
+            );
         }
 
         let composition = compose::classify(query);
@@ -452,6 +513,7 @@ impl PartiX {
 
         // serve sub-queries from the result cache where possible; only
         // the remainder is dispatched to nodes
+        let dispatch_start = Instant::now();
         let use_cache = self.result_cache_enabled();
         let mut slots: Vec<Option<SiteSlot>> = (0..tasks.len()).map(|_| None).collect();
         // pending tasks carry the pre-dispatch write epoch of *every*
@@ -498,6 +560,8 @@ impl PartiX {
                             retries: 0,
                             failovers: 0,
                             timeouts: 0,
+                            // cache hits never dispatch: no stage entry
+                            stage: SubQueryStage::default(),
                         },
                         cached: true,
                     });
@@ -516,13 +580,15 @@ impl PartiX {
         };
 
         let dispatched_any = !pending.is_empty();
+        let mut sub_stages: Vec<SubQueryStage> = Vec::new();
         if dispatched_any {
             let todo: Vec<SubQuery> =
                 pending.iter().map(|&(i, _)| tasks[i].clone()).collect();
-            let runs = self.dispatch(&todo, avg_mode);
+            let runs = self.dispatch(&todo, avg_mode, trace);
             for ((i, epochs), run) in pending.into_iter().zip(runs) {
                 match run {
-                    Ok(run) => {
+                    Ok(mut run) => {
+                        sub_stages.push(std::mem::take(&mut run.stage));
                         if use_cache {
                             // key the entry under the replica that
                             // actually answered (it may not be the
@@ -552,6 +618,7 @@ impl PartiX {
                         slots[i] = Some(SiteSlot { run, cached: false });
                     }
                     Err(failure) if options.allow_partial => {
+                        sub_stages.push(*failure.stage);
                         report.retries += failure.retries;
                         report.failovers += failure.failovers;
                         report.timeouts += failure.timeouts;
@@ -565,6 +632,8 @@ impl PartiX {
             }
         }
         report.partial = !report.skipped.is_empty();
+        let dispatch_s = dispatch_start.elapsed().as_secs_f64();
+        trace.record("dispatch", 0, dispatch_start);
 
         let mut total_bytes = 0usize;
         let mut partials: Vec<Sequence> = Vec::with_capacity(tasks.len());
@@ -600,6 +669,7 @@ impl PartiX {
         let compose_start = Instant::now();
         let items = compose::combine(composition, partials);
         report.composition = compose_start.elapsed().as_secs_f64();
+        trace.record("compose", 0, compose_start);
 
         // one overlapped request/response round trip; partial results
         // serialize on the coordinator's link — charged only when at
@@ -608,6 +678,15 @@ impl PartiX {
             report.transmission = 2.0 * self.network.latency_secs
                 + total_bytes as f64 / self.network.bandwidth_bytes_per_sec;
         }
+        report.stages = StageBreakdown {
+            parse_s,
+            localize_s,
+            dispatch_s,
+            compose_s: report.composition,
+            subqueries: sub_stages,
+        };
+        report.spans = trace.finish();
+        record_query_metrics(&report, total_bytes, parse_s + query_start.elapsed().as_secs_f64());
         Ok(DistributedResult { items, report })
     }
 
@@ -659,9 +738,24 @@ impl PartiX {
 
     /// Run a query that references no distributed collection directly on
     /// node 0 (centralized passthrough).
-    fn passthrough(&self, query: &Query) -> Result<DistributedResult, PartixError> {
+    fn passthrough(
+        &self,
+        query: &Query,
+        trace: &Trace,
+        parse_s: f64,
+    ) -> Result<DistributedResult, PartixError> {
         let node = self.cluster.node(0).expect("cluster non-empty");
-        let out = run_on_node(node, query, false).map_err(|e| match e {
+        let dispatch_start = Instant::now();
+        // the driver runs inline here — a panicking driver must surface
+        // as a typed error, not unwind into the caller
+        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_on_node(node, query, false)
+        }))
+        .unwrap_or_else(|payload| Err(DispatchError::Failed(panic_message(payload))));
+        let dispatch_s = dispatch_start.elapsed().as_secs_f64();
+        trace.record("exec:<passthrough>@n0", 1, dispatch_start);
+        trace.record("dispatch", 0, dispatch_start);
+        let out = out.map_err(|e| match e {
             DispatchError::Down | DispatchError::Timeout => PartixError::NodeUnavailable {
                 node: 0,
                 fragment: "<passthrough>".into(),
@@ -672,7 +766,7 @@ impl PartiX {
                 error: msg,
             },
         })?;
-        let report = QueryReport {
+        let mut report = QueryReport {
             sites: vec![SiteReport {
                 node: 0,
                 fragment: "<passthrough>".into(),
@@ -690,6 +784,20 @@ impl PartiX {
             transmission: self.network.transmission_time(out.result_bytes),
             ..Default::default()
         };
+        report.stages = StageBreakdown {
+            parse_s,
+            dispatch_s,
+            subqueries: vec![SubQueryStage {
+                fragment: "<passthrough>".into(),
+                node: 0,
+                attempts: 1,
+                execute_s: dispatch_s,
+                ..Default::default()
+            }],
+            ..Default::default()
+        };
+        report.spans = trace.finish();
+        record_query_metrics(&report, out.result_bytes, parse_s + dispatch_s);
         Ok(DistributedResult { items: out.items, report })
     }
 
@@ -702,22 +810,52 @@ impl PartiX {
         &self,
         tasks: &[SubQuery],
         avg_mode: bool,
+        trace: &Trace,
     ) -> Vec<Result<SiteRun, RunFailure>> {
         match self.dispatch {
-            DispatchMode::Simulated => {
-                tasks.iter().map(|task| self.run_subquery(task, avg_mode)).collect()
-            }
+            DispatchMode::Simulated => tasks
+                .iter()
+                .enumerate()
+                .map(|(i, task)| self.run_subquery_guarded(task, avg_mode, trace, i + 1))
+                .collect(),
             DispatchMode::Threads | DispatchMode::Pool => std::thread::scope(|scope| {
                 let handles: Vec<_> = tasks
                     .iter()
-                    .map(|task| scope.spawn(move || self.run_subquery(task, avg_mode)))
+                    .enumerate()
+                    .map(|(i, task)| {
+                        let h = scope
+                            .spawn(move || self.run_subquery_guarded(task, avg_mode, trace, i + 1));
+                        (task, h)
+                    })
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("coordinator task does not panic"))
+                    .map(|(task, h)| {
+                        // the guard already catches panics inside the
+                        // coordinator task; a join error would re-raise
+                        // the panic into *every* concurrent query, so
+                        // fold it into a per-task failure instead
+                        h.join().unwrap_or_else(|payload| Err(panic_failure(task, payload)))
+                    })
                     .collect()
             }),
         }
+    }
+
+    /// [`PartiX::run_subquery`] with a panic firewall: a panicking
+    /// driver (or a bug in the retry loop itself) becomes this one
+    /// task's [`RunFailure`], never a process-wide unwind.
+    fn run_subquery_guarded(
+        &self,
+        task: &SubQuery,
+        avg_mode: bool,
+        trace: &Trace,
+        lane: usize,
+    ) -> Result<SiteRun, RunFailure> {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.run_subquery(task, avg_mode, trace, lane)
+        }))
+        .unwrap_or_else(|payload| Err(panic_failure(task, payload)))
     }
 
     /// Run one sub-query to completion under the [`RetryPolicy`]: up to
@@ -725,7 +863,13 @@ impl PartiX {
     /// live and not suspect, walking the replica ring on every failure
     /// (mid-flight failover). Crashes and deadline expiries mark the
     /// node suspect; a successful answer clears the flag.
-    fn run_subquery(&self, task: &SubQuery, avg_mode: bool) -> Result<SiteRun, RunFailure> {
+    fn run_subquery(
+        &self,
+        task: &SubQuery,
+        avg_mode: bool,
+        trace: &Trace,
+        lane: usize,
+    ) -> Result<SiteRun, RunFailure> {
         let policy = self.retry_policy();
         // walk the replica ring starting at the planner's pick
         let ring = &task.replicas;
@@ -735,6 +879,11 @@ impl PartiX {
         let mut timeouts = 0usize;
         let mut last_node: Option<usize> = None;
         let mut last_error: Option<DispatchError> = None;
+        let mut stage = SubQueryStage {
+            fragment: task.fragment.clone(),
+            node: task.node,
+            ..Default::default()
+        };
         for attempt in 0..policy.max_attempts.max(1) {
             // each attempt starts one step further around the replica
             // ring, moving past whichever replica just failed
@@ -759,14 +908,41 @@ impl PartiX {
                 if last_node != Some(node_id) {
                     failovers += 1;
                 }
+                let backoff_start = Instant::now();
                 std::thread::sleep(policy.backoff(attempt - 1));
+                stage.backoff_s += backoff_start.elapsed().as_secs_f64();
+                trace.record(&format!("backoff:{}", task.fragment), lane, backoff_start);
             }
             last_node = Some(node_id);
+            stage.attempts += 1;
             let node = Arc::clone(self.cluster.node(node_id).expect("picked from cluster"));
-            match self.attempt(&node, &task.query, avg_mode, policy.timeout) {
-                Ok(output) => {
+            let exec_start = Instant::now();
+            let outcome = self.attempt(&node, &task.query, avg_mode, policy.timeout);
+            stage.execute_s += exec_start.elapsed().as_secs_f64();
+            trace.record(
+                &format!("exec:{}#{attempt}@n{node_id}", task.fragment),
+                lane,
+                exec_start,
+            );
+            match outcome {
+                Ok((output, queue_wait)) => {
+                    stage.queue_wait_s += queue_wait.as_secs_f64();
                     node.clear_suspect();
-                    return Ok(SiteRun { output, node: node_id, retries, failovers, timeouts });
+                    stage.node = node_id;
+                    stage.retries = retries;
+                    stage.failovers = failovers;
+                    stage.timeouts = timeouts;
+                    let reg = metrics::global();
+                    reg.histogram("subquery.execute").record_secs(output.elapsed);
+                    reg.histogram("subquery.queue_wait").record_secs(queue_wait.as_secs_f64());
+                    return Ok(SiteRun {
+                        output,
+                        node: node_id,
+                        retries,
+                        failovers,
+                        timeouts,
+                        stage,
+                    });
                 }
                 Err(DispatchError::Timeout) => {
                     timeouts += 1;
@@ -786,6 +962,10 @@ impl PartiX {
             }
         }
         let node = last_node.unwrap_or(task.node);
+        stage.node = node;
+        stage.retries = retries;
+        stage.failovers = failovers;
+        stage.timeouts = timeouts;
         let error = match last_error {
             Some(DispatchError::Failed(msg)) => PartixError::SubQuery {
                 node,
@@ -794,7 +974,7 @@ impl PartiX {
             },
             _ => PartixError::NodeUnavailable { node, fragment: task.fragment.clone() },
         };
-        Err(RunFailure { error, retries, failovers, timeouts })
+        Err(RunFailure { error, retries, failovers, timeouts, stage: Box::new(stage) })
     }
 
     /// One dispatch attempt against one node, honouring the per-attempt
@@ -802,19 +982,22 @@ impl PartiX {
     /// abandoned on expiry (a late answer is discarded — the channel's
     /// receiver is gone); simulated attempts run inline, so the deadline
     /// is checked after the fact.
+    /// On success the attempt's answer is paired with the time it spent
+    /// queued before a worker picked it up (zero outside
+    /// [`DispatchMode::Pool`]).
     fn attempt(
         &self,
         node: &Arc<Node>,
         query: &Arc<Query>,
         avg_mode: bool,
         timeout: Option<Duration>,
-    ) -> Result<SiteOutput, DispatchError> {
+    ) -> Result<(SiteOutput, Duration), DispatchError> {
         let inline = |node: &Node| {
             let begun = Instant::now();
             let result = run_on_node(node, query, avg_mode);
             match timeout {
                 Some(limit) if begun.elapsed() > limit => Err(DispatchError::Timeout),
-                _ => result,
+                _ => result.map(|out| (out, Duration::ZERO)),
             }
         };
         match self.dispatch {
@@ -824,7 +1007,7 @@ impl PartiX {
                 let node = Arc::clone(node);
                 let query = Arc::clone(query);
                 std::thread::spawn(move || {
-                    let _ = tx.send(run_on_node(&node, &query, avg_mode));
+                    let _ = tx.send((Duration::ZERO, run_on_node(&node, &query, avg_mode)));
                 });
                 recv_attempt(&rx, timeout)
             }
@@ -832,10 +1015,14 @@ impl PartiX {
                 let (tx, rx) = crossbeam::channel::bounded(1);
                 let job_node = Arc::clone(node);
                 let query = Arc::clone(query);
+                let submitted_at = Instant::now();
                 let submitted = self.pool().submit(
                     node.id,
                     Box::new(move || {
-                        let _ = tx.send(run_on_node(&job_node, &query, avg_mode));
+                        // measured at job start: how long the sub-query
+                        // sat in the node's bounded queue
+                        let wait = submitted_at.elapsed();
+                        let _ = tx.send((wait, run_on_node(&job_node, &query, avg_mode)));
                     }),
                 );
                 if !submitted {
@@ -850,18 +1037,24 @@ impl PartiX {
 
     /// Multi-fragment fallback: fetch every fragment, rebuild the source
     /// documents at the coordinator, evaluate the original query locally.
+    #[allow(clippy::too_many_arguments)]
     fn reconstruct_and_evaluate(
         &self,
         query: &Query,
         collection: &str,
         dist: &Distribution,
         pruned: usize,
+        trace: &Trace,
+        parse_s: f64,
+        localize_s: f64,
     ) -> Result<DistributedResult, PartixError> {
         let mut report = QueryReport {
             fragments_pruned: pruned,
             reconstructed: true,
             ..Default::default()
         };
+        let dispatch_start = Instant::now();
+        let mut sub_stages: Vec<SubQueryStage> = Vec::new();
         // fetch all fragments (reconstruction needs complete coverage);
         // the fetched documents stay behind their `Arc`s — no deep copy
         // at the fetch boundary
@@ -873,6 +1066,14 @@ impl PartiX {
             let start = Instant::now();
             let docs = node.fetch_docs(&frag.name);
             let elapsed = start.elapsed().as_secs_f64();
+            trace.record(&format!("fetch:{}@n{node_id}", frag.name), 0, start);
+            sub_stages.push(SubQueryStage {
+                fragment: frag.name.clone(),
+                node: node_id,
+                attempts: 1,
+                execute_s: elapsed,
+                ..Default::default()
+            });
             let bytes: usize = docs.iter().map(|d| d.approx_size()).sum();
             report.sites.push(SiteReport {
                 node: node_id,
@@ -893,6 +1094,8 @@ impl PartiX {
         }
         report.transmission = 2.0 * self.network.latency_secs
             + total_bytes as f64 / self.network.bandwidth_bytes_per_sec;
+        let dispatch_s = dispatch_start.elapsed().as_secs_f64();
+        trace.record("dispatch", 0, dispatch_start);
         // rebuild and evaluate locally
         let compose_start = Instant::now();
         let rebuilt =
@@ -906,6 +1109,16 @@ impl PartiX {
             error: e.to_string(),
         })?;
         report.composition = compose_start.elapsed().as_secs_f64();
+        trace.record("compose", 0, compose_start);
+        report.stages = StageBreakdown {
+            parse_s,
+            localize_s,
+            dispatch_s,
+            compose_s: report.composition,
+            subqueries: sub_stages,
+        };
+        report.spans = trace.finish();
+        record_query_metrics(&report, total_bytes, parse_s + localize_s + dispatch_s + report.composition);
         Ok(DistributedResult { items: out.items, report })
     }
 }
@@ -932,6 +1145,8 @@ struct SiteRun {
     retries: usize,
     failovers: usize,
     timeouts: usize,
+    /// Dispatch-stage attribution of this sub-query's retry loop.
+    stage: SubQueryStage,
 }
 
 /// A filled result slot: a dispatched (or cache-served) sub-query.
@@ -946,6 +1161,11 @@ struct RunFailure {
     retries: usize,
     failovers: usize,
     timeouts: usize,
+    /// What the failed loop cost — kept so degraded (`allow_partial`)
+    /// answers still attribute the time they burned. Boxed to keep the
+    /// `Err` variant of the dispatch results small (clippy
+    /// `result_large_err`).
+    stage: Box<SubQueryStage>,
 }
 
 /// Flattened per-site output.
@@ -979,20 +1199,90 @@ enum DispatchError {
 }
 
 /// Wait for a threaded/pooled attempt's answer, bounded by the deadline.
-/// A disconnected channel means the attempt's thread died without
-/// answering — treated like an unreachable node.
+/// The sender pairs every answer with the attempt's queue wait. A
+/// disconnected channel means the attempt's thread died without
+/// answering (including a panic unwinding it) — treated like an
+/// unreachable node.
 fn recv_attempt(
-    rx: &crossbeam::channel::Receiver<Result<SiteOutput, DispatchError>>,
+    rx: &crossbeam::channel::Receiver<(Duration, Result<SiteOutput, DispatchError>)>,
     timeout: Option<Duration>,
-) -> Result<SiteOutput, DispatchError> {
-    match timeout {
+) -> Result<(SiteOutput, Duration), DispatchError> {
+    let (wait, result) = match timeout {
         Some(limit) => match rx.recv_timeout(limit) {
-            Ok(result) => result,
-            Err(crossbeam::channel::RecvTimeoutError::Timeout) => Err(DispatchError::Timeout),
-            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => Err(DispatchError::Down),
+            Ok(msg) => msg,
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                return Err(DispatchError::Timeout)
+            }
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                return Err(DispatchError::Down)
+            }
         },
-        None => rx.recv().unwrap_or(Err(DispatchError::Down)),
+        None => match rx.recv() {
+            Ok(msg) => msg,
+            Err(_) => return Err(DispatchError::Down),
+        },
+    };
+    result.map(|out| (out, wait))
+}
+
+/// Best-effort text of a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_owned()
     }
+}
+
+/// Fold a coordinator-task panic into the task's own failure so it
+/// cannot cascade into concurrent queries.
+fn panic_failure(task: &SubQuery, payload: Box<dyn std::any::Any + Send>) -> RunFailure {
+    RunFailure {
+        error: PartixError::SubQuery {
+            node: task.node,
+            fragment: task.fragment.clone(),
+            error: format!("sub-query panicked: {}", panic_message(payload)),
+        },
+        retries: 0,
+        failovers: 0,
+        timeouts: 0,
+        stage: Box::new(SubQueryStage {
+            fragment: task.fragment.clone(),
+            node: task.node,
+            attempts: 1,
+            ..Default::default()
+        }),
+    }
+}
+
+/// Count a failed execution into the registry (successes are counted by
+/// [`record_query_metrics`] with their stage detail).
+fn count_failure<T>(result: Result<T, PartixError>) -> Result<T, PartixError> {
+    if result.is_err() {
+        metrics::global().counter("partix.queries.failed").inc();
+    }
+    result
+}
+
+/// Fold one finished query into the process-wide registry.
+fn record_query_metrics(report: &QueryReport, bytes_shipped: usize, total_s: f64) {
+    let reg = metrics::global();
+    reg.counter("partix.queries").inc();
+    if report.partial {
+        reg.counter("partix.queries.partial").inc();
+    }
+    reg.counter("dispatch.subqueries").add(report.stages.subqueries.len() as u64);
+    reg.counter("dispatch.retries").add(report.retries as u64);
+    reg.counter("dispatch.failovers").add(report.failovers as u64);
+    reg.counter("dispatch.timeouts").add(report.timeouts as u64);
+    reg.counter("net.bytes_shipped").add(bytes_shipped as u64);
+    reg.histogram("stage.parse").record_secs(report.stages.parse_s);
+    reg.histogram("stage.localize").record_secs(report.stages.localize_s);
+    reg.histogram("stage.dispatch").record_secs(report.stages.dispatch_s);
+    reg.histogram("stage.compose").record_secs(report.stages.compose_s);
+    reg.histogram("query.total").record_secs(total_s);
 }
 
 fn run_on_node(node: &Node, query: &Query, avg_mode: bool) -> Result<SiteOutput, DispatchError> {

@@ -22,7 +22,27 @@ cargo test -q --test concurrency --offline chaos
 cargo test -q -p partix-bench --offline chaos
 cargo test -q -p partix-engine --offline faults
 
+# observability gate: span/metrics units, stage-breakdown consistency
+# (fault-free and under a seeded fault plan), panic containment.
+cargo test -q -p partix-engine --offline trace
+cargo test -q -p partix-engine --offline metrics
+cargo test -q --test observability --offline
+
 # any clippy warning fails the gate
 cargo clippy --workspace --offline -- -D warnings
+
+# the throughput JSON must carry per-stage attribution and the measured
+# tracing overhead — a quick 2-client run regenerates a scratch copy
+STAGE_JSON="$(mktemp /tmp/partix-verify-throughput.XXXXXX.json)"
+trap 'rm -f "$STAGE_JSON"' EXIT
+./target/release/harness throughput --clients 2 --queries 10 \
+    --out "$STAGE_JSON" > /dev/null
+for field in parse_p50_ms localize_p99_ms dispatch_p99_ms compose_p50_ms \
+    trace_overhead_pct; do
+    if ! grep -q "\"$field\":" "$STAGE_JSON"; then
+        echo "verify: FAIL — $field missing from throughput JSON" >&2
+        exit 1
+    fi
+done
 
 echo "verify: OK"

@@ -419,6 +419,56 @@ proptest! {
         }
     }
 
+    /// Any suspect cooldown — zero, sub-microsecond, or effectively
+    /// infinite ([`Duration::MAX`]) — must never panic the dispatcher:
+    /// the cooldown check is `marked_at.elapsed() < cooldown`, which
+    /// cannot overflow, where the naive `marked_at + cooldown` would.
+    /// With replication ≥ 2 and one faulty node, queries still answer
+    /// (an eternally-suspect replica is deprioritized, not abandoned).
+    #[test]
+    fn extreme_suspect_cooldowns_never_panic(
+        docs in arb_items(),
+        seed in any::<u64>(),
+        faulty in 0usize..3,
+        cooldown_exp in 0u32..64,
+    ) {
+        use partix::engine::RetryPolicy;
+        use std::time::Duration;
+        let cooldown = if cooldown_exp >= 63 {
+            Duration::MAX
+        } else {
+            Duration::from_nanos(1u64 << cooldown_exp)
+        };
+        let clean = replicated_px(&docs);
+        let query = r#"count(collection("items")/Item)"#;
+        let expected = multiset(&clean.execute(query).unwrap().items);
+
+        let px = replicated_px(&docs);
+        px.set_retry_policy(RetryPolicy {
+            suspect_cooldown: cooldown,
+            ..RetryPolicy::default()
+        });
+        let mut plan = FaultPlan::from_seed(seed, 3, 1.0);
+        for (node, faults) in plan.node_faults.iter_mut().enumerate() {
+            faults.retain(|f| !matches!(f, Fault::Latency { .. }));
+            if node != faulty {
+                faults.clear();
+            }
+        }
+        plan.install(&px);
+        for round in 0..3 {
+            let got = px
+                .execute_with(query, ExecOptions::default())
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "round {round}, seed {seed:#x}, cooldown {cooldown:?}, \
+                         node {faulty} faulty: {e}"
+                    )
+                });
+            prop_assert_eq!(multiset(&got.items), expected.clone(), "round {}", round);
+        }
+    }
+
     /// `allow_partial` reports exactly the fragments whose every replica
     /// is down — no more, no fewer — and answers from the rest.
     #[test]
