@@ -34,6 +34,8 @@ struct Args {
     replicas: usize,
     /// Per-attempt dispatch deadline for the chaos benchmark (ms).
     timeout_ms: u64,
+    /// Run throughput/chaos over loopback TCP node servers.
+    remote: bool,
 }
 
 fn parse_args() -> Args {
@@ -51,11 +53,18 @@ fn parse_args() -> Args {
         rate: 0.6,
         replicas: 2,
         timeout_ms: 75,
+        remote: false,
     };
     let rest: Vec<String> = std::env::args().skip(2).collect();
     let mut i = 0;
     while i < rest.len() {
         let flag = rest[i].as_str();
+        // boolean flag: consumes no value
+        if flag == "--remote" {
+            args.remote = true;
+            i += 1;
+            continue;
+        }
         let value = rest.get(i + 1).cloned().unwrap_or_default();
         match flag {
             "--scale" => args.scale = value.parse().expect("--scale takes a number"),
@@ -168,7 +177,10 @@ FLAGS
   --seed S           chaos fault-schedule seed, decimal or 0x-hex (default 0xC4A05EED)
   --rate P           chaos per-node fault probability (default 0.6)
   --replicas N       chaos replicas per fragment (default 2)
-  --timeout-ms N     chaos per-attempt dispatch deadline (default 75)"
+  --timeout-ms N     chaos per-attempt dispatch deadline (default 75)
+  --remote           throughput/chaos only: put every node behind its own
+                     loopback TCP server (partix-net wire protocol); the
+                     JSON gains remote:true and genuine bytes_shipped"
     );
 }
 
@@ -380,7 +392,7 @@ fn throughput_bench(args: &Args) {
         clients: args.clients.clone(),
         queries_per_client: args.queries,
     };
-    let results = partix_bench::throughput::run(&config);
+    let results = partix_bench::throughput::run_with(&config, args.remote);
     let overhead = partix_bench::throughput::measure_trace_overhead(&config);
     std::fs::write(
         &args.out,
@@ -404,13 +416,13 @@ fn chaos_bench(args: &Args) {
         rate: args.rate,
         timeout_ms: args.timeout_ms,
     };
-    let (plan, results) = partix_bench::chaos::run(&config);
+    let (plan, results) = partix_bench::chaos::run_with(&config, args.remote);
     let out = if args.out == "BENCH_throughput.json" {
         "BENCH_chaos.json"
     } else {
         args.out.as_str()
     };
-    std::fs::write(out, partix_bench::chaos::to_json(&config, &plan, &results))
+    std::fs::write(out, partix_bench::chaos::to_json(&config, &plan, &results, args.remote))
         .expect("write chaos JSON");
     println!("wrote {out}");
 }

@@ -203,8 +203,12 @@ fn one_run(
     label: &'static str,
     plan: Option<&FaultPlan>,
     options: ExecOptions,
+    remote: bool,
 ) -> ChaosResult {
     let px = build_px(docs, config);
+    // remote first, injectors second: the injectors must wrap the
+    // network drivers so faults fire *on top of* the real transport
+    let _wire = remote.then(|| crate::remote::RemoteCluster::attach(&px));
     let injectors: Vec<Option<Arc<FaultInjector>>> = match plan {
         Some(plan) => plan.install(&px),
         None => Vec::new(),
@@ -250,10 +254,19 @@ fn one_run(
 /// Run the three-way comparison. The same [`FaultPlan`] (hence the same
 /// schedule) serves both faulted runs.
 pub fn run(config: &ChaosConfig) -> (FaultPlan, Vec<ChaosResult>) {
+    run_with(config, false)
+}
+
+/// [`run`] with an optional remote transport: with `remote` true every
+/// node sits behind a loopback TCP server and the fault injectors wrap
+/// the network drivers, so injected crashes/latency compose with real
+/// socket failure modes.
+pub fn run_with(config: &ChaosConfig, remote: bool) -> (FaultPlan, Vec<ChaosResult>) {
     let docs = setup::item_db(config.db_bytes, partix_gen::ItemProfile::Small);
     let plan = FaultPlan::from_seed(config.seed, config.nodes, config.rate);
     println!(
-        "\n### chaos: ItemsSHor {} B, {} nodes × {} replicas, {} clients × {} queries, deadline {} ms",
+        "\n### chaos{}: ItemsSHor {} B, {} nodes × {} replicas, {} clients × {} queries, deadline {} ms",
+        if remote { " (remote TCP transport)" } else { "" },
         config.db_bytes,
         config.nodes,
         config.replicas,
@@ -278,6 +291,7 @@ pub fn run(config: &ChaosConfig) -> (FaultPlan, Vec<ChaosResult>) {
             label,
             faulted.then_some(&plan),
             options,
+            remote,
         );
         println!(
             "{:<16} {:>6} {:>6} {:>8} {:>9.1} {:>10.3} {:>10.3} {:>8} {:>9} {:>8}",
@@ -298,10 +312,16 @@ pub fn run(config: &ChaosConfig) -> (FaultPlan, Vec<ChaosResult>) {
 }
 
 /// Serialize one chaos sweep as a JSON document (`BENCH_chaos.json`).
-pub fn to_json(config: &ChaosConfig, plan: &FaultPlan, results: &[ChaosResult]) -> String {
+pub fn to_json(
+    config: &ChaosConfig,
+    plan: &FaultPlan,
+    results: &[ChaosResult],
+    remote: bool,
+) -> String {
     let mut out = String::with_capacity(1024);
     out.push('{');
     json::str_field(&mut out, "experiment", "chaos");
+    json::bool_field(&mut out, "remote", remote);
     // hex string: u64 seeds do not fit losslessly in a JSON double
     json::str_field(&mut out, "seed", &format!("{:#x}", config.seed));
     json::num_field(&mut out, "rate", config.rate);
@@ -366,8 +386,9 @@ mod tests {
         );
         // stage attribution rides along: dispatch dominates clean runs
         assert!(clean.stages.dispatch_p50_ms > 0.0, "no dispatch stage time");
-        let doc = to_json(&config, &plan, &results);
+        let doc = to_json(&config, &plan, &results, false);
         assert!(doc.contains("\"experiment\":\"chaos\""));
+        assert!(doc.contains("\"remote\":false"));
         assert!(doc.contains("\"schedule\":\""));
         assert!(doc.contains("\"label\":\"faulted-partial\""));
         assert!(doc.contains("\"dispatch_p99_ms\":"));

@@ -32,6 +32,7 @@
 pub mod chaos;
 pub mod output;
 pub mod queries;
+pub mod remote;
 pub mod runner;
 pub mod setup;
 pub mod throughput;

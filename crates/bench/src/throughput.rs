@@ -135,6 +135,12 @@ pub struct RunResult {
     pub result_misses: u64,
     /// Per-stage p50/p99 attribution of the run's queries.
     pub stages: StagePercentiles,
+    /// True when every node sat behind a loopback TCP server
+    /// ([`crate::remote::RemoteCluster`]) instead of in-process drivers.
+    pub remote: bool,
+    /// Genuine wire bytes (sent + received across all nodes) during the
+    /// measured run — 0 for in-process runs, where no bytes exist.
+    pub bytes_shipped: u64,
 }
 
 impl RunResult {
@@ -152,6 +158,8 @@ impl RunResult {
         json::num_field(&mut out, "plan_cache_misses", self.plan_misses as f64);
         json::num_field(&mut out, "result_cache_hits", self.result_hits as f64);
         json::num_field(&mut out, "result_cache_misses", self.result_misses as f64);
+        json::bool_field(&mut out, "remote", self.remote);
+        json::num_field(&mut out, "bytes_shipped", self.bytes_shipped as f64);
         self.stages.json_fields(&mut out);
         out.push('}');
         out
@@ -231,10 +239,20 @@ pub fn percentile(latencies: &mut [f64], p: f64) -> f64 {
 /// Run the full sweep: every mode × every client count, fresh middleware
 /// per run (cache counters then cover exactly one run).
 pub fn run(config: &ThroughputConfig) -> Vec<RunResult> {
+    run_with(config, false)
+}
+
+/// [`run`] with an optional remote transport: when `remote` is true,
+/// every node of every middleware sits behind its own loopback TCP
+/// server ([`crate::remote::RemoteCluster`]) and the reported
+/// `bytes_shipped` counts genuine frame bytes on the measured run
+/// (warm-up traffic excluded).
+pub fn run_with(config: &ThroughputConfig, remote: bool) -> Vec<RunResult> {
     let docs = setup::item_db(config.db_bytes, ItemProfile::Small);
     let workload = queries::horizontal(setup::DIST);
     println!(
-        "\n### throughput: ItemsSHor {} B, {} fragments, {} queries/client, repeated {}-query workload",
+        "\n### throughput{}: ItemsSHor {} B, {} fragments, {} queries/client, repeated {}-query workload",
+        if remote { " (remote TCP transport)" } else { "" },
         config.db_bytes,
         config.fragments,
         config.queries_per_client,
@@ -248,15 +266,19 @@ pub fn run(config: &ThroughputConfig) -> Vec<RunResult> {
     for &mode in &MODES {
         for &clients in &config.clients {
             let px = build_px(&docs, config.fragments, mode);
+            let wire = remote.then(|| crate::remote::RemoteCluster::attach(&px));
             // one warm-up pass over the workload (discarded), matching
             // the single-query experiments' protocol
             for (_, query) in &workload {
                 px.execute(query).expect("warm-up query");
             }
             let stats_before = px.cache_stats();
+            let bytes_before = wire.as_ref().map_or(0, crate::remote::RemoteCluster::wire_bytes);
             let (wall_s, mut latencies, mut stage_samples) =
                 run_clients(&px, clients, config.queries_per_client, &workload);
             let stats = px.cache_stats();
+            let bytes_shipped =
+                wire.as_ref().map_or(0, |w| w.wire_bytes().saturating_sub(bytes_before));
             let total_queries = latencies.len();
             let p50_ms = percentile(&mut latencies, 50.0) * 1e3;
             let p99_ms = percentile(&mut latencies, 99.0) * 1e3;
@@ -273,6 +295,8 @@ pub fn run(config: &ThroughputConfig) -> Vec<RunResult> {
                 result_hits: stats.result_hits - stats_before.result_hits,
                 result_misses: stats.result_misses - stats_before.result_misses,
                 stages: stage_samples.percentiles_ms(),
+                remote,
+                bytes_shipped,
             };
             println!(
                 "{:<14} {:>8} {:>9.1} {:>10.3} {:>10.3} {:>10.3} {:>7}/{}",
@@ -296,6 +320,9 @@ pub fn run(config: &ThroughputConfig) -> Vec<RunResult> {
                 result.stages.compose_p50_ms,
                 result.stages.compose_p99_ms,
             );
+            if remote {
+                println!("    wire: {} B shipped over TCP", result.bytes_shipped);
+            }
             results.push(result);
         }
     }

@@ -337,6 +337,37 @@ pub fn chaos(seed: u64) -> Result<String, CliError> {
     Ok(out.trim_end().to_owned())
 }
 
+/// `partix serve`: expose a database directory (or a fresh in-memory
+/// database) as a PartiX network node. Returns the running server and
+/// the address it actually bound — port 0 picks an ephemeral one — so
+/// the binary can print the address before parking, and tests can dial
+/// it directly.
+pub fn serve(
+    node: usize,
+    addr: &str,
+    data: Option<&Path>,
+) -> Result<(partix_net::NodeServer, std::net::SocketAddr), CliError> {
+    let db = match data {
+        Some(dir) => open_or_new(dir)?,
+        None => Database::new(),
+    };
+    let server = partix_net::NodeServer::bind(addr, std::sync::Arc::new(db))
+        .map_err(|e| err(format!("serve: cannot bind {addr}: {e}")))?;
+    let local = server.local_addr();
+    let _ = node; // node id is presentation-only: the wire protocol is symmetric
+    Ok((server, local))
+}
+
+/// `partix ping`: health-check a running node server over the wire.
+/// [`partix_net::RemoteDriver::connect`] dials and exchanges a
+/// ping/pong frame pair, so success means the server spoke the protocol.
+pub fn ping(addr: &str) -> Result<String, CliError> {
+    let sock: std::net::SocketAddr =
+        addr.parse().map_err(|_| err(format!("ping: bad address {addr} (want HOST:PORT)")))?;
+    partix_net::RemoteDriver::connect(sock).map_err(|e| err(format!("ping: {addr}: {e}")))?;
+    Ok(format!("pong from {addr}"))
+}
+
 /// Infer a permissive one-level schema from sample documents: enough for
 /// the auto-designer's single-valuedness check on direct children.
 fn infer_schema(docs: &[Document], root_label: &str) -> partix_schema::ElementDecl {
@@ -396,13 +427,23 @@ USAGE
   partix chaos [seed]                               fault-tolerance demo:
                                                     seeded fault injection vs
                                                     retry/failover dispatch
+  partix serve --node <N> --addr <HOST:PORT>        run a node server
+                [--data <db-dir>]                   speaking the partix-net
+                                                    wire protocol (port 0
+                                                    binds an ephemeral port;
+                                                    the chosen address is
+                                                    printed)
+  partix ping <HOST:PORT>                           health-check a node
+                                                    server over the wire
 
 EXAMPLE
   partix load ./db items item1.xml item2.xml
   partix query ./db 'count(collection(\"items\")/Item)'
   partix fragment ./db items /Item/Section 2
   partix stats ./db 'count(collection(\"items\")/Item)' --trace trace.json
-  partix chaos 0xBEEF";
+  partix chaos 0xBEEF
+  partix serve --node 0 --addr 127.0.0.1:7401 --data ./db
+  partix ping 127.0.0.1:7401";
 
 #[cfg(test)]
 mod tests {

@@ -55,6 +55,8 @@ fn main() -> ExitCode {
             };
             partix_cli::chaos(seed)
         }
+        Some("serve") => return serve(&args[1..]),
+        Some("ping") if args.len() == 2 => partix_cli::ping(&args[1]),
         _ => {
             println!("{}", partix_cli::USAGE);
             return ExitCode::SUCCESS;
@@ -64,6 +66,63 @@ fn main() -> ExitCode {
         Ok(report) => {
             println!("{report}");
             ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `partix serve --node <N> --addr <HOST:PORT> [--data <db-dir>]`:
+/// bind a node server, announce the chosen address (flushed, so
+/// supervising scripts can scrape it even through a pipe), then serve
+/// until killed.
+fn serve(args: &[String]) -> ExitCode {
+    let mut node: Option<usize> = None;
+    let mut addr: Option<&str> = None;
+    let mut data: Option<&Path> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let value = match args.get(i + 1) {
+            Some(value) => value,
+            None => {
+                eprintln!("serve: {} needs a value", args[i]);
+                return ExitCode::FAILURE;
+            }
+        };
+        match args[i].as_str() {
+            "--node" => match value.parse() {
+                Ok(n) => node = Some(n),
+                Err(_) => {
+                    eprintln!("serve: --node must be a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--addr" => addr = Some(value),
+            "--data" => data = Some(Path::new(value)),
+            other => {
+                eprintln!("serve: unknown flag {other} (expected --node/--addr/--data)");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 2;
+    }
+    let (Some(node), Some(addr)) = (node, addr) else {
+        eprintln!("serve: --node <N> and --addr <HOST:PORT> are required");
+        return ExitCode::FAILURE;
+    };
+    match partix_cli::serve(node, addr, data) {
+        Ok((_server, local)) => {
+            use std::io::Write as _;
+            println!("node {node} listening on {local}");
+            let _ = std::io::stdout().flush();
+            // Park until killed; the server threads carry the work.
+            // `_server` stays in scope so its listener lives as long as
+            // the process does.
+            loop {
+                std::thread::park();
+            }
         }
         Err(e) => {
             eprintln!("error: {e}");

@@ -63,6 +63,21 @@ pub trait PartixDriver: Send + Sync {
     /// Remove a collection entirely (no-op when absent). Default does
     /// nothing so drivers predating this method stay source-compatible.
     fn drop_collection(&self, _collection: &str) {}
+
+    /// Liveness probe. In-process drivers are trivially healthy; network
+    /// drivers override this with a real ping so the cluster can verify
+    /// a node before routing work to it.
+    fn health_check(&self) -> Result<(), DriverError> {
+        Ok(())
+    }
+
+    /// Whether this driver already accounts *genuine* wire bytes into
+    /// the `net.bytes_shipped` counter as its calls run. When true, the
+    /// coordinator skips its modeled byte accounting for results served
+    /// by this driver, so shipped bytes are never double-counted.
+    fn counts_wire_bytes(&self) -> bool {
+        false
+    }
 }
 
 impl PartixDriver for Database {
@@ -158,6 +173,17 @@ impl PartixDriver for InstrumentedDriver {
 
     fn drop_collection(&self, collection: &str) {
         self.inner.drop_collection(collection);
+    }
+
+    fn health_check(&self) -> Result<(), DriverError> {
+        if self.failing.load(Ordering::Acquire) {
+            return Err(DriverError::Failed("injected DBMS failure".into()));
+        }
+        self.inner.health_check()
+    }
+
+    fn counts_wire_bytes(&self) -> bool {
+        self.inner.counts_wire_bytes()
     }
 }
 

@@ -216,6 +216,14 @@ impl PartixDriver for FaultInjector {
     fn drop_collection(&self, collection: &str) {
         self.inner.drop_collection(collection);
     }
+
+    fn health_check(&self) -> Result<(), DriverError> {
+        self.inner.health_check()
+    }
+
+    fn counts_wire_bytes(&self) -> bool {
+        self.inner.counts_wire_bytes()
+    }
 }
 
 // ----------------------------------------------------- seeded schedules --

@@ -49,6 +49,9 @@
 //! * [`metrics`] — the process-wide [`metrics::MetricsRegistry`]: named
 //!   counters, gauges and lock-free log-bucket latency histograms
 //!   (cache hits, pool queue depth, retries, timeouts, bytes moved).
+//! * [`wirespan`] — thread-local send/recv timing channel between
+//!   socket-backed drivers (`partix-net`) and the dispatch loop, feeding
+//!   the `send`/`recv` spans of each sub-query's stage breakdown.
 //!
 //! The *parallel elapsed time* in a [`report::QueryReport`] follows the
 //! paper's methodology: the slowest site determines the parallel time,
@@ -68,6 +71,7 @@ pub mod report;
 pub mod runtime;
 pub mod service;
 pub mod trace;
+pub mod wirespan;
 
 pub use cache::CacheStats;
 pub use catalog::{Catalog, Distribution, Placement};

@@ -165,7 +165,7 @@ impl fmt::Display for QueryReport {
                 writeln!(f, "  {name:<12} {:>8.3}", secs * 1e3)?;
             }
             for sub in &self.stages.subqueries {
-                writeln!(
+                write!(
                     f,
                     "    [{}]@n{}: {} attempt(s), wait {:.3}ms, exec {:.3}ms, backoff {:.3}ms",
                     sub.fragment,
@@ -175,6 +175,16 @@ impl fmt::Display for QueryReport {
                     sub.execute_s * 1e3,
                     sub.backoff_s * 1e3,
                 )?;
+                if sub.send_s > 0.0 || sub.recv_s > 0.0 {
+                    // only network-backed sub-queries have wire time
+                    write!(
+                        f,
+                        ", send {:.3}ms, recv {:.3}ms",
+                        sub.send_s * 1e3,
+                        sub.recv_s * 1e3,
+                    )?;
+                }
+                writeln!(f)?;
             }
         }
         Ok(())

@@ -30,6 +30,7 @@ use crate::metrics;
 use crate::report::{QueryReport, SiteReport, SkippedFragment};
 use crate::runtime::{PoolConfig, WorkerPool};
 use crate::trace::{StageBreakdown, SubQueryStage, Trace};
+use crate::wirespan;
 use parking_lot::{Mutex, RwLock, RwLockReadGuard};
 use partix_frag::{FragMode, FragOp};
 use partix_query::rewrite::{rewrite_collection_name, rewrite_for_vertical};
@@ -555,6 +556,7 @@ impl PartiX {
                                 result_bytes: hit.result_bytes,
                                 docs_scanned: hit.docs_scanned,
                                 index_used: hit.index_used,
+                                ..SiteOutput::empty()
                             },
                             node: task.node,
                             retries: 0,
@@ -636,6 +638,10 @@ impl PartiX {
         trace.record("dispatch", 0, dispatch_start);
 
         let mut total_bytes = 0usize;
+        // modeled bytes only: sites served by a wire-counting driver
+        // (partix-net) already put their genuine byte counts into
+        // `net.bytes_shipped` as the frames moved
+        let mut metered_bytes = 0usize;
         let mut partials: Vec<Sequence> = Vec::with_capacity(tasks.len());
         for (task, slot) in tasks.iter().zip(slots) {
             let Some(SiteSlot { run, cached }) = slot else {
@@ -661,6 +667,9 @@ impl PartiX {
             if !cached {
                 // cached answers never cross the wire again
                 total_bytes += run.output.result_bytes;
+                if !run.output.wire_counted {
+                    metered_bytes += run.output.result_bytes;
+                }
             }
             // move the partial sequence out instead of deep-cloning it
             partials.push(run.output.items);
@@ -686,7 +695,7 @@ impl PartiX {
             subqueries: sub_stages,
         };
         report.spans = trace.finish();
-        record_query_metrics(&report, total_bytes, parse_s + query_start.elapsed().as_secs_f64());
+        record_query_metrics(&report, metered_bytes, parse_s + query_start.elapsed().as_secs_f64());
         Ok(DistributedResult { items, report })
     }
 
@@ -792,12 +801,15 @@ impl PartiX {
                 node: 0,
                 attempts: 1,
                 execute_s: dispatch_s,
+                send_s: out.send_s,
+                recv_s: out.recv_s,
                 ..Default::default()
             }],
             ..Default::default()
         };
         report.spans = trace.finish();
-        record_query_metrics(&report, out.result_bytes, parse_s + dispatch_s);
+        let metered = if out.wire_counted { 0 } else { out.result_bytes };
+        record_query_metrics(&report, metered, parse_s + dispatch_s);
         Ok(DistributedResult { items: out.items, report })
     }
 
@@ -927,6 +939,24 @@ impl PartiX {
             match outcome {
                 Ok((output, queue_wait)) => {
                     stage.queue_wait_s += queue_wait.as_secs_f64();
+                    stage.send_s += output.send_s;
+                    stage.recv_s += output.recv_s;
+                    if output.send_s > 0.0 || output.recv_s > 0.0 {
+                        // wire spans live inside the exec window; their
+                        // durations were clocked on the worker thread
+                        trace.record_window(
+                            &format!("send:{}", task.fragment),
+                            lane,
+                            exec_start,
+                            output.send_s,
+                        );
+                        trace.record_window(
+                            &format!("recv:{}", task.fragment),
+                            lane,
+                            exec_start,
+                            output.recv_s,
+                        );
+                    }
                     node.clear_suspect();
                     stage.node = node_id;
                     stage.retries = retries;
@@ -1060,9 +1090,11 @@ impl PartiX {
         // at the fetch boundary
         let mut fetched: Vec<(String, Vec<Arc<Document>>)> = Vec::new();
         let mut total_bytes = 0usize;
+        let mut metered_bytes = 0usize;
         for frag in &dist.design.fragments {
             let node_id = self.pick_replica(dist, &frag.name)?;
             let node = self.cluster.node(node_id).expect("placement validated");
+            let wire_counted = node.active_driver().counts_wire_bytes();
             let start = Instant::now();
             let docs = node.fetch_docs(&frag.name);
             let elapsed = start.elapsed().as_secs_f64();
@@ -1090,6 +1122,9 @@ impl PartiX {
             report.parallel_elapsed = report.parallel_elapsed.max(elapsed);
             report.serial_elapsed += elapsed;
             total_bytes += bytes;
+            if !wire_counted {
+                metered_bytes += bytes;
+            }
             fetched.push((frag.name.clone(), docs));
         }
         report.transmission = 2.0 * self.network.latency_secs
@@ -1118,7 +1153,7 @@ impl PartiX {
             subqueries: sub_stages,
         };
         report.spans = trace.finish();
-        record_query_metrics(&report, total_bytes, parse_s + localize_s + dispatch_s + report.composition);
+        record_query_metrics(&report, metered_bytes, parse_s + localize_s + dispatch_s + report.composition);
         Ok(DistributedResult { items: out.items, report })
     }
 }
@@ -1175,6 +1210,14 @@ struct SiteOutput {
     result_bytes: usize,
     docs_scanned: usize,
     index_used: bool,
+    /// Wire time spent writing request frames (0 in-process).
+    send_s: f64,
+    /// Wire time spent waiting for / reading response frames.
+    recv_s: f64,
+    /// The serving driver already counted genuine wire bytes into
+    /// `net.bytes_shipped` ([`PartixDriver::counts_wire_bytes`]) — the
+    /// coordinator must not add its modeled count on top.
+    wire_counted: bool,
 }
 
 impl SiteOutput {
@@ -1185,6 +1228,9 @@ impl SiteOutput {
             result_bytes: 0,
             docs_scanned: 0,
             index_used: false,
+            send_s: 0.0,
+            recv_s: 0.0,
+            wire_counted: false,
         }
     }
 }
@@ -1289,6 +1335,25 @@ fn run_on_node(node: &Node, query: &Query, avg_mode: bool) -> Result<SiteOutput,
     if !node.is_available() {
         return Err(DispatchError::Down);
     }
+    let wire_counted = node.active_driver().counts_wire_bytes();
+    // clear any stale wire timing left on this worker thread, then run
+    // and collect what this call's driver recorded
+    let _ = wirespan::take();
+    let result = run_on_node_inner(node, query, avg_mode);
+    let (send_s, recv_s) = wirespan::take();
+    result.map(|mut out| {
+        out.send_s = send_s;
+        out.recv_s = recv_s;
+        out.wire_counted = wire_counted;
+        out
+    })
+}
+
+fn run_on_node_inner(
+    node: &Node,
+    query: &Query,
+    avg_mode: bool,
+) -> Result<SiteOutput, DispatchError> {
     if avg_mode {
         // ship (sum, count) and return the pair [sum, count]
         let (sum_q, count_q) = compose::avg_decomposition(query)
@@ -1308,6 +1373,7 @@ fn run_on_node(node: &Node, query: &Query, avg_mode: bool) -> Result<SiteOutput,
             result_bytes: sum_out.stats.result_bytes + count_out.stats.result_bytes,
             docs_scanned: sum_out.stats.docs_scanned + count_out.stats.docs_scanned,
             index_used: sum_out.stats.index_used || count_out.stats.index_used,
+            ..SiteOutput::empty()
         })
     } else {
         let Some(out) = exec(node, query)? else {
@@ -1319,6 +1385,7 @@ fn run_on_node(node: &Node, query: &Query, avg_mode: bool) -> Result<SiteOutput,
             result_bytes: out.stats.result_bytes,
             docs_scanned: out.stats.docs_scanned,
             index_used: out.stats.index_used,
+            ..SiteOutput::empty()
         })
     }
 }

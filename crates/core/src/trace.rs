@@ -78,6 +78,20 @@ impl Trace {
         });
     }
 
+    /// Record a span of an explicit duration starting at `begun` — for
+    /// time measured elsewhere (e.g. wire send/recv clocked on a worker
+    /// thread) that should still land on this trace's timeline.
+    pub fn record_window(&self, name: &str, lane: usize, begun: Instant, dur_s: f64) {
+        let Some(inner) = &self.inner else { return };
+        let start_us = begun.saturating_duration_since(inner.epoch).as_micros() as u64;
+        inner.spans.lock().push(SpanRecord {
+            name: name.to_owned(),
+            lane,
+            start_us,
+            dur_us: (dur_s * 1e6) as u64,
+        });
+    }
+
     /// Drain the recorded spans, ordered by start time.
     pub fn finish(&self) -> Vec<SpanRecord> {
         let Some(inner) = &self.inner else { return Vec::new() };
@@ -139,6 +153,11 @@ pub struct SubQueryStage {
     pub queue_wait_s: f64,
     /// In-attempt execution wall time, summed over attempts.
     pub execute_s: f64,
+    /// Wire time writing the request frames (0 for in-process drivers).
+    pub send_s: f64,
+    /// Wire time waiting for and reading the response frames (0 for
+    /// in-process drivers; includes the node's service time).
+    pub recv_s: f64,
     /// Retry backoff slept between attempts.
     pub backoff_s: f64,
     pub retries: usize,

@@ -1,0 +1,65 @@
+//! Thread-local send/recv accounting for network-backed drivers.
+//!
+//! The dispatch loop runs each driver call on some worker thread; a
+//! socket-backed driver knows exactly how long it spent writing the
+//! request and waiting for the response bytes, but the `PartixDriver`
+//! trait has no channel to report it. This module is that channel: the
+//! driver [`record`]s its wire times as the call returns, and the
+//! coordinator [`take`]s them on the same thread right after the call,
+//! folding them into the per-sub-query [`SubQueryStage`]
+//! (`send`/`recv` spans) without widening the driver trait's result
+//! types.
+//!
+//! The cell is per-thread, so concurrent sub-queries on different
+//! workers never mix their numbers; [`take`] resets the cell so a
+//! driver that records nothing (every in-process driver) yields zeros.
+//!
+//! [`SubQueryStage`]: crate::trace::SubQueryStage
+
+use std::cell::Cell;
+
+thread_local! {
+    static SEND_S: Cell<f64> = const { Cell::new(0.0) };
+    static RECV_S: Cell<f64> = const { Cell::new(0.0) };
+}
+
+/// Add wire time observed by a driver call on this thread. Accumulates,
+/// so one logical call that writes/reads several frames may record more
+/// than once.
+pub fn record(send_s: f64, recv_s: f64) {
+    SEND_S.with(|c| c.set(c.get() + send_s));
+    RECV_S.with(|c| c.set(c.get() + recv_s));
+}
+
+/// Drain this thread's accumulated `(send_s, recv_s)`, resetting to
+/// zero. Call once per driver call, on the thread that made it.
+pub fn take() -> (f64, f64) {
+    let send = SEND_S.with(|c| c.replace(0.0));
+    let recv = RECV_S.with(|c| c.replace(0.0));
+    (send, recv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate_and_take_resets() {
+        assert_eq!(take(), (0.0, 0.0));
+        record(0.25, 0.5);
+        record(0.25, 0.0);
+        assert_eq!(take(), (0.5, 0.5));
+        assert_eq!(take(), (0.0, 0.0));
+    }
+
+    #[test]
+    fn threads_are_isolated() {
+        record(1.0, 1.0);
+        std::thread::spawn(|| {
+            assert_eq!(take(), (0.0, 0.0));
+        })
+        .join()
+        .unwrap();
+        assert_eq!(take(), (1.0, 1.0));
+    }
+}

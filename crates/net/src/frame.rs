@@ -1,0 +1,326 @@
+//! The length-prefixed binary frame layer.
+//!
+//! Every message on a PartiX connection is one frame:
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic  "PXN1"
+//!      4     1  version (currently 1)
+//!      5     1  frame kind (see [`FrameKind`])
+//!      6     4  payload length, u32 little-endian
+//!     10     4  CRC-32 (IEEE) of the payload, u32 little-endian
+//!     14     n  payload
+//! ```
+//!
+//! The header is fixed-size so a reader always knows how many bytes to
+//! wait for; the length prefix is validated against a hard cap *before*
+//! any allocation, and the checksum is verified before the payload is
+//! handed to the codec. Every way a peer can deviate — wrong magic,
+//! unknown version or kind, oversized length, short read, corrupted
+//! payload — surfaces as a typed [`ProtocolError`], never a panic: a
+//! malformed peer must not be able to take down a coordinator or a node
+//! server.
+//!
+//! Versioning: the version byte names the *frame semantics*. A receiver
+//! rejects versions it does not know with
+//! [`ProtocolError::UnsupportedVersion`] (no silent best-effort parsing),
+//! so incompatible peers fail fast at the first frame. New frame kinds
+//! within a version are likewise rejected by older peers via
+//! [`ProtocolError::UnknownFrame`].
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Frame magic: "PXN1" (PartiX Net, layout 1).
+pub const MAGIC: [u8; 4] = *b"PXN1";
+
+/// Current protocol version.
+pub const VERSION: u8 = 1;
+
+/// Fixed header size in bytes.
+pub const HEADER_LEN: usize = 14;
+
+/// Hard cap on a frame payload (64 MiB). A length field above this is
+/// rejected before any allocation happens.
+pub const MAX_PAYLOAD: usize = 64 * 1024 * 1024;
+
+/// What a frame carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Coordinator → node: an encoded [`crate::message::Request`].
+    Request = 1,
+    /// Node → coordinator: an encoded [`crate::message::Response`].
+    Result = 2,
+    /// Node → coordinator: an encoded [`crate::message::WireError`].
+    Error = 3,
+    /// Coordinator → node: liveness probe (empty payload).
+    HealthPing = 4,
+    /// Node → coordinator: probe answer (empty payload).
+    HealthPong = 5,
+}
+
+impl FrameKind {
+    fn from_u8(b: u8) -> Result<FrameKind, ProtocolError> {
+        Ok(match b {
+            1 => FrameKind::Request,
+            2 => FrameKind::Result,
+            3 => FrameKind::Error,
+            4 => FrameKind::HealthPing,
+            5 => FrameKind::HealthPong,
+            other => return Err(ProtocolError::UnknownFrame(other)),
+        })
+    }
+}
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    pub kind: FrameKind,
+    pub payload: Vec<u8>,
+}
+
+/// Typed failure of the wire layer. Codec-level failures (a payload that
+/// passed the checksum but does not decode) use [`ProtocolError::Malformed`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The first four bytes were not the protocol magic.
+    BadMagic([u8; 4]),
+    /// The peer speaks a protocol version this build does not.
+    UnsupportedVersion(u8),
+    /// Unknown frame-kind byte.
+    UnknownFrame(u8),
+    /// Declared payload length exceeds the hard cap.
+    Oversized { len: usize, max: usize },
+    /// The payload's CRC-32 does not match the header's.
+    ChecksumMismatch { expected: u32, actual: u32 },
+    /// The stream ended mid-frame.
+    Truncated { context: &'static str },
+    /// The payload passed framing but does not decode.
+    Malformed(String),
+    /// Transport-level I/O failure.
+    Io(String),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::BadMagic(got) => write!(f, "bad frame magic {got:?}"),
+            ProtocolError::UnsupportedVersion(v) => {
+                write!(f, "unsupported protocol version {v} (this build speaks {VERSION})")
+            }
+            ProtocolError::UnknownFrame(k) => write!(f, "unknown frame kind {k}"),
+            ProtocolError::Oversized { len, max } => {
+                write!(f, "frame payload of {len} B exceeds the {max} B cap")
+            }
+            ProtocolError::ChecksumMismatch { expected, actual } => {
+                write!(f, "payload checksum mismatch: header {expected:#010x}, computed {actual:#010x}")
+            }
+            ProtocolError::Truncated { context } => write!(f, "stream truncated in {context}"),
+            ProtocolError::Malformed(msg) => write!(f, "malformed payload: {msg}"),
+            ProtocolError::Io(msg) => write!(f, "io: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<io::Error> for ProtocolError {
+    fn from(e: io::Error) -> ProtocolError {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            ProtocolError::Truncated { context: "frame" }
+        } else {
+            ProtocolError::Io(e.to_string())
+        }
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) over `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc32_table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Encode a frame into its on-wire bytes (header + payload).
+pub fn encode_frame(kind: FrameKind, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(kind as u8);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Write one frame. Returns the number of bytes put on the wire.
+pub fn write_frame(
+    w: &mut impl Write,
+    kind: FrameKind,
+    payload: &[u8],
+) -> Result<usize, ProtocolError> {
+    let bytes = encode_frame(kind, payload);
+    w.write_all(&bytes)?;
+    w.flush()?;
+    Ok(bytes.len())
+}
+
+/// Read one frame. `Ok(None)` means the peer closed the connection
+/// cleanly *before* the first header byte — the normal end of a
+/// connection. An EOF anywhere later is [`ProtocolError::Truncated`].
+/// The returned `usize` is the number of wire bytes consumed.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<(Frame, usize)>, ProtocolError> {
+    let mut first = [0u8; 1];
+    loop {
+        match r.read(&mut first) {
+            Ok(0) => return Ok(None),
+            Ok(_) => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    read_frame_after(r, first[0]).map(Some)
+}
+
+/// Finish reading a frame whose first header byte has already been
+/// consumed (the node server polls for that byte so shutdown can drain
+/// idle connections).
+pub fn read_frame_after(
+    r: &mut impl Read,
+    first: u8,
+) -> Result<(Frame, usize), ProtocolError> {
+    let mut header = [0u8; HEADER_LEN];
+    header[0] = first;
+    r.read_exact(&mut header[1..]).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            ProtocolError::Truncated { context: "header" }
+        } else {
+            ProtocolError::Io(e.to_string())
+        }
+    })?;
+    if header[..4] != MAGIC {
+        let mut got = [0u8; 4];
+        got.copy_from_slice(&header[..4]);
+        return Err(ProtocolError::BadMagic(got));
+    }
+    if header[4] != VERSION {
+        return Err(ProtocolError::UnsupportedVersion(header[4]));
+    }
+    let kind = FrameKind::from_u8(header[5])?;
+    let len = u32::from_le_bytes([header[6], header[7], header[8], header[9]]) as usize;
+    if len > MAX_PAYLOAD {
+        return Err(ProtocolError::Oversized { len, max: MAX_PAYLOAD });
+    }
+    let expected = u32::from_le_bytes([header[10], header[11], header[12], header[13]]);
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            ProtocolError::Truncated { context: "payload" }
+        } else {
+            ProtocolError::Io(e.to_string())
+        }
+    })?;
+    let actual = crc32(&payload);
+    if actual != expected {
+        return Err(ProtocolError::ChecksumMismatch { expected, actual });
+    }
+    Ok((Frame { kind, payload }, HEADER_LEN + len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // standard IEEE test vector
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let payload = b"hello frames".to_vec();
+        let bytes = encode_frame(FrameKind::Request, &payload);
+        assert_eq!(bytes.len(), HEADER_LEN + payload.len());
+        let (frame, n) = read_frame(&mut Cursor::new(&bytes)).unwrap().unwrap();
+        assert_eq!(n, bytes.len());
+        assert_eq!(frame.kind, FrameKind::Request);
+        assert_eq!(frame.payload, payload);
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        assert_eq!(read_frame(&mut Cursor::new(&[])).unwrap(), None);
+    }
+
+    #[test]
+    fn truncated_header_and_payload_are_typed() {
+        let bytes = encode_frame(FrameKind::Result, b"abc");
+        for cut in 1..bytes.len() {
+            let err = read_frame(&mut Cursor::new(&bytes[..cut])).unwrap_err();
+            assert!(
+                matches!(err, ProtocolError::Truncated { .. }),
+                "cut at {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_payload_fails_checksum() {
+        let mut bytes = encode_frame(FrameKind::Result, b"abcdef");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        let err = read_frame(&mut Cursor::new(&bytes)).unwrap_err();
+        assert!(matches!(err, ProtocolError::ChecksumMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn bad_magic_version_kind_and_length_are_typed() {
+        let good = encode_frame(FrameKind::HealthPing, &[]);
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'Q';
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&bad_magic)).unwrap_err(),
+            ProtocolError::BadMagic(_)
+        ));
+        let mut bad_version = good.clone();
+        bad_version[4] = 9;
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&bad_version)).unwrap_err(),
+            ProtocolError::UnsupportedVersion(9)
+        ));
+        let mut bad_kind = good.clone();
+        bad_kind[5] = 200;
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&bad_kind)).unwrap_err(),
+            ProtocolError::UnknownFrame(200)
+        ));
+        let mut oversized = good.clone();
+        oversized[6..10].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&oversized)).unwrap_err(),
+            ProtocolError::Oversized { .. }
+        ));
+    }
+}

@@ -1,0 +1,35 @@
+//! # partix-net — the PartiX network transport
+//!
+//! PartiX is middleware that ships localized sub-queries to the nodes
+//! hosting each fragment and composes their answers (PAPER Sec. 4).
+//! Everything below the driver trait used to run in-process; this crate
+//! makes the hop real:
+//!
+//! * [`frame`] — length-prefixed, checksummed, versioned binary frames.
+//! * [`codec`] — defensive payload encoding for queries (full AST),
+//!   result sequences, and documents.
+//! * [`message`] — the request/response vocabulary (the driver trait on
+//!   the wire), including typed, retryability-tagged errors.
+//! * [`server`] — [`NodeServer`]: a per-node TCP listener hosting
+//!   fragments behind the existing storage stack, with graceful
+//!   drain-then-close shutdown.
+//! * [`client`] — [`RemoteDriver`]: a connection-pooled
+//!   `PartixDriver` implementation, so dispatch modes, retry/failover
+//!   policy, fault injection, caching, and tracing all work unchanged
+//!   over real sockets.
+//!
+//! The coordinator never knows whether a node is an in-process
+//! `Database` or a socket away — that is the point: the local-vs-remote
+//! differential suite (`tests/remote_differential.rs`) holds the two
+//! worlds to byte-identical answers.
+
+pub mod client;
+pub mod codec;
+pub mod frame;
+pub mod message;
+pub mod server;
+
+pub use client::{RemoteDriver, RemoteDriverConfig, WireStats};
+pub use frame::{Frame, FrameKind, ProtocolError, HEADER_LEN, MAX_PAYLOAD, VERSION};
+pub use message::{Request, Response, WireError};
+pub use server::{NodeServer, ServerConfig};

@@ -1,0 +1,241 @@
+//! The request/response vocabulary carried by frames — the driver trait,
+//! spelled out on the wire. Each variant encodes to a frame payload and
+//! decodes defensively via the [`crate::codec`] cursor.
+
+use crate::codec::{
+    get_documents, get_output, put_documents, put_output, Reader, Writer,
+};
+use crate::frame::ProtocolError;
+use partix_query::Query;
+use partix_storage::QueryOutput;
+use partix_xml::Document;
+
+/// Coordinator → node. One request per frame; the node answers with
+/// exactly one `Result` or `Error` frame. (`Document` has no equality,
+/// so neither does `Request` — tests compare re-encoded bytes.)
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Run a (localized) sub-query against the node's fragments.
+    Execute { query: Query },
+    /// Publish documents into a collection (fragment placement).
+    Store { collection: String, docs: Vec<Document> },
+    /// Fetch every document of a collection (reconstruction reads).
+    Fetch { collection: String },
+    /// List hosted collection names.
+    Collections,
+    /// Drop a collection.
+    Drop { collection: String },
+}
+
+impl Request {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            Request::Execute { query } => {
+                w.put_u8(0);
+                w.put_bytes(&crate::codec::encode_query(query));
+            }
+            Request::Store { collection, docs } => {
+                w.put_u8(1);
+                w.put_str(collection);
+                put_documents(&mut w, docs);
+            }
+            Request::Fetch { collection } => {
+                w.put_u8(2);
+                w.put_str(collection);
+            }
+            Request::Collections => w.put_u8(3),
+            Request::Drop { collection } => {
+                w.put_u8(4);
+                w.put_str(collection);
+            }
+        }
+        w.into_bytes()
+    }
+
+    pub fn decode(payload: &[u8]) -> Result<Request, ProtocolError> {
+        let mut r = Reader::new(payload);
+        let req = match r.u8("request tag")? {
+            0 => {
+                let raw = r.bytes("query payload")?;
+                Request::Execute { query: crate::codec::decode_query(raw)? }
+            }
+            1 => {
+                let collection = r.str("store collection")?;
+                let docs = get_documents(&mut r)?;
+                Request::Store { collection, docs }
+            }
+            2 => Request::Fetch { collection: r.str("fetch collection")? },
+            3 => Request::Collections,
+            4 => Request::Drop { collection: r.str("drop collection")? },
+            other => {
+                return Err(ProtocolError::Malformed(format!("bad request tag {other}")))
+            }
+        };
+        r.finish()?;
+        Ok(req)
+    }
+
+    /// Whether retrying this request on a fresh connection is safe after
+    /// an ambiguous transport failure. Reads are; `Store` is not (the
+    /// node may have applied it before the connection died).
+    pub fn idempotent(&self) -> bool {
+        !matches!(self, Request::Store { .. })
+    }
+}
+
+/// Node → coordinator success answer, mirroring [`Request`] one-to-one.
+#[derive(Debug, Clone)]
+pub enum Response {
+    /// `Execute` answer. `None` preserves the driver contract for an
+    /// absent collection (an empty fragment, not an error).
+    Output(Option<QueryOutput>),
+    /// `Store` acknowledged.
+    Stored,
+    /// `Fetch` answer.
+    Docs(Vec<Document>),
+    /// `Collections` answer.
+    Names(Vec<String>),
+    /// `Drop` acknowledged.
+    Dropped,
+}
+
+impl Response {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            Response::Output(None) => w.put_u8(0),
+            Response::Output(Some(out)) => {
+                w.put_u8(1);
+                put_output(&mut w, out);
+            }
+            Response::Stored => w.put_u8(2),
+            Response::Docs(docs) => {
+                w.put_u8(3);
+                put_documents(&mut w, docs);
+            }
+            Response::Names(names) => {
+                w.put_u8(4);
+                w.put_u32(names.len() as u32);
+                for name in names {
+                    w.put_str(name);
+                }
+            }
+            Response::Dropped => w.put_u8(5),
+        }
+        w.into_bytes()
+    }
+
+    pub fn decode(payload: &[u8]) -> Result<Response, ProtocolError> {
+        let mut r = Reader::new(payload);
+        let resp = match r.u8("response tag")? {
+            0 => Response::Output(None),
+            1 => Response::Output(Some(get_output(&mut r)?)),
+            2 => Response::Stored,
+            3 => Response::Docs(get_documents(&mut r)?),
+            4 => {
+                let n = r.seq_len("name list")?;
+                let mut names = Vec::with_capacity(n);
+                for _ in 0..n {
+                    names.push(r.str("collection name")?);
+                }
+                Response::Names(names)
+            }
+            5 => Response::Dropped,
+            other => {
+                return Err(ProtocolError::Malformed(format!("bad response tag {other}")))
+            }
+        };
+        r.finish()?;
+        Ok(resp)
+    }
+}
+
+/// Node → coordinator failure answer. `retryable` maps back onto the
+/// driver error taxonomy: `true` → `DriverError::Unavailable` (the
+/// coordinator may fail over to a replica), `false` → `DriverError::
+/// Failed` (the DBMS rejected the request; retrying elsewhere would
+/// just fail again).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    pub retryable: bool,
+    pub message: String,
+}
+
+impl WireError {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_bool(self.retryable);
+        w.put_str(&self.message);
+        w.into_bytes()
+    }
+
+    pub fn decode(payload: &[u8]) -> Result<WireError, ProtocolError> {
+        let mut r = Reader::new(payload);
+        let retryable = r.bool("error retryable")?;
+        let message = r.str("error message")?;
+        r.finish()?;
+        Ok(WireError { retryable, message })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partix_query::parse_query;
+    use partix_xml::parse;
+
+    #[test]
+    fn requests_roundtrip() {
+        let q = parse_query(r#"for $i in collection("c")/x where $i/y = 1 return $i"#).unwrap();
+        let docs = vec![parse("<a><b>1</b></a>").unwrap(), parse("<a k=\"v\"/>").unwrap()];
+        let cases = vec![
+            Request::Execute { query: q },
+            Request::Store { collection: "c".into(), docs },
+            Request::Fetch { collection: "c".into() },
+            Request::Collections,
+            Request::Drop { collection: "c".into() },
+        ];
+        for req in cases {
+            let back = Request::decode(&req.encode()).unwrap();
+            // Document lacks PartialEq; compare the re-encoded bytes
+            assert_eq!(req.encode(), back.encode());
+        }
+    }
+
+    #[test]
+    fn idempotency_split() {
+        assert!(Request::Collections.idempotent());
+        assert!(Request::Fetch { collection: "c".into() }.idempotent());
+        assert!(!Request::Store { collection: "c".into(), docs: vec![] }.idempotent());
+    }
+
+    #[test]
+    fn responses_and_errors_roundtrip() {
+        let cases = vec![
+            Response::Output(None),
+            Response::Stored,
+            Response::Docs(vec![parse("<d/>").unwrap()]),
+            Response::Names(vec!["a".into(), "b".into()]),
+            Response::Dropped,
+        ];
+        for resp in cases {
+            let back = Response::decode(&resp.encode()).unwrap();
+            assert_eq!(resp.encode(), back.encode());
+        }
+        let err = WireError { retryable: true, message: "node going away".into() };
+        assert_eq!(WireError::decode(&err.encode()).unwrap(), err);
+    }
+
+    #[test]
+    fn malformed_messages_are_typed() {
+        assert!(Request::decode(&[]).is_err());
+        assert!(Request::decode(&[99]).is_err());
+        assert!(Response::decode(&[99]).is_err());
+        assert!(WireError::decode(&[2]).is_err());
+        // trailing garbage rejected
+        let mut ok = Request::Collections.encode();
+        ok.push(7);
+        assert!(Request::decode(&ok).is_err());
+    }
+}

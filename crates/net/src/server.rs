@@ -1,0 +1,415 @@
+//! [`NodeServer`]: a per-node TCP listener hosting fragments behind the
+//! existing storage/driver stack.
+//!
+//! One accept thread hands each connection to its own handler thread.
+//! Handlers poll for the *first* byte of each frame with a short read
+//! timeout so they notice the stop flag between requests, but once a
+//! frame has begun they read it to completion and answer it — shutdown
+//! **drains in-flight sub-queries, then closes**, so test runs never
+//! leave orphan listeners or half-answered coordinators.
+//!
+//! Failure semantics on the way out:
+//! * driver errors → an `Error` frame tagged with retryability
+//!   (`Unavailable` → retryable, `Failed` → not);
+//! * a panic inside request handling is caught and answered as a
+//!   non-retryable `Error` frame (one bad query must not take the node
+//!   down);
+//! * protocol errors from a malformed peer get a best-effort `Error`
+//!   frame and the connection is dropped (the stream can no longer be
+//!   trusted).
+
+use crate::frame::{read_frame_after, write_frame, FrameKind, ProtocolError};
+use crate::message::{Request, Response, WireError};
+use partix_engine::{DriverError, PartixDriver};
+use partix_storage::Database;
+use std::io::{self, ErrorKind, Read};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tuning knobs for a node server.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// How often an idle handler wakes up to check the stop flag.
+    pub poll_interval: Duration,
+    /// Read deadline for the remainder of a frame once its first byte
+    /// arrived (a peer that stalls mid-frame is cut loose).
+    pub frame_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            poll_interval: Duration::from_millis(50),
+            frame_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+struct ServerShared {
+    driver: Arc<dyn PartixDriver>,
+    stop: AtomicBool,
+    /// Connections currently inside a request (for drain visibility).
+    in_flight: AtomicUsize,
+    open_connections: AtomicUsize,
+    served: AtomicU64,
+    config: ServerConfig,
+}
+
+/// A running node server. Dropping it shuts it down gracefully.
+pub struct NodeServer {
+    shared: Arc<ServerShared>,
+    addr: SocketAddr,
+    accept_thread: Option<JoinHandle<Vec<JoinHandle<()>>>>,
+}
+
+impl NodeServer {
+    /// Bind `addr` (use port 0 to let the OS pick — the chosen address
+    /// is available from [`NodeServer::local_addr`]) and serve `db`.
+    pub fn bind(addr: impl ToSocketAddrs, db: Arc<Database>) -> io::Result<NodeServer> {
+        NodeServer::bind_driver(addr, db as Arc<dyn PartixDriver>, ServerConfig::default())
+    }
+
+    /// Bind with an arbitrary driver and explicit config. Serving a
+    /// driver rather than a database keeps the node side as pluggable
+    /// as the coordinator side (paper Sec. 4: any XQuery-capable DBMS).
+    pub fn bind_driver(
+        addr: impl ToSocketAddrs,
+        driver: Arc<dyn PartixDriver>,
+        config: ServerConfig,
+    ) -> io::Result<NodeServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(ServerShared {
+            driver,
+            stop: AtomicBool::new(false),
+            in_flight: AtomicUsize::new(0),
+            open_connections: AtomicUsize::new(0),
+            served: AtomicU64::new(0),
+            config,
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name(format!("partix-net-accept-{}", addr.port()))
+            .spawn(move || accept_loop(listener, accept_shared))?;
+        Ok(NodeServer { shared, addr, accept_thread: Some(accept_thread) })
+    }
+
+    /// The address actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests answered so far (including error answers).
+    pub fn served(&self) -> u64 {
+        self.shared.served.load(Ordering::Acquire)
+    }
+
+    /// Connections currently open.
+    pub fn open_connections(&self) -> usize {
+        self.shared.open_connections.load(Ordering::Acquire)
+    }
+
+    /// Stop accepting, let every in-flight request finish and be
+    /// answered, then close all connections and join every thread.
+    /// Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.shared.stop.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // The accept loop blocks in accept(); poke it awake with a
+        // throwaway connection so it sees the flag.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250));
+        if let Some(handle) = self.accept_thread.take() {
+            if let Ok(handlers) = handle.join() {
+                for h in handlers {
+                    let _ = h.join();
+                }
+            }
+        }
+    }
+}
+
+impl Drop for NodeServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<ServerShared>) -> Vec<JoinHandle<()>> {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.stop.load(Ordering::Acquire) {
+                    // the shutdown poke (or a late client) — refuse
+                    let _ = stream.shutdown(Shutdown::Both);
+                    break;
+                }
+                handlers.retain(|h| !h.is_finished());
+                let conn_shared = Arc::clone(&shared);
+                let spawned = std::thread::Builder::new()
+                    .name("partix-net-conn".to_owned())
+                    .spawn(move || handle_connection(stream, conn_shared));
+                match spawned {
+                    Ok(h) => handlers.push(h),
+                    Err(_) => { /* thread exhaustion: drop the connection */ }
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+    }
+    handlers
+}
+
+fn handle_connection(stream: TcpStream, shared: Arc<ServerShared>) {
+    shared.open_connections.fetch_add(1, Ordering::AcqRel);
+    let _ = stream.set_nodelay(true);
+    serve_connection(&stream, &shared);
+    let _ = stream.shutdown(Shutdown::Both);
+    shared.open_connections.fetch_sub(1, Ordering::AcqRel);
+}
+
+fn serve_connection(mut stream: &TcpStream, shared: &ServerShared) {
+    loop {
+        // Poll for the first byte of the next frame so the stop flag is
+        // observed between requests without dropping any in-flight one.
+        let first = match poll_first_byte(stream, shared) {
+            Some(b) => b,
+            None => return,
+        };
+        let _ = stream.set_read_timeout(Some(shared.config.frame_timeout));
+        shared.in_flight.fetch_add(1, Ordering::AcqRel);
+        let outcome = read_frame_after(&mut stream, first)
+            .and_then(|(frame, _)| answer_frame(stream, shared, frame));
+        shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+        shared.served.fetch_add(1, Ordering::AcqRel);
+        match outcome {
+            Ok(()) => {}
+            Err(err) => {
+                // Best-effort: tell the peer what was wrong with its
+                // frame, then drop the connection — after a framing
+                // error the stream position can't be trusted.
+                let wire = WireError { retryable: false, message: err.to_string() };
+                let _ = write_frame(&mut stream, FrameKind::Error, &wire.encode());
+                return;
+            }
+        }
+    }
+}
+
+/// Wait for the first header byte of the next frame, checking the stop
+/// flag every poll interval. `None` means: connection closed, stop
+/// requested, or the socket failed.
+fn poll_first_byte(mut stream: &TcpStream, shared: &ServerShared) -> Option<u8> {
+    let mut buf = [0u8; 1];
+    loop {
+        if shared.stop.load(Ordering::Acquire) {
+            return None;
+        }
+        let _ = stream.set_read_timeout(Some(shared.config.poll_interval));
+        match stream.read(&mut buf) {
+            Ok(0) => return None,
+            Ok(_) => return Some(buf[0]),
+            Err(e)
+                if e.kind() == ErrorKind::WouldBlock
+                    || e.kind() == ErrorKind::TimedOut
+                    || e.kind() == ErrorKind::Interrupted =>
+            {
+                continue
+            }
+            Err(_) => return None,
+        }
+    }
+}
+
+fn answer_frame(
+    mut stream: &TcpStream,
+    shared: &ServerShared,
+    frame: crate::frame::Frame,
+) -> Result<(), ProtocolError> {
+    match frame.kind {
+        FrameKind::HealthPing => {
+            write_frame(&mut stream, FrameKind::HealthPong, &[])?;
+            Ok(())
+        }
+        FrameKind::Request => {
+            let request = Request::decode(&frame.payload)?;
+            // Panic firewall: a pathological query must answer as an
+            // error, not kill the handler (and with it the connection
+            // and any trust in the node's liveness).
+            let result = catch_unwind(AssertUnwindSafe(|| serve_request(shared, request)));
+            let (kind, payload) = match result {
+                Ok(Ok(response)) => (FrameKind::Result, response.encode()),
+                Ok(Err(err)) => {
+                    let wire = WireError {
+                        retryable: matches!(err, DriverError::Unavailable(_)),
+                        message: err.to_string(),
+                    };
+                    (FrameKind::Error, wire.encode())
+                }
+                Err(panic) => {
+                    let wire = WireError {
+                        retryable: false,
+                        message: format!("node panicked: {}", panic_message(&panic)),
+                    };
+                    (FrameKind::Error, wire.encode())
+                }
+            };
+            write_frame(&mut stream, kind, &payload)?;
+            Ok(())
+        }
+        // A server never receives these; answering them would desync
+        // the request/response rhythm.
+        FrameKind::Result | FrameKind::Error | FrameKind::HealthPong => Err(
+            ProtocolError::Malformed(format!("unexpected {:?} frame on server", frame.kind)),
+        ),
+    }
+}
+
+fn serve_request(shared: &ServerShared, request: Request) -> Result<Response, DriverError> {
+    match request {
+        Request::Execute { query } => shared.driver.execute(&query).map(Response::Output),
+        Request::Store { collection, docs } => {
+            shared.driver.store(&collection, docs);
+            Ok(Response::Stored)
+        }
+        Request::Fetch { collection } => {
+            let docs = shared
+                .driver
+                .fetch_collection(&collection)
+                .iter()
+                .map(|d| (**d).clone())
+                .collect();
+            Ok(Response::Docs(docs))
+        }
+        Request::Collections => Ok(Response::Names(shared.driver.collections())),
+        Request::Drop { collection } => {
+            shared.driver.drop_collection(&collection);
+            Ok(Response::Dropped)
+        }
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s
+    } else {
+        "opaque panic payload"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::read_frame;
+    use partix_query::parse_query;
+    use partix_xml::parse;
+
+    fn items_db() -> Arc<Database> {
+        let db = Database::new();
+        for i in 0..4 {
+            let mut d = parse(&format!("<Item><Code>{i}</Code></Item>")).unwrap();
+            d.name = Some(format!("i{i}"));
+            db.store("items", d);
+        }
+        Arc::new(db)
+    }
+
+    fn request(stream: &mut TcpStream, req: &Request) -> (FrameKind, Vec<u8>) {
+        write_frame(stream, FrameKind::Request, &req.encode()).unwrap();
+        let (frame, _) = read_frame(stream).unwrap().unwrap();
+        (frame.kind, frame.payload)
+    }
+
+    #[test]
+    fn serves_the_driver_vocabulary_end_to_end() {
+        let mut server = NodeServer::bind("127.0.0.1:0", items_db()).unwrap();
+        let mut conn = TcpStream::connect(server.local_addr()).unwrap();
+
+        let q = parse_query(r#"count(collection("items")/Item)"#).unwrap();
+        let (kind, payload) = request(&mut conn, &Request::Execute { query: q });
+        assert_eq!(kind, FrameKind::Result);
+        match Response::decode(&payload).unwrap() {
+            Response::Output(Some(out)) => {
+                assert_eq!(out.items[0], partix_query::Item::Num(4.0))
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // absent collection stays the driver's Ok(None) contract
+        let q = parse_query(r#"count(collection("absent")/x)"#).unwrap();
+        let (kind, payload) = request(&mut conn, &Request::Execute { query: q });
+        assert_eq!(kind, FrameKind::Result);
+        assert!(matches!(Response::decode(&payload).unwrap(), Response::Output(None)));
+
+        let (kind, payload) = request(&mut conn, &Request::Collections);
+        assert_eq!(kind, FrameKind::Result);
+        match Response::decode(&payload).unwrap() {
+            Response::Names(names) => assert_eq!(names, ["items"]),
+            other => panic!("unexpected {other:?}"),
+        }
+
+        let (kind, payload) = request(
+            &mut conn,
+            &Request::Store { collection: "extra".into(), docs: vec![parse("<x/>").unwrap()] },
+        );
+        assert_eq!(kind, FrameKind::Result);
+        assert!(matches!(Response::decode(&payload).unwrap(), Response::Stored));
+
+        let (kind, payload) = request(&mut conn, &Request::Fetch { collection: "extra".into() });
+        assert_eq!(kind, FrameKind::Result);
+        match Response::decode(&payload).unwrap() {
+            Response::Docs(docs) => assert_eq!(docs.len(), 1),
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // health ping answers pong
+        write_frame(&mut conn, FrameKind::HealthPing, &[]).unwrap();
+        let (frame, _) = read_frame(&mut conn).unwrap().unwrap();
+        assert_eq!(frame.kind, FrameKind::HealthPong);
+
+        assert!(server.served() >= 5);
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_payload_answers_error_and_drops_connection() {
+        let mut server = NodeServer::bind("127.0.0.1:0", items_db()).unwrap();
+        let mut conn = TcpStream::connect(server.local_addr()).unwrap();
+        write_frame(&mut conn, FrameKind::Request, &[250, 1, 2]).unwrap();
+        let (frame, _) = read_frame(&mut conn).unwrap().unwrap();
+        assert_eq!(frame.kind, FrameKind::Error);
+        let err = WireError::decode(&frame.payload).unwrap();
+        assert!(!err.retryable);
+        // the server hangs up after a framing error
+        assert!(read_frame(&mut conn).unwrap().is_none());
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_graceful_and_idempotent() {
+        let mut server = NodeServer::bind("127.0.0.1:0", items_db()).unwrap();
+        let addr = server.local_addr();
+        let mut conn = TcpStream::connect(addr).unwrap();
+        let q = parse_query(r#"count(collection("items")/Item)"#).unwrap();
+        let (kind, _) = request(&mut conn, &Request::Execute { query: q });
+        assert_eq!(kind, FrameKind::Result);
+        server.shutdown();
+        server.shutdown();
+        // listener is gone: new connections are refused or die instantly
+        match TcpStream::connect_timeout(&addr, Duration::from_millis(250)) {
+            Err(_) => {}
+            Ok(mut late) => {
+                let _ = late.set_read_timeout(Some(Duration::from_millis(250)));
+                assert!(matches!(read_frame(&mut late), Ok(None) | Err(_)));
+            }
+        }
+    }
+}

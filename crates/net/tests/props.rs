@@ -1,0 +1,324 @@
+//! Wire-protocol property tests: every frame and payload type
+//! round-trips byte-exactly, and *no* mutation of the bytes — truncation,
+//! corruption, oversized lengths, unknown versions — can make the
+//! decoder panic or allocate unboundedly: the outcome is always a typed
+//! [`ProtocolError`].
+//!
+//! `PARTIX_PROPTEST_CASES` overrides every block's case count.
+
+use partix_net::codec::{self, Reader, Writer};
+use partix_net::frame::{
+    self, crc32, encode_frame, read_frame, FrameKind, ProtocolError, HEADER_LEN, MAX_PAYLOAD,
+};
+use partix_net::message::{Request, Response, WireError};
+use partix_query::parse_query;
+use partix_query::Item;
+use partix_storage::{QueryOutput, QueryStats};
+use partix_xml::Document;
+use proptest::prelude::*;
+
+/// Per-block case budget, overridable with `PARTIX_PROPTEST_CASES`.
+fn cases(default_cases: u32) -> ProptestConfig {
+    std::env::var("PARTIX_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .map(ProptestConfig::with_cases)
+        .unwrap_or_else(|| ProptestConfig::with_cases(default_cases))
+}
+
+// ------------------------------------------------------- strategies --
+
+fn arb_kind() -> impl Strategy<Value = FrameKind> {
+    prop::sample::select(vec![
+        FrameKind::Request,
+        FrameKind::Result,
+        FrameKind::Error,
+        FrameKind::HealthPing,
+        FrameKind::HealthPong,
+    ])
+}
+
+fn arb_payload() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec((0usize..256).prop_map(|b| b as u8), 0..300)
+}
+
+/// Random well-formed documents, via the generator the benches use.
+fn arb_document() -> impl Strategy<Value = Document> {
+    (0u64..1000).prop_map(|seed| {
+        partix_gen::gen_items(1, partix_gen::ItemProfile::Small, seed)
+            .into_iter()
+            .next()
+            .expect("one generated item")
+    })
+}
+
+/// Query texts spanning every expression family the codec ships: FLWOR
+/// with where/order/let, paths with predicates and descendant axes,
+/// comparisons, arithmetic, boolean connectives, conditionals, function
+/// calls, element constructors, and literal text.
+fn arb_query_text() -> impl Strategy<Value = &'static str> {
+    prop::sample::select(vec![
+        r#"count(collection("items")/Item)"#,
+        r#"for $i in collection("items")/Item return $i/Name"#,
+        r#"for $i in collection("items")/Item where $i/Section = "CD" return $i"#,
+        r#"for $i in collection("items")/Item where $i/Quantity > 2 order by $i/Code return $i/Code"#,
+        r#"for $i in collection("items")/Item let $n := $i/Name where contains($n, "good") return $n"#,
+        r#"sum(for $i in collection("items")/Item return $i/Quantity)"#,
+        r#"avg(collection("items")/Item/Quantity)"#,
+        r#"for $i in collection("items")/Item return <hit id="1">{$i/Name}</hit>"#,
+        r#"if (count(collection("items")/Item) > 0) then "some" else "none""#,
+        r#"for $i in collection("items")/Item where $i/Section = "CD" and $i/Quantity >= 1 return $i"#,
+        r#"for $i in collection("items")/Item where $i/Section = "CD" or $i/Section = "DVD" return $i/Code"#,
+        r#"count(collection("items")//Picture)"#,
+        r#"for $i in collection("items")/Item return $i/Quantity + 1"#,
+        r#"-count(collection("items")/Item)"#,
+    ])
+}
+
+fn arb_item() -> impl Strategy<Value = Item> {
+    prop_oneof![
+        Just(Item::Bool(true)).boxed(),
+        Just(Item::Bool(false)).boxed(),
+        (0u64..2_000_000_000)
+            .prop_map(|v| Item::Num(v as f64 - 1e9))
+            .boxed(),
+        prop::sample::select(vec!["", "plain", "ma\u{e7}\u{e3}", "<&>\"'"])
+            .prop_map(|s| Item::Str(s.to_owned()))
+            .boxed(),
+        arb_document()
+            .prop_map(|doc| {
+                let doc = std::sync::Arc::new(doc);
+                let root = doc.root().id();
+                Item::Node(doc, root)
+            })
+            .boxed(),
+    ]
+}
+
+// ------------------------------------------------------- round-trips --
+
+proptest! {
+    #![proptest_config(cases(96))]
+
+    #[test]
+    fn frame_roundtrip(kind in arb_kind(), payload in arb_payload()) {
+        let bytes = encode_frame(kind, &payload);
+        prop_assert_eq!(bytes.len(), HEADER_LEN + payload.len());
+        let (frame, consumed) = read_frame(&mut bytes.as_slice())
+            .expect("own frame decodes")
+            .expect("not EOF");
+        prop_assert_eq!(consumed, bytes.len());
+        prop_assert_eq!(frame.kind, kind);
+        prop_assert_eq!(frame.payload, payload);
+    }
+
+    #[test]
+    fn query_payload_roundtrip(text in arb_query_text()) {
+        let query = parse_query(text).expect("strategy queries parse");
+        let bytes = codec::encode_query(&query);
+        let back = codec::decode_query(&bytes).expect("own encoding decodes");
+        prop_assert_eq!(&back, &query);
+        // and re-encoding is byte-stable
+        prop_assert_eq!(codec::encode_query(&back), bytes);
+    }
+
+    #[test]
+    fn document_payload_roundtrip(doc in arb_document()) {
+        let mut w = Writer::new();
+        codec::put_document(&mut w, &doc);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let back = codec::get_document(&mut r).expect("own encoding decodes");
+        r.finish().expect("no trailing bytes");
+        prop_assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn item_payload_roundtrip(item in arb_item()) {
+        let mut w = Writer::new();
+        codec::put_item(&mut w, &item);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let back = codec::get_item(&mut r).expect("own encoding decodes");
+        r.finish().expect("no trailing bytes");
+        // Item has no PartialEq: the serialization contract is equality
+        prop_assert_eq!(back.serialize(), item.serialize());
+    }
+
+    #[test]
+    fn request_roundtrip(text in arb_query_text(), docs in prop::collection::vec(arb_document(), 0..3)) {
+        let query = parse_query(text).expect("strategy queries parse");
+        for request in [
+            Request::Execute { query: query.clone() },
+            Request::Store { collection: "c".into(), docs: docs.clone() },
+            Request::Fetch { collection: "c".into() },
+            Request::Collections,
+            Request::Drop { collection: "c".into() },
+        ] {
+            let bytes = request.encode();
+            let back = Request::decode(&bytes).expect("own encoding decodes");
+            // Request has no PartialEq (Document): byte-stability is the contract
+            prop_assert_eq!(back.encode(), bytes);
+            prop_assert_eq!(back.idempotent(), request.idempotent());
+        }
+    }
+
+    #[test]
+    fn response_roundtrip(items in prop::collection::vec(arb_item(), 0..4), docs in prop::collection::vec(arb_document(), 0..3)) {
+        let output = QueryOutput {
+            items: items.clone(),
+            stats: QueryStats {
+                collection_size: 7,
+                docs_scanned: 3,
+                index_used: true,
+                elapsed: 0.25,
+                result_bytes: 99,
+            },
+        };
+        for response in [
+            Response::Output(Some(output)),
+            Response::Output(None),
+            Response::Stored,
+            Response::Docs(docs.clone()),
+            Response::Names(vec!["a".into(), "b".into()]),
+            Response::Dropped,
+        ] {
+            let bytes = response.encode();
+            let back = Response::decode(&bytes).expect("own encoding decodes");
+            prop_assert_eq!(back.encode(), bytes);
+        }
+    }
+
+    #[test]
+    fn wire_error_roundtrip(retryable in prop::sample::select(vec![true, false]), msg in prop::sample::select(vec!["", "boom", "nó caiu"])) {
+        let err = WireError { retryable, message: msg.to_owned() };
+        let back = WireError::decode(&err.encode()).expect("own encoding decodes");
+        prop_assert_eq!(back.retryable, retryable);
+        prop_assert_eq!(back.message, msg);
+    }
+}
+
+// -------------------------------------------------- hostile mutations --
+
+proptest! {
+    #![proptest_config(cases(96))]
+
+    /// Every proper prefix of a valid frame is a typed error (or, before
+    /// the first byte, a clean EOF) — never a panic.
+    #[test]
+    fn truncated_frames_are_typed_errors(kind in arb_kind(), payload in arb_payload()) {
+        let bytes = encode_frame(kind, &payload);
+        for cut in 0..bytes.len() {
+            match read_frame(&mut &bytes[..cut]) {
+                Ok(None) => prop_assert_eq!(cut, 0, "mid-frame EOF reported as clean"),
+                Ok(Some(_)) => prop_assert!(false, "decoded a truncated frame (cut {cut})"),
+                Err(e) => prop_assert!(
+                    matches!(e, ProtocolError::Truncated { .. } | ProtocolError::Io(_)),
+                    "cut {cut}: unexpected error {e:?}",
+                ),
+            }
+        }
+    }
+
+    /// Flipping any single byte of a frame yields a typed error or — only
+    /// when the flip lands in the length field and still describes a
+    /// plausible frame — a short read; silently accepting changed payload
+    /// bytes is outlawed by the checksum.
+    #[test]
+    fn corrupted_frames_never_decode_silently(kind in arb_kind(), payload in arb_payload(), pos in 0usize..100, flip in 1usize..256) {
+        let mut bytes = encode_frame(kind, &payload);
+        let pos = pos % bytes.len();
+        bytes[pos] ^= flip as u8;
+        match read_frame(&mut bytes.as_slice()) {
+            // corrupting the length field can make the frame look longer
+            // than the bytes present (Truncated) or shorter: a short,
+            // checksum-failing frame. Both are detected outcomes.
+            Err(_) => {}
+            Ok(None) => prop_assert!(false, "corruption reported as clean EOF"),
+            Ok(Some((frame, _))) => {
+                // length-field shrink: the checksum over the shorter
+                // payload cannot match the original CRC except by
+                // constructing it — which a single XOR cannot do without
+                // also hitting the CRC field. If we get here the flip hit
+                // the CRC *and* produced the CRC of the same payload,
+                // which is impossible for a non-zero flip.
+                prop_assert!(
+                    frame.payload != payload || frame.kind != kind,
+                    "flipped frame decoded back to the original",
+                );
+            }
+        }
+    }
+
+    /// A header advertising an oversized payload is rejected before any
+    /// allocation of that size.
+    #[test]
+    fn oversized_length_is_rejected(kind in arb_kind(), extra in 1u64..1_000_000) {
+        let mut bytes = encode_frame(kind, b"x");
+        let huge = (MAX_PAYLOAD as u64 + extra).min(u32::MAX as u64) as u32;
+        bytes[6..10].copy_from_slice(&huge.to_le_bytes());
+        match read_frame(&mut bytes.as_slice()) {
+            Err(ProtocolError::Oversized { len, max }) => {
+                prop_assert_eq!(len, huge as usize);
+                prop_assert_eq!(max, MAX_PAYLOAD);
+            }
+            other => prop_assert!(false, "expected Oversized, got {other:?}"),
+        }
+    }
+
+    /// Unknown protocol versions and frame kinds are typed errors.
+    #[test]
+    fn unknown_version_and_kind_are_typed_errors(kind in arb_kind(), version in 2usize..256, bogus_kind in 6usize..256) {
+        let mut bytes = encode_frame(kind, b"payload");
+        bytes[4] = version as u8;
+        match read_frame(&mut bytes.as_slice()) {
+            Err(ProtocolError::UnsupportedVersion(v)) => prop_assert_eq!(v, version as u8),
+            other => prop_assert!(false, "expected UnsupportedVersion, got {other:?}"),
+        }
+        let mut bytes = encode_frame(kind, b"payload");
+        bytes[5] = bogus_kind as u8;
+        match read_frame(&mut bytes.as_slice()) {
+            Err(ProtocolError::UnknownFrame(k)) => prop_assert_eq!(k, bogus_kind as u8),
+            other => prop_assert!(false, "expected UnknownFrame, got {other:?}"),
+        }
+    }
+
+    /// Arbitrary bytes fed to the payload decoders are typed errors,
+    /// never panics or runaway allocations.
+    #[test]
+    fn random_bytes_never_panic_payload_decoders(payload in arb_payload()) {
+        let _ = codec::decode_query(&payload);
+        let _ = Request::decode(&payload);
+        let _ = Response::decode(&payload);
+        let _ = WireError::decode(&payload);
+        let mut r = Reader::new(&payload);
+        let _ = codec::get_document(&mut r);
+        let mut r = Reader::new(&payload);
+        let _ = codec::get_item(&mut r);
+        let mut r = Reader::new(&payload);
+        let _ = codec::get_output(&mut r);
+    }
+
+    /// Truncating a valid *payload* (inside an intact frame) is a typed
+    /// error from the payload decoder.
+    #[test]
+    fn truncated_payloads_are_typed_errors(text in arb_query_text()) {
+        let query = parse_query(text).expect("strategy queries parse");
+        let bytes = codec::encode_query(&query);
+        for cut in 0..bytes.len() {
+            prop_assert!(
+                codec::decode_query(&bytes[..cut]).is_err(),
+                "prefix of length {cut} decoded as a full query",
+            );
+        }
+    }
+}
+
+/// The CRC implementation matches the IEEE reference vector, pinning the
+/// wire format against silent table regressions.
+#[test]
+fn crc32_reference_vector() {
+    assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    assert_eq!(crc32(b""), 0);
+    assert_eq!(frame::MAGIC, *b"PXN1");
+}

@@ -28,6 +28,13 @@ cargo test -q -p partix-engine --offline trace
 cargo test -q -p partix-engine --offline metrics
 cargo test -q --test observability --offline
 
+# network gate: the wire protocol's property tests (round-trips plus
+# hostile frames), the local-vs-remote differential suite over loopback
+# TCP, and the listener kill/restart chaos test.
+cargo test -q -p partix-net --offline
+cargo test -q --test remote_differential --offline
+cargo test -q --test concurrency --offline remote_chaos
+
 # any clippy warning fails the gate
 cargo clippy --workspace --offline -- -D warnings
 
@@ -44,5 +51,48 @@ for field in parse_p50_ms localize_p99_ms dispatch_p99_ms compose_p50_ms \
         exit 1
     fi
 done
+
+# serve/ping smoke test: two node servers on ephemeral loopback ports
+# must come up, answer a health ping each, and die cleanly.
+SERVE_LOG1="$(mktemp /tmp/partix-verify-serve1.XXXXXX.log)"
+SERVE_LOG2="$(mktemp /tmp/partix-verify-serve2.XXXXXX.log)"
+trap 'rm -f "$STAGE_JSON" "$SERVE_LOG1" "$SERVE_LOG2"; kill "${SERVE_PID1:-}" "${SERVE_PID2:-}" 2>/dev/null || true' EXIT
+./target/release/partix serve --node 0 --addr 127.0.0.1:0 > "$SERVE_LOG1" &
+SERVE_PID1=$!
+./target/release/partix serve --node 1 --addr 127.0.0.1:0 > "$SERVE_LOG2" &
+SERVE_PID2=$!
+for log in "$SERVE_LOG1" "$SERVE_LOG2"; do
+    for _ in $(seq 50); do
+        grep -q "listening on" "$log" && break
+        sleep 0.1
+    done
+    addr="$(sed -n 's/.*listening on //p' "$log" | head -n1)"
+    if [ -z "$addr" ]; then
+        echo "verify: FAIL — node server never reported its address" >&2
+        exit 1
+    fi
+    ./target/release/partix ping "$addr" > /dev/null
+done
+kill "$SERVE_PID1" "$SERVE_PID2"
+wait "$SERVE_PID1" "$SERVE_PID2" 2>/dev/null || true
+
+# the remote throughput run must ship real bytes over TCP and say so in
+# its JSON: "remote":true plus a nonzero bytes_shipped.
+REMOTE_JSON="$(mktemp /tmp/partix-verify-remote.XXXXXX.json)"
+trap 'rm -f "$STAGE_JSON" "$REMOTE_JSON" "$SERVE_LOG1" "$SERVE_LOG2"' EXIT
+./target/release/harness throughput --remote --clients 2 --queries 10 \
+    --out "$REMOTE_JSON" > /dev/null
+if ! grep -q '"remote":true' "$REMOTE_JSON"; then
+    echo "verify: FAIL — remote run not flagged in throughput JSON" >&2
+    exit 1
+fi
+if ! grep -q '"bytes_shipped":' "$REMOTE_JSON"; then
+    echo "verify: FAIL — bytes_shipped missing from throughput JSON" >&2
+    exit 1
+fi
+if ! grep -Eq '"bytes_shipped":[1-9][0-9]*' "$REMOTE_JSON"; then
+    echo "verify: FAIL — remote run shipped zero wire bytes" >&2
+    exit 1
+fi
 
 echo "verify: OK"

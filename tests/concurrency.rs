@@ -255,6 +255,154 @@ fn chaos_flapping_node_under_concurrent_clients() {
     );
 }
 
+/// Remote chaos variant: the cluster's nodes sit behind loopback TCP
+/// servers ([`partix_bench::remote::RemoteCluster`]) and a background
+/// thread kills and restarts one node *listener* at a time — real
+/// connection refusals and mid-stream hangups, not simulated flags.
+/// Replica failover must keep answering with oracle-identical data, the
+/// drivers' connect/reconnect accounting must reconcile, and neither
+/// client connection pools nor pool workers may leak.
+#[test]
+fn remote_chaos_killed_listener_under_concurrent_clients() {
+    use partix_bench::remote::RemoteCluster;
+    use partix_bench::setup;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let docs = gen_items(80, ItemProfile::Small, 17);
+    let workload = partix_bench::queries::horizontal(setup::DIST);
+    let reference = setup::horizontal_replicated(&docs, 4, 2);
+    let expected: Vec<Vec<String>> = workload
+        .iter()
+        .map(|(_, q)| multiset(&reference.execute(q).unwrap().items))
+        .collect();
+
+    let baseline_threads = pool_threads();
+    let failed = AtomicUsize::new(0);
+    let answered = AtomicUsize::new(0);
+    {
+        let mut px = setup::horizontal_replicated(&docs, 4, 2);
+        px.set_dispatch(DispatchMode::Pool);
+        px.set_retry_policy(partix::engine::RetryPolicy {
+            max_attempts: 6,
+            timeout: Some(std::time::Duration::from_secs(2)),
+            ..partix::engine::RetryPolicy::default()
+        });
+        let wire = Mutex::new(RemoteCluster::attach(&px));
+
+        const CLIENTS: usize = 12;
+        const ROUNDS: usize = 5;
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            // listener flapper: at most one node's server down at any
+            // moment, so with 2 replicas every fragment stays answerable
+            let flipper = scope.spawn(|| {
+                let mut k = 0usize;
+                while !stop.load(Ordering::Acquire) {
+                    {
+                        let mut wire = wire.lock().unwrap();
+                        wire.kill(k % 4);
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(3));
+                    {
+                        let mut wire = wire.lock().unwrap();
+                        wire.restart(k % 4);
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(3));
+                    k += 1;
+                }
+            });
+            let clients: Vec<_> = (0..CLIENTS)
+                .map(|t| {
+                    let px = &px;
+                    let workload = &workload;
+                    let expected = &expected;
+                    let failed = &failed;
+                    let answered = &answered;
+                    scope.spawn(move || {
+                        for round in 0..ROUNDS {
+                            let q = (t + round) % workload.len();
+                            match px.execute(&workload[q].1) {
+                                Ok(got) => {
+                                    answered.fetch_add(1, Ordering::Relaxed);
+                                    assert_eq!(
+                                        multiset(&got.items),
+                                        expected[q],
+                                        "client {t} round {round}: {}",
+                                        workload[q].0
+                                    );
+                                }
+                                // exhausted retries surface as an error,
+                                // never as wrong data
+                                Err(_) => {
+                                    failed.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for client in clients {
+                client.join().expect("client thread");
+            }
+            stop.store(true, Ordering::Release);
+            flipper.join().expect("flipper thread");
+        });
+
+        let total = CLIENTS * ROUNDS;
+        let failed = failed.load(Ordering::Relaxed);
+        assert!(answered.load(Ordering::Relaxed) > 0, "no query ever answered");
+        assert!(
+            failed * 4 <= total,
+            "{failed}/{total} queries failed despite replication and retries"
+        );
+
+        let mut wire = wire.lock().unwrap();
+        // every listener is back up: a fresh query round must succeed
+        for i in 0..4 {
+            wire.restart(i);
+        }
+        let (_, q) = &workload[0];
+        let healed = px.execute(q).expect("healed cluster answers");
+        assert_eq!(multiset(&healed.items), expected[0]);
+
+        // accounting reconciles: reconnects are a subset of connects,
+        // and the idle pools hold at most max_idle sockets per driver
+        for i in 0..4 {
+            let stats = wire.driver(i).stats();
+            assert!(stats.connects >= 1, "node {i}: no connect recorded");
+            assert!(
+                stats.reconnects <= stats.connects,
+                "node {i}: more reconnects than connects: {stats:?}"
+            );
+            assert!(
+                wire.driver(i).pooled_connections() <= 4,
+                "node {i}: idle pool exceeds max_idle"
+            );
+        }
+        // flapped listeners forced at least one redial somewhere
+        assert!(
+            wire.connects() > 4,
+            "listener flaps never forced a reconnect"
+        );
+        // draining the pools leaves no idle sockets behind
+        for i in 0..4 {
+            wire.driver(i).drain_pool();
+        }
+        assert_eq!(wire.pooled_connections(), 0, "connection pool leaked");
+    } // px + wire dropped: pool workers and listeners must shut down
+    for _ in 0..100 {
+        if pool_threads() <= baseline_threads {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert!(
+        pool_threads() <= baseline_threads,
+        "pool workers leaked after drop"
+    );
+}
+
 /// Publishing new documents after a cached read must invalidate the
 /// cache: the next read sees the new data, not the cached answer.
 #[test]

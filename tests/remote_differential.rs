@@ -1,0 +1,209 @@
+//! Local-vs-remote differential suite: the proof that the partix-net
+//! transport is transparent. Every query family of `tests/differential.rs`
+//! runs three ways over the same corpus — in-process drivers, remote
+//! drivers over loopback TCP ([`partix_bench::remote::RemoteCluster`]),
+//! and the centralized oracle — and the canonical serializations must be
+//! byte-identical. The coordinator cannot tell the transports apart, so
+//! any divergence is a wire-protocol bug (codec, framing, or pooling).
+//!
+//! The faulted variants re-run the dispatch-layer contract over sockets:
+//! with injectors wrapping the *remote* drivers, a query returns either
+//! the oracle answer or a typed error — never silently wrong data. A
+//! killed node server must likewise surface as a typed error.
+
+use partix::engine::{ExecOptions, FaultPlan, PartiX, RetryPolicy};
+use partix::frag::FragMode;
+use partix::gen::{ArticleProfile, ItemProfile};
+use partix::query::Item;
+use partix_bench::remote::RemoteCluster;
+use partix_bench::{queries, setup};
+use std::time::Duration;
+
+/// Canonical serialization: one line per item, sorted (fragment
+/// concatenation order is not document order).
+fn canonical(items: &[Item]) -> String {
+    let mut lines: Vec<String> = items.iter().map(Item::serialize).collect();
+    lines.sort();
+    lines.join("\n")
+}
+
+/// Rewrite a query against [`setup::DIST`] to the centralized copy.
+fn centralized_text(query: &str) -> String {
+    query.replace(
+        &format!("collection(\"{}\")", setup::DIST),
+        &format!("collection(\"{}\")", setup::CENTRAL),
+    )
+}
+
+/// Capture the in-process answers for a workload (run before the remote
+/// drivers are installed).
+fn local_answers(px: &PartiX, workload: &[(&'static str, String)], label: &str) -> Vec<String> {
+    workload
+        .iter()
+        .map(|(id, query)| {
+            canonical(
+                &px.execute(query)
+                    .unwrap_or_else(|e| panic!("{label}/{id} local: {e}"))
+                    .items,
+            )
+        })
+        .collect()
+}
+
+/// After [`RemoteCluster::attach`], every query must reproduce both the
+/// captured in-process answer and the centralized oracle byte-for-byte.
+fn assert_remote_differential(
+    px: &PartiX,
+    local: &[String],
+    workload: &[(&'static str, String)],
+    label: &str,
+) {
+    for (k, (id, query)) in workload.iter().enumerate() {
+        let remote = px
+            .execute(query)
+            .unwrap_or_else(|e| panic!("{label}/{id} remote: {e}"));
+        let remote = canonical(&remote.items);
+        assert_eq!(
+            remote, local[k],
+            "{label}/{id}: remote answer diverges from the in-process run",
+        );
+        let oracle = px
+            .execute_centralized(0, &centralized_text(query))
+            .unwrap_or_else(|e| panic!("{label}/{id} centralized: {e}"));
+        assert_eq!(
+            remote,
+            canonical(&oracle.items),
+            "{label}/{id}: remote answer diverges from the oracle",
+        );
+    }
+}
+
+#[test]
+fn horizontal_remote_matches_local_across_fragment_counts() {
+    let docs = setup::quick_items(80);
+    let workload = queries::horizontal(setup::DIST);
+    for n in [2, 4, 8] {
+        let label = format!("hor{n}-remote");
+        let px = setup::horizontal(&docs, n);
+        let local = local_answers(&px, &workload, &label);
+        let wire = RemoteCluster::attach(&px);
+        assert_remote_differential(&px, &local, &workload, &label);
+        assert!(wire.wire_bytes() > 0, "{label}: no bytes crossed the wire");
+    }
+}
+
+#[test]
+fn vertical_remote_matches_local() {
+    let docs = partix::gen::gen_articles(10, ArticleProfile::SMALL, 29);
+    let workload = queries::vertical(setup::DIST);
+    let px = setup::vertical(&docs);
+    let local = local_answers(&px, &workload, "vert-remote");
+    let _wire = RemoteCluster::attach(&px);
+    assert_remote_differential(&px, &local, &workload, "vert-remote");
+}
+
+#[test]
+fn hybrid_remote_matches_local_both_frag_modes() {
+    let store = partix::gen::gen_store(40, ItemProfile::Small, 31);
+    for mode in [FragMode::SingleDoc, FragMode::ManySmallDocs] {
+        let label = format!("{mode:?}-remote");
+        let px = setup::hybrid(&store, mode);
+        let workload = queries::hybrid(setup::DIST);
+        let local = local_answers(&px, &workload, &label);
+        let _wire = RemoteCluster::attach(&px);
+        assert_remote_differential(&px, &local, &workload, &label);
+    }
+}
+
+// ------------------------------------------------------ faulted runs --
+
+/// Faulted remote runs: every answered query matches `oracle`, errors
+/// are typed, wrong data never appears. Returns the success count.
+fn assert_no_wrong_data(
+    px: &PartiX,
+    oracle: &[String],
+    workload: &[(&'static str, String)],
+    label: &str,
+) -> usize {
+    let mut ok = 0;
+    for (k, (id, query)) in workload.iter().enumerate() {
+        match px.execute_with(query, ExecOptions::default()) {
+            Ok(result) => {
+                assert_eq!(
+                    canonical(&result.items),
+                    oracle[k],
+                    "{label}/{id}: faulted remote run returned wrong data",
+                );
+                ok += 1;
+            }
+            // a typed error is acceptable under faults — wrong data is not
+            Err(_) => {}
+        }
+    }
+    ok
+}
+
+/// Replicated horizontal cluster over sockets with injectors wrapping
+/// the remote drivers: same no-wrong-data contract as the in-process
+/// suite, same seeds, now with real frames underneath the faults.
+#[test]
+fn horizontal_remote_under_faults_returns_oracle_answer_or_typed_error() {
+    let docs = setup::quick_items(60);
+    let workload = queries::horizontal(setup::DIST);
+    let clean = setup::horizontal(&docs, 4);
+    let oracle: Vec<String> = workload
+        .iter()
+        .map(|(id, q)| {
+            canonical(&clean.execute(q).unwrap_or_else(|e| panic!("{id}: {e}")).items)
+        })
+        .collect();
+
+    for seed in [3u64, 0xBAD5EED, 0xC4A0_5EED] {
+        let plan = FaultPlan::from_seed(seed, 4, 0.8);
+        let px = setup::horizontal_replicated(&docs, 4, 2);
+        px.set_retry_policy(RetryPolicy {
+            timeout: Some(Duration::from_millis(500)),
+            ..RetryPolicy::default()
+        });
+        // transport first, faults second: injectors wrap RemoteDriver
+        let _wire = RemoteCluster::attach(&px);
+        plan.install(&px);
+        assert_no_wrong_data(&px, &oracle, &workload, &format!("remote-faulted-{seed:#x}"));
+    }
+}
+
+/// A killed node server is a typed error, not wrong data: unreplicated
+/// fragments on a dead listener must fail the query cleanly, and a
+/// restart on the same port must heal it without rebuilding anything.
+#[test]
+fn killed_server_yields_typed_error_and_restart_heals() {
+    let docs = setup::quick_items(40);
+    let px = setup::horizontal(&docs, 2);
+    px.set_retry_policy(RetryPolicy {
+        timeout: Some(Duration::from_millis(500)),
+        ..RetryPolicy::default()
+    });
+    let q = format!(r#"count(collection("{}")/Item)"#, setup::DIST);
+    let mut wire = RemoteCluster::attach(&px);
+    let healthy = canonical(&px.execute(&q).expect("healthy remote run").items);
+
+    wire.kill(1);
+    match px.execute(&q) {
+        // no replica for f1: the failure must be a typed error
+        Err(_) => {}
+        Ok(result) => {
+            // dispatch may legally answer only if the answer is right
+            // (e.g. served from cache) — wrong data is the one outlawed
+            // outcome
+            assert_eq!(
+                canonical(&result.items),
+                healthy,
+                "query over a dead server returned wrong data",
+            );
+        }
+    }
+
+    wire.restart(1);
+    let healed = px.execute(&q).expect("restarted server answers");
+    assert_eq!(canonical(&healed.items), healthy);
+}
