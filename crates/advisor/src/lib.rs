@@ -1,0 +1,46 @@
+//! # partix-advisor
+//!
+//! Workload-driven fragmentation advice and live rebalancing for the
+//! PartiX middleware. Closes the loop the paper leaves open: PartiX
+//! executes queries over whatever fragmentation/placement the user
+//! registered — this crate observes how that design actually behaves
+//! and moves the system toward a better one, without downtime.
+//!
+//! ```text
+//!   QueryReports ──▶ WorkloadProfiler ──▶ WorkloadProfile (JSON)
+//!                                              │
+//!                           sample docs ──▶ advise() ──▶ Advice
+//!                                              │     (design+placement,
+//!                                              │      predicted costs)
+//!                                              ▼
+//!                                         rebalance()
+//!                               copy → atomic swap → retire
+//!                              (queries keep serving throughout)
+//! ```
+//!
+//! * [`profile`] — aggregate per-fragment/per-node access statistics
+//!   from [`QueryReport`](partix_engine::QueryReport)s into a
+//!   serializable [`WorkloadProfile`].
+//! * [`cost`] — the analytical cost model: bottleneck scan load +
+//!   result-shipping + imbalance penalty.
+//! * [`advise`] — candidate search (current design re-placed, plus
+//!   horizontal re-splits) with greedy seeding and seeded local search;
+//!   deterministic for a given seed.
+//! * [`rebalance`] — live migration between placements: dual-placement
+//!   copy, atomic catalog swap, epoch-bumping retirement, post-move
+//!   correctness re-validation.
+
+pub mod advise;
+pub mod cost;
+pub mod jsonio;
+pub mod profile;
+pub mod rebalance;
+
+pub use advise::{advise, advise_live, collection_sample, Advice, AdviseError, AdvisorConfig};
+pub use cost::{score, CostReport, CostWeights, FragmentLoad};
+pub use profile::{
+    FragmentStats, NodeStats, StageTotals, WorkloadProfile, WorkloadProfiler,
+};
+pub use rebalance::{
+    rebalance, MoveRecord, RebalanceError, RebalanceOptions, RebalanceReport,
+};

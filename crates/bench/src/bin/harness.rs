@@ -129,6 +129,7 @@ fn main() {
         "ablation-localization" => ablation_localization(&args),
         "throughput" => throughput_bench(&args),
         "chaos" => chaos_bench(&args),
+        "rebalance" => rebalance_bench(&args),
         "all" => {
             fig7_horizontal(&args, &mut sink, "fig7a", "ItemsSHor", ItemProfile::Small);
             fig7_horizontal(&args, &mut sink, "fig7b", "ItemsLHor", ItemProfile::Large);
@@ -161,7 +162,9 @@ COMMANDS
   throughput         multi-client QPS/latency: threads vs worker pool ± result cache
   chaos              QPS/latency under a seeded fault schedule: fault-free vs
                      faulted vs faulted+allow_partial (same --seed = same schedule)
-  all                everything above (except throughput and chaos)
+  rebalance          skewed placement (everything on node 0) measured, advised,
+                     migrated live, re-measured (same --seed = same advice)
+  all                everything above (except throughput, chaos and rebalance)
 
 FLAGS
   --scale F          fraction of the paper's database sizes (default 0.02)
@@ -172,13 +175,15 @@ FLAGS
   --clients A,B,..   concurrent clients for throughput (default 1,4,16);
                      chaos uses the largest entry
   --queries N        queries per client for throughput/chaos (default 40)
-  --out FILE         throughput/chaos JSON output (default BENCH_throughput.json,
-                     BENCH_chaos.json for chaos)
-  --seed S           chaos fault-schedule seed, decimal or 0x-hex (default 0xC4A05EED)
+  --out FILE         throughput/chaos/rebalance JSON output (default
+                     BENCH_throughput.json; BENCH_chaos.json for chaos,
+                     BENCH_rebalance.json for rebalance)
+  --seed S           chaos fault-schedule / rebalance advisor seed, decimal or
+                     0x-hex (default 0xC4A05EED)
   --rate P           chaos per-node fault probability (default 0.6)
   --replicas N       chaos replicas per fragment (default 2)
   --timeout-ms N     chaos per-attempt dispatch deadline (default 75)
-  --remote           throughput/chaos only: put every node behind its own
+  --remote           throughput/chaos/rebalance: put every node behind its own
                      loopback TCP server (partix-net wire protocol); the
                      JSON gains remote:true and genuine bytes_shipped"
     );
@@ -424,6 +429,28 @@ fn chaos_bench(args: &Args) {
     };
     std::fs::write(out, partix_bench::chaos::to_json(&config, &plan, &results, args.remote))
         .expect("write chaos JSON");
+    println!("wrote {out}");
+}
+
+/// The skew → advise → live-rebalance → re-measure experiment.
+fn rebalance_bench(args: &Args) {
+    let size_mb = args.sizes.iter().copied().min().unwrap_or(5);
+    let nodes = args.frags.first().copied().unwrap_or(4);
+    let config = partix_bench::rebalance::RebalanceBenchConfig {
+        db_bytes: ((size_mb * MB) as f64 * args.scale) as usize,
+        fragments: nodes,
+        nodes,
+        clients: args.clients.iter().copied().max().unwrap_or(8),
+        queries_per_client: args.queries,
+        seed: args.seed,
+    };
+    let result = partix_bench::rebalance::run_with(&config, args.remote);
+    let out = if args.out == "BENCH_throughput.json" {
+        "BENCH_rebalance.json"
+    } else {
+        args.out.as_str()
+    };
+    std::fs::write(out, result.to_json()).expect("write rebalance JSON");
     println!("wrote {out}");
 }
 

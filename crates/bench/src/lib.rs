@@ -24,14 +24,16 @@
 //! runs. Shapes (who wins, crossovers), not absolute times, are the
 //! reproduction target.
 //!
-//! Beyond the paper's figures, [`throughput`] measures multi-client QPS
-//! and [`chaos`] re-runs that workload under a seeded fault schedule
+//! Beyond the paper's figures, [`throughput`] measures multi-client QPS,
+//! [`chaos`] re-runs that workload under a seeded fault schedule
 //! (`harness chaos --seed S`), exercising the dispatch layer's
-//! retry/deadline/failover machinery.
+//! retry/deadline/failover machinery, and [`rebalance`] measures the
+//! advisor fixing a skewed placement live (`harness rebalance`).
 
 pub mod chaos;
 pub mod output;
 pub mod queries;
+pub mod rebalance;
 pub mod remote;
 pub mod runner;
 pub mod setup;

@@ -1,0 +1,319 @@
+//! The rebalance experiment: a seeded skew scenario the advisor fixes
+//! live.
+//!
+//! The setup is deliberately pathological ([`setup::skewed_horizontal`]):
+//! an N-node cluster whose horizontal fragments all sit on node 0, so
+//! every sub-query of every client queues on one node's worker pool
+//! while the rest of the cluster idles. The benchmark measures the
+//! paper-set workload (QH1–QH8) before the fix, profiles it into a
+//! [`WorkloadProfile`], asks the advisor for a placement, migrates to it
+//! with [`partix_advisor::rebalance`] *while queries keep running*, and
+//! measures again. The before/after QPS and tail latency plus the
+//! migration's byte/verification accounting land in
+//! `BENCH_rebalance.json`.
+
+use crate::output::json;
+use crate::throughput::{percentile, run_clients};
+use crate::{queries, setup};
+use partix_advisor::{advise_live, AdvisorConfig, RebalanceOptions, WorkloadProfiler};
+use partix_engine::DispatchMode;
+use partix_gen::ItemProfile;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Knobs for the rebalance experiment.
+#[derive(Debug, Clone)]
+pub struct RebalanceBenchConfig {
+    /// Approximate database size in bytes.
+    pub db_bytes: usize,
+    /// Horizontal fragment count (all initially on node 0).
+    pub fragments: usize,
+    /// Cluster size — the capacity the initial placement wastes.
+    pub nodes: usize,
+    /// Closed-loop clients per measured phase.
+    pub clients: usize,
+    pub queries_per_client: usize,
+    /// Advisor search seed (same seed, same recommended placement).
+    pub seed: u64,
+}
+
+impl Default for RebalanceBenchConfig {
+    fn default() -> Self {
+        RebalanceBenchConfig {
+            db_bytes: 150_000,
+            fragments: 4,
+            nodes: 4,
+            clients: 8,
+            queries_per_client: 30,
+            seed: 0xC4A0_5EED,
+        }
+    }
+}
+
+/// Everything one rebalance run produced.
+#[derive(Debug, Clone)]
+pub struct RebalanceRunResult {
+    pub db_bytes: usize,
+    pub fragments: usize,
+    pub nodes: usize,
+    pub clients: usize,
+    pub queries_per_client: usize,
+    pub seed: u64,
+    pub before_qps: f64,
+    pub before_p50_ms: f64,
+    pub before_p99_ms: f64,
+    pub after_qps: f64,
+    pub after_p50_ms: f64,
+    pub after_p99_ms: f64,
+    /// Fragments whose replica set changed.
+    pub migrated_fragments: usize,
+    pub migrated_docs: u64,
+    pub migrated_bytes: u64,
+    /// Wall time of the live migration (copy + swap + verify).
+    pub rebalance_s: f64,
+    /// Queries answered by the probe thread *while* the migration ran.
+    pub during_queries: u64,
+    /// Probe answers that disagreed with the pre-migration oracle
+    /// (must be 0 — the swap is atomic and the engine replans).
+    pub during_errors: u64,
+    /// Advisor's predicted cost reduction, `0..=1`.
+    pub predicted_gain: f64,
+    /// Post-migration completeness/disjointness re-validation passed.
+    pub verified: bool,
+    pub p99_improved: bool,
+    pub qps_improved: bool,
+    pub remote: bool,
+    /// Genuine wire bytes across the whole run (0 for in-process).
+    pub bytes_shipped: u64,
+}
+
+impl RebalanceRunResult {
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push('{');
+        json::str_field(&mut out, "experiment", "rebalance");
+        json::str_field(&mut out, "collection", setup::DIST);
+        json::num_field(&mut out, "db_bytes", self.db_bytes as f64);
+        json::num_field(&mut out, "fragments", self.fragments as f64);
+        json::num_field(&mut out, "nodes", self.nodes as f64);
+        json::num_field(&mut out, "clients", self.clients as f64);
+        json::num_field(&mut out, "queries_per_client", self.queries_per_client as f64);
+        json::num_field(&mut out, "seed", self.seed as f64);
+        json::num_field(&mut out, "before_qps", self.before_qps);
+        json::num_field(&mut out, "before_p50_ms", self.before_p50_ms);
+        json::num_field(&mut out, "before_p99_ms", self.before_p99_ms);
+        json::num_field(&mut out, "after_qps", self.after_qps);
+        json::num_field(&mut out, "after_p50_ms", self.after_p50_ms);
+        json::num_field(&mut out, "after_p99_ms", self.after_p99_ms);
+        json::num_field(&mut out, "migrated_fragments", self.migrated_fragments as f64);
+        json::num_field(&mut out, "migrated_docs", self.migrated_docs as f64);
+        json::num_field(&mut out, "migrated_bytes", self.migrated_bytes as f64);
+        json::num_field(&mut out, "rebalance_s", self.rebalance_s);
+        json::num_field(&mut out, "during_queries", self.during_queries as f64);
+        json::num_field(&mut out, "during_errors", self.during_errors as f64);
+        json::num_field(&mut out, "predicted_gain", self.predicted_gain);
+        json::bool_field(&mut out, "verified", self.verified);
+        json::bool_field(&mut out, "p99_improved", self.p99_improved);
+        json::bool_field(&mut out, "qps_improved", self.qps_improved);
+        json::bool_field(&mut out, "remote", self.remote);
+        json::num_field(&mut out, "bytes_shipped", self.bytes_shipped as f64);
+        out.push('}');
+        out
+    }
+}
+
+/// Run the skew → advise → live-rebalance → re-measure experiment.
+///
+/// When `remote` is true, every node sits behind its own loopback TCP
+/// server ([`crate::remote::RemoteCluster`]) — the migration's copies
+/// then travel as genuine frames and are counted in `bytes_shipped`.
+pub fn run_with(config: &RebalanceBenchConfig, remote: bool) -> RebalanceRunResult {
+    let docs = setup::item_db(config.db_bytes, ItemProfile::Small);
+    let mut px = setup::skewed_horizontal(&docs, config.fragments, config.nodes);
+    px.set_dispatch(DispatchMode::Pool);
+    let wire = remote.then(|| crate::remote::RemoteCluster::attach(&px));
+    let workload = queries::horizontal(setup::DIST);
+    println!(
+        "\n### rebalance{}: {} B over {} fragments, ALL on node 0 of {}; {} clients × {} queries",
+        if remote { " (remote TCP transport)" } else { "" },
+        config.db_bytes,
+        config.fragments,
+        config.nodes,
+        config.clients,
+        config.queries_per_client,
+    );
+
+    // Profile one sequential pass (doubles as warm-up), then size the
+    // fragments from the live placement.
+    let profiler = WorkloadProfiler::new();
+    for (_, query) in &workload {
+        let result = px.execute(query).expect("profiling query");
+        profiler.record(&result.report);
+    }
+    profiler.observe_placement(&px, setup::DIST);
+    let profile = profiler.snapshot();
+
+    let (before_wall, mut before_lat, _) =
+        run_clients(&px, config.clients, config.queries_per_client, &workload);
+    let before_qps = before_lat.len() as f64 / before_wall.max(1e-9);
+    let before_p50_ms = percentile(&mut before_lat, 50.0) * 1e3;
+    let before_p99_ms = percentile(&mut before_lat, 99.0) * 1e3;
+
+    let mut advisor = AdvisorConfig::new(config.nodes);
+    advisor.seed = config.seed;
+    let advice = advise_live(&px, setup::DIST, &profile, &advisor)
+        .expect("advise")
+        .expect("distribution registered");
+
+    // Live migration, probed: a thread keeps asking an aggregate the
+    // oracle answered pre-migration and tallies any disagreement.
+    let oracle = px.execute(&workload[6].1).expect("oracle query").items;
+    let done = AtomicBool::new(false);
+    let during_queries = AtomicU64::new(0);
+    let during_errors = AtomicU64::new(0);
+    let mut report = None;
+    std::thread::scope(|scope| {
+        let probe = scope.spawn(|| {
+            // check-after-query loop: even an instant migration gets at
+            // least one mid-flight probe
+            loop {
+                match px.execute(&workload[6].1) {
+                    Ok(result) if result.items == oracle => {}
+                    _ => {
+                        during_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                during_queries.fetch_add(1, Ordering::Relaxed);
+                if done.load(Ordering::Relaxed) {
+                    break;
+                }
+            }
+        });
+        report = Some(
+            partix_advisor::rebalance(
+                &px,
+                setup::DIST,
+                &advice.placements,
+                &RebalanceOptions::default(),
+            )
+            .expect("live rebalance"),
+        );
+        done.store(true, Ordering::Relaxed);
+        probe.join().expect("probe thread");
+    });
+    let report = report.expect("rebalance ran");
+
+    let (after_wall, mut after_lat, _) =
+        run_clients(&px, config.clients, config.queries_per_client, &workload);
+    let after_qps = after_lat.len() as f64 / after_wall.max(1e-9);
+    let after_p50_ms = percentile(&mut after_lat, 50.0) * 1e3;
+    let after_p99_ms = percentile(&mut after_lat, 99.0) * 1e3;
+
+    let result = RebalanceRunResult {
+        db_bytes: config.db_bytes,
+        fragments: config.fragments,
+        nodes: config.nodes,
+        clients: config.clients,
+        queries_per_client: config.queries_per_client,
+        seed: config.seed,
+        before_qps,
+        before_p50_ms,
+        before_p99_ms,
+        after_qps,
+        after_p50_ms,
+        after_p99_ms,
+        migrated_fragments: report.moves.len(),
+        migrated_docs: report.migrated_docs,
+        migrated_bytes: report.migrated_bytes,
+        rebalance_s: report.elapsed_s,
+        during_queries: during_queries.load(Ordering::Relaxed),
+        during_errors: during_errors.load(Ordering::Relaxed),
+        predicted_gain: advice.predicted_gain(),
+        verified: report.verified,
+        p99_improved: after_p99_ms < before_p99_ms,
+        qps_improved: after_qps > before_qps,
+        remote,
+        bytes_shipped: wire.as_ref().map_or(0, crate::remote::RemoteCluster::wire_bytes),
+    };
+    println!(
+        "{:<8} {:>9} {:>10} {:>10}",
+        "phase", "QPS", "p50(ms)", "p99(ms)"
+    );
+    println!(
+        "{:<8} {:>9.1} {:>10.3} {:>10.3}",
+        "before", result.before_qps, result.before_p50_ms, result.before_p99_ms
+    );
+    println!(
+        "{:<8} {:>9.1} {:>10.3} {:>10.3}",
+        "after", result.after_qps, result.after_p50_ms, result.after_p99_ms
+    );
+    println!(
+        "  migrated {} fragment(s), {} docs, {} B in {:.3}s; verified: {}",
+        result.migrated_fragments,
+        result.migrated_docs,
+        result.migrated_bytes,
+        result.rebalance_s,
+        result.verified,
+    );
+    println!(
+        "  {} probe queries during migration, {} wrong answers; predicted gain {:.1}%",
+        result.during_queries,
+        result.during_errors,
+        result.predicted_gain * 100.0,
+    );
+    if remote {
+        println!("  wire: {} B shipped over TCP", result.bytes_shipped);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rebalance_bench_smoke() {
+        let config = RebalanceBenchConfig {
+            db_bytes: 20_000,
+            fragments: 4,
+            nodes: 4,
+            clients: 2,
+            queries_per_client: 3,
+            seed: 7,
+        };
+        let result = run_with(&config, false);
+        assert!(result.migrated_fragments > 0, "skew must trigger moves");
+        assert!(result.migrated_bytes > 0);
+        assert!(result.verified);
+        assert_eq!(result.during_errors, 0, "probe answers must stay correct");
+        assert!(result.during_queries > 0);
+        assert!(result.predicted_gain > 0.0);
+        let json = result.to_json();
+        for field in [
+            "\"before_p99_ms\":",
+            "\"after_p99_ms\":",
+            "\"migrated_bytes\":",
+            "\"p99_improved\":",
+            "\"verified\":true",
+            "\"during_errors\":0",
+        ] {
+            assert!(json.contains(field), "missing {field} in {json}");
+        }
+    }
+
+    #[test]
+    fn rebalance_bench_remote_smoke() {
+        let config = RebalanceBenchConfig {
+            db_bytes: 12_000,
+            fragments: 2,
+            nodes: 2,
+            clients: 1,
+            queries_per_client: 2,
+            seed: 7,
+        };
+        let result = run_with(&config, true);
+        assert!(result.migrated_fragments > 0);
+        assert_eq!(result.during_errors, 0);
+        assert!(result.remote);
+        assert!(result.bytes_shipped > 0, "remote run must ship frames");
+    }
+}

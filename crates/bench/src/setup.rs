@@ -127,6 +127,48 @@ pub fn horizontal_replicated(
     px
 }
 
+/// Build the rebalance experiment's *pathological* horizontal setup:
+/// `nodes` nodes, `n_fragments` section-group fragments — every one of
+/// them placed on node 0. The cluster has idle capacity the placement
+/// ignores; the advisor/rebalancer exist to fix exactly this.
+pub fn skewed_horizontal(docs: &[Document], n_fragments: usize, nodes: usize) -> PartiX {
+    assert!(nodes >= 1);
+    let px = PartiX::new(nodes, NetworkModel::default());
+    let node0 = px.cluster().node(0).expect("node 0");
+    for i in 0..n_fragments {
+        node0
+            .db
+            .create_collection(&format!("f{i}"), StorageMode::Cold)
+            .expect("fresh node");
+    }
+    node0.db.create_collection(CENTRAL, StorageMode::Cold).expect("fresh node");
+    let citems = CollectionDef::new(
+        DIST,
+        Arc::new(virtual_store()),
+        p("/Store/Items/Item"),
+        RepoKind::MultipleDocuments,
+    );
+    let fragments: Vec<FragmentDef> = section_groups(n_fragments)
+        .iter()
+        .enumerate()
+        .map(|(i, group)| {
+            FragmentDef::horizontal(
+                &format!("f{i}"),
+                sections_predicate("/Item/Section", group),
+            )
+        })
+        .collect();
+    let design = FragmentationSchema::new(citems, fragments).expect("valid design");
+    let placements = (0..n_fragments)
+        .map(|i| Placement { fragment: format!("f{i}"), node: 0 })
+        .collect();
+    px.register_distribution(Distribution { design, placements })
+        .expect("placement valid");
+    px.publish(DIST, docs).expect("publish");
+    px.publish_centralized(0, CENTRAL, docs).expect("centralized copy");
+    px
+}
+
 /// Convenience: generate an item database of roughly `bytes` and build
 /// the horizontal setup.
 pub fn horizontal_sized(bytes: usize, profile: ItemProfile, n_fragments: usize) -> PartiX {

@@ -209,6 +209,9 @@ pub fn stats(dir: &Path, text: &str, trace_out: Option<&Path>) -> Result<String,
         .ok_or_else(|| err("stats: coordinator has no node 0"))?
         .set_driver(std::sync::Arc::new(db));
     let result = px.execute(text).map_err(|e| err(e.to_string()))?;
+    // surface the per-node placement gauges (fragment count, resident
+    // bytes) in the snapshot below
+    px.refresh_node_gauges();
 
     let mut out = partix_query::func::serialize_sequence(&result.items);
     if out.is_empty() {
@@ -337,6 +340,212 @@ pub fn chaos(seed: u64) -> Result<String, CliError> {
     Ok(out.trim_end().to_owned())
 }
 
+/// Build the seeded demo repository shared by `partix advise` and
+/// `partix rebalance`: 3 nodes, a 3-fragment horizontal design packed
+/// entirely onto node 0 (the pathology the advisor exists to fix),
+/// generated items, and a workload profile recorded from a fixed query
+/// mix. Everything that feeds the advisor — document contents, access
+/// counts, result bytes — is deterministic under `seed`.
+fn skewed_scenario(
+    seed: u64,
+) -> Result<(partix_engine::PartiX, partix_advisor::WorkloadProfile), CliError> {
+    use partix_engine::{Distribution, NetworkModel, PartiX, Placement};
+    use partix_frag::{FragmentDef, FragmentationSchema};
+    use partix_path::Predicate;
+
+    let docs = partix_gen::gen_items(120, partix_gen::ItemProfile::Small, seed);
+    let px = PartiX::new(3, NetworkModel::default());
+    let citems = CollectionDef::new(
+        "items",
+        std::sync::Arc::new(partix_schema::builtin::virtual_store()),
+        PathExpr::parse("/Store/Items/Item").map_err(|e| err(e.to_string()))?,
+        RepoKind::MultipleDocuments,
+    );
+    let parse_pred = |p: &str| Predicate::parse(p).map_err(|e| err(e.to_string()));
+    let design = FragmentationSchema::new(
+        citems,
+        vec![
+            FragmentDef::horizontal("f_cd", parse_pred(r#"/Item/Section = "CD""#)?),
+            FragmentDef::horizontal("f_dvd", parse_pred(r#"/Item/Section = "DVD""#)?),
+            FragmentDef::horizontal(
+                "f_rest",
+                parse_pred(r#"not(/Item/Section = "CD" or /Item/Section = "DVD")"#)?,
+            ),
+        ],
+    )
+    .map_err(|e| err(e.to_string()))?;
+    px.register_distribution(Distribution {
+        design,
+        placements: vec![
+            Placement { fragment: "f_cd".into(), node: 0 },
+            Placement { fragment: "f_dvd".into(), node: 0 },
+            Placement { fragment: "f_rest".into(), node: 0 },
+        ],
+    })
+    .map_err(|e| err(e.to_string()))?;
+    px.publish("items", &docs).map_err(|e| err(e.to_string()))?;
+
+    // a fixed workload: broad scans plus a CD-heavy hot spot
+    let profiler = partix_advisor::WorkloadProfiler::new();
+    let workload: [(&str, usize); 3] = [
+        (r#"count(collection("items")/Item)"#, 8),
+        (r#"for $i in collection("items")/Item where $i/Section = "CD" return $i/Code"#, 12),
+        (
+            r#"count(for $i in collection("items")/Item
+                where contains($i/Characteristics/Description, "good") return $i)"#,
+            4,
+        ),
+    ];
+    for (query, repeats) in workload {
+        for _ in 0..repeats {
+            let result = px.execute(query).map_err(|e| err(e.to_string()))?;
+            profiler.record(&result.report);
+        }
+    }
+    profiler.observe_placement(&px, "items");
+    Ok((px, profiler.snapshot()))
+}
+
+fn render_placements(out: &mut String, placements: &[partix_engine::Placement]) {
+    let mut by_fragment: std::collections::BTreeMap<&str, Vec<usize>> =
+        std::collections::BTreeMap::new();
+    for p in placements {
+        by_fragment.entry(p.fragment.as_str()).or_default().push(p.node);
+    }
+    for (fragment, nodes) in by_fragment {
+        let rendered: Vec<String> =
+            nodes.iter().map(|n| format!("node{n}")).collect();
+        let _ = writeln!(out, "  {fragment} -> {}", rendered.join(", "));
+    }
+}
+
+/// `partix advise`: the workload-driven fragmentation advisor on a
+/// seeded demo scenario. Profiles a fixed query mix over a skewed
+/// placement (every fragment on node 0 of 3), then searches placements
+/// (greedy seed + seeded local search, replica add/drop included) for
+/// the cheapest way to serve that workload. All output is deterministic
+/// under the seed, so repeated runs can be diffed.
+pub fn advise(seed: u64) -> Result<String, CliError> {
+    let (px, profile) = skewed_scenario(seed)?;
+    let mut config = partix_advisor::AdvisorConfig::new(px.cluster().len());
+    config.seed = seed;
+    config.split_path = Some(PathExpr::parse("/Item/Section").map_err(|e| err(e.to_string()))?);
+    config.candidate_counts = vec![2, 3];
+    let advice = partix_advisor::advise_live(&px, "items", &profile, &config)
+        .map_err(|e| err(e.to_string()))?
+        .ok_or_else(|| err("advise: collection \"items\" has no distribution"))?;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "workload profile (seed={seed:#x}): {} queries", profile.queries);
+    for f in &profile.fragments {
+        let _ = writeln!(
+            out,
+            "  {}: {} access(es), {} B stored, {} B shipped",
+            f.fragment, f.accesses, f.size_bytes, f.shipped_bytes
+        );
+    }
+    let _ = writeln!(out, "candidates considered: {}", advice.candidates_considered);
+    let _ = writeln!(
+        out,
+        "current cost {:.0} (bottleneck {:.0} + ship {:.0} + imbalance {:.0})",
+        advice.current.total_cost,
+        advice.current.max_node_cost,
+        advice.current.ship_cost,
+        advice.current.imbalance_cost,
+    );
+    let _ = writeln!(
+        out,
+        "advised cost {:.0} — predicted gain {:.1}%{}",
+        advice.predicted.total_cost,
+        advice.predicted_gain() * 100.0,
+        if advice.design_changed { " (design re-split)" } else { "" },
+    );
+    let _ = writeln!(out, "recommended placement:");
+    render_placements(&mut out, &advice.placements);
+    Ok(out.trim_end().to_owned())
+}
+
+/// `partix rebalance`: run the advisor on the seeded demo scenario and
+/// then *apply* its recommendation live — dual-placement copy, atomic
+/// catalog swap, old-replica retirement — while checking answers
+/// against the pre-migration result.
+pub fn rebalance(seed: u64) -> Result<String, CliError> {
+    let (px, profile) = skewed_scenario(seed)?;
+    let count_q = r#"count(collection("items")/Item)"#;
+    let before = px
+        .execute(count_q)
+        .map_err(|e| err(e.to_string()))?
+        .items
+        .first()
+        .map(partix_query::Item::serialize)
+        .unwrap_or_default();
+
+    let mut config = partix_advisor::AdvisorConfig::new(px.cluster().len());
+    config.seed = seed;
+    let advice = partix_advisor::advise_live(&px, "items", &profile, &config)
+        .map_err(|e| err(e.to_string()))?
+        .ok_or_else(|| err("rebalance: collection \"items\" has no distribution"))?;
+    let report = partix_advisor::rebalance(
+        &px,
+        "items",
+        &advice.placements,
+        &partix_advisor::RebalanceOptions::default(),
+    )
+    .map_err(|e| err(e.to_string()))?;
+
+    let after = px
+        .execute(count_q)
+        .map_err(|e| err(e.to_string()))?
+        .items
+        .first()
+        .map(partix_query::Item::serialize)
+        .unwrap_or_default();
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "rebalance (seed={seed:#x}): {} fragment move(s), {} document(s), {} B migrated",
+        report.moves.len(),
+        report.migrated_docs,
+        report.migrated_bytes,
+    );
+    for m in &report.moves {
+        let from: Vec<String> = m.from.iter().map(|n| format!("node{n}")).collect();
+        let to: Vec<String> = m.to.iter().map(|n| format!("node{n}")).collect();
+        let _ = writeln!(
+            out,
+            "  {}: [{}] -> [{}] ({} doc(s), {} B)",
+            m.fragment,
+            from.join(", "),
+            to.join(", "),
+            m.docs,
+            m.bytes,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "verification: {}",
+        if report.verified {
+            "placement valid, completeness/disjointness re-checked ✓"
+        } else {
+            "SKIPPED"
+        },
+    );
+    let _ = writeln!(
+        out,
+        "query answers: before={before} after={after} ({})",
+        if before == after { "consistent across migration" } else { "MISMATCH" },
+    );
+    let _ = writeln!(out, "final placement:");
+    let final_placements = px
+        .catalog()
+        .distribution("items")
+        .map(|d| d.placements.clone())
+        .unwrap_or_default();
+    render_placements(&mut out, &final_placements);
+    Ok(out.trim_end().to_owned())
+}
+
 /// `partix serve`: expose a database directory (or a fresh in-memory
 /// database) as a PartiX network node. Returns the running server and
 /// the address it actually bound — port 0 picks an ephemeral one — so
@@ -427,6 +636,18 @@ USAGE
   partix chaos [seed]                               fault-tolerance demo:
                                                     seeded fault injection vs
                                                     retry/failover dispatch
+  partix advise [seed]                              workload-driven advisor
+                                                    demo: profile a skewed
+                                                    placement, search designs/
+                                                    placements, print the
+                                                    recommendation (output is
+                                                    deterministic per seed)
+  partix rebalance [seed]                           apply the advisor's
+                                                    recommendation live:
+                                                    copy → atomic swap →
+                                                    retire, with answers
+                                                    checked across the
+                                                    migration
   partix serve --node <N> --addr <HOST:PORT>        run a node server
                 [--data <db-dir>]                   speaking the partix-net
                                                     wire protocol (port 0
@@ -442,6 +663,8 @@ EXAMPLE
   partix fragment ./db items /Item/Section 2
   partix stats ./db 'count(collection(\"items\")/Item)' --trace trace.json
   partix chaos 0xBEEF
+  partix advise 7
+  partix rebalance 7
   partix serve --node 0 --addr 127.0.0.1:7401 --data ./db
   partix ping 127.0.0.1:7401";
 
@@ -594,6 +817,40 @@ mod tests {
         assert!(a.starts_with("fault schedule: seed=0xbeef"), "{a}");
         // every answered query must agree with the centralized oracle
         assert!(!a.contains("MISMATCH"), "{a}");
+    }
+
+    #[test]
+    fn advise_demo_is_deterministic_and_finds_a_gain() {
+        let a = advise(7).unwrap();
+        let b = advise(7).unwrap();
+        assert_eq!(a, b, "advise output must be reproducible under a seed");
+        assert!(a.contains("recommended placement:"), "{a}");
+        // the skewed scenario always leaves room to improve
+        assert!(a.contains("predicted gain"), "{a}");
+        assert!(!a.contains("predicted gain 0.0%"), "{a}");
+        // placements mention more than one node
+        assert!(a.contains("node1") || a.contains("node2"), "{a}");
+    }
+
+    #[test]
+    fn rebalance_demo_migrates_and_stays_consistent() {
+        let out = rebalance(11).unwrap();
+        assert!(out.contains("fragment move(s)"), "{out}");
+        assert!(out.contains("completeness/disjointness re-checked ✓"), "{out}");
+        assert!(out.contains("consistent across migration"), "{out}");
+        assert!(!out.contains("MISMATCH"), "{out}");
+    }
+
+    #[test]
+    fn stats_snapshot_includes_node_gauges() {
+        let dir = tmp("gauges");
+        let db_dir = dir.join("db");
+        let files = write_items(&dir, 4);
+        load(&db_dir, "items", &files).unwrap();
+        let out = stats(&db_dir, r#"count(collection("items")/Item)"#, None).unwrap();
+        assert!(out.contains("node.0.fragments"), "{out}");
+        assert!(out.contains("node.0.resident_bytes"), "{out}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -36,24 +36,22 @@ fn main() -> ExitCode {
             partix_cli::stats(Path::new(&args[1]), &args[2], trace_out)
         }
         Some("chaos") if args.len() <= 2 => {
-            let seed = match args.get(1) {
-                None => 0xC4A0_5EED,
-                Some(raw) => {
-                    let parsed = match raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X"))
-                    {
-                        Some(hex) => u64::from_str_radix(hex, 16),
-                        None => raw.parse(),
-                    };
-                    match parsed {
-                        Ok(seed) => seed,
-                        Err(_) => {
-                            eprintln!("chaos: <seed> must be a decimal or 0x-hex number");
-                            return ExitCode::FAILURE;
-                        }
-                    }
-                }
-            };
-            partix_cli::chaos(seed)
+            match parse_seed("chaos", args.get(1), 0xC4A0_5EED) {
+                Some(seed) => partix_cli::chaos(seed),
+                None => return ExitCode::FAILURE,
+            }
+        }
+        Some("advise") if args.len() <= 2 => {
+            match parse_seed("advise", args.get(1), 0xAD_115E) {
+                Some(seed) => partix_cli::advise(seed),
+                None => return ExitCode::FAILURE,
+            }
+        }
+        Some("rebalance") if args.len() <= 2 => {
+            match parse_seed("rebalance", args.get(1), 0xAD_115E) {
+                Some(seed) => partix_cli::rebalance(seed),
+                None => return ExitCode::FAILURE,
+            }
         }
         Some("serve") => return serve(&args[1..]),
         Some("ping") if args.len() == 2 => partix_cli::ping(&args[1]),
@@ -70,6 +68,27 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parse an optional decimal or 0x-hex seed argument, falling back to
+/// `default` when absent. Prints an error and returns `None` on bad
+/// input.
+fn parse_seed(command: &str, raw: Option<&String>, default: u64) -> Option<u64> {
+    let raw = match raw {
+        None => return Some(default),
+        Some(raw) => raw,
+    };
+    let parsed = match raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => raw.parse(),
+    };
+    match parsed {
+        Ok(seed) => Some(seed),
+        Err(_) => {
+            eprintln!("{command}: <seed> must be a decimal or 0x-hex number");
+            None
         }
     }
 }

@@ -74,7 +74,7 @@ pub mod trace;
 pub mod wirespan;
 
 pub use cache::CacheStats;
-pub use catalog::{Catalog, Distribution, Placement};
+pub use catalog::{Catalog, Distribution, DistributionError, Placement};
 pub use cluster::{Cluster, NetworkModel, Node};
 pub use driver::{DriverError, InstrumentedDriver, PartixDriver};
 pub use faults::{Fault, FaultInjector, FaultPlan, InjectionStats};

@@ -47,6 +47,8 @@ impl PartiX {
                 report.shipped.push((frag_name.clone(), node_id, count, bytes));
             }
         }
+        drop(catalog);
+        self.refresh_node_gauges();
         Ok(report)
     }
 

@@ -49,6 +49,9 @@ pub enum PartixError {
     /// The query references a collection with no registered distribution
     /// and no centralized copy on node 0.
     NoDistribution(String),
+    /// A distribution failed registration-time validation (unknown
+    /// fragment, node out of range, missing or duplicate placement).
+    InvalidDistribution(crate::catalog::DistributionError),
     /// A node required by the query is down.
     NodeUnavailable { node: usize, fragment: String },
     /// A sub-query failed on its node.
@@ -64,6 +67,9 @@ impl fmt::Display for PartixError {
             PartixError::Parse(e) => write!(f, "{e}"),
             PartixError::NoDistribution(c) => {
                 write!(f, "collection {c:?} has no registered distribution")
+            }
+            PartixError::InvalidDistribution(e) => {
+                write!(f, "invalid distribution: {e}")
             }
             PartixError::NodeUnavailable { node, fragment } => {
                 write!(f, "node {node} (fragment {fragment}) is unavailable")
@@ -323,6 +329,52 @@ impl PartiX {
         self.result_cache.clear();
     }
 
+    /// Recompute the per-node placement gauges in the global metrics
+    /// registry: `node.N.fragments` (distinct distributed fragment
+    /// placements mapped to node N by the catalog) and
+    /// `node.N.resident_bytes` (approximate bytes resident on the node
+    /// across all collections its active driver holds). Called after
+    /// every publish and rebalance move; the workload advisor and
+    /// `partix stats` read them.
+    pub fn refresh_node_gauges(&self) {
+        let mut frag_counts = vec![0i64; self.cluster.len()];
+        {
+            let catalog = self.catalog.read();
+            for coll in catalog.distributed_collections() {
+                if let Some(dist) = catalog.distribution(&coll) {
+                    for frag in &dist.design.fragments {
+                        for node_id in dist.nodes_of(&frag.name) {
+                            if let Some(count) = frag_counts.get_mut(node_id) {
+                                *count += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let registry = metrics::global();
+        for node in self.cluster.nodes() {
+            let driver = node.active_driver();
+            let bytes: usize = driver
+                .collections()
+                .iter()
+                .map(|c| {
+                    driver
+                        .fetch_collection(c)
+                        .iter()
+                        .map(|d| d.approx_size())
+                        .sum::<usize>()
+                })
+                .sum();
+            registry
+                .gauge(&format!("node.{}.fragments", node.id))
+                .set(frag_counts[node.id]);
+            registry
+                .gauge(&format!("node.{}.resident_bytes", node.id))
+                .set(bytes as i64);
+        }
+    }
+
     fn pool(&self) -> &WorkerPool {
         self.pool
             .get_or_init(|| WorkerPool::new(&self.cluster, self.pool_config))
@@ -350,11 +402,67 @@ impl PartiX {
         self.catalog.write().register_schema(schema);
     }
 
+    /// Register (or atomically replace) a collection's distribution.
+    /// Placements are validated against the design *and* the cluster
+    /// size: an unknown fragment name or out-of-range node index is a
+    /// typed [`PartixError::InvalidDistribution`] instead of a silent
+    /// mis-dispatch. Queries in flight keep the `Arc` they planned with
+    /// and finish against the old placements.
     pub fn register_distribution(&self, dist: Distribution) -> Result<(), PartixError> {
         self.catalog
             .write()
-            .register_distribution(dist)
-            .map_err(PartixError::Internal)
+            .register_distribution_on(dist, self.cluster.len())
+            .map_err(PartixError::InvalidDistribution)
+    }
+
+    /// The distribution the coordinator would plan `query` against right
+    /// now (the first of the query's collections with one registered).
+    /// Holding the returned `Arc` pins the allocation, so a later
+    /// [`Arc::ptr_eq`] against a fresh lookup reliably detects a
+    /// concurrent catalog swap (no ABA through address reuse).
+    fn target_distribution(&self, query: &Query) -> Option<Arc<Distribution>> {
+        let catalog = self.catalog.read();
+        query
+            .collections()
+            .into_iter()
+            .find_map(|c| catalog.distribution(&c).cloned())
+    }
+
+    /// Run the pipeline, replanning when a live rebalance swapped the
+    /// collection's distribution mid-flight. The window that matters: a
+    /// migration retires a source replica (catalog swap) and then drops
+    /// the fragment's collection from the source node; a query planned
+    /// against the old placements could reach the source *after* the
+    /// drop and read an empty fragment. The swap is detectable — every
+    /// registration installs a fresh `Arc` — so re-executing against the
+    /// new placements restores correctness. Bounded: after
+    /// `MAX_REPLANS` unstable rounds the last answer is returned (the
+    /// catalog would have to be swapped faster than queries run).
+    fn execute_replanned(
+        &self,
+        query: &Query,
+        options: ExecOptions,
+        trace: &Trace,
+        parse_s: f64,
+    ) -> Result<DistributedResult, PartixError> {
+        const MAX_REPLANS: usize = 3;
+        let mut last = None;
+        for _ in 0..=MAX_REPLANS {
+            let before = self.target_distribution(query);
+            let result = self.execute_traced(query, options, trace, parse_s)?;
+            let after = self.target_distribution(query);
+            let stable = match (&before, &after) {
+                (None, None) => true,
+                (Some(b), Some(a)) => Arc::ptr_eq(b, a),
+                _ => false,
+            };
+            if stable {
+                return Ok(result);
+            }
+            metrics::global().counter("partix.replans").inc();
+            last = Some(result);
+        }
+        Ok(last.expect("at least one execution"))
     }
 
     /// Execute an XQuery over the distributed repository. Repeated query
@@ -379,14 +487,14 @@ impl PartiX {
                     .map_err(PartixError::Parse)?;
                 let parse_s = parse_start.elapsed().as_secs_f64();
                 trace.record("parse", 0, parse_start);
-                let mut result = self.execute_traced(&query, options, &trace, parse_s)?;
+                let mut result = self.execute_replanned(&query, options, &trace, parse_s)?;
                 result.report.plan_cache_hit = hit;
                 Ok(result)
             } else {
                 let query = parse_query(text).map_err(PartixError::Parse)?;
                 let parse_s = parse_start.elapsed().as_secs_f64();
                 trace.record("parse", 0, parse_start);
-                self.execute_traced(&query, options, &trace, parse_s)
+                self.execute_replanned(&query, options, &trace, parse_s)
             }
         })())
     }
@@ -422,7 +530,7 @@ impl PartiX {
     ) -> Result<DistributedResult, PartixError> {
         let trace = self.new_trace();
         // pre-parsed entry: there was no parse stage to time
-        count_failure(self.execute_traced(query, options, &trace, 0.0))
+        count_failure(self.execute_replanned(query, options, &trace, 0.0))
     }
 
     /// The decomposition/dispatch/composition pipeline, with stage
@@ -721,7 +829,10 @@ impl PartiX {
             *counter = counter.wrapping_add(1);
             start
         };
-        let at = |k: usize| nodes[(start + k) % nodes.len()];
+        // wrapping: `start` comes from an ever-incrementing counter that
+        // eventually wraps to near usize::MAX, where `start + k` would
+        // overflow-panic in debug builds on long runs
+        let at = |k: usize| nodes[start.wrapping_add(k) % nodes.len()];
         for k in 0..nodes.len() {
             let id = at(k);
             if self
@@ -899,7 +1010,7 @@ impl PartiX {
         for attempt in 0..policy.max_attempts.max(1) {
             // each attempt starts one step further around the replica
             // ring, moving past whichever replica just failed
-            let at = |k: usize| ring[(start + attempt + k) % ring.len()];
+            let at = |k: usize| ring[start.wrapping_add(attempt).wrapping_add(k) % ring.len()];
             let pick = (0..ring.len())
                 .map(at)
                 .find(|&id| {
@@ -1883,5 +1994,153 @@ mod tests {
         assert_eq!(result.items, vec![Item::Num(6.0)]);
         assert_eq!(result.report.sites.len(), 1);
         assert_eq!(result.report.sites[0].fragment, "f_epilog");
+    }
+
+    /// Regression for the round-robin replica index arithmetic: the
+    /// per-fragment rotation counter wraps around usize::MAX on long
+    /// runs, and `nodes[(start + k) % len]` then overflow-panics in
+    /// debug builds. Seed the counter at the edge and step across it.
+    #[test]
+    fn replica_rotation_survives_counter_wraparound() {
+        let px = replicated_px();
+        *px.rotation.lock().entry("f_cd".to_owned()).or_insert(0) = usize::MAX - 1;
+        let q = r#"count(for $i in collection("items")/Item where $i/Section = "CD" return $i)"#;
+        // crosses usize::MAX - 1 → MAX → 0 without panicking, and keeps
+        // alternating between the two replicas
+        let served: Vec<usize> = (0..4)
+            .map(|_| {
+                let result = px.execute(q).unwrap();
+                assert_eq!(result.items, vec![Item::Num(10.0)]);
+                result.report.sites[0].node
+            })
+            .collect();
+        let alternated = served == vec![0, 2, 0, 2] || served == vec![2, 0, 2, 0];
+        assert!(alternated, "served: {served:?}");
+        assert_eq!(*px.rotation.lock().get("f_cd").unwrap(), 2);
+    }
+
+    #[test]
+    fn invalid_distributions_are_typed_errors() {
+        use crate::catalog::DistributionError;
+        let px = PartiX::new(2, NetworkModel::default());
+        let citems = CollectionDef::new(
+            "items",
+            Arc::new(virtual_store()),
+            PathExpr::parse("/Store/Items/Item").unwrap(),
+            RepoKind::MultipleDocuments,
+        );
+        let design = FragmentationSchema::new(
+            citems,
+            vec![
+                FragmentDef::horizontal(
+                    "f_cd",
+                    Predicate::parse(r#"/Item/Section = "CD""#).unwrap(),
+                ),
+                FragmentDef::horizontal(
+                    "f_rest",
+                    Predicate::parse(r#"not(/Item/Section = "CD")"#).unwrap(),
+                ),
+            ],
+        )
+        .unwrap();
+        // out-of-range node index: the cluster has 2 nodes
+        let err = px
+            .register_distribution(Distribution {
+                design: design.clone(),
+                placements: vec![
+                    Placement { fragment: "f_cd".into(), node: 0 },
+                    Placement { fragment: "f_rest".into(), node: 5 },
+                ],
+            })
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            PartixError::InvalidDistribution(DistributionError::NodeOutOfRange {
+                node: 5,
+                nodes: 2,
+                ..
+            })
+        ));
+        // placement naming a fragment the design does not define
+        let err = px
+            .register_distribution(Distribution {
+                design: design.clone(),
+                placements: vec![
+                    Placement { fragment: "f_cd".into(), node: 0 },
+                    Placement { fragment: "f_rest".into(), node: 1 },
+                    Placement { fragment: "f_ghost".into(), node: 1 },
+                ],
+            })
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            PartixError::InvalidDistribution(DistributionError::UnknownFragment { .. })
+        ));
+        // nothing was registered by the failed attempts
+        assert!(px.catalog().distribution("items").is_none());
+    }
+
+    /// Swapping a collection's placements while queries are in flight
+    /// must never produce a wrong answer: in-flight queries either
+    /// finish against the old placements or are replanned against the
+    /// new ones (`execute_replanned`), and both hold the full data.
+    #[test]
+    fn placement_swap_under_concurrent_queries() {
+        let px = horizontal_px(3);
+        let q = r#"count(for $i in collection("items")/Item return $i)"#;
+        let swapped = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        std::thread::scope(|scope| {
+            let px = &px;
+            for _ in 0..4 {
+                let swapped = Arc::clone(&swapped);
+                scope.spawn(move || {
+                    for _ in 0..40 {
+                        let result = px.execute(q).unwrap();
+                        assert_eq!(result.items, vec![Item::Num(30.0)]);
+                        if swapped.load(std::sync::atomic::Ordering::Acquire) {
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+            scope.spawn(|| {
+                // move every fragment onto different nodes, repeatedly,
+                // while the query threads hammer the collection; data is
+                // already resident everywhere it needs to be only for
+                // the *original* placements, so replicate first
+                let dist = Arc::clone(px.catalog().distribution("items").unwrap());
+                for round in 0..6usize {
+                    let rotate = round % 3;
+                    let placements: Vec<Placement> = dist
+                        .placements
+                        .iter()
+                        .map(|p| {
+                            let node = (p.node + rotate) % 3;
+                            // keep the data available on the new node
+                            let docs: Vec<Document> = px
+                                .cluster()
+                                .node(p.node)
+                                .unwrap()
+                                .fetch_docs(&p.fragment)
+                                .iter()
+                                .map(|d| (**d).clone())
+                                .collect();
+                            let target = px.cluster().node(node).unwrap();
+                            if target.fetch_docs(&p.fragment).is_empty() && !docs.is_empty() {
+                                target.store_docs(&p.fragment, docs);
+                            }
+                            Placement { fragment: p.fragment.clone(), node }
+                        })
+                        .collect();
+                    px.register_distribution(Distribution {
+                        design: dist.design.clone(),
+                        placements,
+                    })
+                    .unwrap();
+                    swapped.store(true, std::sync::atomic::Ordering::Release);
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            });
+        });
     }
 }

@@ -35,6 +35,12 @@ cargo test -q -p partix-net --offline
 cargo test -q --test remote_differential --offline
 cargo test -q --test concurrency --offline remote_chaos
 
+# rebalance gate: the advisor/rebalancer unit suites and the migration
+# differential suite (before/during/after answers vs the centralized
+# oracle — in-process, over TCP, and under seeded query-path faults).
+cargo test -q -p partix-advisor --offline
+cargo test -q --test rebalance_differential --offline
+
 # any clippy warning fails the gate
 cargo clippy --workspace --offline -- -D warnings
 
@@ -92,6 +98,50 @@ if ! grep -q '"bytes_shipped":' "$REMOTE_JSON"; then
 fi
 if ! grep -Eq '"bytes_shipped":[1-9][0-9]*' "$REMOTE_JSON"; then
     echo "verify: FAIL — remote run shipped zero wire bytes" >&2
+    exit 1
+fi
+
+# advisor determinism: the advise demo's output is timing-free by
+# construction, so two runs with the same seed must be byte-identical.
+ADVISE_A="$(mktemp /tmp/partix-verify-advise-a.XXXXXX.txt)"
+ADVISE_B="$(mktemp /tmp/partix-verify-advise-b.XXXXXX.txt)"
+REBALANCE_JSON="$(mktemp /tmp/partix-verify-rebalance.XXXXXX.json)"
+trap 'rm -f "$STAGE_JSON" "$REMOTE_JSON" "$SERVE_LOG1" "$SERVE_LOG2" \
+    "$ADVISE_A" "$ADVISE_B" "$REBALANCE_JSON"' EXIT
+./target/release/partix advise 7 > "$ADVISE_A"
+./target/release/partix advise 7 > "$ADVISE_B"
+if ! diff -q "$ADVISE_A" "$ADVISE_B" > /dev/null; then
+    echo "verify: FAIL — partix advise is not deterministic under a seed" >&2
+    diff "$ADVISE_A" "$ADVISE_B" >&2 || true
+    exit 1
+fi
+
+# the rebalance benchmark must move real bytes, pass its own
+# completeness/disjointness re-validation, keep every mid-migration
+# probe answer correct, and record a p99 improvement.
+./target/release/harness rebalance --clients 8 --queries 30 \
+    --out "$REBALANCE_JSON" > /dev/null
+for field in before_p99_ms after_p99_ms before_qps after_qps \
+    migrated_fragments migrated_bytes rebalance_s during_queries; do
+    if ! grep -q "\"$field\":" "$REBALANCE_JSON"; then
+        echo "verify: FAIL — $field missing from rebalance JSON" >&2
+        exit 1
+    fi
+done
+if ! grep -Eq '"migrated_bytes":[1-9][0-9]*' "$REBALANCE_JSON"; then
+    echo "verify: FAIL — rebalance migrated zero bytes" >&2
+    exit 1
+fi
+if ! grep -q '"verified":true' "$REBALANCE_JSON"; then
+    echo "verify: FAIL — rebalance verification did not pass" >&2
+    exit 1
+fi
+if ! grep -q '"during_errors":0' "$REBALANCE_JSON"; then
+    echo "verify: FAIL — queries diverged during the live migration" >&2
+    exit 1
+fi
+if ! grep -q '"p99_improved":true' "$REBALANCE_JSON"; then
+    echo "verify: FAIL — rebalance did not improve p99 latency" >&2
     exit 1
 fi
 

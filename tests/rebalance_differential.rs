@@ -1,0 +1,303 @@
+//! Migration differential suite: the proof that a live rebalance is
+//! invisible to queries. The paper-set workload runs **before**,
+//! **during** (from concurrent threads), and **after**
+//! [`partix_advisor::rebalance`] moves every fragment of a deliberately
+//! skewed cluster, and every answered query must stay byte-identical to
+//! the centralized oracle. The same contract is re-run with the nodes
+//! behind loopback TCP servers (the copies then travel as real frames)
+//! and with seeded fault injectors on the query path (answers may turn
+//! into typed errors, never into wrong data). After every migration the
+//! rebalancer's own completeness/disjointness re-validation must have
+//! passed and the catalog must hold exactly the target placement.
+
+use partix::engine::{FaultPlan, PartiX, Placement, RetryPolicy};
+use partix::query::Item;
+use partix_advisor::{advise_live, AdvisorConfig, RebalanceOptions, WorkloadProfiler};
+use partix_bench::remote::RemoteCluster;
+use partix_bench::{queries, setup};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Canonical serialization: one line per item, sorted (fragment
+/// concatenation order is not document order).
+fn canonical(items: &[Item]) -> String {
+    let mut lines: Vec<String> = items.iter().map(Item::serialize).collect();
+    lines.sort();
+    lines.join("\n")
+}
+
+/// Rewrite a query against [`setup::DIST`] to the centralized copy.
+fn centralized_text(query: &str) -> String {
+    query.replace(
+        &format!("collection(\"{}\")", setup::DIST),
+        &format!("collection(\"{}\")", setup::CENTRAL),
+    )
+}
+
+/// The centralized answers for a workload.
+fn oracle_answers(px: &PartiX, workload: &[(&'static str, String)]) -> Vec<String> {
+    workload
+        .iter()
+        .map(|(id, query)| {
+            canonical(
+                &px.execute_centralized(0, &centralized_text(query))
+                    .unwrap_or_else(|e| panic!("{id} centralized: {e}"))
+                    .items,
+            )
+        })
+        .collect()
+}
+
+/// Every workload query must answer byte-identically to the oracle.
+fn assert_matches_oracle(
+    px: &PartiX,
+    oracle: &[String],
+    workload: &[(&'static str, String)],
+    label: &str,
+) {
+    for (k, (id, query)) in workload.iter().enumerate() {
+        let answer = px
+            .execute(query)
+            .unwrap_or_else(|e| panic!("{label}/{id}: {e}"));
+        assert_eq!(
+            canonical(&answer.items),
+            oracle[k],
+            "{label}/{id}: answer diverges from the oracle",
+        );
+    }
+}
+
+/// Record one sequential pass of the workload into a profile the
+/// advisor can cost (and size the fragments from the live placement).
+fn profile_workload(px: &PartiX, workload: &[(&'static str, String)]) -> partix_advisor::WorkloadProfile {
+    let profiler = WorkloadProfiler::new();
+    for (id, query) in workload {
+        let result = px.execute(query).unwrap_or_else(|e| panic!("{id} profiling: {e}"));
+        profiler.record(&result.report);
+    }
+    profiler.observe_placement(px, setup::DIST);
+    profiler.snapshot()
+}
+
+/// The catalog's placements for [`setup::DIST`], as sorted
+/// `(fragment, node)` pairs.
+fn catalog_pairs(px: &PartiX) -> Vec<(String, usize)> {
+    let dist = px.catalog().distribution(setup::DIST).cloned().expect("registered");
+    let mut pairs: Vec<(String, usize)> =
+        dist.placements.iter().map(|p| (p.fragment.clone(), p.node)).collect();
+    pairs.sort();
+    pairs
+}
+
+fn sorted_pairs(placements: &[Placement]) -> Vec<(String, usize)> {
+    let mut pairs: Vec<(String, usize)> =
+        placements.iter().map(|p| (p.fragment.clone(), p.node)).collect();
+    pairs.sort();
+    pairs
+}
+
+/// Run `rebalance` while `threads` concurrent query loops hammer the
+/// workload; returns the rebalance report plus how many mid-flight
+/// queries ran and how many diverged from the oracle.
+fn rebalance_under_query_load(
+    px: &PartiX,
+    target: &[Placement],
+    oracle: &[String],
+    workload: &[(&'static str, String)],
+    threads: usize,
+) -> (partix_advisor::RebalanceReport, u64, u64) {
+    let done = AtomicBool::new(false);
+    let ran = AtomicU64::new(0);
+    let wrong = AtomicU64::new(0);
+    let mut report = None;
+    std::thread::scope(|scope| {
+        let probes: Vec<_> = (0..threads)
+            .map(|offset| {
+                let (done, ran, wrong) = (&done, &ran, &wrong);
+                scope.spawn(move || {
+                    let mut k = offset;
+                    // check-after-query: even an instant swap is probed
+                    loop {
+                        let (_, query) = &workload[k % workload.len()];
+                        if let Ok(result) = px.execute(query) {
+                            if canonical(&result.items) != oracle[k % workload.len()] {
+                                wrong.fetch_add(1, Ordering::Relaxed);
+                            }
+                            ran.fetch_add(1, Ordering::Relaxed);
+                        }
+                        k += 1;
+                        if done.load(Ordering::Relaxed) {
+                            break;
+                        }
+                    }
+                })
+            })
+            .collect();
+        report = Some(
+            partix_advisor::rebalance(px, setup::DIST, target, &RebalanceOptions::default())
+                .expect("live rebalance"),
+        );
+        done.store(true, Ordering::Relaxed);
+        for probe in probes {
+            probe.join().expect("probe thread");
+        }
+    });
+    (
+        report.expect("rebalance ran"),
+        ran.load(Ordering::Relaxed),
+        wrong.load(Ordering::Relaxed),
+    )
+}
+
+#[test]
+fn live_rebalance_is_invisible_before_during_after() {
+    let docs = setup::quick_items(80);
+    let px = setup::skewed_horizontal(&docs, 4, 4);
+    let workload = queries::horizontal(setup::DIST);
+    let oracle = oracle_answers(&px, &workload);
+    assert_matches_oracle(&px, &oracle, &workload, "skewed-before");
+
+    let profile = profile_workload(&px, &workload);
+    let mut config = AdvisorConfig::new(4);
+    config.seed = 7;
+    let advice = advise_live(&px, setup::DIST, &profile, &config)
+        .expect("advise")
+        .expect("distribution registered");
+    assert!(
+        advice.placements.iter().any(|p| p.node != 0),
+        "advisor must spread the skewed placement",
+    );
+
+    let (report, ran, wrong) =
+        rebalance_under_query_load(&px, &advice.placements, &oracle, &workload, 3);
+    assert!(!report.moves.is_empty(), "skew must trigger moves");
+    assert!(report.verified, "completeness/disjointness re-validation must pass");
+    assert!(ran > 0, "no queries observed the migration");
+    assert_eq!(wrong, 0, "{wrong} mid-migration answers diverged from the oracle");
+
+    assert_matches_oracle(&px, &oracle, &workload, "skewed-after");
+    assert_eq!(
+        catalog_pairs(&px),
+        sorted_pairs(&advice.placements),
+        "catalog must hold exactly the target placement",
+    );
+}
+
+#[test]
+fn remote_rebalance_ships_real_frames_and_stays_transparent() {
+    let docs = setup::quick_items(60);
+    let px = setup::skewed_horizontal(&docs, 4, 4);
+    let workload = queries::horizontal(setup::DIST);
+    let oracle = oracle_answers(&px, &workload);
+
+    let wire = RemoteCluster::attach(&px);
+    assert_matches_oracle(&px, &oracle, &workload, "remote-before");
+
+    let profile = profile_workload(&px, &workload);
+    let mut config = AdvisorConfig::new(4);
+    config.seed = 7;
+    let advice = advise_live(&px, setup::DIST, &profile, &config)
+        .expect("advise")
+        .expect("distribution registered");
+
+    let bytes_before = wire.wire_bytes();
+    let (report, ran, wrong) =
+        rebalance_under_query_load(&px, &advice.placements, &oracle, &workload, 2);
+    assert!(report.verified);
+    assert!(report.migrated_bytes > 0);
+    assert!(
+        wire.wire_bytes() > bytes_before,
+        "migration copies must cross the wire on a remote cluster",
+    );
+    assert!(ran > 0);
+    assert_eq!(wrong, 0, "{wrong} mid-migration remote answers diverged");
+
+    assert_matches_oracle(&px, &oracle, &workload, "remote-after");
+    assert_eq!(catalog_pairs(&px), sorted_pairs(&advice.placements));
+}
+
+/// Seeded fault injectors on the query path (the copy path is the
+/// coordinator's own, not faulted): every answered query still matches
+/// the oracle — faults may cost answers, never corrupt them — and the
+/// migration itself completes verified because replica copies don't go
+/// through the faulted sub-query drivers.
+#[test]
+fn faulted_rebalance_returns_oracle_answer_or_typed_error() {
+    let docs = setup::quick_items(60);
+    let workload = queries::horizontal(setup::DIST);
+    // explicit spread target: fragment i → node i
+    let target: Vec<Placement> = (0..4)
+        .map(|i| Placement { fragment: format!("f{i}"), node: i })
+        .collect();
+
+    for seed in [3u64, 0xBAD5EED] {
+        let px = setup::skewed_horizontal(&docs, 4, 4);
+        let oracle = oracle_answers(&px, &workload);
+        px.set_retry_policy(RetryPolicy {
+            timeout: Some(Duration::from_millis(500)),
+            ..RetryPolicy::default()
+        });
+        FaultPlan::from_seed(seed, 4, 0.6).install(&px);
+
+        let label = format!("faulted-{seed:#x}");
+        let mut answered = 0;
+        for (k, (id, query)) in workload.iter().enumerate() {
+            if let Ok(result) = px.execute(query) {
+                assert_eq!(
+                    canonical(&result.items),
+                    oracle[k],
+                    "{label}/{id}: faulted pre-migration answer is wrong",
+                );
+                answered += 1;
+            }
+        }
+
+        let (report, _ran, wrong) =
+            rebalance_under_query_load(&px, &target, &oracle, &workload, 2);
+        assert!(report.verified, "{label}: migration must verify despite query faults");
+        assert_eq!(wrong, 0, "{label}: {wrong} mid-migration answers were wrong");
+
+        for (k, (id, query)) in workload.iter().enumerate() {
+            if let Ok(result) = px.execute(query) {
+                assert_eq!(
+                    canonical(&result.items),
+                    oracle[k],
+                    "{label}/{id}: faulted post-migration answer is wrong",
+                );
+                answered += 1;
+            }
+        }
+        assert_eq!(catalog_pairs(&px), sorted_pairs(&target), "{label}");
+        // the schedule must leave *some* signal — all-errors would make
+        // the differential vacuous
+        assert!(answered > 0, "{label}: every query errored; seed too harsh");
+    }
+}
+
+/// Mid-migration probes that race the atomic swap must be replanned,
+/// not answered from a retired replica: after moving every fragment
+/// away from node 0 twice (there and back), answers still match.
+#[test]
+fn round_trip_migration_converges_back_to_the_start() {
+    let docs = setup::quick_items(40);
+    let px = setup::skewed_horizontal(&docs, 2, 2);
+    let workload = queries::horizontal(setup::DIST);
+    let oracle = oracle_answers(&px, &workload);
+
+    let spread: Vec<Placement> = vec![
+        Placement { fragment: "f0".into(), node: 0 },
+        Placement { fragment: "f1".into(), node: 1 },
+    ];
+    let back: Vec<Placement> = vec![
+        Placement { fragment: "f0".into(), node: 0 },
+        Placement { fragment: "f1".into(), node: 0 },
+    ];
+    for (label, target) in [("spread", &spread), ("back", &back), ("spread-again", &spread)] {
+        let (report, _ran, wrong) =
+            rebalance_under_query_load(&px, target, &oracle, &workload, 2);
+        assert!(report.verified, "{label}");
+        assert_eq!(wrong, 0, "{label}: mid-migration divergence");
+        assert_matches_oracle(&px, &oracle, &workload, label);
+        assert_eq!(catalog_pairs(&px), sorted_pairs(target), "{label}");
+    }
+}
