@@ -298,6 +298,7 @@ mod tests {
             result_bytes: bytes,
             docs_scanned: 5,
             index_used: false,
+            morsels: 0,
             from_cache: cached,
             retries: 0,
             failovers: 0,

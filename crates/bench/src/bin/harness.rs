@@ -130,6 +130,7 @@ fn main() {
         "throughput" => throughput_bench(&args),
         "chaos" => chaos_bench(&args),
         "rebalance" => rebalance_bench(&args),
+        "morsel" => morsel_bench(&args),
         "all" => {
             fig7_horizontal(&args, &mut sink, "fig7a", "ItemsSHor", ItemProfile::Small);
             fig7_horizontal(&args, &mut sink, "fig7b", "ItemsLHor", ItemProfile::Large);
@@ -164,6 +165,9 @@ COMMANDS
                      faulted vs faulted+allow_partial (same --seed = same schedule)
   rebalance          skewed placement (everything on node 0) measured, advised,
                      migrated live, re-measured (same --seed = same advice)
+  morsel             intra-fragment parallel scans: every query timed
+                     sequentially and morsel-split on one node; the gate is
+                     byte-identical answers (speedup needs spare cores)
   all                everything above (except throughput, chaos and rebalance)
 
 FLAGS
@@ -175,9 +179,10 @@ FLAGS
   --clients A,B,..   concurrent clients for throughput (default 1,4,16);
                      chaos uses the largest entry
   --queries N        queries per client for throughput/chaos (default 40)
-  --out FILE         throughput/chaos/rebalance JSON output (default
+  --out FILE         throughput/chaos/rebalance/morsel JSON output (default
                      BENCH_throughput.json; BENCH_chaos.json for chaos,
-                     BENCH_rebalance.json for rebalance)
+                     BENCH_rebalance.json for rebalance, BENCH_morsel.json
+                     for morsel)
   --seed S           chaos fault-schedule / rebalance advisor seed, decimal or
                      0x-hex (default 0xC4A05EED)
   --rate P           chaos per-node fault probability (default 0.6)
@@ -451,6 +456,27 @@ fn rebalance_bench(args: &Args) {
         args.out.as_str()
     };
     std::fs::write(out, result.to_json()).expect("write rebalance JSON");
+    println!("wrote {out}");
+}
+
+/// Intra-fragment morsel parallelism: sequential vs split scans on one
+/// node's database.
+fn morsel_bench(args: &Args) {
+    let size_mb = args.sizes.iter().copied().min().unwrap_or(5);
+    let config = partix_bench::morsel::MorselBenchConfig {
+        db_bytes: ((size_mb * MB) as f64 * args.scale) as usize,
+        workers: args.frags.first().copied().unwrap_or(4),
+        reps: args.reps,
+        ..Default::default()
+    };
+    let (docs, results) = partix_bench::morsel::run_with(&config);
+    let out = if args.out == "BENCH_throughput.json" {
+        "BENCH_morsel.json"
+    } else {
+        args.out.as_str()
+    };
+    std::fs::write(out, partix_bench::morsel::to_json(&config, docs, &results))
+        .expect("write morsel JSON");
     println!("wrote {out}");
 }
 

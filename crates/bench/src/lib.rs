@@ -31,6 +31,7 @@
 //! advisor fixing a skewed placement live (`harness rebalance`).
 
 pub mod chaos;
+pub mod morsel;
 pub mod output;
 pub mod queries;
 pub mod rebalance;

@@ -1,0 +1,225 @@
+//! The morsel experiment: intra-fragment parallel scans measured against
+//! the sequential evaluator on the same database.
+//!
+//! One node's database holds an items collection; every query of a small
+//! representative workload (scan, selection, text search, aggregation,
+//! `order by`) runs twice — once with the morsel path forced off
+//! (`max_workers = 1`) and once with a multi-worker, fine-grained morsel
+//! geometry — and the harness records both times, the morsel count, and
+//! whether the answers were byte-identical. Results land in
+//! `BENCH_morsel.json`.
+//!
+//! **Reading the numbers:** speedup over the sequential run is only
+//! meaningful when the host has cores to spare, so `host_cores` is part
+//! of the record and the correctness gate is `identical`, never the
+//! speedup (a single-core CI box legitimately reports ≈1x or below —
+//! the morsel split still runs, on one core).
+
+use crate::output::json;
+use crate::setup;
+use partix_gen::ItemProfile;
+use partix_storage::{Database, MorselConfig, StorageMode};
+use std::time::Instant;
+
+/// Knobs for the morsel experiment.
+#[derive(Debug, Clone)]
+pub struct MorselBenchConfig {
+    /// Approximate database size in bytes.
+    pub db_bytes: usize,
+    /// Workers for the parallel runs.
+    pub workers: usize,
+    /// Minimum documents per morsel for the parallel runs.
+    pub min_docs: usize,
+    /// Timed repetitions after the discarded warm-up.
+    pub reps: usize,
+}
+
+impl Default for MorselBenchConfig {
+    fn default() -> Self {
+        MorselBenchConfig {
+            db_bytes: 150_000,
+            workers: 4,
+            min_docs: 8,
+            reps: 3,
+        }
+    }
+}
+
+/// One query's sequential-vs-morsel measurement.
+#[derive(Debug, Clone)]
+pub struct MorselQueryResult {
+    pub id: &'static str,
+    pub seq_ms: f64,
+    pub par_ms: f64,
+    /// `seq / par` — may be < 1 on a saturated or single-core host.
+    pub speedup: f64,
+    /// Morsels the parallel run split into (≥ 2, or the run fell back).
+    pub morsels: usize,
+    /// Byte-identical serialized answers — the gate.
+    pub identical: bool,
+}
+
+/// The workload: one query per family the morsel planner handles.
+fn workload() -> Vec<(&'static str, String)> {
+    let c = r#"collection("items")"#;
+    vec![
+        ("scan", format!("{c}/Item/Code")),
+        (
+            "selection",
+            format!(r#"for $i in {c}/Item where $i/Section = "CD" return $i/Name"#),
+        ),
+        (
+            "text-search",
+            format!(
+                r#"for $i in {c}/Item
+                   where contains($i//Description, "good") return $i/Name"#
+            ),
+        ),
+        (
+            "aggregation",
+            format!("sum(for $i in {c}/Item return number($i/Code))"),
+        ),
+        (
+            "order-by",
+            format!("for $i in {c}/Item order by $i/Section return $i/Code"),
+        ),
+    ]
+}
+
+fn timed(db: &Database, query: &str, reps: usize) -> (f64, String, usize) {
+    let warm = db.execute(query).expect("warm-up");
+    let answer = warm.serialize();
+    let morsels = warm.stats.morsels;
+    let start = Instant::now();
+    for _ in 0..reps.max(1) {
+        db.execute(query).expect("timed run");
+    }
+    let per_run = start.elapsed().as_secs_f64() / reps.max(1) as f64;
+    (per_run, answer, morsels)
+}
+
+/// Run the experiment; `docs_out` receives the corpus size.
+pub fn run_with(config: &MorselBenchConfig) -> (usize, Vec<MorselQueryResult>) {
+    let docs = setup::item_db(config.db_bytes, ItemProfile::Small);
+    let n_docs = docs.len();
+    // cold pages model the disk-based DBMS the paper measures: the
+    // per-document decode is exactly the work the morsels spread out
+    let db = Database::new();
+    db.create_collection("items", StorageMode::Cold).expect("fresh db");
+    db.store_all("items", docs);
+    println!(
+        "\n### morsel: {} docs, {} workers, min {} docs/morsel, {} rep(s), {} host core(s)",
+        n_docs,
+        config.workers,
+        config.min_docs,
+        config.reps,
+        host_cores(),
+    );
+    println!(
+        "{:<12} {:>10} {:>10} {:>8} {:>8}  identical",
+        "query", "seq(ms)", "par(ms)", "speedup", "morsels"
+    );
+    let mut results = Vec::new();
+    for (id, query) in workload() {
+        db.set_morsel_config(MorselConfig { max_workers: 1, min_docs: 1 });
+        let (seq_s, seq_answer, seq_morsels) = timed(&db, &query, config.reps);
+        assert_eq!(seq_morsels, 0, "{id}: sequential run must not split");
+        db.set_morsel_config(MorselConfig {
+            max_workers: config.workers,
+            min_docs: config.min_docs,
+        });
+        let (par_s, par_answer, morsels) = timed(&db, &query, config.reps);
+        let result = MorselQueryResult {
+            id,
+            seq_ms: seq_s * 1e3,
+            par_ms: par_s * 1e3,
+            speedup: seq_s / par_s.max(1e-12),
+            morsels,
+            identical: seq_answer == par_answer,
+        };
+        println!(
+            "{:<12} {:>10.3} {:>10.3} {:>7.2}x {:>8}  {}",
+            result.id, result.seq_ms, result.par_ms, result.speedup, result.morsels,
+            result.identical,
+        );
+        results.push(result);
+    }
+    (n_docs, results)
+}
+
+/// Cores the host exposes — context for reading the speedups.
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// The `BENCH_morsel.json` document.
+pub fn to_json(config: &MorselBenchConfig, docs: usize, results: &[MorselQueryResult]) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push('{');
+    json::str_field(&mut out, "experiment", "morsel");
+    json::num_field(&mut out, "db_bytes", config.db_bytes as f64);
+    json::num_field(&mut out, "docs", docs as f64);
+    json::num_field(&mut out, "workers", config.workers as f64);
+    json::num_field(&mut out, "min_docs", config.min_docs as f64);
+    json::num_field(&mut out, "reps", config.reps as f64);
+    json::num_field(&mut out, "host_cores", host_cores() as f64);
+    let queries: Vec<String> = results
+        .iter()
+        .map(|r| {
+            let mut q = String::with_capacity(128);
+            q.push('{');
+            json::str_field(&mut q, "id", r.id);
+            json::num_field(&mut q, "seq_ms", r.seq_ms);
+            json::num_field(&mut q, "par_ms", r.par_ms);
+            json::num_field(&mut q, "speedup", r.speedup);
+            json::num_field(&mut q, "morsels", r.morsels as f64);
+            json::bool_field(&mut q, "identical", r.identical);
+            q.push('}');
+            q
+        })
+        .collect();
+    json::raw_field(&mut out, "queries", &format!("[{}]", queries.join(",")));
+    let best = results.iter().map(|r| r.speedup).fold(0.0f64, f64::max);
+    json::num_field(&mut out, "best_speedup", best);
+    json::bool_field(
+        &mut out,
+        "identical",
+        results.iter().all(|r| r.identical),
+    );
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn morsel_bench_smoke() {
+        let config = MorselBenchConfig {
+            db_bytes: 20_000,
+            workers: 4,
+            min_docs: 1,
+            reps: 1,
+        };
+        let (docs, results) = run_with(&config);
+        assert!(docs > 0);
+        assert_eq!(results.len(), workload().len());
+        for r in &results {
+            assert!(r.identical, "{}: answers diverged", r.id);
+            assert!(r.morsels >= 2, "{}: expected a morsel split", r.id);
+        }
+        let json = to_json(&config, docs, &results);
+        for field in [
+            "\"experiment\":\"morsel\"",
+            "\"host_cores\":",
+            "\"seq_ms\":",
+            "\"par_ms\":",
+            "\"speedup\":",
+            "\"best_speedup\":",
+            "\"identical\":true",
+        ] {
+            assert!(json.contains(field), "missing {field} in {json}");
+        }
+    }
+}

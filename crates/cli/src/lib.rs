@@ -100,6 +100,9 @@ pub fn query(dir: &Path, text: &str) -> Result<String, CliError> {
         out.stats.collection_size,
         if out.stats.index_used { ", index-assisted" } else { "" },
     );
+    if out.stats.morsels > 0 {
+        let _ = write!(rendered, ", {} parallel morsel(s)", out.stats.morsels);
+    }
     Ok(rendered)
 }
 
@@ -555,11 +558,20 @@ pub fn serve(
     node: usize,
     addr: &str,
     data: Option<&Path>,
+    morsel_workers: Option<usize>,
 ) -> Result<(partix_net::NodeServer, std::net::SocketAddr), CliError> {
     let db = match data {
         Some(dir) => open_or_new(dir)?,
         None => Database::new(),
     };
+    if let Some(workers) = morsel_workers {
+        // explicit flag beats the PARTIX_MORSEL_WORKERS env default
+        let config = db.morsel_config();
+        db.set_morsel_config(partix_storage::MorselConfig {
+            max_workers: workers.min(partix_storage::MAX_MORSEL_WORKERS),
+            ..config
+        });
+    }
     let server = partix_net::NodeServer::bind(addr, std::sync::Arc::new(db))
         .map_err(|e| err(format!("serve: cannot bind {addr}: {e}")))?;
     let local = server.local_addr();
@@ -650,10 +662,15 @@ USAGE
                                                     migration
   partix serve --node <N> --addr <HOST:PORT>        run a node server
                 [--data <db-dir>]                   speaking the partix-net
-                                                    wire protocol (port 0
+                [--morsel-workers <N>]              wire protocol (port 0
                                                     binds an ephemeral port;
                                                     the chosen address is
-                                                    printed)
+                                                    printed); --morsel-workers
+                                                    caps intra-fragment
+                                                    parallel scan threads
+                                                    (default: the
+                                                    PARTIX_MORSEL_WORKERS env
+                                                    var, else the core count)
   partix ping <HOST:PORT>                           health-check a node
                                                     server over the wire
 

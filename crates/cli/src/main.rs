@@ -93,7 +93,8 @@ fn parse_seed(command: &str, raw: Option<&String>, default: u64) -> Option<u64> 
     }
 }
 
-/// `partix serve --node <N> --addr <HOST:PORT> [--data <db-dir>]`:
+/// `partix serve --node <N> --addr <HOST:PORT> [--data <db-dir>]
+/// [--morsel-workers <N>]`:
 /// bind a node server, announce the chosen address (flushed, so
 /// supervising scripts can scrape it even through a pipe), then serve
 /// until killed.
@@ -101,6 +102,7 @@ fn serve(args: &[String]) -> ExitCode {
     let mut node: Option<usize> = None;
     let mut addr: Option<&str> = None;
     let mut data: Option<&Path> = None;
+    let mut morsel_workers: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         let value = match args.get(i + 1) {
@@ -120,8 +122,18 @@ fn serve(args: &[String]) -> ExitCode {
             },
             "--addr" => addr = Some(value),
             "--data" => data = Some(Path::new(value)),
+            "--morsel-workers" => match value.parse() {
+                Ok(n) => morsel_workers = Some(n),
+                Err(_) => {
+                    eprintln!("serve: --morsel-workers must be a number");
+                    return ExitCode::FAILURE;
+                }
+            },
             other => {
-                eprintln!("serve: unknown flag {other} (expected --node/--addr/--data)");
+                eprintln!(
+                    "serve: unknown flag {other} \
+                     (expected --node/--addr/--data/--morsel-workers)"
+                );
                 return ExitCode::FAILURE;
             }
         }
@@ -131,7 +143,7 @@ fn serve(args: &[String]) -> ExitCode {
         eprintln!("serve: --node <N> and --addr <HOST:PORT> are required");
         return ExitCode::FAILURE;
     };
-    match partix_cli::serve(node, addr, data) {
+    match partix_cli::serve(node, addr, data, morsel_workers) {
         Ok((_server, local)) => {
             use std::io::Write as _;
             println!("node {node} listening on {local}");

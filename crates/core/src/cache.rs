@@ -174,6 +174,9 @@ pub struct CachedSite {
     pub result_bytes: usize,
     pub docs_scanned: usize,
     pub index_used: bool,
+    /// Morsels the original (uncached) execution split into — replayed
+    /// on hits so reports stay honest about how the answer was computed.
+    pub morsels: usize,
 }
 
 /// Sub-query result cache (see module docs for the invalidation story).
@@ -281,6 +284,7 @@ mod tests {
             result_bytes: bytes,
             docs_scanned: 1,
             index_used: false,
+            morsels: 0,
         }
     }
 

@@ -81,6 +81,7 @@ pub use faults::{Fault, FaultInjector, FaultPlan, InjectionStats};
 pub use metrics::{MetricsRegistry, Snapshot};
 pub use report::{QueryReport, SiteReport, SkippedFragment};
 pub use trace::{SpanRecord, StageBreakdown, SubQueryStage, Trace};
+pub use partix_storage::MorselConfig;
 pub use runtime::PoolConfig;
 pub use service::{
     DispatchMode, DistributedResult, ExecOptions, PartiX, PartixError, RetryPolicy,

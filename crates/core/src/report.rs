@@ -16,6 +16,9 @@ pub struct SiteReport {
     pub docs_scanned: usize,
     /// Whether the node used an index to pre-filter.
     pub index_used: bool,
+    /// Morsels the node's scan split into for intra-fragment parallel
+    /// execution (0 = the node evaluated sequentially).
+    pub morsels: usize,
     /// True when this site's answer was served from the coordinator's
     /// result cache — the node was never contacted and `elapsed` is 0.
     pub from_cache: bool,
@@ -144,13 +147,18 @@ impl fmt::Display for QueryReport {
         for site in &self.sites {
             writeln!(
                 f,
-                "  node{} [{}]: {:.6}s, {} docs, {} B{}{}",
+                "  node{} [{}]: {:.6}s, {} docs, {} B{}{}{}",
                 site.node,
                 site.fragment,
                 site.elapsed,
                 site.docs_scanned,
                 site.result_bytes,
                 if site.index_used { ", index" } else { "" },
+                if site.morsels > 0 {
+                    format!(", {} morsels", site.morsels)
+                } else {
+                    String::new()
+                },
                 if site.from_cache { ", cached" } else { "" },
             )?;
         }
@@ -203,6 +211,7 @@ mod tests {
             result_bytes: bytes,
             docs_scanned: 10,
             index_used: false,
+            morsels: 0,
             from_cache: false,
             retries: 0,
             failovers: 0,

@@ -664,6 +664,7 @@ impl PartiX {
                                 result_bytes: hit.result_bytes,
                                 docs_scanned: hit.docs_scanned,
                                 index_used: hit.index_used,
+                                morsels: hit.morsels,
                                 ..SiteOutput::empty()
                             },
                             node: task.node,
@@ -722,6 +723,7 @@ impl PartiX {
                                     result_bytes: run.output.result_bytes,
                                     docs_scanned: run.output.docs_scanned,
                                     index_used: run.output.index_used,
+                                    morsels: run.output.morsels,
                                 },
                             );
                         }
@@ -762,6 +764,7 @@ impl PartiX {
                 result_bytes: run.output.result_bytes,
                 docs_scanned: run.output.docs_scanned,
                 index_used: run.output.index_used,
+                morsels: run.output.morsels,
                 from_cache: cached,
                 retries: run.retries,
                 failovers: run.failovers,
@@ -894,6 +897,7 @@ impl PartiX {
                 result_bytes: out.result_bytes,
                 docs_scanned: out.docs_scanned,
                 index_used: out.index_used,
+                morsels: out.morsels,
                 from_cache: false,
                 retries: 0,
                 failovers: 0,
@@ -1225,6 +1229,7 @@ impl PartiX {
                 result_bytes: bytes,
                 docs_scanned: docs.len(),
                 index_used: false,
+                morsels: 0,
                 from_cache: false,
                 retries: 0,
                 failovers: 0,
@@ -1321,6 +1326,8 @@ struct SiteOutput {
     result_bytes: usize,
     docs_scanned: usize,
     index_used: bool,
+    /// Morsels the node's scan split into (0 = sequential evaluation).
+    morsels: usize,
     /// Wire time spent writing request frames (0 in-process).
     send_s: f64,
     /// Wire time spent waiting for / reading response frames.
@@ -1339,6 +1346,7 @@ impl SiteOutput {
             result_bytes: 0,
             docs_scanned: 0,
             index_used: false,
+            morsels: 0,
             send_s: 0.0,
             recv_s: 0.0,
             wire_counted: false,
@@ -1435,6 +1443,12 @@ fn record_query_metrics(report: &QueryReport, bytes_shipped: usize, total_s: f64
     reg.counter("dispatch.failovers").add(report.failovers as u64);
     reg.counter("dispatch.timeouts").add(report.timeouts as u64);
     reg.counter("net.bytes_shipped").add(bytes_shipped as u64);
+    let morsel_sites = report.sites.iter().filter(|s| s.morsels > 0).count();
+    if morsel_sites > 0 {
+        reg.counter("morsel.subqueries").add(morsel_sites as u64);
+        reg.counter("morsel.batches")
+            .add(report.sites.iter().map(|s| s.morsels as u64).sum());
+    }
     reg.histogram("stage.parse").record_secs(report.stages.parse_s);
     reg.histogram("stage.localize").record_secs(report.stages.localize_s);
     reg.histogram("stage.dispatch").record_secs(report.stages.dispatch_s);
@@ -1484,6 +1498,7 @@ fn run_on_node_inner(
             result_bytes: sum_out.stats.result_bytes + count_out.stats.result_bytes,
             docs_scanned: sum_out.stats.docs_scanned + count_out.stats.docs_scanned,
             index_used: sum_out.stats.index_used || count_out.stats.index_used,
+            morsels: sum_out.stats.morsels.max(count_out.stats.morsels),
             ..SiteOutput::empty()
         })
     } else {
@@ -1496,6 +1511,7 @@ fn run_on_node_inner(
             result_bytes: out.stats.result_bytes,
             docs_scanned: out.stats.docs_scanned,
             index_used: out.stats.index_used,
+            morsels: out.stats.morsels,
             ..SiteOutput::empty()
         })
     }

@@ -652,6 +652,7 @@ pub fn put_output(w: &mut Writer, out: &QueryOutput) {
     w.put_bool(out.stats.index_used);
     w.put_f64(out.stats.elapsed);
     w.put_u64(out.stats.result_bytes as u64);
+    w.put_u64(out.stats.morsels as u64);
 }
 
 pub fn get_output(r: &mut Reader<'_>) -> Result<QueryOutput, ProtocolError> {
@@ -661,9 +662,17 @@ pub fn get_output(r: &mut Reader<'_>) -> Result<QueryOutput, ProtocolError> {
     let index_used = r.bool("index_used")?;
     let elapsed = r.f64("elapsed")?;
     let result_bytes = r.u64("result_bytes")? as usize;
+    let morsels = r.u64("morsels")? as usize;
     Ok(QueryOutput {
         items,
-        stats: QueryStats { collection_size, docs_scanned, index_used, elapsed, result_bytes },
+        stats: QueryStats {
+            collection_size,
+            docs_scanned,
+            index_used,
+            elapsed,
+            result_bytes,
+            morsels,
+        },
     })
 }
 
@@ -752,6 +761,7 @@ mod tests {
                 index_used: true,
                 elapsed: 0.0125,
                 result_bytes: 8,
+                morsels: 3,
             },
         };
         let mut w = Writer::new();
@@ -765,6 +775,7 @@ mod tests {
         assert_eq!(back.stats.docs_scanned, 42);
         assert!(back.stats.index_used);
         assert_eq!(back.stats.result_bytes, 8);
+        assert_eq!(back.stats.morsels, 3);
     }
 
     #[test]

@@ -173,6 +173,7 @@ proptest! {
                 index_used: true,
                 elapsed: 0.25,
                 result_bytes: 99,
+                morsels: 2,
             },
         };
         for response in [

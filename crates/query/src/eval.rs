@@ -217,45 +217,14 @@ impl<'a> Evaluator<'a> {
                 Ok(vec![Item::Node(Arc::new(doc), NodeId::ROOT)])
             }
             Expr::Flwor { clauses, where_clause, order_by, ret } => {
-                let mut tuples = vec![env.clone()];
-                for clause in clauses {
-                    match clause {
-                        Clause::For(binding) => {
-                            let mut next = Vec::new();
-                            for tuple in &tuples {
-                                let seq = self.eval_expr(&binding.expr, tuple)?;
-                                for item in seq {
-                                    let mut t = tuple.clone();
-                                    t.bind(&binding.var, vec![item]);
-                                    next.push(t);
-                                }
-                            }
-                            tuples = next;
-                        }
-                        Clause::Let(binding) => {
-                            for tuple in &mut tuples {
-                                let seq = self.eval_expr(&binding.expr, tuple)?;
-                                tuple.bind(&binding.var, seq);
-                            }
-                        }
-                    }
-                }
-                if let Some(w) = where_clause {
-                    let mut kept = Vec::with_capacity(tuples.len());
-                    for tuple in tuples {
-                        if effective_boolean(&self.eval_expr(w, &tuple)?) {
-                            kept.push(tuple);
-                        }
-                    }
-                    tuples = kept;
-                }
+                let mut tuples = self.flwor_tuples(clauses, where_clause.as_deref(), env)?;
                 if let Some((key, dir)) = order_by {
                     let mut keyed: Vec<(SortKey, Env)> = Vec::with_capacity(tuples.len());
                     for tuple in tuples {
                         let seq = self.eval_expr(key, &tuple)?;
                         keyed.push((SortKey::from_sequence(&seq), tuple));
                     }
-                    keyed.sort_by(|a, b| a.0.cmp(&b.0));
+                    keyed.sort_by(|a, b| a.0.compare(&b.0));
                     if *dir == SortDir::Descending {
                         keyed.reverse();
                     }
@@ -268,6 +237,87 @@ impl<'a> Evaluator<'a> {
                 Ok(out)
             }
         }
+    }
+
+    /// Materialize a FLWOR's tuple stream: expand `for`/`let` clauses in
+    /// source order, then apply the `where` filter. Tuples come out in
+    /// binding order (document order for collection-driven clauses) —
+    /// `order by` is *not* applied here.
+    fn flwor_tuples(
+        &self,
+        clauses: &[Clause],
+        where_clause: Option<&Expr>,
+        env: &Env,
+    ) -> Result<Vec<Env>, EvalError> {
+        let mut tuples = vec![env.clone()];
+        for clause in clauses {
+            match clause {
+                Clause::For(binding) => {
+                    let mut next = Vec::new();
+                    for tuple in &tuples {
+                        let seq = self.eval_expr(&binding.expr, tuple)?;
+                        for item in seq {
+                            let mut t = tuple.clone();
+                            t.bind(&binding.var, vec![item]);
+                            next.push(t);
+                        }
+                    }
+                    tuples = next;
+                }
+                Clause::Let(binding) => {
+                    for tuple in &mut tuples {
+                        let seq = self.eval_expr(&binding.expr, tuple)?;
+                        tuple.bind(&binding.var, seq);
+                    }
+                }
+            }
+        }
+        if let Some(w) = where_clause {
+            let mut kept = Vec::with_capacity(tuples.len());
+            for tuple in tuples {
+                if effective_boolean(&self.eval_expr(w, &tuple)?) {
+                    kept.push(tuple);
+                }
+            }
+            tuples = kept;
+        }
+        Ok(tuples)
+    }
+
+    /// Evaluate a bare expression with no bindings in scope — the entry
+    /// point morsel execution uses to run a decomposed query core.
+    pub fn eval_root(&self, expr: &Expr) -> Result<Sequence, EvalError> {
+        self.eval_expr(expr, &Env::default())
+    }
+
+    /// Evaluate an ordered FLWOR **without sorting**, returning each
+    /// surviving tuple's sort key alongside its `return` items, in tuple
+    /// (document) order. Morsel execution concatenates these partials
+    /// across morsels and performs one global stable sort at the merge —
+    /// yielding exactly the sequence the sequential evaluator produces
+    /// (which also stable-sorts the full tuple stream).
+    pub fn eval_flwor_keyed(
+        &self,
+        expr: &Expr,
+    ) -> Result<Vec<(SortKey, Sequence)>, EvalError> {
+        let Expr::Flwor { clauses, where_clause, order_by, ret } = expr else {
+            return Err(EvalError::TypeError(
+                "keyed evaluation needs an ordered FLWOR".into(),
+            ));
+        };
+        let Some((key, _)) = order_by else {
+            return Err(EvalError::TypeError(
+                "keyed evaluation needs an order by clause".into(),
+            ));
+        };
+        let env = Env::default();
+        let tuples = self.flwor_tuples(clauses, where_clause.as_deref(), &env)?;
+        let mut out = Vec::with_capacity(tuples.len());
+        for tuple in &tuples {
+            let k = SortKey::from_sequence(&self.eval_expr(key, tuple)?);
+            out.push((k, self.eval_expr(ret, tuple)?));
+        }
+        Ok(out)
     }
 
     fn eval_path_source(&self, ps: &PathSource, env: &Env) -> Result<Sequence, EvalError> {
@@ -336,15 +386,18 @@ impl Env {
 }
 
 /// Orderable key for `order by`: numeric when possible, else string.
-#[derive(Debug, PartialEq)]
-enum SortKey {
+///
+/// Public so morsel execution can carry per-tuple keys across the merge
+/// boundary (see [`Evaluator::eval_flwor_keyed`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SortKey {
     Empty,
     Num(f64),
     Str(String),
 }
 
 impl SortKey {
-    fn from_sequence(seq: &Sequence) -> SortKey {
+    pub fn from_sequence(seq: &Sequence) -> SortKey {
         match seq.first() {
             None => SortKey::Empty,
             Some(item) => match item.number_value() {
@@ -354,7 +407,9 @@ impl SortKey {
         }
     }
 
-    fn cmp(&self, other: &SortKey) -> std::cmp::Ordering {
+    /// Total order over keys (named `compare` rather than implementing
+    /// `Ord`: NaN keys collapse to `Equal`, which `Ord` must not do).
+    pub fn compare(&self, other: &SortKey) -> std::cmp::Ordering {
         use std::cmp::Ordering;
         match (self, other) {
             (SortKey::Empty, SortKey::Empty) => Ordering::Equal,

@@ -35,17 +35,23 @@
 //!   scans.
 //! * [`rewrite`] — rewrites a query's paths onto a vertical fragment's
 //!   re-rooted documents, producing the sub-query actually sent to a node.
+//!
+//! A third analysis, [`morsel`], enables *intra*-fragment parallelism: it
+//! splits a decomposable query at its driving collection scan so the
+//! storage engine can evaluate disjoint document batches on worker
+//! threads and merge the partials back into the exact sequential answer.
 
 pub mod ast;
 pub mod eval;
 pub mod func;
 pub mod lexer;
+pub mod morsel;
 pub mod parser;
 pub mod pushdown;
 pub mod rewrite;
 pub mod value;
 
 pub use ast::{Expr, PathSource, PathStart, Query};
-pub use eval::{CollectionProvider, EvalError, Evaluator, MemProvider};
+pub use eval::{CollectionProvider, EvalError, Evaluator, MemProvider, SortKey};
 pub use parser::{parse_query, QueryParseError};
 pub use value::{Item, Sequence};

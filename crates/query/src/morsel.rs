@@ -1,0 +1,396 @@
+//! Morsel decomposition: splitting one query into per-document-batch
+//! partials that merge back into the exact sequential answer.
+//!
+//! PartiX already parallelizes *across* fragments — every node evaluates
+//! its sub-query concurrently. But each node's evaluation is sequential,
+//! so a single huge fragment bounds the whole query (ROADMAP O3). This
+//! module provides the query-level half of intra-fragment parallelism:
+//!
+//! * [`plan`] decides whether a query is **morsel-decomposable** — safe to
+//!   evaluate over disjoint batches ("morsels") of the driving
+//!   collection's documents and recombine;
+//! * [`eval_partial`] runs the decomposed core over one morsel's
+//!   documents;
+//! * [`merge`] recombines the partials into the exact sequence the
+//!   sequential evaluator would have produced.
+//!
+//! The storage engine (`partix-storage`) owns the other half: choosing
+//! morsel boundaries and running partials on worker threads.
+//!
+//! ## Decomposability
+//!
+//! A query decomposes when its result is a function of a single pass over
+//! one collection, document by document:
+//!
+//! 1. it reads **exactly one** `collection(…)` source and no `doc(…)`
+//!    sources — so a morsel view serving only its batch can answer every
+//!    data access;
+//! 2. its core (after peeling single-argument function wrappers like
+//!    `count(…)`, `sum(…)`, `string(…)`) is either a bare collection
+//!    path or a FLWOR whose **first `for` clause** is bound directly to
+//!    the collection path — making that clause the driving loop whose
+//!    iteration space the morsels partition.
+//!
+//! Under these conditions the tuple stream of the full collection is the
+//! concatenation of the per-morsel tuple streams (in morsel order =
+//! document order), so:
+//!
+//! * an unordered core's result is the concatenation of morsel results;
+//! * an ordered core is evaluated per-morsel *without sorting*, carrying
+//!   each tuple's sort key ([`Evaluator::eval_flwor_keyed`]); one global
+//!   stable sort at the merge reproduces the sequential semantics
+//!   (stable sort ascending, reverse for `descending`) exactly;
+//! * wrapper functions are applied once, to the merged sequence —
+//!   `f(morsel₁ ++ morsel₂ ++ …)` is by construction the sequential
+//!   answer, with no per-function distribution law needed (unlike the
+//!   coordinator's fragment composition, which must re-aggregate
+//!   `count` as a sum of counts because nodes apply the wrapper
+//!   locally).
+//!
+//! Everything else — nested collection scans (joins), `doc(…)` reads,
+//! queries whose first `for` ranges over a variable — falls back to the
+//! sequential path by returning `None` from [`plan`].
+
+use crate::ast::{Clause, Expr, PathStart, Query, SortDir};
+use crate::eval::{CollectionProvider, EvalError, Evaluator, SortKey};
+use crate::func::call_function;
+use crate::value::Sequence;
+
+/// A morsel-decomposable query, split at its decomposition point.
+#[derive(Debug, Clone)]
+pub struct MorselPlan {
+    /// The single collection the core scans — morsels partition its
+    /// documents.
+    pub collection: String,
+    /// Single-argument function wrappers peeled off around the core,
+    /// innermost first. Applied once, in order, to the merged sequence.
+    pub wrappers: Vec<String>,
+    /// The decomposition point: a FLWOR driven by the collection, or a
+    /// bare collection-rooted path.
+    pub core: Expr,
+    /// `Some(dir)` when the core carries an `order by` — partials are
+    /// then keyed and the merge performs the global sort.
+    pub ordered: Option<SortDir>,
+}
+
+/// Result of evaluating a plan's core over one morsel.
+#[derive(Debug, Clone)]
+pub enum MorselPartial {
+    /// Unordered core: the core's result items, in document order.
+    Plain(Sequence),
+    /// Ordered core: per-tuple `(sort key, return items)` pairs, in
+    /// document order, *not* sorted yet.
+    Keyed(Vec<(SortKey, Sequence)>),
+}
+
+/// Decide whether `query` is morsel-decomposable; see the module docs for
+/// the exact conditions. Returns `None` when it must run sequentially.
+pub fn plan(query: &Query) -> Option<MorselPlan> {
+    // condition 1: exactly one collection source, no doc sources
+    let mut collections = 0usize;
+    let mut docs = 0usize;
+    let mut name: Option<String> = None;
+    query.visit_paths(&mut |ps| match &ps.start {
+        PathStart::Collection(c) => {
+            collections += 1;
+            name = Some(c.clone());
+        }
+        PathStart::Doc(_) => docs += 1,
+        PathStart::Var(_) => {}
+    });
+    if collections != 1 || docs != 0 {
+        return None;
+    }
+    let collection = name.expect("counted one collection source");
+
+    // peel single-argument wrappers: count(…), sum(…), string(…), …
+    let mut wrappers = Vec::new();
+    let mut core = &query.expr;
+    while let Expr::Call { name, args } = core {
+        if args.len() != 1 {
+            return None; // the collection ref hides in a multi-arg call
+        }
+        wrappers.push(name.clone());
+        core = &args[0];
+    }
+    wrappers.reverse(); // peeled outside-in, applied inside-out
+
+    // condition 2: the core is driven by the collection itself
+    let ordered = match core {
+        Expr::Path(ps) if matches!(&ps.start, PathStart::Collection(_)) => None,
+        Expr::Flwor { clauses, order_by, .. } => {
+            let first_for = clauses.iter().find_map(|c| match c {
+                Clause::For(b) => Some(b),
+                Clause::Let(_) => None,
+            })?;
+            let Expr::Path(ps) = &first_for.expr else {
+                return None;
+            };
+            if !matches!(&ps.start, PathStart::Collection(_)) {
+                return None; // driving loop ranges over a variable/let
+            }
+            order_by.as_ref().map(|(_, dir)| *dir)
+        }
+        _ => return None, // collection ref buried in a non-decomposable shape
+    };
+    Some(MorselPlan { collection, wrappers, core: core.clone(), ordered })
+}
+
+/// Evaluate the plan's core over one morsel, served by `provider` (which
+/// must answer `collection(plan.collection)` with exactly that morsel's
+/// documents — the plan guarantees no other data access occurs).
+pub fn eval_partial(
+    plan: &MorselPlan,
+    provider: &dyn CollectionProvider,
+) -> Result<MorselPartial, EvalError> {
+    let ev = Evaluator::new(provider);
+    match plan.ordered {
+        None => Ok(MorselPartial::Plain(ev.eval_root(&plan.core)?)),
+        Some(_) => Ok(MorselPartial::Keyed(ev.eval_flwor_keyed(&plan.core)?)),
+    }
+}
+
+/// Recombine per-morsel partials (in morsel = document order) into the
+/// exact sequential answer: concatenate (sorting globally if ordered),
+/// then apply the peeled wrappers once.
+pub fn merge(
+    plan: &MorselPlan,
+    partials: Vec<MorselPartial>,
+) -> Result<Sequence, EvalError> {
+    let mut seq: Sequence = match plan.ordered {
+        None => {
+            let mut out = Vec::new();
+            for p in partials {
+                match p {
+                    MorselPartial::Plain(items) => out.extend(items),
+                    MorselPartial::Keyed(_) => {
+                        return Err(EvalError::TypeError(
+                            "keyed partial for an unordered plan".into(),
+                        ))
+                    }
+                }
+            }
+            out
+        }
+        Some(dir) => {
+            let mut keyed: Vec<(SortKey, Sequence)> = Vec::new();
+            for p in partials {
+                match p {
+                    MorselPartial::Keyed(pairs) => keyed.extend(pairs),
+                    MorselPartial::Plain(_) => {
+                        return Err(EvalError::TypeError(
+                            "plain partial for an ordered plan".into(),
+                        ))
+                    }
+                }
+            }
+            // exactly the sequential evaluator's procedure: stable sort
+            // ascending over the full tuple stream, reverse if descending
+            keyed.sort_by(|a, b| a.0.compare(&b.0));
+            if dir == SortDir::Descending {
+                keyed.reverse();
+            }
+            keyed.into_iter().flat_map(|(_, items)| items).collect()
+        }
+    };
+    for name in &plan.wrappers {
+        seq = call_function(name, vec![seq])?;
+    }
+    Ok(seq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::MemProvider;
+    use crate::parser::parse_query;
+    use crate::value::Item;
+    use partix_xml::parse;
+
+    fn planned(src: &str) -> Option<MorselPlan> {
+        plan(&parse_query(src).unwrap())
+    }
+
+    #[test]
+    fn simple_flwor_is_decomposable() {
+        let p = planned(
+            r#"for $i in collection("items")/Item where $i/Section = "CD" return $i/Name"#,
+        )
+        .unwrap();
+        assert_eq!(p.collection, "items");
+        assert!(p.wrappers.is_empty());
+        assert!(p.ordered.is_none());
+    }
+
+    #[test]
+    fn aggregate_wrappers_peel() {
+        let p = planned(
+            r#"count(for $i in collection("items")/Item return $i)"#,
+        )
+        .unwrap();
+        assert_eq!(p.wrappers, ["count"]);
+        let p = planned(
+            r#"string(count(for $i in collection("items")/Item return $i))"#,
+        )
+        .unwrap();
+        // innermost first: count applied before string
+        assert_eq!(p.wrappers, ["count", "string"]);
+    }
+
+    #[test]
+    fn ordered_flwor_records_direction() {
+        let p = planned(
+            r#"for $i in collection("items")/Item order by number($i/Price) descending return $i/Code"#,
+        )
+        .unwrap();
+        assert_eq!(p.ordered, Some(SortDir::Descending));
+    }
+
+    #[test]
+    fn bare_collection_path_is_decomposable() {
+        let p = planned(r#"count(collection("items")//Description)"#).unwrap();
+        assert_eq!(p.wrappers, ["count"]);
+        assert!(matches!(p.core, Expr::Path(_)));
+    }
+
+    #[test]
+    fn nested_collection_scan_is_not() {
+        // two collection refs: a correlated join must see all documents
+        assert!(planned(
+            r#"for $i in collection("items")/Item
+               where count(for $j in collection("items")/Item
+                           where $j/Section = $i/Section return $j) > 1
+               return $i"#,
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn doc_access_is_not() {
+        assert!(planned(r#"doc("i1")/Item/Name"#).is_none());
+        assert!(planned(
+            r#"for $i in collection("items")/Item
+               where $i/Code = doc("ref")/Ref/Code return $i"#,
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn var_driven_first_for_is_not() {
+        // the collection ref lives in a let; morsels can't partition it
+        assert!(planned(
+            r#"for $s in collection("items")/Item/Section return $s"#,
+        )
+        .is_some());
+        assert!(planned(
+            r#"let $all := collection("items")/Item
+               for $i in $all return $i/Name"#,
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn multi_arg_call_blocks_peeling() {
+        // concat's second argument hides nothing here, but the collection
+        // ref is inside a multi-arg call — conservatively sequential
+        assert!(planned(
+            r#"concat(string(count(collection("items")/Item)), "x")"#,
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn secondary_var_fors_decompose() {
+        let p = planned(
+            r#"for $i in collection("items")/Item, $p in $i//Picture return $p"#,
+        );
+        assert!(p.is_some());
+    }
+
+    fn items() -> Vec<(&'static str, &'static str)> {
+        vec![
+            ("i1", "<Item><Code>1</Code><Section>CD</Section><Price>10</Price></Item>"),
+            ("i2", "<Item><Code>2</Code><Section>DVD</Section><Price>25</Price></Item>"),
+            ("i3", "<Item><Code>3</Code><Section>CD</Section><Price>8</Price></Item>"),
+            ("i4", "<Item><Code>4</Code><Section>CD</Section><Price>8</Price></Item>"),
+        ]
+    }
+
+    /// Evaluate via 2-document morsels and compare against sequential.
+    fn assert_morsel_equivalent(src: &str) {
+        let q = parse_query(src).unwrap();
+        let all = items();
+        let mut seq_provider = MemProvider::new();
+        seq_provider.add_collection(
+            "items",
+            all.iter().map(|(n, xml)| {
+                let mut d = parse(xml).unwrap();
+                d.name = Some((*n).to_owned());
+                d
+            }),
+        );
+        let expected = Evaluator::new(&seq_provider).eval(&q).unwrap();
+
+        let p = plan(&q).expect("decomposable");
+        let mut partials = Vec::new();
+        for chunk in all.chunks(2) {
+            let mut view = MemProvider::new();
+            view.add_collection(
+                "items",
+                chunk.iter().map(|(n, xml)| {
+                    let mut d = parse(xml).unwrap();
+                    d.name = Some((*n).to_owned());
+                    d
+                }),
+            );
+            partials.push(eval_partial(&p, &view).unwrap());
+        }
+        let merged = merge(&p, partials).unwrap();
+        let a: Vec<String> = expected.iter().map(Item::serialize).collect();
+        let b: Vec<String> = merged.iter().map(Item::serialize).collect();
+        assert_eq!(a, b, "morsel result diverged for {src}");
+    }
+
+    #[test]
+    fn merge_matches_sequential_selection() {
+        assert_morsel_equivalent(
+            r#"for $i in collection("items")/Item where $i/Section = "CD" return $i/Code"#,
+        );
+    }
+
+    #[test]
+    fn merge_matches_sequential_aggregates() {
+        for agg in ["count", "sum", "min", "max", "avg"] {
+            assert_morsel_equivalent(&format!(
+                r#"{agg}(for $i in collection("items")/Item return number($i/Price))"#
+            ));
+        }
+    }
+
+    #[test]
+    fn merge_matches_sequential_order_by() {
+        // duplicate keys (8, 8) exercise stable-sort tie-breaking
+        assert_morsel_equivalent(
+            r#"for $i in collection("items")/Item order by number($i/Price) return $i/Code"#,
+        );
+        assert_morsel_equivalent(
+            r#"for $i in collection("items")/Item order by number($i/Price) descending return $i/Code"#,
+        );
+    }
+
+    #[test]
+    fn merge_matches_sequential_path_only() {
+        assert_morsel_equivalent(r#"count(collection("items")//Code)"#);
+        assert_morsel_equivalent(r#"collection("items")/Item/Code"#);
+    }
+
+    #[test]
+    fn mismatched_partial_kinds_error() {
+        let q = parse_query(
+            r#"for $i in collection("items")/Item order by $i/Code return $i"#,
+        )
+        .unwrap();
+        let p = plan(&q).unwrap();
+        assert!(merge(&p, vec![MorselPartial::Plain(vec![])]).is_err());
+    }
+}

@@ -58,6 +58,9 @@ pub struct Collection {
     docs: Vec<Arc<Document>>,
     /// Cold pages (decoded per access when `mode == Cold`).
     pages: Vec<bytes::Bytes>,
+    /// Per-slot document names — lets `doc("name")` lookups scan names
+    /// without decoding every cold page.
+    names: Vec<Option<String>>,
     value_index: ValueIndex,
     text_index: TextIndex,
     path_index: PathIndex,
@@ -70,6 +73,7 @@ impl Collection {
             mode,
             docs: Vec::new(),
             pages: Vec::new(),
+            names: Vec::new(),
             value_index: ValueIndex::default(),
             text_index: TextIndex::default(),
             path_index: PathIndex::default(),
@@ -102,6 +106,7 @@ impl Collection {
         self.value_index.insert(slot, &doc);
         self.text_index.insert(slot, &doc);
         self.path_index.insert(slot, &doc);
+        self.names.push(doc.name.clone());
         match self.mode {
             StorageMode::Hot => self.docs.push(Arc::new(doc)),
             StorageMode::Cold => self.pages.push(binary::encode(&doc)),
@@ -116,10 +121,20 @@ impl Collection {
         self.value_index.insert(slot, &doc);
         self.text_index.insert(slot, &doc);
         self.path_index.insert(slot, &doc);
+        self.names.push(doc.name.clone());
         match self.mode {
             StorageMode::Hot => self.docs.push(doc),
             StorageMode::Cold => self.pages.push(binary::encode(&doc)),
         }
+    }
+
+    /// Slot of the document named `name`, if any — an O(slots) name scan
+    /// with no page decoding.
+    fn slot_by_name(&self, name: &str) -> Option<u32> {
+        self.names
+            .iter()
+            .position(|n| n.as_deref() == Some(name))
+            .map(|s| s as u32)
     }
 
     /// Materialize one document (decoding if cold).
@@ -191,6 +206,8 @@ pub struct Database {
     collections: RwLock<HashMap<String, Arc<RwLock<Collection>>>>,
     use_indexes: std::sync::atomic::AtomicBool,
     use_value_index: std::sync::atomic::AtomicBool,
+    /// Intra-query parallelism knobs (see [`crate::parallel`]).
+    morsels: RwLock<crate::parallel::MorselConfig>,
     /// Per-collection write epochs (bumped on every mutation, including
     /// drops — entries outlive their collection so the counter stays
     /// monotonic across drop/recreate cycles). Result caches layered
@@ -210,8 +227,19 @@ impl Database {
             collections: RwLock::new(HashMap::new()),
             use_indexes: std::sync::atomic::AtomicBool::new(true),
             use_value_index: std::sync::atomic::AtomicBool::new(false),
+            morsels: RwLock::new(crate::parallel::MorselConfig::default()),
             epochs: RwLock::new(HashMap::new()),
         }
+    }
+
+    /// Set the morsel-parallelism knobs for this database instance.
+    pub fn set_morsel_config(&self, config: crate::parallel::MorselConfig) {
+        *self.morsels.write() = config;
+    }
+
+    /// Current morsel-parallelism knobs.
+    pub fn morsel_config(&self) -> crate::parallel::MorselConfig {
+        *self.morsels.read()
     }
 
     /// Enable/disable index-assisted scans (ablation studies; indexes are
@@ -354,13 +382,13 @@ impl CollectionProvider for Database {
     }
 
     fn document(&self, name: &str) -> Result<Arc<Document>, EvalError> {
+        // name scan first, so only the one matching document is ever
+        // decoded — a cold collection used to pay a full decode per
+        // stored page just to answer (or miss) a doc("…") lookup
         for coll in self.collections.read().values() {
             let guard = coll.read();
-            for slot in 0..guard.len() as u32 {
-                let doc = guard.fetch(slot);
-                if doc.name.as_deref() == Some(name) {
-                    return Ok(doc);
-                }
+            if let Some(slot) = guard.slot_by_name(name) {
+                return Ok(guard.fetch(slot));
             }
         }
         Err(EvalError::UnknownDocument(name.to_owned()))
@@ -426,6 +454,18 @@ mod tests {
         let d = db.document("i2").unwrap();
         assert_eq!(d.root().child_element("Section").unwrap().text(), "DVD");
         assert!(db.document("zzz").is_err());
+    }
+
+    #[test]
+    fn document_lookup_works_cold_without_full_decode() {
+        let db = make_db(StorageMode::Cold);
+        // the name side-table answers the scan; only i3's page decodes
+        let d = db.document("i3").unwrap();
+        assert_eq!(d.root().child_element("D").unwrap().text(), "goodness");
+        assert!(db.document("zzz").is_err());
+        // unnamed documents are skippable, not matchable
+        db.store("items", parse("<Item><Section>LP</Section></Item>").unwrap());
+        assert!(db.document("").is_err());
     }
 
     #[test]

@@ -20,6 +20,9 @@ pub struct QueryStats {
     pub elapsed: f64,
     /// Total wire size of the result items in bytes.
     pub result_bytes: usize,
+    /// Number of parallel morsels the scan split into; 0 means the
+    /// query ran on the sequential path (see [`crate::parallel`]).
+    pub morsels: usize,
 }
 
 /// Result of [`Database::execute`].
@@ -115,9 +118,29 @@ fn intersect_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
 }
 
 fn union_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
-    let mut out: Vec<u32> = a.iter().chain(b.iter()).copied().collect();
-    out.sort_unstable();
-    out.dedup();
+    // both inputs are sorted (index probes sort before returning), so a
+    // linear merge beats the old concat-sort-dedup
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
     out
 }
 
@@ -136,8 +159,13 @@ impl Database {
     ) -> Result<QueryOutput, ExecError> {
         let start = Instant::now();
         let mut stats = QueryStats::default();
-        // index-assisted scan via a filtered provider view
         let analysis = pushdown::analyze(query);
+        // morsel-parallel fast path: decomposable query over a large
+        // enough candidate set (see crate::parallel); exact same answer
+        if let Some(out) = self.try_execute_morsels(query, analysis.as_ref(), start)? {
+            return Ok(out);
+        }
+        // index-assisted scan via a filtered provider view
         let filtered: Option<FilteredView<'_>> = analysis.as_ref().and_then(|a| {
             if !self.index_enabled() {
                 return None;
@@ -375,6 +403,15 @@ mod tests {
             db.execute(r#"for $i in collection("zzz")/a return $i"#),
             Err(ExecError::Eval(EvalError::UnknownCollection(_)))
         ));
+    }
+
+    #[test]
+    fn sorted_set_helpers_merge_correctly() {
+        assert_eq!(union_sorted(&[1, 3, 5], &[2, 3, 6]), [1, 2, 3, 5, 6]);
+        assert_eq!(union_sorted(&[], &[4, 9]), [4, 9]);
+        assert_eq!(union_sorted(&[4, 9], &[]), [4, 9]);
+        assert_eq!(intersect_sorted(&[1, 3, 5], &[2, 3, 5]), [3, 5]);
+        assert_eq!(intersect_sorted(&[1, 2], &[3]), Vec::<u32>::new());
     }
 
     #[test]

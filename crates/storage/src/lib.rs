@@ -19,13 +19,20 @@
 //!   [`partix_query::CollectionProvider::collection_filtered`].
 //! * **Query execution** with per-query statistics (documents scanned,
 //!   index hits, elapsed time) — the measurements every experiment plots.
+//! * **Morsel-driven parallelism** ([`parallel`]): decomposable queries
+//!   split the driving collection into document batches evaluated
+//!   concurrently on a shared worker pool and merged back into the exact
+//!   sequential answer — so one huge fragment no longer runs on a single
+//!   core.
 //! * **Persistence**: collections can be saved to / loaded from a
 //!   directory of binary pages.
 
 pub mod db;
 pub mod exec;
 pub mod index;
+pub mod parallel;
 pub mod persist;
 
 pub use db::{Collection, Database, StorageError, StorageMode};
 pub use exec::{QueryOutput, QueryStats};
+pub use parallel::{MorselConfig, MAX_MORSEL_WORKERS};

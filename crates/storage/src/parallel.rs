@@ -1,0 +1,466 @@
+//! Morsel-driven intra-fragment parallel execution.
+//!
+//! PartiX parallelizes across fragments, but each node's evaluation of
+//! its sub-query was sequential — one huge fragment (or a centralized
+//! collection) bounded the whole query. This module closes that gap
+//! (ROADMAP O3): when a query is morsel-decomposable
+//! ([`partix_query::morsel::plan`]), the driving collection's candidate
+//! documents are split into contiguous batches ("morsels") evaluated
+//! concurrently on a shared worker pool, and the partial results are
+//! merged back into the *exact* sequence the sequential evaluator
+//! produces — same items, same order, same `order by` tie-breaking.
+//!
+//! ## Scheduling
+//!
+//! Morsels are claimed from a shared atomic cursor, so fast workers
+//! steal the tail from slow ones (classic morsel-driven scheduling
+//! rather than static assignment). The **calling thread participates**:
+//! it claims and executes morsels like any pool worker. That makes the
+//! design deadlock-free by construction — even if the pool is saturated
+//! with other queries (or sized to zero), the caller alone drains every
+//! morsel; pool workers only ever accelerate it. Jobs never block on
+//! other jobs.
+//!
+//! For cold collections the win is twofold: morsel workers decode the
+//! binary pages in parallel too, attacking exactly the per-document
+//! parse cost the paper measured for many-small-documents fragments.
+//!
+//! ## Determinism
+//!
+//! Results are byte-identical to sequential execution. When several
+//! morsels fail, the error of the **lowest-indexed** morsel is reported
+//! — the same error a sequential left-to-right scan would have hit
+//! first.
+
+use crate::db::{Collection, Database};
+use crate::exec::{index_candidates, ExecError, QueryOutput, QueryStats};
+use parking_lot::{Mutex, RwLock};
+use partix_query::morsel::{self, MorselPartial, MorselPlan};
+use partix_query::pushdown::QueryAnalysis;
+use partix_query::{CollectionProvider, EvalError, Item, Query};
+use partix_xml::Document;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Hard ceiling on per-query morsel parallelism (and on shared pool
+/// threads) — beyond this, merge and scheduling overheads dominate for
+/// the document sizes PartiX handles.
+pub const MAX_MORSEL_WORKERS: usize = 8;
+
+/// Per-database knobs for morsel execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MorselConfig {
+    /// Maximum morsels evaluated concurrently for one query. Values
+    /// below 2 disable the parallel path entirely.
+    pub max_workers: usize,
+    /// Smallest candidate set worth splitting, and the minimum documents
+    /// per morsel: collections smaller than `2 * min_docs` (after index
+    /// filtering) run sequentially — tiny scans are not worth the
+    /// scheduling overhead.
+    pub min_docs: usize,
+}
+
+impl Default for MorselConfig {
+    /// `PARTIX_MORSEL_WORKERS` / `PARTIX_MORSEL_MIN_DOCS` override the
+    /// defaults: all available cores (capped at [`MAX_MORSEL_WORKERS`])
+    /// and 32 documents per morsel. On a single-core host the default
+    /// resolves to 1 worker, i.e. the sequential path.
+    fn default() -> MorselConfig {
+        let max_workers = env_usize("PARTIX_MORSEL_WORKERS")
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            })
+            .min(MAX_MORSEL_WORKERS);
+        let min_docs = env_usize("PARTIX_MORSEL_MIN_DOCS").unwrap_or(32).max(1);
+        MorselConfig { max_workers, min_docs }
+    }
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.parse().ok()
+}
+
+/// The shared morsel worker pool: plain daemon threads feeding off one
+/// queue. Sized once, at first use, from the default config — per-query
+/// parallelism beyond the pool size is made up by the calling thread.
+struct MorselPool {
+    tx: mpsc::Sender<Job>,
+    workers: usize,
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+fn pool() -> &'static MorselPool {
+    static POOL: OnceLock<MorselPool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        // at least one helper so the parallel path is genuinely
+        // concurrent even on single-core hosts (tests rely on it)
+        let workers = MorselConfig::default().max_workers.max(2) - 1;
+        let (tx, rx) = mpsc::channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        for i in 0..workers {
+            let rx = Arc::clone(&rx);
+            std::thread::Builder::new()
+                .name(format!("morsel-{i}"))
+                .spawn(move || loop {
+                    // take the job with the lock released before running
+                    // it: a long morsel must not serialize the queue
+                    let job = { rx.lock().recv() };
+                    match job {
+                        Ok(job) => {
+                            // jobs are panic-guarded internally; this is
+                            // the backstop that keeps the worker alive
+                            let _ = std::panic::catch_unwind(
+                                std::panic::AssertUnwindSafe(job),
+                            );
+                        }
+                        Err(_) => break, // channel closed: process exit
+                    }
+                })
+                .expect("spawn morsel worker");
+        }
+        MorselPool { tx, workers }
+    })
+}
+
+/// Provider view serving exactly one morsel's documents. The plan
+/// guarantees the query touches no other collection and no `doc(…)`
+/// source, so every other access is a genuine error.
+struct MorselView {
+    collection: String,
+    docs: Vec<Arc<Document>>,
+}
+
+impl CollectionProvider for MorselView {
+    fn collection(&self, name: &str) -> Result<Vec<Arc<Document>>, EvalError> {
+        if name == self.collection {
+            Ok(self.docs.clone())
+        } else {
+            Err(EvalError::UnknownCollection(name.to_owned()))
+        }
+    }
+
+    fn document(&self, name: &str) -> Result<Arc<Document>, EvalError> {
+        Err(EvalError::UnknownDocument(name.to_owned()))
+    }
+}
+
+/// Everything a morsel job needs, shared across workers for one query.
+struct QueryCtx {
+    plan: MorselPlan,
+    coll: Arc<RwLock<Collection>>,
+    /// Candidate slots in document order; `bounds[i]` is morsel `i`'s
+    /// half-open range into it.
+    slots: Vec<u32>,
+    bounds: Vec<(usize, usize)>,
+    /// Next unclaimed morsel — the shared work-stealing cursor.
+    next: AtomicUsize,
+    tx: mpsc::Sender<(usize, Result<MorselPartial, EvalError>)>,
+}
+
+impl QueryCtx {
+    /// Claim and execute morsels until the cursor runs out. Each morsel
+    /// sends exactly one `(index, result)` message, panic included.
+    fn drain(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            let Some(&(lo, hi)) = self.bounds.get(i) else { break };
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let docs = self.coll.read().fetch_slots(&self.slots[lo..hi]);
+                let view =
+                    MorselView { collection: self.plan.collection.clone(), docs };
+                morsel::eval_partial(&self.plan, &view)
+            }))
+            .unwrap_or_else(|_| {
+                Err(EvalError::TypeError("morsel worker panicked".into()))
+            });
+            // the caller may have stopped listening only after receiving
+            // every message, so a send failure is unreachable in practice;
+            // ignore it rather than poison the worker
+            let _ = self.tx.send((i, result));
+        }
+    }
+}
+
+impl Database {
+    /// Attempt morsel-parallel execution. Returns `Ok(None)` when the
+    /// query must run on the sequential path: not decomposable, morsels
+    /// disabled, or too few candidate documents to be worth splitting.
+    pub(crate) fn try_execute_morsels(
+        &self,
+        query: &Query,
+        analysis: Option<&QueryAnalysis>,
+        start: Instant,
+    ) -> Result<Option<QueryOutput>, ExecError> {
+        let config = self.morsel_config();
+        if config.max_workers < 2 {
+            return Ok(None);
+        }
+        let Some(plan) = morsel::plan(query) else {
+            return Ok(None);
+        };
+        // unknown collection: let the sequential path raise the error
+        let Some(coll) = self.get(&plan.collection) else {
+            return Ok(None);
+        };
+
+        let mut stats = QueryStats::default();
+        let slots: Vec<u32> = {
+            let guard = coll.read();
+            stats.collection_size = guard.len();
+            // same index pre-filter as the sequential path, minus the
+            // document materialization (each morsel fetches its own)
+            let probed = analysis.and_then(|a| {
+                if !self.index_enabled() || a.collection != plan.collection {
+                    return None;
+                }
+                let pred = a.doc_predicate.as_ref()?;
+                index_candidates(&guard, pred, self.value_index_enabled())
+            });
+            match probed {
+                Some(slots) => {
+                    stats.index_used = true;
+                    slots
+                }
+                None => (0..guard.len() as u32).collect(),
+            }
+        };
+        stats.docs_scanned = slots.len();
+
+        let morsels = (slots.len() / config.min_docs).min(config.max_workers);
+        if morsels < 2 {
+            return Ok(None);
+        }
+        // contiguous, near-even split preserving document order
+        let mut bounds = Vec::with_capacity(morsels);
+        let (base, extra) = (slots.len() / morsels, slots.len() % morsels);
+        let mut lo = 0;
+        for i in 0..morsels {
+            let hi = lo + base + usize::from(i < extra);
+            bounds.push((lo, hi));
+            lo = hi;
+        }
+
+        let (tx, rx) = mpsc::channel();
+        let ctx = Arc::new(QueryCtx {
+            plan,
+            coll,
+            slots,
+            bounds,
+            next: AtomicUsize::new(0),
+            tx,
+        });
+        let p = pool();
+        for _ in 0..(morsels - 1).min(p.workers) {
+            let ctx = Arc::clone(&ctx);
+            let _ = p.tx.send(Box::new(move || ctx.drain()));
+        }
+        ctx.drain(); // the caller works too — saturation cannot deadlock
+
+        let mut results: Vec<Option<Result<MorselPartial, EvalError>>> =
+            (0..morsels).map(|_| None).collect();
+        for _ in 0..morsels {
+            let (i, result) = rx.recv().expect("every morsel sends exactly once");
+            results[i] = Some(result);
+        }
+        let mut partials = Vec::with_capacity(morsels);
+        for result in results {
+            // first error by morsel index = the error a sequential
+            // left-to-right scan would have reported
+            partials.push(
+                result.expect("all morsels reported").map_err(ExecError::Eval)?,
+            );
+        }
+
+        let items =
+            morsel::merge(&ctx.plan, partials).map_err(ExecError::Eval)?;
+        stats.morsels = morsels;
+        stats.elapsed = start.elapsed().as_secs_f64();
+        stats.result_bytes = items.iter().map(Item::wire_size).sum();
+        Ok(Some(QueryOutput { items, stats }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::StorageMode;
+    use partix_xml::parse;
+
+    fn many_items(n: usize) -> Vec<Document> {
+        (0..n)
+            .map(|i| {
+                let section = ["CD", "DVD", "BOOK"][i % 3];
+                let xml = format!(
+                    "<Item><Code>{i}</Code><Section>{section}</Section>\
+                     <Price>{}</Price><Characteristics><Description>item \
+                     number {i} is {}</Description></Characteristics></Item>",
+                    (i * 7) % 50,
+                    if i % 4 == 0 { "good" } else { "plain" },
+                );
+                let mut d = parse(&xml).unwrap();
+                d.name = Some(format!("d{i}"));
+                d
+            })
+            .collect()
+    }
+
+    fn db_with(n: usize, mode: StorageMode, config: MorselConfig) -> Database {
+        let db = Database::new();
+        db.create_collection("items", mode).unwrap();
+        db.store_all("items", many_items(n));
+        db.set_morsel_config(config);
+        db
+    }
+
+    const PARALLEL: MorselConfig = MorselConfig { max_workers: 4, min_docs: 1 };
+    const SEQUENTIAL: MorselConfig = MorselConfig { max_workers: 1, min_docs: 1 };
+
+    fn assert_same_answers(q: &str, n: usize, mode: StorageMode) {
+        let par = db_with(n, mode, PARALLEL);
+        let seq = db_with(n, mode, SEQUENTIAL);
+        let a = par.execute(q).unwrap();
+        let b = seq.execute(q).unwrap();
+        assert_eq!(a.serialize(), b.serialize(), "diverged on {q}");
+        assert!(a.stats.morsels >= 2, "expected parallel path for {q}");
+        assert_eq!(b.stats.morsels, 0, "expected sequential path");
+        assert_eq!(a.stats.docs_scanned, b.stats.docs_scanned);
+        assert_eq!(a.stats.collection_size, b.stats.collection_size);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_hot_and_cold() {
+        let q = r#"for $i in collection("items")/Item
+                   where $i/Section = "CD" return $i/Code"#;
+        assert_same_answers(q, 40, StorageMode::Hot);
+        assert_same_answers(q, 40, StorageMode::Cold);
+    }
+
+    #[test]
+    fn ordered_query_keeps_exact_tie_order() {
+        // prices repeat every 50/7 items → plenty of duplicate sort keys
+        assert_same_answers(
+            r#"for $i in collection("items")/Item
+               order by number($i/Price) return $i/Code"#,
+            60,
+            StorageMode::Hot,
+        );
+        assert_same_answers(
+            r#"for $i in collection("items")/Item
+               order by number($i/Price) descending return $i/Code"#,
+            60,
+            StorageMode::Hot,
+        );
+    }
+
+    #[test]
+    fn aggregates_merge_exactly() {
+        for agg in ["count", "sum", "min", "max", "avg"] {
+            assert_same_answers(
+                &format!(
+                    r#"{agg}(for $i in collection("items")/Item
+                             return number($i/Price))"#
+                ),
+                50,
+                StorageMode::Hot,
+            );
+        }
+    }
+
+    #[test]
+    fn small_collections_stay_sequential() {
+        let db = db_with(10, StorageMode::Hot, MorselConfig { max_workers: 4, min_docs: 32 });
+        let out = db
+            .execute(r#"for $i in collection("items")/Item return $i/Code"#)
+            .unwrap();
+        assert_eq!(out.stats.morsels, 0);
+        assert_eq!(out.items.len(), 10);
+    }
+
+    #[test]
+    fn non_decomposable_queries_stay_sequential() {
+        let db = db_with(40, StorageMode::Hot, PARALLEL);
+        // correlated self-join: two collection refs
+        let out = db
+            .execute(
+                r#"count(for $i in collection("items")/Item
+                         where count(for $j in collection("items")/Item
+                                     where $j/Section = $i/Section return $j) > 1
+                         return $i)"#,
+            )
+            .unwrap();
+        assert_eq!(out.stats.morsels, 0);
+        assert_eq!(out.items[0], Item::Num(40.0));
+    }
+
+    #[test]
+    fn index_prefilter_applies_to_morsels() {
+        let db = db_with(60, StorageMode::Hot, PARALLEL);
+        db.set_value_index_enabled(true);
+        let out = db
+            .execute(
+                r#"for $i in collection("items")/Item
+                   where $i/Section = "CD" return $i/Code"#,
+            )
+            .unwrap();
+        assert!(out.stats.index_used);
+        assert_eq!(out.stats.docs_scanned, 20);
+        assert!(out.stats.morsels >= 2);
+        assert_eq!(out.items.len(), 20);
+    }
+
+    #[test]
+    fn errors_are_deterministic_first_morsel() {
+        let par = db_with(40, StorageMode::Hot, PARALLEL);
+        let seq = db_with(40, StorageMode::Hot, SEQUENTIAL);
+        let q = r#"for $i in collection("items")/Item return $zzz"#;
+        let (a, b) = (par.execute(q), seq.execute(q));
+        let (Err(ExecError::Eval(a)), Err(ExecError::Eval(b))) = (a, b) else {
+            panic!("both paths must error");
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unknown_collection_error_is_preserved() {
+        let db = db_with(4, StorageMode::Hot, PARALLEL);
+        assert!(matches!(
+            db.execute(r#"for $i in collection("zzz")/a return $i"#),
+            Err(ExecError::Eval(EvalError::UnknownCollection(_)))
+        ));
+    }
+
+    #[test]
+    fn config_roundtrips_and_env_defaults_are_sane() {
+        let db = Database::new();
+        let d = db.morsel_config();
+        assert!(d.max_workers >= 1 && d.max_workers <= MAX_MORSEL_WORKERS);
+        assert!(d.min_docs >= 1);
+        db.set_morsel_config(MorselConfig { max_workers: 3, min_docs: 7 });
+        assert_eq!(db.morsel_config(), MorselConfig { max_workers: 3, min_docs: 7 });
+    }
+
+    #[test]
+    fn concurrent_morsel_queries_share_the_pool() {
+        let db = Arc::new(db_with(60, StorageMode::Hot, PARALLEL));
+        let expected = db
+            .execute(r#"count(collection("items")//Description)"#)
+            .unwrap()
+            .items;
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let db = Arc::clone(&db);
+                std::thread::spawn(move || {
+                    db.execute(r#"count(collection("items")//Description)"#)
+                        .unwrap()
+                        .items
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), expected);
+        }
+    }
+}

@@ -41,6 +41,14 @@ cargo test -q --test concurrency --offline remote_chaos
 cargo test -q -p partix-advisor --offline
 cargo test -q --test rebalance_differential --offline
 
+# morsel gate: intra-fragment parallel execution must be invisible
+# except for speed — the differential suite (every query family, hot
+# and cold, distributed vs centralized oracle, proptest geometry fuzz)
+# plus the query/storage unit suites, run explicitly.
+cargo test -q --test morsel_differential --offline
+cargo test -q -p partix-query --offline morsel
+cargo test -q -p partix-storage --offline morsel
+
 # any clippy warning fails the gate
 cargo clippy --workspace --offline -- -D warnings
 
@@ -142,6 +150,29 @@ if ! grep -q '"during_errors":0' "$REBALANCE_JSON"; then
 fi
 if ! grep -q '"p99_improved":true' "$REBALANCE_JSON"; then
     echo "verify: FAIL — rebalance did not improve p99 latency" >&2
+    exit 1
+fi
+
+# the morsel benchmark gates on answer identity, not speedup: a
+# single-core CI host runs the full split/merge machinery with no
+# parallel gain, so "identical":true (plus the recorded host_cores
+# context and a genuine ≥2-way split somewhere) is the contract.
+MORSEL_JSON="$(mktemp /tmp/partix-verify-morsel.XXXXXX.json)"
+trap 'rm -f "$STAGE_JSON" "$REMOTE_JSON" "$SERVE_LOG1" "$SERVE_LOG2" \
+    "$ADVISE_A" "$ADVISE_B" "$REBALANCE_JSON" "$MORSEL_JSON"' EXIT
+./target/release/harness morsel --reps 1 --out "$MORSEL_JSON" > /dev/null
+for field in host_cores workers seq_ms par_ms speedup best_speedup; do
+    if ! grep -q "\"$field\":" "$MORSEL_JSON"; then
+        echo "verify: FAIL — $field missing from morsel JSON" >&2
+        exit 1
+    fi
+done
+if ! grep -q '"identical":true}$' "$MORSEL_JSON"; then
+    echo "verify: FAIL — a morsel-split answer diverged from sequential" >&2
+    exit 1
+fi
+if ! grep -Eq '"morsels":[2-9]' "$MORSEL_JSON"; then
+    echo "verify: FAIL — no query split into morsels" >&2
     exit 1
 fi
 
