@@ -42,5 +42,6 @@ pub use profile::{
     FragmentStats, NodeStats, StageTotals, WorkloadProfile, WorkloadProfiler,
 };
 pub use rebalance::{
-    rebalance, MoveRecord, RebalanceError, RebalanceOptions, RebalanceReport,
+    rebalance, rebalance_with_observer, MoveRecord, RebalanceError, RebalanceOptions,
+    RebalancePhase, RebalanceReport,
 };

@@ -131,6 +131,7 @@ fn main() {
         "chaos" => chaos_bench(&args),
         "rebalance" => rebalance_bench(&args),
         "morsel" => morsel_bench(&args),
+        "writes" => writes_bench(&args),
         "all" => {
             fig7_horizontal(&args, &mut sink, "fig7a", "ItemsSHor", ItemProfile::Small);
             fig7_horizontal(&args, &mut sink, "fig7b", "ItemsLHor", ItemProfile::Large);
@@ -168,6 +169,9 @@ COMMANDS
   morsel             intra-fragment parallel scans: every query timed
                      sequentially and morsel-split on one node; the gate is
                      byte-identical answers (speedup needs spare cores)
+  writes             mixed read/write QPS over WAL-backed nodes at 10% and
+                     50% write ratios; reports read/write p50/p99, WAL
+                     append/fsync counts, and an oracle-verified final state
   all                everything above (except throughput, chaos and rebalance)
 
 FLAGS
@@ -179,10 +183,11 @@ FLAGS
   --clients A,B,..   concurrent clients for throughput (default 1,4,16);
                      chaos uses the largest entry
   --queries N        queries per client for throughput/chaos (default 40)
-  --out FILE         throughput/chaos/rebalance/morsel JSON output (default
-                     BENCH_throughput.json; BENCH_chaos.json for chaos,
-                     BENCH_rebalance.json for rebalance, BENCH_morsel.json
-                     for morsel)
+  --out FILE         throughput/chaos/rebalance/morsel/writes JSON output
+                     (default BENCH_throughput.json; BENCH_chaos.json for
+                     chaos, BENCH_rebalance.json for rebalance,
+                     BENCH_morsel.json for morsel, BENCH_writes.json for
+                     writes)
   --seed S           chaos fault-schedule / rebalance advisor seed, decimal or
                      0x-hex (default 0xC4A05EED)
   --rate P           chaos per-node fault probability (default 0.6)
@@ -477,6 +482,28 @@ fn morsel_bench(args: &Args) {
     };
     std::fs::write(out, partix_bench::morsel::to_json(&config, docs, &results))
         .expect("write morsel JSON");
+    println!("wrote {out}");
+}
+
+/// Mixed read/write closed-loop benchmark over WAL-backed nodes with an
+/// oracle-verified final state.
+fn writes_bench(args: &Args) {
+    let size_mb = args.sizes.iter().copied().min().unwrap_or(5);
+    let config = partix_bench::writes::WritesConfig {
+        db_bytes: ((size_mb * MB) as f64 * args.scale) as usize,
+        fragments: args.frags.first().copied().unwrap_or(4),
+        clients: args.clients.iter().copied().max().unwrap_or(4),
+        ops_per_client: args.queries,
+        ..Default::default()
+    };
+    let results = partix_bench::writes::run(&config);
+    let out = if args.out == "BENCH_throughput.json" {
+        "BENCH_writes.json"
+    } else {
+        args.out.as_str()
+    };
+    std::fs::write(out, partix_bench::writes::to_json(&config, &results))
+        .expect("write writes JSON");
     println!("wrote {out}");
 }
 

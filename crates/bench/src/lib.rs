@@ -27,8 +27,10 @@
 //! Beyond the paper's figures, [`throughput`] measures multi-client QPS,
 //! [`chaos`] re-runs that workload under a seeded fault schedule
 //! (`harness chaos --seed S`), exercising the dispatch layer's
-//! retry/deadline/failover machinery, and [`rebalance`] measures the
-//! advisor fixing a skewed placement live (`harness rebalance`).
+//! retry/deadline/failover machinery, [`rebalance`] measures the
+//! advisor fixing a skewed placement live (`harness rebalance`), and
+//! [`writes`] measures mixed read/write QPS over WAL-backed nodes with
+//! an oracle-verified final state (`harness writes`).
 
 pub mod chaos;
 pub mod morsel;
@@ -39,6 +41,7 @@ pub mod remote;
 pub mod runner;
 pub mod setup;
 pub mod throughput;
+pub mod writes;
 
 /// The paper's database sizes in megabytes.
 pub const PAPER_SIZES_MB: &[usize] = &[5, 20, 100, 250];

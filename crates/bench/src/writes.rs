@@ -1,0 +1,350 @@
+//! Mixed read/write benchmark over WAL-backed nodes.
+//!
+//! Not a paper figure — the paper's repositories are read-only once
+//! published. This benchmark measures the *online write path* (PR 7):
+//! N closed-loop clients issue a seeded mix of workload queries and
+//! coordinator-routed `put`/`delete` ops against a horizontal cluster
+//! whose every node runs a [`DurableDb`] (append → fsync → apply), at
+//! each configured write ratio.
+//!
+//! Reported per ratio: overall QPS, read and write p50/p99 latency, the
+//! WAL's append/fsync counts (each acknowledged write costs exactly one
+//! fsync — the durability point), and a `verified` gate: after the run,
+//! a full scan of the fragmented collection must be byte-identical to
+//! the centralized oracle copy that received every acknowledged write.
+//! Clients write *disjoint name spaces* (client k owns `c{k}-*`), so
+//! concurrent schedules stay commutative and the final state is
+//! oracle-checkable without a global op order.
+
+use crate::output::json;
+use crate::throughput::percentile;
+use crate::{queries, setup};
+use partix_engine::{PartiX, PartixDriver};
+use partix_gen::{ItemProfile, SECTIONS};
+use partix_query::Item;
+use partix_storage::{DurableDb, WriteOp};
+use partix_xml::{parse, Document};
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Benchmark parameters.
+#[derive(Debug, Clone)]
+pub struct WritesConfig {
+    /// Total database size in bytes.
+    pub db_bytes: usize,
+    /// Horizontal fragments (== nodes).
+    pub fragments: usize,
+    /// Concurrent closed-loop clients.
+    pub clients: usize,
+    /// Operations (reads + writes) each client issues.
+    pub ops_per_client: usize,
+    /// Write ratios to sweep (fraction of ops that are writes).
+    pub write_ratios: Vec<f64>,
+}
+
+impl Default for WritesConfig {
+    fn default() -> WritesConfig {
+        WritesConfig {
+            db_bytes: 100_000,
+            fragments: 4,
+            clients: 4,
+            ops_per_client: 40,
+            write_ratios: vec![0.10, 0.50],
+        }
+    }
+}
+
+/// One write-ratio measurement.
+#[derive(Debug, Clone)]
+pub struct WritesRunResult {
+    pub write_ratio: f64,
+    pub total_ops: usize,
+    pub reads: usize,
+    pub puts: usize,
+    pub deletes: usize,
+    pub wall_s: f64,
+    pub qps: f64,
+    pub read_p50_ms: f64,
+    pub read_p99_ms: f64,
+    pub write_p50_ms: f64,
+    pub write_p99_ms: f64,
+    /// WAL records appended across all nodes during the measured run.
+    pub wal_appends: u64,
+    /// Fsyncs issued across all nodes (the durability points).
+    pub wal_fsyncs: u64,
+    /// Post-run full-scan differential against the centralized oracle.
+    pub verified: bool,
+}
+
+impl WritesRunResult {
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push('{');
+        json::num_field(&mut out, "write_ratio", self.write_ratio);
+        json::num_field(&mut out, "total_ops", self.total_ops as f64);
+        json::num_field(&mut out, "reads", self.reads as f64);
+        json::num_field(&mut out, "puts", self.puts as f64);
+        json::num_field(&mut out, "deletes", self.deletes as f64);
+        json::num_field(&mut out, "wall_s", self.wall_s);
+        json::num_field(&mut out, "qps", self.qps);
+        json::num_field(&mut out, "read_p50_ms", self.read_p50_ms);
+        json::num_field(&mut out, "read_p99_ms", self.read_p99_ms);
+        json::num_field(&mut out, "write_p50_ms", self.write_p50_ms);
+        json::num_field(&mut out, "write_p99_ms", self.write_p99_ms);
+        json::num_field(&mut out, "wal_appends", self.wal_appends as f64);
+        json::num_field(&mut out, "wal_fsyncs", self.wal_fsyncs as f64);
+        json::bool_field(&mut out, "verified", self.verified);
+        out.push('}');
+        out
+    }
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn bench_doc(name: &str, section: &str, code: u64) -> Document {
+    let mut d = parse(&format!(
+        "<Item><Code>{code}</Code><Name>bench write {code}</Name>\
+         <Description>online write benchmark</Description>\
+         <Section>{section}</Section></Item>"
+    ))
+    .expect("benchmark doc");
+    d.name = Some(name.to_owned());
+    d
+}
+
+/// Swap every node's driver for a [`DurableDb`] seeded from its
+/// published fragments (the oracle collection stays on the raw node-0
+/// database, which `execute_centralized` reads directly).
+fn attach_durable(px: &PartiX, root: &Path) -> Vec<Arc<DurableDb>> {
+    px.cluster()
+        .nodes()
+        .iter()
+        .enumerate()
+        .map(|(i, node)| {
+            let durable =
+                Arc::new(DurableDb::open(&root.join(format!("node{i}"))).expect("open wal dir"));
+            for collection in PartixDriver::collections(&*node.db) {
+                if collection == setup::CENTRAL {
+                    continue;
+                }
+                let docs: Vec<Document> = PartixDriver::fetch_collection(&*node.db, &collection)
+                    .iter()
+                    .map(|d| (**d).clone())
+                    .collect();
+                PartixDriver::store(&*durable, &collection, docs);
+            }
+            durable.checkpoint().expect("seed checkpoint");
+            node.set_driver(Arc::clone(&durable) as Arc<dyn PartixDriver>);
+            durable
+        })
+        .collect()
+}
+
+fn canonical(items: &[Item]) -> String {
+    let mut lines: Vec<String> = items.iter().map(Item::serialize).collect();
+    lines.sort();
+    lines.join("\n")
+}
+
+/// Post-run gate: the fragmented collection, scanned whole, must be
+/// byte-identical to the centralized oracle that received every
+/// acknowledged write.
+fn verify_against_oracle(px: &PartiX) -> bool {
+    let scan = |collection: &str, centralized: bool| {
+        let text = format!(r#"for $i in collection("{collection}")/Item return $i"#);
+        if centralized {
+            px.execute_centralized(0, &text).map(|r| canonical(&r.items))
+        } else {
+            px.execute(&text).map(|r| canonical(&r.items))
+        }
+    };
+    match (scan(setup::DIST, false), scan(setup::CENTRAL, true)) {
+        (Ok(answer), Ok(oracle)) => answer == oracle,
+        _ => false,
+    }
+}
+
+/// Run the sweep: one fresh WAL-backed cluster per write ratio.
+pub fn run(config: &WritesConfig) -> Vec<WritesRunResult> {
+    let docs = setup::item_db(config.db_bytes, ItemProfile::Small);
+    let workload = queries::horizontal(setup::DIST);
+    println!(
+        "\n### writes: ItemsSHor {} B, {} WAL-backed fragments, {} clients x {} ops",
+        config.db_bytes, config.fragments, config.clients, config.ops_per_client,
+    );
+    println!(
+        "{:>7} {:>9} {:>10} {:>10} {:>11} {:>11} {:>9} {:>9}",
+        "write%", "QPS", "read p99", "write p99", "appends", "fsyncs", "verified", "wall(s)"
+    );
+    let root = std::env::temp_dir().join(format!("partix-bwrites-{}", std::process::id()));
+    let mut results = Vec::new();
+    for (ratio_idx, &ratio) in config.write_ratios.iter().enumerate() {
+        let px = setup::horizontal(&docs, config.fragments);
+        let ratio_root = root.join(format!("r{ratio_idx}"));
+        let durables = attach_durable(&px, &ratio_root);
+        let oracle_db = Arc::clone(&px.cluster().node(0).expect("node 0").db);
+        let appends_before: u64 = durables.iter().map(|d| d.wal().appends()).sum();
+        let fsyncs_before: u64 = durables.iter().map(|d| d.fsyncs()).sum();
+
+        let start = Instant::now();
+        let mut read_lat: Vec<f64> = Vec::new();
+        let mut write_lat: Vec<f64> = Vec::new();
+        let (mut reads, mut puts, mut deletes) = (0usize, 0usize, 0usize);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..config.clients)
+                .map(|client| {
+                    let (px, workload, oracle_db) = (&px, &workload, &oracle_db);
+                    scope.spawn(move || {
+                        let mut state = 0xB_E4C_0DE ^ ((ratio_idx as u64) << 32) ^ client as u64;
+                        let mut reads_l = Vec::new();
+                        let mut writes_l = Vec::new();
+                        let (mut n_reads, mut n_puts, mut n_deletes) = (0usize, 0usize, 0usize);
+                        // names this client has live in the cluster —
+                        // clients own disjoint spaces, writes commute
+                        let mut live: Vec<String> = Vec::new();
+                        let mut serial = 0usize;
+                        for _ in 0..config.ops_per_client {
+                            let is_write = (splitmix(&mut state) % 1_000) < (ratio * 1e3) as u64;
+                            if !is_write {
+                                let (_, query) =
+                                    &workload[(splitmix(&mut state) as usize) % workload.len()];
+                                let issued = Instant::now();
+                                px.execute(query).expect("benchmark read");
+                                reads_l.push(issued.elapsed().as_secs_f64());
+                                n_reads += 1;
+                                continue;
+                            }
+                            // 1 in 4 writes deletes a live doc of our own
+                            if splitmix(&mut state).is_multiple_of(4) && !live.is_empty() {
+                                let name =
+                                    live.remove((splitmix(&mut state) as usize) % live.len());
+                                let issued = Instant::now();
+                                px.delete(setup::DIST, &name).expect("benchmark delete");
+                                writes_l.push(issued.elapsed().as_secs_f64());
+                                oracle_db.apply_write(&WriteOp::Delete {
+                                    collection: setup::CENTRAL.into(),
+                                    name,
+                                });
+                                n_deletes += 1;
+                            } else {
+                                let name = format!("c{client}-{serial}");
+                                serial += 1;
+                                let code = splitmix(&mut state);
+                                let section = SECTIONS[(code as usize) % SECTIONS.len()];
+                                let doc = bench_doc(&name, section, code % 10_000);
+                                let issued = Instant::now();
+                                px.put(setup::DIST, doc.clone()).expect("benchmark put");
+                                writes_l.push(issued.elapsed().as_secs_f64());
+                                oracle_db.apply_write(&WriteOp::Put {
+                                    collection: setup::CENTRAL.into(),
+                                    doc,
+                                });
+                                live.push(name);
+                                n_puts += 1;
+                            }
+                        }
+                        (reads_l, writes_l, n_reads, n_puts, n_deletes)
+                    })
+                })
+                .collect();
+            for handle in handles {
+                let (r, w, nr, np, nd) = handle.join().expect("client thread");
+                read_lat.extend(r);
+                write_lat.extend(w);
+                reads += nr;
+                puts += np;
+                deletes += nd;
+            }
+        });
+        let wall_s = start.elapsed().as_secs_f64();
+
+        let total_ops = reads + puts + deletes;
+        let result = WritesRunResult {
+            write_ratio: ratio,
+            total_ops,
+            reads,
+            puts,
+            deletes,
+            wall_s,
+            qps: total_ops as f64 / wall_s.max(1e-9),
+            read_p50_ms: percentile(&mut read_lat, 50.0) * 1e3,
+            read_p99_ms: percentile(&mut read_lat, 99.0) * 1e3,
+            write_p50_ms: percentile(&mut write_lat, 50.0) * 1e3,
+            write_p99_ms: percentile(&mut write_lat, 99.0) * 1e3,
+            wal_appends: durables.iter().map(|d| d.wal().appends()).sum::<u64>()
+                - appends_before,
+            wal_fsyncs: durables.iter().map(|d| d.fsyncs()).sum::<u64>() - fsyncs_before,
+            verified: verify_against_oracle(&px),
+        };
+        println!(
+            "{:>6.0}% {:>9.1} {:>10.3} {:>10.3} {:>11} {:>11} {:>9} {:>9.3}",
+            100.0 * result.write_ratio,
+            result.qps,
+            result.read_p99_ms,
+            result.write_p99_ms,
+            result.wal_appends,
+            result.wal_fsyncs,
+            result.verified,
+            result.wall_s,
+        );
+        results.push(result);
+    }
+    let _ = std::fs::remove_dir_all(&root);
+    results
+}
+
+/// Serialize a sweep as one JSON document.
+pub fn to_json(config: &WritesConfig, results: &[WritesRunResult]) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push('{');
+    json::str_field(&mut out, "experiment", "writes");
+    json::num_field(&mut out, "db_bytes", config.db_bytes as f64);
+    json::num_field(&mut out, "fragments", config.fragments as f64);
+    json::num_field(&mut out, "clients", config.clients as f64);
+    json::num_field(&mut out, "ops_per_client", config.ops_per_client as f64);
+    let runs: Vec<String> = results.iter().map(WritesRunResult::to_json).collect();
+    json::raw_field(&mut out, "runs", &format!("[{}]", runs.join(",")));
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_verifies_against_the_oracle_and_counts_fsyncs() {
+        let config = WritesConfig {
+            db_bytes: 20_000,
+            fragments: 2,
+            clients: 2,
+            ops_per_client: 12,
+            write_ratios: vec![0.5],
+        };
+        let results = run(&config);
+        assert_eq!(results.len(), 1);
+        let r = &results[0];
+        assert_eq!(r.total_ops, 2 * 12);
+        assert!(r.puts > 0, "no puts issued at a 50% write ratio");
+        assert!(r.reads > 0, "no reads issued at a 50% write ratio");
+        assert!(r.verified, "final state diverged from the oracle");
+        assert!(r.qps > 0.0);
+        // each coordinator write touches every fragment (the put on its
+        // home, stale-clearing / broadcast deletes on the rest), and
+        // every appended record reaches its durability point
+        assert_eq!(r.wal_appends as usize, (r.puts + r.deletes) * config.fragments);
+        assert!(r.wal_fsyncs >= r.wal_appends, "a write was acknowledged without its fsync");
+        let doc = to_json(&config, &results);
+        assert!(doc.contains("\"experiment\":\"writes\""));
+        assert!(doc.contains("\"verified\":true"));
+        assert!(doc.contains("\"wal_fsyncs\":"));
+        assert!(doc.starts_with('{') && doc.ends_with('}'));
+    }
+}

@@ -10,6 +10,12 @@ fn main() -> ExitCode {
             partix_cli::load(Path::new(&args[1]), &args[2], &args[3..])
         }
         Some("query") if args.len() == 3 => partix_cli::query(Path::new(&args[1]), &args[2]),
+        Some("put") if args.len() == 4 => {
+            partix_cli::put(Path::new(&args[1]), &args[2], &args[3])
+        }
+        Some("delete") if args.len() == 4 => {
+            partix_cli::delete(Path::new(&args[1]), &args[2], &args[3])
+        }
         Some("collections") if args.len() == 2 => {
             partix_cli::collections(Path::new(&args[1]))
         }

@@ -89,6 +89,23 @@ impl Node {
         self.bump_epoch(collection);
     }
 
+    /// Apply one online write through the active driver. Bumps the
+    /// touched collection's write epoch — success or failure — so
+    /// coordinator-cached sub-query results over it are invalidated even
+    /// when the node died mid-pipeline (the write may still surface
+    /// after recovery, so cached answers must not outlive the attempt).
+    pub fn apply_write(
+        &self,
+        op: &partix_storage::WriteOp,
+    ) -> Result<u32, DriverError> {
+        let result = match &*self.driver.read() {
+            Some(driver) => driver.write(op),
+            None => PartixDriver::write(&*self.db, op),
+        };
+        self.bump_epoch(op.collection());
+        result
+    }
+
     /// Drop a collection through the active driver. Bumps the write
     /// epoch like any other mutation.
     pub fn drop_collection(&self, collection: &str) {

@@ -13,7 +13,7 @@
 //! experiments.
 
 use partix_query::Query;
-use partix_storage::{Database, QueryOutput};
+use partix_storage::{Database, DurableDb, QueryOutput, WalError, WriteOp};
 use partix_xml::Document;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -78,6 +78,21 @@ pub trait PartixDriver: Send + Sync {
     fn counts_wire_bytes(&self) -> bool {
         false
     }
+
+    /// Apply one online write (put/delete), returning how many existing
+    /// documents it affected. Unlike [`PartixDriver::store`] (the bulk
+    /// publish path, fire-and-forget by design) this is *fallible with
+    /// typed errors*: an [`DriverError::Unavailable`] means the write was
+    /// not acknowledged — on a WAL-backed node its recovery outcome is
+    /// decided by how far the pipeline got — while a
+    /// [`DriverError::Failed`] means the DBMS rejected it. The default
+    /// refuses, keeping drivers that predate the write path
+    /// source-compatible and loudly non-writable instead of silently
+    /// dropping documents.
+    fn write(&self, op: &WriteOp) -> Result<u32, DriverError> {
+        let _ = op;
+        Err(DriverError::Failed("driver does not support online writes".into()))
+    }
 }
 
 impl PartixDriver for Database {
@@ -105,6 +120,55 @@ impl PartixDriver for Database {
 
     fn drop_collection(&self, collection: &str) {
         Database::drop_collection(self, collection);
+    }
+
+    fn write(&self, op: &WriteOp) -> Result<u32, DriverError> {
+        Ok(self.apply_write(op))
+    }
+}
+
+/// A WAL-backed node database: reads are served by the recovered
+/// in-memory [`Database`], writes run the full append → fsync → apply
+/// pipeline, and a node killed mid-write answers
+/// [`DriverError::Unavailable`] until the directory is reopened.
+impl PartixDriver for DurableDb {
+    fn execute(&self, query: &Query) -> Result<Option<QueryOutput>, DriverError> {
+        if self.is_dead() {
+            return Err(DriverError::Unavailable("node is down (killed mid-write)".into()));
+        }
+        PartixDriver::execute(&**self.db(), query)
+    }
+
+    fn store(&self, collection: &str, docs: Vec<Document>) {
+        // bulk publish bypasses the log by design: publishing is part of
+        // building a repository, checkpointed explicitly by the caller
+        PartixDriver::store(&**self.db(), collection, docs);
+    }
+
+    fn fetch_collection(&self, collection: &str) -> Vec<Arc<Document>> {
+        PartixDriver::fetch_collection(&**self.db(), collection)
+    }
+
+    fn collections(&self) -> Vec<String> {
+        self.db().collection_names()
+    }
+
+    fn drop_collection(&self, collection: &str) {
+        Database::drop_collection(self.db(), collection);
+    }
+
+    fn health_check(&self) -> Result<(), DriverError> {
+        if self.is_dead() {
+            return Err(DriverError::Unavailable("node is down (killed mid-write)".into()));
+        }
+        Ok(())
+    }
+
+    fn write(&self, op: &WriteOp) -> Result<u32, DriverError> {
+        self.apply(op).map_err(|e| match e {
+            WalError::Killed(_) | WalError::Dead => DriverError::Unavailable(e.to_string()),
+            WalError::Io(_) => DriverError::Failed(e.to_string()),
+        })
     }
 }
 
@@ -184,6 +248,13 @@ impl PartixDriver for InstrumentedDriver {
 
     fn counts_wire_bytes(&self) -> bool {
         self.inner.counts_wire_bytes()
+    }
+
+    fn write(&self, op: &WriteOp) -> Result<u32, DriverError> {
+        if self.failing.load(Ordering::Acquire) {
+            return Err(DriverError::Failed("injected DBMS failure".into()));
+        }
+        self.inner.write(op)
     }
 }
 

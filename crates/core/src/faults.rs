@@ -224,6 +224,14 @@ impl PartixDriver for FaultInjector {
     fn counts_wire_bytes(&self) -> bool {
         self.inner.counts_wire_bytes()
     }
+
+    /// Writes pass through unfaulted, like stores and fetches: the fault
+    /// schedules target the query path, while write-path crash testing
+    /// injects at the WAL stages ([`partix_storage::WalStage`]) where the
+    /// recovery outcome is deterministic.
+    fn write(&self, op: &partix_storage::WriteOp) -> Result<u32, DriverError> {
+        self.inner.write(op)
+    }
 }
 
 // ----------------------------------------------------- seeded schedules --

@@ -72,6 +72,7 @@ pub mod runtime;
 pub mod service;
 pub mod trace;
 pub mod wirespan;
+pub mod writes;
 
 pub use cache::CacheStats;
 pub use catalog::{Catalog, Distribution, DistributionError, Placement};
@@ -86,3 +87,4 @@ pub use runtime::PoolConfig;
 pub use service::{
     DispatchMode, DistributedResult, ExecOptions, PartiX, PartixError, RetryPolicy,
 };
+pub use writes::{WriteError, WriteReport};

@@ -340,6 +340,19 @@ impl PartixDriver for RemoteDriver {
     fn counts_wire_bytes(&self) -> bool {
         true
     }
+
+    fn write(&self, op: &partix_storage::WriteOp) -> Result<u32, DriverError> {
+        // Never replayed on an ambiguous transport failure (the node may
+        // have logged and applied it) — the coordinator gets a typed
+        // Unavailable and decides; see Request::idempotent.
+        match self.request(&Request::Write { op: op.clone() })? {
+            Response::Written(affected) => Ok(affected),
+            other => Err(DriverError::Failed(format!(
+                "{}: mismatched response {other:?} to Write",
+                self.addr
+            ))),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -400,6 +413,33 @@ mod tests {
         let after_restart = driver.stats();
         assert_eq!(after_restart.reconnects, 1);
         assert_eq!(driver.pooled_connections(), 1);
+    }
+
+    #[test]
+    fn writes_apply_remotely_with_typed_errors() {
+        use partix_storage::WriteOp;
+        let (mut server, db) = spawn_node();
+        let driver = RemoteDriver::connect(server.local_addr()).unwrap();
+        // upsert an existing name, then a fresh one
+        let mut d = parse("<Item><Code>99</Code></Item>").unwrap();
+        d.name = Some("i0".into());
+        let put = WriteOp::Put { collection: "items".into(), doc: d };
+        assert_eq!(driver.write(&put).unwrap(), 1, "replaced i0");
+        let mut d = parse("<Item><Code>7</Code></Item>").unwrap();
+        d.name = Some("i9".into());
+        let put = WriteOp::Put { collection: "items".into(), doc: d };
+        assert_eq!(driver.write(&put).unwrap(), 0, "fresh insert");
+        assert_eq!(db.collection_len("items").unwrap(), 7);
+        let del = WriteOp::Delete { collection: "items".into(), name: "i9".into() };
+        assert_eq!(driver.write(&del).unwrap(), 1);
+        assert_eq!(driver.write(&del).unwrap(), 0, "idempotent re-delete");
+        // a dead node answers Unavailable, not a silent drop
+        server.shutdown();
+        driver.drain_pool();
+        match driver.write(&del) {
+            Err(DriverError::Unavailable(_)) => {}
+            other => panic!("expected Unavailable, got {other:?}"),
+        }
     }
 
     #[test]

@@ -7,7 +7,7 @@ use crate::codec::{
 };
 use crate::frame::ProtocolError;
 use partix_query::Query;
-use partix_storage::QueryOutput;
+use partix_storage::{QueryOutput, WriteOp};
 use partix_xml::Document;
 
 /// Coordinator → node. One request per frame; the node answers with
@@ -25,6 +25,11 @@ pub enum Request {
     Collections,
     /// Drop a collection.
     Drop { collection: String },
+    /// Apply one online write (put/delete) through the node's WAL
+    /// pipeline. Carried in the WAL's own op encoding
+    /// ([`partix_storage::wal::encode_op`]) so disk and wire share one
+    /// canonical byte form.
+    Write { op: WriteOp },
 }
 
 impl Request {
@@ -49,6 +54,10 @@ impl Request {
                 w.put_u8(4);
                 w.put_str(collection);
             }
+            Request::Write { op } => {
+                w.put_u8(5);
+                w.put_bytes(&partix_storage::wal::encode_op(op));
+            }
         }
         w.into_bytes()
     }
@@ -68,6 +77,13 @@ impl Request {
             2 => Request::Fetch { collection: r.str("fetch collection")? },
             3 => Request::Collections,
             4 => Request::Drop { collection: r.str("drop collection")? },
+            5 => {
+                let raw = r.bytes("write op payload")?;
+                let op = partix_storage::wal::decode_op(raw).ok_or_else(|| {
+                    ProtocolError::Malformed("undecodable write op".into())
+                })?;
+                Request::Write { op }
+            }
             other => {
                 return Err(ProtocolError::Malformed(format!("bad request tag {other}")))
             }
@@ -77,10 +93,13 @@ impl Request {
     }
 
     /// Whether retrying this request on a fresh connection is safe after
-    /// an ambiguous transport failure. Reads are; `Store` is not (the
-    /// node may have applied it before the connection died).
+    /// an ambiguous transport failure. Reads are; `Store` and `Write`
+    /// are not (the node may have applied them before the connection
+    /// died — for `Write` the coordinator surfaces a typed
+    /// `Unavailable` instead, and recovery/retry converges because the
+    /// ops themselves are idempotent upserts/deletes).
     pub fn idempotent(&self) -> bool {
-        !matches!(self, Request::Store { .. })
+        !matches!(self, Request::Store { .. } | Request::Write { .. })
     }
 }
 
@@ -98,6 +117,8 @@ pub enum Response {
     Names(Vec<String>),
     /// `Drop` acknowledged.
     Dropped,
+    /// `Write` acknowledged: how many existing documents it affected.
+    Written(u32),
 }
 
 impl Response {
@@ -122,6 +143,10 @@ impl Response {
                 }
             }
             Response::Dropped => w.put_u8(5),
+            Response::Written(affected) => {
+                w.put_u8(6);
+                w.put_u32(*affected);
+            }
         }
         w.into_bytes()
     }
@@ -142,6 +167,7 @@ impl Response {
                 Response::Names(names)
             }
             5 => Response::Dropped,
+            6 => Response::Written(r.u32("written count")?),
             other => {
                 return Err(ProtocolError::Malformed(format!("bad response tag {other}")))
             }
@@ -195,6 +221,15 @@ mod tests {
             Request::Fetch { collection: "c".into() },
             Request::Collections,
             Request::Drop { collection: "c".into() },
+            Request::Write {
+                op: WriteOp::Put {
+                    collection: "c".into(),
+                    doc: parse("<a><b>1</b></a>").unwrap(),
+                },
+            },
+            Request::Write {
+                op: WriteOp::Delete { collection: "c".into(), name: "d1".into() },
+            },
         ];
         for req in cases {
             let back = Request::decode(&req.encode()).unwrap();
@@ -208,6 +243,12 @@ mod tests {
         assert!(Request::Collections.idempotent());
         assert!(Request::Fetch { collection: "c".into() }.idempotent());
         assert!(!Request::Store { collection: "c".into(), docs: vec![] }.idempotent());
+        // a write may have been applied before the connection died — the
+        // transport must not silently replay it
+        assert!(!Request::Write {
+            op: WriteOp::Delete { collection: "c".into(), name: "d".into() }
+        }
+        .idempotent());
     }
 
     #[test]
@@ -218,6 +259,8 @@ mod tests {
             Response::Docs(vec![parse("<d/>").unwrap()]),
             Response::Names(vec!["a".into(), "b".into()]),
             Response::Dropped,
+            Response::Written(0),
+            Response::Written(3),
         ];
         for resp in cases {
             let back = Response::decode(&resp.encode()).unwrap();
@@ -231,6 +274,8 @@ mod tests {
     fn malformed_messages_are_typed() {
         assert!(Request::decode(&[]).is_err());
         assert!(Request::decode(&[99]).is_err());
+        // write tag with an undecodable op payload
+        assert!(Request::decode(&[5, 3, 0, 0, 0, 9, 9, 9]).is_err());
         assert!(Response::decode(&[99]).is_err());
         assert!(WireError::decode(&[2]).is_err());
         // trailing garbage rejected

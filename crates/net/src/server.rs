@@ -292,6 +292,7 @@ fn serve_request(shared: &ServerShared, request: Request) -> Result<Response, Dr
             shared.driver.drop_collection(&collection);
             Ok(Response::Dropped)
         }
+        Request::Write { op } => shared.driver.write(&op).map(Response::Written),
     }
 }
 

@@ -197,6 +197,42 @@ impl Collection {
             StorageMode::Cold => self.pages.clone(),
         }
     }
+
+    /// Remove the document named `name`, if present. The indexes are
+    /// slot-keyed and slots shift on removal, so they are rebuilt from
+    /// the surviving documents — deletion pays O(collection), which is
+    /// the honest cost of an append-optimized layout and fine for the
+    /// write rates the online path serves.
+    fn remove_by_name(&mut self, name: &str) -> bool {
+        let Some(slot) = self.slot_by_name(name) else { return false };
+        let idx = slot as usize;
+        self.names.remove(idx);
+        match self.mode {
+            StorageMode::Hot => {
+                self.docs.remove(idx);
+            }
+            StorageMode::Cold => {
+                self.pages.remove(idx);
+            }
+        }
+        self.rebuild_indexes();
+        true
+    }
+
+    /// Re-derive every index from the stored documents (cold collections
+    /// decode each page once).
+    fn rebuild_indexes(&mut self) {
+        self.value_index = ValueIndex::default();
+        self.text_index = TextIndex::default();
+        self.path_index = PathIndex::default();
+        let docs = self.all();
+        for (slot, doc) in docs.iter().enumerate() {
+            let slot = slot as u32;
+            self.value_index.insert(slot, doc);
+            self.text_index.insert(slot, doc);
+            self.path_index.insert(slot, doc);
+        }
+    }
 }
 
 /// A sequential XML database instance: what each PartiX node runs.
@@ -372,6 +408,52 @@ impl Database {
         self.collections.write().remove(name);
         self.bump_epoch(name);
     }
+
+    /// Upsert a document keyed by its name: any existing document with
+    /// the same name in `collection` is replaced first (so storing the
+    /// same document twice converges instead of duplicating). Returns
+    /// whether a previous version was replaced. Unnamed documents are
+    /// plain inserts — they can never be replaced or deleted later.
+    pub fn put_doc(&self, collection: &str, doc: Document) -> bool {
+        let coll = self.get_or_create(collection);
+        let mut guard = coll.write();
+        let replaced = match doc.name.as_deref() {
+            Some(name) => guard.remove_by_name(name),
+            None => false,
+        };
+        guard.insert(doc);
+        drop(guard);
+        self.bump_epoch(collection);
+        replaced
+    }
+
+    /// Delete the document named `name` from `collection`. Returns
+    /// whether anything was removed (an absent collection or name is a
+    /// no-op, keeping deletes idempotent). The epoch bumps only on a
+    /// real removal — a no-op delete is not observable.
+    pub fn delete_doc(&self, collection: &str, name: &str) -> bool {
+        let Some(coll) = self.get(collection) else { return false };
+        let removed = coll.write().remove_by_name(name);
+        if removed {
+            self.bump_epoch(collection);
+        }
+        removed
+    }
+
+    /// Apply one logged/replicated [`crate::wal::WriteOp`]. Idempotent:
+    /// applying the same op twice converges to the same state. Returns
+    /// the number of documents affected (0 or 1; for a `Put`, 1 when a
+    /// previous version was replaced, 0 for a fresh insert).
+    pub fn apply_write(&self, op: &crate::wal::WriteOp) -> u32 {
+        match op {
+            crate::wal::WriteOp::Put { collection, doc } => {
+                u32::from(self.put_doc(collection, doc.clone()))
+            }
+            crate::wal::WriteOp::Delete { collection, name } => {
+                u32::from(self.delete_doc(collection, name))
+            }
+        }
+    }
 }
 
 impl CollectionProvider for Database {
@@ -531,6 +613,70 @@ mod tests {
         let pred = Predicate::parse(r#"/Item/Section = "CD""#).unwrap();
         db.set_value_index_enabled(true);
         assert_eq!(db.collection_filtered("c", &pred).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn delete_doc_removes_and_keeps_indexes_consistent() {
+        for mode in [StorageMode::Hot, StorageMode::Cold] {
+            let db = make_db(mode);
+            assert!(db.delete_doc("items", "i1"));
+            assert!(!db.delete_doc("items", "i1"), "second delete is a no-op");
+            assert!(!db.delete_doc("items", "zzz"));
+            assert!(!db.delete_doc("absent", "i1"));
+            assert_eq!(db.collection_len("items").unwrap(), 2);
+            // slots shifted: index probes must still answer correctly
+            db.set_value_index_enabled(true);
+            let pred = Predicate::parse(r#"/Item/Section = "CD""#).unwrap();
+            let docs = db.collection_filtered("items", &pred).unwrap();
+            let names: Vec<_> = docs.iter().map(|d| d.name.clone().unwrap()).collect();
+            assert_eq!(names, vec!["i3".to_owned()], "{mode:?}");
+            let pred = Predicate::parse(r#"contains(/Item/D, "good")"#).unwrap();
+            let names: Vec<_> = db
+                .collection_filtered("items", &pred)
+                .unwrap()
+                .iter()
+                .map(|d| d.name.clone().unwrap())
+                .collect();
+            assert!(names.contains(&"i3".to_owned()), "{mode:?}");
+            assert!(!names.contains(&"i1".to_owned()), "{mode:?}: stale index slot");
+            assert!(db.document("i1").is_err());
+        }
+    }
+
+    #[test]
+    fn put_doc_replaces_by_name() {
+        let db = make_db(StorageMode::Hot);
+        let mut d = parse("<Item><Section>LP</Section><D>new</D></Item>").unwrap();
+        d.name = Some("i2".to_owned());
+        assert!(db.put_doc("items", d), "same-named doc must report replacement");
+        assert_eq!(db.collection_len("items").unwrap(), 3, "replace, not append");
+        let fetched = db.document("i2").unwrap();
+        assert_eq!(fetched.root().child_element("Section").unwrap().text(), "LP");
+        // fresh name is an insert
+        let mut d = parse("<Item><Section>LP</Section></Item>").unwrap();
+        d.name = Some("i9".to_owned());
+        assert!(!db.put_doc("items", d));
+        assert_eq!(db.collection_len("items").unwrap(), 4);
+        // unnamed docs insert without replacing anything
+        assert!(!db.put_doc("items", parse("<Item/>").unwrap()));
+        assert_eq!(db.collection_len("items").unwrap(), 5);
+    }
+
+    #[test]
+    fn write_ops_apply_idempotently_and_bump_epochs() {
+        let db = make_db(StorageMode::Hot);
+        let before = db.collection_epoch("items");
+        let mut d = parse("<Item><Section>CD</Section></Item>").unwrap();
+        d.name = Some("w1".to_owned());
+        let put = crate::wal::WriteOp::Put { collection: "items".into(), doc: d };
+        assert_eq!(db.apply_write(&put), 0, "fresh insert affects no prior doc");
+        assert_eq!(db.apply_write(&put), 1, "re-apply replaces, state converges");
+        assert_eq!(db.collection_len("items").unwrap(), 4);
+        let del = crate::wal::WriteOp::Delete { collection: "items".into(), name: "w1".into() };
+        assert_eq!(db.apply_write(&del), 1);
+        assert_eq!(db.apply_write(&del), 0);
+        assert_eq!(db.collection_len("items").unwrap(), 3);
+        assert!(db.collection_epoch("items") > before, "writes must invalidate caches");
     }
 
     #[test]

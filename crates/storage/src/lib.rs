@@ -26,13 +26,18 @@
 //!   core.
 //! * **Persistence**: collections can be saved to / loaded from a
 //!   directory of binary pages.
+//! * **Write-ahead logging** ([`wal`]): online writes run through an
+//!   append → fsync → apply pipeline ([`DurableDb`]), so a node killed
+//!   mid-write replays its log on restart and comes back consistent.
 
 pub mod db;
 pub mod exec;
 pub mod index;
 pub mod parallel;
 pub mod persist;
+pub mod wal;
 
 pub use db::{Collection, Database, StorageError, StorageMode};
 pub use exec::{QueryOutput, QueryStats};
 pub use parallel::{MorselConfig, MAX_MORSEL_WORKERS};
+pub use wal::{DurableDb, Wal, WalError, WalStage, WriteOp};

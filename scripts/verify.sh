@@ -41,6 +41,14 @@ cargo test -q --test concurrency --offline remote_chaos
 cargo test -q -p partix-advisor --offline
 cargo test -q --test rebalance_differential --offline
 
+# write gate: the WAL crash-recovery unit suite (torn tails at every
+# offset, double-replay idempotence, checkpoint equivalence) and the
+# write differential suite (coordinator-routed writes vs the
+# centralized oracle across seeded kill-points, interleaved schedules,
+# in-process and over loopback TCP).
+cargo test -q -p partix-storage --offline wal
+cargo test -q --test write_differential --offline
+
 # morsel gate: intra-fragment parallel execution must be invisible
 # except for speed — the differential suite (every query family, hot
 # and cold, distributed vs centralized oracle, proptest geometry fuzz)
@@ -173,6 +181,34 @@ if ! grep -q '"identical":true}$' "$MORSEL_JSON"; then
 fi
 if ! grep -Eq '"morsels":[2-9]' "$MORSEL_JSON"; then
     echo "verify: FAIL — no query split into morsels" >&2
+    exit 1
+fi
+
+# the writes benchmark must push a mixed read/write workload through
+# the WAL-backed nodes, fsync every append, and leave a final state
+# byte-identical to the centralized oracle at every write ratio.
+WRITES_JSON="$(mktemp /tmp/partix-verify-writes.XXXXXX.json)"
+trap 'rm -f "$STAGE_JSON" "$REMOTE_JSON" "$SERVE_LOG1" "$SERVE_LOG2" \
+    "$ADVISE_A" "$ADVISE_B" "$REBALANCE_JSON" "$MORSEL_JSON" \
+    "$WRITES_JSON"' EXIT
+./target/release/harness writes --queries 20 --out "$WRITES_JSON" > /dev/null
+for field in write_ratio qps read_p99_ms write_p99_ms wal_appends \
+    wal_fsyncs; do
+    if ! grep -q "\"$field\":" "$WRITES_JSON"; then
+        echo "verify: FAIL — $field missing from writes JSON" >&2
+        exit 1
+    fi
+done
+if grep -q '"verified":false' "$WRITES_JSON"; then
+    echo "verify: FAIL — a writes run diverged from the oracle" >&2
+    exit 1
+fi
+if ! grep -q '"verified":true' "$WRITES_JSON"; then
+    echo "verify: FAIL — no verified writes run in the JSON" >&2
+    exit 1
+fi
+if ! grep -Eq '"wal_fsyncs":[1-9][0-9]*' "$WRITES_JSON"; then
+    echo "verify: FAIL — writes run recorded zero WAL fsyncs" >&2
     exit 1
 fi
 

@@ -274,6 +274,91 @@ fn faulted_rebalance_returns_oracle_answer_or_typed_error() {
     }
 }
 
+/// An online write landing while the rebalancer holds the *union*
+/// placement (old ∪ new replica homes) must route to both homes and
+/// survive retirement in exactly one post-swap replica set — the target
+/// one. This is the seam where the online write path and live migration
+/// interlock: a write routed only to the old home would be dropped with
+/// it, one routed only to the new home would be invisible until the
+/// swap.
+#[test]
+fn write_during_migration_lands_in_exactly_one_replica_set() {
+    use partix::storage::WriteOp;
+    use partix_advisor::{rebalance_with_observer, RebalancePhase};
+
+    let docs = setup::quick_items(40);
+    let px = setup::skewed_horizontal(&docs, 2, 2);
+    let workload = queries::horizontal(setup::DIST);
+    let target: Vec<Placement> = vec![
+        Placement { fragment: "f0".into(), node: 0 },
+        Placement { fragment: "f1".into(), node: 1 },
+    ];
+
+    // a document that routes into f1, the fragment in flight to node 1
+    let mut doc = partix::xml::parse(
+        "<Item><Code>4242</Code><Name>migrant</Name>\
+         <Description>written mid-migration</Description>\
+         <Section>TOY</Section></Item>",
+    )
+    .unwrap();
+    doc.name = Some("mig-doc".into());
+    let dist = px.catalog().distribution(setup::DIST).cloned().expect("registered");
+    let home = dist
+        .design
+        .fragments
+        .iter()
+        .find(|f| !partix::frag::apply::apply_fragment(f, std::slice::from_ref(&doc)).is_empty())
+        .expect("doc must route somewhere")
+        .name
+        .clone();
+    assert_eq!(home, "f1", "probe doc must target the migrating fragment");
+
+    let mut injected = false;
+    let report = rebalance_with_observer(
+        &px,
+        setup::DIST,
+        &target,
+        &RebalanceOptions::default(),
+        &mut |phase| {
+            if phase == RebalancePhase::UnionRegistered {
+                // the catalog now routes f1 writes to old AND new homes
+                px.put(setup::DIST, doc.clone()).expect("mid-migration put");
+                px.cluster().node(0).unwrap().db.apply_write(&WriteOp::Put {
+                    collection: setup::CENTRAL.into(),
+                    doc: doc.clone(),
+                });
+                injected = true;
+            }
+        },
+    )
+    .expect("rebalance with a mid-flight write");
+    assert!(injected, "observer never saw the union window");
+    assert!(report.verified, "post-move re-validation must pass despite the extra doc");
+    assert_eq!(catalog_pairs(&px), sorted_pairs(&target));
+
+    // exactly one (fragment, node) pair holds the written doc: the
+    // target placement of its fragment — not zero (lost with the retired
+    // replica), not two (retirement missed the old home)
+    let mut holders: Vec<(String, usize)> = Vec::new();
+    for (node_id, node) in px.cluster().nodes().iter().enumerate() {
+        for frag in ["f0", "f1"] {
+            if node.fetch_docs(frag).iter().any(|d| d.name.as_deref() == Some("mig-doc")) {
+                holders.push((frag.to_string(), node_id));
+            }
+        }
+    }
+    assert_eq!(
+        holders,
+        vec![("f1".to_string(), 1)],
+        "mid-migration write must survive in exactly the post-swap replica set",
+    );
+
+    // and the full workload still answers byte-identically to the
+    // (equally updated) centralized oracle
+    let oracle = oracle_answers(&px, &workload);
+    assert_matches_oracle(&px, &oracle, &workload, "after mid-migration write");
+}
+
 /// Mid-migration probes that race the atomic swap must be replanned,
 /// not answered from a retired replica: after moving every fragment
 /// away from node 0 twice (there and back), answers still match.
