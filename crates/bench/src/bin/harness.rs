@@ -132,6 +132,7 @@ fn main() {
         "rebalance" => rebalance_bench(&args),
         "morsel" => morsel_bench(&args),
         "writes" => writes_bench(&args),
+        "storage" => storage_bench(&args),
         "all" => {
             fig7_horizontal(&args, &mut sink, "fig7a", "ItemsSHor", ItemProfile::Small);
             fig7_horizontal(&args, &mut sink, "fig7b", "ItemsLHor", ItemProfile::Large);
@@ -172,6 +173,10 @@ COMMANDS
   writes             mixed read/write QPS over WAL-backed nodes at 10% and
                      50% write ratios; reports read/write p50/p99, WAL
                      append/fsync counts, and an oracle-verified final state
+  storage            hot vs cold-indexed vs cold-scan over ≈80 KB and ≈5 MB
+                     document classes, plus PXB1/PXB2/zero-copy-view decode
+                     costs; the gate is byte-identical answers across
+                     configurations
   all                everything above (except throughput, chaos and rebalance)
 
 FLAGS
@@ -504,6 +509,24 @@ fn writes_bench(args: &Args) {
     };
     std::fs::write(out, partix_bench::writes::to_json(&config, &results))
         .expect("write writes JSON");
+    println!("wrote {out}");
+}
+
+/// Storage-path microbench: hot vs cold-indexed vs cold-scan, plus
+/// per-format page decode costs.
+fn storage_bench(args: &Args) {
+    let config = partix_bench::storage::StorageBenchConfig {
+        reps: args.reps.max(1),
+        ..Default::default()
+    };
+    let classes = partix_bench::storage::run_with(&config);
+    let out = if args.out == "BENCH_throughput.json" {
+        "BENCH_storage.json"
+    } else {
+        args.out.as_str()
+    };
+    std::fs::write(out, partix_bench::storage::to_json(&config, &classes))
+        .expect("write storage JSON");
     println!("wrote {out}");
 }
 

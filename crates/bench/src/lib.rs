@@ -28,9 +28,11 @@
 //! [`chaos`] re-runs that workload under a seeded fault schedule
 //! (`harness chaos --seed S`), exercising the dispatch layer's
 //! retry/deadline/failover machinery, [`rebalance`] measures the
-//! advisor fixing a skewed placement live (`harness rebalance`), and
+//! advisor fixing a skewed placement live (`harness rebalance`),
 //! [`writes`] measures mixed read/write QPS over WAL-backed nodes with
-//! an oracle-verified final state (`harness writes`).
+//! an oracle-verified final state (`harness writes`), and [`storage`]
+//! isolates what the arena page format and value-index prefilter buy
+//! the cold path (`harness storage`).
 
 pub mod chaos;
 pub mod morsel;
@@ -40,6 +42,7 @@ pub mod rebalance;
 pub mod remote;
 pub mod runner;
 pub mod setup;
+pub mod storage;
 pub mod throughput;
 pub mod writes;
 

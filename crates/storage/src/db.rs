@@ -3,7 +3,7 @@
 use crate::index::{PathIndex, TextIndex, ValueIndex};
 use parking_lot::RwLock;
 use partix_query::{CollectionProvider, EvalError};
-use partix_xml::{binary, Document};
+use partix_xml::{binary, Document, PageView};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
@@ -50,17 +50,36 @@ impl From<std::io::Error> for StorageError {
     }
 }
 
+/// Tombstone count at which a collection considers compacting; actual
+/// compaction additionally requires the dead slots to outnumber the live
+/// ones, so the O(collection) rebuild amortizes over at least as many
+/// deletions as there are surviving documents.
+const COMPACT_MIN_DEAD: usize = 64;
+
 /// One stored collection.
+///
+/// Slots are **stable**: deleting a document tombstones its slot (the
+/// per-slot entry goes to `None`) instead of shifting every later slot
+/// down. Index entries for dead slots go stale harmlessly — every probe
+/// filters through the liveness check — and the vectors are compacted
+/// (with an index rebuild) only once tombstones dominate.
 pub struct Collection {
     pub name: String,
     pub mode: StorageMode,
-    /// Hot documents (shared with query results).
-    docs: Vec<Arc<Document>>,
-    /// Cold pages (decoded per access when `mode == Cold`).
-    pages: Vec<bytes::Bytes>,
-    /// Per-slot document names — lets `doc("name")` lookups scan names
-    /// without decoding every cold page.
+    /// Hot documents (shared with query results); `None` = tombstone.
+    docs: Vec<Option<Arc<Document>>>,
+    /// Cold pages (decoded per access when `mode == Cold`); `None` =
+    /// tombstone.
+    pages: Vec<Option<bytes::Bytes>>,
+    /// Per-slot document names — lets `doc("name")` lookups resolve
+    /// without decoding any cold page.
     names: Vec<Option<String>>,
+    /// name → live slots carrying it, ascending. Documents stored through
+    /// the raw `store` path may duplicate names; lookups resolve to the
+    /// lowest slot, matching the old first-match scan.
+    name_map: HashMap<String, Vec<u32>>,
+    /// Live (non-tombstoned) slot count.
+    live: usize,
     value_index: ValueIndex,
     text_index: TextIndex,
     path_index: PathIndex,
@@ -74,163 +93,258 @@ impl Collection {
             docs: Vec::new(),
             pages: Vec::new(),
             names: Vec::new(),
+            name_map: HashMap::new(),
+            live: 0,
             value_index: ValueIndex::default(),
             text_index: TextIndex::default(),
             path_index: PathIndex::default(),
         }
     }
 
-    /// Number of stored documents.
+    /// Number of stored (live) documents.
     pub fn len(&self) -> usize {
-        match self.mode {
-            StorageMode::Hot => self.docs.len(),
-            StorageMode::Cold => self.pages.len(),
-        }
+        self.live
     }
 
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.live == 0
+    }
+
+    /// Number of physical slots, tombstones included. Slot numbers run
+    /// `0..physical_len()`; only [`Collection::is_live`] ones hold data.
+    fn physical_len(&self) -> usize {
+        self.names.len()
+    }
+
+    fn is_live(&self, slot: u32) -> bool {
+        match self.mode {
+            StorageMode::Hot => matches!(self.docs.get(slot as usize), Some(Some(_))),
+            StorageMode::Cold => matches!(self.pages.get(slot as usize), Some(Some(_))),
+        }
+    }
+
+    /// All live slots, ascending — the full-scan candidate list.
+    pub(crate) fn live_slots(&self) -> Vec<u32> {
+        (0..self.physical_len() as u32).filter(|&s| self.is_live(s)).collect()
     }
 
     /// Total size of the stored pages/documents in bytes (approximate for
     /// hot collections).
     pub fn byte_size(&self) -> usize {
         match self.mode {
-            StorageMode::Hot => self.docs.iter().map(|d| d.approx_size()).sum(),
-            StorageMode::Cold => self.pages.iter().map(bytes::Bytes::len).sum(),
+            StorageMode::Hot => {
+                self.docs.iter().flatten().map(|d| d.approx_size()).sum()
+            }
+            StorageMode::Cold => self.pages.iter().flatten().map(bytes::Bytes::len).sum(),
         }
     }
 
-    fn insert(&mut self, doc: Document) {
-        let slot = self.len() as u32;
-        self.value_index.insert(slot, &doc);
-        self.text_index.insert(slot, &doc);
-        self.path_index.insert(slot, &doc);
-        self.names.push(doc.name.clone());
-        match self.mode {
-            StorageMode::Hot => self.docs.push(Arc::new(doc)),
-            StorageMode::Cold => self.pages.push(binary::encode(&doc)),
+    fn register_name(&mut self, slot: u32, name: Option<&str>) {
+        self.names.push(name.map(str::to_owned));
+        if let Some(name) = name {
+            // appends keep each slot list ascending
+            self.name_map.entry(name.to_owned()).or_default().push(slot);
         }
+        self.live += 1;
+    }
+
+    fn insert(&mut self, doc: Document) {
+        self.insert_shared(Arc::new(doc));
     }
 
     /// Insert an already-shared document without deep-copying it: hot
     /// collections adopt the `Arc` directly (one refcount bump), cold
     /// collections encode through the shared reference.
     fn insert_shared(&mut self, doc: Arc<Document>) {
-        let slot = self.len() as u32;
-        self.value_index.insert(slot, &doc);
-        self.text_index.insert(slot, &doc);
-        self.path_index.insert(slot, &doc);
-        self.names.push(doc.name.clone());
+        let slot = self.physical_len() as u32;
+        self.value_index.insert(slot, &*doc);
+        self.text_index.insert(slot, &*doc);
+        self.path_index.insert(slot, &*doc);
+        self.register_name(slot, doc.name.as_deref());
         match self.mode {
-            StorageMode::Hot => self.docs.push(doc),
-            StorageMode::Cold => self.pages.push(binary::encode(&doc)),
+            StorageMode::Hot => {
+                self.docs.push(Some(doc));
+                self.pages.push(None);
+            }
+            StorageMode::Cold => {
+                self.pages.push(Some(binary::encode(&doc)));
+                self.docs.push(None);
+            }
         }
     }
 
-    /// Slot of the document named `name`, if any — an O(slots) name scan
-    /// with no page decoding.
-    fn slot_by_name(&self, name: &str) -> Option<u32> {
-        self.names
-            .iter()
-            .position(|n| n.as_deref() == Some(name))
-            .map(|s| s as u32)
+    /// Ingest an already-encoded binary page. Cold collections keep the
+    /// page verbatim and index it through the zero-copy [`PageView`] —
+    /// **no document is materialized**; hot collections decode it once.
+    fn insert_page(&mut self, page: bytes::Bytes) -> Result<(), StorageError> {
+        let view = PageView::parse(&page)
+            .map_err(|e| StorageError::Corrupt(format!("bad page: {e}")))?;
+        let slot = self.physical_len() as u32;
+        self.value_index.insert(slot, &view);
+        self.text_index.insert(slot, &view);
+        self.path_index.insert(slot, &view);
+        let name = view.name().map(str::to_owned);
+        match self.mode {
+            StorageMode::Hot => {
+                let doc = view.to_document();
+                drop(view);
+                self.register_name(slot, name.as_deref());
+                self.docs.push(Some(Arc::new(doc)));
+                self.pages.push(None);
+            }
+            StorageMode::Cold => {
+                drop(view);
+                self.register_name(slot, name.as_deref());
+                self.pages.push(Some(page));
+                self.docs.push(None);
+            }
+        }
+        Ok(())
     }
 
-    /// Materialize one document (decoding if cold).
+    /// Slot of the document named `name`, if any — one hash probe.
+    fn slot_by_name(&self, name: &str) -> Option<u32> {
+        self.name_map.get(name).and_then(|slots| slots.first().copied())
+    }
+
+    /// Materialize one document (decoding if cold). `slot` must be live.
     fn fetch(&self, slot: u32) -> Arc<Document> {
         match self.mode {
-            StorageMode::Hot => Arc::clone(&self.docs[slot as usize]),
+            StorageMode::Hot => {
+                Arc::clone(self.docs[slot as usize].as_ref().expect("live slot"))
+            }
             StorageMode::Cold => Arc::new(
-                binary::decode(&self.pages[slot as usize])
+                binary::decode(self.pages[slot as usize].as_ref().expect("live slot"))
                     .expect("pages written by insert() always decode"),
             ),
         }
     }
 
     fn all(&self) -> Vec<Arc<Document>> {
-        (0..self.len() as u32).map(|s| self.fetch(s)).collect()
+        self.live_slots().into_iter().map(|s| self.fetch(s)).collect()
     }
 
-    /// Candidate slots for an equality probe; `None` = no index support.
-    pub(crate) fn probe_value(&self, label: &str, value: &str) -> Option<Vec<u32>> {
-        Some(match self.value_index.lookup(label, value) {
-            Some(set) => {
-                let mut v: Vec<u32> = set.iter().copied().collect();
-                v.sort_unstable();
-                v
-            }
-            None => Vec::new(),
-        })
+    /// Drop dead index entries and sort: probe results are ascending
+    /// live slots.
+    fn live_sorted(&self, set: impl IntoIterator<Item = u32>) -> Vec<u32> {
+        let mut v: Vec<u32> = set.into_iter().filter(|&s| self.is_live(s)).collect();
+        v.sort_unstable();
+        v
     }
 
-    /// Candidate slots for an existential probe on a label; never `None`
-    /// (an unseen label yields the empty set).
+    /// Candidate slots for an equality probe keyed by final label.
+    /// Authoritative superset: empty means no document qualifies.
+    pub(crate) fn probe_value_label(&self, label: &str, value: &str) -> Vec<u32> {
+        self.live_sorted(self.value_index.candidates_by_label(label, value))
+    }
+
+    /// Candidate slots for an equality probe keyed by the full label path
+    /// (e.g. `Item/Section`, `Item/@id`).
+    pub(crate) fn probe_value_path(&self, path: &str, value: &str) -> Vec<u32> {
+        self.live_sorted(self.value_index.candidates_by_path(path, value))
+    }
+
+    /// Candidate slots for an existential probe on a label; an unseen
+    /// label yields the empty set.
     pub(crate) fn probe_label(&self, label: &str) -> Vec<u32> {
         match self.path_index.lookup(label) {
-            Some(set) => {
-                let mut v: Vec<u32> = set.iter().copied().collect();
-                v.sort_unstable();
-                v
-            }
+            Some(set) => self.live_sorted(set.iter().copied()),
+            None => Vec::new(),
+        }
+    }
+
+    /// Candidate slots for an existential probe on a full label path.
+    pub(crate) fn probe_path(&self, path: &str) -> Vec<u32> {
+        match self.path_index.lookup_path(path) {
+            Some(set) => self.live_sorted(set.iter().copied()),
             None => Vec::new(),
         }
     }
 
     /// Candidate slots for a `contains` probe; `None` = full scan needed.
     pub(crate) fn probe_contains(&self, needle: &str) -> Option<Vec<u32>> {
-        self.text_index.lookup_contains(needle).map(|set| {
-            let mut v: Vec<u32> = set.into_iter().collect();
-            v.sort_unstable();
-            v
-        })
+        self.text_index.lookup_contains(needle).map(|set| self.live_sorted(set))
     }
 
     pub(crate) fn fetch_slots(&self, slots: &[u32]) -> Vec<Arc<Document>> {
         slots.iter().map(|&s| self.fetch(s)).collect()
     }
 
-    /// Raw binary pages (for persistence and for shipping to other nodes).
+    /// Raw binary pages of the live documents (for persistence and for
+    /// shipping to other nodes).
     pub fn pages(&self) -> Vec<bytes::Bytes> {
         match self.mode {
-            StorageMode::Hot => self.docs.iter().map(|d| binary::encode(d)).collect(),
-            StorageMode::Cold => self.pages.clone(),
+            StorageMode::Hot => {
+                self.docs.iter().flatten().map(|d| binary::encode(d)).collect()
+            }
+            StorageMode::Cold => self.pages.iter().flatten().cloned().collect(),
         }
     }
 
-    /// Remove the document named `name`, if present. The indexes are
-    /// slot-keyed and slots shift on removal, so they are rebuilt from
-    /// the surviving documents — deletion pays O(collection), which is
-    /// the honest cost of an append-optimized layout and fine for the
-    /// write rates the online path serves.
+    /// Remove the document named `name`, if present. O(1): the slot is
+    /// tombstoned in place, stale index entries are filtered at probe
+    /// time, and compaction is deferred until tombstones dominate.
     fn remove_by_name(&mut self, name: &str) -> bool {
-        let Some(slot) = self.slot_by_name(name) else { return false };
-        let idx = slot as usize;
-        self.names.remove(idx);
-        match self.mode {
-            StorageMode::Hot => {
-                self.docs.remove(idx);
-            }
-            StorageMode::Cold => {
-                self.pages.remove(idx);
-            }
+        let Some(slots) = self.name_map.get_mut(name) else { return false };
+        // lowest slot first, matching the old first-match scan semantics
+        let slot = slots.remove(0);
+        if slots.is_empty() {
+            self.name_map.remove(name);
         }
-        self.rebuild_indexes();
+        let idx = slot as usize;
+        self.names[idx] = None;
+        self.docs[idx] = None;
+        self.pages[idx] = None;
+        self.live -= 1;
+        self.maybe_compact();
         true
     }
 
-    /// Re-derive every index from the stored documents (cold collections
-    /// decode each page once).
-    fn rebuild_indexes(&mut self) {
+    fn maybe_compact(&mut self) {
+        let dead = self.physical_len() - self.live;
+        if dead >= COMPACT_MIN_DEAD && dead > self.live {
+            self.compact();
+        }
+    }
+
+    /// Drop tombstones, renumber slots, and rebuild the name map and all
+    /// indexes. Cold collections rebuild their indexes through the
+    /// zero-copy page view — no document is decoded.
+    fn compact(&mut self) {
+        let old_docs = std::mem::take(&mut self.docs);
+        let old_pages = std::mem::take(&mut self.pages);
+        let old_names = std::mem::take(&mut self.names);
+        self.name_map.clear();
+        self.live = 0;
         self.value_index = ValueIndex::default();
         self.text_index = TextIndex::default();
         self.path_index = PathIndex::default();
-        let docs = self.all();
-        for (slot, doc) in docs.iter().enumerate() {
-            let slot = slot as u32;
-            self.value_index.insert(slot, doc);
-            self.text_index.insert(slot, doc);
-            self.path_index.insert(slot, doc);
+        for ((doc, page), name) in old_docs.into_iter().zip(old_pages).zip(old_names) {
+            let slot = self.physical_len() as u32;
+            match self.mode {
+                StorageMode::Hot => {
+                    let Some(doc) = doc else { continue };
+                    self.value_index.insert(slot, &*doc);
+                    self.text_index.insert(slot, &*doc);
+                    self.path_index.insert(slot, &*doc);
+                    self.register_name(slot, name.as_deref());
+                    self.docs.push(Some(doc));
+                    self.pages.push(None);
+                }
+                StorageMode::Cold => {
+                    let Some(page) = page else { continue };
+                    {
+                        let view = PageView::parse(&page)
+                            .expect("pages written by insert() always parse");
+                        self.value_index.insert(slot, &view);
+                        self.text_index.insert(slot, &view);
+                        self.path_index.insert(slot, &view);
+                    }
+                    self.register_name(slot, name.as_deref());
+                    self.pages.push(Some(page));
+                    self.docs.push(None);
+                }
+            }
         }
     }
 }
@@ -355,6 +469,29 @@ impl Database {
         }
         drop(guard);
         self.bump_epoch(collection);
+    }
+
+    /// Ingest already-encoded binary pages into a collection (which must
+    /// exist — create it first to pick the storage mode). Cold
+    /// collections keep the pages verbatim and index them through the
+    /// zero-copy page view, so a load never materializes documents.
+    pub fn store_pages(
+        &self,
+        collection: &str,
+        pages: impl IntoIterator<Item = bytes::Bytes>,
+    ) -> Result<usize, StorageError> {
+        let coll = self
+            .get(collection)
+            .ok_or_else(|| StorageError::UnknownCollection(collection.to_owned()))?;
+        let mut guard = coll.write();
+        let mut stored = 0;
+        for page in pages {
+            guard.insert_page(page)?;
+            stored += 1;
+        }
+        drop(guard);
+        self.bump_epoch(collection);
+        Ok(stored)
     }
 
     /// Current write epoch of `collection` (0 = never written).

@@ -55,12 +55,22 @@ pub(crate) fn index_candidates(
                 return None;
             }
             let partix_path::Value::Str(s) = value else { return None };
+            // an index-exact path probes the value index by its full
+            // label path — only documents structurally containing the
+            // path with the right value (or an opaque occurrence) survive
+            if let Some(key) = exact_path_key(path) {
+                return Some(coll.probe_value_path(&key, s));
+            }
             let label = last_label(path)?;
-            coll.probe_value(&label, s)
+            Some(coll.probe_value_label(&label, s))
         }
         Predicate::Exists(path) => {
-            // a document can only satisfy exists(P) if P's final label
-            // occurs in it — the structural path index answers that
+            // a document can only satisfy exists(P) if it contains P's
+            // label path (exact probe) or at least P's final label
+            // (fallback) — the structural path index answers both
+            if let Some(key) = exact_path_key(path) {
+                return Some(coll.probe_path(&key));
+            }
             let label = last_label(path)?;
             Some(coll.probe_label(&label))
         }
@@ -98,6 +108,37 @@ fn last_label(path: &partix_path::PathExpr) -> Option<String> {
         NodeTest::Name(n) | NodeTest::Attribute(n) => Some(n.clone()),
         NodeTest::AnyElement => None,
     }
+}
+
+/// The label-path index key of an index-exact path: absolute, child axes
+/// only, name tests (a final attribute test keys as `@name`), e.g.
+/// `/Item/Section` → `Item/Section`. Positional predicates are allowed —
+/// the key then over-approximates, which probes tolerate. `None` means
+/// the path has no exact key (descendant axis, wildcard, relative path)
+/// and the caller must fall back to a final-label probe.
+fn exact_path_key(path: &partix_path::PathExpr) -> Option<String> {
+    use partix_path::{Axis, NodeTest};
+    if !path.absolute || path.steps.is_empty() {
+        return None;
+    }
+    let mut key = String::new();
+    for (i, step) in path.steps.iter().enumerate() {
+        if step.axis != Axis::Child {
+            return None;
+        }
+        if !key.is_empty() {
+            key.push('/');
+        }
+        match &step.test {
+            NodeTest::Name(n) => key.push_str(n),
+            NodeTest::Attribute(n) if i + 1 == path.steps.len() => {
+                key.push('@');
+                key.push_str(n);
+            }
+            _ => return None,
+        }
+    }
+    Some(key)
 }
 
 fn intersect_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {

@@ -4,12 +4,16 @@
 //! builds by default (full-text + structural) plus the optional value
 //! index:
 //!
-//! * [`PathIndex`] — maps node labels to the documents containing them,
-//!   serving existential probes (`exists(P)`).
-//! * [`ValueIndex`] — maps `(leaf element or attribute label, exact
-//!   value)` to the set of documents containing such a node. Serves
-//!   equality predicates (`/Item/Section = "CD"`); consulted only when
-//!   the node's value index is switched on.
+//! * [`PathIndex`] — structural index keyed two ways: by node **label**
+//!   and by the node's full root-to-node **label path** (its Dewey prefix
+//!   spelled in labels, e.g. `Item/Characteristics/Description` or
+//!   `Item/@id`). Serves existential probes (`exists(P)`): an absolute
+//!   child-axis path probes its exact label path, anything else falls
+//!   back to the final label.
+//! * [`ValueIndex`] — equality index over leaf values, also keyed both by
+//!   label and by label path. Serves `/Item[Section = "CD"]` without
+//!   touching non-matching documents; consulted only when the value index
+//!   is switched on.
 //! * [`TextIndex`] — an inverted word index over all text content,
 //!   serving `contains()` text searches. Lookup is *sound*: a
 //!   `contains(needle)` probe returns every document whose vocabulary has
@@ -17,81 +21,176 @@
 //!   qualifying document is ever missed (the evaluator re-checks exact
 //!   semantics afterwards).
 //!
-//! Both lookups are over-approximations keyed by the *final label* of the
-//! probing path — fragment-local documents re-rooted by projection still
-//! hit the same entries.
+//! All probes return **authoritative supersets**: every document that
+//! could satisfy the predicate is in the candidate set, and the evaluator
+//! re-checks exact semantics on the candidates. For the value index this
+//! requires care with elements whose string value spans *multiple* text
+//! nodes: a comparison like `Section = "CD"` is against the concatenated
+//! subtree text, so leaf elements are indexed under their concatenated
+//! text-child value (including `""` for empty elements), and elements
+//! with element children are recorded in a per-key **opaque** set that is
+//! unioned into every probe — those documents are re-scanned rather than
+//! wrongly ruled out.
+//!
+//! Indexes build from anything implementing [`TreeAccess`], so a cold
+//! collection can index a binary page through the zero-copy
+//! [`partix_xml::PageView`] without materializing a [`Document`].
+//!
+//! [`Document`]: partix_xml::Document
 
-use partix_xml::{Document, NodeKind};
+use partix_xml::{NodeKind, TreeAccess};
 use std::collections::{HashMap, HashSet};
 
-/// Set of document slots (indices into the collection's doc vector).
+/// Set of document slots (indices into the collection's slot vector).
 pub type DocSet = HashSet<u32>;
 
-/// Equality index on leaf values.
+/// Walk every node reachable from the root of `tree` in document order,
+/// calling `visit(id, kind, label_path)`. The label path of a node is its
+/// root-to-node label sequence joined with `/`; attribute segments are
+/// prefixed `@`. Text nodes are visited with their parent's path.
+fn walk_paths<T: TreeAccess + ?Sized>(tree: &T, mut visit: impl FnMut(u32, NodeKind, &str)) {
+    let mut path = String::new();
+    // (node id, length of the parent's label path)
+    let mut stack: Vec<(u32, usize)> = vec![(0, 0)];
+    while let Some((id, plen)) = stack.pop() {
+        path.truncate(plen);
+        let kind = tree.node_kind(id);
+        if kind != NodeKind::Text {
+            if !path.is_empty() {
+                path.push('/');
+            }
+            if kind == NodeKind::Attribute {
+                path.push('@');
+            }
+            path.push_str(tree.node_label(id));
+        }
+        visit(id, kind, &path);
+        let child_plen = path.len();
+        let mut child = tree.node_first_child(id);
+        while let Some(c) = child {
+            stack.push((c, child_plen));
+            child = tree.node_next_sibling(c);
+        }
+    }
+}
+
+/// Per-key entry of the value index: exact values seen for the key, plus
+/// the documents where the key occurs on an element whose string value the
+/// index cannot represent (element children ⇒ value spans subtrees).
+#[derive(Debug, Default, Clone)]
+struct ValueSlot {
+    /// value → docs containing a node with this key and exactly this value.
+    values: HashMap<String, DocSet>,
+    /// Docs where this key occurs opaquely; unioned into every probe.
+    opaque: DocSet,
+}
+
+/// Equality index on leaf values, keyed by label and by label path.
 #[derive(Debug, Default, Clone)]
 pub struct ValueIndex {
-    /// `(label, value) → docs`.
-    entries: HashMap<(String, String), DocSet>,
+    by_label: HashMap<String, ValueSlot>,
+    by_path: HashMap<String, ValueSlot>,
 }
 
 impl ValueIndex {
-    /// Index every leaf element and attribute of `doc`.
-    pub fn insert(&mut self, slot: u32, doc: &Document) {
-        for node in doc.root().descendants_or_self() {
-            match node.kind() {
-                NodeKind::Attribute => {
-                    self.entries
-                        .entry((node.label().to_owned(), node.value().unwrap_or("").to_owned()))
-                        .or_default()
-                        .insert(slot);
+    /// Index every attribute and element of `tree`.
+    pub fn insert(&mut self, slot: u32, tree: &impl TreeAccess) {
+        walk_paths(tree, |id, kind, path| match kind {
+            NodeKind::Attribute => {
+                // label-keyed probes use the bare attribute name (a final
+                // `@a` test and a final `a` name test share the label
+                // namespace in relative-path fallbacks); path keys carry
+                // the `@` marker so `Item/@id` and `Item/id` stay distinct
+                let value = tree.node_value(id).unwrap_or("");
+                let label = tree.node_label(id);
+                for slot_map in [
+                    self.by_label.entry(label.to_owned()).or_default(),
+                    self.by_path.entry(path.to_owned()).or_default(),
+                ] {
+                    slot_map.values.entry(value.to_owned()).or_default().insert(slot);
                 }
-                NodeKind::Text => {
-                    if let Some(parent) = node.parent() {
-                        self.entries
-                            .entry((
-                                parent.label().to_owned(),
-                                node.value().unwrap_or("").to_owned(),
-                            ))
-                            .or_default()
-                            .insert(slot);
+            }
+            NodeKind::Element => {
+                // a leaf element's string value is the concatenation of
+                // its text children; an element with element children has
+                // a composite string value the index does not store
+                let mut concat = String::new();
+                let mut composite = false;
+                let mut child = tree.node_first_child(id);
+                while let Some(c) = child {
+                    match tree.node_kind(c) {
+                        NodeKind::Element => composite = true,
+                        NodeKind::Text => concat.push_str(tree.node_value(c).unwrap_or("")),
+                        NodeKind::Attribute => {}
+                    }
+                    child = tree.node_next_sibling(c);
+                }
+                let label = tree.node_label(id);
+                for slot_map in [
+                    self.by_label.entry(label.to_owned()).or_default(),
+                    self.by_path.entry(path.to_owned()).or_default(),
+                ] {
+                    if composite {
+                        slot_map.opaque.insert(slot);
+                    } else {
+                        slot_map.values.entry(concat.clone()).or_default().insert(slot);
                     }
                 }
-                NodeKind::Element => {}
             }
-        }
+            NodeKind::Text => {}
+        });
     }
 
-    /// Documents that may contain a node labelled `label` with exactly
-    /// `value` as its text.
-    pub fn lookup(&self, label: &str, value: &str) -> Option<&DocSet> {
-        self.entries.get(&(label.to_owned(), value.to_owned()))
+    /// Documents that may contain a node labelled `label` whose string
+    /// value equals `value`. Authoritative superset: an empty result
+    /// means no document qualifies. Allocation-free on the probe path.
+    pub fn candidates_by_label(&self, label: &str, value: &str) -> Vec<u32> {
+        Self::candidates(self.by_label.get(label), value)
     }
 
+    /// Documents that may contain a node at label path `path` (e.g.
+    /// `Item/Section`, `Item/@id`) whose string value equals `value`.
+    pub fn candidates_by_path(&self, path: &str, value: &str) -> Vec<u32> {
+        Self::candidates(self.by_path.get(path), value)
+    }
+
+    fn candidates(entry: Option<&ValueSlot>, value: &str) -> Vec<u32> {
+        let Some(entry) = entry else { return Vec::new() };
+        let mut out: Vec<u32> = match entry.values.get(value) {
+            Some(set) => set.union(&entry.opaque).copied().collect(),
+            None => entry.opaque.iter().copied().collect(),
+        };
+        out.sort_unstable();
+        out
+    }
+
+    /// Number of distinct `(label, value)` entries.
     pub fn entry_count(&self) -> usize {
-        self.entries.len()
+        self.by_label.values().map(|s| s.values.len()).sum()
     }
 }
 
-/// Structural label index: which documents contain at least one element
-/// or attribute with a given label — eXist's automatic path index, in the
-/// granularity our localization needs. Serves existential probes
-/// (`exists(P)`): a document can only satisfy `P` if it contains `P`'s
-/// final label somewhere.
+/// Structural index: which documents contain a node with a given label,
+/// and which contain a node at a given label path — eXist's automatic
+/// path index, extended with the Dewey-prefix label paths that let
+/// absolute child-axis probes skip documents by structure alone.
 #[derive(Debug, Default, Clone)]
 pub struct PathIndex {
     labels: HashMap<String, DocSet>,
+    paths: HashMap<String, DocSet>,
 }
 
 impl PathIndex {
-    pub fn insert(&mut self, slot: u32, doc: &Document) {
-        for node in doc.root().descendants_or_self() {
-            if node.kind() != NodeKind::Text {
+    pub fn insert(&mut self, slot: u32, tree: &impl TreeAccess) {
+        walk_paths(tree, |id, kind, path| {
+            if kind != NodeKind::Text {
                 self.labels
-                    .entry(node.label().to_owned())
+                    .entry(tree.node_label(id).to_owned())
                     .or_default()
                     .insert(slot);
+                self.paths.entry(path.to_owned()).or_default().insert(slot);
             }
-        }
+        });
     }
 
     /// Documents containing at least one node labelled `label`.
@@ -99,8 +198,17 @@ impl PathIndex {
         self.labels.get(label)
     }
 
+    /// Documents containing at least one node at label path `path`.
+    pub fn lookup_path(&self, path: &str) -> Option<&DocSet> {
+        self.paths.get(path)
+    }
+
     pub fn label_count(&self) -> usize {
         self.labels.len()
+    }
+
+    pub fn path_count(&self) -> usize {
+        self.paths.len()
     }
 }
 
@@ -112,9 +220,9 @@ pub struct TextIndex {
 }
 
 impl TextIndex {
-    pub fn insert(&mut self, slot: u32, doc: &Document) {
-        for node in doc.root().descendants_or_self() {
-            if let Some(value) = node.value() {
+    pub fn insert(&mut self, slot: u32, tree: &impl TreeAccess) {
+        for id in 0..tree.node_count() as u32 {
+            if let Some(value) = tree.node_value(id) {
                 for word in tokenize(value) {
                     self.words.entry(word).or_default().insert(slot);
                 }
@@ -157,7 +265,7 @@ fn longest_token(needle: &str) -> Option<String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use partix_xml::parse;
+    use partix_xml::{parse, Document};
 
     fn doc(xml: &str) -> Document {
         parse(xml).unwrap()
@@ -169,18 +277,52 @@ mod tests {
         idx.insert(0, &doc("<Item><Section>CD</Section></Item>"));
         idx.insert(1, &doc("<Item><Section>DVD</Section></Item>"));
         idx.insert(2, &doc("<Item><Section>CD</Section></Item>"));
-        let hits = idx.lookup("Section", "CD").unwrap();
-        assert_eq!(hits.len(), 2);
-        assert!(hits.contains(&0) && hits.contains(&2));
-        assert!(idx.lookup("Section", "BOOK").is_none());
-        assert!(idx.lookup("Name", "CD").is_none());
+        assert_eq!(idx.candidates_by_label("Section", "CD"), [0, 2]);
+        assert!(idx.candidates_by_label("Section", "BOOK").is_empty());
+        assert!(idx.candidates_by_label("Name", "CD").is_empty());
+    }
+
+    #[test]
+    fn value_index_path_keys() {
+        let mut idx = ValueIndex::default();
+        idx.insert(0, &doc("<Item><Section>CD</Section></Item>"));
+        idx.insert(1, &doc("<Item><Other><Section>CD</Section></Other></Item>"));
+        // the path key separates same-labelled nodes at different depths
+        assert_eq!(idx.candidates_by_path("Item/Section", "CD"), [0]);
+        assert_eq!(idx.candidates_by_path("Item/Other/Section", "CD"), [1]);
+        // the label key still reaches both
+        assert_eq!(idx.candidates_by_label("Section", "CD"), [0, 1]);
     }
 
     #[test]
     fn value_index_attributes() {
         let mut idx = ValueIndex::default();
         idx.insert(0, &doc(r#"<a id="7"/>"#));
-        assert!(idx.lookup("id", "7").unwrap().contains(&0));
+        assert_eq!(idx.candidates_by_label("id", "7"), [0]);
+        assert_eq!(idx.candidates_by_path("a/@id", "7"), [0]);
+    }
+
+    #[test]
+    fn value_index_empty_elements_are_probeable() {
+        // string value of <Section/> is "" — a probe for "" must find it
+        let mut idx = ValueIndex::default();
+        idx.insert(0, &doc("<Item><Section/></Item>"));
+        idx.insert(1, &doc("<Item><Section>CD</Section></Item>"));
+        assert_eq!(idx.candidates_by_label("Section", ""), [0]);
+        assert_eq!(idx.candidates_by_path("Item/Section", ""), [0]);
+    }
+
+    #[test]
+    fn value_index_composite_elements_stay_candidates() {
+        // <Section><b>C</b>D</Section> has string value "CD" spanning two
+        // text nodes; the index cannot prove or refute equality, so the
+        // document must stay in the candidate set for ANY probed value
+        let mut idx = ValueIndex::default();
+        idx.insert(0, &doc("<Item><Section><b>C</b>D</Section></Item>"));
+        idx.insert(1, &doc("<Item><Section>CD</Section></Item>"));
+        assert_eq!(idx.candidates_by_label("Section", "CD"), [0, 1]);
+        assert_eq!(idx.candidates_by_label("Section", "ZZZ"), [0]);
+        assert_eq!(idx.candidates_by_path("Item/Section", "CD"), [0, 1]);
     }
 
     #[test]
@@ -195,6 +337,19 @@ mod tests {
         // attributes are indexed too
         assert!(idx.lookup("id").unwrap().contains(&2));
         assert!(idx.lookup("Nothing").is_none());
+    }
+
+    #[test]
+    fn path_index_dewey_prefix_paths() {
+        let mut idx = PathIndex::default();
+        idx.insert(0, &doc("<Item><Release>2005</Release></Item>"));
+        idx.insert(1, &doc("<Other><Item><Release>x</Release></Item></Other>"));
+        let hits = idx.lookup_path("Item/Release").unwrap();
+        assert_eq!(hits.len(), 1);
+        assert!(hits.contains(&0));
+        assert!(idx.lookup_path("Other/Item/Release").unwrap().contains(&1));
+        assert!(idx.lookup_path("Release").is_none());
+        assert!(idx.path_count() >= 4);
     }
 
     #[test]
@@ -230,5 +385,44 @@ mod tests {
         let idx = TextIndex::default();
         assert!(idx.lookup_contains("  --- ").is_none());
         assert!(idx.lookup_contains("").is_none());
+    }
+
+    #[test]
+    fn indexes_build_identically_from_page_view() {
+        let xml = r#"<Store><Item id="1"><Section>CD</Section><D>good one</D></Item>
+                     <Item id="2"><Section><b>D</b>VD</Section><D/></Item></Store>"#;
+        let document = doc(xml);
+        let page = partix_xml::binary::encode(&document);
+        let view = partix_xml::PageView::parse(&page).unwrap();
+
+        let (mut v1, mut v2) = (ValueIndex::default(), ValueIndex::default());
+        v1.insert(3, &document);
+        v2.insert(3, &view);
+        for (label, value) in
+            [("Section", "CD"), ("Section", "DVD"), ("id", "2"), ("D", ""), ("D", "good one")]
+        {
+            assert_eq!(
+                v1.candidates_by_label(label, value),
+                v2.candidates_by_label(label, value),
+                "label probe {label}={value}"
+            );
+        }
+        assert_eq!(
+            v1.candidates_by_path("Store/Item/Section", "CD"),
+            v2.candidates_by_path("Store/Item/Section", "CD"),
+        );
+
+        let (mut p1, mut p2) = (PathIndex::default(), PathIndex::default());
+        p1.insert(3, &document);
+        p2.insert(3, &view);
+        assert_eq!(p1.label_count(), p2.label_count());
+        assert_eq!(p1.path_count(), p2.path_count());
+        assert_eq!(p1.lookup_path("Store/Item/@id"), p2.lookup_path("Store/Item/@id"));
+
+        let (mut t1, mut t2) = (TextIndex::default(), TextIndex::default());
+        t1.insert(3, &document);
+        t2.insert(3, &view);
+        assert_eq!(t1.vocabulary_size(), t2.vocabulary_size());
+        assert_eq!(t1.lookup_contains("good"), t2.lookup_contains("good"));
     }
 }

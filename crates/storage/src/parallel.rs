@@ -224,7 +224,8 @@ impl Database {
                     stats.index_used = true;
                     slots
                 }
-                None => (0..guard.len() as u32).collect(),
+                // tombstoned slots hold no document — scan live ones only
+                None => guard.live_slots(),
             }
         };
         stats.docs_scanned = slots.len();

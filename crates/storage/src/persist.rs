@@ -63,12 +63,25 @@ impl Database {
                 .filter(|p| p.extension().is_some_and(|e| e == "pxb"))
                 .collect();
             entries.sort();
+            // pages load verbatim: cold collections index through the
+            // zero-copy page view and never decode a document here; only
+            // legacy-format pages pay a decode+re-encode
             for path in entries {
                 let bytes = fs::read(&path)?;
-                let doc = binary::decode(&bytes).map_err(|e| {
-                    StorageError::Corrupt(format!("{}: {e}", path.display()))
+                let page = if bytes.starts_with(b"PXB1") {
+                    let doc = binary::decode(&bytes).map_err(|e| {
+                        StorageError::Corrupt(format!("{}: {e}", path.display()))
+                    })?;
+                    binary::encode(&doc)
+                } else {
+                    bytes::Bytes::from(bytes)
+                };
+                db.store_pages(name, [page]).map_err(|e| match e {
+                    StorageError::Corrupt(msg) => {
+                        StorageError::Corrupt(format!("{}: {msg}", path.display()))
+                    }
+                    other => other,
                 })?;
-                db.store(name, doc);
             }
         }
         Ok(db)

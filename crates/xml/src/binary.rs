@@ -2,32 +2,479 @@
 //!
 //! The storage engine keeps documents in this pre-parsed form so that
 //! loading a stored document avoids re-tokenizing XML text — the analogue
-//! of eXist's paged DOM storage. The format is:
+//! of eXist's paged DOM storage. Two wire versions exist:
+//!
+//! * **PXB2** (current, written by [`encode`]) mirrors the in-memory arena
+//!   layout exactly: a symbol table, one shared text heap, and
+//!   **fixed-width little-endian node records**. Because records are
+//!   fixed-width, a page can be *navigated in place* without decoding —
+//!   [`PageView`] validates a page once and then serves node kind / label /
+//!   value / link reads straight from the bytes (implementing
+//!   [`TreeAccess`]), which is what lets cold collections build and probe
+//!   indexes without materializing documents. Full decoding is a bulk
+//!   copy: two UTF-8 validations (symbol heap, text heap) and a straight
+//!   record walk with **zero per-node heap allocations**.
+//! * **PXB1** (legacy, LEB128 varints, per-node value strings) is still
+//!   decoded for old pages and can be produced via [`encode_v1`]; the
+//!   storage microbench uses it as the before/after baseline.
 //!
 //! ```text
-//! magic "PXB1"
-//! name:   opt_str
-//! origin: u8 (0 = none, 1 = present) [ source_doc: str, dewey: u16 len + u32* ]
-//! symbols: varint count, then (varint len, utf-8 bytes)*
-//! nodes:   varint count, then per node:
-//!          kind: u8, label: varint sym, value: opt_str,
-//!          parent/first_child/last_child/next_sibling/prev_sibling:
-//!            varint (0 = none, else id+1)
+//! PXB2 layout (all integers little-endian):
+//!   magic "PXB2"
+//!   header:  node_count u32, sym_count u32, sym_heap_len u32, text_heap_len u32
+//!   symbols: sym_count × (off u32, len u32)      — spans into the symbol heap
+//!   symheap: sym_heap_len bytes of UTF-8
+//!   nodes:   node_count × 33-byte records:
+//!              kind u8, label u32, val_off u32, val_len u32,
+//!              parent u32, first_child u32, last_child u32,
+//!              next_sibling u32, prev_sibling u32
+//!            (u32::MAX = "none" for val_off and links)
+//!   textheap: text_heap_len bytes of UTF-8
+//!   meta:    name  u8 tag (0|1) [+ len u32 + bytes]
+//!            origin u8 tag (0|1) [+ len u32 + bytes + count u32 + count × u32]
 //! ```
-//!
-//! Integers use LEB128 varints; most node links fit in one or two bytes.
 
 use crate::dewey::Dewey;
 use crate::error::XmlError;
-use crate::tree::{Document, Node, NodeId, NodeKind, Origin, Sym};
+use crate::tree::{Arena, Document, Node, NodeKind, OptId, Origin, Sym, TreeAccess, ValueSpan};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
-const MAGIC: &[u8; 4] = b"PXB1";
+const MAGIC_V2: &[u8; 4] = b"PXB2";
+const MAGIC_V1: &[u8; 4] = b"PXB1";
 
-/// Encode a document into its binary page form.
+/// Fixed record width of a PXB2 node: kind byte + eight u32 fields.
+const NODE_SIZE: usize = 1 + 8 * 4;
+const HEADER_SIZE: usize = 16;
+
+#[inline]
+fn read_u32(bytes: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes"))
+}
+
+#[inline]
+fn put_u32(buf: &mut BytesMut, v: u32) {
+    buf.put_slice(&v.to_le_bytes());
+}
+
+fn kind_to_u8(kind: NodeKind) -> u8 {
+    match kind {
+        NodeKind::Element => 0,
+        NodeKind::Attribute => 1,
+        NodeKind::Text => 2,
+    }
+}
+
+fn kind_from_u8(byte: u8) -> Result<NodeKind, XmlError> {
+    match byte {
+        0 => Ok(NodeKind::Element),
+        1 => Ok(NodeKind::Attribute),
+        2 => Ok(NodeKind::Text),
+        k => Err(XmlError::CorruptBinary(format!("bad node kind {k}"))),
+    }
+}
+
+/// Encode a document into the current (PXB2) binary page form.
 pub fn encode(doc: &Document) -> Bytes {
+    let sym_heap_len: usize = doc.symbols.iter().map(|s| s.len()).sum();
+    let size = 4
+        + HEADER_SIZE
+        + doc.symbols.len() * 8
+        + sym_heap_len
+        + doc.len() * NODE_SIZE
+        + doc.text.len()
+        + 64;
+    let mut buf = BytesMut::with_capacity(size);
+    buf.put_slice(MAGIC_V2);
+    put_u32(&mut buf, doc.len() as u32);
+    put_u32(&mut buf, doc.symbols.len() as u32);
+    put_u32(&mut buf, sym_heap_len as u32);
+    put_u32(&mut buf, doc.text.len() as u32);
+    let mut off = 0u32;
+    for sym in &doc.symbols {
+        put_u32(&mut buf, off);
+        put_u32(&mut buf, sym.len() as u32);
+        off += sym.len() as u32;
+    }
+    for sym in &doc.symbols {
+        buf.put_slice(sym.as_bytes());
+    }
+    for node in doc.arena.iter() {
+        buf.put_u8(kind_to_u8(node.kind));
+        put_u32(&mut buf, node.label.0);
+        let (voff, vlen) = if node.value.is_none() {
+            (u32::MAX, 0)
+        } else {
+            (node.value.off, node.value.len)
+        };
+        put_u32(&mut buf, voff);
+        put_u32(&mut buf, vlen);
+        for link in [
+            node.parent,
+            node.first_child,
+            node.last_child,
+            node.next_sibling,
+            node.prev_sibling,
+        ] {
+            put_u32(&mut buf, link.raw());
+        }
+    }
+    buf.put_slice(doc.text.as_bytes());
+    match doc.name.as_deref() {
+        None => buf.put_u8(0),
+        Some(name) => {
+            buf.put_u8(1);
+            put_u32(&mut buf, name.len() as u32);
+            buf.put_slice(name.as_bytes());
+        }
+    }
+    match &doc.origin {
+        None => buf.put_u8(0),
+        Some(origin) => {
+            buf.put_u8(1);
+            put_u32(&mut buf, origin.source_doc.len() as u32);
+            buf.put_slice(origin.source_doc.as_bytes());
+            put_u32(&mut buf, origin.dewey.components().len() as u32);
+            for &c in origin.dewey.components() {
+                put_u32(&mut buf, c);
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Decode a binary page (either wire version) into a [`Document`].
+pub fn decode(buf: &[u8]) -> Result<Document, XmlError> {
+    if buf.len() >= 4 && &buf[..4] == MAGIC_V2 {
+        return PageView::parse(buf).map(|view| view.to_document());
+    }
+    if buf.len() >= 4 && &buf[..4] == MAGIC_V1 {
+        return decode_v1(&buf[4..]);
+    }
+    Err(XmlError::CorruptBinary("bad magic".into()))
+}
+
+/// A validated zero-copy view over a PXB2 page.
+///
+/// Construction walks the page once to check every span and link; after
+/// that, node reads are bounds-check-free slices into the borrowed bytes.
+/// Implements [`TreeAccess`], so index builders and label probes can walk
+/// a cold page without allocating a [`Document`].
+pub struct PageView<'a> {
+    /// `sym_count × (off, len)` pairs.
+    sym_table: &'a [u8],
+    sym_heap: &'a str,
+    /// `node_count × NODE_SIZE` records.
+    nodes: &'a [u8],
+    text_heap: &'a str,
+    node_count: u32,
+    sym_count: u32,
+    name: Option<&'a str>,
+    origin_source: Option<&'a str>,
+    origin_dewey: Vec<u32>,
+}
+
+impl<'a> PageView<'a> {
+    /// Validate `buf` as a PXB2 page and return a navigable view.
+    pub fn parse(buf: &'a [u8]) -> Result<PageView<'a>, XmlError> {
+        if buf.len() < 4 + HEADER_SIZE || &buf[..4] != MAGIC_V2 {
+            return Err(XmlError::CorruptBinary("bad magic".into()));
+        }
+        let node_count = read_u32(buf, 4) as usize;
+        let sym_count = read_u32(buf, 8) as usize;
+        let sym_heap_len = read_u32(buf, 12) as usize;
+        let text_heap_len = read_u32(buf, 16) as usize;
+        if node_count == 0 {
+            return Err(XmlError::CorruptBinary("document has no nodes".into()));
+        }
+        let body_len = (sym_count as u64) * 8
+            + sym_heap_len as u64
+            + (node_count as u64) * NODE_SIZE as u64
+            + text_heap_len as u64;
+        if body_len + 4 + HEADER_SIZE as u64 > buf.len() as u64 {
+            return Err(XmlError::CorruptBinary("page shorter than header claims".into()));
+        }
+        let mut at = 4 + HEADER_SIZE;
+        let sym_table = &buf[at..at + sym_count * 8];
+        at += sym_count * 8;
+        let sym_heap = std::str::from_utf8(&buf[at..at + sym_heap_len])
+            .map_err(|_| XmlError::CorruptBinary("symbol heap not utf-8".into()))?;
+        at += sym_heap_len;
+        let nodes = &buf[at..at + node_count * NODE_SIZE];
+        at += node_count * NODE_SIZE;
+        let text_heap = std::str::from_utf8(&buf[at..at + text_heap_len])
+            .map_err(|_| XmlError::CorruptBinary("text heap not utf-8".into()))?;
+        at += text_heap_len;
+
+        // validate symbol spans
+        for i in 0..sym_count {
+            let off = read_u32(sym_table, i * 8) as u64;
+            let len = read_u32(sym_table, i * 8 + 4) as u64;
+            if off + len > sym_heap_len as u64
+                || !sym_heap.is_char_boundary(off as usize)
+                || !sym_heap.is_char_boundary((off + len) as usize)
+            {
+                return Err(XmlError::CorruptBinary("symbol span out of range".into()));
+            }
+        }
+        // validate node records
+        for i in 0..node_count {
+            let rec = &nodes[i * NODE_SIZE..(i + 1) * NODE_SIZE];
+            kind_from_u8(rec[0])?;
+            if read_u32(rec, 1) as usize >= sym_count {
+                return Err(XmlError::CorruptBinary("label out of range".into()));
+            }
+            let voff = read_u32(rec, 5);
+            let vlen = read_u32(rec, 9);
+            if voff != u32::MAX {
+                let end = voff as u64 + vlen as u64;
+                if end > text_heap_len as u64
+                    || !text_heap.is_char_boundary(voff as usize)
+                    || !text_heap.is_char_boundary(end as usize)
+                {
+                    return Err(XmlError::CorruptBinary("value span out of range".into()));
+                }
+            }
+            for link in 0..5 {
+                let raw = read_u32(rec, 13 + link * 4);
+                if raw != u32::MAX && raw as usize >= node_count {
+                    return Err(XmlError::CorruptBinary("node link out of range".into()));
+                }
+            }
+        }
+        let root = &nodes[..NODE_SIZE];
+        if root[0] != 0 || read_u32(root, 13) != u32::MAX {
+            return Err(XmlError::CorruptBinary("root must be a parentless element".into()));
+        }
+
+        // meta tail
+        let mut tail = &buf[at..];
+        let name = get_tagged_str(&mut tail)?;
+        let (origin_source, origin_dewey) = match get_u8(&mut tail)? {
+            0 => (None, Vec::new()),
+            1 => {
+                let source = get_str_u32(&mut tail)?;
+                let count = get_u32(&mut tail)? as usize;
+                if count * 4 > tail.len() {
+                    return Err(XmlError::CorruptBinary("dewey too long".into()));
+                }
+                let mut components = Vec::with_capacity(count);
+                for _ in 0..count {
+                    components.push(get_u32(&mut tail)?);
+                }
+                (Some(source), components)
+            }
+            k => return Err(XmlError::CorruptBinary(format!("bad origin tag {k}"))),
+        };
+
+        Ok(PageView {
+            sym_table,
+            sym_heap,
+            nodes,
+            text_heap,
+            node_count: node_count as u32,
+            sym_count: sym_count as u32,
+            name,
+            origin_source,
+            origin_dewey,
+        })
+    }
+
+    #[inline]
+    fn record(&self, id: u32) -> &'a [u8] {
+        let at = id as usize * NODE_SIZE;
+        &self.nodes[at..at + NODE_SIZE]
+    }
+
+    #[inline]
+    fn sym(&self, idx: u32) -> &'a str {
+        let off = read_u32(self.sym_table, idx as usize * 8) as usize;
+        let len = read_u32(self.sym_table, idx as usize * 8 + 4) as usize;
+        &self.sym_heap[off..off + len]
+    }
+
+    #[inline]
+    fn link(&self, id: u32, slot: usize) -> Option<u32> {
+        let raw = read_u32(self.record(id), 13 + slot * 4);
+        if raw == u32::MAX {
+            None
+        } else {
+            Some(raw)
+        }
+    }
+
+    /// The page's document name, if any.
+    pub fn name(&self) -> Option<&'a str> {
+        self.name
+    }
+
+    /// Fragment origin recorded on the page, if any.
+    pub fn origin(&self) -> Option<Origin> {
+        self.origin_source.map(|source| Origin {
+            source_doc: source.to_owned(),
+            dewey: Dewey::from_vec(self.origin_dewey.clone()),
+        })
+    }
+
+    /// Label of the root element.
+    pub fn root_label(&self) -> &'a str {
+        self.sym(read_u32(self.record(0), 1))
+    }
+
+    /// Concatenated text content below `id` — the subtree string value,
+    /// computed from the page without materializing a document.
+    pub fn string_value(&self, id: u32) -> String {
+        let rec = self.record(id);
+        if rec[0] != 0 {
+            // attribute or text: the direct value
+            return self.value_str(rec).unwrap_or("").to_owned();
+        }
+        let mut out = String::new();
+        let mut stack = vec![id];
+        while let Some(cur) = stack.pop() {
+            let rec = self.record(cur);
+            if rec[0] == 2 {
+                out.push_str(self.value_str(rec).unwrap_or(""));
+            }
+            // push children in reverse document order so pops are in order
+            let mut kids = Vec::new();
+            let mut child = self.link(cur, 1);
+            while let Some(c) = child {
+                kids.push(c);
+                child = self.link(c, 3);
+            }
+            for &k in kids.iter().rev() {
+                stack.push(k);
+            }
+        }
+        out
+    }
+
+    #[inline]
+    fn value_str(&self, rec: &[u8]) -> Option<&'a str> {
+        let off = read_u32(rec, 5);
+        if off == u32::MAX {
+            None
+        } else {
+            let len = read_u32(rec, 9);
+            Some(&self.text_heap[off as usize..(off + len) as usize])
+        }
+    }
+
+    /// Materialize the page into an owned [`Document`]. This is the bulk
+    /// decode path: no per-node allocations — node records are copied
+    /// field-for-field and both heaps are copied wholesale.
+    pub fn to_document(&self) -> Document {
+        let mut arena = Arena::with_capacity(self.node_count as usize);
+        for i in 0..self.node_count {
+            let rec = self.record(i);
+            let voff = read_u32(rec, 5);
+            let value = if voff == u32::MAX {
+                ValueSpan::NONE
+            } else {
+                ValueSpan { off: voff, len: read_u32(rec, 9) }
+            };
+            arena.push(Node {
+                kind: kind_from_u8(rec[0]).expect("validated at parse"),
+                label: Sym(read_u32(rec, 1)),
+                value,
+                parent: OptId::from_raw(read_u32(rec, 13)),
+                first_child: OptId::from_raw(read_u32(rec, 17)),
+                last_child: OptId::from_raw(read_u32(rec, 21)),
+                next_sibling: OptId::from_raw(read_u32(rec, 25)),
+                prev_sibling: OptId::from_raw(read_u32(rec, 29)),
+            });
+        }
+        let mut symbols = Vec::with_capacity(self.sym_count as usize);
+        let mut symbol_map =
+            std::collections::HashMap::with_capacity(self.sym_count as usize);
+        for i in 0..self.sym_count {
+            let s: Box<str> = self.sym(i).into();
+            symbol_map.insert(s.clone(), Sym(i));
+            symbols.push(s);
+        }
+        Document {
+            arena,
+            text: self.text_heap.to_owned(),
+            symbols,
+            symbol_map,
+            name: self.name.map(str::to_owned),
+            origin: self.origin(),
+        }
+    }
+}
+
+impl TreeAccess for PageView<'_> {
+    fn node_count(&self) -> usize {
+        self.node_count as usize
+    }
+
+    fn node_kind(&self, id: u32) -> NodeKind {
+        kind_from_u8(self.record(id)[0]).expect("validated at parse")
+    }
+
+    fn node_label(&self, id: u32) -> &str {
+        self.sym(read_u32(self.record(id), 1))
+    }
+
+    fn node_value(&self, id: u32) -> Option<&str> {
+        self.value_str(self.record(id))
+    }
+
+    fn node_first_child(&self, id: u32) -> Option<u32> {
+        self.link(id, 1)
+    }
+
+    fn node_next_sibling(&self, id: u32) -> Option<u32> {
+        self.link(id, 3)
+    }
+
+    fn node_parent(&self, id: u32) -> Option<u32> {
+        self.link(id, 0)
+    }
+
+    fn doc_name(&self) -> Option<&str> {
+        self.name
+    }
+}
+
+fn get_u32(buf: &mut &[u8]) -> Result<u32, XmlError> {
+    if buf.len() < 4 {
+        return Err(XmlError::CorruptBinary("unexpected end of buffer".into()));
+    }
+    let v = read_u32(buf, 0);
+    buf.advance(4);
+    Ok(v)
+}
+
+fn get_str_u32<'a>(buf: &mut &'a [u8]) -> Result<&'a str, XmlError> {
+    let len = get_u32(buf)? as usize;
+    if buf.len() < len {
+        return Err(XmlError::CorruptBinary("string extends past buffer".into()));
+    }
+    let s = std::str::from_utf8(&buf[..len])
+        .map_err(|_| XmlError::CorruptBinary("invalid utf-8 string".into()))?;
+    buf.advance(len);
+    Ok(s)
+}
+
+fn get_tagged_str<'a>(buf: &mut &'a [u8]) -> Result<Option<&'a str>, XmlError> {
+    match get_u8(buf)? {
+        0 => Ok(None),
+        1 => Ok(Some(get_str_u32(buf)?)),
+        k => Err(XmlError::CorruptBinary(format!("bad option tag {k}"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Legacy PXB1 (varint) wire format
+// ---------------------------------------------------------------------------
+
+/// Encode a document in the legacy PXB1 form. Kept so the storage
+/// microbench can compare old-format decode cost against the arena page,
+/// and so older persisted repositories remain writable in tests.
+pub fn encode_v1(doc: &Document) -> Bytes {
     let mut buf = BytesMut::with_capacity(doc.approx_size());
-    buf.put_slice(MAGIC);
+    buf.put_slice(MAGIC_V1);
     put_opt_str(&mut buf, doc.name.as_deref());
     match &doc.origin {
         None => buf.put_u8(0),
@@ -44,15 +491,11 @@ pub fn encode(doc: &Document) -> Bytes {
     for sym in &doc.symbols {
         put_str(&mut buf, sym);
     }
-    put_varint(&mut buf, doc.nodes.len() as u64);
-    for node in &doc.nodes {
-        buf.put_u8(match node.kind {
-            NodeKind::Element => 0,
-            NodeKind::Attribute => 1,
-            NodeKind::Text => 2,
-        });
+    put_varint(&mut buf, doc.len() as u64);
+    for node in doc.arena.iter() {
+        buf.put_u8(kind_to_u8(node.kind));
         put_varint(&mut buf, node.label.0 as u64);
-        put_opt_str(&mut buf, node.value.as_deref());
+        put_opt_str(&mut buf, node.value.get(&doc.text));
         for link in [
             node.parent,
             node.first_child,
@@ -60,18 +503,14 @@ pub fn encode(doc: &Document) -> Bytes {
             node.next_sibling,
             node.prev_sibling,
         ] {
-            put_varint(&mut buf, link.map_or(0, |id| id.0 as u64 + 1));
+            put_varint(&mut buf, link.get().map_or(0, |id| id.index() as u64 + 1));
         }
     }
     buf.freeze()
 }
 
-/// Decode a document from its binary page form.
-pub fn decode(mut buf: &[u8]) -> Result<Document, XmlError> {
-    if buf.len() < 4 || &buf[..4] != MAGIC {
-        return Err(XmlError::CorruptBinary("bad magic".into()));
-    }
-    buf.advance(4);
+/// Decode the body of a PXB1 page (magic already consumed).
+fn decode_v1(mut buf: &[u8]) -> Result<Document, XmlError> {
     let name = get_opt_str(&mut buf)?;
     let origin = match get_u8(&mut buf)? {
         0 => None,
@@ -107,33 +546,34 @@ pub fn decode(mut buf: &[u8]) -> Result<Document, XmlError> {
     if node_count > buf.len() {
         return Err(XmlError::CorruptBinary("node table too long".into()));
     }
-    let mut nodes = Vec::with_capacity(node_count);
+    let mut arena = Arena::with_capacity(node_count);
+    let mut text = String::new();
     for _ in 0..node_count {
-        let kind = match get_u8(&mut buf)? {
-            0 => NodeKind::Element,
-            1 => NodeKind::Attribute,
-            2 => NodeKind::Text,
-            k => return Err(XmlError::CorruptBinary(format!("bad node kind {k}"))),
-        };
+        let kind = kind_from_u8(get_u8(&mut buf)?)?;
         let label_idx = get_varint(&mut buf)? as usize;
         if label_idx >= symbols.len() {
             return Err(XmlError::CorruptBinary("label out of range".into()));
         }
-        let value = get_opt_str(&mut buf)?.map(Into::into);
-        let mut links = [None; 5];
+        let value = match get_opt_str(&mut buf)? {
+            None => ValueSpan::NONE,
+            Some(s) => {
+                let off = text.len() as u32;
+                text.push_str(&s);
+                ValueSpan { off, len: s.len() as u32 }
+            }
+        };
+        let mut links = [OptId::NONE; 5];
         for link in &mut links {
             let raw = get_varint(&mut buf)?;
-            *link = if raw == 0 {
-                None
-            } else {
+            if raw != 0 {
                 let id = raw - 1;
                 if id >= node_count as u64 {
                     return Err(XmlError::CorruptBinary("node link out of range".into()));
                 }
-                Some(NodeId(id as u32))
-            };
+                *link = OptId::from_raw(id as u32);
+            }
         }
-        nodes.push(Node {
+        arena.push(Node {
             kind,
             label: Sym(label_idx as u32),
             value,
@@ -144,10 +584,11 @@ pub fn decode(mut buf: &[u8]) -> Result<Document, XmlError> {
             prev_sibling: links[4],
         });
     }
-    if nodes[0].kind != NodeKind::Element || nodes[0].parent.is_some() {
+    let root = arena.get(0);
+    if root.kind != NodeKind::Element || !root.parent.is_none() {
         return Err(XmlError::CorruptBinary("root must be a parentless element".into()));
     }
-    Ok(Document { nodes, symbols, symbol_map, name, origin })
+    Ok(Document { arena, text, symbols, symbol_map, name, origin })
 }
 
 fn put_varint(buf: &mut BytesMut, mut v: u64) {
@@ -262,10 +703,67 @@ mod tests {
     }
 
     #[test]
+    fn legacy_v1_roundtrip_preserves_everything() {
+        let doc = sample();
+        let bytes = encode_v1(&doc);
+        assert_eq!(&bytes[..4], b"PXB1");
+        let decoded = decode(&bytes).unwrap();
+        assert_eq!(doc, decoded);
+        assert_eq!(decoded.name.as_deref(), Some("store0"));
+        assert_eq!(decoded.origin, doc.origin);
+    }
+
+    #[test]
+    fn v2_reencode_is_stable() {
+        let doc = sample();
+        let bytes = encode(&doc);
+        let reencoded = encode(&decode(&bytes).unwrap());
+        assert_eq!(bytes, reencoded);
+    }
+
+    #[test]
     fn roundtrip_from_parsed_xml() {
         let doc = parse("<a x=\"1\"><b>text &amp; more</b><c/></a>").unwrap();
         let decoded = decode(&encode(&doc)).unwrap();
         assert_eq!(doc, decoded);
+        let decoded_v1 = decode(&encode_v1(&doc)).unwrap();
+        assert_eq!(doc, decoded_v1);
+    }
+
+    #[test]
+    fn page_view_agrees_with_document() {
+        let doc = sample();
+        let bytes = encode(&doc);
+        let view = PageView::parse(&bytes).unwrap();
+        assert_eq!(view.node_count(), doc.len());
+        assert_eq!(view.name(), doc.name.as_deref());
+        assert_eq!(view.origin(), doc.origin);
+        assert_eq!(view.root_label(), doc.root_label());
+        for id in doc.ids() {
+            let raw = id.index() as u32;
+            assert_eq!(view.node_kind(raw), doc.node_kind(raw));
+            assert_eq!(view.node_label(raw), doc.node_label(raw));
+            assert_eq!(view.node_value(raw), doc.node_value(raw));
+            assert_eq!(view.node_first_child(raw), doc.node_first_child(raw));
+            assert_eq!(view.node_next_sibling(raw), doc.node_next_sibling(raw));
+            assert_eq!(view.node_parent(raw), doc.node_parent(raw));
+        }
+    }
+
+    #[test]
+    fn page_view_string_value() {
+        let doc = parse("<a><b>one</b><c>two<d>three</d></c></a>").unwrap();
+        let bytes = encode(&doc);
+        let view = PageView::parse(&bytes).unwrap();
+        assert_eq!(view.string_value(0), "onetwothree");
+        for id in doc.ids() {
+            let raw = id.index() as u32;
+            assert_eq!(
+                view.string_value(raw),
+                doc.get(id).unwrap().text(),
+                "node {raw}"
+            );
+        }
     }
 
     #[test]
@@ -276,24 +774,26 @@ mod tests {
 
     #[test]
     fn truncated_buffer_rejected() {
-        let bytes = encode(&sample());
-        for cut in [5, 10, bytes.len() / 2, bytes.len() - 1] {
-            assert!(
-                decode(&bytes[..cut]).is_err(),
-                "decode of {cut}-byte prefix should fail"
-            );
+        for bytes in [encode(&sample()), encode_v1(&sample())] {
+            for cut in [5, 10, bytes.len() / 2, bytes.len() - 1] {
+                assert!(
+                    decode(&bytes[..cut]).is_err(),
+                    "decode of {cut}-byte prefix should fail"
+                );
+            }
         }
     }
 
     #[test]
-    fn corrupted_link_rejected() {
-        let bytes = encode(&sample());
+    fn corrupted_bytes_never_panic() {
         // Flip every byte one at a time; decoding must never panic and the
         // result must either be an error or a structurally valid document.
-        for i in 4..bytes.len() {
-            let mut broken = bytes.to_vec();
-            broken[i] ^= 0xff;
-            let _ = decode(&broken);
+        for bytes in [encode(&sample()), encode_v1(&sample())] {
+            for i in 4..bytes.len() {
+                let mut broken = bytes.to_vec();
+                broken[i] ^= 0xff;
+                let _ = decode(&broken);
+            }
         }
     }
 

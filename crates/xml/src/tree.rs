@@ -1,10 +1,24 @@
 //! Arena-based ordered labelled tree — the data tree `∆ := ⟨t, ℓ, Ψ⟩`.
 //!
-//! Nodes live in a flat `Vec` and are addressed by [`NodeId`] (a `u32`
-//! index), giving compact memory layout and cheap traversal. Labels are
-//! interned per-document so repeated element names (the common case in the
-//! paper's repositories: thousands of `Item` elements) cost four bytes per
-//! node.
+//! Nodes live in a chunked arena and are addressed by [`NodeId`] (a `u32`
+//! index), giving compact memory layout and cheap traversal:
+//!
+//! * **Chunked allocation** — nodes are stored in fixed-size chunks
+//!   (1024 nodes each), so growing a large document never relocates
+//!   existing nodes and never pays a multi-megabyte `Vec` realloc copy
+//!   while parsing the 5 MB document class.
+//! * **Niche-packed links** — the five navigation links of a node are
+//!   [`OptId`]s: a raw `u32` whose `u32::MAX` value means "none", so an
+//!   optional link costs 4 bytes instead of the 8 an `Option<u32>` would.
+//! * **Value heap** — attribute values and character data live in one
+//!   shared `String` per document; nodes store `(offset, len)` spans.
+//!   A node is 36 bytes flat, with no per-node heap allocation.
+//!
+//! Labels are interned per-document so repeated element names (the common
+//! case in the paper's repositories: thousands of `Item` elements) cost
+//! four bytes per node. The same layout is what the binary page format
+//! serializes verbatim (see [`crate::binary`]), which is what makes cold
+//! page decoding a bulk copy instead of a per-node rebuild.
 
 use crate::dewey::Dewey;
 use crate::error::XmlError;
@@ -28,6 +42,71 @@ impl NodeId {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub(crate) struct Sym(pub(crate) u32);
 
+/// A niche-packed optional [`NodeId`]: `u32::MAX` is "none". Keeps a
+/// node's five links at 20 bytes total instead of 40.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct OptId(u32);
+
+impl OptId {
+    pub(crate) const NONE: OptId = OptId(u32::MAX);
+
+    #[inline]
+    pub(crate) fn some(id: NodeId) -> OptId {
+        OptId(id.0)
+    }
+
+    #[inline]
+    pub(crate) fn get(self) -> Option<NodeId> {
+        if self.0 == u32::MAX {
+            None
+        } else {
+            Some(NodeId(self.0))
+        }
+    }
+
+    #[inline]
+    pub(crate) fn is_none(self) -> bool {
+        self.0 == u32::MAX
+    }
+
+    /// Raw wire value (`u32::MAX` = none) — what the page format stores.
+    #[inline]
+    pub(crate) fn raw(self) -> u32 {
+        self.0
+    }
+
+    #[inline]
+    pub(crate) fn from_raw(raw: u32) -> OptId {
+        OptId(raw)
+    }
+}
+
+/// A `(offset, len)` span into the document's value heap;
+/// `offset == u32::MAX` means "no value" (elements).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ValueSpan {
+    pub(crate) off: u32,
+    pub(crate) len: u32,
+}
+
+impl ValueSpan {
+    pub(crate) const NONE: ValueSpan = ValueSpan { off: u32::MAX, len: 0 };
+
+    #[inline]
+    pub(crate) fn is_none(self) -> bool {
+        self.off == u32::MAX
+    }
+
+    #[inline]
+    pub(crate) fn get(self, heap: &str) -> Option<&str> {
+        if self.is_none() {
+            None
+        } else {
+            Some(&heap[self.off as usize..(self.off + self.len) as usize])
+        }
+    }
+}
+
 /// What a node is: an element, an attribute, or character data.
 ///
 /// Attributes are modelled as children whose label is in the attribute name
@@ -41,18 +120,71 @@ pub enum NodeKind {
     Text,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub(crate) struct Node {
     pub(crate) kind: NodeKind,
     /// Element/attribute name; for text nodes this is the empty symbol.
     pub(crate) label: Sym,
-    /// Attribute or text value; `None` for elements.
-    pub(crate) value: Option<Box<str>>,
-    pub(crate) parent: Option<NodeId>,
-    pub(crate) first_child: Option<NodeId>,
-    pub(crate) last_child: Option<NodeId>,
-    pub(crate) next_sibling: Option<NodeId>,
-    pub(crate) prev_sibling: Option<NodeId>,
+    /// Attribute or text value span into the heap; none for elements.
+    pub(crate) value: ValueSpan,
+    pub(crate) parent: OptId,
+    pub(crate) first_child: OptId,
+    pub(crate) last_child: OptId,
+    pub(crate) next_sibling: OptId,
+    pub(crate) prev_sibling: OptId,
+}
+
+/// log2 of the arena chunk size: 1024 nodes per chunk.
+const CHUNK_BITS: usize = 10;
+const CHUNK: usize = 1 << CHUNK_BITS;
+
+/// Chunked node arena: indexable like a `Vec<Node>`, but growth appends a
+/// fresh fixed-capacity chunk instead of relocating every existing node.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Arena {
+    chunks: Vec<Vec<Node>>,
+    len: usize,
+}
+
+impl Arena {
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    pub(crate) fn with_capacity(nodes: usize) -> Arena {
+        let mut arena = Arena::default();
+        if nodes > 0 {
+            arena.chunks.push(Vec::with_capacity(nodes.min(CHUNK)));
+        }
+        arena
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, index: usize) -> &Node {
+        &self.chunks[index >> CHUNK_BITS][index & (CHUNK - 1)]
+    }
+
+    #[inline]
+    pub(crate) fn get_mut(&mut self, index: usize) -> &mut Node {
+        &mut self.chunks[index >> CHUNK_BITS][index & (CHUNK - 1)]
+    }
+
+    pub(crate) fn push(&mut self, node: Node) -> u32 {
+        assert!(self.len < u32::MAX as usize - 1, "document too large");
+        if self.len >> CHUNK_BITS == self.chunks.len() {
+            self.chunks.push(Vec::with_capacity(CHUNK));
+        }
+        self.chunks.last_mut().expect("chunk exists").push(node);
+        let id = self.len as u32;
+        self.len += 1;
+        id
+    }
+
+    /// All nodes in id order.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = &Node> + '_ {
+        self.chunks.iter().flat_map(|c| c.iter())
+    }
 }
 
 /// An XML document: a data tree with interned labels.
@@ -63,7 +195,9 @@ pub(crate) struct Node {
 /// both are preserved by the binary format.
 #[derive(Debug, Clone)]
 pub struct Document {
-    pub(crate) nodes: Vec<Node>,
+    pub(crate) arena: Arena,
+    /// Shared value heap: every attribute value and text-node content.
+    pub(crate) text: String,
     pub(crate) symbols: Vec<Box<str>>,
     pub(crate) symbol_map: HashMap<Box<str>, Sym>,
     /// Identity of this document within its collection (e.g. `"item0042"`).
@@ -85,29 +219,30 @@ impl Document {
     /// Create a document whose root element is named `root_label`.
     pub fn new(root_label: &str) -> Document {
         let mut doc = Document {
-            nodes: Vec::new(),
+            arena: Arena::default(),
+            text: String::new(),
             symbols: Vec::new(),
             symbol_map: HashMap::new(),
             name: None,
             origin: None,
         };
         let sym = doc.intern(root_label);
-        doc.nodes.push(Node {
+        doc.arena.push(Node {
             kind: NodeKind::Element,
             label: sym,
-            value: None,
-            parent: None,
-            first_child: None,
-            last_child: None,
-            next_sibling: None,
-            prev_sibling: None,
+            value: ValueSpan::NONE,
+            parent: OptId::NONE,
+            first_child: OptId::NONE,
+            last_child: OptId::NONE,
+            next_sibling: OptId::NONE,
+            prev_sibling: OptId::NONE,
         });
         doc
     }
 
     /// Number of nodes in the document (including the root).
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.arena.len()
     }
 
     /// A document always has at least its root node.
@@ -140,13 +275,24 @@ impl Document {
         &self.symbols[sym.0 as usize]
     }
 
-    fn node(&self, id: NodeId) -> &Node {
-        &self.nodes[id.index()]
+    /// Append a string to the value heap, returning its span.
+    pub(crate) fn push_value(&mut self, s: &str) -> ValueSpan {
+        let off = self.text.len();
+        assert!(
+            off + s.len() < u32::MAX as usize,
+            "document value heap too large"
+        );
+        self.text.push_str(s);
+        ValueSpan { off: off as u32, len: s.len() as u32 }
+    }
+
+    pub(crate) fn node(&self, id: NodeId) -> &Node {
+        self.arena.get(id.index())
     }
 
     /// Borrow a node by id.
     pub fn get(&self, id: NodeId) -> Option<NodeRef<'_>> {
-        if id.index() < self.nodes.len() {
+        if id.index() < self.arena.len() {
             Some(NodeRef { doc: self, id })
         } else {
             None
@@ -166,11 +312,11 @@ impl Document {
     /// Direct value of `id` (text content of a text node, value of an
     /// attribute). `None` for elements.
     pub fn value_of(&self, id: NodeId) -> Option<&str> {
-        self.node(id).value.as_deref()
+        self.node(id).value.get(&self.text)
     }
 
     pub fn parent_of(&self, id: NodeId) -> Option<NodeId> {
-        self.node(id).parent
+        self.node(id).parent.get()
     }
 
     /// Append a child element under `parent`, returning the new node's id.
@@ -179,12 +325,12 @@ impl Document {
         self.push_node(parent, Node {
             kind: NodeKind::Element,
             label: sym,
-            value: None,
-            parent: Some(parent),
-            first_child: None,
-            last_child: None,
-            next_sibling: None,
-            prev_sibling: None,
+            value: ValueSpan::NONE,
+            parent: OptId::some(parent),
+            first_child: OptId::NONE,
+            last_child: OptId::NONE,
+            next_sibling: OptId::NONE,
+            prev_sibling: OptId::NONE,
         })
     }
 
@@ -194,45 +340,46 @@ impl Document {
     /// convention that `@a` steps address them positionally before content.
     pub fn add_attribute(&mut self, parent: NodeId, name: &str, value: &str) -> NodeId {
         let sym = self.intern(name);
+        let span = self.push_value(value);
         self.push_node(parent, Node {
             kind: NodeKind::Attribute,
             label: sym,
-            value: Some(value.into()),
-            parent: Some(parent),
-            first_child: None,
-            last_child: None,
-            next_sibling: None,
-            prev_sibling: None,
+            value: span,
+            parent: OptId::some(parent),
+            first_child: OptId::NONE,
+            last_child: OptId::NONE,
+            next_sibling: OptId::NONE,
+            prev_sibling: OptId::NONE,
         })
     }
 
     /// Append a text child under `parent`.
     pub fn add_text(&mut self, parent: NodeId, text: &str) -> NodeId {
         let sym = self.intern("");
+        let span = self.push_value(text);
         self.push_node(parent, Node {
             kind: NodeKind::Text,
             label: sym,
-            value: Some(text.into()),
-            parent: Some(parent),
-            first_child: None,
-            last_child: None,
-            next_sibling: None,
-            prev_sibling: None,
+            value: span,
+            parent: OptId::some(parent),
+            first_child: OptId::NONE,
+            last_child: OptId::NONE,
+            next_sibling: OptId::NONE,
+            prev_sibling: OptId::NONE,
         })
     }
 
     fn push_node(&mut self, parent: NodeId, node: Node) -> NodeId {
-        let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(node);
-        let prev_last = self.nodes[parent.index()].last_child;
-        match prev_last {
+        let id = NodeId(self.arena.push(node));
+        let prev_last = self.arena.get(parent.index()).last_child;
+        match prev_last.get() {
             Some(last) => {
-                self.nodes[last.index()].next_sibling = Some(id);
-                self.nodes[id.index()].prev_sibling = Some(last);
+                self.arena.get_mut(last.index()).next_sibling = OptId::some(id);
+                self.arena.get_mut(id.index()).prev_sibling = OptId::some(last);
             }
-            None => self.nodes[parent.index()].first_child = Some(id),
+            None => self.arena.get_mut(parent.index()).first_child = OptId::some(id),
         }
-        self.nodes[parent.index()].last_child = Some(id);
+        self.arena.get_mut(parent.index()).last_child = OptId::some(id);
         id
     }
 
@@ -247,18 +394,18 @@ impl Document {
             }
             NodeKind::Attribute => {
                 let label = src.sym_str(src_node.label).to_owned();
-                let value = src_node.value.as_deref().unwrap_or("").to_owned();
+                let value = src_node.value.get(&src.text).unwrap_or("").to_owned();
                 self.add_attribute(dst_parent, &label, &value)
             }
             NodeKind::Text => {
-                let value = src_node.value.as_deref().unwrap_or("").to_owned();
+                let value = src_node.value.get(&src.text).unwrap_or("").to_owned();
                 self.add_text(dst_parent, &value)
             }
         };
-        let mut child = src_node.first_child;
+        let mut child = src_node.first_child.get();
         while let Some(c) = child {
             self.graft(new_id, src, c);
-            child = src.node(c).next_sibling;
+            child = src.node(c).next_sibling.get();
         }
         new_id
     }
@@ -280,7 +427,7 @@ impl Document {
         let new_id = self.graft(dst_parent, src, src_id); // appended last
         debug_assert!(ordinal >= 1);
         // locate the node currently at `ordinal` (excluding the new node)
-        let mut before = self.nodes[dst_parent.index()].first_child;
+        let mut before = self.arena.get(dst_parent.index()).first_child.get();
         let mut count = 1u32;
         while let Some(b) = before {
             if b == new_id {
@@ -291,25 +438,25 @@ impl Document {
                 break;
             }
             count += 1;
-            before = self.nodes[b.index()].next_sibling;
+            before = self.arena.get(b.index()).next_sibling.get();
         }
         let Some(before) = before else {
             return new_id; // ordinal beyond child count: stay appended
         };
         // unlink new_id from the tail
-        let prev = self.nodes[new_id.index()].prev_sibling;
-        if let Some(p) = prev {
-            self.nodes[p.index()].next_sibling = None;
+        let prev = self.arena.get(new_id.index()).prev_sibling;
+        if let Some(p) = prev.get() {
+            self.arena.get_mut(p.index()).next_sibling = OptId::NONE;
         }
-        self.nodes[dst_parent.index()].last_child = prev;
+        self.arena.get_mut(dst_parent.index()).last_child = prev;
         // splice before `before`
-        let before_prev = self.nodes[before.index()].prev_sibling;
-        self.nodes[new_id.index()].prev_sibling = before_prev;
-        self.nodes[new_id.index()].next_sibling = Some(before);
-        self.nodes[before.index()].prev_sibling = Some(new_id);
-        match before_prev {
-            Some(bp) => self.nodes[bp.index()].next_sibling = Some(new_id),
-            None => self.nodes[dst_parent.index()].first_child = Some(new_id),
+        let before_prev = self.arena.get(before.index()).prev_sibling;
+        self.arena.get_mut(new_id.index()).prev_sibling = before_prev;
+        self.arena.get_mut(new_id.index()).next_sibling = OptId::some(before);
+        self.arena.get_mut(before.index()).prev_sibling = OptId::some(new_id);
+        match before_prev.get() {
+            Some(bp) => self.arena.get_mut(bp.index()).next_sibling = OptId::some(new_id),
+            None => self.arena.get_mut(dst_parent.index()).first_child = OptId::some(new_id),
         }
         new_id
     }
@@ -328,17 +475,17 @@ impl Document {
     /// Fails with [`XmlError::WrongNodeKind`] if `id` is not an element
     /// (attribute/text subtrees are not well-formed documents).
     pub fn subtree(&self, id: NodeId) -> Result<Document, XmlError> {
-        if id.index() >= self.nodes.len() {
+        if id.index() >= self.arena.len() {
             return Err(XmlError::InvalidNodeId);
         }
         if self.kind_of(id) != NodeKind::Element {
             return Err(XmlError::WrongNodeKind { expected: "element" });
         }
         let mut out = Document::new(self.label_of(id));
-        let mut child = self.node(id).first_child;
+        let mut child = self.node(id).first_child.get();
         while let Some(c) = child {
             out.graft(NodeId::ROOT, self, c);
-            child = self.node(c).next_sibling;
+            child = self.node(c).next_sibling.get();
         }
         Ok(out)
     }
@@ -348,15 +495,15 @@ impl Document {
     pub fn dewey_of(&self, id: NodeId) -> Dewey {
         let mut rev = Vec::new();
         let mut cur = id;
-        while let Some(parent) = self.node(cur).parent {
+        while let Some(parent) = self.node(cur).parent.get() {
             let mut ord = 1u32;
-            let mut sib = self.node(parent).first_child;
+            let mut sib = self.node(parent).first_child.get();
             while let Some(s) = sib {
                 if s == cur {
                     break;
                 }
                 ord += 1;
-                sib = self.node(s).next_sibling;
+                sib = self.node(s).next_sibling.get();
             }
             rev.push(ord);
             cur = parent;
@@ -370,9 +517,9 @@ impl Document {
     pub fn node_at_dewey(&self, dewey: &Dewey) -> Option<NodeId> {
         let mut cur = NodeId::ROOT;
         for &ord in dewey.components() {
-            let mut child = self.node(cur).first_child?;
+            let mut child = self.node(cur).first_child.get()?;
             for _ in 1..ord {
-                child = self.node(child).next_sibling?;
+                child = self.node(child).next_sibling.get()?;
             }
             cur = child;
         }
@@ -381,24 +528,20 @@ impl Document {
 
     /// Total number of element nodes.
     pub fn element_count(&self) -> usize {
-        self.nodes.iter().filter(|n| n.kind == NodeKind::Element).count()
+        self.arena.iter().filter(|n| n.kind == NodeKind::Element).count()
     }
 
     /// Approximate serialized size in bytes (used by the transmission-time
     /// model without actually serializing).
     pub fn approx_size(&self) -> usize {
-        let mut size = 0usize;
-        for node in &self.nodes {
+        let mut size = self.text.len();
+        for node in self.arena.iter() {
             size += match node.kind {
                 // <label></label>
                 NodeKind::Element => 2 * self.sym_str(node.label).len() + 5,
-                // label="value"
-                NodeKind::Attribute => {
-                    self.sym_str(node.label).len()
-                        + node.value.as_deref().map_or(0, str::len)
-                        + 4
-                }
-                NodeKind::Text => node.value.as_deref().map_or(0, str::len),
+                // label="value" (value bytes already counted via the heap)
+                NodeKind::Attribute => self.sym_str(node.label).len() + 4,
+                NodeKind::Text => 0,
             };
         }
         size
@@ -407,6 +550,59 @@ impl Document {
     /// All node ids in document order (pre-order).
     pub fn ids(&self) -> impl Iterator<Item = NodeId> + '_ {
         DescendantIds { doc: self, next: Some(NodeId::ROOT), stop: NodeId::ROOT }
+    }
+}
+
+/// Uniform read access to a node tree, implemented both by the in-memory
+/// [`Document`] arena and by the zero-copy binary page view
+/// ([`crate::binary::PageView`]). Lets consumers (index builders, probes)
+/// walk either representation without materializing a `Document`.
+pub trait TreeAccess {
+    /// Number of nodes; ids are `0..count`, 0 is the root element.
+    fn node_count(&self) -> usize;
+    fn node_kind(&self, id: u32) -> NodeKind;
+    /// Element/attribute name; empty for text nodes.
+    fn node_label(&self, id: u32) -> &str;
+    /// Attribute value or text content; `None` for elements.
+    fn node_value(&self, id: u32) -> Option<&str>;
+    fn node_first_child(&self, id: u32) -> Option<u32>;
+    fn node_next_sibling(&self, id: u32) -> Option<u32>;
+    fn node_parent(&self, id: u32) -> Option<u32>;
+    /// The document's name inside its collection, if any.
+    fn doc_name(&self) -> Option<&str>;
+}
+
+impl TreeAccess for Document {
+    fn node_count(&self) -> usize {
+        self.arena.len()
+    }
+
+    fn node_kind(&self, id: u32) -> NodeKind {
+        self.kind_of(NodeId(id))
+    }
+
+    fn node_label(&self, id: u32) -> &str {
+        self.label_of(NodeId(id))
+    }
+
+    fn node_value(&self, id: u32) -> Option<&str> {
+        self.value_of(NodeId(id))
+    }
+
+    fn node_first_child(&self, id: u32) -> Option<u32> {
+        self.node(NodeId(id)).first_child.get().map(|n| n.0)
+    }
+
+    fn node_next_sibling(&self, id: u32) -> Option<u32> {
+        self.node(NodeId(id)).next_sibling.get().map(|n| n.0)
+    }
+
+    fn node_parent(&self, id: u32) -> Option<u32> {
+        self.node(NodeId(id)).parent.get().map(|n| n.0)
+    }
+
+    fn doc_name(&self) -> Option<&str> {
+        self.name.as_deref()
     }
 }
 
@@ -456,16 +652,16 @@ impl<'a> NodeRef<'a> {
     }
 
     pub fn first_child(self) -> Option<NodeRef<'a>> {
-        self.doc.node(self.id).first_child.map(|id| NodeRef { doc: self.doc, id })
+        self.doc.node(self.id).first_child.get().map(|id| NodeRef { doc: self.doc, id })
     }
 
     pub fn next_sibling(self) -> Option<NodeRef<'a>> {
-        self.doc.node(self.id).next_sibling.map(|id| NodeRef { doc: self.doc, id })
+        self.doc.node(self.id).next_sibling.get().map(|id| NodeRef { doc: self.doc, id })
     }
 
     /// All children (attributes, elements and text), in order.
     pub fn children(self) -> Children<'a> {
-        Children { doc: self.doc, next: self.doc.node(self.id).first_child }
+        Children { doc: self.doc, next: self.doc.node(self.id).first_child.get() }
     }
 
     /// Element children only.
@@ -532,7 +728,7 @@ impl<'a> Iterator for Children<'a> {
 
     fn next(&mut self) -> Option<NodeRef<'a>> {
         let id = self.next?;
-        self.next = self.doc.node(id).next_sibling;
+        self.next = self.doc.node(id).next_sibling.get();
         Some(NodeRef { doc: self.doc, id })
     }
 }
@@ -572,7 +768,7 @@ impl Iterator for DescendantIds<'_> {
 
 fn next_preorder(doc: &Document, id: NodeId, stop: NodeId) -> Option<NodeId> {
     let node = doc.node(id);
-    if let Some(child) = node.first_child {
+    if let Some(child) = node.first_child.get() {
         return Some(child);
     }
     let mut cur = id;
@@ -581,10 +777,10 @@ fn next_preorder(doc: &Document, id: NodeId, stop: NodeId) -> Option<NodeId> {
             return None;
         }
         let n = doc.node(cur);
-        if let Some(sib) = n.next_sibling {
+        if let Some(sib) = n.next_sibling.get() {
             return Some(sib);
         }
-        cur = n.parent?;
+        cur = n.parent.get()?;
     }
 }
 
@@ -813,5 +1009,65 @@ mod tests {
         let approx = doc.approx_size();
         // within 2x either way — it is a model, not a measurement
         assert!(approx >= exact / 2 && approx <= exact * 2, "{approx} vs {exact}");
+    }
+
+    #[test]
+    fn chunked_arena_survives_chunk_boundaries() {
+        // build a flat document big enough to span several chunks, then
+        // verify navigation, dewey ids and values across the boundaries
+        let mut doc = Document::new("R");
+        let n = 3 * CHUNK + 17;
+        let mut ids = Vec::with_capacity(n);
+        for i in 0..n {
+            let e = doc.add_element(NodeId::ROOT, "e");
+            doc.add_text(e, &i.to_string());
+            ids.push(e);
+        }
+        assert_eq!(doc.len(), 1 + 2 * n);
+        assert_eq!(doc.root().child_elements().count(), n);
+        // spot-check around every chunk boundary
+        for &i in &[0, CHUNK - 1, CHUNK, 2 * CHUNK - 1, 2 * CHUNK, n - 1] {
+            let e = doc.get(ids[i]).unwrap();
+            assert_eq!(e.text(), i.to_string());
+            assert_eq!(doc.dewey_of(ids[i]).components(), &[i as u32 + 1]);
+        }
+        // deep nesting across chunks keeps parent links intact
+        let mut deep = Document::new("D");
+        let mut cur = NodeId::ROOT;
+        for _ in 0..2 * CHUNK {
+            cur = deep.add_element(cur, "n");
+        }
+        assert_eq!(deep.dewey_of(cur).depth(), 2 * CHUNK);
+        let mut up = cur;
+        let mut hops = 0;
+        while let Some(p) = deep.parent_of(up) {
+            up = p;
+            hops += 1;
+        }
+        assert_eq!(hops, 2 * CHUNK);
+    }
+
+    #[test]
+    fn node_is_compact() {
+        // the niche-packed layout is the point of the refactor: five
+        // links at 4 bytes each, a 8-byte value span, label + kind
+        assert!(std::mem::size_of::<Node>() <= 36, "{}", std::mem::size_of::<Node>());
+        assert_eq!(std::mem::size_of::<OptId>(), 4);
+        assert_eq!(std::mem::size_of::<Option<NodeId>>(), 8);
+    }
+
+    #[test]
+    fn tree_access_matches_noderef() {
+        let doc = sample();
+        for id in doc.ids() {
+            let raw = id.0;
+            let r = doc.get(id).unwrap();
+            assert_eq!(doc.node_kind(raw), r.kind());
+            assert_eq!(doc.node_label(raw), r.label());
+            assert_eq!(doc.node_value(raw), r.value());
+            assert_eq!(doc.node_first_child(raw), r.first_child().map(|n| n.id().0));
+            assert_eq!(doc.node_next_sibling(raw), r.next_sibling().map(|n| n.id().0));
+            assert_eq!(doc.node_parent(raw), r.parent().map(|n| n.id().0));
+        }
     }
 }

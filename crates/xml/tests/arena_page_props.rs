@@ -1,0 +1,188 @@
+//! Arena/page property tests: for random documents covering attributes,
+//! mixed content, deep nesting and empty elements, `decode(encode(doc))`
+//! reproduces the document exactly, the zero-copy [`PageView`] agrees
+//! with the arena node-for-node, Dewey ids survive the round trip, and
+//! the legacy PXB1 wire format decodes to the same tree as PXB2.
+//!
+//! `PARTIX_PROPTEST_CASES` overrides every block's case count.
+
+use partix_xml::{binary, Dewey, Document, NodeId, NodeKind, Origin, PageView, TreeAccess};
+use proptest::prelude::*;
+
+/// Per-block case budget, overridable with `PARTIX_PROPTEST_CASES`.
+fn cases(default_cases: u32) -> ProptestConfig {
+    std::env::var("PARTIX_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .map(ProptestConfig::with_cases)
+        .unwrap_or_else(|| ProptestConfig::with_cases(default_cases))
+}
+
+/// A small label alphabet so interning gets exercised.
+const LABELS: &[&str] = &["Item", "Section", "Name", "Price", "a", "b", "xyz"];
+
+#[derive(Debug, Clone)]
+enum Tree {
+    Elem { label: usize, attrs: Vec<(usize, String)>, children: Vec<Tree> },
+    Text(String),
+}
+
+/// Values and text content: empty strings, ascii, and multi-byte
+/// unicode (exercises the char-boundary checks in the page parser).
+fn arb_text() -> BoxedStrategy<String> {
+    let alphabet: Vec<char> = "abcXYZ 019_-/<&\u{3b1}\u{8a9e}\u{2713}".chars().collect();
+    prop_oneof![
+        Just(String::new()),
+        prop::collection::vec(prop::sample::select(alphabet), 0..12)
+            .prop_map(|cs| cs.into_iter().collect()),
+    ]
+}
+
+fn arb_attrs() -> BoxedStrategy<Vec<(usize, String)>> {
+    prop::collection::vec((0..LABELS.len(), arb_text()), 0..3).boxed()
+}
+
+/// `prop::option::of` stand-in: half `None`, half `Some(inner)`.
+fn opt_of<T: Clone + 'static>(inner: BoxedStrategy<T>) -> BoxedStrategy<Option<T>> {
+    prop_oneof![Just(None), inner.prop_map(Some)]
+}
+
+/// Random subtrees: empty elements, attribute-only elements, text leaves,
+/// and mixed content (text and element children interleaved) all occur.
+fn arb_tree() -> BoxedStrategy<Tree> {
+    let leaf = prop_oneof![
+        arb_text().prop_map(Tree::Text),
+        (0..LABELS.len(), arb_attrs())
+            .prop_map(|(label, attrs)| Tree::Elem { label, attrs, children: vec![] }),
+    ];
+    leaf.prop_recursive(5, 48, 4, |inner| {
+        (0..LABELS.len(), arb_attrs(), prop::collection::vec(inner, 0..4)).prop_map(
+            |(label, attrs, children)| Tree::Elem { label, attrs, children },
+        )
+    })
+}
+
+fn arb_name() -> BoxedStrategy<String> {
+    let alphabet: Vec<char> = ('a'..='h').collect();
+    prop::collection::vec(prop::sample::select(alphabet), 1..8)
+        .prop_map(|cs| cs.into_iter().collect::<String>())
+        .boxed()
+}
+
+fn arb_document() -> impl Strategy<Value = Document> {
+    (
+        (0..LABELS.len(), arb_attrs(), prop::collection::vec(arb_tree(), 0..4)),
+        opt_of(arb_name()),
+        opt_of((arb_name(), prop::collection::vec(1u32..9, 0..4)).boxed()),
+    )
+        .prop_map(|((label, attrs, children), name, origin)| {
+            let mut doc = Document::new(LABELS[label]);
+            for (a, v) in &attrs {
+                doc.add_attribute(NodeId::ROOT, LABELS[*a], v);
+            }
+            for child in &children {
+                build(&mut doc, NodeId::ROOT, child);
+            }
+            doc.name = name;
+            doc.origin = origin.map(|(source_doc, components)| Origin {
+                source_doc,
+                dewey: Dewey::from_vec(components),
+            });
+            doc
+        })
+}
+
+fn build(doc: &mut Document, parent: NodeId, tree: &Tree) {
+    match tree {
+        Tree::Text(s) => {
+            doc.add_text(parent, s);
+        }
+        Tree::Elem { label, attrs, children } => {
+            let e = doc.add_element(parent, LABELS[*label]);
+            for (a, v) in attrs {
+                doc.add_attribute(e, LABELS[*a], v);
+            }
+            for c in children {
+                build(doc, e, c);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(cases(256))]
+
+    /// decode(encode(doc)) reproduces the tree, metadata included, and
+    /// every node keeps its Dewey id.
+    #[test]
+    fn v2_roundtrip_is_exact(doc in arb_document()) {
+        let bytes = binary::encode(&doc);
+        let decoded = binary::decode(&bytes).unwrap();
+        prop_assert_eq!(&doc, &decoded);
+        prop_assert_eq!(&doc.name, &decoded.name);
+        prop_assert_eq!(&doc.origin, &decoded.origin);
+        prop_assert_eq!(doc.len(), decoded.len());
+        for id in doc.ids() {
+            let dewey = doc.dewey_of(id);
+            prop_assert_eq!(&decoded.dewey_of(id), &dewey);
+            prop_assert_eq!(decoded.node_at_dewey(&dewey), Some(id));
+        }
+        // re-encoding the decoded document is byte-identical
+        prop_assert_eq!(binary::encode(&decoded), bytes);
+    }
+
+    /// The zero-copy page view serves exactly what the arena serves,
+    /// node for node, without materializing a document.
+    #[test]
+    fn page_view_agrees_node_for_node(doc in arb_document()) {
+        let bytes = binary::encode(&doc);
+        let view = PageView::parse(&bytes).unwrap();
+        prop_assert_eq!(view.node_count(), doc.len());
+        prop_assert_eq!(view.doc_name(), doc.name.as_deref());
+        for id in 0..doc.len() as u32 {
+            prop_assert_eq!(view.node_kind(id), doc.node_kind(id));
+            prop_assert_eq!(view.node_label(id), doc.node_label(id));
+            prop_assert_eq!(view.node_value(id), doc.node_value(id));
+            prop_assert_eq!(view.node_parent(id), doc.node_parent(id));
+            prop_assert_eq!(view.node_first_child(id), doc.node_first_child(id));
+            prop_assert_eq!(view.node_next_sibling(id), doc.node_next_sibling(id));
+        }
+        for id in doc.ids() {
+            let raw = id.index() as u32;
+            let node = doc.get(id).unwrap();
+            // string-value: direct value for attributes/text, descendant
+            // text concatenation for elements
+            let expect = match node.kind() {
+                NodeKind::Element => node.text(),
+                _ => node.value().unwrap_or("").to_owned(),
+            };
+            prop_assert_eq!(view.string_value(raw), expect);
+        }
+    }
+
+    /// The legacy varint format and the arena format decode to the same
+    /// tree — old pages stay readable forever.
+    #[test]
+    fn v1_and_v2_decode_identically(doc in arb_document()) {
+        let from_v1 = binary::decode(&binary::encode_v1(&doc)).unwrap();
+        let from_v2 = binary::decode(&binary::encode(&doc)).unwrap();
+        prop_assert_eq!(&from_v1, &from_v2);
+        prop_assert_eq!(&from_v1.name, &from_v2.name);
+        prop_assert_eq!(&from_v1.origin, &from_v2.origin);
+    }
+
+    /// Deep chains cross arena chunk boundaries without losing links.
+    #[test]
+    fn deep_nesting_roundtrips(depth in 1usize..2500) {
+        let mut doc = Document::new("root");
+        let mut cur = NodeId::ROOT;
+        for i in 0..depth {
+            cur = doc.add_element(cur, LABELS[i % LABELS.len()]);
+        }
+        doc.add_text(cur, "bottom");
+        let decoded = binary::decode(&binary::encode(&doc)).unwrap();
+        prop_assert_eq!(&doc, &decoded);
+        prop_assert_eq!(decoded.dewey_of(cur).depth(), depth);
+        prop_assert_eq!(decoded.root().text(), "bottom");
+    }
+}

@@ -57,6 +57,14 @@ cargo test -q --test morsel_differential --offline
 cargo test -q -p partix-query --offline morsel
 cargo test -q -p partix-storage --offline morsel
 
+# storage gate: the arena/page round-trip property suite (random
+# documents with attributes, mixed content, deep nesting, empty
+# elements — decode(encode(doc)) and the zero-copy view must agree
+# node-for-node with Dewey ids intact) and the write-path regressions
+# (name-map scale churn, tombstone compaction, value-index soundness).
+cargo test -q -p partix-xml --test arena_page_props --offline
+cargo test -q -p partix-storage --test write_path --offline
+
 # any clippy warning fails the gate
 cargo clippy --workspace --offline -- -D warnings
 
@@ -184,13 +192,34 @@ if ! grep -Eq '"morsels":[2-9]' "$MORSEL_JSON"; then
     exit 1
 fi
 
+# the storage benchmark gates on answer identity across storage
+# configurations: hot, cold-with-indexes, and cold-full-scan must
+# serialize byte-identical answers on both document classes; the
+# speedup fields must be present (their magnitude is host-dependent).
+STORAGE_JSON="$(mktemp /tmp/partix-verify-storage.XXXXXX.json)"
+trap 'rm -f "$STAGE_JSON" "$REMOTE_JSON" "$SERVE_LOG1" "$SERVE_LOG2" \
+    "$ADVISE_A" "$ADVISE_B" "$REBALANCE_JSON" "$MORSEL_JSON" \
+    "$STORAGE_JSON"' EXIT
+./target/release/harness storage --reps 1 --out "$STORAGE_JSON" > /dev/null
+for field in hot_ms cold_indexed_ms cold_scan_ms cold_speedup \
+    cold_selection_speedup decode_speedup v1_over_v2 v1_over_view; do
+    if ! grep -q "\"$field\":" "$STORAGE_JSON"; then
+        echo "verify: FAIL — $field missing from storage JSON" >&2
+        exit 1
+    fi
+done
+if ! grep -q '"identical":true}$' "$STORAGE_JSON"; then
+    echo "verify: FAIL — a storage-configuration answer diverged" >&2
+    exit 1
+fi
+
 # the writes benchmark must push a mixed read/write workload through
 # the WAL-backed nodes, fsync every append, and leave a final state
 # byte-identical to the centralized oracle at every write ratio.
 WRITES_JSON="$(mktemp /tmp/partix-verify-writes.XXXXXX.json)"
 trap 'rm -f "$STAGE_JSON" "$REMOTE_JSON" "$SERVE_LOG1" "$SERVE_LOG2" \
     "$ADVISE_A" "$ADVISE_B" "$REBALANCE_JSON" "$MORSEL_JSON" \
-    "$WRITES_JSON"' EXIT
+    "$STORAGE_JSON" "$WRITES_JSON"' EXIT
 ./target/release/harness writes --queries 20 --out "$WRITES_JSON" > /dev/null
 for field in write_ratio qps read_p99_ms write_p99_ms wal_appends \
     wal_fsyncs; do
