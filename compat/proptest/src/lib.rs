@@ -251,6 +251,10 @@ pub mod strategy {
     tuple_strategy!(A.0, B.1);
     tuple_strategy!(A.0, B.1, C.2);
     tuple_strategy!(A.0, B.1, C.2, D.3);
+    tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+    tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+    tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+    tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
 }
 
 pub mod sample {

@@ -130,6 +130,7 @@ fn main() {
         "throughput" => throughput_bench(&args),
         "chaos" => chaos_bench(&args),
         "rebalance" => rebalance_bench(&args),
+        "scaleout" => scaleout_bench(&args),
         "morsel" => morsel_bench(&args),
         "writes" => writes_bench(&args),
         "storage" => storage_bench(&args),
@@ -167,6 +168,11 @@ COMMANDS
                      faulted vs faulted+allow_partial (same --seed = same schedule)
   rebalance          skewed placement (everything on node 0) measured, advised,
                      migrated live, re-measured (same --seed = same advice)
+  scaleout           replicated-coordinator scale-out over the PXN2 streaming
+                     transport: QPS/p50/p99 at 1/2/3 coordinators (shared
+                     nodes + epoch-versioned meta catalog), streamed vs
+                     buffered, gated on oracle-identical answers; --clients
+                     uses the largest entry (default 256)
   morsel             intra-fragment parallel scans: every query timed
                      sequentially and morsel-split on one node; the gate is
                      byte-identical answers (speedup needs spare cores)
@@ -420,6 +426,29 @@ fn throughput_bench(args: &Args) {
     )
     .expect("write throughput JSON");
     println!("wrote {}", args.out);
+}
+
+/// Coordinator scale-out over the `PXN2` streaming transport: QPS and
+/// latency at 1/2/3 replicated coordinators, streamed vs buffered, every
+/// answer gated on a centralized oracle.
+fn scaleout_bench(args: &Args) {
+    let size_mb = args.sizes.iter().copied().min().unwrap_or(5);
+    let config = partix_bench::scaleout::ScaleoutConfig {
+        db_bytes: ((size_mb * MB) as f64 * args.scale) as usize,
+        fragments: args.frags.first().copied().unwrap_or(4),
+        clients: args.clients.iter().copied().max().unwrap_or(256),
+        queries_per_client: args.queries,
+        ..Default::default()
+    };
+    let results = partix_bench::scaleout::run(&config);
+    let out = if args.out == "BENCH_throughput.json" {
+        "BENCH_scaleout.json".to_owned()
+    } else {
+        args.out.clone()
+    };
+    std::fs::write(&out, partix_bench::scaleout::to_json(&config, &results))
+        .expect("write scaleout JSON");
+    println!("wrote {out}");
 }
 
 /// Closed-loop throughput under a seeded fault schedule: fault-free vs

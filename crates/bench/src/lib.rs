@@ -41,6 +41,7 @@ pub mod queries;
 pub mod rebalance;
 pub mod remote;
 pub mod runner;
+pub mod scaleout;
 pub mod setup;
 pub mod storage;
 pub mod throughput;

@@ -1,0 +1,337 @@
+//! Coordinator scale-out benchmark over the `PXN2` streaming transport.
+//!
+//! N stateless coordinator replicas share one cluster of DBMS nodes
+//! ([`partix_engine::Cluster::share`]) and one epoch-versioned catalog
+//! ([`partix_engine::MetaService`]); each replica serves streaming
+//! queries on its own loopback TCP endpoint
+//! ([`partix_net::serve_coordinator`]). Closed-loop clients spread load
+//! across the replicas with [`partix_net::CoordinatorPool`]. The sweep
+//! measures QPS and client-observed p50/p99 latency at 1, 2, 3
+//! coordinators, in both transport modes:
+//!
+//! * `streamed` — sub-query results go out as `ItemChunk` frames the
+//!   moment each site completes;
+//! * `buffered` — the coordinator materializes the whole answer first
+//!   (the pre-streaming baseline; identical wire format).
+//!
+//! Every answer is checked against a centralized oracle (the same
+//! documents unfragmented on node 0) — a run's numbers only count when
+//! `verified` is true.
+
+use crate::output::json;
+use crate::throughput::percentile;
+use crate::{queries, setup};
+use partix_engine::{DispatchMode, MetaService, NetworkModel, PartiX};
+use partix_net::{
+    serve_coordinator, CoordinatorPool, StreamClientConfig, StreamOpts, StreamServer,
+    StreamServerConfig,
+};
+use partix_gen::ItemProfile;
+use partix_query::Item;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Benchmark parameters.
+#[derive(Debug, Clone)]
+pub struct ScaleoutConfig {
+    /// Total database size in bytes.
+    pub db_bytes: usize,
+    /// Horizontal fragments (== DBMS nodes).
+    pub fragments: usize,
+    /// Coordinator-replica counts to sweep.
+    pub coordinators: Vec<usize>,
+    /// Concurrent closed-loop clients.
+    pub clients: usize,
+    /// Queries each client issues (after a per-coordinator warm-up).
+    pub queries_per_client: usize,
+    /// Full-sweep repetitions; each cell reports its best run. Repeats
+    /// alternate sweep direction (1→N, then N→1) so scheduler drift over
+    /// the process lifetime cancels instead of biasing one cell.
+    pub repeats: usize,
+}
+
+impl Default for ScaleoutConfig {
+    fn default() -> ScaleoutConfig {
+        ScaleoutConfig {
+            db_bytes: 120_000,
+            fragments: 4,
+            coordinators: vec![1, 2, 3],
+            clients: 256,
+            queries_per_client: 6,
+            repeats: 3,
+        }
+    }
+}
+
+/// One (coordinator count × transport mode) measurement.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    pub coordinators: usize,
+    pub mode: &'static str,
+    pub qps: f64,
+    pub p50_ms: f64,
+    pub p99_ms: f64,
+    /// Every answer matched the centralized oracle.
+    pub verified: bool,
+    /// Pool-level failovers observed (0 in a healthy run).
+    pub failovers: u64,
+}
+
+fn canonical(items: &[Item]) -> String {
+    let mut lines: Vec<String> = items.iter().map(Item::serialize).collect();
+    lines.sort();
+    lines.join("\n")
+}
+
+/// Build one coordinator replica over the shared nodes: pooled dispatch
+/// (256 clients would explode transient per-sub-query threads), result
+/// cache on (the replication story is about coordinator-side capacity),
+/// span collection off (measurement, not diagnosis).
+fn replica(base: &PartiX, meta: &Arc<MetaService>) -> Arc<PartiX> {
+    let mut px = PartiX::with_cluster(base.cluster().share(), NetworkModel::default());
+    px.set_dispatch(DispatchMode::Pool);
+    px.set_result_cache_enabled(true);
+    px.set_tracing_enabled(false);
+    px.attach_meta(Arc::clone(meta));
+    Arc::new(px)
+}
+
+/// Run the sweep. The returned results hold one entry per coordinator
+/// count per mode, in sweep order.
+pub fn run(config: &ScaleoutConfig) -> Vec<RunResult> {
+    let docs = setup::item_db(config.db_bytes, ItemProfile::Small);
+    let workload = queries::horizontal(setup::DIST);
+    println!(
+        "\n### scaleout: ItemsSHor {} B, {} fragments, {} clients × {} queries, \
+         {}-query workload, coordinators {:?}",
+        config.db_bytes,
+        config.fragments,
+        config.clients,
+        config.queries_per_client,
+        workload.len(),
+        config.coordinators,
+    );
+
+    // the base engine owns catalog registration and document publishing;
+    // it then becomes coordinator replica 0
+    let base = setup::horizontal(&docs, config.fragments);
+    let meta = MetaService::with_catalog(base.catalog_snapshot());
+
+    // centralized oracle answers, one per workload query
+    let oracle: Vec<String> = queries::horizontal(setup::CENTRAL)
+        .iter()
+        .map(|(_, q)| canonical(&base.execute_centralized(0, q).expect("oracle query").items))
+        .collect();
+
+    let max_coords = config.coordinators.iter().copied().max().unwrap_or(1);
+    let engines: Vec<Arc<PartiX>> = {
+        let mut engines = Vec::with_capacity(max_coords);
+        let mut first = base;
+        first.set_dispatch(DispatchMode::Pool);
+        first.set_result_cache_enabled(true);
+        first.set_tracing_enabled(false);
+        first.attach_meta(Arc::clone(&meta));
+        let first = Arc::new(first);
+        for _ in 1..max_coords {
+            engines.push(replica(&first, &meta));
+        }
+        engines.insert(0, first);
+        engines
+    };
+
+    // best run per (coordinators, mode) cell over `repeats` sweeps; a
+    // single-core host's scheduler noise dwarfs the effect size, so each
+    // cell keeps its best observation (modal fast state) and comparisons
+    // happen between equally-lucky cells
+    let mut best: Vec<RunResult> = Vec::new();
+    for rep in 0..config.repeats.max(1) {
+        let mut coords_order = config.coordinators.clone();
+        if rep % 2 == 1 {
+            coords_order.reverse();
+        }
+        for &coords in &coords_order {
+            for mode in ["buffered", "streamed"] {
+                let run =
+                    measure(config, coords, mode, &engines, &workload, &oracle);
+                println!(
+                    "-- rep {} {} coordinator(s), {:9}: {:8.1} qps  p50 {:7.2} ms  \
+                     p99 {:7.2} ms  verified={} failovers={}",
+                    rep, run.coordinators, run.mode, run.qps, run.p50_ms, run.p99_ms,
+                    run.verified, run.failovers,
+                );
+                match best
+                    .iter_mut()
+                    .find(|r| r.coordinators == coords && r.mode == mode)
+                {
+                    None => best.push(run),
+                    Some(seen) => {
+                        // correctness accumulates; performance keeps its best
+                        seen.verified &= run.verified;
+                        seen.failovers += run.failovers;
+                        if run.qps > seen.qps {
+                            seen.qps = run.qps;
+                        }
+                        if run.p50_ms < seen.p50_ms {
+                            seen.p50_ms = run.p50_ms;
+                        }
+                        if run.p99_ms < seen.p99_ms {
+                            seen.p99_ms = run.p99_ms;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    best.sort_by(|a, b| (a.coordinators, a.mode).cmp(&(b.coordinators, b.mode)));
+    for run in &best {
+        println!(
+            "== best {} coordinator(s), {:9}: {:8.1} qps  p50 {:7.2} ms  p99 {:7.2} ms  \
+             verified={} failovers={}",
+            run.coordinators, run.mode, run.qps, run.p50_ms, run.p99_ms, run.verified,
+            run.failovers,
+        );
+    }
+    best
+}
+
+/// One cell: bind `coords` coordinator endpoints, warm them, then drive
+/// the closed-loop client fleet and collect per-query latencies.
+fn measure(
+    config: &ScaleoutConfig,
+    coords: usize,
+    mode: &'static str,
+    engines: &[Arc<PartiX>],
+    workload: &[(&'static str, String)],
+    oracle: &[String],
+) -> RunResult {
+    let opts = StreamOpts { allow_partial: false, buffered: mode == "buffered" };
+    let servers: Vec<StreamServer> = (0..coords)
+        .map(|k| {
+            serve_coordinator(
+                "127.0.0.1:0",
+                Arc::clone(&engines[k]),
+                StreamServerConfig::default(),
+            )
+            .expect("bind coordinator")
+        })
+        .collect();
+    let addrs: Vec<String> = servers.iter().map(|s| s.addr().to_string()).collect();
+
+    // warm every coordinator's plan/result caches over the wire
+    for addr in &addrs {
+        let pool = CoordinatorPool::new(vec![addr.clone()], StreamClientConfig::default());
+        for (_, q) in workload {
+            pool.query(q, opts).expect("warm-up query");
+        }
+    }
+
+    let verified = AtomicBool::new(true);
+    let failovers = AtomicU64::new(0);
+    let start = Instant::now();
+    let mut latencies: Vec<f64> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.clients)
+            .map(|client| {
+                let addrs = addrs.clone();
+                let verified = &verified;
+                let failovers = &failovers;
+                scope.spawn(move || {
+                    // sticky with rotated primaries: fleet-level
+                    // round-robin, one warm connection per client (a
+                    // colocated fleet with per-query rotation would pay
+                    // coords× the connections and reader threads, burying
+                    // the scale-out signal under client-side overhead)
+                    let mut addrs = addrs;
+                    addrs.rotate_left(client % coords);
+                    let pool =
+                        CoordinatorPool::new_sticky(addrs, StreamClientConfig::default());
+                    let mut observed = Vec::with_capacity(config.queries_per_client);
+                    for k in 0..config.queries_per_client {
+                        let idx = (client + k) % workload.len();
+                        let issued = Instant::now();
+                        let result =
+                            pool.query(&workload[idx].1, opts).expect("scaleout query");
+                        observed.push(issued.elapsed().as_secs_f64());
+                        if canonical(&result.items) != oracle[idx] {
+                            verified.store(false, Ordering::Relaxed);
+                        }
+                    }
+                    failovers.fetch_add(pool.failovers(), Ordering::Relaxed);
+                    observed
+                })
+            })
+            .collect();
+        for handle in handles {
+            latencies.extend(handle.join().expect("client thread"));
+        }
+    });
+    let wall = start.elapsed().as_secs_f64();
+    drop(servers);
+
+    RunResult {
+        coordinators: coords,
+        mode,
+        qps: latencies.len() as f64 / wall.max(1e-9),
+        p50_ms: percentile(&mut latencies, 50.0) * 1e3,
+        p99_ms: percentile(&mut latencies, 99.0) * 1e3,
+        verified: verified.load(Ordering::Relaxed),
+        failovers: failovers.load(Ordering::Relaxed),
+    }
+}
+
+fn find<'a>(results: &'a [RunResult], coords: usize, mode: &str) -> Option<&'a RunResult> {
+    results.iter().find(|r| r.coordinators == coords && r.mode == mode)
+}
+
+/// Render the sweep as the committed `BENCH_scaleout.json` document.
+pub fn to_json(config: &ScaleoutConfig, results: &[RunResult]) -> String {
+    let min_coords = config.coordinators.iter().copied().min().unwrap_or(1);
+    let max_coords = config.coordinators.iter().copied().max().unwrap_or(1);
+    let qps_scales = match (
+        find(results, min_coords, "streamed"),
+        find(results, max_coords, "streamed"),
+    ) {
+        (Some(lo), Some(hi)) => max_coords > min_coords && hi.qps > lo.qps,
+        _ => false,
+    };
+    let streamed_p99_le_buffered = match (
+        find(results, max_coords, "streamed"),
+        find(results, max_coords, "buffered"),
+    ) {
+        (Some(s), Some(b)) => s.p99_ms <= b.p99_ms,
+        _ => false,
+    };
+    let verified = !results.is_empty() && results.iter().all(|r| r.verified);
+
+    let mut out = String::from("{");
+    json::str_field(&mut out, "bench", "scaleout");
+    json::num_field(&mut out, "db_bytes", config.db_bytes as f64);
+    json::num_field(&mut out, "fragments", config.fragments as f64);
+    json::num_field(&mut out, "clients", config.clients as f64);
+    json::num_field(&mut out, "queries_per_client", config.queries_per_client as f64);
+    json::num_field(&mut out, "repeats", config.repeats as f64);
+    let mut runs = String::from("[");
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            runs.push(',');
+        }
+        let mut entry = String::from("{");
+        json::num_field(&mut entry, "coordinators", r.coordinators as f64);
+        json::str_field(&mut entry, "mode", r.mode);
+        json::num_field(&mut entry, "qps", r.qps);
+        json::num_field(&mut entry, "p50_ms", r.p50_ms);
+        json::num_field(&mut entry, "p99_ms", r.p99_ms);
+        json::bool_field(&mut entry, "verified", r.verified);
+        json::num_field(&mut entry, "failovers", r.failovers as f64);
+        entry.push('}');
+        runs.push_str(&entry);
+    }
+    runs.push(']');
+    json::raw_field(&mut out, "runs", &runs);
+    json::bool_field(&mut out, "qps_scales", qps_scales);
+    json::bool_field(&mut out, "streamed_p99_le_buffered", streamed_p99_le_buffered);
+    json::bool_field(&mut out, "verified", verified);
+    out.push('}');
+    out
+}

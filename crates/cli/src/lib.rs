@@ -643,6 +643,71 @@ pub fn serve(
     Ok((server, local))
 }
 
+/// `partix serve --coordinator`: expose a database directory as a `PXN2`
+/// streaming coordinator. The engine runs the database as its node 0, an
+/// epoch-versioned [`partix_engine::MetaService`] is attached (so more
+/// coordinators could share the catalog), and sub-query results stream
+/// to clients chunk-by-chunk as they complete.
+pub fn serve_coordinator(
+    addr: &str,
+    data: Option<&Path>,
+) -> Result<(partix_net::StreamServer, std::net::SocketAddr), CliError> {
+    use partix_engine::{MetaService, NetworkModel, PartiX};
+    let db = match data {
+        Some(dir) => open_or_new(dir)?,
+        None => Database::new(),
+    };
+    let px = PartiX::new(1, NetworkModel::instantaneous());
+    px.cluster()
+        .node(0)
+        .ok_or_else(|| err("serve: coordinator has no node 0"))?
+        .set_driver(std::sync::Arc::new(db));
+    px.attach_meta(MetaService::with_catalog(px.catalog_snapshot()));
+    let server = partix_net::serve_coordinator(
+        addr,
+        std::sync::Arc::new(px),
+        partix_net::StreamServerConfig::default(),
+    )
+    .map_err(|e| err(format!("serve: cannot bind {addr}: {e}")))?;
+    let local = server.addr();
+    Ok((server, local))
+}
+
+/// `partix stream`: run one query against a pool of coordinators
+/// (comma-separated addresses), streaming the answer and failing over if
+/// a coordinator dies mid-call.
+pub fn stream_query(addrs: &str, text: &str) -> Result<String, CliError> {
+    use partix_net::{CoordinatorPool, StreamClientConfig, StreamOpts};
+    let list: Vec<String> = addrs
+        .split(',')
+        .map(|a| a.trim().to_owned())
+        .filter(|a| !a.is_empty())
+        .collect();
+    if list.is_empty() {
+        return Err(err("stream: no coordinator addresses"));
+    }
+    let pool = CoordinatorPool::new(list, StreamClientConfig::default());
+    let result = pool
+        .query(text, StreamOpts::default())
+        .map_err(|e| err(format!("stream: {e}")))?;
+    let mut out = partix_query::func::serialize_sequence(&result.items);
+    if out.is_empty() {
+        out.push_str("(empty sequence)");
+    }
+    let _ = write!(
+        out,
+        "\n\n-- stream --\n{} item(s) in {} chunk(s); {} site(s), {} fragment(s) pruned, \
+         catalog epoch {}{}",
+        result.items.len(),
+        result.chunks,
+        result.stats.sites,
+        result.stats.fragments_pruned,
+        result.stats.catalog_epoch,
+        if result.stats.partial { " (PARTIAL)" } else { "" },
+    );
+    Ok(out.trim_end().to_owned())
+}
+
 /// `partix ping`: health-check a running node server over the wire.
 /// [`partix_net::RemoteDriver::connect`] dials and exchanges a
 /// ping/pong frame pair, so success means the server spoke the protocol.
@@ -743,6 +808,13 @@ USAGE
                                                     (default: the
                                                     PARTIX_MORSEL_WORKERS env
                                                     var, else the core count)
+  partix serve --coordinator --addr <HOST:PORT>     run a PXN2 streaming
+                [--data <db-dir>]                   coordinator: answers
+                                                    stream chunk-by-chunk
+                                                    as sub-queries finish
+  partix stream <HOST:PORT[,HOST:PORT...]> '<xq>'   run a query against a
+                                                    coordinator pool
+                                                    (round-robin + failover)
   partix ping <HOST:PORT>                           health-check a node
                                                     server over the wire
 
@@ -757,6 +829,8 @@ EXAMPLE
   partix advise 7
   partix rebalance 7
   partix serve --node 0 --addr 127.0.0.1:7401 --data ./db
+  partix serve --coordinator --addr 127.0.0.1:7500 --data ./db
+  partix stream 127.0.0.1:7500 'count(collection(\"items\")/Item)'
   partix ping 127.0.0.1:7401";
 
 #[cfg(test)]

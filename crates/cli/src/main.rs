@@ -60,6 +60,7 @@ fn main() -> ExitCode {
             }
         }
         Some("serve") => return serve(&args[1..]),
+        Some("stream") if args.len() == 3 => partix_cli::stream_query(&args[1], &args[2]),
         Some("ping") if args.len() == 2 => partix_cli::ping(&args[1]),
         _ => {
             println!("{}", partix_cli::USAGE);
@@ -109,8 +110,14 @@ fn serve(args: &[String]) -> ExitCode {
     let mut addr: Option<&str> = None;
     let mut data: Option<&Path> = None;
     let mut morsel_workers: Option<usize> = None;
+    let mut coordinator = false;
     let mut i = 0;
     while i < args.len() {
+        if args[i] == "--coordinator" {
+            coordinator = true;
+            i += 1;
+            continue;
+        }
         let value = match args.get(i + 1) {
             Some(value) => value,
             None => {
@@ -138,12 +145,33 @@ fn serve(args: &[String]) -> ExitCode {
             other => {
                 eprintln!(
                     "serve: unknown flag {other} \
-                     (expected --node/--addr/--data/--morsel-workers)"
+                     (expected --coordinator/--node/--addr/--data/--morsel-workers)"
                 );
                 return ExitCode::FAILURE;
             }
         }
         i += 2;
+    }
+    if coordinator {
+        let Some(addr) = addr else {
+            eprintln!("serve: --addr <HOST:PORT> is required");
+            return ExitCode::FAILURE;
+        };
+        return match partix_cli::serve_coordinator(addr, data) {
+            Ok((_server, local)) => {
+                use std::io::Write as _;
+                println!("coordinator listening on {local}");
+                let _ = std::io::stdout().flush();
+                // park until killed; `_server` keeps the listener alive
+                loop {
+                    std::thread::park();
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
     let (Some(node), Some(addr)) = (node, addr) else {
         eprintln!("serve: --node <N> and --addr <HOST:PORT> are required");

@@ -138,7 +138,7 @@ impl Distribution {
 
 /// The XML Schema Catalog Service and XML Distribution Catalog Service
 /// (paper Sec. 4), merged into one registry.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Catalog {
     schemas: HashMap<String, Arc<Schema>>,
     // Arc'd so per-query lookups can take a reference-count bump instead

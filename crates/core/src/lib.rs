@@ -65,6 +65,7 @@ pub mod compose;
 pub mod driver;
 pub mod faults;
 pub mod localize;
+pub mod meta;
 pub mod metrics;
 pub mod publisher;
 pub mod report;
@@ -79,6 +80,7 @@ pub use catalog::{Catalog, Distribution, DistributionError, Placement};
 pub use cluster::{Cluster, NetworkModel, Node};
 pub use driver::{DriverError, InstrumentedDriver, PartixDriver};
 pub use faults::{Fault, FaultInjector, FaultPlan, InjectionStats};
+pub use meta::MetaService;
 pub use metrics::{MetricsRegistry, Snapshot};
 pub use report::{QueryReport, SiteReport, SkippedFragment};
 pub use trace::{SpanRecord, StageBreakdown, SubQueryStage, Trace};

@@ -58,6 +58,12 @@ pub enum PartixError {
     SubQuery { node: usize, fragment: String, error: String },
     /// Fragment reconstruction failed (correctness violation at runtime).
     Reconstruction(String),
+    /// A live rebalance swapped the collection's distribution while a
+    /// *streamed* answer was in flight. Chunks already emitted may
+    /// reflect the old placements, and a stream cannot be silently
+    /// re-emitted — the caller must discard and retry (buffered
+    /// execution replans transparently instead).
+    CatalogSwapped,
     Internal(String),
 }
 
@@ -78,6 +84,9 @@ impl fmt::Display for PartixError {
                 write!(f, "sub-query on node {node} (fragment {fragment}) failed: {error}")
             }
             PartixError::Reconstruction(msg) => write!(f, "reconstruction failed: {msg}"),
+            PartixError::CatalogSwapped => {
+                write!(f, "distribution changed while streaming the answer; retry the query")
+            }
             PartixError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
@@ -195,14 +204,26 @@ pub struct PartiX {
     /// wall times in [`QueryReport::stages`] are always measured — they
     /// cost a handful of `Instant::now()` reads; spans allocate.
     tracing: std::sync::atomic::AtomicBool,
+    /// The replicated-catalog meta service this coordinator follows
+    /// (none = standalone coordinator owning its catalog).
+    meta: OnceLock<Arc<crate::meta::MetaService>>,
+    /// Last meta epoch this coordinator synced its catalog at.
+    meta_seen: std::sync::atomic::AtomicU64,
 }
 
 impl PartiX {
     /// A middleware over `nodes` fresh DBMS nodes.
     pub fn new(nodes: usize, network: NetworkModel) -> PartiX {
+        PartiX::with_cluster(Cluster::new(nodes), network)
+    }
+
+    /// A middleware over an existing set of nodes — the replicated-
+    /// coordinator constructor: several `PartiX` instances built over
+    /// [`Cluster::share`]d views coordinate the same DBMS nodes.
+    pub fn with_cluster(cluster: Cluster, network: NetworkModel) -> PartiX {
         PartiX {
             catalog: RwLock::new(Catalog::new()),
-            cluster: Cluster::new(nodes),
+            cluster,
             network,
             dispatch: DispatchMode::default(),
             localization: std::sync::atomic::AtomicBool::new(true),
@@ -219,6 +240,66 @@ impl PartiX {
             retry: RwLock::new(RetryPolicy::default()),
             rotation: Mutex::new(HashMap::new()),
             tracing: std::sync::atomic::AtomicBool::new(true),
+            meta: OnceLock::new(),
+            meta_seen: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Attach this coordinator to a replicated-catalog meta service and
+    /// pull its current snapshot. From here on the coordinator is
+    /// *stateless*: catalog mutations route through the meta service
+    /// (epoch bump), and every query entry point re-syncs when the epoch
+    /// moved. Can only be attached once.
+    pub fn attach_meta(&self, meta: Arc<crate::meta::MetaService>) {
+        if self.meta.set(meta).is_err() {
+            panic!("a coordinator can attach to a meta service only once");
+        }
+        self.sync_with_meta();
+    }
+
+    /// The attached meta service, if any.
+    pub fn meta(&self) -> Option<&Arc<crate::meta::MetaService>> {
+        self.meta.get()
+    }
+
+    /// The meta epoch this coordinator last synced at (0 = standalone or
+    /// never synced). The failover differential asserts all coordinators
+    /// converge to the same epoch after a rebalance.
+    pub fn meta_epoch_seen(&self) -> u64 {
+        self.meta_seen.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// A deep-enough copy of the current catalog (values are `Arc`s) for
+    /// seeding a [`crate::meta::MetaService`] from a standalone
+    /// coordinator's state.
+    pub fn catalog_snapshot(&self) -> Catalog {
+        self.catalog.read().clone()
+    }
+
+    /// When the meta epoch moved since the last sync, replace the local
+    /// catalog with the meta snapshot and drop the result cache (the
+    /// sub-query results may have been computed against retired
+    /// placements or pre-write data). Cheap when nothing changed: one
+    /// atomic load against the meta epoch.
+    pub fn sync_with_meta(&self) {
+        let Some(meta) = self.meta.get() else { return };
+        let seen = self.meta_seen.load(std::sync::atomic::Ordering::Acquire);
+        if meta.epoch() == seen {
+            return;
+        }
+        let (epoch, catalog) = meta.snapshot();
+        *self.catalog.write() = catalog;
+        self.result_cache.clear();
+        metrics::global().counter("partix.meta.syncs").inc();
+        self.meta_seen.store(epoch, std::sync::atomic::Ordering::Release);
+    }
+
+    /// Bump the meta epoch after a data write so sibling coordinators
+    /// invalidate, then follow it ourselves.
+    pub(crate) fn notify_meta_of_write(&self) {
+        if let Some(meta) = self.meta.get() {
+            meta.bump();
+            self.sync_with_meta();
         }
     }
 
@@ -399,7 +480,12 @@ impl PartiX {
     }
 
     pub fn register_schema(&self, schema: Arc<partix_schema::Schema>) {
-        self.catalog.write().register_schema(schema);
+        if let Some(meta) = self.meta.get() {
+            meta.register_schema(schema);
+            self.sync_with_meta();
+        } else {
+            self.catalog.write().register_schema(schema);
+        }
     }
 
     /// Register (or atomically replace) a collection's distribution.
@@ -409,10 +495,17 @@ impl PartiX {
     /// mis-dispatch. Queries in flight keep the `Arc` they planned with
     /// and finish against the old placements.
     pub fn register_distribution(&self, dist: Distribution) -> Result<(), PartixError> {
-        self.catalog
-            .write()
-            .register_distribution_on(dist, self.cluster.len())
-            .map_err(PartixError::InvalidDistribution)
+        if let Some(meta) = self.meta.get() {
+            meta.register_distribution_on(dist, self.cluster.len())
+                .map_err(PartixError::InvalidDistribution)?;
+            self.sync_with_meta();
+            Ok(())
+        } else {
+            self.catalog
+                .write()
+                .register_distribution_on(dist, self.cluster.len())
+                .map_err(PartixError::InvalidDistribution)
+        }
     }
 
     /// The distribution the coordinator would plan `query` against right
@@ -449,7 +542,7 @@ impl PartiX {
         let mut last = None;
         for _ in 0..=MAX_REPLANS {
             let before = self.target_distribution(query);
-            let result = self.execute_traced(query, options, trace, parse_s)?;
+            let result = self.execute_traced(query, options, trace, parse_s, None)?;
             let after = self.target_distribution(query);
             let stable = match (&before, &after) {
                 (None, None) => true,
@@ -477,6 +570,7 @@ impl PartiX {
         text: &str,
         options: ExecOptions,
     ) -> Result<DistributedResult, PartixError> {
+        self.sync_with_meta();
         let trace = self.new_trace();
         let parse_start = Instant::now();
         count_failure((|| {
@@ -528,9 +622,74 @@ impl PartiX {
         query: &Query,
         options: ExecOptions,
     ) -> Result<DistributedResult, PartixError> {
+        self.sync_with_meta();
         let trace = self.new_trace();
         // pre-parsed entry: there was no parse stage to time
         count_failure(self.execute_replanned(query, options, &trace, 0.0))
+    }
+
+    /// Stream an answer: `emit` receives consecutive slices of the result
+    /// sequence — in exactly the order [`PartiX::execute`] would return
+    /// them — as sub-queries complete, instead of one buffered answer at
+    /// the end. Returning `false` from `emit` cancels the stream
+    /// (in-flight sub-queries finish; their output is discarded).
+    ///
+    /// Plain concatenations stream site-by-site. Compositions that need
+    /// every partial before the first item exists (aggregates,
+    /// reconstruction joins, centralized passthrough) buffer internally
+    /// and emit the finished answer as one slice, so every caller sees
+    /// one uniform contract. The returned [`DistributedResult`] carries
+    /// the report only — its `items` have already been emitted.
+    ///
+    /// Streams never replan: a rebalance swapping the collection's
+    /// distribution mid-stream surfaces as
+    /// [`PartixError::CatalogSwapped`] (discard the emitted prefix and
+    /// retry), because silently re-executing a stream would duplicate
+    /// its prefix.
+    pub fn execute_streamed_with(
+        &self,
+        text: &str,
+        options: ExecOptions,
+        emit: &mut dyn FnMut(Sequence) -> bool,
+    ) -> Result<DistributedResult, PartixError> {
+        self.sync_with_meta();
+        let trace = self.new_trace();
+        let parse_start = Instant::now();
+        count_failure((|| {
+            let (query, hit) = if self.plan_cache_enabled() {
+                self.plan_cache
+                    .get_or_parse(text)
+                    .map_err(PartixError::Parse)?
+            } else {
+                (
+                    Arc::new(parse_query(text).map_err(PartixError::Parse)?),
+                    false,
+                )
+            };
+            let parse_s = parse_start.elapsed().as_secs_f64();
+            trace.record("parse", 0, parse_start);
+            let before = self.target_distribution(&query);
+            let mut result =
+                self.execute_traced(&query, options, &trace, parse_s, Some(&mut *emit))?;
+            let after = self.target_distribution(&query);
+            let stable = match (&before, &after) {
+                (None, None) => true,
+                (Some(b), Some(a)) => Arc::ptr_eq(b, a),
+                _ => false,
+            };
+            if !stable {
+                metrics::global().counter("partix.stream.catalog_swaps").inc();
+                return Err(PartixError::CatalogSwapped);
+            }
+            result.report.plan_cache_hit = hit;
+            // buffered fallbacks return the whole answer: deliver it as
+            // the stream's single slice
+            let items = std::mem::take(&mut result.items);
+            if !items.is_empty() && !emit(items) {
+                return Err(stream_cancelled());
+            }
+            Ok(result)
+        })())
     }
 
     /// The decomposition/dispatch/composition pipeline, with stage
@@ -542,6 +701,7 @@ impl PartiX {
         options: ExecOptions,
         trace: &Trace,
         parse_s: f64,
+        mut streamer: Option<&mut dyn FnMut(Sequence) -> bool>,
     ) -> Result<DistributedResult, PartixError> {
         let query_start = Instant::now();
         let localize_start = Instant::now();
@@ -692,55 +852,88 @@ impl PartiX {
 
         let dispatched_any = !pending.is_empty();
         let mut sub_stages: Vec<SubQueryStage> = Vec::new();
-        if dispatched_any {
+        // inline streaming applies to plain concatenation only: aggregate
+        // compositions need every partial before a single item exists, and
+        // simulated dispatch is sequential anyway (the buffered answer is
+        // emitted as one slice by the streaming entry point)
+        let stream_inline = streamer.is_some()
+            && composition == Composition::Concat
+            && !matches!(self.dispatch, DispatchMode::Simulated);
+        if dispatched_any && stream_inline {
+            let emit = streamer.take().expect("stream_inline implies a streamer");
+            let mut resolved: Vec<bool> = slots.iter().map(Option::is_some).collect();
+            let mut cursor = 0usize;
+            let mut cancelled = false;
+            let mut fatal: Option<PartixError> = None;
+            // the cache-hit prefix is ready before any sub-query lands
+            emit_ready_prefix(&mut slots, &resolved, &mut cursor, &mut cancelled, &mut *emit);
+            std::thread::scope(|scope| {
+                let (tx, rx) = crossbeam::channel::unbounded();
+                for (lane, (i, epochs)) in pending.into_iter().enumerate() {
+                    let tx = tx.clone();
+                    let task = &tasks[i];
+                    scope.spawn(move || {
+                        let run = self.run_subquery_guarded(task, avg_mode, trace, lane + 1);
+                        let _ = tx.send((i, epochs, run));
+                    });
+                }
+                drop(tx);
+                // completion order: a fast site's slice goes out the moment
+                // every earlier slice has, however slow later sites are
+                while let Ok((i, epochs, run)) = rx.recv() {
+                    let absorbed = self.absorb_run(
+                        i,
+                        &epochs,
+                        run,
+                        &tasks[i],
+                        avg_mode,
+                        use_cache,
+                        options.allow_partial,
+                        &mut slots,
+                        &mut sub_stages,
+                        &mut report,
+                    );
+                    if let Err(err) = absorbed {
+                        // dropping rx fails the remaining sends harmlessly;
+                        // the scope still joins every worker
+                        fatal = Some(err);
+                        break;
+                    }
+                    resolved[i] = true;
+                    if !cancelled {
+                        emit_ready_prefix(
+                            &mut slots,
+                            &resolved,
+                            &mut cursor,
+                            &mut cancelled,
+                            &mut *emit,
+                        );
+                    }
+                }
+            });
+            if let Some(err) = fatal {
+                return Err(err);
+            }
+            if cancelled {
+                return Err(stream_cancelled());
+            }
+        } else if dispatched_any {
             let todo: Vec<SubQuery> =
                 pending.iter().map(|&(i, _)| tasks[i].clone()).collect();
             let runs = self.dispatch(&todo, avg_mode, trace);
             for ((i, epochs), run) in pending.into_iter().zip(runs) {
-                match run {
-                    Ok(mut run) => {
-                        sub_stages.push(std::mem::take(&mut run.stage));
-                        if use_cache {
-                            // key the entry under the replica that
-                            // actually answered (it may not be the
-                            // planner's pick after a failover)
-                            let epoch = epochs
-                                .iter()
-                                .find(|&&(id, _)| id == run.node)
-                                .map(|&(_, e)| e)
-                                .unwrap_or(0);
-                            let key = ResultKey::new(
-                                run.node,
-                                &tasks[i].fragment,
-                                epoch,
-                                avg_mode,
-                                &tasks[i].query,
-                            );
-                            self.result_cache.insert(
-                                key,
-                                CachedSite {
-                                    items: run.output.items.clone(),
-                                    result_bytes: run.output.result_bytes,
-                                    docs_scanned: run.output.docs_scanned,
-                                    index_used: run.output.index_used,
-                                    morsels: run.output.morsels,
-                                },
-                            );
-                        }
-                        slots[i] = Some(SiteSlot { run, cached: false });
-                    }
-                    Err(failure) if options.allow_partial => {
-                        sub_stages.push(*failure.stage);
-                        report.retries += failure.retries;
-                        report.failovers += failure.failovers;
-                        report.timeouts += failure.timeouts;
-                        report.skipped.push(SkippedFragment {
-                            fragment: tasks[i].fragment.clone(),
-                            error: failure.error.to_string(),
-                        });
-                    }
-                    Err(failure) => return Err(failure.error),
-                }
+                self.absorb_run(
+                    i,
+                    &epochs,
+                    run,
+                    &tasks[i],
+                    avg_mode,
+                    use_cache,
+                    options.allow_partial,
+                    &mut slots,
+                    &mut sub_stages,
+                    &mut report,
+                )?;
             }
         }
         report.partial = !report.skipped.is_empty();
@@ -808,6 +1001,66 @@ impl PartiX {
         report.spans = trace.finish();
         record_query_metrics(&report, metered_bytes, parse_s + query_start.elapsed().as_secs_f64());
         Ok(DistributedResult { items, report })
+    }
+
+    /// Fold one sub-query outcome into the query's accounting: cache the
+    /// answer under the replica that actually produced it (it may not be
+    /// the planner's pick after a failover), fill the site slot, or — in
+    /// degraded mode — record the skip. A hard failure becomes the
+    /// query's error. Shared by barrier dispatch (task order) and inline
+    /// streaming (completion order).
+    #[allow(clippy::too_many_arguments)]
+    fn absorb_run(
+        &self,
+        i: usize,
+        epochs: &[(usize, u64)],
+        run: Result<SiteRun, RunFailure>,
+        task: &SubQuery,
+        avg_mode: bool,
+        use_cache: bool,
+        allow_partial: bool,
+        slots: &mut [Option<SiteSlot>],
+        sub_stages: &mut Vec<SubQueryStage>,
+        report: &mut QueryReport,
+    ) -> Result<(), PartixError> {
+        match run {
+            Ok(mut run) => {
+                sub_stages.push(std::mem::take(&mut run.stage));
+                if use_cache {
+                    let epoch = epochs
+                        .iter()
+                        .find(|&&(id, _)| id == run.node)
+                        .map(|&(_, e)| e)
+                        .unwrap_or(0);
+                    let key =
+                        ResultKey::new(run.node, &task.fragment, epoch, avg_mode, &task.query);
+                    self.result_cache.insert(
+                        key,
+                        CachedSite {
+                            items: run.output.items.clone(),
+                            result_bytes: run.output.result_bytes,
+                            docs_scanned: run.output.docs_scanned,
+                            index_used: run.output.index_used,
+                            morsels: run.output.morsels,
+                        },
+                    );
+                }
+                slots[i] = Some(SiteSlot { run, cached: false });
+                Ok(())
+            }
+            Err(failure) if allow_partial => {
+                sub_stages.push(*failure.stage);
+                report.retries += failure.retries;
+                report.failovers += failure.failovers;
+                report.timeouts += failure.timeouts;
+                report.skipped.push(SkippedFragment {
+                    fragment: task.fragment.clone(),
+                    error: failure.error.to_string(),
+                });
+                Ok(())
+            }
+            Err(failure) => Err(failure.error),
+        }
     }
 
     /// Choose an *available* replica node of a fragment, rotating
@@ -1420,6 +1673,34 @@ fn panic_failure(task: &SubQuery, payload: Box<dyn std::any::Any + Send>) -> Run
             ..Default::default()
         }),
     }
+}
+
+/// Advance the streaming cursor over the contiguous prefix of resolved
+/// site slots, emitting each slot's items (moved out, not cloned) in
+/// task order — the order [`compose::combine`] would concatenate them.
+/// Slots left `None` by degraded-mode skips resolve without emitting.
+fn emit_ready_prefix(
+    slots: &mut [Option<SiteSlot>],
+    resolved: &[bool],
+    cursor: &mut usize,
+    cancelled: &mut bool,
+    emit: &mut dyn FnMut(Sequence) -> bool,
+) {
+    while *cursor < resolved.len() && resolved[*cursor] {
+        if let Some(slot) = slots[*cursor].as_mut() {
+            let items = std::mem::take(&mut slot.run.output.items);
+            if !items.is_empty() && !*cancelled && !emit(items) {
+                *cancelled = true;
+            }
+        }
+        *cursor += 1;
+    }
+}
+
+/// The typed error for a consumer that returned `false` from its emit
+/// callback: the stream stops and in-flight sub-queries are discarded.
+fn stream_cancelled() -> PartixError {
+    PartixError::Internal("stream consumer cancelled".into())
 }
 
 /// Count a failed execution into the registry (successes are counted by

@@ -138,8 +138,14 @@ impl PartiX {
     /// fragmentation design. See the module docs for ordering and crash
     /// semantics. Returns a typed [`WriteError`] — never a silent drop.
     pub fn put(&self, collection: &str, doc: Document) -> Result<WriteReport, WriteError> {
+        self.sync_with_meta();
         let outcome = self.put_inner(collection, doc);
         record_write_metrics("partix.writes.puts", outcome.is_err());
+        if outcome.is_ok() {
+            // tell every replicated coordinator to drop result caches
+            // built over the pre-write data
+            self.notify_meta_of_write();
+        }
         outcome
     }
 
@@ -161,8 +167,12 @@ impl PartiX {
     /// so the delete broadcasts to every replica of every fragment;
     /// disjointness guarantees at most one fragment actually removes it.
     pub fn delete(&self, collection: &str, name: &str) -> Result<WriteReport, WriteError> {
+        self.sync_with_meta();
         let outcome = self.delete_inner(collection, name);
         record_write_metrics("partix.writes.deletes", outcome.is_err());
+        if outcome.is_ok() {
+            self.notify_meta_of_write();
+        }
         outcome
     }
 

@@ -27,6 +27,15 @@
 //! so incompatible peers fail fast at the first frame. New frame kinds
 //! within a version are likewise rejected by older peers via
 //! [`ProtocolError::UnknownFrame`].
+//!
+//! Version 2 ("PXN2") adds the chunked-streaming kinds: a query opens a
+//! *stream* (client-chosen 64-bit id, multiplexed over one connection)
+//! and the answer comes back as zero or more [`FrameKind::ItemChunk`]
+//! frames followed by exactly one [`FrameKind::StreamEnd`] (success) or
+//! [`FrameKind::StreamError`] (typed failure). The header layout is
+//! byte-identical to version 1 — only the magic, version byte, and the
+//! set of legal kinds differ — so one reader handles both and a
+//! version-1-only peer rejects a v2 frame at the magic/version check.
 
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -34,8 +43,14 @@ use std::io::{self, Read, Write};
 /// Frame magic: "PXN1" (PartiX Net, layout 1).
 pub const MAGIC: [u8; 4] = *b"PXN1";
 
-/// Current protocol version.
+/// Frame magic for streaming frames: "PXN2".
+pub const MAGIC2: [u8; 4] = *b"PXN2";
+
+/// Current protocol version for request/response frames.
 pub const VERSION: u8 = 1;
+
+/// Protocol version for streaming frames.
+pub const VERSION2: u8 = 2;
 
 /// Fixed header size in bytes.
 pub const HEADER_LEN: usize = 14;
@@ -57,6 +72,21 @@ pub enum FrameKind {
     HealthPing = 4,
     /// Node → coordinator: probe answer (empty payload).
     HealthPong = 5,
+    /// v2, client → coordinator: open a result stream
+    /// ([`crate::stream::StreamQuery`]).
+    OpenStream = 6,
+    /// v2, coordinator → client: one chunk of result items
+    /// ([`crate::stream::ItemChunk`]).
+    ItemChunk = 7,
+    /// v2, coordinator → client: successful end of a stream with totals
+    /// and stats ([`crate::stream::StreamEnd`]).
+    StreamEnd = 8,
+    /// v2, coordinator → client: typed failure of one stream
+    /// ([`crate::stream::StreamError`]).
+    StreamError = 9,
+    /// v2, client → coordinator: abandon a stream; the server stops
+    /// producing chunks for it ([`crate::stream::CancelStream`]).
+    CancelStream = 10,
 }
 
 impl FrameKind {
@@ -67,8 +97,30 @@ impl FrameKind {
             3 => FrameKind::Error,
             4 => FrameKind::HealthPing,
             5 => FrameKind::HealthPong,
+            6 => FrameKind::OpenStream,
+            7 => FrameKind::ItemChunk,
+            8 => FrameKind::StreamEnd,
+            9 => FrameKind::StreamError,
+            10 => FrameKind::CancelStream,
             other => return Err(ProtocolError::UnknownFrame(other)),
         })
+    }
+
+    /// The protocol version a kind belongs to. A kind arriving inside a
+    /// frame of the other version is rejected as [`ProtocolError::UnknownFrame`].
+    pub fn version(self) -> u8 {
+        match self {
+            FrameKind::Request
+            | FrameKind::Result
+            | FrameKind::Error
+            | FrameKind::HealthPing
+            | FrameKind::HealthPong => VERSION,
+            FrameKind::OpenStream
+            | FrameKind::ItemChunk
+            | FrameKind::StreamEnd
+            | FrameKind::StreamError
+            | FrameKind::CancelStream => VERSION2,
+        }
     }
 }
 
@@ -97,6 +149,11 @@ pub enum ProtocolError {
     Truncated { context: &'static str },
     /// The payload passed framing but does not decode.
     Malformed(String),
+    /// A frame was well-formed on its own but violates stream state:
+    /// duplicate or out-of-order chunk sequence, a chunk for an unknown
+    /// or finished stream, a chunk-count mismatch at end-of-stream, or
+    /// an oversized chunk.
+    Stream(String),
     /// Transport-level I/O failure.
     Io(String),
 }
@@ -117,6 +174,7 @@ impl fmt::Display for ProtocolError {
             }
             ProtocolError::Truncated { context } => write!(f, "stream truncated in {context}"),
             ProtocolError::Malformed(msg) => write!(f, "malformed payload: {msg}"),
+            ProtocolError::Stream(msg) => write!(f, "stream protocol violation: {msg}"),
             ProtocolError::Io(msg) => write!(f, "io: {msg}"),
         }
     }
@@ -160,11 +218,18 @@ const fn crc32_table() -> [u32; 256] {
     table
 }
 
-/// Encode a frame into its on-wire bytes (header + payload).
+/// Encode a frame into its on-wire bytes (header + payload). The magic
+/// and version bytes follow the kind: streaming kinds are "PXN2"/2,
+/// request/response kinds "PXN1"/1.
 pub fn encode_frame(kind: FrameKind, payload: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
-    out.extend_from_slice(&MAGIC);
-    out.push(VERSION);
+    if kind.version() == VERSION2 {
+        out.extend_from_slice(&MAGIC2);
+        out.push(VERSION2);
+    } else {
+        out.extend_from_slice(&MAGIC);
+        out.push(VERSION);
+    }
     out.push(kind as u8);
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     out.extend_from_slice(&crc32(payload).to_le_bytes());
@@ -217,20 +282,7 @@ pub fn read_frame_after(
             ProtocolError::Io(e.to_string())
         }
     })?;
-    if header[..4] != MAGIC {
-        let mut got = [0u8; 4];
-        got.copy_from_slice(&header[..4]);
-        return Err(ProtocolError::BadMagic(got));
-    }
-    if header[4] != VERSION {
-        return Err(ProtocolError::UnsupportedVersion(header[4]));
-    }
-    let kind = FrameKind::from_u8(header[5])?;
-    let len = u32::from_le_bytes([header[6], header[7], header[8], header[9]]) as usize;
-    if len > MAX_PAYLOAD {
-        return Err(ProtocolError::Oversized { len, max: MAX_PAYLOAD });
-    }
-    let expected = u32::from_le_bytes([header[10], header[11], header[12], header[13]]);
+    let (len, expected) = validate_header(&header)?;
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload).map_err(|e| {
         if e.kind() == io::ErrorKind::UnexpectedEof {
@@ -243,7 +295,63 @@ pub fn read_frame_after(
     if actual != expected {
         return Err(ProtocolError::ChecksumMismatch { expected, actual });
     }
+    let kind = FrameKind::from_u8(header[5])?;
     Ok((Frame { kind, payload }, HEADER_LEN + len))
+}
+
+/// Validate a complete header: magic/version pairing, known kind for
+/// that version, and payload length under the cap. Returns the payload
+/// length and expected CRC.
+fn validate_header(header: &[u8; HEADER_LEN]) -> Result<(usize, u32), ProtocolError> {
+    let expect_version = if header[..4] == MAGIC {
+        VERSION
+    } else if header[..4] == MAGIC2 {
+        VERSION2
+    } else {
+        let mut got = [0u8; 4];
+        got.copy_from_slice(&header[..4]);
+        return Err(ProtocolError::BadMagic(got));
+    };
+    if header[4] != expect_version {
+        return Err(ProtocolError::UnsupportedVersion(header[4]));
+    }
+    let kind = FrameKind::from_u8(header[5])?;
+    if kind.version() != expect_version {
+        // A v1 kind under the PXN2 magic (or vice versa) is as unknown
+        // to this layer as an unassigned byte.
+        return Err(ProtocolError::UnknownFrame(header[5]));
+    }
+    let len = u32::from_le_bytes([header[6], header[7], header[8], header[9]]) as usize;
+    if len > MAX_PAYLOAD {
+        return Err(ProtocolError::Oversized { len, max: MAX_PAYLOAD });
+    }
+    let expected = u32::from_le_bytes([header[10], header[11], header[12], header[13]]);
+    Ok((len, expected))
+}
+
+/// Incremental decode for nonblocking readers: try to parse one frame
+/// from the front of `buf`. `Ok(None)` means the buffer does not yet
+/// hold a complete frame (read more bytes); `Ok(Some((frame, n)))`
+/// consumed `n` bytes. Header-level garbage surfaces immediately, even
+/// before the payload arrives, so a hostile peer cannot park a huge
+/// bogus length in the buffer.
+pub fn decode_frame(buf: &[u8]) -> Result<Option<(Frame, usize)>, ProtocolError> {
+    if buf.len() < HEADER_LEN {
+        return Ok(None);
+    }
+    let mut header = [0u8; HEADER_LEN];
+    header.copy_from_slice(&buf[..HEADER_LEN]);
+    let (len, expected) = validate_header(&header)?;
+    if buf.len() < HEADER_LEN + len {
+        return Ok(None);
+    }
+    let payload = buf[HEADER_LEN..HEADER_LEN + len].to_vec();
+    let actual = crc32(&payload);
+    if actual != expected {
+        return Err(ProtocolError::ChecksumMismatch { expected, actual });
+    }
+    let kind = FrameKind::from_u8(header[5])?;
+    Ok(Some((Frame { kind, payload }, HEADER_LEN + len)))
 }
 
 #[cfg(test)]
@@ -321,6 +429,61 @@ mod tests {
         assert!(matches!(
             read_frame(&mut Cursor::new(&oversized)).unwrap_err(),
             ProtocolError::Oversized { .. }
+        ));
+    }
+
+    #[test]
+    fn v2_frame_roundtrip_and_magic_pairing() {
+        let bytes = encode_frame(FrameKind::ItemChunk, b"chunk");
+        assert_eq!(&bytes[..4], b"PXN2");
+        assert_eq!(bytes[4], VERSION2);
+        let (frame, n) = read_frame(&mut Cursor::new(&bytes)).unwrap().unwrap();
+        assert_eq!(n, bytes.len());
+        assert_eq!(frame.kind, FrameKind::ItemChunk);
+        assert_eq!(frame.payload, b"chunk");
+
+        // a v1 kind under the PXN2 magic is rejected, and vice versa
+        let mut crossed = encode_frame(FrameKind::ItemChunk, b"");
+        crossed[5] = FrameKind::Request as u8;
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&crossed)).unwrap_err(),
+            ProtocolError::UnknownFrame(1)
+        ));
+        let mut crossed = encode_frame(FrameKind::Request, b"");
+        crossed[5] = FrameKind::OpenStream as u8;
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&crossed)).unwrap_err(),
+            ProtocolError::UnknownFrame(6)
+        ));
+        // PXN2 magic with a version-1 byte fails the version check
+        let mut crossed = encode_frame(FrameKind::OpenStream, b"");
+        crossed[4] = VERSION;
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&crossed)).unwrap_err(),
+            ProtocolError::UnsupportedVersion(1)
+        ));
+    }
+
+    #[test]
+    fn decode_frame_is_incremental() {
+        let bytes = encode_frame(FrameKind::StreamEnd, b"the end");
+        for cut in 0..bytes.len() {
+            assert_eq!(decode_frame(&bytes[..cut]).unwrap(), None, "cut at {cut}");
+        }
+        let (frame, n) = decode_frame(&bytes).unwrap().unwrap();
+        assert_eq!(n, bytes.len());
+        assert_eq!(frame.kind, FrameKind::StreamEnd);
+        // trailing bytes of the next frame are left alone
+        let mut two = bytes.clone();
+        two.extend_from_slice(&bytes);
+        let (_, n) = decode_frame(&two).unwrap().unwrap();
+        assert_eq!(n, bytes.len());
+        // header garbage surfaces before the payload arrives
+        let mut bogus = bytes.clone();
+        bogus[0] = b'Q';
+        assert!(matches!(
+            decode_frame(&bogus[..HEADER_LEN]).unwrap_err(),
+            ProtocolError::BadMagic(_)
         ));
     }
 }

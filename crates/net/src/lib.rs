@@ -25,11 +25,26 @@
 
 pub mod client;
 pub mod codec;
+pub mod coord;
 pub mod frame;
 pub mod message;
 pub mod server;
+pub mod stream;
+pub mod stream_client;
+pub mod stream_server;
 
 pub use client::{RemoteDriver, RemoteDriverConfig, WireStats};
-pub use frame::{Frame, FrameKind, ProtocolError, HEADER_LEN, MAX_PAYLOAD, VERSION};
+pub use coord::{serve_coordinator, CoordHandler};
+pub use frame::{Frame, FrameKind, ProtocolError, HEADER_LEN, MAX_PAYLOAD, VERSION, VERSION2};
 pub use message::{Request, Response, WireError};
 pub use server::{NodeServer, ServerConfig};
+pub use stream::{
+    CancelStream, ItemChunk, StreamAssembler, StreamEnd, StreamError, StreamOutcome, StreamQuery,
+    StreamStats,
+};
+pub use stream_client::{
+    CoordinatorPool, StreamCallError, StreamClient, StreamClientConfig, StreamOpts, StreamResult,
+};
+pub use stream_server::{
+    ChunkSink, SinkClosed, StreamFailure, StreamHandler, StreamServer, StreamServerConfig,
+};

@@ -263,11 +263,21 @@ fn answer_frame(
             write_frame(&mut stream, kind, &payload)?;
             Ok(())
         }
-        // A server never receives these; answering them would desync
-        // the request/response rhythm.
-        FrameKind::Result | FrameKind::Error | FrameKind::HealthPong => Err(
-            ProtocolError::Malformed(format!("unexpected {:?} frame on server", frame.kind)),
-        ),
+        // A node server never receives responses — nor `PXN2` stream
+        // frames, which belong to the coordinator endpoint
+        // ([`crate::stream_server`]); answering them would desync the
+        // request/response rhythm.
+        FrameKind::Result
+        | FrameKind::Error
+        | FrameKind::HealthPong
+        | FrameKind::OpenStream
+        | FrameKind::ItemChunk
+        | FrameKind::StreamEnd
+        | FrameKind::StreamError
+        | FrameKind::CancelStream => Err(ProtocolError::Malformed(format!(
+            "unexpected {:?} frame on server",
+            frame.kind
+        ))),
     }
 }
 

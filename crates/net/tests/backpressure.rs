@@ -1,0 +1,164 @@
+//! Slow-reader backpressure: one client that stops reading must stall
+//! only its own stream. The server's memory for it is bounded by the
+//! per-connection send-queue cap (plus at most one frame), every other
+//! client keeps streaming at full rate, and tearing the slow reader down
+//! releases its worker — the server serves on as if nothing happened.
+
+use partix_net::frame::{encode_frame, FrameKind};
+use partix_net::stream::{StreamQuery, StreamStats};
+use partix_net::stream_server::{
+    ChunkSink, StreamFailure, StreamHandler, StreamServer, StreamServerConfig,
+};
+use partix_net::{StreamClient, StreamClientConfig, StreamOpts};
+use partix_query::Item;
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Synthetic handler: the query text is an item count; items go out in
+/// fixed batches so a big stream is many frames, not one.
+struct CountHandler {
+    /// Streams whose sink closed under them (the slow reader, once torn
+    /// down).
+    closed_streams: AtomicU64,
+}
+
+impl StreamHandler for CountHandler {
+    fn run(
+        &self,
+        query: &StreamQuery,
+        sink: &dyn ChunkSink,
+    ) -> Result<StreamStats, StreamFailure> {
+        let n: usize = query.text.parse().unwrap_or(0);
+        let batch: Vec<Item> = (0..256).map(|i| Item::Num(i as f64)).collect();
+        let mut sent = 0;
+        while sent < n {
+            let take = batch.len().min(n - sent);
+            if sink.emit(&batch[..take]).is_err() {
+                self.closed_streams.fetch_add(1, Ordering::Relaxed);
+                return Err(StreamFailure { retryable: true, message: "sink closed".into() });
+            }
+            sent += take;
+        }
+        Ok(StreamStats { sites: 1, ..StreamStats::default() })
+    }
+}
+
+/// Bytes one batch frame occupies, give or take headers — used to size
+/// the queue-bound assertion.
+const FRAME_SLACK: usize = 16 * 1024;
+
+#[test]
+fn slow_reader_stalls_only_itself_with_bounded_server_memory() {
+    const QUEUE_CAP: usize = 32 * 1024;
+    // ~2M numeric items ≈ ~20 MB of frames: far beyond the queue cap
+    // *and* the kernel's socket buffering, so an unbounded server would
+    // balloon observably
+    const STALLED_ITEMS: usize = 2_000_000;
+    const FAST_ITEMS: usize = 1_000;
+    const FAST_CLIENTS: usize = 4;
+    const FAST_QUERIES: usize = 10;
+
+    let handler = Arc::new(CountHandler { closed_streams: AtomicU64::new(0) });
+    let server = StreamServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&handler) as Arc<dyn StreamHandler>,
+        StreamServerConfig { send_queue_bytes: QUEUE_CAP, ..StreamServerConfig::default() },
+    )
+    .expect("bind");
+    let addr = server.addr().to_string();
+
+    // the slow reader: open a huge stream on a raw socket, read nothing
+    let mut stalled = TcpStream::connect(&addr).expect("connect stalled");
+    let open = StreamQuery {
+        stream: 1,
+        text: STALLED_ITEMS.to_string(),
+        allow_partial: false,
+        buffered: false,
+        chunk_items: 64,
+    };
+    stalled
+        .write_all(&encode_frame(FrameKind::OpenStream, &open.encode()))
+        .expect("open stalled stream");
+    stalled.flush().unwrap();
+
+    // give the handler time to fill the queue and hit the cap
+    let filled = Instant::now();
+    while server.queued_bytes() < QUEUE_CAP && filled.elapsed() < Duration::from_secs(10) {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(
+        server.queued_bytes() > 0,
+        "stalled stream never queued anything — is the handler running?"
+    );
+
+    // fast clients run at full rate while the slow reader stalls
+    let mut latencies: Vec<f64> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..FAST_CLIENTS)
+            .map(|_| {
+                let addr = addr.clone();
+                scope.spawn(move || {
+                    let client = StreamClient::connect(&addr, StreamClientConfig::default())
+                        .expect("fast client connects");
+                    let mut observed = Vec::new();
+                    for _ in 0..FAST_QUERIES {
+                        let started = Instant::now();
+                        let result = client
+                            .query(&FAST_ITEMS.to_string(), StreamOpts::default())
+                            .expect("fast query completes while another client stalls");
+                        observed.push(started.elapsed().as_secs_f64());
+                        assert_eq!(result.items.len(), FAST_ITEMS);
+                        assert!(result.chunks > 1, "large answer should arrive chunked");
+                    }
+                    observed
+                })
+            })
+            .collect();
+        for h in handles {
+            latencies.extend(h.join().expect("fast client"));
+        }
+    });
+
+    // full rate: no fast query waited anywhere near the stall. The bound
+    // is deliberately generous (shared single-core CI) — contamination
+    // by a stalled peer would park a query for the full 30 s timeout.
+    latencies.sort_by(f64::total_cmp);
+    let p99 = latencies[(latencies.len() - 1).min(latencies.len() * 99 / 100)];
+    assert!(
+        p99 < 5.0,
+        "fast-client p99 {p99:.3}s: the stalled client contaminated its peers"
+    );
+
+    // bounded memory: the stalled stream holds at most the queue cap plus
+    // one in-flight frame; fast streams drain as they go. Megabytes would
+    // mean the cap is not enforced.
+    let peak = server.peak_queue_bytes();
+    assert!(
+        peak <= QUEUE_CAP + FRAME_SLACK + FAST_CLIENTS * FRAME_SLACK,
+        "peak queue depth {peak} bytes blows through the {QUEUE_CAP}-byte cap"
+    );
+
+    // tear the slow reader down: its worker must observe the closed sink
+    // and the queued bytes must be released
+    drop(stalled);
+    let released = Instant::now();
+    while (server.queued_bytes() > 0 || handler.closed_streams.load(Ordering::Relaxed) == 0)
+        && released.elapsed() < Duration::from_secs(10)
+    {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(server.queued_bytes(), 0, "closing the stalled conn must release its queue");
+    assert_eq!(
+        handler.closed_streams.load(Ordering::Relaxed),
+        1,
+        "the stalled stream's handler must observe SinkClosed"
+    );
+
+    // and the server serves on: the freed worker answers new queries
+    let client = StreamClient::connect(&addr, StreamClientConfig::default()).expect("reconnect");
+    let result = client.query("100", StreamOpts::default()).expect("post-stall query");
+    assert_eq!(result.items.len(), 100);
+}

@@ -8,9 +8,14 @@
 
 use partix_net::codec::{self, Reader, Writer};
 use partix_net::frame::{
-    self, crc32, encode_frame, read_frame, FrameKind, ProtocolError, HEADER_LEN, MAX_PAYLOAD,
+    self, crc32, decode_frame, encode_frame, read_frame, FrameKind, ProtocolError, HEADER_LEN,
+    MAX_PAYLOAD, VERSION2,
 };
 use partix_net::message::{Request, Response, WireError};
+use partix_net::stream::{
+    CancelStream, ItemChunk, StreamAssembler, StreamEnd, StreamError, StreamOutcome, StreamQuery,
+    StreamStats, MAX_CHUNK_ITEMS,
+};
 use partix_query::parse_query;
 use partix_query::Item;
 use partix_storage::{QueryOutput, QueryStats};
@@ -313,6 +318,273 @@ proptest! {
             );
         }
     }
+}
+
+// ------------------------------------------------------ PXN2 streams --
+
+fn arb_stream_kind() -> impl Strategy<Value = FrameKind> {
+    prop::sample::select(vec![
+        FrameKind::OpenStream,
+        FrameKind::ItemChunk,
+        FrameKind::StreamEnd,
+        FrameKind::StreamError,
+        FrameKind::CancelStream,
+    ])
+}
+
+fn arb_stream_query() -> impl Strategy<Value = StreamQuery> {
+    (
+        0u64..u64::MAX,
+        arb_query_text(),
+        prop::sample::select(vec![true, false]),
+        prop::sample::select(vec![true, false]),
+        0u32..100_000,
+    )
+        .prop_map(|(stream, text, allow_partial, buffered, chunk_items)| StreamQuery {
+            stream,
+            text: text.to_owned(),
+            allow_partial,
+            buffered,
+            chunk_items,
+        })
+}
+
+fn arb_stream_end() -> impl Strategy<Value = StreamEnd> {
+    (
+        0u64..u64::MAX,
+        0u32..1000,
+        0u64..100_000,
+        0u32..64,
+        0u32..64,
+        0u64..100_000,
+        prop::sample::select(vec![true, false]),
+        0u64..u64::MAX,
+    )
+        .prop_map(
+            |(stream, chunks, items, sites, pruned, docs, partial, epoch)| StreamEnd {
+                stream,
+                chunks,
+                items,
+                stats: StreamStats {
+                    sites,
+                    fragments_pruned: pruned,
+                    docs_scanned: docs,
+                    partial,
+                    catalog_epoch: epoch,
+                    elapsed: 0.125,
+                },
+            },
+        )
+}
+
+/// One step of a hostile coordinator's output, as the assembler fuzz
+/// sees it: chunks with arbitrary stream ids and sequence numbers,
+/// ends with arbitrary totals, typed errors.
+#[derive(Debug, Clone)]
+enum StreamStep {
+    Chunk { stream: u64, seq: u32, items: usize },
+    End { stream: u64, chunks: u32, items: u64 },
+    Fail { stream: u64 },
+}
+
+fn arb_stream_step() -> impl Strategy<Value = StreamStep> {
+    prop_oneof![
+        (0u64..4, 0u32..6, 0usize..5)
+            .prop_map(|(stream, seq, items)| StreamStep::Chunk { stream, seq, items }),
+        (0u64..4, 0u32..6, 0u64..20)
+            .prop_map(|(stream, chunks, items)| StreamStep::End { stream, chunks, items }),
+        (0u64..4).prop_map(|stream| StreamStep::Fail { stream }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(cases(96))]
+
+    /// Every PXN2 payload type round-trips byte-exactly, and its frames
+    /// carry the v2 magic — v1 tooling can never half-read a stream.
+    #[test]
+    fn pxn2_payloads_roundtrip_and_frames_carry_v2_magic(
+        q in arb_stream_query(),
+        end in arb_stream_end(),
+        items in prop::collection::vec(arb_item(), 0..4),
+        retryable in prop::sample::select(vec![true, false]),
+    ) {
+        prop_assert_eq!(StreamQuery::decode(&q.encode()).unwrap(), q.clone());
+        prop_assert_eq!(StreamEnd::decode(&end.encode()).unwrap(), end);
+        let chunk = ItemChunk { stream: q.stream, seq: 3, items };
+        let back = ItemChunk::decode(&chunk.encode()).unwrap();
+        prop_assert_eq!(back.stream, chunk.stream);
+        prop_assert_eq!(back.seq, chunk.seq);
+        let err = StreamError { stream: q.stream, retryable, message: "nó caiu".into() };
+        prop_assert_eq!(StreamError::decode(&err.encode()).unwrap(), err);
+        let cancel = CancelStream { stream: q.stream };
+        prop_assert_eq!(CancelStream::decode(&cancel.encode()).unwrap(), cancel);
+
+        let bytes = encode_frame(FrameKind::OpenStream, &q.encode());
+        prop_assert_eq!(&bytes[..4], b"PXN2");
+        prop_assert_eq!(bytes[4], VERSION2);
+        let (frame, consumed) = decode_frame(&bytes).unwrap().expect("complete frame");
+        prop_assert_eq!(consumed, bytes.len());
+        prop_assert_eq!(frame.kind, FrameKind::OpenStream);
+    }
+
+    /// The incremental decoder never yields a frame from a proper prefix
+    /// and never panics on one; appending the missing bytes always
+    /// completes the identical frame.
+    #[test]
+    fn pxn2_incremental_decode_survives_any_split(
+        kind in arb_stream_kind(),
+        payload in arb_payload(),
+        cut_at in 0usize..65_536,
+    ) {
+        let bytes = encode_frame(kind, &payload);
+        let cut = cut_at % bytes.len();
+        match decode_frame(&bytes[..cut]) {
+            Ok(None) => {}
+            Ok(Some(_)) => prop_assert!(false, "prefix of {cut} bytes decoded as a frame"),
+            Err(e) => prop_assert!(false, "prefix of {cut} bytes errored: {e}"),
+        }
+        let (frame, consumed) = decode_frame(&bytes).unwrap().expect("full frame decodes");
+        prop_assert_eq!(consumed, bytes.len());
+        prop_assert_eq!(frame.kind, kind);
+        prop_assert_eq!(frame.payload, payload);
+    }
+
+    /// Hostile bytes against every PXN2 payload decoder: typed errors,
+    /// never panics.
+    #[test]
+    fn pxn2_random_bytes_never_panic_decoders(payload in arb_payload()) {
+        let _ = StreamQuery::decode(&payload);
+        let _ = ItemChunk::decode(&payload);
+        let _ = StreamEnd::decode(&payload);
+        let _ = StreamError::decode(&payload);
+        let _ = CancelStream::decode(&payload);
+        let _ = decode_frame(&payload);
+    }
+
+    /// Every proper prefix of a valid PXN2 payload is a typed error.
+    #[test]
+    fn pxn2_truncated_payloads_are_typed_errors(q in arb_stream_query(), end in arb_stream_end()) {
+        let bytes = q.encode();
+        for cut in 0..bytes.len() {
+            prop_assert!(StreamQuery::decode(&bytes[..cut]).is_err(), "query prefix {cut}");
+        }
+        let bytes = end.encode();
+        for cut in 0..bytes.len() {
+            prop_assert!(StreamEnd::decode(&bytes[..cut]).is_err(), "end prefix {cut}");
+        }
+    }
+
+    /// Fuzz the reassembly state machine with arbitrary interleavings of
+    /// chunks (any stream id, any seq), ends, and errors: it never
+    /// panics, rejects every frame not belonging to its stream, and a
+    /// `Complete` outcome is only reachable through consecutive sequence
+    /// numbers with truthful totals.
+    #[test]
+    fn pxn2_assembler_rejects_every_out_of_contract_interleaving(
+        target in 0u64..4,
+        steps in prop::collection::vec(arb_stream_step(), 0..24),
+    ) {
+        let mut asm = StreamAssembler::new(target);
+        let mut accepted_chunks: u32 = 0;
+        let mut accepted_items: u64 = 0;
+        for step in steps {
+            match step {
+                StreamStep::Chunk { stream, seq, items } => {
+                    let chunk = ItemChunk {
+                        stream,
+                        seq,
+                        items: (0..items).map(|i| Item::Num(i as f64)).collect(),
+                    };
+                    let in_contract = stream == target
+                        && !asm.is_done()
+                        && seq == accepted_chunks;
+                    match asm.accept_chunk(chunk) {
+                        Ok(added) => {
+                            prop_assert!(in_contract, "accepted chunk out of contract");
+                            prop_assert_eq!(added, items);
+                            accepted_chunks += 1;
+                            accepted_items += items as u64;
+                        }
+                        Err(e) => {
+                            prop_assert!(!in_contract, "rejected in-contract chunk: {e}");
+                            prop_assert!(matches!(e, ProtocolError::Stream(_)));
+                        }
+                    }
+                }
+                StreamStep::End { stream, chunks, items } => {
+                    let truthful = stream == target
+                        && !asm.is_done()
+                        && chunks == accepted_chunks
+                        && items == accepted_items;
+                    match asm.finish(StreamEnd {
+                        stream,
+                        chunks,
+                        items,
+                        stats: StreamStats::default(),
+                    }) {
+                        Ok(()) => prop_assert!(truthful, "accepted untruthful end-of-stream"),
+                        Err(e) => {
+                            prop_assert!(!truthful, "rejected truthful end: {e}");
+                            prop_assert!(matches!(e, ProtocolError::Stream(_)));
+                        }
+                    }
+                }
+                StreamStep::Fail { stream } => {
+                    let in_contract = stream == target && !asm.is_done();
+                    let err = StreamError { stream, retryable: false, message: "x".into() };
+                    match asm.fail(err) {
+                        Ok(()) => prop_assert!(in_contract),
+                        Err(e) => prop_assert!(!in_contract, "rejected in-contract error: {e}"),
+                    }
+                }
+            }
+        }
+        // a stream that never concluded is Truncated, not a silent prefix
+        let done = asm.is_done();
+        match asm.into_result() {
+            Ok((items, outcome)) => {
+                prop_assert!(done);
+                if let StreamOutcome::Complete(end) = outcome {
+                    prop_assert_eq!(end.items, items.len() as u64);
+                }
+            }
+            Err(e) => {
+                prop_assert!(!done);
+                prop_assert!(matches!(e, ProtocolError::Truncated { .. }));
+            }
+        }
+    }
+}
+
+/// A chunk claiming more items than [`MAX_CHUNK_ITEMS`] is rejected by
+/// the payload decoder *and* the assembler — the per-chunk allocation
+/// bound a hostile coordinator cannot talk its way around.
+#[test]
+fn pxn2_oversized_chunk_is_rejected() {
+    let oversized = ItemChunk {
+        stream: 1,
+        seq: 0,
+        items: (0..MAX_CHUNK_ITEMS + 1).map(|_| Item::Bool(true)).collect(),
+    };
+    let bytes = oversized.encode();
+    assert!(matches!(ItemChunk::decode(&bytes), Err(ProtocolError::Stream(_))));
+    let mut asm = StreamAssembler::new(1);
+    assert!(matches!(asm.accept_chunk(oversized), Err(ProtocolError::Stream(_))));
+    assert!(asm.items().is_empty(), "oversized chunk leaked items into the assembly");
+}
+
+/// A v2 frame whose version byte claims v1 (or vice versa) is rejected:
+/// magic and version are paired, so kind numbers can never be confused
+/// across protocol generations.
+#[test]
+fn pxn2_magic_version_mispairing_is_rejected() {
+    let mut bytes = encode_frame(FrameKind::CancelStream, &CancelStream { stream: 9 }.encode());
+    bytes[4] = 1; // PXN2 magic, v1 version byte
+    assert!(decode_frame(&bytes).is_err());
+    let mut bytes = encode_frame(FrameKind::HealthPing, b"");
+    bytes[4] = VERSION2; // PXN1 magic, v2 version byte
+    assert!(decode_frame(&bytes).is_err());
 }
 
 /// The CRC implementation matches the IEEE reference vector, pinning the

@@ -35,6 +35,17 @@ cargo test -q -p partix-net --offline
 cargo test -q --test remote_differential --offline
 cargo test -q --test concurrency --offline remote_chaos
 
+# streaming gate: the PXN2 streamed-vs-buffered differential (every
+# query family, hot and cold caches, seeded faults, coordinator killed
+# mid-stream), the coordinator-replication failover differential (three
+# coordinators, one killed mid-workload, epoch convergence after a
+# rebalance), and the slow-reader backpressure suite (bounded send
+# queues, per-stream isolation). The PXN2 frame/assembler property
+# tests run inside `-p partix-net` above.
+cargo test -q --test streaming_differential --offline
+cargo test -q --test coordinator_failover --offline
+cargo test -q -p partix-net --test backpressure --offline
+
 # rebalance gate: the advisor/rebalancer unit suites and the migration
 # differential suite (before/during/after answers vs the centralized
 # oracle — in-process, over TCP, and under seeded query-path faults).
@@ -238,6 +249,32 @@ if ! grep -q '"verified":true' "$WRITES_JSON"; then
 fi
 if ! grep -Eq '"wal_fsyncs":[1-9][0-9]*' "$WRITES_JSON"; then
     echo "verify: FAIL — writes run recorded zero WAL fsyncs" >&2
+    exit 1
+fi
+
+# the scale-out benchmark must sweep coordinator counts in both
+# transport modes with every answer oracle-verified. The scratch run is
+# deliberately small, so only shape and correctness gate here — the
+# committed BENCH_scaleout.json carries the full-scale scaling gates.
+SCALEOUT_JSON="$(mktemp /tmp/partix-verify-scaleout.XXXXXX.json)"
+trap 'rm -f "$STAGE_JSON" "$REMOTE_JSON" "$SERVE_LOG1" "$SERVE_LOG2" \
+    "$ADVISE_A" "$ADVISE_B" "$REBALANCE_JSON" "$MORSEL_JSON" \
+    "$STORAGE_JSON" "$WRITES_JSON" "$SCALEOUT_JSON"' EXIT
+./target/release/harness scaleout --sizes 1 --scale 0.1 --clients 8 \
+    --queries 4 --out "$SCALEOUT_JSON" > /dev/null
+for field in coordinators mode qps p50_ms p99_ms failovers repeats \
+    qps_scales streamed_p99_le_buffered; do
+    if ! grep -q "\"$field\":" "$SCALEOUT_JSON"; then
+        echo "verify: FAIL — $field missing from scaleout JSON" >&2
+        exit 1
+    fi
+done
+if grep -q '"verified":false' "$SCALEOUT_JSON"; then
+    echo "verify: FAIL — a scaleout run diverged from the oracle" >&2
+    exit 1
+fi
+if ! grep -q '"mode":"streamed"' "$SCALEOUT_JSON"; then
+    echo "verify: FAIL — scaleout never ran the streamed transport" >&2
     exit 1
 fi
 
