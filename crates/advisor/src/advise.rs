@@ -44,6 +44,12 @@ pub struct AdvisorConfig {
     pub candidate_counts: Vec<usize>,
     /// Value path to re-split on, e.g. `/Item/Section`.
     pub split_path: Option<PathExpr>,
+    /// Raw query texts the service answered; the frequency miner
+    /// ([`crate::mining`]) derives additional split-path candidates
+    /// from the equality predicates this log filters on.
+    pub query_log: Vec<String>,
+    /// How many mined paths (hottest first) become candidates.
+    pub mined_paths: usize,
     pub weights: CostWeights,
 }
 
@@ -55,6 +61,8 @@ impl AdvisorConfig {
             swap_iters: 200,
             candidate_counts: vec![],
             split_path: None,
+            query_log: vec![],
+            mined_paths: 2,
             weights: CostWeights::default(),
         }
     }
@@ -161,10 +169,28 @@ pub fn advise(
     let current_placed = placement_map(&current.placements);
     let current_cost = cost::score(&current_loads, &current_placed, config.nodes, &config.weights);
 
-    // candidate designs: current + horizontal re-splits
+    // candidate designs: current + horizontal re-splits. Split paths
+    // come from the operator (`split_path`) and from frequency mining
+    // over the query log; all candidates compete under the same cost
+    // model.
     let mut candidates: Vec<FragmentationSchema> = vec![current.design.clone()];
-    if let Some(path) = &config.split_path {
-        for &count in &config.candidate_counts {
+    let counts: &[usize] =
+        if config.candidate_counts.is_empty() { &[2, 4] } else { &config.candidate_counts };
+    let mut split_paths: Vec<PathExpr> = config.split_path.iter().cloned().collect();
+    if !config.query_log.is_empty() {
+        let mined = crate::mining::mine_predicates(&config.query_log);
+        for path in crate::mining::mined_split_paths(
+            &mined,
+            &current.design.collection.name,
+            config.mined_paths,
+        ) {
+            if !split_paths.contains(&path) {
+                split_paths.push(path);
+            }
+        }
+    }
+    for path in &split_paths {
+        for &count in counts {
             if let Ok(design) =
                 horizontal_by_values(current.design.collection.clone(), path, sample, count)
             {
@@ -357,7 +383,9 @@ fn search_placement(
                     continue;
                 }
             }
-            // swap the primary nodes of two fragments
+            // swap the primary nodes of two fragments (skipped when a
+            // secondary replica already sits on the incoming node — the
+            // swap would duplicate it)
             1 => {
                 let a = &names[rng.below(names.len())];
                 let b = &names[rng.below(names.len())];
@@ -366,6 +394,9 @@ fn search_placement(
                 }
                 let na = trial[a][0];
                 let nb = trial[b][0];
+                if trial[a][1..].contains(&nb) || trial[b][1..].contains(&na) {
+                    continue;
+                }
                 trial.get_mut(a).expect("placed")[0] = nb;
                 trial.get_mut(b).expect("placed")[0] = na;
             }

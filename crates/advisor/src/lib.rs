@@ -33,10 +33,12 @@
 pub mod advise;
 pub mod cost;
 pub mod jsonio;
+pub mod mining;
 pub mod profile;
 pub mod rebalance;
 
 pub use advise::{advise, advise_live, collection_sample, Advice, AdviseError, AdvisorConfig};
+pub use mining::{mine_predicates, mined_split_paths, MinedPredicate};
 pub use cost::{score, CostReport, CostWeights, FragmentLoad};
 pub use profile::{
     FragmentStats, NodeStats, StageTotals, WorkloadProfile, WorkloadProfiler,

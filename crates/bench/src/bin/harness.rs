@@ -134,6 +134,7 @@ fn main() {
         "morsel" => morsel_bench(&args),
         "writes" => writes_bench(&args),
         "storage" => storage_bench(&args),
+        "multitenant" => multitenant_bench(&args),
         "all" => {
             fig7_horizontal(&args, &mut sink, "fig7a", "ItemsSHor", ItemProfile::Small);
             fig7_horizontal(&args, &mut sink, "fig7b", "ItemsLHor", ItemProfile::Large);
@@ -183,6 +184,10 @@ COMMANDS
                      document classes, plus PXB1/PXB2/zero-copy-view decode
                      costs; the gate is byte-identical answers across
                      configurations
+  multitenant        two tenants on one coordinator: a well-behaved
+                     interactive tenant measured alone, then again while a
+                     quota-capped batch tenant floods at 10x its load; gates
+                     on bounded p99 inflation AND oracle-identical answers
   all                everything above (except throughput, chaos and rebalance)
 
 FLAGS
@@ -198,7 +203,7 @@ FLAGS
                      (default BENCH_throughput.json; BENCH_chaos.json for
                      chaos, BENCH_rebalance.json for rebalance,
                      BENCH_morsel.json for morsel, BENCH_writes.json for
-                     writes)
+                     writes, BENCH_multitenant.json for multitenant)
   --seed S           chaos fault-schedule / rebalance advisor seed, decimal or
                      0x-hex (default 0xC4A05EED)
   --rate P           chaos per-node fault probability (default 0.6)
@@ -556,6 +561,28 @@ fn storage_bench(args: &Args) {
     };
     std::fs::write(out, partix_bench::storage::to_json(&config, &classes))
         .expect("write storage JSON");
+    println!("wrote {out}");
+}
+
+/// Two-tenant isolation: well-behaved p99 alone vs under an
+/// admission-controlled flood, gated on oracle-identical answers.
+fn multitenant_bench(args: &Args) {
+    let size_mb = args.sizes.iter().copied().min().unwrap_or(5);
+    let config = partix_bench::multitenant::MultitenantConfig {
+        db_bytes: ((size_mb * MB) as f64 * args.scale) as usize,
+        fragments: args.frags.first().copied().unwrap_or(4),
+        clients: args.clients.iter().copied().min().unwrap_or(4),
+        queries_per_client: args.queries,
+        ..Default::default()
+    };
+    let result = partix_bench::multitenant::run(&config);
+    let out = if args.out == "BENCH_throughput.json" {
+        "BENCH_multitenant.json"
+    } else {
+        args.out.as_str()
+    };
+    std::fs::write(out, partix_bench::multitenant::to_json(&config, &result))
+        .expect("write multitenant JSON");
     println!("wrote {out}");
 }
 

@@ -283,7 +283,7 @@ pub fn run_with(config: &ChaosConfig, remote: bool) -> (FaultPlan, Vec<ChaosResu
     for (label, faulted, options) in [
         ("fault-free", false, ExecOptions::default()),
         ("faulted", true, ExecOptions::default()),
-        ("faulted-partial", true, ExecOptions { allow_partial: true }),
+        ("faulted-partial", true, ExecOptions { allow_partial: true, ..ExecOptions::default() }),
     ] {
         let result = one_run(
             &docs,

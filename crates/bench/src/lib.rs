@@ -29,6 +29,8 @@
 //! (`harness chaos --seed S`), exercising the dispatch layer's
 //! retry/deadline/failover machinery, [`rebalance`] measures the
 //! advisor fixing a skewed placement live (`harness rebalance`),
+//! [`multitenant`] measures tenant isolation under an admission-controlled
+//! flood (`harness multitenant`),
 //! [`writes`] measures mixed read/write QPS over WAL-backed nodes with
 //! an oracle-verified final state (`harness writes`), and [`storage`]
 //! isolates what the arena page format and value-index prefilter buy
@@ -36,6 +38,7 @@
 
 pub mod chaos;
 pub mod morsel;
+pub mod multitenant;
 pub mod output;
 pub mod queries;
 pub mod rebalance;

@@ -1,0 +1,436 @@
+//! Multi-tenant isolation benchmark: can an aggressive batch tenant
+//! flooding the coordinator at many times the interactive tenant's load
+//! move that tenant's tail latency beyond a bounded factor?
+//!
+//! Two tenants share one coordinator with a [`Tenancy`] attached:
+//!
+//! * **frontend** — `Interactive` class, generous quotas; the paper's
+//!   well-behaved user whose p99 is the number that matters.
+//! * **analytics** — `Batch` class with a tight concurrency quota and a
+//!   short admission queue; its closed-loop clients offer
+//!   [`MultitenantConfig::aggressive_factor`]× the frontend's load and
+//!   absorb typed rejections (honoring the `retry_after_ms` hint) when
+//!   the quota bites.
+//!
+//! Phase 1 measures the frontend alone (`p99_alone`); phase 2 re-runs
+//! the same frontend load while the analytics flood is live
+//! (`p99_contended`). The isolation gate is
+//! `p99_contended <= isolation_bound × max(p99_alone, 5 ms)` — the 5 ms
+//! floor keeps sub-millisecond timing noise on small databases from
+//! deciding the verdict. The gate only counts if `verified` also holds:
+//! **every** admitted answer, from either tenant in either phase, must
+//! equal the centralized oracle's answer for that query (multiset of
+//! serialized items, as in [`crate::runner`]). Fast-but-wrong is a
+//! failure, and a rejection must be a typed
+//! [`PartixError::AdmissionRejected`] — any other error aborts the run.
+
+use crate::output::json;
+use crate::throughput::percentile;
+use crate::{queries, setup};
+use partix_engine::{
+    AdmissionConfig, AdmissionController, DispatchMode, ExecOptions, PartiX, PartixError,
+    PriorityClass, Tenancy, TenantId, TenantQuotas, TenantRegistry, TenantSpec,
+};
+use partix_gen::ItemProfile;
+use partix_query::Item;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Name of the well-behaved interactive tenant.
+pub const WELL_BEHAVED: &str = "frontend";
+/// Name of the flooding batch tenant.
+pub const AGGRESSIVE: &str = "analytics";
+
+#[derive(Debug, Clone)]
+pub struct MultitenantConfig {
+    /// Approximate database size in bytes (ItemsSHor profile).
+    pub db_bytes: usize,
+    /// Horizontal fragments = nodes.
+    pub fragments: usize,
+    /// Closed-loop clients of the well-behaved tenant.
+    pub clients: usize,
+    /// Queries each well-behaved client issues per phase.
+    pub queries_per_client: usize,
+    /// The aggressive tenant runs `clients × aggressive_factor` clients.
+    pub aggressive_factor: usize,
+    /// Concurrency quota of the aggressive tenant.
+    pub aggressive_max_concurrent: usize,
+    /// Admission-queue depth of the aggressive tenant.
+    pub aggressive_max_queued: usize,
+    /// `p99_contended` may be at most this multiple of `p99_alone`.
+    pub isolation_bound: f64,
+}
+
+impl Default for MultitenantConfig {
+    fn default() -> MultitenantConfig {
+        MultitenantConfig {
+            db_bytes: 100_000,
+            fragments: 4,
+            clients: 4,
+            queries_per_client: 30,
+            aggressive_factor: 10,
+            aggressive_max_concurrent: 2,
+            aggressive_max_queued: 2,
+            isolation_bound: 8.0,
+        }
+    }
+}
+
+/// One tenant's view of one phase.
+#[derive(Debug, Clone)]
+pub struct TenantOutcome {
+    pub tenant: &'static str,
+    pub phase: &'static str,
+    pub issued: usize,
+    pub admitted: usize,
+    pub rejected: usize,
+    pub p50_ms: f64,
+    pub p99_ms: f64,
+}
+
+impl TenantOutcome {
+    fn to_json(&self) -> String {
+        let mut out = String::with_capacity(160);
+        out.push('{');
+        json::str_field(&mut out, "tenant", self.tenant);
+        json::str_field(&mut out, "phase", self.phase);
+        json::num_field(&mut out, "issued", self.issued as f64);
+        json::num_field(&mut out, "admitted", self.admitted as f64);
+        json::num_field(&mut out, "rejected", self.rejected as f64);
+        json::num_field(&mut out, "p50_ms", self.p50_ms);
+        json::num_field(&mut out, "p99_ms", self.p99_ms);
+        out.push('}');
+        out
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct MultitenantResult {
+    pub alone: TenantOutcome,
+    pub contended: TenantOutcome,
+    pub aggressive: TenantOutcome,
+    /// `p99_contended / max(p99_alone, 5 ms)`.
+    pub isolation_factor: f64,
+    pub isolation_held: bool,
+    /// Oracle comparisons performed across both phases and tenants.
+    pub oracle_checks: usize,
+    pub oracle_mismatches: usize,
+    /// All answers matched the centralized oracle (and at least one was
+    /// checked). `isolation_held` means nothing without this.
+    pub verified: bool,
+}
+
+/// Absolute floor (seconds) under `p99_alone` before the bound applies.
+const P99_FLOOR_S: f64 = 0.005;
+
+/// Shared flood/measure driver state: the oracle answers plus the
+/// mismatch tally every client thread reports into.
+struct OracleGate {
+    /// Per-workload-entry sorted serialized items, centralized.
+    answers: Vec<Vec<String>>,
+    checks: AtomicUsize,
+    mismatches: AtomicUsize,
+}
+
+impl OracleGate {
+    fn check(&self, idx: usize, items: &[Item]) {
+        let mut got: Vec<String> = items.iter().map(Item::serialize).collect();
+        got.sort();
+        self.checks.fetch_add(1, Ordering::Relaxed);
+        if got != self.answers[idx] {
+            self.mismatches.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Drive `clients` closed-loop clients as `tenant`. Admitted answers are
+/// oracle-checked; typed rejections are counted and honored (bounded
+/// sleep on the retry hint); any other error aborts the benchmark.
+fn drive(
+    px: &PartiX,
+    tenant: TenantId,
+    clients: usize,
+    queries_per_client: usize,
+    workload: &[(&'static str, String)],
+    gate: &OracleGate,
+) -> (Vec<f64>, usize, usize) {
+    let admitted = AtomicUsize::new(0);
+    let rejected = AtomicUsize::new(0);
+    let mut latencies = Vec::with_capacity(clients * queries_per_client);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|client| {
+                let admitted = &admitted;
+                let rejected = &rejected;
+                scope.spawn(move || {
+                    let mut observed = Vec::with_capacity(queries_per_client);
+                    for k in 0..queries_per_client {
+                        let idx = (client + k) % workload.len();
+                        let options =
+                            ExecOptions { tenant: Some(tenant), ..ExecOptions::default() };
+                        let issued = Instant::now();
+                        match px.execute_with(&workload[idx].1, options) {
+                            Ok(result) => {
+                                observed.push(issued.elapsed().as_secs_f64());
+                                admitted.fetch_add(1, Ordering::Relaxed);
+                                gate.check(idx, &result.items);
+                            }
+                            Err(PartixError::AdmissionRejected {
+                                retry_after_ms, ..
+                            }) => {
+                                rejected.fetch_add(1, Ordering::Relaxed);
+                                std::thread::sleep(Duration::from_millis(
+                                    retry_after_ms.min(20),
+                                ));
+                            }
+                            Err(other) => {
+                                panic!("multitenant: untyped failure: {other}")
+                            }
+                        }
+                    }
+                    observed
+                })
+            })
+            .collect();
+        for handle in handles {
+            latencies.extend(handle.join().expect("client thread"));
+        }
+    });
+    (
+        latencies,
+        admitted.load(Ordering::Relaxed),
+        rejected.load(Ordering::Relaxed),
+    )
+}
+
+/// Build the shared coordinator: horizontal ItemsSHor setup, worker-pool
+/// dispatch, result cache off (cached answers would hide contention),
+/// and the two-tenant registry attached.
+fn build_px(config: &MultitenantConfig) -> (PartiX, TenantId, TenantId) {
+    let docs = setup::item_db(config.db_bytes, ItemProfile::Small);
+    let mut px = setup::horizontal(&docs, config.fragments);
+    px.set_dispatch(DispatchMode::Pool);
+    let registry = Arc::new(TenantRegistry::new());
+    registry
+        .register(TenantSpec::new(WELL_BEHAVED, PriorityClass::Interactive))
+        .expect("register frontend");
+    registry
+        .register(TenantSpec {
+            name: AGGRESSIVE.to_owned(),
+            class: PriorityClass::Batch,
+            quotas: TenantQuotas {
+                max_concurrent: config.aggressive_max_concurrent,
+                max_queued: config.aggressive_max_queued,
+                ..TenantQuotas::default()
+            },
+        })
+        .expect("register analytics");
+    let wb = registry.by_name(WELL_BEHAVED).expect("frontend").id;
+    let ag = registry.by_name(AGGRESSIVE).expect("analytics").id;
+    px.attach_tenancy(Tenancy {
+        registry,
+        controller: AdmissionController::new(AdmissionConfig {
+            // short queue wait: flood rejections resolve quickly, and
+            // the well-behaved tenant never queues (generous quota)
+            queue_wait: Duration::from_millis(250),
+            retry_after_ms: 50,
+            worker_capacity: 0,
+        }),
+    });
+    (px, wb, ag)
+}
+
+pub fn run(config: &MultitenantConfig) -> MultitenantResult {
+    let (px, wb, ag) = build_px(config);
+    let workload = queries::horizontal(setup::DIST);
+    println!(
+        "\n### multitenant: ItemsSHor {} B, {} fragments, {} frontend clients × {} queries, analytics at {}×",
+        config.db_bytes,
+        config.fragments,
+        config.clients,
+        config.queries_per_client,
+        config.aggressive_factor,
+    );
+
+    // centralized oracle, one answer per workload entry
+    let answers: Vec<Vec<String>> = workload
+        .iter()
+        .map(|(id, q)| {
+            let central = q.replace(
+                &format!("collection(\"{}\")", setup::DIST),
+                &format!("collection(\"{}\")", setup::CENTRAL),
+            );
+            let result = px
+                .execute_centralized(0, &central)
+                .unwrap_or_else(|e| panic!("{id} oracle: {e}"));
+            let mut items: Vec<String> =
+                result.items.iter().map(Item::serialize).collect();
+            items.sort();
+            items
+        })
+        .collect();
+    let gate = OracleGate {
+        answers,
+        checks: AtomicUsize::new(0),
+        mismatches: AtomicUsize::new(0),
+    };
+
+    // discarded warm-up pass (anonymous: admission not exercised)
+    for (_, query) in &workload {
+        px.execute(query).expect("warm-up query");
+    }
+
+    // phase 1: the well-behaved tenant alone
+    let (mut lat_alone, admitted_alone, rejected_alone) = drive(
+        &px, wb, config.clients, config.queries_per_client, &workload, &gate,
+    );
+    let alone = TenantOutcome {
+        tenant: WELL_BEHAVED,
+        phase: "alone",
+        issued: config.clients * config.queries_per_client,
+        admitted: admitted_alone,
+        rejected: rejected_alone,
+        p50_ms: percentile(&mut lat_alone, 50.0) * 1e3,
+        p99_ms: percentile(&mut lat_alone, 99.0) * 1e3,
+    };
+
+    // phase 2: same frontend load, analytics flooding concurrently
+    let flood_clients = config.clients * config.aggressive_factor;
+    let (contended, aggressive) = std::thread::scope(|scope| {
+        let wb_handle = scope.spawn(|| {
+            drive(&px, wb, config.clients, config.queries_per_client, &workload, &gate)
+        });
+        let ag_handle = scope.spawn(|| {
+            drive(&px, ag, flood_clients, config.queries_per_client, &workload, &gate)
+        });
+        let (mut wb_lat, wb_adm, wb_rej) = wb_handle.join().expect("frontend phase");
+        let (mut ag_lat, ag_adm, ag_rej) = ag_handle.join().expect("analytics phase");
+        (
+            TenantOutcome {
+                tenant: WELL_BEHAVED,
+                phase: "contended",
+                issued: config.clients * config.queries_per_client,
+                admitted: wb_adm,
+                rejected: wb_rej,
+                p50_ms: percentile(&mut wb_lat, 50.0) * 1e3,
+                p99_ms: percentile(&mut wb_lat, 99.0) * 1e3,
+            },
+            TenantOutcome {
+                tenant: AGGRESSIVE,
+                phase: "contended",
+                issued: flood_clients * config.queries_per_client,
+                admitted: ag_adm,
+                rejected: ag_rej,
+                p50_ms: percentile(&mut ag_lat, 50.0) * 1e3,
+                p99_ms: percentile(&mut ag_lat, 99.0) * 1e3,
+            },
+        )
+    });
+
+    let base_ms = alone.p99_ms.max(P99_FLOOR_S * 1e3);
+    let isolation_factor = contended.p99_ms / base_ms;
+    let isolation_held = isolation_factor <= config.isolation_bound;
+    let checks = gate.checks.load(Ordering::Relaxed);
+    let mismatches = gate.mismatches.load(Ordering::Relaxed);
+    let verified = checks > 0 && mismatches == 0;
+
+    for outcome in [&alone, &contended, &aggressive] {
+        println!(
+            "  {:<10} {:<10} issued {:>5}  admitted {:>5}  rejected {:>5}  p50 {:>8.3} ms  p99 {:>8.3} ms",
+            outcome.tenant,
+            outcome.phase,
+            outcome.issued,
+            outcome.admitted,
+            outcome.rejected,
+            outcome.p50_ms,
+            outcome.p99_ms,
+        );
+    }
+    println!(
+        "  isolation factor {isolation_factor:.2}x (bound {:.1}x) → held: {isolation_held}; oracle checks {checks}, mismatches {mismatches}",
+        config.isolation_bound,
+    );
+
+    MultitenantResult {
+        alone,
+        contended,
+        aggressive,
+        isolation_factor,
+        isolation_held,
+        oracle_checks: checks,
+        oracle_mismatches: mismatches,
+        verified,
+    }
+}
+
+pub fn to_json(config: &MultitenantConfig, result: &MultitenantResult) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push('{');
+    json::str_field(&mut out, "experiment", "multitenant");
+    json::num_field(&mut out, "db_bytes", config.db_bytes as f64);
+    json::num_field(&mut out, "fragments", config.fragments as f64);
+    json::num_field(&mut out, "clients", config.clients as f64);
+    json::num_field(&mut out, "queries_per_client", config.queries_per_client as f64);
+    json::num_field(&mut out, "aggressive_factor", config.aggressive_factor as f64);
+    json::num_field(
+        &mut out,
+        "aggressive_max_concurrent",
+        config.aggressive_max_concurrent as f64,
+    );
+    json::num_field(&mut out, "isolation_bound", config.isolation_bound);
+    let tenants: Vec<String> = [&result.alone, &result.contended, &result.aggressive]
+        .iter()
+        .map(|o| o.to_json())
+        .collect();
+    json::raw_field(&mut out, "tenants", &format!("[{}]", tenants.join(",")));
+    json::num_field(&mut out, "p99_alone_ms", result.alone.p99_ms);
+    json::num_field(&mut out, "p99_contended_ms", result.contended.p99_ms);
+    json::num_field(&mut out, "isolation_factor", result.isolation_factor);
+    json::bool_field(&mut out, "isolation_held", result.isolation_held);
+    json::num_field(&mut out, "oracle_checks", result.oracle_checks as f64);
+    json::num_field(&mut out, "oracle_mismatches", result.oracle_mismatches as f64);
+    json::bool_field(&mut out, "verified", result.verified);
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isolation_bench_smoke() {
+        let config = MultitenantConfig {
+            db_bytes: 40_000,
+            fragments: 2,
+            clients: 2,
+            queries_per_client: 4,
+            aggressive_factor: 3,
+            aggressive_max_concurrent: 1,
+            aggressive_max_queued: 1,
+            // the smoke test gates correctness and typed rejection, not
+            // timing: tiny runs are all noise
+            isolation_bound: f64::INFINITY,
+        };
+        let result = run(&config);
+        assert!(result.verified, "oracle mismatch");
+        assert_eq!(result.alone.rejected, 0, "well-behaved tenant rejected alone");
+        assert_eq!(
+            result.contended.rejected, 0,
+            "well-behaved tenant rejected under contention"
+        );
+        assert_eq!(
+            result.alone.admitted,
+            result.alone.issued,
+            "well-behaved tenant lost queries"
+        );
+        // the flood's quota (1 concurrent, 1 queued, 6 clients) must bite
+        assert!(result.aggressive.rejected > 0, "flood never rejected");
+        assert!(result.aggressive.admitted > 0, "flood never admitted");
+        assert!(result.isolation_held);
+        let json = to_json(&config, &result);
+        assert!(json.contains("\"experiment\":\"multitenant\""));
+        assert!(json.contains("\"verified\":true"));
+    }
+}

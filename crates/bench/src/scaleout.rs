@@ -205,7 +205,7 @@ fn measure(
     workload: &[(&'static str, String)],
     oracle: &[String],
 ) -> RunResult {
-    let opts = StreamOpts { allow_partial: false, buffered: mode == "buffered" };
+    let opts = StreamOpts { allow_partial: false, buffered: mode == "buffered", ..StreamOpts::default() };
     let servers: Vec<StreamServer> = (0..coords)
         .map(|k| {
             serve_coordinator(
@@ -222,7 +222,7 @@ fn measure(
     for addr in &addrs {
         let pool = CoordinatorPool::new(vec![addr.clone()], StreamClientConfig::default());
         for (_, q) in workload {
-            pool.query(q, opts).expect("warm-up query");
+            pool.query(q, opts.clone()).expect("warm-up query");
         }
     }
 
@@ -234,6 +234,7 @@ fn measure(
         let handles: Vec<_> = (0..config.clients)
             .map(|client| {
                 let addrs = addrs.clone();
+                let opts = opts.clone();
                 let verified = &verified;
                 let failovers = &failovers;
                 scope.spawn(move || {
@@ -251,7 +252,7 @@ fn measure(
                         let idx = (client + k) % workload.len();
                         let issued = Instant::now();
                         let result =
-                            pool.query(&workload[idx].1, opts).expect("scaleout query");
+                            pool.query(&workload[idx].1, opts.clone()).expect("scaleout query");
                         observed.push(issued.elapsed().as_secs_f64());
                         if canonical(&result.items) != oracle[idx] {
                             verified.store(false, Ordering::Relaxed);

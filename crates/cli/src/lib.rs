@@ -613,16 +613,40 @@ pub fn rebalance(seed: u64) -> Result<String, CliError> {
     Ok(out.trim_end().to_owned())
 }
 
+/// Parse repeatable `--tenant name[:class[:max_concurrent[:max_queued]]]`
+/// specs into a registry, or `None` when no tenants were given.
+fn tenant_registry(
+    tenants: &[String],
+) -> Result<Option<std::sync::Arc<partix_engine::TenantRegistry>>, CliError> {
+    if tenants.is_empty() {
+        return Ok(None);
+    }
+    let registry = partix_engine::TenantRegistry::new();
+    for spec in tenants {
+        let parsed = partix_engine::TenantSpec::parse(spec)
+            .map_err(|e| err(format!("--tenant {spec}: {e}")))?;
+        registry
+            .register(parsed)
+            .map_err(|e| err(format!("--tenant {spec}: {e}")))?;
+    }
+    Ok(Some(std::sync::Arc::new(registry)))
+}
+
 /// `partix serve`: expose a database directory (or a fresh in-memory
 /// database) as a PartiX network node. Returns the running server and
 /// the address it actually bound — port 0 picks an ephemeral one — so
 /// the binary can print the address before parking, and tests can dial
-/// it directly.
+/// it directly. `tenants` specs (`name[:class[:max_concurrent
+/// [:max_queued]]]`) gate `ExecuteAs` frames through admission control;
+/// with none given, only anonymous `Execute` frames are served
+/// tenant-less, and any `ExecuteAs` answers a typed unknown-tenant
+/// error.
 pub fn serve(
     node: usize,
     addr: &str,
     data: Option<&Path>,
     morsel_workers: Option<usize>,
+    tenants: &[String],
 ) -> Result<(partix_net::NodeServer, std::net::SocketAddr), CliError> {
     let db = match data {
         Some(dir) => open_or_new(dir)?,
@@ -636,7 +660,16 @@ pub fn serve(
             ..config
         });
     }
-    let server = partix_net::NodeServer::bind(addr, std::sync::Arc::new(db))
+    let config = partix_net::ServerConfig {
+        tenancy: tenant_registry(tenants)?.map(|registry| {
+            std::sync::Arc::new(partix_net::ServerTenancy {
+                registry,
+                controller: partix_engine::AdmissionController::default(),
+            })
+        }),
+        ..partix_net::ServerConfig::default()
+    };
+    let server = partix_net::NodeServer::bind_driver(addr, std::sync::Arc::new(db), config)
         .map_err(|e| err(format!("serve: cannot bind {addr}: {e}")))?;
     let local = server.local_addr();
     let _ = node; // node id is presentation-only: the wire protocol is symmetric
@@ -651,8 +684,9 @@ pub fn serve(
 pub fn serve_coordinator(
     addr: &str,
     data: Option<&Path>,
+    tenants: &[String],
 ) -> Result<(partix_net::StreamServer, std::net::SocketAddr), CliError> {
-    use partix_engine::{MetaService, NetworkModel, PartiX};
+    use partix_engine::{MetaService, NetworkModel, PartiX, Tenancy};
     let db = match data {
         Some(dir) => open_or_new(dir)?,
         None => Database::new(),
@@ -663,6 +697,9 @@ pub fn serve_coordinator(
         .ok_or_else(|| err("serve: coordinator has no node 0"))?
         .set_driver(std::sync::Arc::new(db));
     px.attach_meta(MetaService::with_catalog(px.catalog_snapshot()));
+    if let Some(registry) = tenant_registry(tenants)? {
+        px.attach_tenancy(Tenancy::new(registry));
+    }
     let server = partix_net::serve_coordinator(
         addr,
         std::sync::Arc::new(px),
@@ -673,10 +710,53 @@ pub fn serve_coordinator(
     Ok((server, local))
 }
 
+/// `partix exec`: run one query against a node server over the `PXN1`
+/// wire protocol, optionally as a named tenant. With `--tenant` the
+/// request rides an `ExecuteAs` frame through the server's admission
+/// control, and a rejection comes back as a *typed* error carrying the
+/// server's verdict code and retry hint — rendered here, never a hang
+/// or a silent drop.
+pub fn exec(addr: &str, text: &str, tenant: Option<&str>) -> Result<String, CliError> {
+    let sock: std::net::SocketAddr =
+        addr.parse().map_err(|_| err(format!("exec: bad address {addr} (want HOST:PORT)")))?;
+    let driver = partix_net::RemoteDriver::connect(sock)
+        .map_err(|e| err(format!("exec: {addr}: {e}")))?;
+    let query =
+        partix_query::parse_query(text).map_err(|e| err(format!("exec: {e}")))?;
+    let output = match tenant {
+        Some(tenant) => driver.execute_as(tenant, &query).map_err(|e| {
+            err(format!("exec: tenant {tenant:?}: {e} [{:?}]", e.code))
+        })?,
+        None => {
+            use partix_engine::PartixDriver as _;
+            driver.execute(&query).map_err(|e| err(format!("exec: {e}")))?
+        }
+    };
+    let Some(output) = output else {
+        return Ok("(collection not on this node)".to_owned());
+    };
+    let mut rendered = output.serialize();
+    if rendered.is_empty() {
+        rendered.push_str("(empty sequence)");
+    }
+    let _ = write!(
+        rendered,
+        "\n-- {} item(s) in {:.6}s{}",
+        output.items.len(),
+        output.stats.elapsed,
+        match tenant {
+            Some(tenant) => format!(", as tenant {tenant:?}"),
+            None => String::new(),
+        },
+    );
+    Ok(rendered)
+}
+
 /// `partix stream`: run one query against a pool of coordinators
 /// (comma-separated addresses), streaming the answer and failing over if
-/// a coordinator dies mid-call.
-pub fn stream_query(addrs: &str, text: &str) -> Result<String, CliError> {
+/// a coordinator dies mid-call. With `tenant`, the query runs under that
+/// tenant's admission quotas and priority class on the coordinator.
+pub fn stream_query(addrs: &str, text: &str, tenant: Option<&str>) -> Result<String, CliError> {
     use partix_net::{CoordinatorPool, StreamClientConfig, StreamOpts};
     let list: Vec<String> = addrs
         .split(',')
@@ -687,8 +767,9 @@ pub fn stream_query(addrs: &str, text: &str) -> Result<String, CliError> {
         return Err(err("stream: no coordinator addresses"));
     }
     let pool = CoordinatorPool::new(list, StreamClientConfig::default());
+    let opts = StreamOpts { tenant: tenant.map(str::to_owned), ..StreamOpts::default() };
     let result = pool
-        .query(text, StreamOpts::default())
+        .query(text, opts)
         .map_err(|e| err(format!("stream: {e}")))?;
     let mut out = partix_query::func::serialize_sequence(&result.items);
     if out.is_empty() {
@@ -800,20 +881,35 @@ USAGE
   partix serve --node <N> --addr <HOST:PORT>        run a node server
                 [--data <db-dir>]                   speaking the partix-net
                 [--morsel-workers <N>]              wire protocol (port 0
-                                                    binds an ephemeral port;
+                [--tenant SPEC]...                  binds an ephemeral port;
                                                     the chosen address is
                                                     printed); --morsel-workers
                                                     caps intra-fragment
                                                     parallel scan threads
                                                     (default: the
                                                     PARTIX_MORSEL_WORKERS env
-                                                    var, else the core count)
+                                                    var, else the core count);
+                                                    each --tenant SPEC is
+                                                    name[:class[:max_concurrent
+                                                    [:max_queued]]] (class:
+                                                    interactive/standard/
+                                                    batch) — tenant queries
+                                                    pass admission control,
+                                                    over-quota ones get a
+                                                    typed rejection with a
+                                                    retry-after hint
   partix serve --coordinator --addr <HOST:PORT>     run a PXN2 streaming
-                [--data <db-dir>]                   coordinator: answers
+                [--data <db-dir>] [--tenant SPEC]...  coordinator: answers
                                                     stream chunk-by-chunk
-                                                    as sub-queries finish
+                                                    as sub-queries finish;
+                                                    --tenant as above
+  partix exec <HOST:PORT> '<xquery>'                run a query on a node
+                [--tenant NAME]                     server (PXN1); --tenant
+                                                    runs it under that
+                                                    tenant's quotas and
+                                                    priority class
   partix stream <HOST:PORT[,HOST:PORT...]> '<xq>'   run a query against a
-                                                    coordinator pool
+                [--tenant NAME]                     coordinator pool
                                                     (round-robin + failover)
   partix ping <HOST:PORT>                           health-check a node
                                                     server over the wire
@@ -829,6 +925,9 @@ EXAMPLE
   partix advise 7
   partix rebalance 7
   partix serve --node 0 --addr 127.0.0.1:7401 --data ./db
+  partix serve --node 0 --addr 127.0.0.1:7401 --data ./db \\
+               --tenant frontend:interactive:8 --tenant batchy:batch:2:4
+  partix exec 127.0.0.1:7401 'count(collection(\"items\")/Item)' --tenant frontend
   partix serve --coordinator --addr 127.0.0.1:7500 --data ./db
   partix stream 127.0.0.1:7500 'count(collection(\"items\")/Item)'
   partix ping 127.0.0.1:7401";
@@ -1064,6 +1163,89 @@ mod tests {
         assert!(out.contains("node.0.fragments"), "{out}");
         assert!(out.contains("node.0.resident_bytes"), "{out}");
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn serve_with_tenants_admits_and_rejects_typed() {
+        let dir = tmp("tenantserve");
+        let db_dir = dir.join("db");
+        let files = write_items(&dir, 6);
+        load(&db_dir, "items", &files).unwrap();
+        // frontend: generous quota; suspended: zero concurrency, every
+        // query must come back as a typed rejection
+        let (server, addr) = serve(
+            0,
+            "127.0.0.1:0",
+            Some(&db_dir),
+            None,
+            &["frontend:interactive:8".to_owned(), "suspended:batch:0:0".to_owned()],
+        )
+        .unwrap();
+        let addr = addr.to_string();
+        let q = r#"count(collection("items")/Item)"#;
+
+        let ok = exec(&addr, q, Some("frontend")).unwrap();
+        assert!(ok.starts_with('6'), "{ok}");
+        assert!(ok.contains("as tenant \"frontend\""), "{ok}");
+
+        // anonymous Execute frames stay ungated
+        let anon = exec(&addr, q, None).unwrap();
+        assert!(anon.starts_with('6'), "{anon}");
+
+        let e = exec(&addr, q, Some("suspended")).unwrap_err().to_string();
+        assert!(e.contains("retry after"), "{e}");
+        assert!(e.contains("AdmissionRejected"), "{e}");
+
+        let e = exec(&addr, q, Some("nobody")).unwrap_err().to_string();
+        assert!(e.contains("unknown tenant"), "{e}");
+        assert!(e.contains("UnknownTenant"), "{e}");
+
+        std::mem::drop(server);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn coordinator_with_tenants_gates_stream_queries() {
+        let dir = tmp("tenantcoord");
+        let db_dir = dir.join("db");
+        let files = write_items(&dir, 6);
+        load(&db_dir, "items", &files).unwrap();
+        let (server, addr) = serve_coordinator(
+            "127.0.0.1:0",
+            Some(&db_dir),
+            &["frontend:interactive:8".to_owned(), "suspended:batch:0:0".to_owned()],
+        )
+        .unwrap();
+        let addr = addr.to_string();
+        let q = r#"count(collection("items")/Item)"#;
+
+        let ok = stream_query(&addr, q, Some("frontend")).unwrap();
+        assert!(ok.starts_with('6'), "{ok}");
+        // anonymous streaming stays available
+        let anon = stream_query(&addr, q, None).unwrap();
+        assert!(anon.starts_with('6'), "{anon}");
+
+        let e = stream_query(&addr, q, Some("suspended")).unwrap_err().to_string();
+        assert!(e.contains("quota"), "{e}");
+        let e = stream_query(&addr, q, Some("nobody")).unwrap_err().to_string();
+        assert!(e.contains("unknown tenant"), "{e}");
+
+        std::mem::drop(server);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bad_tenant_specs_are_rejected_at_startup() {
+        let e = serve(0, "127.0.0.1:0", None, None, &["bad name!".to_owned()])
+            .err()
+            .expect("invalid spec must fail")
+            .to_string();
+        assert!(e.contains("invalid tenant name"), "{e}");
+        let e = serve(0, "127.0.0.1:0", None, None, &["a".to_owned(), "a".to_owned()])
+            .err()
+            .expect("duplicate spec must fail")
+            .to_string();
+        assert!(e.contains("duplicate") || e.contains("already"), "{e}");
     }
 
     #[test]

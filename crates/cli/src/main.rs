@@ -60,7 +60,20 @@ fn main() -> ExitCode {
             }
         }
         Some("serve") => return serve(&args[1..]),
-        Some("stream") if args.len() == 3 => partix_cli::stream_query(&args[1], &args[2]),
+        Some("exec") if args.len() == 3 || args.len() == 5 => {
+            match tenant_flag("exec", &args[3..]) {
+                Ok(tenant) => partix_cli::exec(&args[1], &args[2], tenant.as_deref()),
+                Err(()) => return ExitCode::FAILURE,
+            }
+        }
+        Some("stream") if args.len() == 3 || args.len() == 5 => {
+            match tenant_flag("stream", &args[3..]) {
+                Ok(tenant) => {
+                    partix_cli::stream_query(&args[1], &args[2], tenant.as_deref())
+                }
+                Err(()) => return ExitCode::FAILURE,
+            }
+        }
         Some("ping") if args.len() == 2 => partix_cli::ping(&args[1]),
         _ => {
             println!("{}", partix_cli::USAGE);
@@ -75,6 +88,18 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parse an optional trailing `--tenant NAME` flag pair.
+fn tenant_flag(command: &str, rest: &[String]) -> Result<Option<String>, ()> {
+    match rest {
+        [] => Ok(None),
+        [flag, name] if flag == "--tenant" => Ok(Some(name.clone())),
+        _ => {
+            eprintln!("{command}: unknown trailing flags (expected --tenant NAME)");
+            Err(())
         }
     }
 }
@@ -101,7 +126,7 @@ fn parse_seed(command: &str, raw: Option<&String>, default: u64) -> Option<u64> 
 }
 
 /// `partix serve --node <N> --addr <HOST:PORT> [--data <db-dir>]
-/// [--morsel-workers <N>]`:
+/// [--morsel-workers <N>] [--tenant SPEC]...`:
 /// bind a node server, announce the chosen address (flushed, so
 /// supervising scripts can scrape it even through a pipe), then serve
 /// until killed.
@@ -110,6 +135,7 @@ fn serve(args: &[String]) -> ExitCode {
     let mut addr: Option<&str> = None;
     let mut data: Option<&Path> = None;
     let mut morsel_workers: Option<usize> = None;
+    let mut tenants: Vec<String> = Vec::new();
     let mut coordinator = false;
     let mut i = 0;
     while i < args.len() {
@@ -142,10 +168,11 @@ fn serve(args: &[String]) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--tenant" => tenants.push(value.clone()),
             other => {
                 eprintln!(
-                    "serve: unknown flag {other} \
-                     (expected --coordinator/--node/--addr/--data/--morsel-workers)"
+                    "serve: unknown flag {other} (expected \
+                     --coordinator/--node/--addr/--data/--morsel-workers/--tenant)"
                 );
                 return ExitCode::FAILURE;
             }
@@ -157,7 +184,7 @@ fn serve(args: &[String]) -> ExitCode {
             eprintln!("serve: --addr <HOST:PORT> is required");
             return ExitCode::FAILURE;
         };
-        return match partix_cli::serve_coordinator(addr, data) {
+        return match partix_cli::serve_coordinator(addr, data, &tenants) {
             Ok((_server, local)) => {
                 use std::io::Write as _;
                 println!("coordinator listening on {local}");
@@ -177,7 +204,7 @@ fn serve(args: &[String]) -> ExitCode {
         eprintln!("serve: --node <N> and --addr <HOST:PORT> are required");
         return ExitCode::FAILURE;
     };
-    match partix_cli::serve(node, addr, data, morsel_workers) {
+    match partix_cli::serve(node, addr, data, morsel_workers, &tenants) {
         Ok((_server, local)) => {
             use std::io::Write as _;
             println!("node {node} listening on {local}");

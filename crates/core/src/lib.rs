@@ -85,8 +85,13 @@ pub use metrics::{MetricsRegistry, Snapshot};
 pub use report::{QueryReport, SiteReport, SkippedFragment};
 pub use trace::{SpanRecord, StageBreakdown, SubQueryStage, Trace};
 pub use partix_storage::MorselConfig;
+pub use partix_tenant::{
+    Admission, AdmissionConfig, AdmissionController, PriorityClass, TenantId,
+    TenantQuotas, TenantRegistry, TenantSpec,
+};
 pub use runtime::PoolConfig;
 pub use service::{
     DispatchMode, DistributedResult, ExecOptions, PartiX, PartixError, RetryPolicy,
+    Tenancy,
 };
 pub use writes::{WriteError, WriteReport};

@@ -8,12 +8,18 @@
 //! same workers; the bounded queues provide backpressure instead of
 //! unbounded thread growth.
 //!
+//! Each node's queue is a [`DrrScheduler`]: one FIFO lane per
+//! [`PriorityClass`], drained deficit-round-robin so an aggressive
+//! tenant's class gets its weighted share of worker time and nothing
+//! more — a backlogged class always drains within one rotation.
+//!
 //! Jobs are plain boxed closures; callers thread their own reply channel
 //! through the closure, so the pool needs no knowledge of result types.
 
 use crate::cluster::Cluster;
 use crate::metrics;
-use crossbeam::channel::{bounded, Sender};
+use partix_tenant::{DrrScheduler, PriorityClass};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 /// A unit of work routed to one node's workers.
@@ -24,8 +30,9 @@ pub type Job = Box<dyn FnOnce() + Send + 'static>;
 pub struct PoolConfig {
     /// Worker threads per node (≥ 1).
     pub workers_per_node: usize,
-    /// Bounded depth of each node's task queue; submissions beyond this
-    /// block, providing backpressure (≥ 1).
+    /// Bounded depth of each node's task queue (across all priority
+    /// classes); submissions beyond this block, providing backpressure
+    /// (≥ 1).
     pub queue_capacity: usize,
 }
 
@@ -35,14 +42,51 @@ impl Default for PoolConfig {
     }
 }
 
-struct NodeQueue {
-    sender: Sender<Job>,
-    workers: Vec<JoinHandle<()>>,
+/// Per-class queue-depth gauge name — fairness must be observable, so
+/// each class exposes its own depth next to the `pool.queue.depth`
+/// total.
+pub fn class_depth_gauge(class: PriorityClass) -> &'static str {
+    match class {
+        PriorityClass::Interactive => "pool.queue.depth.interactive",
+        PriorityClass::Standard => "pool.queue.depth.standard",
+        PriorityClass::Batch => "pool.queue.depth.batch",
+    }
 }
 
-/// Fixed per-node worker threads draining bounded task queues.
+/// Decrements the queue-depth gauges exactly once, whichever way the
+/// job ends: run to completion, panic mid-run (the unwind drops the
+/// closure's captures inside the worker's `catch_unwind` firewall), or
+/// dropped unrun at pool teardown.
+struct DepthGuard {
+    total: Arc<metrics::Gauge>,
+    class: Arc<metrics::Gauge>,
+}
+
+impl Drop for DepthGuard {
+    fn drop(&mut self) {
+        self.total.dec();
+        self.class.dec();
+    }
+}
+
+struct QueueState {
+    jobs: DrrScheduler<Job>,
+    /// Cleared at shutdown; workers then drain what is queued and exit.
+    open: bool,
+}
+
+struct NodeShared {
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+/// Fixed per-node worker threads draining bounded, weighted-fair task
+/// queues.
 pub struct WorkerPool {
-    queues: Vec<NodeQueue>,
+    nodes: Vec<Arc<NodeShared>>,
+    workers: Vec<JoinHandle<()>>,
 }
 
 impl WorkerPool {
@@ -51,78 +95,106 @@ impl WorkerPool {
     pub fn new(cluster: &Cluster, config: PoolConfig) -> WorkerPool {
         let workers_per_node = config.workers_per_node.max(1);
         let capacity = config.queue_capacity.max(1);
-        let queues = cluster
+        let nodes: Vec<Arc<NodeShared>> = cluster
             .nodes()
             .iter()
-            .map(|node| {
-                let (sender, receiver) = bounded::<Job>(capacity);
-                let workers = (0..workers_per_node)
-                    .map(|w| {
-                        let receiver = receiver.clone();
-                        std::thread::Builder::new()
-                            .name(format!("partix-pool-n{}w{}", node.id, w))
-                            .spawn(move || {
-                                // Iteration ends when every sender is gone.
-                                for job in receiver.iter() {
-                                    // A panicking job must not take the
-                                    // worker down with it — the node
-                                    // would silently shed capacity until
-                                    // its queue wedged.
-                                    let _ = std::panic::catch_unwind(
-                                        std::panic::AssertUnwindSafe(job),
-                                    );
-                                }
-                            })
-                            .expect("spawn pool worker")
-                    })
-                    .collect();
-                NodeQueue { sender, workers }
+            .map(|_| {
+                Arc::new(NodeShared {
+                    state: Mutex::new(QueueState {
+                        jobs: DrrScheduler::new(),
+                        open: true,
+                    }),
+                    not_empty: Condvar::new(),
+                    not_full: Condvar::new(),
+                    capacity,
+                })
             })
             .collect();
-        WorkerPool { queues }
+        let mut workers = Vec::with_capacity(nodes.len() * workers_per_node);
+        for (shared, node) in nodes.iter().zip(cluster.nodes()) {
+            for w in 0..workers_per_node {
+                let shared = Arc::clone(shared);
+                workers.push(
+                    std::thread::Builder::new()
+                        .name(format!("partix-pool-n{}w{}", node.id, w))
+                        .spawn(move || worker_loop(&shared))
+                        .expect("spawn pool worker"),
+                );
+            }
+        }
+        WorkerPool { nodes, workers }
     }
 
     /// Number of node queues (== cluster size at construction).
     pub fn nodes(&self) -> usize {
-        self.queues.len()
+        self.nodes.len()
     }
 
-    /// Enqueue `job` on `node`'s queue, blocking while the queue is
-    /// full. Returns `false` if `node` is out of range (cluster grew
-    /// after the pool was built) — caller should fall back to inline
-    /// execution.
-    pub fn submit(&self, node: usize, job: Job) -> bool {
-        let Some(queue) = self.queues.get(node) else { return false };
+    /// Enqueue `job` on `node`'s queue under `class`, blocking while the
+    /// queue is at capacity. Returns `false` if `node` is out of range
+    /// (cluster grew after the pool was built) or the pool is shutting
+    /// down — caller should fall back to inline execution.
+    pub fn submit(&self, node: usize, class: PriorityClass, job: Job) -> bool {
+        let Some(shared) = self.nodes.get(node) else { return false };
         let reg = metrics::global();
-        let depth = reg.gauge("pool.queue.depth");
         let completed = reg.counter("pool.jobs.completed");
-        depth.inc();
+        let guard = DepthGuard {
+            total: reg.gauge("pool.queue.depth"),
+            class: reg.gauge(class_depth_gauge(class)),
+        };
+        guard.total.inc();
+        guard.class.inc();
         let job: Job = Box::new(move || {
-            depth.dec();
             job();
             completed.inc();
+            drop(guard); // depth released after the run — or by unwind/teardown
         });
-        if queue.sender.send(job).is_ok() {
-            reg.counter("pool.jobs.submitted").inc();
-            true
-        } else {
-            reg.gauge("pool.queue.depth").dec();
-            false
+        let mut state = shared.state.lock().expect("pool queue lock");
+        while state.open && state.jobs.len() >= shared.capacity {
+            state = shared.not_full.wait(state).expect("pool queue lock");
         }
+        if !state.open {
+            return false; // guard drop unwinds the gauges
+        }
+        state.jobs.push(class, job);
+        drop(state);
+        shared.not_empty.notify_one();
+        reg.counter("pool.jobs.submitted").inc();
+        true
+    }
+}
+
+fn worker_loop(shared: &NodeShared) {
+    let mut state = shared.state.lock().expect("pool queue lock");
+    loop {
+        if let Some((_, job)) = state.jobs.pop() {
+            drop(state);
+            shared.not_full.notify_one();
+            // A panicking job must not take the worker down with it —
+            // the node would silently shed capacity until its queue
+            // wedged. The unwind still drops the job's captures, so the
+            // depth gauges stay balanced.
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+            state = shared.state.lock().expect("pool queue lock");
+            continue;
+        }
+        if !state.open {
+            return; // drained after shutdown
+        }
+        state = shared.not_empty.wait(state).expect("pool queue lock");
     }
 }
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
-        // Dropping senders disconnects the channels; workers drain
-        // whatever is queued and exit their receive loops.
-        let queues = std::mem::take(&mut self.queues);
-        let mut all_workers = Vec::new();
-        for queue in queues {
-            drop(queue.sender);
-            all_workers.extend(queue.workers);
+        // Close every queue; workers drain whatever is queued and exit
+        // their loops, blocked submitters give up with `false`.
+        for shared in &self.nodes {
+            shared.state.lock().expect("pool queue lock").open = false;
+            shared.not_empty.notify_all();
+            shared.not_full.notify_all();
         }
-        for worker in all_workers {
+        for worker in std::mem::take(&mut self.workers) {
             let _ = worker.join();
         }
     }
@@ -136,6 +208,8 @@ mod tests {
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc;
 
+    const STD: PriorityClass = PriorityClass::Standard;
+
     #[test]
     fn jobs_run_on_their_node_queue() {
         let cluster = Cluster::new(3);
@@ -147,6 +221,7 @@ mod tests {
                 let tx = tx.clone();
                 assert!(pool.submit(
                     node,
+                    STD,
                     Box::new(move || {
                         tx.send(node * 10 + k).unwrap();
                     })
@@ -172,12 +247,12 @@ mod tests {
         // silence the expected panic's default backtrace print
         let prior = std::panic::take_hook();
         std::panic::set_hook(Box::new(|_| {}));
-        assert!(pool.submit(0, Box::new(|| panic!("injected job panic"))));
+        assert!(pool.submit(0, STD, Box::new(|| panic!("injected job panic"))));
         // the sole worker survived and keeps serving jobs
         let (tx, rx) = unbounded();
         for k in 0..4 {
             let tx = tx.clone();
-            assert!(pool.submit(0, Box::new(move || tx.send(k).unwrap())));
+            assert!(pool.submit(0, STD, Box::new(move || tx.send(k).unwrap())));
         }
         drop(tx);
         let mut seen: Vec<usize> = rx.iter().collect();
@@ -187,10 +262,46 @@ mod tests {
     }
 
     #[test]
+    fn panicking_job_still_releases_the_depth_gauges() {
+        let cluster = Cluster::new(1);
+        let pool = WorkerPool::new(
+            &cluster,
+            PoolConfig { workers_per_node: 1, queue_capacity: 8 },
+        );
+        let reg = metrics::global();
+        let total_before = reg.gauge("pool.queue.depth").get();
+        let class_before = reg.gauge(class_depth_gauge(PriorityClass::Batch)).get();
+        let prior = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let (tx, rx) = unbounded();
+        assert!(pool.submit(
+            0,
+            PriorityClass::Batch,
+            Box::new(move || {
+                tx.send(()).unwrap();
+                panic!("injected after-send panic");
+            })
+        ));
+        rx.recv().unwrap();
+        // wait for the unwind to finish dropping the job's captures
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while reg.gauge("pool.queue.depth").get() > total_before {
+            assert!(std::time::Instant::now() < deadline, "gauge leaked by panic");
+            std::thread::yield_now();
+        }
+        std::panic::set_hook(prior);
+        assert_eq!(reg.gauge("pool.queue.depth").get(), total_before);
+        assert_eq!(
+            reg.gauge(class_depth_gauge(PriorityClass::Batch)).get(),
+            class_before
+        );
+    }
+
+    #[test]
     fn out_of_range_node_is_rejected() {
         let cluster = Cluster::new(1);
         let pool = WorkerPool::new(&cluster, PoolConfig::default());
-        assert!(!pool.submit(5, Box::new(|| {})));
+        assert!(!pool.submit(5, STD, Box::new(|| {})));
     }
 
     #[test]
@@ -202,7 +313,7 @@ mod tests {
         let (tx, rx) = unbounded();
         for _ in 0..3 {
             let tx = tx.clone();
-            assert!(pool.submit(0, Box::new(move || tx.send(()).unwrap())));
+            assert!(pool.submit(0, STD, Box::new(move || tx.send(()).unwrap())));
         }
         drop(tx);
         assert_eq!(rx.iter().count(), 3);
@@ -225,6 +336,7 @@ mod tests {
                     let counter = Arc::clone(&counter);
                     pool.submit(
                         node,
+                        STD,
                         Box::new(move || {
                             counter.fetch_add(1, Ordering::Relaxed);
                         }),
@@ -233,5 +345,42 @@ mod tests {
             }
         } // drop: workers must finish everything already queued
         assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn interactive_backlog_cannot_starve_batch() {
+        let cluster = Cluster::new(1);
+        let pool = WorkerPool::new(
+            &cluster,
+            PoolConfig { workers_per_node: 1, queue_capacity: 256 },
+        );
+        // Stall the single worker so every later submission queues, then
+        // fill interactive far deeper than batch.
+        let (gate_tx, gate_rx) = unbounded::<()>();
+        assert!(pool.submit(0, STD, Box::new(move || gate_rx.recv().unwrap())));
+        let (tx, rx) = unbounded::<&'static str>();
+        for _ in 0..100 {
+            let tx = tx.clone();
+            assert!(pool.submit(0, PriorityClass::Interactive, Box::new(move || {
+                tx.send("i").unwrap();
+            })));
+        }
+        {
+            let tx = tx.clone();
+            assert!(pool.submit(0, PriorityClass::Batch, Box::new(move || {
+                tx.send("b").unwrap();
+            })));
+        }
+        drop(tx);
+        gate_tx.send(()).unwrap();
+        let drained: Vec<&str> = rx.iter().collect();
+        assert_eq!(drained.len(), 101);
+        let batch_at = drained.iter().position(|s| *s == "b").expect("batch ran");
+        // DRR: the lone batch job surfaces within one interactive
+        // quantum, not after the 100-deep interactive backlog.
+        assert!(
+            batch_at as u64 <= PriorityClass::Interactive.weight(),
+            "batch starved until position {batch_at}"
+        );
     }
 }

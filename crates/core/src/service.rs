@@ -64,6 +64,12 @@ pub enum PartixError {
     /// re-emitted — the caller must discard and retry (buffered
     /// execution replans transparently instead).
     CatalogSwapped,
+    /// The tenant's admission quota rejected the query (or it queued
+    /// past the admission deadline). Always a typed answer — admission
+    /// never hangs and never panics — carrying a retry hint for the
+    /// client. Mapped to dedicated error variants on both wire
+    /// protocols.
+    AdmissionRejected { tenant: String, retry_after_ms: u64, reason: String },
     Internal(String),
 }
 
@@ -86,6 +92,12 @@ impl fmt::Display for PartixError {
             PartixError::Reconstruction(msg) => write!(f, "reconstruction failed: {msg}"),
             PartixError::CatalogSwapped => {
                 write!(f, "distribution changed while streaming the answer; retry the query")
+            }
+            PartixError::AdmissionRejected { tenant, retry_after_ms, reason } => {
+                write!(
+                    f,
+                    "tenant {tenant:?} rejected: {reason} (retry after {retry_after_ms} ms)"
+                )
             }
             PartixError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
@@ -181,6 +193,30 @@ pub struct ExecOptions {
     /// all-or-nothing: a rebuilt document set missing a fragment would be
     /// silently wrong, not partial.
     pub allow_partial: bool,
+    /// The tenant this query runs as, when the coordinator has a
+    /// [`Tenancy`] attached: admission quotas apply at entry, the
+    /// tenant's priority class rides along on every pooled sub-query
+    /// job, and per-tenant metrics are recorded. `None` (or no tenancy
+    /// attached) preserves the anonymous single-tenant behavior.
+    pub tenant: Option<partix_tenant::TenantId>,
+}
+
+/// Multi-tenant serving state attached to a coordinator: the tenant
+/// registry plus the admission controller applying its quotas at query
+/// entry. One `Tenancy` is typically shared (via the `Arc`ed registry)
+/// between the engine and the network servers fronting it.
+pub struct Tenancy {
+    pub registry: Arc<partix_tenant::TenantRegistry>,
+    pub controller: partix_tenant::AdmissionController,
+}
+
+impl Tenancy {
+    pub fn new(registry: Arc<partix_tenant::TenantRegistry>) -> Tenancy {
+        Tenancy {
+            registry,
+            controller: partix_tenant::AdmissionController::default(),
+        }
+    }
 }
 
 /// The PartiX middleware instance.
@@ -209,6 +245,9 @@ pub struct PartiX {
     meta: OnceLock<Arc<crate::meta::MetaService>>,
     /// Last meta epoch this coordinator synced its catalog at.
     meta_seen: std::sync::atomic::AtomicU64,
+    /// Multi-tenant admission + scheduling state (none = anonymous
+    /// single-tenant serving, the historical behavior).
+    tenancy: OnceLock<Tenancy>,
 }
 
 impl PartiX {
@@ -242,6 +281,108 @@ impl PartiX {
             tracing: std::sync::atomic::AtomicBool::new(true),
             meta: OnceLock::new(),
             meta_seen: std::sync::atomic::AtomicU64::new(0),
+            tenancy: OnceLock::new(),
+        }
+    }
+
+    /// Attach multi-tenant serving state. From here on, queries whose
+    /// [`ExecOptions::tenant`] is set pass admission control and are
+    /// scheduled under their tenant's priority class. Can only be
+    /// attached once.
+    pub fn attach_tenancy(&self, tenancy: Tenancy) {
+        if self.tenancy.set(tenancy).is_err() {
+            panic!("a coordinator can attach tenancy only once");
+        }
+    }
+
+    /// The attached tenancy, if any.
+    pub fn tenancy(&self) -> Option<&Tenancy> {
+        self.tenancy.get()
+    }
+
+    /// Resolve a tenant name through the attached registry into the id
+    /// [`ExecOptions::tenant`] wants. `Err` carries a typed
+    /// [`PartixError::AdmissionRejected`] for unknown names, so network
+    /// front-ends can forward it directly.
+    pub fn resolve_tenant(
+        &self,
+        name: &str,
+    ) -> Result<partix_tenant::TenantId, PartixError> {
+        let Some(tenancy) = self.tenancy.get() else {
+            return Err(PartixError::AdmissionRejected {
+                tenant: name.to_string(),
+                retry_after_ms: 0,
+                reason: "server has no tenancy configured".to_string(),
+            });
+        };
+        match tenancy.registry.by_name(name) {
+            Some(tenant) => Ok(tenant.id),
+            None => Err(PartixError::AdmissionRejected {
+                tenant: name.to_string(),
+                retry_after_ms: 0,
+                reason: "unknown tenant".to_string(),
+            }),
+        }
+    }
+
+    /// The priority class this query's sub-queries are pooled under:
+    /// the tenant's class when resolvable, else
+    /// [`partix_tenant::PriorityClass::Standard`].
+    fn class_for(&self, options: ExecOptions) -> partix_tenant::PriorityClass {
+        options
+            .tenant
+            .and_then(|id| self.tenancy.get()?.registry.by_id(id))
+            .map(|t| t.class)
+            .unwrap_or_default()
+    }
+
+    /// Apply admission control for this query, returning the permit to
+    /// hold for its whole execution. `Ok(None)` when the query is
+    /// anonymous or no tenancy is attached. Records the per-tenant
+    /// `queries` / `admitted` / `rejected` / `queued_ms` metrics.
+    fn admit(
+        &self,
+        options: ExecOptions,
+        query_bytes: usize,
+    ) -> Result<Option<partix_tenant::Permit>, PartixError> {
+        let (Some(id), Some(tenancy)) = (options.tenant, self.tenancy.get()) else {
+            return Ok(None);
+        };
+        let Some(tenant) = tenancy.registry.by_id(id) else {
+            return Err(PartixError::AdmissionRejected {
+                tenant: id.to_string(),
+                retry_after_ms: 0,
+                reason: "unknown tenant id".to_string(),
+            });
+        };
+        let reg = metrics::global();
+        reg.counter(&format!("tenant.{}.queries", tenant.name)).inc();
+        match tenancy.controller.admit(&tenant, query_bytes) {
+            Ok(permit) => {
+                reg.counter(&format!("tenant.{}.admitted", tenant.name)).inc();
+                reg.histogram(&format!("tenant.{}.queued_ms", tenant.name))
+                    .record_secs(permit.queued().as_secs_f64());
+                Ok(Some(permit))
+            }
+            Err(rejection) => {
+                reg.counter(&format!("tenant.{}.rejected", tenant.name)).inc();
+                Err(PartixError::AdmissionRejected {
+                    tenant: rejection.tenant,
+                    retry_after_ms: rejection.retry_after_ms,
+                    reason: rejection.reason,
+                })
+            }
+        }
+    }
+
+    /// Observe one finished (admitted) query into the tenant's latency
+    /// histogram — `tenant.<name>.latency` p99 is the isolation bench's
+    /// headline number.
+    fn record_tenant_latency(&self, permit: &Option<partix_tenant::Permit>, started: Instant) {
+        if let Some(permit) = permit {
+            metrics::global()
+                .histogram(&format!("tenant.{}.latency", permit.tenant().name))
+                .record_secs(started.elapsed().as_secs_f64());
         }
     }
 
@@ -571,9 +712,13 @@ impl PartiX {
         options: ExecOptions,
     ) -> Result<DistributedResult, PartixError> {
         self.sync_with_meta();
+        // Admission gates the query before any planning work; the permit
+        // is the tenant's concurrency slot, held until return.
+        let permit = self.admit(options, text.len())?;
+        let started = Instant::now();
         let trace = self.new_trace();
         let parse_start = Instant::now();
-        count_failure((|| {
+        let result = count_failure((|| {
             if self.plan_cache_enabled() {
                 let (query, hit) = self
                     .plan_cache
@@ -590,7 +735,9 @@ impl PartiX {
                 trace.record("parse", 0, parse_start);
                 self.execute_replanned(&query, options, &trace, parse_s)
             }
-        })())
+        })());
+        self.record_tenant_latency(&permit, started);
+        result
     }
 
     /// Execute the centralized baseline: the query as-is against one
@@ -623,9 +770,13 @@ impl PartiX {
         options: ExecOptions,
     ) -> Result<DistributedResult, PartixError> {
         self.sync_with_meta();
+        let permit = self.admit(options, 0)?;
+        let started = Instant::now();
         let trace = self.new_trace();
         // pre-parsed entry: there was no parse stage to time
-        count_failure(self.execute_replanned(query, options, &trace, 0.0))
+        let result = count_failure(self.execute_replanned(query, options, &trace, 0.0));
+        self.record_tenant_latency(&permit, started);
+        result
     }
 
     /// Stream an answer: `emit` receives consecutive slices of the result
@@ -653,9 +804,11 @@ impl PartiX {
         emit: &mut dyn FnMut(Sequence) -> bool,
     ) -> Result<DistributedResult, PartixError> {
         self.sync_with_meta();
+        let permit = self.admit(options, text.len())?;
+        let started = Instant::now();
         let trace = self.new_trace();
         let parse_start = Instant::now();
-        count_failure((|| {
+        let result = count_failure((|| {
             let (query, hit) = if self.plan_cache_enabled() {
                 self.plan_cache
                     .get_or_parse(text)
@@ -689,7 +842,9 @@ impl PartiX {
                 return Err(stream_cancelled());
             }
             Ok(result)
-        })())
+        })());
+        self.record_tenant_latency(&permit, started);
+        result
     }
 
     /// The decomposition/dispatch/composition pipeline, with stage
@@ -873,7 +1028,13 @@ impl PartiX {
                     let tx = tx.clone();
                     let task = &tasks[i];
                     scope.spawn(move || {
-                        let run = self.run_subquery_guarded(task, avg_mode, trace, lane + 1);
+                        let run = self.run_subquery_guarded(
+                            task,
+                            avg_mode,
+                            self.class_for(options),
+                            trace,
+                            lane + 1,
+                        );
                         let _ = tx.send((i, epochs, run));
                     });
                 }
@@ -920,7 +1081,7 @@ impl PartiX {
         } else if dispatched_any {
             let todo: Vec<SubQuery> =
                 pending.iter().map(|&(i, _)| tasks[i].clone()).collect();
-            let runs = self.dispatch(&todo, avg_mode, trace);
+            let runs = self.dispatch(&todo, avg_mode, self.class_for(options), trace);
             for ((i, epochs), run) in pending.into_iter().zip(runs) {
                 self.absorb_run(
                     i,
@@ -1190,21 +1351,23 @@ impl PartiX {
         &self,
         tasks: &[SubQuery],
         avg_mode: bool,
+        class: partix_tenant::PriorityClass,
         trace: &Trace,
     ) -> Vec<Result<SiteRun, RunFailure>> {
         match self.dispatch {
             DispatchMode::Simulated => tasks
                 .iter()
                 .enumerate()
-                .map(|(i, task)| self.run_subquery_guarded(task, avg_mode, trace, i + 1))
+                .map(|(i, task)| self.run_subquery_guarded(task, avg_mode, class, trace, i + 1))
                 .collect(),
             DispatchMode::Threads | DispatchMode::Pool => std::thread::scope(|scope| {
                 let handles: Vec<_> = tasks
                     .iter()
                     .enumerate()
                     .map(|(i, task)| {
-                        let h = scope
-                            .spawn(move || self.run_subquery_guarded(task, avg_mode, trace, i + 1));
+                        let h = scope.spawn(move || {
+                            self.run_subquery_guarded(task, avg_mode, class, trace, i + 1)
+                        });
                         (task, h)
                     })
                     .collect();
@@ -1229,11 +1392,12 @@ impl PartiX {
         &self,
         task: &SubQuery,
         avg_mode: bool,
+        class: partix_tenant::PriorityClass,
         trace: &Trace,
         lane: usize,
     ) -> Result<SiteRun, RunFailure> {
         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            self.run_subquery(task, avg_mode, trace, lane)
+            self.run_subquery(task, avg_mode, class, trace, lane)
         }))
         .unwrap_or_else(|payload| Err(panic_failure(task, payload)))
     }
@@ -1247,6 +1411,7 @@ impl PartiX {
         &self,
         task: &SubQuery,
         avg_mode: bool,
+        class: partix_tenant::PriorityClass,
         trace: &Trace,
         lane: usize,
     ) -> Result<SiteRun, RunFailure> {
@@ -1297,7 +1462,7 @@ impl PartiX {
             stage.attempts += 1;
             let node = Arc::clone(self.cluster.node(node_id).expect("picked from cluster"));
             let exec_start = Instant::now();
-            let outcome = self.attempt(&node, &task.query, avg_mode, policy.timeout);
+            let outcome = self.attempt(&node, &task.query, avg_mode, class, policy.timeout);
             stage.execute_s += exec_start.elapsed().as_secs_f64();
             trace.record(
                 &format!("exec:{}#{attempt}@n{node_id}", task.fragment),
@@ -1388,6 +1553,7 @@ impl PartiX {
         node: &Arc<Node>,
         query: &Arc<Query>,
         avg_mode: bool,
+        class: partix_tenant::PriorityClass,
         timeout: Option<Duration>,
     ) -> Result<(SiteOutput, Duration), DispatchError> {
         let inline = |node: &Node| {
@@ -1416,6 +1582,7 @@ impl PartiX {
                 let submitted_at = Instant::now();
                 let submitted = self.pool().submit(
                     node.id,
+                    class,
                     Box::new(move || {
                         // measured at job start: how long the sub-query
                         // sat in the node's bounded queue
@@ -2167,7 +2334,7 @@ mod tests {
         assert!(px.execute(q).is_err());
         // degraded mode answers from the two live fragments
         let result = px
-            .execute_with(q, ExecOptions { allow_partial: true })
+            .execute_with(q, ExecOptions { allow_partial: true, ..ExecOptions::default() })
             .unwrap();
         assert_eq!(result.items, vec![Item::Num(20.0)]);
         assert!(result.report.partial);
@@ -2178,7 +2345,7 @@ mod tests {
         px.cluster().node(0).unwrap().set_available(false);
         px.cluster().node(2).unwrap().set_available(false);
         let empty = px
-            .execute_with(q, ExecOptions { allow_partial: true })
+            .execute_with(q, ExecOptions { allow_partial: true, ..ExecOptions::default() })
             .unwrap();
         assert!(empty.report.partial);
         assert_eq!(empty.report.skipped.len(), 3);

@@ -27,7 +27,11 @@ pub mod articles;
 pub mod items;
 pub mod store;
 pub mod text;
+pub mod warehouse;
 
 pub use articles::{gen_articles, ArticleProfile};
 pub use items::{gen_items, ItemProfile, SECTIONS, SECTION_WEIGHTS};
 pub use store::gen_store;
+pub use warehouse::{
+    gen_warehouse, warehouse_queries, warehouse_workload, Warehouse, WarehouseConfig, REGIONS,
+};

@@ -1,0 +1,236 @@
+//! Star-schema XML data-warehouse generation (the advisor's
+//! aggregation-heavy workload).
+//!
+//! One fact collection (`Sale` documents) plus two dimension
+//! collections (`Product`, `Outlet`), in the classic star arrangement:
+//! every fact carries denormalized dimension keys (`Region`, `Quarter`,
+//! `Product`, `Outlet`) as leaf values, which is exactly the shape
+//! horizontal fragmentation by path=value predicates wants. Region and
+//! quarter draws are skewed, so a fragmentation advisor has a real
+//! trade-off to optimize (uniform keys would make every design equally
+//! balanced).
+//!
+//! [`warehouse_queries`] is the matching query mix — aggregations
+//! (`sum`/`count`) behind selective predicates — and
+//! [`warehouse_workload`] expands it into a frequency-weighted query
+//! log: predicates on `Region` dominate, so a frequency-mining
+//! candidate generator should discover `/Sale/Region` as the
+//! fragmentation dimension.
+
+use crate::text;
+use partix_xml::{DocBuilder, Document};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Sales regions (the horizontal fragmentation dimension the query mix
+/// favors). Weighted 40/30/20/10.
+pub const REGIONS: &[&str] = &["NORTH", "SOUTH", "EAST", "WEST"];
+
+/// Region draw weights; sum = 100.
+pub const REGION_WEIGHTS: &[u32] = &[40, 30, 20, 10];
+
+/// Fiscal quarters, drawn uniformly.
+pub const QUARTERS: &[&str] = &["Q1", "Q2", "Q3", "Q4"];
+
+/// Product categories for the `Product` dimension.
+pub const CATEGORIES: &[&str] = &["AUDIO", "VIDEO", "PRINT", "OUTDOOR"];
+
+/// Sizing knobs for one generated warehouse.
+#[derive(Debug, Clone, Copy)]
+pub struct WarehouseConfig {
+    /// Fact documents (`Sale`).
+    pub sales: usize,
+    /// `Product` dimension rows.
+    pub products: usize,
+    /// `Outlet` dimension rows.
+    pub outlets: usize,
+}
+
+impl Default for WarehouseConfig {
+    fn default() -> WarehouseConfig {
+        WarehouseConfig { sales: 400, products: 24, outlets: 8 }
+    }
+}
+
+/// One generated star schema: a fact collection and its dimensions.
+#[derive(Debug, Clone)]
+pub struct Warehouse {
+    pub sales: Vec<Document>,
+    pub products: Vec<Document>,
+    pub outlets: Vec<Document>,
+}
+
+/// Generate a warehouse, deterministic in `seed`.
+pub fn gen_warehouse(config: WarehouseConfig, seed: u64) -> Warehouse {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let outlets: Vec<Document> = (0..config.outlets)
+        .map(|i| {
+            DocBuilder::new("Outlet")
+                .named(&format!("outlet{i:02}"))
+                .leaf("Code", &format!("outlet{i:02}"))
+                .leaf("Region", pick_region(&mut rng))
+                .leaf("City", &text::product_name(&mut rng, i))
+                .build()
+        })
+        .collect();
+    let products: Vec<Document> = (0..config.products)
+        .map(|i| {
+            DocBuilder::new("Product")
+                .named(&format!("product{i:03}"))
+                .leaf("Code", &format!("product{i:03}"))
+                .leaf("Name", &text::product_name(&mut rng, i))
+                .leaf("Category", CATEGORIES[i % CATEGORIES.len()])
+                .build()
+        })
+        .collect();
+    let sales: Vec<Document> = (0..config.sales)
+        .map(|i| {
+            let outlet = rng.gen_range(0..config.outlets.max(1));
+            let product = rng.gen_range(0..config.products.max(1));
+            DocBuilder::new("Sale")
+                .named(&format!("sale{i:06}"))
+                .leaf("Id", &format!("{i}"))
+                .leaf("Product", &format!("product{product:03}"))
+                .leaf("Outlet", &format!("outlet{outlet:02}"))
+                .leaf("Region", pick_region(&mut rng))
+                .leaf("Quarter", QUARTERS[rng.gen_range(0..QUARTERS.len())])
+                .leaf("Units", &format!("{}", rng.gen_range(1..20)))
+                .leaf("Amount", &text::price(&mut rng))
+                .build()
+        })
+        .collect();
+    Warehouse { sales, products, outlets }
+}
+
+/// Draw a region from the skewed distribution.
+pub fn pick_region(rng: &mut StdRng) -> &'static str {
+    let total: u32 = REGION_WEIGHTS.iter().sum();
+    let mut roll = rng.gen_range(0..total);
+    for (region, &weight) in REGIONS.iter().zip(REGION_WEIGHTS) {
+        if roll < weight {
+            return region;
+        }
+        roll -= weight;
+    }
+    REGIONS[0]
+}
+
+/// The aggregation-heavy warehouse query set QW1–QW8 over fact
+/// collection `facts` and the dimension collections.
+pub fn warehouse_queries(
+    facts: &str,
+    products: &str,
+    outlets: &str,
+) -> Vec<(&'static str, String)> {
+    vec![
+        ("QW1", format!(
+            r#"sum(for $s in collection("{facts}")/Sale
+                   where $s/Region = "NORTH" return number($s/Amount))"#
+        )),
+        ("QW2", format!(
+            r#"count(for $s in collection("{facts}")/Sale
+                     where $s/Region = "SOUTH" return $s)"#
+        )),
+        ("QW3", format!(
+            r#"sum(for $s in collection("{facts}")/Sale
+                   where $s/Region = "EAST" and $s/Quarter = "Q4"
+                   return number($s/Units))"#
+        )),
+        ("QW4", format!(
+            r#"count(for $s in collection("{facts}")/Sale
+                     where $s/Quarter = "Q1" return $s)"#
+        )),
+        ("QW5", format!(
+            r#"sum(for $s in collection("{facts}")/Sale
+                   where $s/Outlet = "outlet01" return number($s/Amount))"#
+        )),
+        ("QW6", format!(
+            r#"count(for $s in collection("{facts}")/Sale
+                     where number($s/Units) > 10 return $s)"#
+        )),
+        ("QW7", format!(
+            r#"for $p in collection("{products}")/Product
+               where $p/Category = "AUDIO" return $p/Name"#
+        )),
+        ("QW8", format!(
+            r#"count(for $o in collection("{outlets}")/Outlet
+                     where $o/Region = "NORTH" return $o)"#
+        )),
+    ]
+}
+
+/// Expand the query set into a frequency-weighted log: region-predicate
+/// aggregations dominate (the mix a warehouse dashboard produces), so
+/// `Region` is the predicate a frequency miner must surface.
+pub fn warehouse_workload(
+    facts: &str,
+    products: &str,
+    outlets: &str,
+) -> Vec<String> {
+    let queries = warehouse_queries(facts, products, outlets);
+    // (index into queries, repetitions)
+    const MIX: &[(usize, usize)] = &[
+        (0, 8), // QW1: NORTH revenue — the hot dashboard tile
+        (1, 6), // QW2: SOUTH count
+        (2, 4), // QW3: EAST × Q4
+        (3, 3), // QW4: quarter rollup
+        (4, 2), // QW5: one outlet
+        (5, 2), // QW6: units range
+        (6, 1), // QW7: dimension lookup
+        (7, 1), // QW8: dimension count
+    ];
+    let mut log = Vec::new();
+    for &(idx, reps) in MIX {
+        for _ in 0..reps {
+            log.push(queries[idx].1.clone());
+        }
+    }
+    log
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partix_query::parse_query;
+
+    #[test]
+    fn deterministic_generation() {
+        let a = gen_warehouse(WarehouseConfig::default(), 7);
+        let b = gen_warehouse(WarehouseConfig::default(), 7);
+        assert_eq!(a.sales, b.sales);
+        assert_eq!(a.products, b.products);
+        assert_eq!(a.outlets, b.outlets);
+        let c = gen_warehouse(WarehouseConfig::default(), 8);
+        assert_ne!(a.sales, c.sales);
+    }
+
+    #[test]
+    fn facts_carry_star_keys_and_skewed_regions() {
+        let w = gen_warehouse(WarehouseConfig { sales: 1000, products: 10, outlets: 4 }, 3);
+        let region = |doc: &Document| doc.root().child_element("Region").unwrap().text();
+        for s in &w.sales {
+            assert!(REGIONS.contains(&region(s).as_str()));
+            assert!(s.root().child_element("Product").is_some());
+            assert!(s.root().child_element("Outlet").is_some());
+            assert!(s.root().child_element("Quarter").is_some());
+        }
+        let north = w.sales.iter().filter(|s| region(s) == "NORTH").count();
+        let west = w.sales.iter().filter(|s| region(s) == "WEST").count();
+        assert!(north > west, "region skew lost: NORTH {north} vs WEST {west}");
+    }
+
+    #[test]
+    fn all_warehouse_queries_parse() {
+        for (name, q) in warehouse_queries("facts", "dim_products", "dim_outlets") {
+            parse_query(&q).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn workload_mix_is_region_heavy() {
+        let log = warehouse_workload("f", "p", "o");
+        assert_eq!(log.len(), 27);
+        let region_hits = log.iter().filter(|q| q.contains("/Region")).count();
+        assert!(region_hits * 2 > log.len(), "region predicates must dominate the mix");
+    }
+}

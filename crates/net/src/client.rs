@@ -252,6 +252,38 @@ impl RemoteDriver {
         }
     }
 
+    /// Execute a query as a named tenant ([`Request::ExecuteAs`]),
+    /// preserving the server's typed error verdict — an admission
+    /// rejection arrives as a [`WireError`] whose `code` and
+    /// `retry_after_ms` the caller can act on, never a silent drop or a
+    /// text-only failure.
+    pub fn execute_as(
+        &self,
+        tenant: &str,
+        query: &Query,
+    ) -> Result<Option<QueryOutput>, WireError> {
+        let req = Request::ExecuteAs { tenant: tenant.to_owned(), query: query.clone() };
+        let frame = self
+            .roundtrip(FrameKind::Request, &req.encode(), req.idempotent())
+            .map_err(|e| WireError::failure(true, e.to_string()))?;
+        match frame.kind {
+            FrameKind::Result => match Response::decode(&frame.payload) {
+                Ok(Response::Output(out)) => Ok(out),
+                Ok(other) => Err(WireError::failure(
+                    false,
+                    format!("{}: mismatched response {other:?} to ExecuteAs", self.addr),
+                )),
+                Err(e) => Err(WireError::failure(true, format!("{}: {e}", self.addr))),
+            },
+            FrameKind::Error => Err(WireError::decode(&frame.payload)
+                .unwrap_or_else(|e| WireError::failure(true, format!("{}: {e}", self.addr)))),
+            other => Err(WireError::failure(
+                true,
+                format!("{}: unexpected {other:?} frame in response", self.addr),
+            )),
+        }
+    }
+
     fn request(&self, req: &Request) -> Result<Response, DriverError> {
         let frame = self.roundtrip(FrameKind::Request, &req.encode(), req.idempotent())?;
         match frame.kind {

@@ -53,7 +53,11 @@ impl StreamHandler for CoordHandler {
         sink: &dyn ChunkSink,
     ) -> Result<StreamStats, StreamFailure> {
         let started = Instant::now();
-        let options = ExecOptions { allow_partial: query.allow_partial };
+        let mut options =
+            ExecOptions { allow_partial: query.allow_partial, ..ExecOptions::default() };
+        if !query.tenant.is_empty() {
+            options.tenant = Some(self.px.resolve_tenant(&query.tenant).map_err(failure_of)?);
+        }
         let report = if query.buffered {
             // diagnostic mode: materialize the whole answer first, then
             // ship it — the baseline the streaming path is measured against
@@ -93,16 +97,30 @@ impl StreamHandler for CoordHandler {
 }
 
 fn closed_failure(_: SinkClosed) -> StreamFailure {
-    StreamFailure { retryable: false, message: "stream closed by client".into() }
+    StreamFailure::failure(false, "stream closed by client")
 }
 
 /// Map engine errors onto the wire's retryable/fatal split: transient
 /// cluster states invite a client retry (possibly on another
-/// coordinator); query defects do not.
+/// coordinator); query defects do not. Admission rejections carry their
+/// own error code plus the controller's back-off hint.
 fn failure_of(err: PartixError) -> StreamFailure {
+    if let PartixError::AdmissionRejected { ref tenant, retry_after_ms, ref reason } = err {
+        let code = if reason.contains("unknown tenant") || reason.contains("no tenancy") {
+            crate::message::ErrorCode::UnknownTenant
+        } else {
+            crate::message::ErrorCode::AdmissionRejected
+        };
+        return StreamFailure {
+            retryable: false,
+            code,
+            retry_after_ms,
+            message: format!("tenant {tenant:?}: {reason}"),
+        };
+    }
     let retryable = matches!(
         err,
         PartixError::CatalogSwapped | PartixError::NodeUnavailable { .. }
     );
-    StreamFailure { retryable, message: err.to_string() }
+    StreamFailure::failure(retryable, err.to_string())
 }

@@ -36,8 +36,8 @@ pub mod stream_server;
 pub use client::{RemoteDriver, RemoteDriverConfig, WireStats};
 pub use coord::{serve_coordinator, CoordHandler};
 pub use frame::{Frame, FrameKind, ProtocolError, HEADER_LEN, MAX_PAYLOAD, VERSION, VERSION2};
-pub use message::{Request, Response, WireError};
-pub use server::{NodeServer, ServerConfig};
+pub use message::{ErrorCode, Request, Response, WireError};
+pub use server::{NodeServer, ServerConfig, ServerTenancy};
 pub use stream::{
     CancelStream, ItemChunk, StreamAssembler, StreamEnd, StreamError, StreamOutcome, StreamQuery,
     StreamStats,

@@ -10,6 +10,59 @@ use partix_query::Query;
 use partix_storage::{QueryOutput, WriteOp};
 use partix_xml::Document;
 
+/// Machine-readable classification carried by [`WireError`] (PXN1) and
+/// [`crate::StreamError`] (PXN2), so clients can distinguish tenancy
+/// rejections from ordinary execution failures without parsing the
+/// message text. Unknown code bytes decode to a typed
+/// [`ProtocolError::Malformed`] — never a panic, never a silent
+/// default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ErrorCode {
+    /// Any failure predating (or unrelated to) tenancy.
+    #[default]
+    Generic,
+    /// The tenant's admission quota rejected the query; honor the
+    /// `retry_after_ms` hint before retrying.
+    AdmissionRejected,
+    /// The tenant header named a tenant this server does not know (or
+    /// the server has no tenancy configured).
+    UnknownTenant,
+}
+
+impl ErrorCode {
+    pub fn as_u8(self) -> u8 {
+        match self {
+            ErrorCode::Generic => 0,
+            ErrorCode::AdmissionRejected => 1,
+            ErrorCode::UnknownTenant => 2,
+        }
+    }
+
+    pub fn from_u8(byte: u8) -> Result<ErrorCode, ProtocolError> {
+        match byte {
+            0 => Ok(ErrorCode::Generic),
+            1 => Ok(ErrorCode::AdmissionRejected),
+            2 => Ok(ErrorCode::UnknownTenant),
+            other => Err(ProtocolError::Malformed(format!("bad error code {other}"))),
+        }
+    }
+}
+
+/// Validate a wire-supplied tenant header before it touches any lookup:
+/// hostile bytes (oversized, non-ASCII, control characters) become a
+/// typed [`ProtocolError::Malformed`] at decode time.
+pub(crate) fn decode_tenant_header(name: String) -> Result<String, ProtocolError> {
+    if partix_tenant::valid_tenant_name(&name) {
+        Ok(name)
+    } else {
+        Err(ProtocolError::Malformed(format!(
+            "invalid tenant header ({} bytes; names are 1..={} bytes of [A-Za-z0-9._-])",
+            name.len(),
+            partix_tenant::MAX_TENANT_NAME
+        )))
+    }
+}
+
 /// Coordinator → node. One request per frame; the node answers with
 /// exactly one `Result` or `Error` frame. (`Document` has no equality,
 /// so neither does `Request` — tests compare re-encoded bytes.)
@@ -17,6 +70,11 @@ use partix_xml::Document;
 pub enum Request {
     /// Run a (localized) sub-query against the node's fragments.
     Execute { query: Query },
+    /// [`Request::Execute`] with a tenant header: the server applies the
+    /// named tenant's admission quotas before running. Servers without
+    /// tenancy configured answer with a typed
+    /// [`ErrorCode::UnknownTenant`] error.
+    ExecuteAs { tenant: String, query: Query },
     /// Publish documents into a collection (fragment placement).
     Store { collection: String, docs: Vec<Document> },
     /// Fetch every document of a collection (reconstruction reads).
@@ -58,6 +116,11 @@ impl Request {
                 w.put_u8(5);
                 w.put_bytes(&partix_storage::wal::encode_op(op));
             }
+            Request::ExecuteAs { tenant, query } => {
+                w.put_u8(6);
+                w.put_str(tenant);
+                w.put_bytes(&crate::codec::encode_query(query));
+            }
         }
         w.into_bytes()
     }
@@ -83,6 +146,11 @@ impl Request {
                     ProtocolError::Malformed("undecodable write op".into())
                 })?;
                 Request::Write { op }
+            }
+            6 => {
+                let tenant = decode_tenant_header(r.str("tenant header")?)?;
+                let raw = r.bytes("query payload")?;
+                Request::ExecuteAs { tenant, query: crate::codec::decode_query(raw)? }
             }
             other => {
                 return Err(ProtocolError::Malformed(format!("bad request tag {other}")))
@@ -185,13 +253,30 @@ impl Response {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WireError {
     pub retryable: bool,
+    /// Typed classification (admission rejection, unknown tenant, …).
+    pub code: ErrorCode,
+    /// Client retry hint in milliseconds; meaningful for
+    /// [`ErrorCode::AdmissionRejected`], 0 otherwise.
+    pub retry_after_ms: u64,
     pub message: String,
 }
 
 impl WireError {
+    /// A pre-tenancy failure: [`ErrorCode::Generic`], no retry hint.
+    pub fn failure(retryable: bool, message: impl Into<String>) -> WireError {
+        WireError {
+            retryable,
+            code: ErrorCode::Generic,
+            retry_after_ms: 0,
+            message: message.into(),
+        }
+    }
+
     pub fn encode(&self) -> Vec<u8> {
         let mut w = Writer::new();
         w.put_bool(self.retryable);
+        w.put_u8(self.code.as_u8());
+        w.put_u64(self.retry_after_ms);
         w.put_str(&self.message);
         w.into_bytes()
     }
@@ -199,11 +284,25 @@ impl WireError {
     pub fn decode(payload: &[u8]) -> Result<WireError, ProtocolError> {
         let mut r = Reader::new(payload);
         let retryable = r.bool("error retryable")?;
+        let code = ErrorCode::from_u8(r.u8("error code")?)?;
+        let retry_after_ms = r.u64("retry_after_ms")?;
         let message = r.str("error message")?;
         r.finish()?;
-        Ok(WireError { retryable, message })
+        Ok(WireError { retryable, code, retry_after_ms, message })
     }
 }
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)?;
+        if self.retry_after_ms > 0 {
+            write!(f, " (retry after {} ms)", self.retry_after_ms)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for WireError {}
 
 #[cfg(test)]
 mod tests {
@@ -216,7 +315,8 @@ mod tests {
         let q = parse_query(r#"for $i in collection("c")/x where $i/y = 1 return $i"#).unwrap();
         let docs = vec![parse("<a><b>1</b></a>").unwrap(), parse("<a k=\"v\"/>").unwrap()];
         let cases = vec![
-            Request::Execute { query: q },
+            Request::Execute { query: q.clone() },
+            Request::ExecuteAs { tenant: "team-a.prod".into(), query: q },
             Request::Store { collection: "c".into(), docs },
             Request::Fetch { collection: "c".into() },
             Request::Collections,
@@ -266,8 +366,39 @@ mod tests {
             let back = Response::decode(&resp.encode()).unwrap();
             assert_eq!(resp.encode(), back.encode());
         }
-        let err = WireError { retryable: true, message: "node going away".into() };
+        let err = WireError::failure(true, "node going away");
         assert_eq!(WireError::decode(&err.encode()).unwrap(), err);
+        let rejected = WireError {
+            retryable: false,
+            code: ErrorCode::AdmissionRejected,
+            retry_after_ms: 250,
+            message: "quota".into(),
+        };
+        assert_eq!(WireError::decode(&rejected.encode()).unwrap(), rejected);
+    }
+
+    #[test]
+    fn hostile_tenant_headers_are_typed_errors() {
+        let q = parse_query(r#"collection("c")/x"#).unwrap();
+        let ok = Request::ExecuteAs { tenant: "t1".into(), query: q.clone() };
+        assert!(Request::decode(&ok.encode()).is_ok());
+        for bad in [
+            String::new(),
+            "with space".to_string(),
+            "nul\0byte".to_string(),
+            "x".repeat(partix_tenant::MAX_TENANT_NAME + 1),
+            "\u{7f}".to_string(),
+        ] {
+            let req = Request::ExecuteAs { tenant: bad, query: q.clone() };
+            assert!(
+                matches!(Request::decode(&req.encode()), Err(ProtocolError::Malformed(_))),
+                "hostile tenant header must decode to a typed error"
+            );
+        }
+        // unknown error-code byte is typed, not defaulted
+        let mut bytes = WireError::failure(false, "x").encode();
+        bytes[1] = 99;
+        assert!(matches!(WireError::decode(&bytes), Err(ProtocolError::Malformed(_))));
     }
 
     #[test]

@@ -19,8 +19,9 @@
 //!   trusted).
 
 use crate::frame::{read_frame_after, write_frame, FrameKind, ProtocolError};
-use crate::message::{Request, Response, WireError};
-use partix_engine::{DriverError, PartixDriver};
+use crate::message::{ErrorCode, Request, Response, WireError};
+use partix_engine::{metrics, DriverError, PartixDriver};
+use partix_tenant::{AdmissionController, TenantRegistry};
 use partix_storage::Database;
 use std::io::{self, ErrorKind, Read};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -30,6 +31,23 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+/// Multi-tenant admission state a node server may enforce for
+/// [`Request::ExecuteAs`] frames. Shared between servers (and with the
+/// engine) via `Arc`.
+pub struct ServerTenancy {
+    pub registry: Arc<TenantRegistry>,
+    pub controller: AdmissionController,
+}
+
+impl std::fmt::Debug for ServerTenancy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerTenancy")
+            .field("tenants", &self.registry.len())
+            .field("controller", &self.controller)
+            .finish()
+    }
+}
+
 /// Tuning knobs for a node server.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -38,6 +56,11 @@ pub struct ServerConfig {
     /// Read deadline for the remainder of a frame once its first byte
     /// arrived (a peer that stalls mid-frame is cut loose).
     pub frame_timeout: Duration,
+    /// When set, [`Request::ExecuteAs`] frames pass this admission
+    /// control; when unset they answer a typed
+    /// [`ErrorCode::UnknownTenant`] error. Plain `Execute` frames are
+    /// never gated (the anonymous compatibility path).
+    pub tenancy: Option<Arc<ServerTenancy>>,
 }
 
 impl Default for ServerConfig {
@@ -45,6 +68,7 @@ impl Default for ServerConfig {
         ServerConfig {
             poll_interval: Duration::from_millis(50),
             frame_timeout: Duration::from_secs(10),
+            tenancy: None,
         }
     }
 }
@@ -194,7 +218,7 @@ fn serve_connection(mut stream: &TcpStream, shared: &ServerShared) {
                 // Best-effort: tell the peer what was wrong with its
                 // frame, then drop the connection — after a framing
                 // error the stream position can't be trusted.
-                let wire = WireError { retryable: false, message: err.to_string() };
+                let wire = WireError::failure(false, err.to_string());
                 let _ = write_frame(&mut stream, FrameKind::Error, &wire.encode());
                 return;
             }
@@ -245,18 +269,12 @@ fn answer_frame(
             let result = catch_unwind(AssertUnwindSafe(|| serve_request(shared, request)));
             let (kind, payload) = match result {
                 Ok(Ok(response)) => (FrameKind::Result, response.encode()),
-                Ok(Err(err)) => {
-                    let wire = WireError {
-                        retryable: matches!(err, DriverError::Unavailable(_)),
-                        message: err.to_string(),
-                    };
-                    (FrameKind::Error, wire.encode())
-                }
+                Ok(Err(err)) => (FrameKind::Error, err.into_wire().encode()),
                 Err(panic) => {
-                    let wire = WireError {
-                        retryable: false,
-                        message: format!("node panicked: {}", panic_message(&panic)),
-                    };
+                    let wire = WireError::failure(
+                        false,
+                        format!("node panicked: {}", panic_message(&panic)),
+                    );
                     (FrameKind::Error, wire.encode())
                 }
             };
@@ -281,9 +299,76 @@ fn answer_frame(
     }
 }
 
-fn serve_request(shared: &ServerShared, request: Request) -> Result<Response, DriverError> {
+/// Failures a request handler can answer with: plain driver errors, or
+/// typed admission errors carrying a [`ErrorCode`] the client can match
+/// on without parsing the message text.
+enum ServeError {
+    Driver(DriverError),
+    Admission { code: ErrorCode, retry_after_ms: u64, message: String },
+}
+
+impl ServeError {
+    fn into_wire(self) -> WireError {
+        match self {
+            ServeError::Driver(err) => WireError::failure(
+                matches!(err, DriverError::Unavailable(_)),
+                err.to_string(),
+            ),
+            ServeError::Admission { code, retry_after_ms, message } => WireError {
+                retryable: false,
+                code,
+                retry_after_ms,
+                message,
+            },
+        }
+    }
+}
+
+impl From<DriverError> for ServeError {
+    fn from(err: DriverError) -> ServeError {
+        ServeError::Driver(err)
+    }
+}
+
+fn serve_request(shared: &ServerShared, request: Request) -> Result<Response, ServeError> {
     match request {
-        Request::Execute { query } => shared.driver.execute(&query).map(Response::Output),
+        Request::Execute { query } => {
+            shared.driver.execute(&query).map(Response::Output).map_err(ServeError::from)
+        }
+        Request::ExecuteAs { tenant, query } => {
+            let Some(tenancy) = shared.config.tenancy.as_ref() else {
+                return Err(ServeError::Admission {
+                    code: ErrorCode::UnknownTenant,
+                    retry_after_ms: 0,
+                    message: format!("tenant {tenant:?}: server has no tenancy configured"),
+                });
+            };
+            let Some(entry) = tenancy.registry.by_name(&tenant) else {
+                return Err(ServeError::Admission {
+                    code: ErrorCode::UnknownTenant,
+                    retry_after_ms: 0,
+                    message: format!("unknown tenant {tenant:?}"),
+                });
+            };
+            metrics::global().counter(&format!("tenant.{tenant}.queries")).inc();
+            let permit = tenancy.controller.admit(&entry, 0).map_err(|rejection| {
+                metrics::global().counter(&format!("tenant.{tenant}.rejected")).inc();
+                // `WireError`'s Display re-appends the retry hint, so the
+                // message carries only the tenant + reason.
+                ServeError::Admission {
+                    code: ErrorCode::AdmissionRejected,
+                    retry_after_ms: rejection.retry_after_ms,
+                    message: format!(
+                        "tenant {:?} rejected: {}",
+                        rejection.tenant, rejection.reason
+                    ),
+                }
+            })?;
+            metrics::global().counter(&format!("tenant.{tenant}.admitted")).inc();
+            let result = shared.driver.execute(&query).map(Response::Output);
+            drop(permit);
+            result.map_err(ServeError::from)
+        }
         Request::Store { collection, docs } => {
             shared.driver.store(&collection, docs);
             Ok(Response::Stored)
@@ -302,7 +387,9 @@ fn serve_request(shared: &ServerShared, request: Request) -> Result<Response, Dr
             shared.driver.drop_collection(&collection);
             Ok(Response::Dropped)
         }
-        Request::Write { op } => shared.driver.write(&op).map(Response::Written),
+        Request::Write { op } => {
+            shared.driver.write(&op).map(Response::Written).map_err(ServeError::from)
+        }
     }
 }
 

@@ -50,6 +50,11 @@ pub struct StreamQuery {
     pub buffered: bool,
     /// Requested items per chunk; 0 means [`DEFAULT_CHUNK_ITEMS`].
     pub chunk_items: u32,
+    /// Tenant header: empty = anonymous (the pre-tenancy behaviour),
+    /// otherwise a registered tenant name whose admission quotas the
+    /// coordinator applies before running. Hostile header bytes are
+    /// rejected at decode time with a typed [`ProtocolError::Malformed`].
+    pub tenant: String,
 }
 
 impl StreamQuery {
@@ -60,6 +65,7 @@ impl StreamQuery {
         w.put_bool(self.allow_partial);
         w.put_bool(self.buffered);
         w.put_u32(self.chunk_items);
+        w.put_str(&self.tenant);
         w.into_bytes()
     }
 
@@ -71,6 +77,14 @@ impl StreamQuery {
             allow_partial: r.bool("allow_partial")?,
             buffered: r.bool("buffered")?,
             chunk_items: r.u32("chunk_items")?,
+            tenant: {
+                let tenant = r.str("tenant header")?;
+                if tenant.is_empty() {
+                    tenant
+                } else {
+                    crate::message::decode_tenant_header(tenant)?
+                }
+            },
         };
         r.finish()?;
         Ok(q)
@@ -196,14 +210,34 @@ impl StreamEnd {
 pub struct StreamError {
     pub stream: u64,
     pub retryable: bool,
+    /// Typed classification shared with PXN1 — see
+    /// [`crate::message::ErrorCode`]. Admission rejections arrive as
+    /// [`ErrorCode::AdmissionRejected`](crate::message::ErrorCode) with
+    /// a `retry_after_ms` hint, never as a hang or a dropped stream.
+    pub code: crate::message::ErrorCode,
+    /// Client retry hint in milliseconds (0 = none).
+    pub retry_after_ms: u64,
     pub message: String,
 }
 
 impl StreamError {
+    /// A failure with no tenancy classification.
+    pub fn failure(stream: u64, retryable: bool, message: impl Into<String>) -> StreamError {
+        StreamError {
+            stream,
+            retryable,
+            code: crate::message::ErrorCode::Generic,
+            retry_after_ms: 0,
+            message: message.into(),
+        }
+    }
+
     pub fn encode(&self) -> Vec<u8> {
         let mut w = Writer::new();
         w.put_u64(self.stream);
         w.put_bool(self.retryable);
+        w.put_u8(self.code.as_u8());
+        w.put_u64(self.retry_after_ms);
         w.put_str(&self.message);
         w.into_bytes()
     }
@@ -213,6 +247,8 @@ impl StreamError {
         let e = StreamError {
             stream: r.u64("stream id")?,
             retryable: r.bool("retryable")?,
+            code: crate::message::ErrorCode::from_u8(r.u8("error code")?)?,
+            retry_after_ms: r.u64("retry_after_ms")?,
             message: r.str("error message")?,
         };
         r.finish()?;
@@ -389,8 +425,11 @@ mod tests {
             allow_partial: true,
             buffered: false,
             chunk_items: 32,
+            tenant: "team-a".into(),
         };
         assert_eq!(StreamQuery::decode(&q.encode()).unwrap(), q);
+        let anon = StreamQuery { tenant: String::new(), ..q };
+        assert_eq!(StreamQuery::decode(&anon.encode()).unwrap(), anon);
 
         let c = chunk(9, 3, 5);
         assert_eq!(ItemChunk::decode(&c.encode()).unwrap(), c);
@@ -410,8 +449,16 @@ mod tests {
         };
         assert_eq!(StreamEnd::decode(&e.encode()).unwrap(), e);
 
-        let err = StreamError { stream: 1, retryable: true, message: "boom".into() };
+        let err = StreamError::failure(1, true, "boom");
         assert_eq!(StreamError::decode(&err.encode()).unwrap(), err);
+        let rejected = StreamError {
+            stream: 2,
+            retryable: false,
+            code: crate::message::ErrorCode::AdmissionRejected,
+            retry_after_ms: 100,
+            message: "quota".into(),
+        };
+        assert_eq!(StreamError::decode(&rejected.encode()).unwrap(), rejected);
 
         let cancel = CancelStream { stream: 3 };
         assert_eq!(CancelStream::decode(&cancel.encode()).unwrap(), cancel);
@@ -425,6 +472,33 @@ mod tests {
         let mut bytes = chunk(1, 0, 2).encode();
         bytes.push(0x00);
         assert!(ItemChunk::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn hostile_stream_tenant_headers_are_typed_errors() {
+        let base = StreamQuery {
+            stream: 1,
+            text: "q".into(),
+            allow_partial: false,
+            buffered: false,
+            chunk_items: 0,
+            tenant: String::new(),
+        };
+        for bad in [
+            "has space".to_string(),
+            "x".repeat(partix_tenant::MAX_TENANT_NAME + 1),
+            "tab\tname".to_string(),
+        ] {
+            let q = StreamQuery { tenant: bad, ..base.clone() };
+            assert!(
+                matches!(StreamQuery::decode(&q.encode()), Err(ProtocolError::Malformed(_))),
+                "hostile stream tenant header must decode to a typed error"
+            );
+        }
+        // unknown stream-error code byte is typed too
+        let mut bytes = StreamError::failure(1, false, "x").encode();
+        bytes[9] = 99; // u64 stream id (8) + bool retryable (1), then the code byte
+        assert!(matches!(StreamError::decode(&bytes), Err(ProtocolError::Malformed(_))));
     }
 
     #[test]

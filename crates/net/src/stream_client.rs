@@ -50,12 +50,15 @@ impl Default for StreamClientConfig {
 }
 
 /// Per-query knobs.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct StreamOpts {
     pub allow_partial: bool,
     /// Ask the coordinator to materialize the whole answer before
     /// sending (benchmark baseline; the wire format is unchanged).
     pub buffered: bool,
+    /// Execute as this tenant (PXN2 tenant header). `None` is the
+    /// anonymous compatibility path: no admission control applies.
+    pub tenant: Option<String>,
 }
 
 /// A completed stream.
@@ -71,8 +74,15 @@ pub struct StreamResult {
 #[derive(Debug, Clone)]
 pub enum StreamCallError {
     /// The coordinator answered with a typed [`StreamError`]. When
-    /// `retryable`, the same query may succeed elsewhere.
-    Remote { retryable: bool, message: String },
+    /// `retryable`, the same query may succeed elsewhere. `code`
+    /// distinguishes admission rejections (with a `retry_after_ms`
+    /// back-off hint) from plain failures.
+    Remote {
+        retryable: bool,
+        code: crate::message::ErrorCode,
+        retry_after_ms: u64,
+        message: String,
+    },
     /// Transport or protocol failure — connection lost mid-stream,
     /// malformed frames, reassembly violations, timeout. Always safe to
     /// retry on another coordinator (queries are idempotent reads).
@@ -82,7 +92,7 @@ pub enum StreamCallError {
 impl std::fmt::Display for StreamCallError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            StreamCallError::Remote { retryable, message } => {
+            StreamCallError::Remote { retryable, message, .. } => {
                 write!(f, "coordinator error (retryable={retryable}): {message}")
             }
             StreamCallError::Protocol(e) => write!(f, "transport: {e}"),
@@ -168,6 +178,7 @@ impl StreamClient {
             allow_partial: opts.allow_partial,
             buffered: opts.buffered,
             chunk_items: self.config.chunk_items,
+            tenant: opts.tenant.clone().unwrap_or_default(),
         };
         {
             let mut sock = self.sock.lock().unwrap_or_else(|e| e.into_inner());
@@ -227,6 +238,8 @@ impl StreamClient {
             }),
             (_, StreamOutcome::Failed(e)) => Err(StreamCallError::Remote {
                 retryable: e.retryable,
+                code: e.code,
+                retry_after_ms: e.retry_after_ms,
                 message: e.message,
             }),
         }
@@ -417,14 +430,14 @@ impl CoordinatorPool {
                     continue;
                 }
             };
-            match client.query_with(text, opts, &mut on_chunk) {
+            match client.query_with(text, opts.clone(), &mut on_chunk) {
                 Ok(r) => return Ok(r),
                 Err(StreamCallError::Protocol(e)) => {
                     self.invalidate(idx, &client);
                     last = StreamCallError::Protocol(e);
                 }
-                Err(StreamCallError::Remote { retryable: true, message }) => {
-                    last = StreamCallError::Remote { retryable: true, message };
+                Err(err @ StreamCallError::Remote { retryable: true, .. }) => {
+                    last = err;
                 }
                 Err(fatal @ StreamCallError::Remote { retryable: false, .. }) => {
                     return Err(fatal);

@@ -68,7 +68,25 @@ impl Default for StreamServerConfig {
 #[derive(Debug, Clone)]
 pub struct StreamFailure {
     pub retryable: bool,
+    /// Machine-readable classification mirrored onto the wire, so a
+    /// client can distinguish admission rejections from plain failures
+    /// without parsing the message text.
+    pub code: crate::message::ErrorCode,
+    /// For admission rejections: how long the client should back off.
+    pub retry_after_ms: u64,
     pub message: String,
+}
+
+impl StreamFailure {
+    /// A plain (non-admission) failure with a generic code.
+    pub fn failure(retryable: bool, message: impl Into<String>) -> StreamFailure {
+        StreamFailure {
+            retryable,
+            code: crate::message::ErrorCode::Generic,
+            retry_after_ms: 0,
+            message: message.into(),
+        }
+    }
 }
 
 /// The producer side of a stream was torn down (client cancelled, the
@@ -452,17 +470,19 @@ fn worker_loop(rx: crossbeam::channel::Receiver<Job>, handler: Arc<dyn StreamHan
                 let err = StreamError {
                     stream: job.query.stream,
                     retryable: fail.retryable,
+                    code: fail.code,
+                    retry_after_ms: fail.retry_after_ms,
                     message: fail.message,
                 };
                 encode_frame(FrameKind::StreamError, &err.encode())
             }
             Err(_) => {
                 metrics::global().counter("net.stream.handler_panics").inc();
-                let err = StreamError {
-                    stream: job.query.stream,
-                    retryable: false,
-                    message: "internal error: stream handler panicked".to_owned(),
-                };
+                let err = StreamError::failure(
+                    job.query.stream,
+                    false,
+                    "internal error: stream handler panicked",
+                );
                 encode_frame(FrameKind::StreamError, &err.encode())
             }
         };
@@ -626,11 +646,7 @@ fn service_reads(
 /// connection-level fault (no individual stream is at fault).
 fn poison(conn: &mut Conn, err: &ProtocolError) {
     metrics::global().counter("net.stream.protocol_errors").inc();
-    let e = StreamError {
-        stream: 0,
-        retryable: false,
-        message: format!("protocol violation: {err}"),
-    };
+    let e = StreamError::failure(0, false, format!("protocol violation: {err}"));
     let _ = conn.queue.push(encode_frame(FrameKind::StreamError, &e.encode()));
 }
 
@@ -663,14 +679,11 @@ fn dispatch_frame(
             }
             if live.len() >= config.max_streams_per_conn {
                 drop(live);
-                let e = StreamError {
-                    stream: query.stream,
-                    retryable: true,
-                    message: format!(
-                        "connection stream limit ({}) reached",
-                        config.max_streams_per_conn
-                    ),
-                };
+                let e = StreamError::failure(
+                    query.stream,
+                    true,
+                    format!("connection stream limit ({}) reached", config.max_streams_per_conn),
+                );
                 let _ = conn.queue.push(encode_frame(FrameKind::StreamError, &e.encode()));
                 return Ok(());
             }
@@ -729,17 +742,14 @@ mod tests {
         Arc::new(
             |q: &StreamQuery, sink: &dyn ChunkSink| -> Result<StreamStats, StreamFailure> {
                 if q.text == "boom" {
-                    return Err(StreamFailure { retryable: false, message: "boom".into() });
+                    return Err(StreamFailure::failure(false, "boom"));
                 }
                 if q.text == "panic" {
                     panic!("handler panic");
                 }
                 let n: usize = q.text.parse().unwrap_or(0);
                 let items: Vec<Item> = (0..n).map(|i| Item::Num(i as f64)).collect();
-                sink.emit(&items).map_err(|_| StreamFailure {
-                    retryable: true,
-                    message: "sink closed".into(),
-                })?;
+                sink.emit(&items).map_err(|_| StreamFailure::failure(true, "sink closed"))?;
                 Ok(StreamStats { sites: 1, ..StreamStats::default() })
             },
         )
@@ -779,6 +789,7 @@ mod tests {
             allow_partial: false,
             buffered: false,
             chunk_items: 10,
+            tenant: String::new(),
         };
         write_frame(sock, FrameKind::OpenStream, &q.encode()).unwrap();
     }
@@ -895,10 +906,7 @@ mod tests {
             |_q: &StreamQuery, sink: &dyn ChunkSink| -> Result<StreamStats, StreamFailure> {
                 let items: Vec<Item> = (0..10).map(|i| Item::Num(i as f64)).collect();
                 for _ in 0..1000 {
-                    sink.emit(&items).map_err(|_| StreamFailure {
-                        retryable: true,
-                        message: "closed".into(),
-                    })?;
+                    sink.emit(&items).map_err(|_| StreamFailure::failure(true, "closed"))?;
                     thread::sleep(Duration::from_millis(2));
                 }
                 Ok(StreamStats::default())

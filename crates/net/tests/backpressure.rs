@@ -38,7 +38,7 @@ impl StreamHandler for CountHandler {
             let take = batch.len().min(n - sent);
             if sink.emit(&batch[..take]).is_err() {
                 self.closed_streams.fetch_add(1, Ordering::Relaxed);
-                return Err(StreamFailure { retryable: true, message: "sink closed".into() });
+                return Err(StreamFailure::failure(true, "sink closed"));
             }
             sent += take;
         }
@@ -78,6 +78,7 @@ fn slow_reader_stalls_only_itself_with_bounded_server_memory() {
         allow_partial: false,
         buffered: false,
         chunk_items: 64,
+        tenant: String::new(),
     };
     stalled
         .write_all(&encode_frame(FrameKind::OpenStream, &open.encode()))

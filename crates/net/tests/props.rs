@@ -196,11 +196,69 @@ proptest! {
     }
 
     #[test]
-    fn wire_error_roundtrip(retryable in prop::sample::select(vec![true, false]), msg in prop::sample::select(vec!["", "boom", "nó caiu"])) {
-        let err = WireError { retryable, message: msg.to_owned() };
+    fn wire_error_roundtrip(
+        retryable in prop::sample::select(vec![true, false]),
+        msg in prop::sample::select(vec!["", "boom", "nó caiu"]),
+        code in (0usize..3).prop_map(|c| c as u8),
+        retry_after_ms in prop::sample::select(vec![0u64, 100, u64::MAX]),
+    ) {
+        let code = partix_net::ErrorCode::from_u8(code).unwrap();
+        let err = WireError { retryable, code, retry_after_ms, message: msg.to_owned() };
         let back = WireError::decode(&err.encode()).expect("own encoding decodes");
         prop_assert_eq!(back.retryable, retryable);
+        prop_assert_eq!(back.code, code);
+        prop_assert_eq!(back.retry_after_ms, retry_after_ms);
         prop_assert_eq!(back.message, msg);
+    }
+}
+
+proptest! {
+    #![proptest_config(cases(96))]
+
+    /// A hostile tenant header — control bytes, separators, oversized
+    /// names — decodes to a typed [`ProtocolError::Malformed`] on both
+    /// wire protocols, never a panic and never a silently accepted
+    /// identity. Valid names always round-trip.
+    #[test]
+    fn hostile_tenant_headers_are_typed_on_both_protocols(
+        raw in prop::collection::vec((0usize..256).prop_map(|b| b as u8), 0..100),
+        stream in 1u64..1000,
+    ) {
+        let tenant = String::from_utf8_lossy(&raw).into_owned();
+        let valid = !tenant.is_empty()
+            && tenant.len() <= 64
+            && tenant.chars().all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'));
+        // PXN1: ExecuteAs carries the header
+        let query = parse_query(r#"collection("c")/x"#).unwrap();
+        let req = Request::ExecuteAs { tenant: tenant.clone(), query };
+        match Request::decode(&req.encode()) {
+            Ok(_) => prop_assert!(valid, "invalid tenant {tenant:?} decoded on PXN1"),
+            Err(e) => {
+                prop_assert!(!valid, "valid tenant {tenant:?} rejected on PXN1: {e}");
+                prop_assert!(matches!(e, ProtocolError::Malformed(_)));
+            }
+        }
+        // PXN2: StreamQuery carries it (empty = anonymous, always fine)
+        let sq = StreamQuery {
+            stream,
+            text: "1".into(),
+            allow_partial: false,
+            buffered: false,
+            chunk_items: 0,
+            tenant: tenant.clone(),
+        };
+        match StreamQuery::decode(&sq.encode()) {
+            Ok(back) => {
+                prop_assert!(valid || tenant.is_empty(),
+                    "invalid tenant {tenant:?} decoded on PXN2");
+                prop_assert_eq!(back.tenant, tenant);
+            }
+            Err(e) => {
+                prop_assert!(!(valid || tenant.is_empty()),
+                    "valid tenant {tenant:?} rejected on PXN2: {e}");
+                prop_assert!(matches!(e, ProtocolError::Malformed(_)));
+            }
+        }
     }
 }
 
@@ -339,13 +397,15 @@ fn arb_stream_query() -> impl Strategy<Value = StreamQuery> {
         prop::sample::select(vec![true, false]),
         prop::sample::select(vec![true, false]),
         0u32..100_000,
+        prop::sample::select(vec!["", "t1", "team-a", "analytics_prod", "a.b.c"]),
     )
-        .prop_map(|(stream, text, allow_partial, buffered, chunk_items)| StreamQuery {
+        .prop_map(|(stream, text, allow_partial, buffered, chunk_items, tenant)| StreamQuery {
             stream,
             text: text.to_owned(),
             allow_partial,
             buffered,
             chunk_items,
+            tenant: tenant.to_owned(),
         })
 }
 
@@ -415,7 +475,7 @@ proptest! {
         let back = ItemChunk::decode(&chunk.encode()).unwrap();
         prop_assert_eq!(back.stream, chunk.stream);
         prop_assert_eq!(back.seq, chunk.seq);
-        let err = StreamError { stream: q.stream, retryable, message: "nó caiu".into() };
+        let err = StreamError::failure(q.stream, retryable, "nó caiu");
         prop_assert_eq!(StreamError::decode(&err.encode()).unwrap(), err);
         let cancel = CancelStream { stream: q.stream };
         prop_assert_eq!(CancelStream::decode(&cancel.encode()).unwrap(), cancel);
@@ -532,7 +592,7 @@ proptest! {
                 }
                 StreamStep::Fail { stream } => {
                     let in_contract = stream == target && !asm.is_done();
-                    let err = StreamError { stream, retryable: false, message: "x".into() };
+                    let err = StreamError::failure(stream, false, "x");
                     match asm.fail(err) {
                         Ok(()) => prop_assert!(in_contract),
                         Err(e) => prop_assert!(!in_contract, "rejected in-contract error: {e}"),

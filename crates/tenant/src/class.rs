@@ -1,0 +1,109 @@
+//! Priority classes and their deficit-round-robin weights.
+
+use std::fmt;
+
+/// Scheduling class of a tenant's work. The worker pools drain their
+/// queues with deficit round-robin over these classes, so a class's
+/// [`weight`](PriorityClass::weight) is its long-run share of worker
+/// time under contention — never an absolute priority. A saturated
+/// `Interactive` class cannot starve `Batch`: every non-empty class is
+/// visited once per rotation and drains at least one job.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PriorityClass {
+    /// Latency-sensitive, small queries. Highest DRR weight.
+    Interactive,
+    /// The default class for unclassified work.
+    #[default]
+    Standard,
+    /// Throughput-oriented bulk work. Lowest DRR weight.
+    Batch,
+}
+
+impl PriorityClass {
+    /// Number of distinct classes (array-sizing constant).
+    pub const COUNT: usize = 3;
+
+    /// Every class, in scheduling order.
+    pub const ALL: [PriorityClass; PriorityClass::COUNT] = [
+        PriorityClass::Interactive,
+        PriorityClass::Standard,
+        PriorityClass::Batch,
+    ];
+
+    /// Dense index in `0..COUNT`.
+    pub fn index(self) -> usize {
+        match self {
+            PriorityClass::Interactive => 0,
+            PriorityClass::Standard => 1,
+            PriorityClass::Batch => 2,
+        }
+    }
+
+    /// Inverse of [`index`](PriorityClass::index).
+    pub fn from_index(index: usize) -> Option<PriorityClass> {
+        PriorityClass::ALL.get(index).copied()
+    }
+
+    /// DRR quantum: how many unit-cost jobs the class may drain each
+    /// rotation while other classes are backlogged. Interactive gets an
+    /// 8:3:1 edge over Standard:Batch, but every class's quantum is
+    /// ≥ 1, which is what makes the discipline starvation-free.
+    pub fn weight(self) -> u64 {
+        match self {
+            PriorityClass::Interactive => 8,
+            PriorityClass::Standard => 3,
+            PriorityClass::Batch => 1,
+        }
+    }
+
+    /// Stable lowercase name, used in metric names and on the wire.
+    pub fn name(self) -> &'static str {
+        match self {
+            PriorityClass::Interactive => "interactive",
+            PriorityClass::Standard => "standard",
+            PriorityClass::Batch => "batch",
+        }
+    }
+
+    /// Parse a [`name`](PriorityClass::name) back to a class.
+    pub fn parse(text: &str) -> Option<PriorityClass> {
+        PriorityClass::ALL.into_iter().find(|c| c.name() == text)
+    }
+}
+
+
+
+impl fmt::Display for PriorityClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrips() {
+        for class in PriorityClass::ALL {
+            assert_eq!(PriorityClass::from_index(class.index()), Some(class));
+        }
+        assert_eq!(PriorityClass::from_index(PriorityClass::COUNT), None);
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for class in PriorityClass::ALL {
+            assert_eq!(PriorityClass::parse(class.name()), Some(class));
+        }
+        assert_eq!(PriorityClass::parse("turbo"), None);
+        assert_eq!(PriorityClass::parse(""), None);
+    }
+
+    #[test]
+    fn every_weight_is_positive() {
+        for class in PriorityClass::ALL {
+            assert!(class.weight() >= 1, "{class} must not be starvable");
+        }
+    }
+}

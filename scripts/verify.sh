@@ -60,6 +60,18 @@ cargo test -q --test rebalance_differential --offline
 cargo test -q -p partix-storage --offline wal
 cargo test -q --test write_differential --offline
 
+# multi-tenant gate: the tenant-layer unit suites (registry, quotas,
+# DRR scheduler, admission controller), the multitenant differential
+# suite (admitted answers vs the centralized oracle under floods and
+# seeded faults, typed rejections with retry hints, result-cache
+# hygiene — in-process and over both wire protocols), and the
+# warehouse→advisor suite (frequency mining over the star-query log
+# feeding re-split candidates that pass the formal
+# completeness/disjointness check and migrate live).
+cargo test -q -p partix-tenant --offline
+cargo test -q --test multitenant_differential --offline
+cargo test -q --test warehouse_advisor --offline
+
 # morsel gate: intra-fragment parallel execution must be invisible
 # except for speed — the differential suite (every query family, hot
 # and cold, distributed vs centralized oracle, proptest geometry fuzz)
@@ -277,5 +289,75 @@ if ! grep -q '"mode":"streamed"' "$SCALEOUT_JSON"; then
     echo "verify: FAIL — scaleout never ran the streamed transport" >&2
     exit 1
 fi
+
+# the multitenant benchmark gates on its correctness fields, never on
+# timing: every admitted answer must match the centralized oracle
+# ("verified":true with zero mismatches) and the isolation bound must
+# hold. The scratch run is tiny; the committed BENCH_multitenant.json
+# carries the full-scale isolation numbers and must gate too.
+MT_JSON="$(mktemp /tmp/partix-verify-multitenant.XXXXXX.json)"
+trap 'rm -f "$STAGE_JSON" "$REMOTE_JSON" "$SERVE_LOG1" "$SERVE_LOG2" \
+    "$ADVISE_A" "$ADVISE_B" "$REBALANCE_JSON" "$MORSEL_JSON" \
+    "$STORAGE_JSON" "$WRITES_JSON" "$SCALEOUT_JSON" "$MT_JSON"' EXIT
+./target/release/harness multitenant --clients 2 --queries 10 \
+    --out "$MT_JSON" > /dev/null
+for field in p99_alone_ms p99_contended_ms isolation_factor \
+    oracle_checks oracle_mismatches; do
+    if ! grep -q "\"$field\":" "$MT_JSON"; then
+        echo "verify: FAIL — $field missing from multitenant JSON" >&2
+        exit 1
+    fi
+done
+for json in "$MT_JSON" BENCH_multitenant.json; do
+    if ! grep -q '"isolation_held":true' "$json"; then
+        echo "verify: FAIL — tenant isolation bound not held in $json" >&2
+        exit 1
+    fi
+    if ! grep -q '"verified":true' "$json"; then
+        echo "verify: FAIL — multitenant answers diverged from oracle in $json" >&2
+        exit 1
+    fi
+    if ! grep -q '"oracle_mismatches":0' "$json"; then
+        echo "verify: FAIL — multitenant oracle mismatches in $json" >&2
+        exit 1
+    fi
+done
+
+# two-tenant serve smoke: a node server with a generous tenant and a
+# quota-zero tenant must serve the former and reject the latter with a
+# typed admission error on the wire.
+MT_LOG="$(mktemp /tmp/partix-verify-mtserve.XXXXXX.log)"
+MT_ERR="$(mktemp /tmp/partix-verify-mtserve-err.XXXXXX.log)"
+trap 'rm -f "$STAGE_JSON" "$REMOTE_JSON" "$SERVE_LOG1" "$SERVE_LOG2" \
+    "$ADVISE_A" "$ADVISE_B" "$REBALANCE_JSON" "$MORSEL_JSON" \
+    "$STORAGE_JSON" "$WRITES_JSON" "$SCALEOUT_JSON" "$MT_JSON" \
+    "$MT_LOG" "$MT_ERR"; kill "${MT_PID:-}" 2>/dev/null || true' EXIT
+./target/release/partix serve --node 0 --addr 127.0.0.1:0 \
+    --tenant frontend:interactive:8 --tenant suspended:batch:0:0 \
+    > "$MT_LOG" &
+MT_PID=$!
+for _ in $(seq 50); do
+    grep -q "listening on" "$MT_LOG" && break
+    sleep 0.1
+done
+mt_addr="$(sed -n 's/.*listening on //p' "$MT_LOG" | head -n1)"
+if [ -z "$mt_addr" ]; then
+    echo "verify: FAIL — tenant-gated server never reported its address" >&2
+    exit 1
+fi
+./target/release/partix exec "$mt_addr" 'count(collection("items")/Item)' \
+    --tenant frontend > /dev/null
+if ./target/release/partix exec "$mt_addr" 'count(collection("items")/Item)' \
+    --tenant suspended > /dev/null 2> "$MT_ERR"; then
+    echo "verify: FAIL — quota-zero tenant was admitted" >&2
+    exit 1
+fi
+if ! grep -q "AdmissionRejected" "$MT_ERR"; then
+    echo "verify: FAIL — quota rejection was not a typed admission error" >&2
+    cat "$MT_ERR" >&2
+    exit 1
+fi
+kill "$MT_PID"
+wait "$MT_PID" 2>/dev/null || true
 
 echo "verify: OK"

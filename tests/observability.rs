@@ -133,7 +133,7 @@ fn stage_breakdown_consistent_under_faults() {
             // rate-1.0 faults can exhaust a fragment's replicas; degraded
             // answers must still carry a consistent breakdown
             let result = px
-                .execute_with(query, ExecOptions { allow_partial: true })
+                .execute_with(query, ExecOptions { allow_partial: true, ..ExecOptions::default() })
                 .expect("allow_partial run");
             let wall_s = begun.elapsed().as_secs_f64();
             assert_breakdown_consistent(&result, wall_s, &format!("round {round}/{id}"));

@@ -491,7 +491,7 @@ proptest! {
 
         let query = r#"for $i in collection("items")/Item return $i/Code"#;
         let result = px
-            .execute_with(query, ExecOptions { allow_partial: true })
+            .execute_with(query, ExecOptions { allow_partial: true, ..ExecOptions::default() })
             .unwrap();
         let mut skipped: Vec<&str> = result
             .report

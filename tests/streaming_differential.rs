@@ -49,8 +49,8 @@ fn centralized_text(query: &str) -> String {
     )
 }
 
-const STREAMED: StreamOpts = StreamOpts { allow_partial: false, buffered: false };
-const BUFFERED: StreamOpts = StreamOpts { allow_partial: false, buffered: true };
+const STREAMED: StreamOpts = StreamOpts { allow_partial: false, buffered: false, tenant: None };
+const BUFFERED: StreamOpts = StreamOpts { allow_partial: false, buffered: true, tenant: None };
 
 /// Put one coordinator in front of `px` and hand back a connected
 /// client. Dispatch goes to worker pools so the streamed path really
